@@ -1,0 +1,95 @@
+// Ablation: the demand->price "vicious cycle" (paper Sec. I). Under an
+// endogenous bid-based market, a large consumer that greedily chases the
+// momentarily-cheapest region moves the prices it reacts to; the MPC's
+// move penalty damps that loop. We compare instantaneous re-optimization
+// (optimal method) against the control method on the same stochastic
+// market and report the induced price volatility and cost.
+#include "core/metrics.hpp"
+
+#include "bench_common.hpp"
+#include "market/stochastic_price.hpp"
+
+int main() {
+  using namespace gridctl;
+  using namespace gridctl::bench;
+
+  print_header("Ablation — endogenous prices (the vicious cycle)",
+               "greedy re-balancing amplifies its own price signal; the "
+               "MPC damps allocation swings under demand-responsive LMPs");
+
+  // Three regions with slightly different supply stacks; the IDC fleet's
+  // ~10-20 MW draw is made market-relevant by a small regional capacity.
+  std::vector<market::RegionMarketConfig> regions(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    regions[r].stack.capacity_w = 60e6;      // small regional market
+    regions[r].base_demand_w = 30e6;
+    regions[r].stack.price_floor = 10.0 + 4.0 * static_cast<double>(r);
+    regions[r].noise.volatility = 0.25;      // strong hourly noise
+    regions[r].spikes.probability_per_hour = 0.05;
+  }
+
+  core::Scenario scenario = core::paper::smoothing_scenario(30.0);
+  scenario.prices = std::make_shared<market::StochasticBidPrice>(
+      regions, /*seed=*/2024);
+  scenario.start_time_s = 0.0;
+  scenario.duration_s = 24.0 * 3600.0;  // a full synthetic day
+
+  core::MpcPolicy control(core::CostController::Config{
+      scenario.idcs, scenario.num_portals(), {}, scenario.controller});
+  core::OptimalPolicy optimal(scenario.idcs, scenario.num_portals(),
+                              scenario.controller.cost_basis);
+  const auto controlled = core::run_simulation(scenario, control);
+  const auto baseline = core::run_simulation(scenario, optimal);
+
+  auto realized_price_volatility = [](const core::SimulationResult& r) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      total += core::volatility(r.trace.price_per_mwh[j]).mean_abs_step;
+    }
+    return total / 3.0;
+  };
+
+  std::printf("24 h under the endogenous market:\n");
+  std::printf("  control: cost $%.0f  fleet mean step %.3f MW  realized "
+              "price vol %.3f $/MWh/step\n",
+              controlled.summary.total_cost_dollars,
+              units::watts_to_mw(
+                  controlled.summary.total_volatility.mean_abs_step),
+              realized_price_volatility(controlled));
+  std::printf("  optimal: cost $%.0f  fleet mean step %.3f MW  realized "
+              "price vol %.3f $/MWh/step\n\n",
+              baseline.summary.total_cost_dollars,
+              units::watts_to_mw(
+                  baseline.summary.total_volatility.mean_abs_step),
+              realized_price_volatility(baseline));
+
+  double ctl_alloc_swing = 0.0, opt_alloc_swing = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    ctl_alloc_swing +=
+        core::volatility(controlled.trace.idc_load_rps[j]).mean_abs_step;
+    opt_alloc_swing +=
+        core::volatility(baseline.trace.idc_load_rps[j]).mean_abs_step;
+  }
+  std::printf("mean per-step allocation swing: control %.0f req/s vs "
+              "optimal %.0f req/s\n\n",
+              ctl_alloc_swing, opt_alloc_swing);
+
+  int passed = 0, total = 0;
+  ++total;
+  passed += check("MPC damps allocation swings vs greedy (>= 2x smaller)",
+                  ctl_alloc_swing < 0.5 * opt_alloc_swing);
+  ++total;
+  passed += check("MPC's power-demand volatility is lower",
+                  controlled.summary.total_volatility.mean_abs_step <
+                      baseline.summary.total_volatility.mean_abs_step);
+  ++total;
+  passed += check("costs stay within 10% (damping is near-free here)",
+                  controlled.summary.total_cost_dollars <
+                      1.10 * baseline.summary.total_cost_dollars);
+  ++total;
+  passed += check("both runs serve the full workload without overload",
+                  controlled.summary.overload_seconds == 0.0 &&
+                      baseline.summary.overload_seconds == 0.0);
+  print_footer(passed, total);
+  return passed == total ? 0 : 1;
+}

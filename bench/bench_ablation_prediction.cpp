@@ -1,0 +1,74 @@
+// Ablation: workload prediction (Sec. III-D). Under a time-varying
+// diurnal workload, enabling the AR+RLS predictor lets the reference
+// optimizer anticipate drift; this sweep quantifies the tracking benefit
+// and the AR-order sensitivity on the prediction itself.
+#include "core/metrics.hpp"
+
+#include "bench_common.hpp"
+#include "workload/epa_trace.hpp"
+#include "workload/predictor.hpp"
+
+int main() {
+  using namespace gridctl;
+  using namespace gridctl::bench;
+
+  print_header("Ablation — workload prediction and AR order",
+               "AR(p)+RLS beats persistence on bursty diurnal traffic; the "
+               "closed loop remains stable with prediction on or off");
+
+  // Part 1: AR order sweep on the Fig. 3 trace.
+  const auto series = workload::make_epa_like_trace();
+  TextTable table({"ar_order", "MAE_rps", "RMSE_rps", "R2"});
+  std::vector<double> rmse_by_order;
+  for (std::size_t order : {1u, 2u, 3u, 4u, 8u}) {
+    workload::ArPredictor predictor(order, 0.99);
+    const auto stats = workload::evaluate_one_step(predictor, series, 30);
+    table.add_row({TextTable::num(static_cast<double>(order), 0),
+                   TextTable::num(stats.mae, 2), TextTable::num(stats.rmse, 2),
+                   TextTable::num(stats.r_squared, 4)});
+    rmse_by_order.push_back(stats.rmse);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Part 2: closed loop with a drifting workload, prediction on vs off.
+  auto run_with_prediction = [&](bool enabled) {
+    core::Scenario scenario = core::paper::smoothing_scenario(20.0);
+    scenario.duration_s = 1200.0;
+    // Diurnal drift strong enough to move the allocation mid-window.
+    scenario.workload = std::make_shared<workload::DiurnalWorkload>(
+        std::vector<double>(core::paper::kPortalDemands), 0.15, 9.0, 0.02,
+        /*seed=*/11);
+    scenario.controller.predict_workload = enabled;
+    scenario.controller.ar_order = 3;
+    core::MpcPolicy control(core::CostController::Config{
+        scenario.idcs, scenario.num_portals(), {}, scenario.controller});
+    return core::run_simulation(scenario, control);
+  };
+  const auto with = run_with_prediction(true);
+  const auto without = run_with_prediction(false);
+  std::printf("closed loop under diurnal drift (20-minute window):\n");
+  std::printf("  prediction ON : cost $%.2f, fleet mean step %.4f MW\n",
+              with.summary.total_cost_dollars,
+              units::watts_to_mw(with.summary.total_volatility.mean_abs_step));
+  std::printf(
+      "  prediction OFF: cost $%.2f, fleet mean step %.4f MW\n\n",
+      without.summary.total_cost_dollars,
+      units::watts_to_mw(without.summary.total_volatility.mean_abs_step));
+
+  int passed = 0, total = 0;
+  ++total;
+  passed += check("AR(4) beats AR(1) on the EPA-like trace (lower RMSE)",
+                  rmse_by_order[3] < rmse_by_order[0]);
+  ++total;
+  passed += check("both closed-loop variants serve without overload",
+                  with.summary.overload_seconds == 0.0 &&
+                      without.summary.overload_seconds == 0.0);
+  ++total;
+  passed += check("costs agree within 5% (prediction is a refinement, "
+                  "not a correctness knob, on slow drift)",
+                  std::abs(with.summary.total_cost_dollars -
+                           without.summary.total_cost_dollars) <
+                      0.05 * without.summary.total_cost_dollars);
+  print_footer(passed, total);
+  return passed == total ? 0 : 1;
+}

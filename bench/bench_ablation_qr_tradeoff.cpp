@@ -1,0 +1,61 @@
+// Ablation: the Q/R weighting trade-off (paper Sec. IV-C: "the relative
+// magnitudes of Q and R provide a way to trade off minimizing
+// electricity cost for smaller changes in volatile power demand").
+//
+// Sweeps the move penalty R at fixed Q on the smoothing scenario and
+// reports cost vs per-step volatility. Expected frontier: volatility
+// falls monotonically with R; cost rises (slower migration to the cheap
+// region).
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+
+int main() {
+  using namespace gridctl;
+  using namespace gridctl::bench;
+
+  print_header("Ablation — Q/R trade-off frontier",
+               "larger R -> lower power-demand volatility, higher cost "
+               "(Sec. IV-C's knob, not plotted in the paper)");
+
+  const double r_values[] = {0.0, 0.3, 1.0, 3.0, 10.0, 30.0};
+  TextTable table({"r_weight", "cost_$", "MI_max_step_MW", "MI_mean_step_MW",
+                   "fleet_mean_step_MW"});
+  std::vector<double> max_steps, costs;
+  for (double r : r_values) {
+    core::Scenario scenario = core::paper::smoothing_scenario(10.0);
+    scenario.controller.r_weight = r;
+    core::MpcPolicy control(core::CostController::Config{
+        scenario.idcs, scenario.num_portals(), {}, scenario.controller});
+    const auto result = core::run_simulation(scenario, control);
+    const auto& mi = result.summary.idcs[0].volatility;
+    table.add_row({TextTable::num(r, 1),
+                   TextTable::num(result.summary.total_cost_dollars, 2),
+                   TextTable::num(units::watts_to_mw(mi.max_abs_step), 4),
+                   TextTable::num(units::watts_to_mw(mi.mean_abs_step), 4),
+                   TextTable::num(units::watts_to_mw(
+                                      result.summary.total_volatility
+                                          .mean_abs_step),
+                                  4)});
+    max_steps.push_back(mi.max_abs_step);
+    costs.push_back(result.summary.total_cost_dollars);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  int passed = 0, total = 0;
+  ++total;
+  passed += check("volatility decreases monotonically with R",
+                  std::is_sorted(max_steps.rbegin(), max_steps.rend()));
+  ++total;
+  passed += check("cost is (weakly) increasing with R",
+                  costs.back() >= costs.front() - 1e-6);
+  ++total;
+  passed += check("R = 0 reproduces the optimal method's jump (> 2.5 MW)",
+                  max_steps.front() > 2.5e6);
+  ++total;
+  passed += check("largest R cuts the max step by > 10x vs R = 0",
+                  max_steps.back() < 0.1 * max_steps.front());
+  print_footer(passed, total);
+  return passed == total ? 0 : 1;
+}

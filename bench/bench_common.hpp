@@ -1,0 +1,84 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/paper.hpp"
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace gridctl::bench {
+
+inline const char* kIdcNames[3] = {"Michigan", "Minnesota", "Wisconsin"};
+
+// Runs the scenario under both the paper's policies.
+struct PairedRun {
+  core::SimulationResult control;
+  core::SimulationResult optimal;
+};
+
+inline PairedRun run_both(const core::Scenario& scenario) {
+  core::MpcPolicy control(core::CostController::Config{
+      scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
+      scenario.controller});
+  core::OptimalPolicy optimal(scenario.idcs, scenario.num_portals(),
+                              scenario.controller.cost_basis);
+  return PairedRun{core::run_simulation(scenario, control),
+                   core::run_simulation(scenario, optimal)};
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+// A single PASS/DEVIATION verdict line for a qualitative shape check.
+inline bool check(const char* what, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "DEVIATION", what);
+  return ok;
+}
+
+inline void print_footer(int passed, int total) {
+  std::printf("\nshape checks: %d/%d passed\n\n", passed, total);
+}
+
+// Print one per-IDC time series (MW) for both policies, sampled every
+// `stride` steps.
+inline void print_power_series(const PairedRun& run, std::size_t stride) {
+  TextTable table({"t_min", "ctl_MI", "opt_MI", "ctl_MN", "opt_MN", "ctl_WI",
+                   "opt_WI"});
+  const auto& time = run.control.trace.time_s;
+  for (std::size_t k = 0; k < time.size(); k += stride) {
+    std::vector<std::string> row{TextTable::num(time[k] / 60.0, 1)};
+    for (std::size_t j = 0; j < 3; ++j) {
+      row.push_back(TextTable::num(
+          units::watts_to_mw(run.control.trace.power_w[j][k]), 3));
+      row.push_back(TextTable::num(
+          units::watts_to_mw(run.optimal.trace.power_w[j][k]), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+inline void print_server_series(const PairedRun& run, std::size_t stride) {
+  TextTable table({"t_min", "ctl_MI", "opt_MI", "ctl_MN", "opt_MN", "ctl_WI",
+                   "opt_WI"});
+  const auto& time = run.control.trace.time_s;
+  for (std::size_t k = 0; k < time.size(); k += stride) {
+    std::vector<std::string> row{TextTable::num(time[k] / 60.0, 1)};
+    for (std::size_t j = 0; j < 3; ++j) {
+      row.push_back(TextTable::num(run.control.trace.servers_on[j][k], 0));
+      row.push_back(TextTable::num(run.optimal.trace.servers_on[j][k], 0));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace gridctl::bench

@@ -1,0 +1,57 @@
+// Fig. 5(a)-(c): number of turned-ON servers during the smoothing run.
+// The paper's published counts: 7500 -> 20000 (MI), 40000 flat (MN),
+// 20000 -> 5715 (WI); the control method moves gradually.
+#include "core/metrics.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gridctl;
+  using namespace gridctl::bench;
+  using core::paper::kPublished;
+
+  print_header(
+      "Fig. 5 — ON-server counts under power-demand smoothing",
+      "optimal jumps MI 7500->20000 and WI 20000->5715 instantly; MN flat "
+      "at 40000; control ramps server counts gradually");
+
+  const core::Scenario scenario = core::paper::smoothing_scenario(10.0);
+  const PairedRun run = run_both(scenario);
+  print_server_series(run, 3);
+
+  const std::size_t last = run.control.trace.time_s.size() - 1;
+  std::printf("\nendpoints, servers ON (paper -> measured):\n");
+  for (std::size_t j = 0; j < 3; ++j) {
+    std::printf("  %-9s 6H: %.0f -> %.0f    7H: %.0f -> %.0f\n", kIdcNames[j],
+                kPublished.servers_6h[j], run.optimal.trace.servers_on[j][0],
+                kPublished.servers_7h[j],
+                run.optimal.trace.servers_on[j][last]);
+  }
+  std::printf("  (offsets from the paper's numbers are the eq.-35 latency "
+              "margin 1/(mu_j D_j): +500-1500 servers)\n\n");
+
+  int passed = 0, total = 0;
+  const auto& mi_opt = run.optimal.trace.servers_on[0];
+  const auto& mi_ctl = run.control.trace.servers_on[0];
+  const auto& mn_opt = run.optimal.trace.servers_on[1];
+  const auto& wi_opt = run.optimal.trace.servers_on[2];
+
+  ++total;
+  passed += check("optimal jumps MI to its 20000-server cap in one period",
+                  mi_opt[1] == 20000.0 && mi_opt[0] < 10000.0);
+  ++total;
+  passed += check("optimal drops WI by >10000 servers in one period",
+                  wi_opt[0] - wi_opt[1] > 10000.0);
+  ++total;
+  passed += check("Minnesota pinned at 40000 servers throughout (Fig. 5b)",
+                  core::series_min(mn_opt) == 40000.0 &&
+                      core::series_max(mn_opt) == 40000.0);
+  ++total;
+  passed += check("control ramps MI: max per-step change < 3000 servers",
+                  core::volatility(mi_ctl).max_abs_step < 3000.0);
+  ++total;
+  passed += check("control reaches the same MI endpoint (within 500)",
+                  std::abs(mi_ctl[last] - mi_opt[last]) < 500.0);
+  print_footer(passed, total);
+  return passed == total ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Fig. 7(a)-(c): ON-server counts during the peak-shaving run. Under the
+// budgets, Minnesota falls from 40000 toward ~36000 servers and Michigan
+// holds near 18000 (its 5.13 MW budget) while Wisconsin absorbs the
+// overflow.
+#include "core/metrics.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gridctl;
+  using namespace gridctl::bench;
+
+  print_header(
+      "Fig. 7 — ON-server counts under power peak shaving",
+      "control lowers MN below 40000 and caps MI below its unconstrained "
+      "20000; WI holds more servers than its unconstrained optimum");
+
+  const core::Scenario scenario = core::paper::shaving_scenario(10.0);
+  const PairedRun run = run_both(scenario);
+  print_server_series(run, 3);
+
+  const std::size_t last = run.control.trace.time_s.size() - 1;
+  std::printf("\nfinal ON servers (control vs optimal):\n");
+  for (std::size_t j = 0; j < 3; ++j) {
+    std::printf("  %-9s %8.0f vs %8.0f\n", kIdcNames[j],
+                run.control.trace.servers_on[j][last],
+                run.optimal.trace.servers_on[j][last]);
+  }
+  std::printf("\n");
+
+  int passed = 0, total = 0;
+  ++total;
+  passed += check("control ends MN in the budget-implied 34000-37500 band",
+                  run.control.trace.servers_on[1][last] > 34000.0 &&
+                      run.control.trace.servers_on[1][last] < 37500.0);
+  ++total;
+  passed += check("optimal keeps MN pinned at 40000 (budget-blind)",
+                  run.optimal.trace.servers_on[1][last] == 40000.0);
+  ++total;
+  passed += check("control caps MI below the optimal method's 20000",
+                  run.control.trace.servers_on[0][last] <
+                      run.optimal.trace.servers_on[0][last]);
+  ++total;
+  passed += check("WI holds more servers under control than under optimal",
+                  run.control.trace.servers_on[2][last] >
+                      run.optimal.trace.servers_on[2][last] + 2000.0);
+  ++total;
+  {
+    const auto vol = core::volatility(run.control.trace.servers_on[1]);
+    passed += check("control moves MN gradually (< 2000 servers/step)",
+                    vol.max_abs_step < 2000.0);
+  }
+  print_footer(passed, total);
+  return passed == total ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// End-to-end controller-step latency (google-benchmark): one full
+// CostController period (reference LP + prediction stacking + QP) as a
+// function of fleet size, portal count and control horizon. The paper's
+// scenario (N=3, C=5) must run comfortably inside a real-time sampling
+// period.
+#include <benchmark/benchmark.h>
+
+#include "core/cost_controller.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace gridctl;
+
+core::CostController::Config make_config(std::size_t idcs,
+                                         std::size_t portals,
+                                         std::size_t beta2) {
+  core::CostController::Config config;
+  config.portals = portals;
+  for (std::size_t j = 0; j < idcs; ++j) {
+    datacenter::IdcConfig idc;
+    idc.region = j;
+    idc.max_servers = 40000;
+    idc.power = datacenter::ServerPowerModel{150.0, 285.0,
+                                             1.0 + 0.25 * (j % 4)};
+    idc.latency_bound_s = 0.001;
+    config.idcs.push_back(idc);
+  }
+  config.params.horizons = {std::max<std::size_t>(beta2 * 2, 4), beta2};
+  config.params.r_weight = 1.0;
+  return config;
+}
+
+void BM_ControllerStep(benchmark::State& state) {
+  const std::size_t idcs = static_cast<std::size_t>(state.range(0));
+  const std::size_t portals = static_cast<std::size_t>(state.range(1));
+  const std::size_t beta2 = static_cast<std::size_t>(state.range(2));
+  core::CostController controller(make_config(idcs, portals, beta2));
+  Rng rng(1);
+  std::vector<double> prices(idcs);
+  for (double& p : prices) p = rng.uniform(15.0, 90.0);
+  const std::vector<double> demands(portals, 10000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.step(prices, demands));
+  }
+  state.SetLabel("vars=" + std::to_string(idcs * portals * beta2));
+}
+
+// (N, C, beta2): the paper's scenario and scale-ups.
+BENCHMARK(BM_ControllerStep)
+    ->Args({3, 5, 2})
+    ->Args({3, 5, 4})
+    ->Args({5, 10, 2})
+    ->Args({10, 10, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

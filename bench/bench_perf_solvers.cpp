@@ -1,0 +1,121 @@
+// Solver microbenchmarks (google-benchmark): simplex LP, ADMM QP,
+// active-set QP, matrix exponential and RLS — the per-control-period
+// numeric workload of the controller.
+#include <benchmark/benchmark.h>
+
+#include "linalg/expm.hpp"
+#include "solvers/lp_simplex.hpp"
+#include "solvers/qp_active_set.hpp"
+#include "solvers/qp_admm.hpp"
+#include "solvers/rls.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace gridctl;
+using linalg::Matrix;
+using linalg::Vector;
+
+solvers::LpProblem transportation_lp(std::size_t portals, std::size_t idcs,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  solvers::LpProblem lp;
+  lp.c.resize(portals * idcs);
+  for (double& v : lp.c) v = rng.uniform(1.0, 100.0);
+  lp.a_eq = Matrix(portals, portals * idcs);
+  lp.b_eq.assign(portals, 0.0);
+  for (std::size_t i = 0; i < portals; ++i) {
+    for (std::size_t j = 0; j < idcs; ++j) lp.a_eq(i, i * idcs + j) = 1.0;
+    lp.b_eq[i] = rng.uniform(1e3, 3e4);
+  }
+  lp.a_ub = Matrix(idcs, portals * idcs);
+  lp.b_ub.assign(idcs, 0.0);
+  double total = 0.0;
+  for (double demand : lp.b_eq) total += demand;
+  for (std::size_t j = 0; j < idcs; ++j) {
+    for (std::size_t i = 0; i < portals; ++i) lp.a_ub(j, i * idcs + j) = 1.0;
+    lp.b_ub[j] = total;  // always feasible
+  }
+  return lp;
+}
+
+void BM_SimplexTransportation(benchmark::State& state) {
+  const auto lp = transportation_lp(static_cast<std::size_t>(state.range(0)),
+                                    static_cast<std::size_t>(state.range(1)),
+                                    42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solvers::solve_lp(lp));
+  }
+}
+BENCHMARK(BM_SimplexTransportation)
+    ->Args({5, 3})
+    ->Args({10, 10})
+    ->Args({20, 20});
+
+solvers::QpProblem random_qp(std::size_t n, std::size_t m,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.normal();
+  }
+  solvers::QpProblem qp;
+  qp.p = g.transpose() * g;
+  for (std::size_t i = 0; i < n; ++i) qp.p(i, i) += 1.0;
+  qp.q.resize(n);
+  for (double& v : qp.q) v = rng.normal();
+  qp.a = Matrix(m, n);
+  qp.lower.assign(m, -5.0);
+  qp.upper.assign(m, 5.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t j = 0; j < n; ++j) qp.a(r, j) = rng.normal();
+  }
+  return qp;
+}
+
+void BM_QpAdmm(benchmark::State& state) {
+  const auto qp = random_qp(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solvers::solve_qp_admm(qp));
+  }
+}
+BENCHMARK(BM_QpAdmm)->Args({10, 8})->Args({30, 20})->Args({60, 40});
+
+void BM_QpActiveSet(benchmark::State& state) {
+  const auto qp = random_qp(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solvers::solve_qp_active_set(qp));
+  }
+}
+BENCHMARK(BM_QpActiveSet)->Args({10, 8})->Args({30, 20});
+
+void BM_Expm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal(0.0, 0.5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::expm(a));
+  }
+}
+BENCHMARK(BM_Expm)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RlsUpdate(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  solvers::RecursiveLeastSquares rls(dim, 0.98);
+  Rng rng(5);
+  Vector phi(dim);
+  for (double& v : phi) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rls.update(phi, 1.0));
+  }
+}
+BENCHMARK(BM_RlsUpdate)->Arg(3)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

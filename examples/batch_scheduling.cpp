@@ -1,0 +1,91 @@
+// Delay-tolerant batch scheduling (MapReduce-style analytics) on top of
+// the interactive fleet: the planner shifts deferrable work into cheap
+// hours and cheap regions, subject to per-slot spare capacity and a
+// completion deadline — the cost-delay trade-off of the paper's ref [9].
+#include <cstdio>
+
+#include "control/reference_optimizer.hpp"
+#include "core/deferral.hpp"
+#include "core/paper.hpp"
+#include "market/regions.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gridctl;
+
+  const auto idcs = core::paper::paper_idcs();
+  const auto traces = market::paper_region_traces();
+
+  // Build the day: hourly prices; spare capacity = fleet capacity minus
+  // the optimal interactive allocation at that hour.
+  core::DeferralProblem problem;
+  problem.idcs = idcs;
+  problem.slot_s = 3600.0;
+  const std::size_t slots = 36;  // 1.5 days so late deadlines fit
+  problem.prices.resize(slots);
+  problem.spare_capacity_rps.resize(slots);
+  problem.arrivals_req.assign(slots, 0.0);
+  for (std::size_t t = 0; t < slots; ++t) {
+    problem.prices[t] = {traces.series(0)[t % 24], traces.series(1)[t % 24],
+                         traces.series(2)[t % 24]};
+    control::ReferenceProblem ref;
+    ref.idcs = idcs;
+    ref.prices = problem.prices[t];
+    ref.portal_demands = core::paper::kPortalDemands;
+    const auto interactive = control::solve_reference(ref);
+    problem.spare_capacity_rps[t].resize(idcs.size());
+    for (std::size_t j = 0; j < idcs.size(); ++j) {
+      problem.spare_capacity_rps[t][j] =
+          control::load_cap_for_capacity(idcs[j]) - interactive.idc_loads[j];
+    }
+  }
+  // A nightly index build (8 h of 4000 req/s-equivalents at hour 18) and
+  // hourly analytics during the business day.
+  problem.arrivals_req[18] = 8.0 * 4000.0 * 3600.0;
+  for (std::size_t t = 9; t < 17; ++t) {
+    problem.arrivals_req[t] = 1500.0 * 3600.0;
+  }
+  problem.max_delay_slots = 10;  // everything done within 10 hours
+
+  const auto plan = core::plan_deferral(problem);
+  if (!plan.feasible) {
+    std::printf("no feasible schedule — tighten arrivals or deadline\n");
+    return 1;
+  }
+
+  std::printf("batch schedule (10 h deadline), cost $%.2f\n\n",
+              plan.cost_dollars);
+  TextTable table({"hour", "MI_rps", "MN_rps", "WI_rps", "price_MI",
+                   "price_MN", "price_WI"});
+  for (std::size_t t = 0; t < slots; ++t) {
+    if (plan.served_req[t] <= 0.0) continue;
+    table.add_row({TextTable::num(static_cast<double>(t), 0),
+                   TextTable::num(plan.rate_rps[t][0], 0),
+                   TextTable::num(plan.rate_rps[t][1], 0),
+                   TextTable::num(plan.rate_rps[t][2], 0),
+                   TextTable::num(problem.prices[t][0], 2),
+                   TextTable::num(problem.prices[t][1], 2),
+                   TextTable::num(problem.prices[t][2], 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Compare with serve-on-arrival (and with a mild 2 h tolerance, since
+  // the 8-hour nightly build cannot physically run in its arrival hour).
+  core::DeferralProblem immediate = problem;
+  immediate.max_delay_slots = 0;
+  if (!core::plan_deferral(immediate).feasible) {
+    std::printf("serve-on-arrival is INFEASIBLE: the nightly build needs "
+                "32000 req/s of spare in one hour — deferral is required, "
+                "not just cheaper.\n");
+  }
+  core::DeferralProblem mild = problem;
+  mild.max_delay_slots = 2;
+  const auto baseline = core::plan_deferral(mild);
+  if (baseline.feasible) {
+    std::printf("a 2 h deadline would cost $%.2f — the 10 h deadline saves "
+                "%.1f%%\n",
+                baseline.cost_dollars,
+                100.0 * (1.0 - plan.cost_dollars / baseline.cost_dollars));
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Geographic load balancing over a full day of real-time prices — the
+// workload the paper's introduction motivates: diurnal Internet traffic
+// served by three IDCs in different LMP regions.
+//
+// Compares three policies over 24 hours:
+//   static  — capacity-proportional split, price-blind
+//   optimal — re-solve the Rao LP every period (cheap, but jumpy)
+//   control — the paper's MPC (cheap *and* smooth)
+#include <cstdio>
+
+#include "core/paper.hpp"
+#include "core/simulation.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace gridctl;
+
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/60.0);
+  scenario.start_time_s = 0.0;
+  scenario.duration_s = 24.0 * 3600.0;
+  // Diurnal traffic peaking mid-afternoon, mild noise.
+  // Amplitude/noise chosen so the worst-case total stays inside the
+  // fleet's 122000 req/s capacity (the sleep-controllability bound).
+  scenario.workload = std::make_shared<workload::DiurnalWorkload>(
+      std::vector<double>(core::paper::kPortalDemands), /*amplitude=*/0.10,
+      /*peak_hour=*/15.0, /*noise_stddev=*/0.02, /*seed=*/7);
+
+  core::StaticProportionalPolicy static_policy(scenario.idcs, 5);
+  core::OptimalPolicy optimal(scenario.idcs, 5,
+                              scenario.controller.cost_basis);
+  core::MpcPolicy control(core::CostController::Config{
+      scenario.idcs, 5, {}, scenario.controller});
+
+  struct Row {
+    const char* name;
+    core::SimulationResult result;
+  };
+  Row rows[] = {
+      {"static", core::run_simulation(scenario, static_policy)},
+      {"optimal", core::run_simulation(scenario, optimal)},
+      {"control", core::run_simulation(scenario, control)},
+  };
+
+  std::printf("24 h of diurnal traffic across MI / MN / WI\n\n");
+  std::printf("%-8s  %12s  %10s  %20s\n", "policy", "cost_$", "energy_MWh",
+              "worst_idc_|dP|_MW/step");
+  for (const Row& row : rows) {
+    // Reallocations roughly conserve *total* power, so the per-IDC step
+    // size is the volatility the grid operator actually sees.
+    double worst_idc_step = 0.0;
+    for (const auto& idc : row.result.summary.idcs) {
+      worst_idc_step = std::max(worst_idc_step, idc.volatility.max_abs_step);
+    }
+    std::printf("%-8s  %12.2f  %10.2f  %20.3f\n", row.name,
+                row.result.summary.total_cost_dollars,
+                row.result.summary.total_energy_mwh,
+                units::watts_to_mw(worst_idc_step));
+  }
+
+  const double static_cost = rows[0].result.summary.total_cost_dollars;
+  const double control_cost = rows[2].result.summary.total_cost_dollars;
+  std::printf("\nprice-aware control saves %.1f%% vs the price-blind split, "
+              "while bounding per-step demand changes.\n",
+              100.0 * (1.0 - control_cost / static_cost));
+
+  // Dump the control trace for external plotting.
+  const std::string path = "geo_load_balancing_trace.csv";
+  write_csv_file(path, rows[2].result.trace.to_csv());
+  std::printf("full control-method trace written to ./%s\n", path.c_str());
+  return 0;
+}

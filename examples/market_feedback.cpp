@@ -1,0 +1,73 @@
+// The "active consumer" effect: a fleet large relative to its regional
+// markets moves the prices it reacts to (paper Sec. I's vicious cycle).
+//
+// This example runs the bottom-up bid-based stochastic market with the
+// fleet's own demand fed back into the clearing price, and contrasts
+// greedy per-period re-optimization with the MPC. Watch the realized
+// prices: the greedy policy's allocation swings show up as extra price
+// movement in whichever region it piles into.
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "core/paper.hpp"
+#include "core/simulation.hpp"
+#include "market/stochastic_price.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace gridctl;
+
+  // Three small regional markets: the fleet's ~10-20 MW draw is a
+  // noticeable fraction of capacity, so demand moves prices.
+  std::vector<market::RegionMarketConfig> regions(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    regions[r].stack.capacity_w = 60e6;
+    regions[r].base_demand_w = 30e6;
+    regions[r].stack.price_floor = 10.0 + 4.0 * static_cast<double>(r);
+    regions[r].noise.volatility = 0.2;
+  }
+
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/60.0);
+  scenario.prices =
+      std::make_shared<market::StochasticBidPrice>(regions, /*seed=*/99);
+  scenario.start_time_s = 0.0;
+  scenario.duration_s = 12.0 * 3600.0;
+
+  core::OptimalPolicy greedy(scenario.idcs, 5, scenario.controller.cost_basis);
+  core::MpcPolicy control(core::CostController::Config{
+      scenario.idcs, 5, {}, scenario.controller});
+
+  const auto greedy_run = core::run_simulation(scenario, greedy);
+  const auto control_run = core::run_simulation(scenario, control);
+
+  std::printf("12 h under an endogenous (demand-responsive) market\n\n");
+  std::printf("hourly prices seen by each policy ($/MWh, region 0):\n");
+  std::printf("%-6s  %10s  %10s\n", "hour", "greedy", "control");
+  const auto& time = control_run.trace.time_s;
+  for (std::size_t k = 0; k < time.size(); k += 60) {
+    std::printf("%-6.1f  %10.2f  %10.2f\n", time[k] / 3600.0,
+                greedy_run.trace.price_per_mwh[0][k],
+                control_run.trace.price_per_mwh[0][k]);
+  }
+
+  auto swing = [](const core::SimulationResult& r) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      total += core::volatility(r.trace.idc_load_rps[j]).mean_abs_step;
+    }
+    return total;
+  };
+  std::printf("\nmean per-step allocation swing: greedy %.0f req/s, "
+              "control %.0f req/s\n",
+              swing(greedy_run), swing(control_run));
+  std::printf("total cost: greedy $%.0f, control $%.0f\n",
+              greedy_run.summary.total_cost_dollars,
+              control_run.summary.total_cost_dollars);
+  std::printf("fleet power volatility (mean |dP| per min): greedy %.3f MW, "
+              "control %.3f MW\n",
+              units::watts_to_mw(
+                  greedy_run.summary.total_volatility.mean_abs_step),
+              units::watts_to_mw(
+                  control_run.summary.total_volatility.mean_abs_step));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: run the paper's smoothing experiment (Fig. 4) with both
+// policies and print the per-IDC power trajectories.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/paper.hpp"
+#include "core/simulation.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace gridctl;
+
+  // The paper's Sec. V setup: 5 portals, 3 IDCs (Michigan, Minnesota,
+  // Wisconsin), constant Table I workload, the 6H->7H price step.
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/10.0);
+
+  core::MpcPolicy control(core::CostController::Config{
+      scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
+      scenario.controller});
+  core::OptimalPolicy optimal(scenario.idcs, scenario.num_portals(),
+                              scenario.controller.cost_basis);
+
+  const auto controlled = core::run_simulation(scenario, control);
+  const auto baseline = core::run_simulation(scenario, optimal);
+
+  std::printf("time_min  ");
+  for (const char* name : {"MI", "MN", "WI"}) {
+    std::printf("ctl_%s_MW  opt_%s_MW  ", name, name);
+  }
+  std::printf("\n");
+  for (std::size_t k = 0; k < controlled.trace.time_s.size(); ++k) {
+    if (k % 3 != 0) continue;  // print every 30 s
+    std::printf("%7.1f  ", controlled.trace.time_s[k] / 60.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+      std::printf("%9.3f  %9.3f  ",
+                  units::watts_to_mw(controlled.trace.power_w[j][k]),
+                  units::watts_to_mw(baseline.trace.power_w[j][k]));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nsummary (10 min window):\n");
+  std::printf("  control: cost $%.2f, fleet volatility %.4f MW/step\n",
+              controlled.summary.total_cost_dollars,
+              units::watts_to_mw(
+                  controlled.summary.total_volatility.mean_abs_step));
+  std::printf("  optimal: cost $%.2f, fleet volatility %.4f MW/step\n",
+              baseline.summary.total_cost_dollars,
+              units::watts_to_mw(
+                  baseline.summary.total_volatility.mean_abs_step));
+  for (std::size_t j = 0; j < 3; ++j) {
+    std::printf("  IDC %zu: control mean |dP| %.4f MW, optimal %.4f MW\n", j,
+                units::watts_to_mw(
+                    controlled.summary.idcs[j].volatility.mean_abs_step),
+                units::watts_to_mw(
+                    baseline.summary.idcs[j].volatility.mean_abs_step));
+  }
+  return 0;
+}

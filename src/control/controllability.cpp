@@ -1,0 +1,39 @@
+#include "control/controllability.hpp"
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::control {
+
+using linalg::Matrix;
+
+Matrix controllability_matrix(const Matrix& a, const Matrix& b) {
+  require(a.square(), "controllability_matrix: A must be square");
+  require(a.rows() == b.rows(), "controllability_matrix: A/B mismatch");
+  const std::size_t n = a.rows();
+  Matrix result(n, n * b.cols());
+  Matrix power_b = b;  // A^k B
+  for (std::size_t k = 0; k < n; ++k) {
+    result.set_block(0, k * b.cols(), power_b);
+    if (k + 1 < n) power_b = a * power_b;
+  }
+  return result;
+}
+
+bool is_controllable(const Matrix& a, const Matrix& b, double tol) {
+  return linalg::rank(controllability_matrix(a, b), tol) == a.rows();
+}
+
+bool sleep_controllable(const std::vector<datacenter::IdcConfig>& idcs,
+                        const std::vector<double>& portal_demands) {
+  double capacity = 0.0;
+  for (const auto& idc : idcs) capacity += idc.max_capacity();
+  double demand = 0.0;
+  for (double load : portal_demands) {
+    require(load >= 0.0, "sleep_controllable: negative demand");
+    demand += load;
+  }
+  return demand <= capacity;
+}
+
+}  // namespace gridctl::control

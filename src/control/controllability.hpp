@@ -1,0 +1,31 @@
+// Feasibility checks the paper states before designing the controller
+// (Sec. IV-C).
+//
+// 1. Workload-loop controllability: Kalman rank of [B, AB, …, A^{n-1}B]
+//    must equal the state dimension. For the paper's model this holds
+//    whenever every Pr_j > 0 and b1 > 0.
+// 2. Sleep (ON/OFF) controllability: the arriving workload must fit
+//    under the summed per-IDC capacity at full power-on with the latency
+//    bound met:  sum_i L_i <= sum_j lambda_bar_j.
+#pragma once
+
+#include <vector>
+
+#include "control/state_space.hpp"
+#include "datacenter/idc.hpp"
+
+namespace gridctl::control {
+
+// Kalman controllability matrix [B, AB, A²B, …, A^{n-1}B].
+linalg::Matrix controllability_matrix(const linalg::Matrix& a,
+                                      const linalg::Matrix& b);
+
+bool is_controllable(const linalg::Matrix& a, const linalg::Matrix& b,
+                     double tol = 1e-9);
+
+// Sleep controllability: can the fleet absorb `portal_demands` at full
+// power-on within each IDC's latency bound?
+bool sleep_controllable(const std::vector<datacenter::IdcConfig>& idcs,
+                        const std::vector<double>& portal_demands);
+
+}  // namespace gridctl::control

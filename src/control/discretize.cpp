@@ -1,0 +1,22 @@
+#include "control/discretize.hpp"
+
+#include "linalg/expm.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::control {
+
+DiscreteModel discretize(const StateSpace& ss, double sampling_period_s) {
+  require(sampling_period_s > 0.0, "discretize: Ts must be positive");
+  // One augmented exponential handles both input matrices: stack [B F].
+  const linalg::Matrix bf = linalg::hstack(ss.b, ss.f);
+  const auto zoh = linalg::zoh_discretize(ss.a, bf, sampling_period_s);
+  DiscreteModel d;
+  d.phi = zoh.phi;
+  d.g = zoh.gamma.block(0, 0, ss.num_states(), ss.num_inputs());
+  d.gamma = zoh.gamma.block(0, ss.num_inputs(), ss.num_states(), ss.num_idcs());
+  d.w = ss.w;
+  d.ts = sampling_period_s;
+  return d;
+}
+
+}  // namespace gridctl::control

@@ -1,0 +1,27 @@
+// ZOH discretization of the continuous model (paper eq. 21–25):
+//
+//   X(k) = Phi X(k-1) + G U(k-1) + Gamma V(k-1)
+//
+//   Phi   = e^{A Ts}
+//   G     = ∫₀^Ts e^{As} ds · B
+//   Gamma = ∫₀^Ts e^{As} ds · F
+//
+// computed exactly through the augmented matrix exponential.
+#pragma once
+
+#include "control/state_space.hpp"
+#include "linalg/matrix.hpp"
+
+namespace gridctl::control {
+
+struct DiscreteModel {
+  linalg::Matrix phi;    // n x n
+  linalg::Matrix g;      // n x (N C)
+  linalg::Matrix gamma;  // n x N
+  linalg::Matrix w;      // output selector, carried over
+  double ts = 0.0;
+};
+
+DiscreteModel discretize(const StateSpace& ss, double sampling_period_s);
+
+}  // namespace gridctl::control

@@ -1,0 +1,89 @@
+#include "control/mpc.hpp"
+
+#include "util/error.hpp"
+
+namespace gridctl::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+MpcController::MpcController(MpcPlant plant, MpcConfig config)
+    : plant_(std::move(plant)), config_(std::move(config)) {
+  plant_.validate();
+  config_.horizons.validate();
+  require(config_.weights.q.size() == plant_.num_outputs(),
+          "MpcController: Q weight size mismatch");
+  require(config_.weights.r.size() == plant_.num_inputs(),
+          "MpcController: R weight size mismatch");
+  config_.constraints.validate(plant_.num_inputs());
+}
+
+void MpcController::set_constraints(InputConstraints constraints) {
+  constraints.validate(plant_.num_inputs());
+  config_.constraints = std::move(constraints);
+}
+
+MpcResult MpcController::step(const MpcStep& input) {
+  const std::size_t m = plant_.num_inputs();
+  const std::size_t p = plant_.num_outputs();
+  const std::size_t b1 = config_.horizons.prediction;
+  const std::size_t b2 = config_.horizons.control;
+  require(input.u_prev.size() == m, "MpcController: u_prev size mismatch");
+  require(!input.references.empty(), "MpcController: no references");
+  for (const auto& r : input.references) {
+    require(r.size() == p, "MpcController: reference size mismatch");
+  }
+
+  const StackedPrediction prediction =
+      build_prediction(plant_, config_.horizons, input.x, input.u_prev);
+
+  // Least-squares residual: sqrt(Q)·(theta ΔU + constant - r_stack).
+  solvers::ConstrainedLsqProblem lsq;
+  lsq.f = prediction.theta;
+  lsq.g.assign(p * b1, 0.0);
+  lsq.w.assign(p * b1, 0.0);
+  for (std::size_t s = 0; s < b1; ++s) {
+    const Vector& ref = input.references.size() == 1
+                            ? input.references[0]
+                            : input.references[std::min(
+                                  s, input.references.size() - 1)];
+    for (std::size_t i = 0; i < p; ++i) {
+      lsq.g[s * p + i] = ref[i] - prediction.constant[s * p + i];
+      lsq.w[s * p + i] = config_.weights.q[i];
+    }
+  }
+  lsq.r.assign(m * b2, 0.0);
+  for (std::size_t t = 0; t < b2; ++t) {
+    for (std::size_t j = 0; j < m; ++j) {
+      lsq.r[t * m + j] = config_.weights.r[j];
+    }
+  }
+
+  const StackedConstraints stacked =
+      stack_constraints(config_.constraints, input.u_prev, b2);
+  lsq.a_eq = stacked.a_eq;
+  lsq.b_eq = stacked.b_eq;
+  lsq.a_in = stacked.a_in;
+  lsq.lower = stacked.lower;
+  lsq.upper = stacked.upper;
+
+  const Vector warm = warm_start_.size() == m * b2 ? warm_start_ : Vector{};
+  const auto solved = solve_constrained_lsq(lsq, config_.backend, warm);
+
+  MpcResult result;
+  result.status = solved.status;
+  result.objective = solved.objective;
+  result.solver_iterations = solved.iterations;
+  result.delta_u.assign(solved.x.begin(),
+                        solved.x.begin() + static_cast<std::ptrdiff_t>(m));
+  result.u = linalg::add(input.u_prev, result.delta_u);
+  // First predicted output under the solved move sequence.
+  const Vector y_stack = linalg::add(prediction.theta * solved.x,
+                                     prediction.constant);
+  result.predicted_y.assign(y_stack.begin(),
+                            y_stack.begin() + static_cast<std::ptrdiff_t>(p));
+  warm_start_ = solved.x;
+  return result;
+}
+
+}  // namespace gridctl::control

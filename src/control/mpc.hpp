@@ -1,0 +1,79 @@
+// The constrained MPC controller (paper Sec. IV-C, eq. 37 and 42–45).
+//
+// Each step minimizes
+//
+//   J = Σ_{s=1..β1} || Y_s − r_s ||²_Q + Σ_{τ=0..β2-1} || ΔU_τ ||²_R
+//
+// over the stacked input moves, subject to the per-step input
+// constraints, by transforming to a constrained least-squares problem
+// and solving it with the QP layer. The R term is the power-demand
+// smoothing mechanism: it prices every change of the workload
+// allocation, so the closed loop ramps instead of jumping. Peak shaving
+// happens one level up, in the references fed to `step` (clamped to the
+// power budget by the reference optimizer).
+#pragma once
+
+#include <optional>
+
+#include "control/constraints.hpp"
+#include "control/prediction.hpp"
+#include "solvers/lsq.hpp"
+
+namespace gridctl::control {
+
+struct MpcWeights {
+  // Per-output tracking weights (replicated across the prediction
+  // horizon) and per-input move penalties (replicated across the control
+  // horizon). Larger r/q ratio = smoother, slower tracking.
+  linalg::Vector q;
+  linalg::Vector r;
+};
+
+struct MpcConfig {
+  MpcHorizons horizons;
+  MpcWeights weights;
+  InputConstraints constraints;
+  solvers::LsqBackend backend = solvers::LsqBackend::kAdmm;
+};
+
+struct MpcStep {
+  // Plant state at time k (empty for stateless plants) and the input
+  // applied during the previous period.
+  linalg::Vector x;
+  linalg::Vector u_prev;
+  // Reference trajectory: references[s-1] is r(k+s), s = 1..β1. If only
+  // one entry is supplied it is held constant across the horizon.
+  std::vector<linalg::Vector> references;
+};
+
+struct MpcResult {
+  solvers::QpStatus status = solvers::QpStatus::kMaxIterations;
+  linalg::Vector u;            // U(k) = u_prev + ΔU_0, the applied input
+  linalg::Vector delta_u;      // ΔU_0
+  linalg::Vector predicted_y;  // Y_1 under the returned input
+  double objective = 0.0;
+  std::size_t solver_iterations = 0;
+};
+
+class MpcController {
+ public:
+  MpcController(MpcPlant plant, MpcConfig config);
+
+  MpcResult step(const MpcStep& input);
+
+  // Replace the per-step input constraints (the conservation right-hand
+  // side tracks the live workload). Invalidates the warm start when the
+  // constraint dimensions change.
+  void set_constraints(InputConstraints constraints);
+
+  const MpcPlant& plant() const { return plant_; }
+  MpcPlant& mutable_plant() { return plant_; }
+  const MpcConfig& config() const { return config_; }
+
+ private:
+  MpcPlant plant_;
+  MpcConfig config_;
+  linalg::Vector warm_start_;  // previous stacked move solution
+};
+
+}  // namespace gridctl::control

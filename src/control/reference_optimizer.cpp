@@ -1,0 +1,225 @@
+#include "control/reference_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "datacenter/latency.hpp"
+#include "solvers/lp_simplex.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace gridctl::control {
+
+using datacenter::Allocation;
+using datacenter::IdcConfig;
+using linalg::Matrix;
+using linalg::Vector;
+
+double load_cap_for_capacity(const IdcConfig& idc) {
+  return datacenter::capacity_for_latency(
+      idc.max_servers, idc.power.service_rate, idc.latency_bound_s);
+}
+
+double load_cap_for_budget(const IdcConfig& idc, double budget_w) {
+  if (!std::isfinite(budget_w)) return load_cap_for_capacity(idc);
+  const double mu = idc.power.service_rate;
+  const double b0 = idc.power.idle_w;
+  const double b1 = idc.power.watts_per_rps();
+  // With m = lambda/mu + 1/(mu D) (continuous eq. 35):
+  //   P = b1 lambda + b0 m = (b1 + b0/mu) lambda + b0 / (mu D)
+  const double fixed = b0 / (mu * idc.latency_bound_s);
+  const double slope = b1 + b0 / mu;
+  const double cap = (budget_w - fixed) / slope;
+  return std::clamp(cap, 0.0, load_cap_for_capacity(idc));
+}
+
+namespace {
+
+// Transportation LP over lambda_ij (portal-major flattening):
+//   min sum_ij Pr_j (b1_j + b0_j/mu_j) lambda_ij
+//   s.t. sum_j lambda_ij = L_i          (portal conservation)
+//        sum_i lambda_ij <= cap_j        (per-IDC load cap)
+//        lambda >= 0
+solvers::LpResult solve_allocation_lp(const ReferenceProblem& problem,
+                                      const std::vector<double>& caps) {
+  const std::size_t n = problem.idcs.size();
+  const std::size_t c = problem.portal_demands.size();
+  solvers::LpProblem lp;
+  lp.c.assign(n * c, 0.0);
+  for (std::size_t i = 0; i < c; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto& idc = problem.idcs[j];
+      const double per_rps =
+          problem.basis == CostBasis::kPowerIntegral
+              ? idc.power.watts_per_rps() +
+                    idc.power.idle_w / idc.power.service_rate
+              : 1.0;
+      lp.c[i * n + j] = problem.prices[j] * per_rps;
+    }
+  }
+  lp.a_eq = Matrix(c, n * c);
+  lp.b_eq.assign(c, 0.0);
+  for (std::size_t i = 0; i < c; ++i) {
+    for (std::size_t j = 0; j < n; ++j) lp.a_eq(i, i * n + j) = 1.0;
+    lp.b_eq[i] = problem.portal_demands[i];
+  }
+  lp.a_ub = Matrix(n, n * c);
+  lp.b_ub.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < c; ++i) lp.a_ub(j, i * n + j) = 1.0;
+    lp.b_ub[j] = caps[j];
+  }
+  return solvers::solve_lp(lp);
+}
+
+}  // namespace
+
+ReferenceSolution solve_reference(const ReferenceProblem& problem) {
+  const std::size_t n = problem.idcs.size();
+  const std::size_t c = problem.portal_demands.size();
+  require(n > 0, "solve_reference: need at least one IDC");
+  require(c > 0, "solve_reference: need at least one portal");
+  require(problem.prices.size() == n, "solve_reference: price size mismatch");
+  require(problem.power_budgets_w.empty() || problem.power_budgets_w.size() == n,
+          "solve_reference: budget size mismatch");
+  for (const auto& idc : problem.idcs) idc.validate();
+  for (double demand : problem.portal_demands) {
+    require(demand >= 0.0, "solve_reference: negative demand");
+  }
+
+  const auto budget = [&](std::size_t j) {
+    return problem.power_budgets_w.empty()
+               ? std::numeric_limits<double>::infinity()
+               : problem.power_budgets_w[j];
+  };
+
+  std::vector<double> caps(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    caps[j] = load_cap_for_budget(problem.idcs[j], budget(j));
+  }
+
+  ReferenceSolution solution;
+  auto lp_result = solve_allocation_lp(problem, caps);
+  if (lp_result.status != solvers::LpStatus::kOptimal) {
+    // Budgets too tight for the demand: serve the workload anyway
+    // (availability beats the budget) and report the relaxation.
+    for (std::size_t j = 0; j < n; ++j) {
+      caps[j] = load_cap_for_capacity(problem.idcs[j]);
+    }
+    lp_result = solve_allocation_lp(problem, caps);
+    if (lp_result.status != solvers::LpStatus::kOptimal) {
+      solution.feasible = false;  // demand exceeds fleet capacity
+      return solution;
+    }
+    solution.budgets_relaxed = true;
+  }
+
+  solution.feasible = true;
+  solution.allocation = Allocation::unflatten(lp_result.x, c, n);
+  solution.idc_loads = solution.allocation.idc_loads();
+  solution.servers.resize(n);
+  solution.power_w.resize(n);
+  solution.reference_power_w.resize(n);
+  double cost_rate_w_price = 0.0;  // watts x $/MWh
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& idc = problem.idcs[j];
+    const std::size_t m = std::min(
+        datacenter::servers_for_latency(solution.idc_loads[j],
+                                        idc.power.service_rate,
+                                        idc.latency_bound_s),
+        idc.max_servers);
+    solution.servers[j] = m;
+    solution.power_w[j] = idc.power.idc_power(solution.idc_loads[j], m);
+    solution.reference_power_w[j] = std::min(solution.power_w[j], budget(j));
+    cost_rate_w_price += problem.prices[j] * solution.power_w[j];
+  }
+  // watts * $/MWh -> $/h: P[W] x 1h = P/1e6 MWh.
+  solution.cost_rate_per_hour = cost_rate_w_price / units::kWattsPerMegawatt;
+  return solution;
+}
+
+GreenReferenceSolution solve_green_reference(
+    const GreenReferenceProblem& problem) {
+  const std::size_t n = problem.idcs.size();
+  const std::size_t c = problem.portal_demands.size();
+  require(n > 0 && c > 0, "solve_green_reference: empty problem");
+  require(problem.prices.size() == n && problem.renewable_w.size() == n,
+          "solve_green_reference: per-IDC vector size mismatch");
+  for (const auto& idc : problem.idcs) idc.validate();
+  for (double renewable : problem.renewable_w) {
+    require(renewable >= 0.0, "solve_green_reference: negative renewables");
+  }
+
+  // Variables: [lambda_ij (portal-major, n*c) | g_j (n)].
+  const std::size_t num_vars = n * c + n;
+  solvers::LpProblem lp;
+  lp.c.assign(num_vars, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    require(problem.prices[j] >= 0.0,
+            "solve_green_reference: negative prices make the brown-power "
+            "epigraph unbounded; use solve_reference for negative LMPs");
+    lp.c[n * c + j] = problem.prices[j];
+  }
+
+  lp.a_eq = Matrix(c, num_vars);
+  lp.b_eq.assign(c, 0.0);
+  for (std::size_t i = 0; i < c; ++i) {
+    for (std::size_t j = 0; j < n; ++j) lp.a_eq(i, i * n + j) = 1.0;
+    lp.b_eq[i] = problem.portal_demands[i];
+  }
+
+  // Rows: capacity caps (n) + brown-power epigraph (n).
+  lp.a_ub = Matrix(2 * n, num_vars);
+  lp.b_ub.assign(2 * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& idc = problem.idcs[j];
+    for (std::size_t i = 0; i < c; ++i) lp.a_ub(j, i * n + j) = 1.0;
+    lp.b_ub[j] = load_cap_for_capacity(idc);
+
+    // slope * lambda_j - g_j <= renewable_j - fixed_j.
+    const double slope = idc.power.watts_per_rps() +
+                         idc.power.idle_w / idc.power.service_rate;
+    const double fixed =
+        idc.power.idle_w / (idc.power.service_rate * idc.latency_bound_s);
+    for (std::size_t i = 0; i < c; ++i) lp.a_ub(n + j, i * n + j) = slope;
+    lp.a_ub(n + j, n * c + j) = -1.0;
+    lp.b_ub[n + j] = problem.renewable_w[j] - fixed;
+  }
+
+  const auto lp_result = solvers::solve_lp(lp);
+  GreenReferenceSolution solution;
+  if (lp_result.status != solvers::LpStatus::kOptimal) return solution;
+
+  solution.feasible = true;
+  linalg::Vector lambda(lp_result.x.begin(),
+                        lp_result.x.begin() +
+                            static_cast<std::ptrdiff_t>(n * c));
+  solution.allocation = Allocation::unflatten(lambda, c, n);
+  solution.idc_loads = solution.allocation.idc_loads();
+  solution.servers.resize(n);
+  solution.power_w.resize(n);
+  solution.brown_power_w.resize(n);
+  double brown_cost = 0.0, total_power = 0.0, brown_power = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& idc = problem.idcs[j];
+    solution.servers[j] = std::min(
+        datacenter::servers_for_latency(solution.idc_loads[j],
+                                        idc.power.service_rate,
+                                        idc.latency_bound_s),
+        idc.max_servers);
+    solution.power_w[j] =
+        idc.power.idc_power(solution.idc_loads[j], solution.servers[j]);
+    solution.brown_power_w[j] =
+        std::max(0.0, solution.power_w[j] - problem.renewable_w[j]);
+    brown_cost += problem.prices[j] * solution.brown_power_w[j];
+    total_power += solution.power_w[j];
+    brown_power += solution.brown_power_w[j];
+  }
+  solution.brown_cost_rate_per_hour = brown_cost / units::kWattsPerMegawatt;
+  solution.brown_energy_fraction =
+      total_power > 0.0 ? brown_power / total_power : 0.0;
+  return solution;
+}
+
+}  // namespace gridctl::control

@@ -1,0 +1,76 @@
+#include "control/stability.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::control {
+
+using linalg::Vector;
+
+ContractionEstimate estimate_contraction(const MpcPlant& plant,
+                                         const MpcConfig& config,
+                                         const MpcStep& step_a,
+                                         const MpcStep& step_b) {
+  require(step_a.u_prev.size() == step_b.u_prev.size(),
+          "estimate_contraction: input size mismatch");
+  const double separation =
+      linalg::norm_inf(linalg::sub(step_a.u_prev, step_b.u_prev));
+  require(separation > 0.0,
+          "estimate_contraction: start points must differ");
+  // Fresh controllers so warm starts cannot couple the evaluations.
+  MpcController controller_a(plant, config);
+  MpcController controller_b(plant, config);
+  const Vector u_a = controller_a.step(step_a).u;
+  const Vector u_b = controller_b.step(step_b).u;
+  ContractionEstimate estimate;
+  estimate.ratio = linalg::norm_inf(linalg::sub(u_a, u_b)) / separation;
+  estimate.contraction = estimate.ratio < 1.0;
+  return estimate;
+}
+
+ConvergenceReport verify_convergence(const MpcPlant& plant,
+                                     const MpcConfig& config,
+                                     const Vector& x, const Vector& u0,
+                                     const std::vector<Vector>& refs,
+                                     std::size_t max_steps, double tol) {
+  MpcController controller(plant, config);
+  ConvergenceReport report;
+  Vector u = u0;
+
+  // Find the fixed point first by iterating to convergence, then replay
+  // from u0 measuring the per-step distance ratio to it.
+  Vector u_star = u0;
+  for (std::size_t k = 0; k < max_steps; ++k) {
+    MpcStep step{x, u_star, refs};
+    const Vector next = controller.step(step).u;
+    if (linalg::norm_inf(linalg::sub(next, u_star)) < tol) {
+      u_star = next;
+      break;
+    }
+    u_star = next;
+  }
+
+  MpcController replay(plant, config);
+  double prev_dist = linalg::norm_inf(linalg::sub(u, u_star));
+  for (std::size_t k = 0; k < max_steps; ++k) {
+    MpcStep step{x, u, refs};
+    const Vector next = replay.step(step).u;
+    const double dist = linalg::norm_inf(linalg::sub(next, u_star));
+    if (prev_dist > tol) {
+      report.worst_step_ratio =
+          std::max(report.worst_step_ratio, dist / prev_dist);
+    }
+    const double moved = linalg::norm_inf(linalg::sub(next, u));
+    u = next;
+    prev_dist = dist;
+    if (moved < tol) {
+      report.converged = true;
+      report.steps_to_converge = k + 1;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace gridctl::control

@@ -1,0 +1,49 @@
+// Empirical closed-loop stability evidence (paper Sec. IV-E).
+//
+// The paper appeals to Mayne et al. 2000: a constrained MPC closed loop
+// is stable when the underlying iteration is a contraction. For the
+// workload-allocation loop the relevant map takes the previous input
+// U(k-1) to the applied input U(k) at fixed references and constraints;
+// `estimate_contraction` measures the Lipschitz ratio of that map along
+// the segment between two start points, and `verify_convergence` runs
+// the loop and reports geometric approach to the reference fixed point.
+#pragma once
+
+#include "control/mpc.hpp"
+
+namespace gridctl::control {
+
+struct ContractionEstimate {
+  // ||F(u_a) - F(u_b)|| / ||u_a - u_b|| in the infinity norm; < 1 means
+  // the two trajectories approach each other after one step.
+  double ratio = 0.0;
+  bool contraction = false;
+};
+
+// One-step Lipschitz ratio of the MPC input map between two previous
+// inputs (both must satisfy the per-step constraints). `references` and
+// `x` as in MpcStep; the controller's warm start is bypassed so the two
+// evaluations are independent.
+ContractionEstimate estimate_contraction(const MpcPlant& plant,
+                                         const MpcConfig& config,
+                                         const MpcStep& step_a,
+                                         const MpcStep& step_b);
+
+struct ConvergenceReport {
+  bool converged = false;
+  std::size_t steps_to_converge = 0;
+  // max over consecutive steps of ||u(k+1) - u*|| / ||u(k) - u*||.
+  double worst_step_ratio = 0.0;
+};
+
+// Iterate the closed loop from `u0` under constant references until the
+// input settles (||du|| < tol) or `max_steps` elapse.
+ConvergenceReport verify_convergence(const MpcPlant& plant,
+                                     const MpcConfig& config,
+                                     const linalg::Vector& x,
+                                     const linalg::Vector& u0,
+                                     const std::vector<linalg::Vector>& refs,
+                                     std::size_t max_steps = 200,
+                                     double tol = 1e-6);
+
+}  // namespace gridctl::control

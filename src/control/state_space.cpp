@@ -1,0 +1,44 @@
+#include "control/state_space.hpp"
+
+#include "util/error.hpp"
+
+namespace gridctl::control {
+
+using linalg::Matrix;
+
+StateSpace build_paper_model(const std::vector<double>& prices,
+                             const std::vector<double>& b1,
+                             const std::vector<double>& b0,
+                             std::size_t portals) {
+  const std::size_t n = prices.size();
+  require(n > 0, "build_paper_model: need at least one IDC");
+  require(b1.size() == n && b0.size() == n,
+          "build_paper_model: coefficient size mismatch");
+  require(portals > 0, "build_paper_model: need at least one portal");
+
+  StateSpace ss;
+  // A: first row [0, Pr_1 … Pr_N], zero elsewhere — cost integrates the
+  // price-weighted energy rates.
+  ss.a = Matrix(n + 1, n + 1);
+  for (std::size_t j = 0; j < n; ++j) ss.a(0, j + 1) = prices[j];
+
+  // B: row j+1 has b1_j over the C inputs that feed IDC j. Portal-major
+  // input layout: u[i*N + j] = lambda_ij.
+  ss.b = Matrix(n + 1, n * portals);
+  for (std::size_t i = 0; i < portals; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ss.b(j + 1, i * n + j) = b1[j];
+    }
+  }
+
+  // F: row j+1, column j carries b0_j (idle power of ON servers).
+  ss.f = Matrix(n + 1, n);
+  for (std::size_t j = 0; j < n; ++j) ss.f(j + 1, j) = b0[j];
+
+  // W selects the cost state.
+  ss.w = Matrix(1, n + 1);
+  ss.w(0, 0) = 1.0;
+  return ss;
+}
+
+}  // namespace gridctl::control

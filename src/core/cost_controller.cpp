@@ -1,0 +1,293 @@
+#include "core/cost_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::core {
+
+using control::InputConstraints;
+using control::MpcPlant;
+using datacenter::Allocation;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+// Internal normalization: the QP works in megawatts and kilo-req/s so
+// tracking residuals, move penalties and constraint rows are all O(1) —
+// watts against req/s would spread 11 orders of magnitude across the
+// Hessian and stall the iterative solver.
+constexpr double kRpsScale = 1e3;   // 1 input unit = 1000 req/s
+constexpr double kPowerScale = 1e6; // 1 output unit = 1 MW
+
+}  // namespace
+
+void CostController::Config::validate() const {
+  require(!idcs.empty(), "CostController: need at least one IDC");
+  require(portals > 0, "CostController: need at least one portal");
+  for (const auto& idc : idcs) idc.validate();
+  require(power_budgets_w.empty() || power_budgets_w.size() == idcs.size(),
+          "CostController: budget size mismatch");
+  params.horizons.validate();
+  require(params.q_weight > 0.0, "CostController: q_weight must be positive");
+  require(params.r_weight >= 0.0, "CostController: r_weight must be >= 0");
+}
+
+CostController::CostController(Config config)
+    : config_(std::move(config)),
+      sleep_(config_.idcs, config_.params.sleep),
+      allocation_(config_.portals == 0 ? 1 : config_.portals,
+                  config_.idcs.empty() ? 1 : config_.idcs.size()),
+      servers_(config_.idcs.size(), 0) {
+  config_.validate();
+  if (config_.params.predict_workload) {
+    predictors_.assign(config_.portals,
+                       workload::ArPredictor(config_.params.ar_order));
+  }
+  control::MpcConfig mpc_config;
+  mpc_config.horizons = config_.params.horizons;
+  mpc_config.weights.q.assign(config_.idcs.size(), config_.params.q_weight);
+  mpc_config.weights.r.assign(config_.portals * config_.idcs.size(),
+                              config_.params.r_weight);
+  mpc_config.backend = config_.params.backend;
+  // Constraints are installed per step (the conservation right-hand side
+  // follows the live workload).
+  mpc_config.constraints.h_eq =
+      control::conservation_matrix(config_.portals, config_.idcs.size());
+  mpc_config.constraints.h_rhs.assign(config_.portals, 0.0);
+  mpc_config.constraints.a_in =
+      control::idc_load_matrix(config_.portals, config_.idcs.size());
+  mpc_config.constraints.in_lower.assign(config_.idcs.size(), 0.0);
+  mpc_config.constraints.in_upper.assign(config_.idcs.size(), 0.0);
+  mpc_ = std::make_unique<control::MpcController>(build_plant(),
+                                                  std::move(mpc_config));
+}
+
+MpcPlant CostController::build_plant() const {
+  const std::size_t n = config_.idcs.size();
+  const std::size_t c = config_.portals;
+  MpcPlant plant;
+  // Stateless power-tracking plant: the tracked output is per-IDC power
+  // *after the slow loop reacts*, i.e. with the continuous eq.-35 server
+  // count m(lambda) = lambda/mu + 1/(mu D):
+  //   P_j = (b1_j + b0_j/mu_j) lambda_j + b0_j / (mu_j D_j).
+  plant.c_u = Matrix(n, n * c);
+  plant.y0.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& idc = config_.idcs[j];
+    const double slope_w_per_rps = idc.power.watts_per_rps() +
+                                   idc.power.idle_w / idc.power.service_rate;
+    const double slope = slope_w_per_rps * kRpsScale / kPowerScale;
+    for (std::size_t i = 0; i < c; ++i) plant.c_u(j, i * n + j) = slope;
+    plant.y0[j] = idc.power.idle_w /
+                  (idc.power.service_rate * idc.latency_bound_s) /
+                  kPowerScale;
+  }
+  return plant;
+}
+
+InputConstraints CostController::build_constraints(
+    const std::vector<double>& portal_demands) const {
+  const std::size_t n = config_.idcs.size();
+  InputConstraints constraints;
+  constraints.h_eq =
+      control::conservation_matrix(config_.portals, n);
+  constraints.h_rhs = linalg::scale(1.0 / kRpsScale, portal_demands);
+  constraints.a_in = control::idc_load_matrix(config_.portals, n);
+  constraints.in_lower.assign(n, 0.0);
+  constraints.in_upper.assign(n, 0.0);
+
+  // Per-IDC load caps. Default (paper-faithful): capacity caps only —
+  // budgets act through the clamped references, so compliance is
+  // approached smoothly. With budget_hard_constraints, budget-derived
+  // caps are enforced when they are jointly feasible for the demand
+  // (serve the workload first, report the violation otherwise — matches
+  // the reference optimizer's fallback).
+  std::vector<double> caps(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    caps[j] = control::load_cap_for_capacity(config_.idcs[j]);
+  }
+  if (config_.params.budget_hard_constraints &&
+      !config_.power_budgets_w.empty()) {
+    double total_demand = 0.0;
+    for (double demand : portal_demands) total_demand += demand;
+    double total_cap = 0.0;
+    std::vector<double> budget_caps(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      budget_caps[j] = control::load_cap_for_budget(
+          config_.idcs[j], config_.power_budgets_w[j]);
+      total_cap += budget_caps[j];
+    }
+    if (total_cap >= total_demand) caps = std::move(budget_caps);
+  }
+  constraints.in_upper = linalg::scale(1.0 / kRpsScale, caps);
+  constraints.nonnegative = true;
+  return constraints;
+}
+
+CostController::Decision CostController::step(
+    const std::vector<double>& prices,
+    const std::vector<double>& portal_demands) {
+  return step(prices, portal_demands, {});
+}
+
+CostController::Decision CostController::step(
+    const std::vector<double>& prices,
+    const std::vector<double>& portal_demands,
+    const std::vector<std::vector<double>>& price_preview) {
+  const std::size_t n = config_.idcs.size();
+  require(prices.size() == n, "CostController: price size mismatch");
+  require(portal_demands.size() == config_.portals,
+          "CostController: demand size mismatch");
+
+  Decision decision;
+
+  // Availability knob: when the offered load exceeds what the fleet can
+  // absorb under the latency bounds, optionally shed proportionally
+  // instead of failing.
+  std::vector<double> served_demands = portal_demands;
+  if (config_.params.allow_load_shedding) {
+    double capacity = 0.0;
+    for (const auto& idc : config_.idcs) capacity += idc.max_capacity();
+    double offered = 0.0;
+    for (double demand : portal_demands) offered += demand;
+    if (offered > capacity) {
+      const double keep = capacity / offered * (1.0 - 1e-9);
+      for (double& demand : served_demands) demand *= keep;
+      decision.shed_fraction = 1.0 - keep;
+    }
+  }
+
+  // Workload prediction feeds the reference optimizer; the conservation
+  // constraint always uses the (possibly shed) measured demand. An AR
+  // extrapolation can overshoot a burst beyond what the fleet can carry,
+  // so predictions are clamped to the serviceable total — the reference
+  // must stay solvable even when the forecast is wrong.
+  decision.predicted_demands = served_demands;
+  if (config_.params.predict_workload) {
+    for (std::size_t i = 0; i < config_.portals; ++i) {
+      predictors_[i].observe(served_demands[i]);
+      decision.predicted_demands[i] = predictors_[i].predict(1);
+    }
+    double fleet_capacity = 0.0;
+    for (const auto& idc : config_.idcs) fleet_capacity += idc.max_capacity();
+    double predicted_total = 0.0;
+    for (double demand : decision.predicted_demands) predicted_total += demand;
+    if (predicted_total > fleet_capacity) {
+      const double keep = fleet_capacity / predicted_total * (1.0 - 1e-9);
+      for (double& demand : decision.predicted_demands) demand *= keep;
+    }
+  }
+
+  // Reference: budget-clamped optimal power (paper Sec. IV-D).
+  control::ReferenceProblem ref_problem;
+  ref_problem.idcs = config_.idcs;
+  ref_problem.prices = prices;
+  ref_problem.portal_demands = decision.predicted_demands;
+  ref_problem.power_budgets_w = config_.power_budgets_w;
+  ref_problem.basis = config_.params.cost_basis;
+  decision.reference = control::solve_reference(ref_problem);
+  require(decision.reference.feasible,
+          "CostController: demand exceeds fleet capacity");
+
+  // Fast loop: MPC tracks the reference power with move penalties.
+  mpc_->set_constraints(build_constraints(served_demands));
+  control::MpcStep step_input;
+  step_input.u_prev = linalg::scale(1.0 / kRpsScale, allocation_.flatten());
+  step_input.references = {
+      linalg::scale(1.0 / kPowerScale, decision.reference.reference_power_w)};
+  const bool trajectory_references =
+      (config_.params.predict_workload && config_.params.reference_trajectory) ||
+      !price_preview.empty();
+  if (trajectory_references) {
+    // Paper Sec. IV-D: references follow the *predicted* workload (and,
+    // when previewed, the future prices) across the horizon — one LP per
+    // prediction step.
+    step_input.references.clear();
+    for (std::size_t s = 1; s <= config_.params.horizons.prediction; ++s) {
+      control::ReferenceProblem ahead = ref_problem;
+      if (config_.params.predict_workload) {
+        for (std::size_t i = 0; i < config_.portals; ++i) {
+          ahead.portal_demands[i] = predictors_[i].predict(s);
+        }
+      }
+      if (!price_preview.empty()) {
+        const auto& row = price_preview[std::min(s - 1,
+                                                 price_preview.size() - 1)];
+        require(row.size() == n,
+                "CostController: price preview row size mismatch");
+        ahead.prices = row;
+      }
+      const auto solution = control::solve_reference(ahead);
+      step_input.references.push_back(linalg::scale(
+          1.0 / kPowerScale, solution.feasible
+                                 ? solution.reference_power_w
+                                 : decision.reference.reference_power_w));
+    }
+  }
+  const control::MpcResult mpc_result = mpc_->step(step_input);
+  decision.mpc_status = mpc_result.status;
+  decision.predicted_power_w =
+      linalg::scale(kPowerScale, mpc_result.predicted_y);
+
+  if (mpc_result.status == solvers::QpStatus::kOptimal) {
+    // The QP enforces U >= 0 and conservation only to its convergence
+    // tolerance; clamp negatives and rescale each portal row so the
+    // conservation invariant holds exactly.
+    Vector u = linalg::scale(kRpsScale, mpc_result.u);
+    for (double& v : u) v = std::max(v, 0.0);
+    for (std::size_t i = 0; i < config_.portals; ++i) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) row_sum += u[i * n + j];
+      if (row_sum > 0.0) {
+        const double factor = served_demands[i] / row_sum;
+        for (std::size_t j = 0; j < n; ++j) u[i * n + j] *= factor;
+      } else if (served_demands[i] > 0.0) {
+        // Degenerate all-zero row: fall back to the reference split.
+        for (std::size_t j = 0; j < n; ++j) {
+          u[i * n + j] = decision.reference.allocation.at(i, j);
+        }
+      }
+    }
+    allocation_ = Allocation::unflatten(u, config_.portals, n);
+  } else {
+    // Defensive fallback: apply the reference allocation directly rather
+    // than an unconverged iterate.
+    allocation_ = decision.reference.allocation;
+  }
+
+  // Slow loop: servers follow the (smoothed) allocation, once every
+  // sleep_every_k_steps fast periods. Off-cycle, the held counts are
+  // only *raised* when the new allocation would otherwise violate the
+  // latency bound (safety overrides the slow-rate schedule).
+  const std::size_t k = std::max<std::size_t>(config_.params.sleep_every_k_steps, 1);
+  if (step_count_ % k == 0) {
+    servers_ = sleep_.step(allocation_.idc_loads(), servers_);
+  } else {
+    const auto loads = allocation_.idc_loads();
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t needed = sleep_.target_servers(j, loads[j]);
+      if (needed > servers_[j]) servers_[j] = needed;
+    }
+  }
+  ++step_count_;
+
+  decision.allocation = allocation_;
+  decision.servers = servers_;
+  return decision;
+}
+
+void CostController::reset_to(const datacenter::Allocation& allocation,
+                              const std::vector<std::size_t>& servers) {
+  require(allocation.portals() == config_.portals &&
+              allocation.idcs() == config_.idcs.size(),
+          "CostController: reset allocation shape mismatch");
+  require(servers.size() == config_.idcs.size(),
+          "CostController: reset servers size mismatch");
+  allocation_ = allocation;
+  servers_ = servers;
+}
+
+}  // namespace gridctl::core

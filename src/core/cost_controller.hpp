@@ -1,0 +1,99 @@
+// Public API facade: the paper's two-time-scale electricity-cost
+// controller.
+//
+//   gridctl::core::CostController controller(config);
+//   auto decision = controller.step(prices, portal_demands);
+//   // apply decision.allocation and decision.servers to the fleet
+//
+// Fast loop (every call): the constrained MPC allocates portal workload
+// across IDCs, tracking the budget-clamped optimal power references
+// while penalizing allocation moves (power-demand smoothing + peak
+// shaving). Slow loop (every call, after allocation): the sleep
+// controller turns servers ON/OFF per eq. (35). Optionally an AR(p)+RLS
+// predictor extrapolates portal demand over the prediction horizon so
+// references anticipate workload drift.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "control/mpc.hpp"
+#include "control/reference_optimizer.hpp"
+#include "control/sleep_controller.hpp"
+#include "core/scenario.hpp"
+#include "datacenter/fleet.hpp"
+#include "workload/predictor.hpp"
+
+namespace gridctl::core {
+
+class CostController {
+ public:
+  struct Config {
+    std::vector<datacenter::IdcConfig> idcs;
+    std::size_t portals = 0;
+    std::vector<double> power_budgets_w;  // empty = unconstrained
+    ControllerParams params;
+
+    void validate() const;
+  };
+
+  struct Decision {
+    datacenter::Allocation allocation{1, 1};
+    std::vector<std::size_t> servers;
+    // Diagnostics.
+    control::ReferenceSolution reference;
+    solvers::QpStatus mpc_status = solvers::QpStatus::kMaxIterations;
+    std::vector<double> predicted_power_w;  // MPC's Y_1
+    std::vector<double> predicted_demands;  // references' workload input
+    // Fraction of offered load shed this period (0 unless the scenario
+    // enables allow_load_shedding and demand exceeded capacity).
+    double shed_fraction = 0.0;
+  };
+
+  explicit CostController(Config config);
+
+  // One control period: `prices[j]` is the current price at IDC j's
+  // region; `portal_demands[i]` the measured portal workload (req/s).
+  Decision step(const std::vector<double>& prices,
+                const std::vector<double>& portal_demands);
+
+  // As above, with a price preview: `price_preview[s][j]` is the
+  // expected price at IDC j during prediction step s+1 (day-ahead
+  // schedules or hourly LMP postings make the next hour known in
+  // practice). References then follow the *future* prices, so the MPC
+  // starts migrating before a known price step instead of reacting to
+  // it. Fewer preview rows than the prediction horizon are extended by
+  // repeating the last row.
+  Decision step(const std::vector<double>& prices,
+                const std::vector<double>& portal_demands,
+                const std::vector<std::vector<double>>& price_preview);
+
+  // Seed the controller state (e.g. with a converged steady state) so an
+  // experiment window starts from a known operating point.
+  void reset_to(const datacenter::Allocation& allocation,
+                const std::vector<std::size_t>& servers);
+
+  // Current applied allocation (U(k-1)); starts at zero.
+  const datacenter::Allocation& current_allocation() const {
+    return allocation_;
+  }
+  const std::vector<std::size_t>& current_servers() const { return servers_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  control::MpcPlant build_plant() const;
+  control::InputConstraints build_constraints(
+      const std::vector<double>& portal_demands) const;
+
+  Config config_;
+  control::SleepController sleep_;
+  datacenter::Allocation allocation_;
+  std::vector<std::size_t> servers_;
+  std::size_t step_count_ = 0;
+  std::vector<workload::ArPredictor> predictors_;
+  std::unique_ptr<control::MpcController> mpc_;
+};
+
+}  // namespace gridctl::core

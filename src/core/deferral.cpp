@@ -1,0 +1,108 @@
+#include "core/deferral.hpp"
+
+#include "solvers/lp_simplex.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace gridctl::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+DeferralPlan plan_deferral(const DeferralProblem& problem) {
+  const std::size_t slots = problem.arrivals_req.size();
+  const std::size_t n = problem.idcs.size();
+  require(slots > 0, "plan_deferral: need at least one slot");
+  require(n > 0, "plan_deferral: need at least one IDC");
+  require(problem.prices.size() == slots &&
+              problem.spare_capacity_rps.size() == slots,
+          "plan_deferral: per-slot input size mismatch");
+  for (std::size_t t = 0; t < slots; ++t) {
+    require(problem.prices[t].size() == n &&
+                problem.spare_capacity_rps[t].size() == n,
+            "plan_deferral: per-IDC input size mismatch");
+    require(problem.arrivals_req[t] >= 0.0,
+            "plan_deferral: negative arrivals");
+  }
+  require(problem.slot_s > 0.0, "plan_deferral: slot length must be positive");
+  for (const auto& idc : problem.idcs) idc.validate();
+
+  // Variable layout: x[t * n + j] = batch rate (req/s) at IDC j, slot t.
+  const std::size_t num_vars = slots * n;
+  solvers::LpProblem lp;
+  lp.c.assign(num_vars, 0.0);
+  for (std::size_t t = 0; t < slots; ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto& idc = problem.idcs[j];
+      // Marginal power of one extra req/s with the slow loop following:
+      // b1 + b0/mu watts (the servers hosting batch work are ON for it).
+      const double slope = idc.power.watts_per_rps() +
+                           idc.power.idle_w / idc.power.service_rate;
+      lp.c[t * n + j] = problem.prices[t][j] *
+                        units::joules_to_mwh(slope * problem.slot_s);
+    }
+  }
+
+  // Cumulative arrivals and cumulative deadline demands.
+  std::vector<double> cum_arrivals(slots, 0.0);
+  std::vector<double> cum_deadline(slots, 0.0);
+  for (std::size_t t = 0; t < slots; ++t) {
+    cum_arrivals[t] = problem.arrivals_req[t] + (t ? cum_arrivals[t - 1] : 0.0);
+    // Work arriving in slot tau has deadline tau + max_delay_slots; it
+    // contributes to the must-be-done-by-t pool when that deadline <= t.
+    double due = 0.0;
+    for (std::size_t tau = 0; tau < slots; ++tau) {
+      if (tau + problem.max_delay_slots <= t) due += problem.arrivals_req[tau];
+    }
+    cum_deadline[t] = due;
+  }
+
+  // Inequalities: for each prefix t,
+  //   causality:  sum_{tau<=t} served_tau <= cum_arrivals[t]
+  //   deadline : -sum_{tau<=t} served_tau <= -cum_deadline[t]
+  // plus per-variable capacity x <= spare.
+  const std::size_t prefix_rows = 2 * slots;
+  lp.a_ub = Matrix(prefix_rows + num_vars, num_vars);
+  lp.b_ub.assign(prefix_rows + num_vars, 0.0);
+  for (std::size_t t = 0; t < slots; ++t) {
+    for (std::size_t tau = 0; tau <= t; ++tau) {
+      for (std::size_t j = 0; j < n; ++j) {
+        lp.a_ub(t, tau * n + j) = problem.slot_s;
+        lp.a_ub(slots + t, tau * n + j) = -problem.slot_s;
+      }
+    }
+    lp.b_ub[t] = cum_arrivals[t];
+    lp.b_ub[slots + t] = -cum_deadline[t];
+  }
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    lp.a_ub(prefix_rows + v, v) = 1.0;
+    const std::size_t t = v / n, j = v % n;
+    lp.b_ub[prefix_rows + v] = problem.spare_capacity_rps[t][j];
+  }
+
+  // Everything must be served within the horizon (the horizon is
+  // expected to cover the last deadline).
+  lp.a_eq = Matrix(1, num_vars);
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    lp.a_eq(0, v) = problem.slot_s;
+  }
+  lp.b_eq = {cum_arrivals.back()};
+
+  const auto lp_result = solvers::solve_lp(lp);
+  DeferralPlan plan;
+  if (lp_result.status != solvers::LpStatus::kOptimal) return plan;
+
+  plan.feasible = true;
+  plan.cost_dollars = lp_result.objective;
+  plan.rate_rps.assign(slots, std::vector<double>(n, 0.0));
+  plan.served_req.assign(slots, 0.0);
+  for (std::size_t t = 0; t < slots; ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      plan.rate_rps[t][j] = lp_result.x[t * n + j];
+      plan.served_req[t] += lp_result.x[t * n + j] * problem.slot_s;
+    }
+  }
+  return plan;
+}
+
+}  // namespace gridctl::core

@@ -1,0 +1,60 @@
+// Delay-tolerant (batch) workload scheduling — the extension the paper's
+// related-work section motivates via Yao et al. [9] ("Data centers power
+// reduction: a two time scale approach for delay tolerant workloads").
+//
+// Besides the interactive traffic the MPC allocates instant-by-instant,
+// operators run deferrable work (MapReduce jobs, analytics, index
+// builds) that only needs to finish within a deadline. Given an hourly
+// price forecast, a queue of pending batch work and per-slot spare
+// capacity, `plan_deferral` solves a time-expanded LP that places batch
+// service into the cheapest feasible (slot, IDC) cells:
+//
+//   minimize    sum_{t,j} price_j(t) * energy_per_req_j * b_{t,j}
+//   subject to  sum_j b_{t,j} * slot_s <= backlog available at slot t
+//               (work cannot be served before it arrives)
+//               cumulative service by slot t >= cumulative work whose
+//               deadline falls at/before t   (no deadline misses)
+//               0 <= b_{t,j} <= spare_capacity_{t,j}
+//
+// The result is an hourly batch-rate schedule per IDC; the cost-delay
+// trade-off bench sweeps the allowed delay and reproduces the
+// qualitative result of [9]: cost falls monotonically as tolerance
+// grows, saturating once every job can reach the day's cheapest hours.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "datacenter/idc.hpp"
+
+namespace gridctl::core {
+
+struct DeferralProblem {
+  std::vector<datacenter::IdcConfig> idcs;
+  // prices[t][j]: $/MWh at IDC j during slot t.
+  std::vector<std::vector<double>> prices;
+  // spare_capacity[t][j]: req/s of batch the IDC can absorb in slot t
+  // on top of its interactive load (already latency-feasible).
+  std::vector<std::vector<double>> spare_capacity_rps;
+  // arrivals[t]: batch work arriving at the start of slot t, in
+  // request-seconds (i.e. req/s x slot_s of work volume).
+  std::vector<double> arrivals_req;
+  double slot_s = 3600.0;
+  // Every job arriving in slot t must complete by slot t + max_delay_slots
+  // (inclusive). 0 = serve in the arrival slot.
+  std::size_t max_delay_slots = 0;
+};
+
+struct DeferralPlan {
+  bool feasible = false;
+  // rate[t][j]: batch req/s scheduled at IDC j in slot t.
+  std::vector<std::vector<double>> rate_rps;
+  // Energy cost of the schedule, dollars.
+  double cost_dollars = 0.0;
+  // Work served per slot (request-seconds), for queue accounting.
+  std::vector<double> served_req;
+};
+
+DeferralPlan plan_deferral(const DeferralProblem& problem);
+
+}  // namespace gridctl::core

@@ -1,0 +1,60 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gridctl::core {
+
+VolatilityStats volatility(const std::vector<double>& power_series) {
+  VolatilityStats stats;
+  if (power_series.size() < 2) return stats;
+  double total = 0.0;
+  for (std::size_t k = 1; k < power_series.size(); ++k) {
+    const double step = std::abs(power_series[k] - power_series[k - 1]);
+    total += step;
+    stats.max_abs_step = std::max(stats.max_abs_step, step);
+  }
+  stats.mean_abs_step = total / static_cast<double>(power_series.size() - 1);
+  return stats;
+}
+
+double peak(const std::vector<double>& series) {
+  double best = 0.0;
+  for (double x : series) best = std::max(best, x);
+  return best;
+}
+
+BudgetStats budget_compliance(const std::vector<double>& power_series,
+                              double budget, double dt_s) {
+  BudgetStats stats;
+  for (double power : power_series) {
+    const double excess = power - budget;
+    if (excess > 0.0) {
+      ++stats.violations;
+      stats.worst_excess = std::max(stats.worst_excess, excess);
+      stats.excess_integral += excess * dt_s;
+    }
+  }
+  return stats;
+}
+
+double mean(const std::vector<double>& series) {
+  if (series.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : series) total += x;
+  return total / static_cast<double>(series.size());
+}
+
+double series_max(const std::vector<double>& series) {
+  double best = series.empty() ? 0.0 : series.front();
+  for (double x : series) best = std::max(best, x);
+  return best;
+}
+
+double series_min(const std::vector<double>& series) {
+  double best = series.empty() ? 0.0 : series.front();
+  for (double x : series) best = std::min(best, x);
+  return best;
+}
+
+}  // namespace gridctl::core

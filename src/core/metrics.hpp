@@ -1,0 +1,38 @@
+// Evaluation metrics: the quantities the paper's figures and our
+// ablations report.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gridctl::core {
+
+// Volatility of a power series — the paper defines power-demand
+// volatility as the rate of change of demand; we report the mean and max
+// absolute per-step change.
+struct VolatilityStats {
+  double mean_abs_step = 0.0;  // mean |P(k) - P(k-1)|
+  double max_abs_step = 0.0;   // max  |P(k) - P(k-1)|
+};
+
+VolatilityStats volatility(const std::vector<double>& power_series);
+
+// Peak of a series (0 for empty).
+double peak(const std::vector<double>& series);
+
+// Budget compliance of a power series against a fixed budget.
+struct BudgetStats {
+  std::size_t violations = 0;      // samples above budget
+  double worst_excess = 0.0;       // max(P - budget, 0)
+  double excess_integral = 0.0;    // sum of excesses x dt
+};
+
+BudgetStats budget_compliance(const std::vector<double>& power_series,
+                              double budget, double dt_s);
+
+// Simple series helpers shared by benches/tests.
+double mean(const std::vector<double>& series);
+double series_max(const std::vector<double>& series);
+double series_min(const std::vector<double>& series);
+
+}  // namespace gridctl::core

@@ -1,0 +1,54 @@
+#include "core/paper.hpp"
+
+#include "market/regions.hpp"
+
+namespace gridctl::core::paper {
+
+std::vector<datacenter::IdcConfig> paper_idcs() {
+  const char* names[3] = {"Michigan", "Minnesota", "Wisconsin"};
+  std::vector<datacenter::IdcConfig> idcs(3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    idcs[j].name = names[j];
+    idcs[j].region = j;
+    idcs[j].max_servers = kMaxServers[j];
+    idcs[j].power.idle_w = kIdleW;
+    idcs[j].power.peak_w = kPeakW;
+    idcs[j].power.service_rate = kServiceRates[j];
+    idcs[j].latency_bound_s = kLatencyBound;
+  }
+  return idcs;
+}
+
+namespace {
+
+Scenario base_scenario(double ts_s) {
+  Scenario scenario;
+  scenario.idcs = paper_idcs();
+  scenario.prices =
+      std::make_shared<market::TracePrice>(market::paper_region_traces());
+  scenario.workload =
+      std::make_shared<workload::ConstantWorkload>(kPortalDemands);
+  scenario.start_time_s = 7.0 * 3600.0;  // the 6H->7H price step
+  scenario.duration_s = 600.0;           // the figures' 10-minute window
+  scenario.ts_s = ts_s;
+  scenario.controller.horizons = {/*prediction=*/8, /*control=*/2};
+  scenario.controller.q_weight = 1.0;
+  // Tuned so the closed loop converges to the new optimum within the
+  // 10-minute window while suppressing step jumps (Fig. 4's shape).
+  scenario.controller.r_weight = 3.0;
+  scenario.controller.cost_basis = control::CostBasis::kPriceOnly;
+  return scenario;
+}
+
+}  // namespace
+
+Scenario smoothing_scenario(double ts_s) { return base_scenario(ts_s); }
+
+Scenario shaving_scenario(double ts_s) {
+  Scenario scenario = base_scenario(ts_s);
+  scenario.power_budgets_w.assign(std::begin(kPowerBudgetsW),
+                                  std::end(kPowerBudgetsW));
+  return scenario;
+}
+
+}  // namespace gridctl::core::paper

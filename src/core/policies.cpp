@@ -1,0 +1,73 @@
+#include "core/policies.hpp"
+
+#include "control/reference_optimizer.hpp"
+#include "control/sleep_controller.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::core {
+
+using datacenter::Allocation;
+
+OptimalPolicy::OptimalPolicy(std::vector<datacenter::IdcConfig> idcs,
+                             std::size_t portals, control::CostBasis basis)
+    : idcs_(std::move(idcs)), portals_(portals), basis_(basis) {
+  require(!idcs_.empty(), "OptimalPolicy: need at least one IDC");
+  require(portals_ > 0, "OptimalPolicy: need at least one portal");
+}
+
+PolicyDecision OptimalPolicy::decide(
+    const std::vector<double>& prices,
+    const std::vector<double>& portal_demands) {
+  control::ReferenceProblem problem;
+  problem.idcs = idcs_;
+  problem.prices = prices;
+  problem.portal_demands = portal_demands;
+  problem.basis = basis_;
+  // The optimal method knows no budgets (paper Sec. V-C: it violates
+  // them); budgets influence only the control method's references.
+  const auto solution = control::solve_reference(problem);
+  require(solution.feasible, "OptimalPolicy: demand exceeds fleet capacity");
+  return PolicyDecision{solution.allocation, solution.servers};
+}
+
+MpcPolicy::MpcPolicy(CostController::Config config)
+    : controller_(std::move(config)) {}
+
+PolicyDecision MpcPolicy::decide(const std::vector<double>& prices,
+                                 const std::vector<double>& portal_demands) {
+  const auto decision = controller_.step(prices, portal_demands);
+  return PolicyDecision{decision.allocation, decision.servers};
+}
+
+StaticProportionalPolicy::StaticProportionalPolicy(
+    std::vector<datacenter::IdcConfig> idcs, std::size_t portals)
+    : idcs_(std::move(idcs)), portals_(portals) {
+  require(!idcs_.empty(), "StaticProportionalPolicy: need at least one IDC");
+  require(portals_ > 0, "StaticProportionalPolicy: need at least one portal");
+  double total = 0.0;
+  shares_.resize(idcs_.size());
+  for (std::size_t j = 0; j < idcs_.size(); ++j) {
+    shares_[j] = idcs_[j].max_capacity();
+    total += shares_[j];
+  }
+  require(total > 0.0, "StaticProportionalPolicy: fleet has zero capacity");
+  for (double& share : shares_) share /= total;
+}
+
+PolicyDecision StaticProportionalPolicy::decide(
+    const std::vector<double>& /*prices*/,
+    const std::vector<double>& portal_demands) {
+  require(portal_demands.size() == portals_,
+          "StaticProportionalPolicy: demand size mismatch");
+  Allocation allocation(portals_, idcs_.size());
+  for (std::size_t i = 0; i < portals_; ++i) {
+    for (std::size_t j = 0; j < idcs_.size(); ++j) {
+      allocation.at(i, j) = portal_demands[i] * shares_[j];
+    }
+  }
+  control::SleepController sleep(idcs_);
+  const std::vector<std::size_t> zeros(idcs_.size(), 0);
+  return PolicyDecision{allocation, sleep.step(allocation.idc_loads(), zeros)};
+}
+
+}  // namespace gridctl::core

@@ -1,0 +1,73 @@
+// Allocation policies compared in the paper's evaluation.
+//
+//  - OptimalPolicy: the Rao et al. INFOCOM'10 baseline (the paper's
+//    "optimal method"): re-solve the cost LP each period and apply it
+//    instantly. Cost-optimal per instant, but steps its power demand.
+//  - MpcPolicy: the paper's "control method" wrapped as a policy.
+//  - StaticProportionalPolicy: capacity-proportional split, price-blind;
+//    the naive baseline used in the ablation benches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cost_controller.hpp"
+#include "datacenter/fleet.hpp"
+
+namespace gridctl::core {
+
+struct PolicyDecision {
+  datacenter::Allocation allocation{1, 1};
+  std::vector<std::size_t> servers;
+};
+
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+  virtual PolicyDecision decide(const std::vector<double>& prices,
+                                const std::vector<double>& portal_demands) = 0;
+  virtual std::string name() const = 0;
+};
+
+class OptimalPolicy : public AllocationPolicy {
+ public:
+  OptimalPolicy(std::vector<datacenter::IdcConfig> idcs, std::size_t portals,
+                control::CostBasis basis = control::CostBasis::kPowerIntegral);
+  PolicyDecision decide(const std::vector<double>& prices,
+                        const std::vector<double>& portal_demands) override;
+  std::string name() const override { return "optimal"; }
+
+ private:
+  std::vector<datacenter::IdcConfig> idcs_;
+  std::size_t portals_;
+  control::CostBasis basis_;
+};
+
+class MpcPolicy : public AllocationPolicy {
+ public:
+  explicit MpcPolicy(CostController::Config config);
+  PolicyDecision decide(const std::vector<double>& prices,
+                        const std::vector<double>& portal_demands) override;
+  std::string name() const override { return "control"; }
+
+  CostController& controller() { return controller_; }
+
+ private:
+  CostController controller_;
+};
+
+class StaticProportionalPolicy : public AllocationPolicy {
+ public:
+  StaticProportionalPolicy(std::vector<datacenter::IdcConfig> idcs,
+                           std::size_t portals);
+  PolicyDecision decide(const std::vector<double>& prices,
+                        const std::vector<double>& portal_demands) override;
+  std::string name() const override { return "static"; }
+
+ private:
+  std::vector<datacenter::IdcConfig> idcs_;
+  std::size_t portals_;
+  std::vector<double> shares_;  // capacity fractions
+};
+
+}  // namespace gridctl::core

@@ -1,0 +1,33 @@
+#include "core/scenario.hpp"
+
+#include "control/controllability.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::core {
+
+void Scenario::validate() const {
+  require(!idcs.empty(), "Scenario: need at least one IDC");
+  require(prices != nullptr, "Scenario: missing price model");
+  require(workload != nullptr, "Scenario: missing workload source");
+  require(prices->num_regions() > 0, "Scenario: price model has no regions");
+  for (const auto& idc : idcs) {
+    idc.validate();
+    require(idc.region < prices->num_regions(),
+            "Scenario: IDC region not covered by the price model");
+  }
+  require(power_budgets_w.empty() || power_budgets_w.size() == idcs.size(),
+          "Scenario: budget vector size mismatch");
+  require(ts_s > 0.0, "Scenario: sampling period must be positive");
+  require(duration_s >= ts_s, "Scenario: duration shorter than one period");
+  require(start_time_s >= 0.0, "Scenario: negative start time");
+  controller.horizons.validate();
+  require(controller.q_weight > 0.0, "Scenario: q_weight must be positive");
+  require(controller.r_weight >= 0.0, "Scenario: r_weight must be >= 0");
+
+  // Sleep-controllability at the initial workload (paper Sec. IV-B).
+  require(control::sleep_controllable(idcs, workload->rates(start_time_s)),
+          "Scenario: fleet cannot serve the initial workload within the "
+          "latency bounds (sleep controllability violated)");
+}
+
+}  // namespace gridctl::core

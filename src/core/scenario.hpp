@@ -1,0 +1,84 @@
+// A complete experiment description: the fleet, the market, the
+// workload, the budgets and the controller parameters.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "control/mpc.hpp"
+#include "control/reference_optimizer.hpp"
+#include "control/sleep_controller.hpp"
+#include "datacenter/idc.hpp"
+#include "market/price_model.hpp"
+#include "solvers/lsq.hpp"
+#include "workload/generators.hpp"
+
+namespace gridctl::core {
+
+struct ControllerParams {
+  control::MpcHorizons horizons{/*prediction=*/8, /*control=*/2};
+  // Scalar tracking weight per output and move penalty per input. The
+  // controller normalizes internally (power in MW, workload in kilo-
+  // req/s), so q is per MW² of tracking error and r per (krps)² of
+  // per-step allocation move. The r/q ratio sets the smoothing/tracking
+  // trade-off (paper Sec. IV-C): r = 0 reproduces the optimal method's
+  // jumps, large r freezes the allocation.
+  double q_weight = 1.0;
+  double r_weight = 0.8;
+  solvers::LsqBackend backend = solvers::LsqBackend::kAdmm;
+  control::SleepControllerOptions sleep;
+  // Two-time-scale ratio: the sleep (ON/OFF) loop runs once every
+  // `sleep_every_k_steps` fast (MPC) periods — the paper's slow loop.
+  // Between slow updates the server counts are held, so transiently the
+  // fleet may hold a few more servers than eq. 35 asks for (never
+  // fewer: capacity is re-checked and bumped if the held count would
+  // violate the latency bound).
+  std::size_t sleep_every_k_steps = 1;
+  // Objective basis for the reference optimizer / optimal baseline.
+  control::CostBasis cost_basis = control::CostBasis::kPowerIntegral;
+  // Peak shaving mechanism. false (paper-faithful): budgets clamp the
+  // tracking references only, so the loop *converges* to the budget
+  // smoothly (Fig. 6/7's shape). true: budgets additionally enter the
+  // MPC as hard per-IDC load caps — compliance from the first step, at
+  // the price of one un-smoothed jump when a budget is newly violated.
+  bool budget_hard_constraints = false;
+  // Enable AR(p)+RLS workload prediction for the reference optimizer.
+  bool predict_workload = false;
+  std::size_t ar_order = 3;
+  // With prediction on, also re-solve the reference LP for every step of
+  // the prediction horizon (paper Sec. IV-D: "the optimization is
+  // conducted based on the predicted workload") instead of holding the
+  // one-step reference constant. beta1 LP solves per period.
+  bool reference_trajectory = false;
+  // When total demand exceeds fleet capacity, shed load proportionally
+  // across portals instead of throwing (availability policy knob).
+  bool allow_load_shedding = false;
+};
+
+struct Scenario {
+  std::vector<datacenter::IdcConfig> idcs;
+  std::shared_ptr<const market::PriceModel> prices;
+  std::shared_ptr<const workload::WorkloadSource> workload;
+  // Per-IDC power budgets in watts; empty = unconstrained.
+  std::vector<double> power_budgets_w;
+
+  double start_time_s = 0.0;   // offset into the price/workload traces
+  double duration_s = 600.0;
+  double ts_s = 10.0;          // sampling (and control) period
+
+  ControllerParams controller;
+
+  // Throws InvalidArgument on inconsistent configuration; also verifies
+  // the sleep-controllability condition at the initial workload.
+  void validate() const;
+
+  std::size_t num_idcs() const { return idcs.size(); }
+  std::size_t num_portals() const {
+    return workload ? workload->num_portals() : 0;
+  }
+  std::size_t num_steps() const {
+    return static_cast<std::size_t>(duration_s / ts_s);
+  }
+};
+
+}  // namespace gridctl::core

@@ -1,0 +1,180 @@
+#include "core/scenario_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "market/regions.hpp"
+#include "market/stochastic_price.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace gridctl::core {
+
+namespace {
+
+datacenter::IdcConfig parse_idc(const JsonValue& node) {
+  datacenter::IdcConfig config;
+  config.name = node.string_or("name", "");
+  config.region = static_cast<std::size_t>(node.number_or("region", 0));
+  require(node.has("max_servers"), "scenario: idc missing max_servers");
+  config.max_servers =
+      static_cast<std::size_t>(node.at("max_servers").as_number());
+  require(node.has("service_rate"), "scenario: idc missing service_rate");
+  config.power.service_rate = node.at("service_rate").as_number();
+  config.power.idle_w = node.number_or("idle_w", 150.0);
+  config.power.peak_w = node.number_or("peak_w", 285.0);
+  config.latency_bound_s = node.number_or("latency_bound_s", 0.001);
+  return config;
+}
+
+std::shared_ptr<const market::PriceModel> parse_prices(const JsonValue& node) {
+  const std::string type = node.string_or("type", "paper");
+  if (type == "paper") {
+    return std::make_shared<market::TracePrice>(market::paper_region_traces());
+  }
+  if (type == "trace") {
+    std::vector<std::vector<double>> hourly;
+    for (const JsonValue& series : node.at("hourly").as_array()) {
+      std::vector<double> values;
+      for (const JsonValue& price : series.as_array()) {
+        values.push_back(price.as_number());
+      }
+      hourly.push_back(std::move(values));
+    }
+    std::vector<std::string> names;
+    if (node.has("names")) {
+      for (const JsonValue& name : node.at("names").as_array()) {
+        names.push_back(name.as_string());
+      }
+    }
+    return std::make_shared<market::TracePrice>(std::move(hourly),
+                                                std::move(names));
+  }
+  if (type == "trace_csv") {
+    return std::make_shared<market::TracePrice>(
+        market::trace_from_csv_file(node.at("path").as_string()));
+  }
+  if (type == "stochastic") {
+    std::vector<market::RegionMarketConfig> regions;
+    for (const JsonValue& region : node.at("regions").as_array()) {
+      market::RegionMarketConfig config;
+      config.stack.capacity_w =
+          region.number_or("capacity_w", config.stack.capacity_w);
+      config.stack.price_floor =
+          region.number_or("price_floor", config.stack.price_floor);
+      config.base_demand_w =
+          region.number_or("base_demand_w", config.base_demand_w);
+      config.diurnal_amplitude =
+          region.number_or("diurnal_amplitude", config.diurnal_amplitude);
+      config.noise.volatility =
+          region.number_or("volatility", config.noise.volatility);
+      regions.push_back(config);
+    }
+    const auto seed = static_cast<std::uint64_t>(node.number_or("seed", 1));
+    return std::make_shared<market::StochasticBidPrice>(std::move(regions),
+                                                        seed);
+  }
+  throw InvalidArgument("scenario: unknown price model type '" + type + "'");
+}
+
+std::shared_ptr<const workload::WorkloadSource> parse_workload(
+    const JsonValue& node) {
+  const std::string type = node.string_or("type", "constant");
+  if (type == "constant") {
+    return std::make_shared<workload::ConstantWorkload>(
+        node.number_array("rates"));
+  }
+  if (type == "diurnal") {
+    return std::make_shared<workload::DiurnalWorkload>(
+        node.number_array("base_rates"), node.number_or("amplitude", 0.1),
+        node.number_or("peak_hour", 15.0), node.number_or("noise_stddev", 0.0),
+        static_cast<std::uint64_t>(node.number_or("seed", 1)));
+  }
+  if (type == "trace_csv") {
+    // One CSV column per portal (a leading hour/time column is ignored).
+    const CsvTable table = read_csv_file(node.at("path").as_string());
+    std::vector<std::vector<double>> series;
+    for (std::size_t col = 0; col < table.header.size(); ++col) {
+      if (table.header[col] == "hour" || table.header[col] == "time") continue;
+      std::vector<double> values;
+      for (const auto& row : table.rows) values.push_back(row.at(col));
+      series.push_back(std::move(values));
+    }
+    return std::make_shared<workload::TraceWorkload>(
+        std::move(series), node.number_or("bucket_s", 3600.0));
+  }
+  throw InvalidArgument("scenario: unknown workload type '" + type + "'");
+}
+
+void parse_controller(const JsonValue& node, ControllerParams& params) {
+  params.horizons.prediction = static_cast<std::size_t>(
+      node.number_or("prediction_horizon",
+                     static_cast<double>(params.horizons.prediction)));
+  params.horizons.control = static_cast<std::size_t>(node.number_or(
+      "control_horizon", static_cast<double>(params.horizons.control)));
+  params.q_weight = node.number_or("q_weight", params.q_weight);
+  params.r_weight = node.number_or("r_weight", params.r_weight);
+  const std::string basis = node.string_or("cost_basis", "power_integral");
+  if (basis == "price_only") {
+    params.cost_basis = control::CostBasis::kPriceOnly;
+  } else if (basis == "power_integral") {
+    params.cost_basis = control::CostBasis::kPowerIntegral;
+  } else {
+    throw InvalidArgument("scenario: unknown cost_basis '" + basis + "'");
+  }
+  params.predict_workload =
+      node.bool_or("predict_workload", params.predict_workload);
+  params.ar_order = static_cast<std::size_t>(
+      node.number_or("ar_order", static_cast<double>(params.ar_order)));
+  params.budget_hard_constraints = node.bool_or(
+      "budget_hard_constraints", params.budget_hard_constraints);
+  params.sleep.max_ramp_per_step = static_cast<std::size_t>(node.number_or(
+      "sleep_max_ramp", static_cast<double>(params.sleep.max_ramp_per_step)));
+  params.sleep.exact_mmn = node.bool_or("sleep_exact_mmn",
+                                        params.sleep.exact_mmn);
+  params.sleep_every_k_steps = static_cast<std::size_t>(
+      node.number_or("sleep_every_k_steps",
+                     static_cast<double>(params.sleep_every_k_steps)));
+  params.reference_trajectory =
+      node.bool_or("reference_trajectory", params.reference_trajectory);
+  params.allow_load_shedding =
+      node.bool_or("allow_load_shedding", params.allow_load_shedding);
+}
+
+}  // namespace
+
+Scenario load_scenario(const std::string& json_text) {
+  const JsonValue root = parse_json(json_text);
+  require(root.is_object(), "scenario: top level must be an object");
+
+  Scenario scenario;
+  require(root.has("idcs"), "scenario: missing 'idcs'");
+  for (const JsonValue& idc : root.at("idcs").as_array()) {
+    scenario.idcs.push_back(parse_idc(idc));
+  }
+  require(root.has("prices"), "scenario: missing 'prices'");
+  scenario.prices = parse_prices(root.at("prices"));
+  require(root.has("workload"), "scenario: missing 'workload'");
+  scenario.workload = parse_workload(root.at("workload"));
+  if (root.has("power_budgets_w")) {
+    scenario.power_budgets_w = root.number_array("power_budgets_w");
+  }
+  scenario.start_time_s = root.number_or("start_time_s", 0.0);
+  scenario.duration_s = root.number_or("duration_s", 600.0);
+  scenario.ts_s = root.number_or("ts_s", 10.0);
+  if (root.has("controller")) {
+    parse_controller(root.at("controller"), scenario.controller);
+  }
+  scenario.validate();
+  return scenario;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "load_scenario_file: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_scenario(buffer.str());
+}
+
+}  // namespace gridctl::core

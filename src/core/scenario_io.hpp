@@ -1,0 +1,51 @@
+// Scenario configuration files (JSON) — the adoption surface for running
+// gridctl on your own fleet without writing C++.
+//
+// Schema (all power in watts, rates in req/s, time in seconds):
+//
+// {
+//   "idcs": [
+//     {"name": "Michigan", "region": 0, "max_servers": 20000,
+//      "service_rate": 2.0, "idle_w": 150, "peak_w": 285,
+//      "latency_bound_s": 0.001}, ...
+//   ],
+//   "prices": {"type": "paper"}                     // built-in Fig. 2 traces
+//           | {"type": "trace", "hourly": [[...], ...],
+//              "names": ["a", ...]}                 // explicit series
+//           | {"type": "trace_csv", "path": "prices.csv"}
+//           | {"type": "stochastic", "seed": 7,
+//              "regions": [{"capacity_w": 2e9, ...}, ...]},
+//   "workload": {"type": "constant", "rates": [...]}
+//             | {"type": "diurnal", "base_rates": [...], "amplitude": 0.1,
+//                "peak_hour": 15, "noise_stddev": 0.02, "seed": 1}
+//             | {"type": "trace_csv", "path": "loads.csv",
+//                "bucket_s": 3600},
+//   "power_budgets_w": [...],                        // optional
+//   "start_time_s": 25200, "duration_s": 600, "ts_s": 10,
+//   "controller": {                                  // optional block
+//     "prediction_horizon": 8, "control_horizon": 2,
+//     "q_weight": 1.0, "r_weight": 3.0,
+//     "cost_basis": "price_only" | "power_integral",
+//     "predict_workload": false, "ar_order": 3,
+//     "reference_trajectory": false,                 // per-step ref LPs
+//     "allow_load_shedding": false,
+//     "budget_hard_constraints": false,
+//     "sleep_max_ramp": 0, "sleep_exact_mmn": false,
+//     "sleep_every_k_steps": 1
+//   }
+// }
+#pragma once
+
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace gridctl::core {
+
+// Parse a scenario from JSON text / file. Throws InvalidArgument with a
+// descriptive message on schema violations; the returned scenario has
+// already passed Scenario::validate().
+Scenario load_scenario(const std::string& json_text);
+Scenario load_scenario_file(const std::string& path);
+
+}  // namespace gridctl::core

@@ -1,0 +1,91 @@
+#include "core/service_classes.hpp"
+
+#include "util/error.hpp"
+
+namespace gridctl::core {
+
+namespace {
+
+// Optimal allocation of premium + f * ordinary; nullopt-like via
+// feasible flag.
+control::ReferenceSolution solve_at_fraction(const AdmissionProblem& problem,
+                                             double fraction) {
+  control::ReferenceProblem ref;
+  ref.idcs = problem.idcs;
+  ref.prices = problem.prices;
+  ref.basis = problem.basis;
+  ref.portal_demands.resize(problem.premium_demands.size());
+  for (std::size_t i = 0; i < ref.portal_demands.size(); ++i) {
+    ref.portal_demands[i] =
+        problem.premium_demands[i] + fraction * problem.ordinary_demands[i];
+  }
+  return control::solve_reference(ref);
+}
+
+}  // namespace
+
+AdmissionResult admit_and_allocate(const AdmissionProblem& problem,
+                                   double tolerance) {
+  require(!problem.idcs.empty(), "admit_and_allocate: need at least one IDC");
+  require(problem.premium_demands.size() == problem.ordinary_demands.size(),
+          "admit_and_allocate: class demand size mismatch");
+  require(problem.prices.size() == problem.idcs.size(),
+          "admit_and_allocate: price size mismatch");
+  require(problem.cost_cap_per_hour >= 0.0,
+          "admit_and_allocate: negative cost cap");
+  for (std::size_t i = 0; i < problem.premium_demands.size(); ++i) {
+    require(problem.premium_demands[i] >= 0.0 &&
+                problem.ordinary_demands[i] >= 0.0,
+            "admit_and_allocate: negative demand");
+  }
+
+  AdmissionResult result;
+  // Premium is unconditional.
+  const auto premium_only = solve_at_fraction(problem, 0.0);
+  if (!premium_only.feasible) return result;
+  result.feasible = true;
+
+  // If even f = 1 fits (capacity and cap), admit everything.
+  const auto full = solve_at_fraction(problem, 1.0);
+  if (full.feasible &&
+      full.cost_rate_per_hour <= problem.cost_cap_per_hour + tolerance) {
+    result.ordinary_admit_fraction = 1.0;
+    result.allocation = full;
+    return result;
+  }
+
+  // Binary search the admission frontier. Upper bound: whichever of the
+  // cap / capacity constraints binds first.
+  double lo = 0.0, hi = 1.0;
+  control::ReferenceSolution best = premium_only;
+  // Premium alone may already exceed the cap: then f = 0 and the cap is
+  // reported as binding (the operator still serves premium — [10]'s
+  // model treats premium as contractual).
+  if (premium_only.cost_rate_per_hour > problem.cost_cap_per_hour) {
+    result.ordinary_admit_fraction = 0.0;
+    result.allocation = premium_only;
+    result.cap_binding = true;
+    return result;
+  }
+  for (int iter = 0; iter < 60 && hi - lo > tolerance; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const auto candidate = solve_at_fraction(problem, mid);
+    if (candidate.feasible &&
+        candidate.cost_rate_per_hour <= problem.cost_cap_per_hour) {
+      lo = mid;
+      best = candidate;
+    } else {
+      hi = mid;
+    }
+  }
+  result.ordinary_admit_fraction = lo;
+  result.allocation = best;
+  // The cap binds when capacity alone would have admitted more.
+  const auto capacity_probe = solve_at_fraction(problem, std::min(1.0, lo + 2.0 * tolerance));
+  result.cap_binding =
+      capacity_probe.feasible &&
+      capacity_probe.cost_rate_per_hour > problem.cost_cap_per_hour;
+  return result;
+}
+
+}  // namespace gridctl::core

@@ -1,0 +1,44 @@
+// Premium/ordinary service classes with electricity-cost capping — the
+// extension the paper's related work motivates via Zhang et al. [10]
+// ("Capping the electricity cost of cloud-scale data centers"):
+// premium users always get service, ordinary (best-effort) traffic is
+// admitted only as far as the operator's spending cap allows.
+//
+// `admit_and_allocate` serves the premium demand unconditionally
+// (infeasible if it alone exceeds fleet capacity), then binary-searches
+// the largest uniform admission fraction f for the ordinary demand such
+// that the cost rate of the optimal allocation of (premium + f·ordinary)
+// stays under `cost_cap_per_hour`. The cost rate is monotone in f, so
+// the search converges to the capping frontier.
+#pragma once
+
+#include <vector>
+
+#include "control/reference_optimizer.hpp"
+
+namespace gridctl::core {
+
+struct AdmissionProblem {
+  std::vector<datacenter::IdcConfig> idcs;
+  std::vector<double> prices;             // $/MWh per IDC
+  std::vector<double> premium_demands;    // req/s per portal, must serve
+  std::vector<double> ordinary_demands;   // req/s per portal, best-effort
+  double cost_cap_per_hour = 0.0;         // $/h electricity budget
+  control::CostBasis basis = control::CostBasis::kPowerIntegral;
+};
+
+struct AdmissionResult {
+  // False only when the premium demand alone cannot be served.
+  bool feasible = false;
+  // Uniform fraction of the ordinary demand admitted, in [0, 1].
+  double ordinary_admit_fraction = 0.0;
+  // Cost-optimal allocation of the admitted (premium + ordinary) load.
+  control::ReferenceSolution allocation;
+  // Whether the cap binds (admission < 1 because of cost, not capacity).
+  bool cap_binding = false;
+};
+
+AdmissionResult admit_and_allocate(const AdmissionProblem& problem,
+                                   double tolerance = 1e-4);
+
+}  // namespace gridctl::core

@@ -1,0 +1,74 @@
+// Closed-loop simulation: run a Scenario under an AllocationPolicy and
+// record everything the paper's figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/policies.hpp"
+#include "core/scenario.hpp"
+#include "util/csv.hpp"
+
+namespace gridctl::core {
+
+// Per-step recordings. Outer index = IDC (or portal), inner = time step.
+struct SimulationTrace {
+  std::string policy;
+  double ts_s = 0.0;
+  std::vector<double> time_s;                       // step timestamps
+  std::vector<std::vector<double>> power_w;         // [idc][step]
+  std::vector<std::vector<double>> servers_on;      // [idc][step]
+  std::vector<std::vector<double>> idc_load_rps;    // [idc][step]
+  std::vector<std::vector<double>> price_per_mwh;   // [idc][step]
+  std::vector<std::vector<double>> latency_s;       // [idc][step]
+  // Fluid-queue transient audit: request backlog and FIFO delay
+  // estimate per IDC (captures under-provisioning during server ramps
+  // that the steady-state latency column cannot see).
+  std::vector<std::vector<double>> backlog_req;     // [idc][step]
+  std::vector<std::vector<double>> transient_delay_s;  // [idc][step]
+  std::vector<std::vector<double>> portal_rps;      // [portal][step]
+  std::vector<double> total_power_w;                // [step]
+  std::vector<double> cumulative_cost;              // [step], dollars
+
+  // Flatten to CSV for external plotting.
+  CsvTable to_csv() const;
+};
+
+struct IdcSummary {
+  double peak_power_w = 0.0;
+  VolatilityStats volatility;       // of the power series
+  BudgetStats budget;               // vs the scenario budget (if any)
+  double mean_latency_s = 0.0;
+  double energy_mwh = 0.0;
+  double cost_dollars = 0.0;
+};
+
+struct SimulationSummary {
+  std::string policy;
+  double total_cost_dollars = 0.0;
+  double total_energy_mwh = 0.0;
+  double overload_seconds = 0.0;
+  // Time during which any IDC's fluid-queue delay estimate exceeded its
+  // latency bound (transient SLA damage; 0 when provisioning never lags).
+  double sla_violation_seconds = 0.0;
+  double max_backlog_req = 0.0;
+  VolatilityStats total_volatility;  // of the fleet-total power series
+  std::vector<IdcSummary> idcs;
+};
+
+struct SimulationResult {
+  SimulationTrace trace;
+  SimulationSummary summary;
+};
+
+// Runs `scenario` under `policy`. When `warm_start` is true the fleet
+// and (for MpcPolicy) the controller are initialized to the optimal
+// operating point for the hour *before* start_time_s — the experiment
+// then begins from a converged steady state, as the paper's 6:00->7:00
+// price-step runs do.
+SimulationResult run_simulation(const Scenario& scenario,
+                                AllocationPolicy& policy,
+                                bool warm_start = true);
+
+}  // namespace gridctl::core

@@ -1,0 +1,38 @@
+#include "datacenter/fluid_queue.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace gridctl::datacenter {
+
+double FluidQueue::step(double arrival_rps, double capacity_rps,
+                        double dt_s) {
+  require(arrival_rps >= 0.0, "FluidQueue: negative arrival rate");
+  require(capacity_rps >= 0.0, "FluidQueue: negative capacity");
+  require(dt_s >= 0.0, "FluidQueue: negative time step");
+  // Net flow; backlog cannot go below zero (work cannot be un-served).
+  backlog_req_ =
+      std::max(0.0, backlog_req_ + (arrival_rps - capacity_rps) * dt_s);
+  return backlog_req_;
+}
+
+double FluidQueue::delay_estimate_s(double arrival_rps,
+                                    double capacity_rps) const {
+  if (capacity_rps <= 0.0) {
+    return backlog_req_ > 0.0 || arrival_rps > 0.0
+               ? std::numeric_limits<double>::infinity()
+               : 0.0;
+  }
+  // FIFO: a request arriving now waits for the backlog ahead of it to be
+  // processed at the full service capacity, plus — when the system is
+  // stable — the steady-state queueing wait.
+  double delay = backlog_req_ / capacity_rps;
+  if (capacity_rps > arrival_rps) {
+    delay += 1.0 / (capacity_rps - arrival_rps);
+  }
+  return delay;
+}
+
+}  // namespace gridctl::datacenter

@@ -1,0 +1,38 @@
+// Fluid (deterministic mean-flow) queue model for transient analysis.
+//
+// The steady-state M/M/n latency the controller provisions against
+// (eq. 14) assumes the fleet is never transiently under-provisioned. It
+// is — whenever server ON/OFF ramping or a slow sleep loop lets the
+// arrival rate momentarily exceed the ON capacity. The fluid queue
+// tracks the request backlog through such episodes:
+//
+//   backlog'(t) = lambda(t) - min(capacity(t), lambda(t) + drain)
+//
+// i.e. work accumulates at (lambda - capacity) when overloaded and
+// drains at (capacity - lambda) otherwise. The delay estimate adds the
+// backlog-clearing time to the steady-state wait.
+#pragma once
+
+namespace gridctl::datacenter {
+
+class FluidQueue {
+ public:
+  // Advance one interval with constant arrival rate and ON capacity
+  // (both req/s). Returns the backlog after the step.
+  double step(double arrival_rps, double capacity_rps, double dt_s);
+
+  double backlog_req() const { return backlog_req_; }
+
+  // Estimated delay of a request arriving now: time to clear the
+  // backlog ahead of it plus the steady-state wait when stable. When
+  // capacity <= arrival rate the queue grows without bound; returns
+  // +infinity.
+  double delay_estimate_s(double arrival_rps, double capacity_rps) const;
+
+  void reset() { backlog_req_ = 0.0; }
+
+ private:
+  double backlog_req_ = 0.0;
+};
+
+}  // namespace gridctl::datacenter

@@ -1,0 +1,60 @@
+#include "datacenter/idc.hpp"
+
+#include <limits>
+
+#include "datacenter/latency.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace gridctl::datacenter {
+
+void IdcConfig::validate() const {
+  require(max_servers > 0, "IdcConfig: need at least one server");
+  require(latency_bound_s > 0.0, "IdcConfig: latency bound must be positive");
+  power.validate();
+}
+
+double IdcConfig::max_capacity() const {
+  return capacity_for_latency(max_servers, power.service_rate,
+                              latency_bound_s);
+}
+
+Idc::Idc(IdcConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+void Idc::set_operating_point(std::size_t servers_on, double load_rps) {
+  require(servers_on <= config_.max_servers,
+          "Idc: servers_on exceeds max_servers");
+  require(load_rps >= 0.0, "Idc: negative load");
+  servers_on_ = servers_on;
+  assigned_load_ = load_rps;
+}
+
+double Idc::power_w() const {
+  return config_.power.idc_power(assigned_load_, servers_on_);
+}
+
+bool Idc::overloaded() const {
+  if (assigned_load_ == 0.0) return false;
+  const double capacity =
+      static_cast<double>(servers_on_) * config_.power.service_rate;
+  return assigned_load_ >= capacity;
+}
+
+double Idc::latency_s() const {
+  if (overloaded()) return std::numeric_limits<double>::infinity();
+  if (assigned_load_ == 0.0 && servers_on_ == 0) return 0.0;
+  return simplified_latency(servers_on_, config_.power.service_rate,
+                            assigned_load_);
+}
+
+void Idc::advance(double dt_s, double price_per_mwh) {
+  require(dt_s >= 0.0, "Idc: negative time step");
+  const double power = power_w();
+  energy_joules_ += power * dt_s;
+  cost_dollars_ += units::energy_cost_dollars(power, dt_s, price_per_mwh);
+  if (overloaded() && assigned_load_ > 0.0) overload_seconds_ += dt_s;
+}
+
+}  // namespace gridctl::datacenter

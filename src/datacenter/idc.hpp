@@ -1,0 +1,67 @@
+// One Internet data center: static configuration plus runtime state
+// (servers ON, assigned load, energy/cost integrators).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "datacenter/server_model.hpp"
+
+namespace gridctl::datacenter {
+
+struct IdcConfig {
+  std::string name;
+  std::size_t region = 0;        // index into the price model
+  std::size_t max_servers = 0;   // M_j
+  ServerPowerModel power;        // includes mu_j (service_rate)
+  double latency_bound_s = 1e-3; // D_j
+
+  void validate() const;
+
+  // Workload capacity with all servers ON and the latency bound met
+  // (lambda_bar_j in the paper's sleep-controllability condition).
+  double max_capacity() const;
+};
+
+// Runtime state of an IDC, advanced by the simulator.
+class Idc {
+ public:
+  explicit Idc(IdcConfig config);
+
+  const IdcConfig& config() const { return config_; }
+
+  std::size_t servers_on() const { return servers_on_; }
+  double assigned_load() const { return assigned_load_; }
+
+  // Set the operating point for the next interval. `servers_on` is capped
+  // at M_j by the caller (throws if exceeded); the load must fit under
+  // the ON capacity (n mu > lambda) or the IDC is overloaded, which is
+  // recorded rather than thrown (the simulator audits QoS violations).
+  void set_operating_point(std::size_t servers_on, double load_rps);
+
+  // Electrical power drawn at the current operating point, watts.
+  double power_w() const;
+
+  // Mean request latency at the current operating point using the
+  // paper's simplified model; +inf when unstable/overloaded.
+  double latency_s() const;
+  bool overloaded() const;
+
+  // Integrate `dt` seconds at the current point and `price_per_mwh`.
+  void advance(double dt_s, double price_per_mwh);
+
+  double energy_joules() const { return energy_joules_; }
+  double cost_dollars() const { return cost_dollars_; }
+  // Time spent in an overloaded state.
+  double overload_seconds() const { return overload_seconds_; }
+
+ private:
+  IdcConfig config_;
+  std::size_t servers_on_ = 0;
+  double assigned_load_ = 0.0;
+  double energy_joules_ = 0.0;
+  double cost_dollars_ = 0.0;
+  double overload_seconds_ = 0.0;
+};
+
+}  // namespace gridctl::datacenter

@@ -1,0 +1,64 @@
+#include "datacenter/latency.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::datacenter {
+
+double simplified_latency(std::size_t servers, double service_rate,
+                          double arrival_rate) {
+  require(service_rate > 0.0, "simplified_latency: service rate must be positive");
+  require(arrival_rate >= 0.0, "simplified_latency: negative arrival rate");
+  const double capacity = static_cast<double>(servers) * service_rate;
+  require(capacity > arrival_rate,
+          "simplified_latency: system is unstable (n mu <= lambda)");
+  return 1.0 / (capacity - arrival_rate);
+}
+
+double erlang_c(std::size_t servers, double offered_load_erlangs) {
+  require(servers > 0, "erlang_c: need at least one server");
+  const double a = offered_load_erlangs;
+  require(a >= 0.0, "erlang_c: negative offered load");
+  const double n = static_cast<double>(servers);
+  require(a < n, "erlang_c: system is unstable (a >= n)");
+  // Erlang-B recurrence: B(0) = 1, B(k) = a B(k-1) / (k + a B(k-1)).
+  double erlang_b = 1.0;
+  for (std::size_t k = 1; k <= servers; ++k) {
+    erlang_b = a * erlang_b / (static_cast<double>(k) + a * erlang_b);
+  }
+  // C = B / (1 - rho (1 - B)) with rho = a / n.
+  const double rho = a / n;
+  return erlang_b / (1.0 - rho * (1.0 - erlang_b));
+}
+
+double mmn_response_time(std::size_t servers, double service_rate,
+                         double arrival_rate) {
+  require(service_rate > 0.0, "mmn_response_time: service rate must be positive");
+  const double a = arrival_rate / service_rate;  // offered load, Erlangs
+  const double pq = erlang_c(servers, a);
+  const double capacity = static_cast<double>(servers) * service_rate;
+  // Mean wait = P_Q / (n mu - lambda); response adds one service time.
+  return pq / (capacity - arrival_rate) + 1.0 / service_rate;
+}
+
+std::size_t servers_for_latency(double arrival_rate, double service_rate,
+                                double latency_bound) {
+  require(service_rate > 0.0, "servers_for_latency: service rate must be positive");
+  require(latency_bound > 0.0, "servers_for_latency: latency bound must be positive");
+  require(arrival_rate >= 0.0, "servers_for_latency: negative arrival rate");
+  const double exact =
+      arrival_rate / service_rate + 1.0 / (service_rate * latency_bound);
+  return static_cast<std::size_t>(std::ceil(exact - 1e-9));
+}
+
+double capacity_for_latency(std::size_t servers, double service_rate,
+                            double latency_bound) {
+  require(service_rate > 0.0, "capacity_for_latency: service rate must be positive");
+  require(latency_bound > 0.0, "capacity_for_latency: latency bound must be positive");
+  const double capacity =
+      static_cast<double>(servers) * service_rate - 1.0 / latency_bound;
+  return capacity > 0.0 ? capacity : 0.0;
+}
+
+}  // namespace gridctl::datacenter

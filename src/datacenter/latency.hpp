@@ -1,0 +1,39 @@
+// M/M/n queueing latency models (paper eq. 14–15).
+//
+// The paper assumes servers are always busy (P_Q = 1), giving the
+// simplified mean waiting time D = 1/(n mu - lambda). We implement both
+// that form (used by the controller, matching the paper) and the exact
+// M/M/n mean response time via Erlang-C, used by tests to bound the
+// approximation error and by the simulator's QoS audit.
+#pragma once
+
+#include <cstddef>
+
+namespace gridctl::datacenter {
+
+// Paper's simplified latency: 1 / (n mu - lambda). Requires the system
+// to be stable (n mu > lambda); throws InvalidArgument otherwise.
+double simplified_latency(std::size_t servers, double service_rate,
+                          double arrival_rate);
+
+// Erlang-C probability that an arrival must queue in an M/M/n system.
+// Computed with a numerically stable recurrence; requires stability.
+double erlang_c(std::size_t servers, double offered_load_erlangs);
+
+// Exact M/M/n mean response time (wait + service).
+double mmn_response_time(std::size_t servers, double service_rate,
+                         double arrival_rate);
+
+// Minimum number of servers such that the simplified latency is within
+// `latency_bound`: n = ceil(lambda/mu + 1/(mu D)) — the paper's eq. (35)
+// right-hand side (before the M_j cap).
+std::size_t servers_for_latency(double arrival_rate, double service_rate,
+                                double latency_bound);
+
+// Largest arrival rate `servers` can absorb with simplified latency
+// <= latency_bound: lambda_bar = n mu - 1/D (paper Sec. IV-B's workload
+// capacity). Clamped at zero.
+double capacity_for_latency(std::size_t servers, double service_rate,
+                            double latency_bound);
+
+}  // namespace gridctl::datacenter

@@ -1,0 +1,85 @@
+#include "datacenter/queue_des.hpp"
+
+#include <deque>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gridctl::datacenter {
+
+MmnSimulationResult simulate_mmn(std::size_t servers, double service_rate,
+                                 double arrival_rate,
+                                 std::size_t num_requests, std::uint64_t seed,
+                                 std::size_t warmup) {
+  require(servers > 0, "simulate_mmn: need at least one server");
+  require(service_rate > 0.0 && arrival_rate > 0.0,
+          "simulate_mmn: rates must be positive");
+  require(static_cast<double>(servers) * service_rate > arrival_rate,
+          "simulate_mmn: system must be stable");
+  require(num_requests > warmup,
+          "simulate_mmn: need more requests than the warmup");
+
+  Rng rng(seed);
+  // Min-heap of in-service completion times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> busy;
+  // FIFO of (arrival time, counts-toward-statistics).
+  std::deque<std::pair<double, bool>> waiting;
+
+  double now = 0.0;
+  double next_arrival = rng.exponential(arrival_rate);
+  std::size_t completed = 0;
+
+  double wait_sum = 0.0;
+  std::size_t queued_count = 0, counted = 0;
+  double queue_area = 0.0, observed_time = 0.0;
+
+  while (completed < num_requests) {
+    const bool in_stats = completed >= warmup;
+    const bool arrival_next = busy.empty() || next_arrival < busy.top();
+    const double t_next = arrival_next ? next_arrival : busy.top();
+    if (in_stats) {
+      queue_area += static_cast<double>(waiting.size()) * (t_next - now);
+      observed_time += t_next - now;
+    }
+    now = t_next;
+
+    if (arrival_next) {
+      if (busy.size() < servers) {
+        busy.push(now + rng.exponential(service_rate));
+        if (in_stats) ++counted;  // zero wait
+      } else {
+        waiting.emplace_back(now, in_stats);
+        if (in_stats) {
+          ++queued_count;
+          ++counted;
+        }
+      }
+      next_arrival = now + rng.exponential(arrival_rate);
+    } else {
+      busy.pop();
+      ++completed;
+      if (!waiting.empty()) {
+        const auto [arrived_at, tracked] = waiting.front();
+        waiting.pop_front();
+        if (tracked) wait_sum += now - arrived_at;
+        busy.push(now + rng.exponential(service_rate));
+      }
+    }
+  }
+
+  MmnSimulationResult result;
+  result.completed = completed;
+  if (counted == 0) return result;
+  result.mean_wait_s = wait_sum / static_cast<double>(counted);
+  // Services are iid exponential: the mean response adds 1/mu.
+  result.mean_response_s = result.mean_wait_s + 1.0 / service_rate;
+  result.queueing_probability =
+      static_cast<double>(queued_count) / static_cast<double>(counted);
+  result.mean_queue_length =
+      observed_time > 0.0 ? queue_area / observed_time : 0.0;
+  return result;
+}
+
+}  // namespace gridctl::datacenter

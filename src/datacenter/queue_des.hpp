@@ -1,0 +1,37 @@
+// Discrete-event simulation of an M/M/n queue.
+//
+// The controller's latency provisioning rests on two analytic results:
+// the paper's simplified bound D = 1/(n mu - lambda) and the exact
+// Erlang-C formulas in latency.hpp. This event-driven simulator provides
+// the ground truth both are checked against in the test suite — a
+// substrate validating a substrate, with no shared math between them.
+//
+// Implementation: exponential inter-arrival and service times, FIFO
+// queue, n servers; tracks per-request wait, queueing probability and
+// time-averaged queue length.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/random.hpp"
+
+namespace gridctl::datacenter {
+
+struct MmnSimulationResult {
+  double mean_wait_s = 0.0;         // time in queue (excluding service)
+  double mean_response_s = 0.0;     // wait + service
+  double queueing_probability = 0.0;  // fraction of arrivals that waited
+  double mean_queue_length = 0.0;   // time-averaged waiting count
+  std::size_t completed = 0;
+};
+
+// Simulate `num_requests` arrivals at rate `arrival_rate` served by
+// `servers` x `service_rate`. `warmup` initial completions are excluded
+// from the statistics. Requires a stable system (n mu > lambda).
+MmnSimulationResult simulate_mmn(std::size_t servers, double service_rate,
+                                 double arrival_rate,
+                                 std::size_t num_requests, std::uint64_t seed,
+                                 std::size_t warmup = 1000);
+
+}  // namespace gridctl::datacenter

@@ -1,0 +1,52 @@
+// Linear server power model — the paper's eq. (5)–(7).
+//
+// Horvath & Skadron's measurements give per-server power that is linear
+// in CPU utilization and frequency; with fixed frequency and
+// U_cpu = lambda / f this collapses to  P(lambda) = b1 lambda + b0  per
+// server, and  P_j = b1 lambda_j + m_j b0  for an IDC with m_j servers ON
+// and aggregate load lambda_j.
+#pragma once
+
+#include <cstddef>
+
+namespace gridctl::datacenter {
+
+struct ServerPowerModel {
+  double idle_w = 150.0;   // b0: power of an ON but idle server
+  double peak_w = 285.0;   // power at full utilization (lambda = mu)
+  double service_rate = 1.0;  // mu: req/s one server sustains
+
+  // b1 = (peak - idle) / mu: watts per unit of request rate.
+  double watts_per_rps() const { return (peak_w - idle_w) / service_rate; }
+
+  // Power of one server processing `lambda` req/s (lambda <= mu).
+  double server_power(double lambda) const {
+    return idle_w + watts_per_rps() * lambda;
+  }
+
+  // IDC aggregate power: m servers ON sharing `lambda` req/s total.
+  double idc_power(double lambda, std::size_t servers_on) const {
+    return watts_per_rps() * lambda +
+           static_cast<double>(servers_on) * idle_w;
+  }
+
+  // Throws InvalidArgument on non-physical parameters.
+  void validate() const;
+};
+
+// The four-parameter utilization/frequency fit of eq. (5), provided for
+// completeness and to document how (b0, b1) derive from (a0..a3) at a
+// fixed frequency: b0 = a2 f + a0, b1 = a3 + a1 / f.
+struct FrequencyPowerFit {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+
+  double power(double frequency, double cpu_utilization) const {
+    return a3 * frequency * cpu_utilization + a2 * frequency +
+           a1 * cpu_utilization + a0;
+  }
+
+  // Collapse to the linear-in-lambda model at a fixed frequency.
+  ServerPowerModel at_frequency(double frequency, double service_rate) const;
+};
+
+}  // namespace gridctl::datacenter

@@ -1,0 +1,102 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::linalg {
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  require(a.square(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      throw NumericalError("Cholesky: matrix is not positive definite");
+    }
+    l_(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      l_(i, j) = sum / l_(j, j);
+    }
+  }
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  require(b.size() == n, "Cholesky::solve: dimension mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= l_(i, j) * y[j];
+    y[i] = sum / l_(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= l_(j, ii) * x[j];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  require(b.rows() == l_.rows(), "Cholesky::solve: dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector col = solve(b.col_vector(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+Ldlt::Ldlt(const Matrix& a) : l_(Matrix::identity(a.rows())), d_(a.rows()) {
+  require(a.square(), "Ldlt: matrix must be square");
+  scale_ = a.max_abs();
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= l_(j, k) * l_(j, k) * d_[k];
+    d_[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k) * d_[k];
+      l_(i, j) = (dj != 0.0) ? sum / dj : 0.0;
+    }
+  }
+}
+
+bool Ldlt::singular(double tol) const {
+  const double threshold = tol * std::max(scale_, 1.0);
+  for (double dj : d_) {
+    if (std::abs(dj) <= threshold) return true;
+  }
+  return false;
+}
+
+Vector Ldlt::solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  require(b.size() == n, "Ldlt::solve: dimension mismatch");
+  if (singular()) throw NumericalError("Ldlt::solve: matrix is singular");
+  // L y = b
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= l_(i, j) * y[j];
+    y[i] = sum;
+  }
+  // D z = y
+  for (std::size_t i = 0; i < n; ++i) y[i] /= d_[i];
+  // Lᵀ x = z
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= l_(j, ii) * x[j];
+    x[ii] = sum;
+  }
+  return x;
+}
+
+}  // namespace gridctl::linalg

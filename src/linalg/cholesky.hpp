@@ -1,0 +1,46 @@
+// Cholesky (LLᵀ) and LDLᵀ factorizations for symmetric systems.
+//
+// The ADMM QP solver refactorizes a symmetric quasi-definite KKT matrix;
+// LDLᵀ handles the indefinite (+ρI / −I/σ) blocks, while plain Cholesky
+// serves strictly positive-definite normal equations.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gridctl::linalg {
+
+// A = L Lᵀ with L lower-triangular; requires symmetric positive-definite.
+class Cholesky {
+ public:
+  // Throws NumericalError when `a` is not (numerically) SPD.
+  explicit Cholesky(const Matrix& a);
+
+  Vector solve(const Vector& b) const;
+  Matrix solve(const Matrix& b) const;
+
+  const Matrix& lower() const { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+// A = L D Lᵀ with unit-lower-triangular L and diagonal D (no pivoting;
+// adequate for the quasi-definite KKT systems gridctl builds, whose
+// diagonal is bounded away from zero by construction).
+class Ldlt {
+ public:
+  explicit Ldlt(const Matrix& a);
+
+  bool singular(double tol = 1e-12) const;
+  Vector solve(const Vector& b) const;
+
+  const Matrix& unit_lower() const { return l_; }
+  const Vector& diag() const { return d_; }
+
+ private:
+  Matrix l_;
+  Vector d_;
+  double scale_ = 0.0;
+};
+
+}  // namespace gridctl::linalg

@@ -1,0 +1,81 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::linalg {
+namespace {
+
+// Padé(13) coefficients from Higham, "The scaling and squaring method for
+// the matrix exponential revisited", SIAM J. Matrix Anal. 2005.
+constexpr double kPade13[] = {
+    64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+    1187353796428800.0,  129060195264000.0,   10559470521600.0,
+    670442572800.0,      33522128640.0,       1323241920.0,
+    40840800.0,          960960.0,            16380.0,
+    182.0,               1.0};
+
+// theta_13: the 1-norm bound under which Padé(13) is accurate to double
+// precision without scaling.
+constexpr double kTheta13 = 5.371920351148152;
+
+}  // namespace
+
+Matrix expm(const Matrix& a) {
+  require(a.square(), "expm: matrix must be square");
+  const std::size_t n = a.rows();
+  if (n == 0) return Matrix();
+
+  // Choose scaling s so that ||A / 2^s|| <= theta_13.
+  const double norm = a.inf_norm();
+  int squarings = 0;
+  Matrix scaled = a;
+  if (norm > kTheta13) {
+    squarings = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
+    scaled *= std::ldexp(1.0, -squarings);
+  }
+
+  // Padé(13): r(A) = [V - U]⁻¹ [V + U] with
+  //   U = A (b13 A12 + b11 A10 + ... + b1 I)
+  //   V =    b12 A12 + b10 A10 + ... + b0 I
+  const Matrix identity_n = Matrix::identity(n);
+  const Matrix a2 = scaled * scaled;
+  const Matrix a4 = a2 * a2;
+  const Matrix a6 = a4 * a2;
+
+  // U = A * (A6*(b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+  Matrix u_inner = kPade13[13] * a6 + kPade13[11] * a4 + kPade13[9] * a2;
+  u_inner = a6 * u_inner;
+  u_inner += kPade13[7] * a6 + kPade13[5] * a4 + kPade13[3] * a2 +
+             kPade13[1] * identity_n;
+  const Matrix u = scaled * u_inner;
+
+  // V = A6*(b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+  Matrix v_inner = kPade13[12] * a6 + kPade13[10] * a4 + kPade13[8] * a2;
+  Matrix v = a6 * v_inner;
+  v += kPade13[6] * a6 + kPade13[4] * a4 + kPade13[2] * a2 +
+       kPade13[0] * identity_n;
+
+  Matrix result = Lu(v - u).solve(v + u);
+  for (int i = 0; i < squarings; ++i) result = result * result;
+  return result;
+}
+
+ZohResult zoh_discretize(const Matrix& a, const Matrix& b, double ts) {
+  require(a.square(), "zoh_discretize: A must be square");
+  require(a.rows() == b.rows(), "zoh_discretize: A/B row mismatch");
+  require(ts > 0.0, "zoh_discretize: sampling period must be positive");
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  // Augmented matrix [[A, B], [0, 0]] * ts.
+  Matrix aug(n + m, n + m);
+  aug.set_block(0, 0, a);
+  aug.set_block(0, n, b);
+  aug *= ts;
+  const Matrix e = expm(aug);
+  return ZohResult{e.block(0, 0, n, n), e.block(0, n, n, m)};
+}
+
+}  // namespace gridctl::linalg

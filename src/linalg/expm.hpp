@@ -1,0 +1,24 @@
+// Matrix exponential via scaling-and-squaring with a Padé(13) approximant
+// (Higham 2005), plus the block trick that yields zero-order-hold
+// discretizations in one call.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gridctl::linalg {
+
+// exp(A) for square A.
+Matrix expm(const Matrix& a);
+
+// Zero-order-hold discretization of  ẋ = A x + B u  over step `ts`:
+//   Phi   = exp(A ts)
+//   Gamma = ∫₀^ts exp(A s) ds · B
+// computed as the top blocks of exp([[A, B],[0, 0]] ts), which is exact
+// even when A is singular (the paper's A has a zero first column).
+struct ZohResult {
+  Matrix phi;
+  Matrix gamma;
+};
+ZohResult zoh_discretize(const Matrix& a, const Matrix& b, double ts);
+
+}  // namespace gridctl::linalg

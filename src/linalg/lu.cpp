@@ -1,0 +1,133 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::linalg {
+
+Lu::Lu(const Matrix& a) : lu_(a) {
+  require(a.square(), "Lu: matrix must be square");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  scale_ = a.max_abs();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest |entry| in column k at/below k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double cand = std::abs(lu_(r, k));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      sign_ = -sign_;
+    }
+    const double diag = lu_(k, k);
+    if (diag == 0.0) continue;  // leaves a zero pivot; singular() reports it
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) / diag;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+bool Lu::singular(double tol) const {
+  const double threshold = tol * std::max(scale_, 1.0);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) {
+    if (std::abs(lu_(i, i)) <= threshold) return true;
+  }
+  return false;
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  require(b.size() == n, "Lu::solve: dimension mismatch");
+  if (singular()) throw NumericalError("Lu::solve: matrix is singular");
+  // Forward substitution with permuted b (L has unit diagonal).
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * y[j];
+    y[i] = sum;
+  }
+  // Backward substitution.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= lu_(ii, j) * x[j];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  require(b.rows() == lu_.rows(), "Lu::solve: dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector col = solve(b.col_vector(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+double Lu::determinant() const {
+  double det = sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) { return Lu(a).solve(b); }
+Matrix solve(const Matrix& a, const Matrix& b) { return Lu(a).solve(b); }
+
+Matrix inverse(const Matrix& a) {
+  return Lu(a).solve(Matrix::identity(a.rows()));
+}
+
+double determinant(const Matrix& a) { return Lu(a).determinant(); }
+
+std::size_t rank(const Matrix& a, double tol) {
+  Matrix m(a);
+  const std::size_t rows = m.rows(), cols = m.cols();
+  const double threshold = tol * std::max(m.max_abs(), 1.0);
+  std::size_t rank_count = 0;
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < cols && pivot_row < rows; ++col) {
+    std::size_t best_row = pivot_row;
+    double best = std::abs(m(pivot_row, col));
+    for (std::size_t r = pivot_row + 1; r < rows; ++r) {
+      if (std::abs(m(r, col)) > best) {
+        best = std::abs(m(r, col));
+        best_row = r;
+      }
+    }
+    if (best <= threshold) continue;
+    if (best_row != pivot_row) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        std::swap(m(pivot_row, c), m(best_row, c));
+      }
+    }
+    for (std::size_t r = pivot_row + 1; r < rows; ++r) {
+      const double factor = m(r, col) / m(pivot_row, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < cols; ++c) {
+        m(r, c) -= factor * m(pivot_row, c);
+      }
+    }
+    ++rank_count;
+    ++pivot_row;
+  }
+  return rank_count;
+}
+
+}  // namespace gridctl::linalg

@@ -1,0 +1,43 @@
+// LU factorization with partial pivoting, and the solve / inverse /
+// determinant / rank operations built on it.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gridctl::linalg {
+
+// PA = LU factorization of a square matrix.
+class Lu {
+ public:
+  // Factorizes `a`; throws InvalidArgument if `a` is not square.
+  explicit Lu(const Matrix& a);
+
+  // True when a pivot below `tol * max_abs` was encountered.
+  bool singular(double tol = 1e-12) const;
+
+  // Solve A x = b; throws NumericalError when singular().
+  Vector solve(const Vector& b) const;
+  // Solve A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  double determinant() const;
+
+ private:
+  Matrix lu_;                     // packed L (unit diag) and U
+  std::vector<std::size_t> perm_; // row permutation
+  int sign_ = 1;                  // permutation parity
+  double scale_ = 0.0;            // max |a_ij| of the input, for tolerances
+};
+
+// Convenience one-shot solves.
+Vector solve(const Matrix& a, const Vector& b);
+Matrix solve(const Matrix& a, const Matrix& b);
+Matrix inverse(const Matrix& a);
+double determinant(const Matrix& a);
+
+// Numerical rank via Gaussian elimination with full row pivoting on a
+// copy; works for rectangular matrices (used by the controllability
+// test).
+std::size_t rank(const Matrix& a, double tol = 1e-9);
+
+}  // namespace gridctl::linalg

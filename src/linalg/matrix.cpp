@@ -1,0 +1,288 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace gridctl::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    require(row.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::column(const Vector& v) {
+  Matrix m(v.size(), 1);
+  std::copy(v.begin(), v.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::row(const Vector& v) {
+  Matrix m(1, v.size());
+  std::copy(v.begin(), v.end(), m.data_.begin());
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  require(r < rows_ && c < cols_, "Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t.data_[c * rows_ + r] = data_[r * cols_ + c];
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  require(r0 + nr <= rows_ && c0 + nc <= cols_,
+          "Matrix::block: block exceeds matrix bounds");
+  Matrix b(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t c = 0; c < nc; ++c) {
+      b.data_[r * nc + c] = data_[(r0 + r) * cols_ + c0 + c];
+    }
+  }
+  return b;
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& b) {
+  require(r0 + b.rows_ <= rows_ && c0 + b.cols_ <= cols_,
+          "Matrix::set_block: block exceeds matrix bounds");
+  for (std::size_t r = 0; r < b.rows_; ++r) {
+    for (std::size_t c = 0; c < b.cols_; ++c) {
+      data_[(r0 + r) * cols_ + c0 + c] = b.data_[r * b.cols_ + c];
+    }
+  }
+}
+
+Vector Matrix::row_vector(std::size_t r) const {
+  require(r < rows_, "Matrix::row_vector: index out of range");
+  return Vector(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector Matrix::col_vector(std::size_t c) const {
+  require(c < cols_, "Matrix::col_vector: index out of range");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = data_[r * cols_ + c];
+  return v;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double Matrix::inf_norm() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) row_sum += std::abs(data_[r * cols_ + c]);
+    best = std::max(best, row_sum);
+  }
+  return best;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "Matrix::operator+=: dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "Matrix::operator-=: dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out << format("%.*g", precision, (*this)(r, c));
+      if (c + 1 < cols_) out << ", ";
+    }
+    out << (r + 1 == rows_ ? "]" : ";\n");
+  }
+  return out.str();
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "Matrix multiply: dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  const std::size_t n = a.rows(), k_dim = a.cols(), m = b.cols();
+  // i-k-j loop order for row-major cache friendliness.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < k_dim; ++k) {
+      const double aik = a.data()[i * k_dim + k];
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + k * m;
+      double* crow = c.data() + i * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix operator*(double s, Matrix a) { return a *= s; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  require(a.cols() == x.size(), "Matrix*Vector: dimension mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* arow = a.data() + r * a.cols();
+    double sum = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) sum += arow[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Matrix hstack(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "hstack: row count mismatch");
+  Matrix m(a.rows(), a.cols() + b.cols());
+  m.set_block(0, 0, a);
+  m.set_block(0, a.cols(), b);
+  return m;
+}
+
+Matrix vstack(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "vstack: column count mismatch");
+  Matrix m(a.rows() + b.rows(), a.cols());
+  m.set_block(0, 0, a);
+  m.set_block(a.rows(), 0, b);
+  return m;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "dot: dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const Vector& v) {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, std::abs(x));
+  return best;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "add: dimension mismatch");
+  Vector out(a);
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "sub: dimension mismatch");
+  Vector out(a);
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] -= b[i];
+  return out;
+}
+
+Vector scale(double s, const Vector& v) {
+  Vector out(v);
+  for (double& x : out) x *= s;
+  return out;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  require(x.size() == y.size(), "axpy: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double quadratic_form(const Matrix& m, const Vector& a) {
+  return dot(a, m * a);
+}
+
+Vector clamp(const Vector& x, const Vector& lo, const Vector& hi) {
+  require(x.size() == lo.size() && x.size() == hi.size(),
+          "clamp: dimension mismatch");
+  Vector out(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::min(std::max(out[i], lo[i]), hi[i]);
+  }
+  return out;
+}
+
+Vector concat(const Vector& a, const Vector& b) {
+  Vector out(a);
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (std::abs(a(r, c) - b(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool approx_equal(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace gridctl::linalg

@@ -1,0 +1,106 @@
+// Dense row-major matrix and vector primitives.
+//
+// gridctl's control problems are small and dense (tens to a few hundred
+// variables), so a straightforward dense implementation with clear
+// semantics beats a sparse or expression-template design. All storage is
+// value-semantic; no aliasing surprises.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gridctl::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  // rows x cols, all entries `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  // Construct from nested braces: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix diagonal(const Vector& d);
+  // Column vector (n x 1) from a Vector.
+  static Matrix column(const Vector& v);
+  // Row vector (1 x n) from a Vector.
+  static Matrix row(const Vector& v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  // Raw storage access (row-major), for tight loops.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  Matrix transpose() const;
+
+  // Submatrix copy: `nr` x `nc` block with top-left corner (r0, c0).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+  // Write `b` into this matrix with top-left corner (r0, c0).
+  void set_block(std::size_t r0, std::size_t c0, const Matrix& b);
+
+  // One row / column as a Vector.
+  Vector row_vector(std::size_t r) const;
+  Vector col_vector(std::size_t c) const;
+
+  // Frobenius norm and infinity (max-row-sum) norm.
+  double frobenius_norm() const;
+  double inf_norm() const;
+  // Largest |entry|.
+  double max_abs() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  std::string to_string(int precision = 6) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(const Matrix& a, const Matrix& b);
+Matrix operator*(double s, Matrix a);
+Matrix operator*(Matrix a, double s);
+Vector operator*(const Matrix& a, const Vector& x);
+
+// Stack horizontally / vertically; dimension-checked.
+Matrix hstack(const Matrix& a, const Matrix& b);
+Matrix vstack(const Matrix& a, const Matrix& b);
+
+// Vector helpers -----------------------------------------------------------
+
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& v);
+double norm_inf(const Vector& v);
+Vector add(const Vector& a, const Vector& b);
+Vector sub(const Vector& a, const Vector& b);
+Vector scale(double s, const Vector& v);
+// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+// aᵀ M a convenience for quadratic forms.
+double quadratic_form(const Matrix& m, const Vector& a);
+// x with every entry clamped to [lo[i], hi[i]].
+Vector clamp(const Vector& x, const Vector& lo, const Vector& hi);
+Vector concat(const Vector& a, const Vector& b);
+
+// Approximate comparison used by tests and iterative solvers.
+bool approx_equal(const Matrix& a, const Matrix& b, double tol = 1e-9);
+bool approx_equal(const Vector& a, const Vector& b, double tol = 1e-9);
+
+}  // namespace gridctl::linalg

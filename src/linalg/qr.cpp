@@ -1,0 +1,90 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::linalg {
+
+Qr::Qr(const Matrix& a) : qr_(a), tau_(std::min(a.rows(), a.cols())) {
+  require(a.rows() >= a.cols(), "Qr: requires rows >= cols");
+  scale_ = a.max_abs();
+  const std::size_t m = a.rows(), n = a.cols();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_sq += qr_(i, k) * qr_(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {
+      tau_[k] = 0.0;
+      continue;
+    }
+    const double alpha = (qr_(k, k) >= 0.0) ? -norm : norm;
+    // v = x - alpha e1, stored normalized so v[0] = 1.
+    const double v0 = qr_(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    tau_[k] = -v0 / alpha;  // = 2 / (vᵀv) with v[0]=1 scaling
+    qr_(k, k) = alpha;
+    // Apply reflector to the remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = qr_(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= tau_[k];
+      qr_(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+bool Qr::rank_deficient(double tol) const {
+  const double threshold = tol * std::max(scale_, 1.0);
+  for (std::size_t k = 0; k < tau_.size(); ++k) {
+    if (std::abs(qr_(k, k)) <= threshold) return true;
+  }
+  return false;
+}
+
+Vector Qr::apply_qt(const Vector& b) const {
+  const std::size_t m = qr_.rows(), n = qr_.cols();
+  require(b.size() == m, "Qr::apply_qt: dimension mismatch");
+  Vector y(b);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= tau_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+  return y;
+}
+
+Matrix Qr::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+Vector Qr::solve_least_squares(const Vector& b) const {
+  if (rank_deficient()) {
+    throw NumericalError("Qr::solve_least_squares: rank-deficient matrix");
+  }
+  const std::size_t n = qr_.cols();
+  const Vector y = apply_qt(b);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= qr_(ii, j) * x[j];
+    x[ii] = sum / qr_(ii, ii);
+  }
+  return x;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  return Qr(a).solve_least_squares(b);
+}
+
+}  // namespace gridctl::linalg

@@ -1,0 +1,35 @@
+// Householder QR factorization and linear least squares.
+//
+// Used for the unconstrained core of the MPC least-squares problem and as
+// a numerically robust fallback for overdetermined systems.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gridctl::linalg {
+
+// A = Q R for A (m x n), m >= n, via Householder reflections.
+class Qr {
+ public:
+  explicit Qr(const Matrix& a);
+
+  // Minimize ||A x - b||₂; throws NumericalError when A is rank-deficient.
+  Vector solve_least_squares(const Vector& b) const;
+
+  // The upper-triangular factor R (n x n).
+  Matrix r() const;
+  // Apply Qᵀ to a vector of length m.
+  Vector apply_qt(const Vector& b) const;
+
+  bool rank_deficient(double tol = 1e-12) const;
+
+ private:
+  Matrix qr_;       // Householder vectors below the diagonal, R on/above
+  Vector tau_;      // Householder scalars
+  double scale_ = 0.0;
+};
+
+// One-shot dense least squares: argmin ||A x - b||₂.
+Vector least_squares(const Matrix& a, const Vector& b);
+
+}  // namespace gridctl::linalg

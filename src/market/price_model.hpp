@@ -1,0 +1,34 @@
+// Electricity price models for multi-region real-time markets.
+//
+// The modern grid quotes a locational marginal price (LMP) per region per
+// settlement interval (hourly in MISO, the market the paper's Fig. 2
+// traces come from). The paper's price model (eq. 9) is
+//   Pr_j = function(region, time, load)
+// i.e. prices may also respond to the consumer's own demand — the
+// "active consumer" effect. `PriceModel` captures exactly that
+// interface; implementations are trace playback (exogenous) and a
+// bottom-up bid-based stochastic market (endogenous, ref. [17]).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gridctl::market {
+
+// One price quote, $/MWh.
+class PriceModel {
+ public:
+  virtual ~PriceModel() = default;
+
+  // Price in region `region` at simulation time `time_s` (seconds since
+  // trace start) given the consumer's power draw `demand_w` in that
+  // region. Exogenous models ignore `demand_w`.
+  virtual double price(std::size_t region, double time_s,
+                       double demand_w) const = 0;
+
+  virtual std::size_t num_regions() const = 0;
+  virtual std::string region_name(std::size_t region) const;
+};
+
+}  // namespace gridctl::market

@@ -1,0 +1,24 @@
+#include "market/regions.hpp"
+
+namespace gridctl::market {
+
+TracePrice paper_region_traces() {
+  // Hour-by-hour $/MWh, index = hour of day. Hours 6 and 7 are the
+  // paper's Table III values exactly; the rest follow Fig. 2's shape.
+  std::vector<double> michigan = {
+      38.10, 35.40, 33.90, 33.20, 36.80, 40.10, 43.26, 49.90,
+      55.30, 58.70, 61.20, 63.80, 66.40, 69.10, 72.50, 76.30,
+      81.20, 85.60, 79.40, 70.20, 60.80, 52.30, 46.10, 41.70};
+  std::vector<double> minnesota = {
+      24.30, 22.10, 20.80, 20.20, 23.50, 27.40, 30.26, 29.47,
+      31.80, 33.20, 34.60, 36.10, 37.40, 38.20, 39.50, 40.30,
+      41.80, 42.60, 39.70, 36.40, 32.90, 29.80, 27.20, 25.60};
+  std::vector<double> wisconsin = {
+      15.20, 8.40,  -3.60, -18.90, -7.20, 6.80,  19.06, 77.97,
+      64.30, 41.20, 30.50, 26.80,  24.30, 28.90, 35.60, 48.20,
+      68.90, 92.40, 71.60, 44.80,  30.20, 22.50, 18.30, 16.10};
+  return TracePrice({michigan, minnesota, wisconsin},
+                    {"Michigan", "Minnesota", "Wisconsin"});
+}
+
+}  // namespace gridctl::market

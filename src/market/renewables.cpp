@@ -1,0 +1,61 @@
+#include "market/renewables.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace gridctl::market {
+
+RenewableSupply::RenewableSupply(std::vector<RenewableRegionConfig> regions,
+                                 std::uint64_t seed,
+                                 std::size_t horizon_hours)
+    : regions_(std::move(regions)) {
+  require(!regions_.empty(), "RenewableSupply: need at least one region");
+  require(horizon_hours > 0, "RenewableSupply: empty horizon");
+  for (const auto& cfg : regions_) {
+    require(cfg.solar_peak_w >= 0.0 && cfg.wind_mean_w >= 0.0,
+            "RenewableSupply: negative capacity");
+    require(cfg.solar_span_hours > 0.0,
+            "RenewableSupply: solar span must be positive");
+    require(cfg.wind_variability >= 0.0 && cfg.wind_variability <= 1.0,
+            "RenewableSupply: wind variability must be in [0, 1]");
+  }
+  Rng rng(seed);
+  wind_.resize(regions_.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    Rng region_rng = rng.split();
+    const auto& cfg = regions_[r];
+    wind_[r].resize(horizon_hours);
+    double level = cfg.wind_mean_w;
+    const double swing = cfg.wind_mean_w * cfg.wind_variability;
+    for (std::size_t h = 0; h < horizon_hours; ++h) {
+      // Mean-reverting bounded walk in [mean - swing, mean + swing].
+      level += 0.3 * (cfg.wind_mean_w - level) +
+               0.4 * swing * region_rng.normal();
+      level = std::clamp(level, std::max(0.0, cfg.wind_mean_w - swing),
+                         cfg.wind_mean_w + swing);
+      wind_[r][h] = level;
+    }
+  }
+}
+
+double RenewableSupply::solar_w(std::size_t region, double time_s) const {
+  require(region < regions_.size(), "RenewableSupply: region out of range");
+  const auto& cfg = regions_[region];
+  const double hour = std::fmod(time_s / 3600.0, 24.0);
+  const double offset = hour - cfg.solar_noon_hour;
+  const double half_span = cfg.solar_span_hours / 2.0;
+  if (std::abs(offset) >= half_span) return 0.0;
+  return cfg.solar_peak_w * std::cos(M_PI * offset / cfg.solar_span_hours);
+}
+
+double RenewableSupply::available_w(std::size_t region, double time_s) const {
+  require(time_s >= 0.0, "RenewableSupply: negative time");
+  const std::size_t hour =
+      static_cast<std::size_t>(time_s / 3600.0) % wind_[region].size();
+  return solar_w(region, time_s) + wind_[region][hour];
+}
+
+}  // namespace gridctl::market

@@ -1,0 +1,40 @@
+// Per-region renewable generation available to the IDC operator —
+// the substrate for the "greening geographical load balancing" extension
+// (the paper's ref [6], Liu, Lin, Wierman, Low & Andrew).
+//
+// Each region offers a solar-like diurnal component (clamped half-cosine
+// around local noon) plus a wind component modelled as a slowly mixing
+// bounded random walk, both deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gridctl::market {
+
+struct RenewableRegionConfig {
+  double solar_peak_w = 3e6;    // installed solar, peak output at noon
+  double solar_noon_hour = 13.0;
+  double solar_span_hours = 12.0;  // daylight window width
+  double wind_mean_w = 1e6;     // average wind output
+  double wind_variability = 0.6;   // relative swing of the wind walk
+};
+
+class RenewableSupply {
+ public:
+  RenewableSupply(std::vector<RenewableRegionConfig> regions,
+                  std::uint64_t seed, std::size_t horizon_hours = 24 * 7);
+
+  // Renewable power available in `region` at time `time_s`, watts.
+  double available_w(std::size_t region, double time_s) const;
+  std::size_t num_regions() const { return regions_.size(); }
+
+  // Deterministic solar envelope alone (for tests).
+  double solar_w(std::size_t region, double time_s) const;
+
+ private:
+  std::vector<RenewableRegionConfig> regions_;
+  std::vector<std::vector<double>> wind_;  // per region, per hour
+};
+
+}  // namespace gridctl::market

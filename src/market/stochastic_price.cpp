@@ -1,0 +1,67 @@
+#include "market/stochastic_price.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace gridctl::market {
+
+double SupplyStack::clearing_price(double demand_w) const {
+  require(capacity_w > 0.0, "SupplyStack: capacity must be positive");
+  const double load_fraction = std::max(demand_w, 0.0) / capacity_w;
+  return price_floor + linear_coeff * load_fraction +
+         exp_coeff * std::exp(exp_rate * (load_fraction - 1.0));
+}
+
+StochasticBidPrice::StochasticBidPrice(std::vector<RegionMarketConfig> regions,
+                                       std::uint64_t seed,
+                                       std::size_t horizon_hours)
+    : regions_(std::move(regions)) {
+  require(!regions_.empty(), "StochasticBidPrice: need at least one region");
+  require(horizon_hours > 0, "StochasticBidPrice: empty horizon");
+  Rng rng(seed);
+  noise_.resize(regions_.size());
+  spikes_.resize(regions_.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    Rng region_rng = rng.split();
+    const auto& cfg = regions_[r];
+    noise_[r].resize(horizon_hours);
+    spikes_[r].resize(horizon_hours);
+    double x = 0.0;     // OU state (log-ish deviation)
+    double spike = 0.0; // decaying spike level
+    for (std::size_t h = 0; h < horizon_hours; ++h) {
+      // Euler-Maruyama step, dt = 1 hour.
+      x += -cfg.noise.reversion * x + cfg.noise.volatility * region_rng.normal();
+      spike *= cfg.spikes.decay;
+      if (region_rng.bernoulli(cfg.spikes.probability_per_hour)) {
+        spike += cfg.spikes.magnitude * (0.5 + region_rng.uniform());
+      }
+      noise_[r][h] = std::exp(x);
+      spikes_[r][h] = spike;
+    }
+  }
+}
+
+double StochasticBidPrice::base_demand(std::size_t region,
+                                       double time_s) const {
+  require(region < regions_.size(), "StochasticBidPrice: region out of range");
+  const auto& cfg = regions_[region];
+  const double hour = std::fmod(time_s / 3600.0, 24.0);
+  const double phase = 2.0 * M_PI * (hour - cfg.peak_hour) / 24.0;
+  return cfg.base_demand_w * (1.0 + cfg.diurnal_amplitude * std::cos(phase));
+}
+
+double StochasticBidPrice::price(std::size_t region, double time_s,
+                                 double demand_w) const {
+  require(region < regions_.size(), "StochasticBidPrice: region out of range");
+  require(time_s >= 0.0, "StochasticBidPrice: negative time");
+  const auto& cfg = regions_[region];
+  const std::size_t hour = static_cast<std::size_t>(time_s / 3600.0) %
+                           noise_[region].size();
+  const double total_demand = base_demand(region, time_s) + std::max(demand_w, 0.0);
+  const double cleared = cfg.stack.clearing_price(total_demand);
+  return cleared * noise_[region][hour] + spikes_[region][hour];
+}
+
+}  // namespace gridctl::market

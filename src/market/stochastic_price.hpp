@@ -1,0 +1,77 @@
+// Bottom-up bid-based stochastic price model (paper ref. [17], Skantze,
+// Ilic & Chapman) with demand feedback.
+//
+// Each region has an aggregate supply stack: generators offer quantity
+// blocks at increasing marginal prices, approximated by a convex
+// linear-plus-exponential curve of the load fraction. The hourly price is
+// the stack evaluated at (exogenous regional base demand + the IDC
+// operator's own demand), modulated by a mean-reverting
+// (Ornstein-Uhlenbeck) multiplicative noise and an occasional spike
+// process. Because the IDC's demand enters the stack, a large consumer
+// moves its own price — the "active consumer" effect the paper's intro
+// argues makes greedy geographic load balancing oscillate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "market/price_model.hpp"
+
+namespace gridctl::market {
+
+struct SupplyStack {
+  double capacity_w = 2e9;     // regional generation capacity
+  double price_floor = 12.0;   // $/MWh at zero load
+  double linear_coeff = 45.0;  // $/MWh added at full load, linear part
+  double exp_coeff = 8.0;      // scale of the scarcity exponential
+  double exp_rate = 6.0;       // steepness of the scarcity exponential
+
+  // Marginal clearing price for a given total demand (demand above
+  // capacity extrapolates along the exponential — scarcity pricing).
+  double clearing_price(double demand_w) const;
+};
+
+struct OrnsteinUhlenbeck {
+  double reversion = 0.35;   // per hour
+  double volatility = 0.12;  // per sqrt(hour)
+};
+
+struct SpikeProcess {
+  double probability_per_hour = 0.02;
+  double magnitude = 60.0;   // $/MWh added when a spike fires
+  double decay = 0.5;        // geometric per-hour decay of a spike
+};
+
+struct RegionMarketConfig {
+  SupplyStack stack;
+  OrnsteinUhlenbeck noise;
+  SpikeProcess spikes;
+  // Exogenous base demand: diurnal sinusoid around `base_demand_w` with
+  // relative amplitude `diurnal_amplitude` peaking at `peak_hour`.
+  double base_demand_w = 1.2e9;
+  double diurnal_amplitude = 0.25;
+  double peak_hour = 17.0;
+};
+
+class StochasticBidPrice : public PriceModel {
+ public:
+  // Precomputes `horizon_hours` of noise per region from `seed`, so the
+  // model is deterministic and `price()` can stay const.
+  StochasticBidPrice(std::vector<RegionMarketConfig> regions,
+                     std::uint64_t seed, std::size_t horizon_hours = 24 * 7);
+
+  double price(std::size_t region, double time_s,
+               double demand_w) const override;
+  std::size_t num_regions() const override { return regions_.size(); }
+
+  // Exogenous base demand at a time (before the IDC's own draw).
+  double base_demand(std::size_t region, double time_s) const;
+
+ private:
+  std::vector<RegionMarketConfig> regions_;
+  // noise_[r][h]: multiplicative OU factor; spikes_[r][h]: additive $/MWh.
+  std::vector<std::vector<double>> noise_;
+  std::vector<std::vector<double>> spikes_;
+};
+
+}  // namespace gridctl::market

@@ -1,0 +1,66 @@
+#include "market/trace_price.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace gridctl::market {
+
+std::string PriceModel::region_name(std::size_t region) const {
+  return format("region-%zu", region);
+}
+
+TracePrice::TracePrice(std::vector<std::vector<double>> hourly,
+                       std::vector<std::string> names)
+    : hourly_(std::move(hourly)), names_(std::move(names)) {
+  require(!hourly_.empty(), "TracePrice: need at least one region");
+  const std::size_t len = hourly_[0].size();
+  require(len > 0, "TracePrice: empty price series");
+  for (const auto& series : hourly_) {
+    require(series.size() == len, "TracePrice: ragged price series");
+  }
+  if (!names_.empty()) {
+    require(names_.size() == hourly_.size(),
+            "TracePrice: name count must match region count");
+  }
+}
+
+double TracePrice::price(std::size_t region, double time_s,
+                         double /*demand_w*/) const {
+  require(region < hourly_.size(), "TracePrice: region out of range");
+  require(time_s >= 0.0, "TracePrice: negative time");
+  const std::size_t hour =
+      static_cast<std::size_t>(std::floor(time_s / 3600.0)) % hourly_[region].size();
+  return hourly_[region][hour];
+}
+
+std::string TracePrice::region_name(std::size_t region) const {
+  if (region < names_.size()) return names_[region];
+  return PriceModel::region_name(region);
+}
+
+const std::vector<double>& TracePrice::series(std::size_t region) const {
+  require(region < hourly_.size(), "TracePrice: region out of range");
+  return hourly_[region];
+}
+
+TracePrice trace_from_csv(const CsvTable& table) {
+  std::vector<std::vector<double>> hourly;
+  std::vector<std::string> names;
+  for (std::size_t col = 0; col < table.header.size(); ++col) {
+    if (table.header[col] == "hour" || table.header[col] == "time") continue;
+    std::vector<double> series;
+    series.reserve(table.rows.size());
+    for (const auto& row : table.rows) series.push_back(row.at(col));
+    hourly.push_back(std::move(series));
+    names.push_back(table.header[col]);
+  }
+  return TracePrice(std::move(hourly), std::move(names));
+}
+
+TracePrice trace_from_csv_file(const std::string& path) {
+  return trace_from_csv(read_csv_file(path));
+}
+
+}  // namespace gridctl::market

@@ -1,0 +1,40 @@
+// Hourly LMP trace playback (piecewise-constant, the settlement behaviour
+// of real RTP markets).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "market/price_model.hpp"
+#include "util/csv.hpp"
+
+namespace gridctl::market {
+
+class TracePrice : public PriceModel {
+ public:
+  // `hourly[r]` is region r's price series; entry h applies on
+  // [h*3600, (h+1)*3600). Time wraps modulo the series length, so a 24 h
+  // trace repeats daily. All series must have equal, non-zero length.
+  TracePrice(std::vector<std::vector<double>> hourly,
+             std::vector<std::string> names = {});
+
+  double price(std::size_t region, double time_s,
+               double demand_w) const override;
+  std::size_t num_regions() const override { return hourly_.size(); }
+  std::string region_name(std::size_t region) const override;
+
+  std::size_t hours() const { return hourly_.empty() ? 0 : hourly_[0].size(); }
+  const std::vector<double>& series(std::size_t region) const;
+
+ private:
+  std::vector<std::vector<double>> hourly_;
+  std::vector<std::string> names_;
+};
+
+// Build a TracePrice from a CSV table: every column is one region's
+// hourly series, column headers become region names. (A leading column
+// named "hour" or "time" is ignored.)
+TracePrice trace_from_csv(const CsvTable& table);
+TracePrice trace_from_csv_file(const std::string& path);
+
+}  // namespace gridctl::market

@@ -1,0 +1,238 @@
+#include "solvers/lp_simplex.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace gridctl::solvers {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+// Dense simplex tableau in standard form:
+//   minimize cᵀx  s.t.  A x = b,  x >= 0,  b >= 0.
+// Rows 0..m-1 hold [A | b]; row m holds the reduced-cost row [c̄ | -z].
+class Tableau {
+ public:
+  Tableau(const Matrix& a, const Vector& b, const Vector& c)
+      : m_(a.rows()), n_(a.cols()), t_(a.rows() + 1, a.cols() + 1),
+        basis_(a.rows()) {
+    for (std::size_t i = 0; i < m_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) t_(i, j) = a(i, j);
+      t_(i, n_) = b[i];
+    }
+    for (std::size_t j = 0; j < n_; ++j) t_(m_, j) = c[j];
+  }
+
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return n_; }
+  const std::vector<std::size_t>& basis() const { return basis_; }
+  double objective() const { return -t_(m_, n_); }
+  double rhs(std::size_t row) const { return t_(row, n_); }
+  double reduced_cost(std::size_t col) const { return t_(m_, col); }
+
+  void set_basis(std::size_t row, std::size_t col) { basis_[row] = col; }
+
+  // Make reduced costs of basic columns zero (price out the basis).
+  void price_out(double tol) {
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double coef = t_(m_, basis_[i]);
+      if (std::abs(coef) > tol) add_multiple_of_row(i, m_, -coef);
+    }
+  }
+
+  void pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    const double pivot_val = t_(pivot_row, pivot_col);
+    for (std::size_t j = 0; j <= n_; ++j) t_(pivot_row, j) /= pivot_val;
+    for (std::size_t i = 0; i <= m_; ++i) {
+      if (i == pivot_row) continue;
+      const double factor = t_(i, pivot_col);
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j <= n_; ++j) {
+        t_(i, j) -= factor * t_(pivot_row, j);
+      }
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  // Bland's rule iteration. Returns optimal/unbounded/iterating.
+  enum class Step { kOptimal, kUnbounded, kPivoted };
+  Step step(double tol) {
+    // Entering: smallest index with negative reduced cost.
+    std::size_t enter = n_;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (t_(m_, j) < -tol) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == n_) return Step::kOptimal;
+    // Leaving: min ratio, ties by smallest basis index (Bland).
+    std::size_t leave = m_;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double aij = t_(i, enter);
+      if (aij > tol) {
+        const double ratio = t_(i, n_) / aij;
+        if (ratio < best_ratio - tol ||
+            (std::abs(ratio - best_ratio) <= tol &&
+             (leave == m_ || basis_[i] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave == m_) return Step::kUnbounded;
+    pivot(leave, enter);
+    return Step::kPivoted;
+  }
+
+  double entry(std::size_t r, std::size_t c) const { return t_(r, c); }
+
+ private:
+  void add_multiple_of_row(std::size_t src, std::size_t dst, double factor) {
+    for (std::size_t j = 0; j <= n_; ++j) t_(dst, j) += factor * t_(src, j);
+  }
+
+  std::size_t m_, n_;
+  Matrix t_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
+  const std::size_t n_orig = problem.c.size();
+  const std::size_t m_eq = problem.a_eq.rows();
+  const std::size_t m_ub = problem.a_ub.rows();
+  if (m_eq > 0) {
+    require(problem.a_eq.cols() == n_orig && problem.b_eq.size() == m_eq,
+            "solve_lp: equality block dimension mismatch");
+  }
+  if (m_ub > 0) {
+    require(problem.a_ub.cols() == n_orig && problem.b_ub.size() == m_ub,
+            "solve_lp: inequality block dimension mismatch");
+  }
+  const std::size_t m = m_eq + m_ub;
+  const std::size_t n_slack = m_ub;
+  // Layout: [original | slacks | artificials].
+  const std::size_t n_art = m;
+  const std::size_t n_total = n_orig + n_slack + n_art;
+
+  Matrix a(m, n_total);
+  Vector b(m);
+  for (std::size_t i = 0; i < m_eq; ++i) {
+    for (std::size_t j = 0; j < n_orig; ++j) a(i, j) = problem.a_eq(i, j);
+    b[i] = problem.b_eq[i];
+  }
+  for (std::size_t i = 0; i < m_ub; ++i) {
+    const std::size_t row = m_eq + i;
+    for (std::size_t j = 0; j < n_orig; ++j) a(row, j) = problem.a_ub(i, j);
+    a(row, n_orig + i) = 1.0;  // slack
+    b[row] = problem.b_ub[i];
+  }
+  // Standard form needs b >= 0.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (b[i] < 0.0) {
+      for (std::size_t j = 0; j < n_orig + n_slack; ++j) a(i, j) = -a(i, j);
+      b[i] = -b[i];
+    }
+  }
+  // Artificial columns form the initial identity basis.
+  for (std::size_t i = 0; i < m; ++i) a(i, n_orig + n_slack + i) = 1.0;
+
+  // Phase 1: minimize the sum of artificials.
+  Vector c1(n_total, 0.0);
+  for (std::size_t i = 0; i < n_art; ++i) c1[n_orig + n_slack + i] = 1.0;
+
+  Tableau tab(a, b, c1);
+  for (std::size_t i = 0; i < m; ++i) tab.set_basis(i, n_orig + n_slack + i);
+  tab.price_out(options.tolerance);
+
+  LpResult result;
+  while (true) {
+    if (result.iterations++ > options.max_iterations) {
+      throw NumericalError("solve_lp: phase-1 iteration limit exceeded");
+    }
+    const auto step = tab.step(options.tolerance);
+    if (step == Tableau::Step::kOptimal) break;
+    if (step == Tableau::Step::kUnbounded) {
+      // Phase-1 objective is bounded below by 0; cannot be unbounded.
+      throw NumericalError("solve_lp: phase-1 reported unbounded");
+    }
+  }
+  if (tab.objective() > 1e-7 * std::max(1.0, linalg::norm_inf(b))) {
+    result.status = LpStatus::kInfeasible;
+    return result;
+  }
+
+  // Drive any artificial variables remaining in the basis out (or confirm
+  // their rows are redundant).
+  for (std::size_t i = 0; i < m; ++i) {
+    if (tab.basis()[i] < n_orig + n_slack) continue;
+    bool pivoted = false;
+    for (std::size_t j = 0; j < n_orig + n_slack; ++j) {
+      if (std::abs(tab.entry(i, j)) > options.tolerance) {
+        tab.pivot(i, j);
+        pivoted = true;
+        break;
+      }
+    }
+    // If no pivot exists the row is all-zero (redundant constraint); the
+    // artificial stays basic at value zero, which is harmless.
+    (void)pivoted;
+  }
+
+  // Phase 2: swap in the real objective, forbid artificials by giving
+  // them a +inf-ish cost is unnecessary: they are non-basic at zero (or
+  // basic at zero in redundant rows) and a huge cost keeps them out.
+  {
+    // Rebuild the cost row in place: subtract current cost row, add real.
+    // Simplest correct approach: rebuild a fresh tableau from the current
+    // basis is costly; instead we directly overwrite the cost row.
+    // Tableau does not expose that, so emulate via price-out: construct
+    // phase-2 costs, set reduced-cost row = c, then price out basis.
+    // To keep Tableau simple we re-create it from the *current* basic
+    // representation: rows of `tab` already encode B⁻¹A and B⁻¹b.
+    Matrix a2(m, n_total);
+    Vector b2(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n_total; ++j) a2(i, j) = tab.entry(i, j);
+      b2[i] = tab.rhs(i);
+    }
+    Vector c2(n_total, 0.0);
+    for (std::size_t j = 0; j < n_orig; ++j) c2[j] = problem.c[j];
+    const double big =
+        1e7 * (1.0 + linalg::norm_inf(problem.c));  // keep artificials out
+    for (std::size_t j = n_orig + n_slack; j < n_total; ++j) c2[j] = big;
+
+    Tableau tab2(a2, b2, c2);
+    for (std::size_t i = 0; i < m; ++i) tab2.set_basis(i, tab.basis()[i]);
+    tab2.price_out(options.tolerance);
+
+    while (true) {
+      if (result.iterations++ > options.max_iterations) {
+        throw NumericalError("solve_lp: phase-2 iteration limit exceeded");
+      }
+      const auto step = tab2.step(options.tolerance);
+      if (step == Tableau::Step::kOptimal) break;
+      if (step == Tableau::Step::kUnbounded) {
+        result.status = LpStatus::kUnbounded;
+        return result;
+      }
+    }
+
+    result.x.assign(n_orig, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (tab2.basis()[i] < n_orig) result.x[tab2.basis()[i]] = tab2.rhs(i);
+    }
+    result.objective = linalg::dot(problem.c, result.x);
+    result.status = LpStatus::kOptimal;
+  }
+  return result;
+}
+
+}  // namespace gridctl::solvers

@@ -1,0 +1,106 @@
+#include "solvers/lsq.hpp"
+
+#include "solvers/qp_active_set.hpp"
+#include "solvers/qp_admm.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::solvers {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+QpProblem to_qp(const ConstrainedLsqProblem& problem) {
+  const std::size_t n = problem.f.cols();
+  const std::size_t rows = problem.f.rows();
+  require(problem.g.size() == rows, "lsq: g size mismatch");
+  require(problem.w.size() == rows, "lsq: w size mismatch");
+  require(problem.r.size() == n, "lsq: r size mismatch");
+
+  // P = 2 (Fᵀ W F + R), q = -2 Fᵀ W g. The factor 2 keeps
+  // ½xᵀPx + qᵀx equal to the least-squares objective up to the constant
+  // gᵀWg, so QP objectives are comparable across backends.
+  Matrix wf = problem.f;  // W F computed by scaling rows
+  Vector wg(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    require(problem.w[i] >= 0.0, "lsq: weights must be non-negative");
+    for (std::size_t j = 0; j < n; ++j) wf(i, j) *= problem.w[i];
+    wg[i] = problem.w[i] * problem.g[i];
+  }
+  const Matrix ft = problem.f.transpose();
+  QpProblem qp;
+  qp.p = ft * wf;
+  for (std::size_t j = 0; j < n; ++j) {
+    require(problem.r[j] >= 0.0, "lsq: regularizers must be non-negative");
+    qp.p(j, j) += problem.r[j];
+  }
+  qp.p *= 2.0;
+  qp.q = linalg::scale(-2.0, ft * wg);
+
+  // Stack equality rows (lower == upper) above inequality rows.
+  const std::size_t m_eq = problem.a_eq.rows();
+  const std::size_t m_in = problem.a_in.rows();
+  if (m_eq + m_in > 0) {
+    qp.a = Matrix(m_eq + m_in, n);
+    qp.lower.assign(m_eq + m_in, 0.0);
+    qp.upper.assign(m_eq + m_in, 0.0);
+    if (m_eq > 0) {
+      require(problem.a_eq.cols() == n && problem.b_eq.size() == m_eq,
+              "lsq: equality block mismatch");
+      qp.a.set_block(0, 0, problem.a_eq);
+      for (std::size_t i = 0; i < m_eq; ++i) {
+        qp.lower[i] = problem.b_eq[i];
+        qp.upper[i] = problem.b_eq[i];
+      }
+    }
+    if (m_in > 0) {
+      require(problem.a_in.cols() == n && problem.lower.size() == m_in &&
+                  problem.upper.size() == m_in,
+              "lsq: inequality block mismatch");
+      qp.a.set_block(m_eq, 0, problem.a_in);
+      for (std::size_t i = 0; i < m_in; ++i) {
+        qp.lower[m_eq + i] = problem.lower[i];
+        qp.upper[m_eq + i] = problem.upper[i];
+      }
+    }
+  }
+  return qp;
+}
+
+ConstrainedLsqResult solve_constrained_lsq(const ConstrainedLsqProblem& problem,
+                                           LsqBackend backend,
+                                           const Vector& warm_x) {
+  const QpProblem qp = to_qp(problem);
+  QpResult qp_result;
+  switch (backend) {
+    case LsqBackend::kAdmm: {
+      // MPC problems arrive pre-normalized to O(1) magnitudes, so a
+      // 1e-6 tolerance is far below any physically meaningful digit and
+      // saves a large constant factor per control period.
+      AdmmOptions options;
+      options.eps_abs = 1e-6;
+      options.eps_rel = 1e-6;
+      qp_result = solve_qp_admm(qp, options, warm_x);
+      break;
+    }
+    case LsqBackend::kActiveSet:
+      qp_result = solve_qp_active_set(qp);
+      break;
+  }
+  ConstrainedLsqResult result;
+  result.status = qp_result.status;
+  result.x = std::move(qp_result.x);
+  result.iterations = qp_result.iterations;
+  // Report the true least-squares objective.
+  const Vector residual = linalg::sub(problem.f * result.x, problem.g);
+  double obj = 0.0;
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    obj += problem.w[i] * residual[i] * residual[i];
+  }
+  for (std::size_t j = 0; j < result.x.size(); ++j) {
+    obj += problem.r[j] * result.x[j] * result.x[j];
+  }
+  result.objective = obj;
+  return result;
+}
+
+}  // namespace gridctl::solvers

@@ -1,0 +1,46 @@
+// Weighted, linearly constrained least squares — the exact shape of the
+// paper's transformed MPC problem (eq. 42–45):
+//
+//   minimize    || F x - g ||²_W  +  || x ||²_R
+//   subject to  A_eq x  = b_eq
+//               lower <= A_in x <= upper
+//
+// Mapped onto the QP solvers via P = 2(FᵀWF + R), q = -2 FᵀW g.
+#pragma once
+
+#include "solvers/qp.hpp"
+
+namespace gridctl::solvers {
+
+struct ConstrainedLsqProblem {
+  linalg::Matrix f;        // residual map (rows x n)
+  linalg::Vector g;        // residual target
+  linalg::Vector w;        // per-residual weights (diagonal W), size rows
+  linalg::Vector r;        // per-variable regularization (diagonal R), size n
+  linalg::Matrix a_eq;     // may be empty
+  linalg::Vector b_eq;
+  linalg::Matrix a_in;     // may be empty
+  linalg::Vector lower;    // entries may be -inf
+  linalg::Vector upper;    // entries may be +inf
+};
+
+enum class LsqBackend { kAdmm, kActiveSet };
+
+struct ConstrainedLsqResult {
+  QpStatus status = QpStatus::kMaxIterations;
+  linalg::Vector x;
+  double objective = 0.0;       // in the least-squares metric above
+  std::size_t iterations = 0;
+};
+
+// Builds the equivalent QP (merging equality and inequality blocks into
+// one box-constraint matrix) and solves it.
+ConstrainedLsqResult solve_constrained_lsq(
+    const ConstrainedLsqProblem& problem,
+    LsqBackend backend = LsqBackend::kAdmm,
+    const linalg::Vector& warm_x = {});
+
+// The QP translation, exposed for tests.
+QpProblem to_qp(const ConstrainedLsqProblem& problem);
+
+}  // namespace gridctl::solvers

@@ -1,0 +1,232 @@
+#include "solvers/qp_active_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "solvers/lp_simplex.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::solvers {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+// Internal row form: a'x (= or <=) b, remembering which QpProblem row and
+// sign it came from so duals can be reported per original constraint.
+struct Row {
+  Vector a;
+  double b = 0.0;
+  bool equality = false;
+  std::size_t source = 0;  // original constraint index
+  double sign = 1.0;       // +1: upper bound row, -1: lower bound row
+};
+
+std::vector<Row> expand_rows(const QpProblem& prob) {
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < prob.num_constraints(); ++i) {
+    const Vector ai = prob.a.row_vector(i);
+    if (prob.lower[i] == prob.upper[i]) {
+      rows.push_back({ai, prob.upper[i], true, i, +1.0});
+      continue;
+    }
+    if (std::isfinite(prob.upper[i])) {
+      rows.push_back({ai, prob.upper[i], false, i, +1.0});
+    }
+    if (std::isfinite(prob.lower[i])) {
+      rows.push_back({linalg::scale(-1.0, ai), -prob.lower[i], false, i, -1.0});
+    }
+  }
+  return rows;
+}
+
+// Phase-1 LP: find any point satisfying the rows, with free variables
+// split as x = xp - xn (xp, xn >= 0).
+Vector find_feasible_point(const std::vector<Row>& rows, std::size_t n) {
+  std::size_t n_eq = 0, n_ub = 0;
+  for (const Row& row : rows) (row.equality ? n_eq : n_ub)++;
+  LpProblem lp;
+  lp.c.assign(2 * n, 0.0);
+  lp.a_eq = Matrix(n_eq, 2 * n);
+  lp.b_eq.assign(n_eq, 0.0);
+  lp.a_ub = Matrix(n_ub, 2 * n);
+  lp.b_ub.assign(n_ub, 0.0);
+  std::size_t ie = 0, iu = 0;
+  for (const Row& row : rows) {
+    Matrix& target = row.equality ? lp.a_eq : lp.a_ub;
+    const std::size_t r = row.equality ? ie : iu;
+    for (std::size_t j = 0; j < n; ++j) {
+      target(r, j) = row.a[j];
+      target(r, n + j) = -row.a[j];
+    }
+    (row.equality ? lp.b_eq[ie] : lp.b_ub[iu]) = row.b;
+    (row.equality ? ie : iu)++;
+  }
+  const LpResult lp_result = solve_lp(lp);
+  if (lp_result.status != LpStatus::kOptimal) return {};
+  Vector x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    x[j] = lp_result.x[j] - lp_result.x[n + j];
+  }
+  return x;
+}
+
+// Solve the equality-constrained subproblem
+//   min ½ pᵀ P p + gᵀ p   s.t.  A_W p = 0
+// via the KKT system; returns (p, lambda).
+struct EqQpSolution {
+  Vector p;
+  Vector lambda;
+  bool ok = false;
+};
+
+EqQpSolution solve_eq_qp(const Matrix& p_mat, const Vector& g,
+                         const std::vector<const Row*>& working) {
+  const std::size_t n = g.size();
+  const std::size_t mw = working.size();
+  Matrix kkt(n + mw, n + mw);
+  kkt.set_block(0, 0, p_mat);
+  for (std::size_t i = 0; i < mw; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      kkt(j, n + i) = working[i]->a[j];
+      kkt(n + i, j) = working[i]->a[j];
+    }
+  }
+  Vector rhs(n + mw, 0.0);
+  for (std::size_t j = 0; j < n; ++j) rhs[j] = -g[j];
+  const linalg::Lu factor(kkt);
+  EqQpSolution out;
+  if (factor.singular()) return out;
+  const Vector sol = factor.solve(rhs);
+  out.p.assign(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(n));
+  out.lambda.assign(sol.begin() + static_cast<std::ptrdiff_t>(n), sol.end());
+  out.ok = true;
+  return out;
+}
+
+// Would appending `candidate` keep the working-set rows independent?
+bool keeps_rows_independent(const std::vector<const Row*>& working,
+                            const Row& candidate, std::size_t n) {
+  Matrix stacked(working.size() + 1, n);
+  for (std::size_t i = 0; i < working.size(); ++i) {
+    for (std::size_t j = 0; j < n; ++j) stacked(i, j) = working[i]->a[j];
+  }
+  for (std::size_t j = 0; j < n; ++j) stacked(working.size(), j) = candidate.a[j];
+  return linalg::rank(stacked) == working.size() + 1;
+}
+
+}  // namespace
+
+QpResult solve_qp_active_set(const QpProblem& problem,
+                             const ActiveSetOptions& options,
+                             const Vector& x0) {
+  problem.validate();
+  const std::size_t n = problem.num_vars();
+  const std::vector<Row> rows = expand_rows(problem);
+
+  QpResult result;
+  Vector x;
+  if (x0.size() == n) {
+    x = x0;
+  } else {
+    x = find_feasible_point(rows, n);
+    if (x.empty()) {
+      result.status = QpStatus::kInfeasible;
+      return result;
+    }
+  }
+
+  const double tol = options.tolerance;
+  // Working set: all equality rows plus inequalities active at x.
+  std::vector<const Row*> working;
+  std::vector<bool> in_working(rows.size(), false);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double slack = rows[i].b - linalg::dot(rows[i].a, x);
+    const bool activate =
+        rows[i].equality || std::abs(slack) <= tol * std::max(1.0, std::abs(rows[i].b));
+    if (activate && keeps_rows_independent(working, rows[i], n)) {
+      working.push_back(&rows[i]);
+      in_working[i] = true;
+    }
+  }
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+    // Gradient at x.
+    Vector g = problem.p * x;
+    for (std::size_t j = 0; j < n; ++j) g[j] += problem.q[j];
+
+    const EqQpSolution sub = solve_eq_qp(problem.p, g, working);
+    if (!sub.ok) {
+      throw NumericalError("solve_qp_active_set: singular KKT system");
+    }
+
+    if (linalg::norm_inf(sub.p) <= tol) {
+      // Stationary on the working set: check inequality multipliers.
+      // KKT sign convention: gradient + Σ lambda_i a_i = 0 with
+      // lambda_i >= 0 for active <= rows. solve_eq_qp returns lambda for
+      // g + A_Wᵀ lambda = 0 directly.
+      double most_negative = -tol;
+      std::size_t drop_index = working.size();
+      for (std::size_t i = 0; i < working.size(); ++i) {
+        if (working[i]->equality) continue;
+        if (sub.lambda[i] < most_negative) {
+          most_negative = sub.lambda[i];
+          drop_index = i;
+        }
+      }
+      if (drop_index == working.size()) {
+        result.status = QpStatus::kOptimal;
+        // Report duals per original constraint row.
+        result.y.assign(problem.num_constraints(), 0.0);
+        for (std::size_t i = 0; i < working.size(); ++i) {
+          result.y[working[i]->source] += working[i]->sign * sub.lambda[i];
+        }
+        break;
+      }
+      // Release the most negative inequality and continue.
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (&rows[i] == working[drop_index]) in_working[i] = false;
+      }
+      working.erase(working.begin() + static_cast<std::ptrdiff_t>(drop_index));
+      continue;
+    }
+
+    // Line search toward x + p against the inactive inequalities.
+    double alpha = 1.0;
+    std::size_t blocking = rows.size();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (in_working[i] || rows[i].equality) continue;
+      const double ap = linalg::dot(rows[i].a, sub.p);
+      if (ap > tol) {
+        const double slack = rows[i].b - linalg::dot(rows[i].a, x);
+        const double step = slack / ap;
+        if (step < alpha - tol) {
+          alpha = std::max(step, 0.0);
+          blocking = i;
+        }
+      }
+    }
+    linalg::axpy(alpha, sub.p, x);
+    if (blocking != rows.size() &&
+        keeps_rows_independent(working, rows[blocking], n)) {
+      working.push_back(&rows[blocking]);
+      in_working[blocking] = true;
+    }
+  }
+
+  result.x = std::move(x);
+  result.objective = problem.objective(result.x);
+  if (result.status != QpStatus::kOptimal &&
+      result.iterations >= options.max_iterations) {
+    result.status = QpStatus::kMaxIterations;
+  }
+  result.primal_residual = problem.max_violation(result.x);
+  return result;
+}
+
+}  // namespace gridctl::solvers

@@ -1,0 +1,26 @@
+// Primal active-set method for strictly convex QPs
+// (Nocedal & Wright, "Numerical Optimization", Algorithm 16.3).
+//
+// Requires P to be positive definite (gridctl's MPC Hessians are: the
+// input-move penalty R adds a strictly positive diagonal). A feasible
+// starting point is found with a phase-1 LP unless the caller supplies
+// one. Serves as the independent cross-check for the ADMM solver and as
+// a high-accuracy option for small problems.
+#pragma once
+
+#include "solvers/qp.hpp"
+
+namespace gridctl::solvers {
+
+struct ActiveSetOptions {
+  std::size_t max_iterations = 1000;
+  double tolerance = 1e-9;
+};
+
+// Solve; `x0` must be feasible when non-empty, otherwise a phase-1 LP
+// finds a starting vertex.
+QpResult solve_qp_active_set(const QpProblem& problem,
+                             const ActiveSetOptions& options = {},
+                             const linalg::Vector& x0 = {});
+
+}  // namespace gridctl::solvers

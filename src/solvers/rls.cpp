@@ -1,0 +1,62 @@
+#include "solvers/rls.hpp"
+
+#include "util/error.hpp"
+
+namespace gridctl::solvers {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+RecursiveLeastSquares::RecursiveLeastSquares(std::size_t dimension,
+                                             double forgetting,
+                                             double initial_covariance)
+    : dim_(dimension),
+      forgetting_(forgetting),
+      initial_covariance_(initial_covariance) {
+  require(dimension > 0, "RLS: dimension must be positive");
+  require(forgetting > 0.0 && forgetting <= 1.0,
+          "RLS: forgetting factor must be in (0, 1]");
+  require(initial_covariance > 0.0, "RLS: initial covariance must be positive");
+  reset();
+}
+
+void RecursiveLeastSquares::reset() {
+  theta_.assign(dim_, 0.0);
+  p_ = Matrix::identity(dim_);
+  p_ *= initial_covariance_;
+  updates_ = 0;
+}
+
+double RecursiveLeastSquares::predict(const Vector& phi) const {
+  return linalg::dot(phi, theta_);
+}
+
+double RecursiveLeastSquares::update(const Vector& phi, double y) {
+  require(phi.size() == dim_, "RLS: regressor dimension mismatch");
+  const double error = y - predict(phi);
+  // Gain k = P phi / (lambda + phiᵀ P phi).
+  const Vector p_phi = p_ * phi;
+  const double denom = forgetting_ + linalg::dot(phi, p_phi);
+  const Vector gain = linalg::scale(1.0 / denom, p_phi);
+  linalg::axpy(error, gain, theta_);
+  // P <- (P - k phiᵀ P) / lambda, symmetrized against drift.
+  Matrix update(dim_, dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      update(i, j) = gain[i] * p_phi[j];
+    }
+  }
+  p_ -= update;
+  p_ *= 1.0 / forgetting_;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = i + 1; j < dim_; ++j) {
+      const double mean = 0.5 * (p_(i, j) + p_(j, i));
+      p_(i, j) = mean;
+      p_(j, i) = mean;
+    }
+  }
+  ++updates_;
+  return error;
+}
+
+}  // namespace gridctl::solvers

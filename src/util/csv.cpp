@@ -1,0 +1,89 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace gridctl {
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw InvalidArgument("CsvTable: no column named '" + name + "'");
+}
+
+std::vector<double> CsvTable::column_values(const std::string& name) const {
+  const std::size_t idx = column(name);
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const auto& row : rows) values.push_back(row.at(idx));
+  return values;
+}
+
+CsvTable read_csv(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    if (!saw_header) {
+      for (const auto& field : split(stripped, ',')) {
+        table.header.emplace_back(trim(field));
+      }
+      saw_header = true;
+      continue;
+    }
+    const auto fields = split(stripped, ',');
+    require(fields.size() == table.header.size(),
+            "read_csv: row width does not match header");
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& field : fields) row.push_back(parse_double(field));
+    table.rows.push_back(std::move(row));
+  }
+  require(saw_header, "read_csv: input has no header row");
+  return table;
+}
+
+CsvTable read_csv_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_csv(in);
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "read_csv_file: cannot open '" + path + "'");
+  return read_csv(in);
+}
+
+void write_csv(std::ostream& out, const CsvTable& table, int precision) {
+  for (std::size_t i = 0; i < table.header.size(); ++i) {
+    if (i) out << ',';
+    out << table.header[i];
+  }
+  out << '\n';
+  out << std::setprecision(precision);
+  for (const auto& row : table.rows) {
+    require(row.size() == table.header.size(),
+            "write_csv: row width does not match header");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table,
+                    int precision) {
+  std::ofstream out(path);
+  require(out.good(), "write_csv_file: cannot open '" + path + "'");
+  write_csv(out, table, precision);
+}
+
+}  // namespace gridctl

@@ -1,0 +1,36 @@
+// Minimal CSV reading/writing for traces and benchmark output.
+//
+// The format is deliberately simple: comma-separated, first row is the
+// header, no quoting (gridctl never emits fields containing commas).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gridctl {
+
+// An in-memory CSV table: a header plus rows of doubles.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  // Index of a header column; throws InvalidArgument if absent.
+  std::size_t column(const std::string& name) const;
+  // All values of one column, by name.
+  std::vector<double> column_values(const std::string& name) const;
+};
+
+// Parse CSV from a stream/string. Blank lines and lines starting with '#'
+// are skipped. Every data row must have exactly as many fields as the
+// header.
+CsvTable read_csv(std::istream& in);
+CsvTable read_csv_string(const std::string& text);
+CsvTable read_csv_file(const std::string& path);
+
+// Serialize with up to `precision` significant digits.
+void write_csv(std::ostream& out, const CsvTable& table, int precision = 10);
+void write_csv_file(const std::string& path, const CsvTable& table,
+                    int precision = 10);
+
+}  // namespace gridctl

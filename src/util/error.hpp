@@ -1,0 +1,32 @@
+// Error-handling primitives shared across gridctl.
+//
+// The library throws exceptions for programmer errors (dimension
+// mismatches, out-of-range indices) and returns status-carrying results
+// for runtime conditions a caller is expected to handle (solver
+// infeasibility, non-convergence).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gridctl {
+
+// Thrown on API misuse: mismatched dimensions, invalid configuration.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+// Thrown when a numeric routine encounters an unrecoverable state
+// (singular factorization where the contract requires non-singular, …).
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Require `cond`; otherwise throw InvalidArgument with `msg`.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace gridctl

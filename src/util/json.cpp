@@ -1,0 +1,289 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace gridctl {
+
+JsonValue::JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+JsonValue::JsonValue(double n) : type_(Type::kNumber), number_(n) {}
+JsonValue::JsonValue(std::string s)
+    : type_(Type::kString), string_(std::move(s)) {}
+JsonValue::JsonValue(Array a)
+    : type_(Type::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+JsonValue::JsonValue(Object o)
+    : type_(Type::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+bool JsonValue::as_bool() const {
+  require(is_bool(), "JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  require(is_number(), "JsonValue: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  require(is_string(), "JsonValue: not a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  require(is_array(), "JsonValue: not an array");
+  return *array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  require(is_object(), "JsonValue: not an object");
+  return *object_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = get(key);
+  require(value != nullptr, "JsonValue: missing key '" + key + "'");
+  return *value;
+}
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_->find(key);
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* value = get(key);
+  return value ? value->as_number() : fallback;
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* value = get(key);
+  return value ? value->as_bool() : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 std::string fallback) const {
+  const JsonValue* value = get(key);
+  return value ? value->as_string() : std::move(fallback);
+}
+
+std::vector<double> JsonValue::number_array(const std::string& key) const {
+  std::vector<double> out;
+  for (const JsonValue& item : at(key).as_array()) {
+    out.push_back(item.as_number());
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    require(pos_ == text_.size(), error("trailing characters"));
+    return value;
+  }
+
+ private:
+  std::string error(const std::string& what) const {
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return format("json: %s at %zu:%zu", what.c_str(), line, column);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    require(pos_ < text_.size(), error("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    require(peek() == c, error(std::string("expected '") + c + "'"));
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_literal(const std::string& literal) {
+    require(text_.compare(pos_, literal.size(), literal) == 0,
+            error("invalid literal"));
+    pos_ += literal.size();
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        expect_literal("true");
+        return JsonValue(true);
+      case 'f':
+        expect_literal("false");
+        return JsonValue(false);
+      case 'n':
+        expect_literal("null");
+        return JsonValue();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object object;
+    if (try_consume('}')) return JsonValue(std::move(object));
+    while (true) {
+      require(peek() == '"', error("expected object key"));
+      std::string key = parse_string();
+      expect(':');
+      object[std::move(key)] = parse_value();
+      if (try_consume('}')) break;
+      expect(',');
+    }
+    return JsonValue(std::move(object));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array array;
+    if (try_consume(']')) return JsonValue(std::move(array));
+    while (true) {
+      array.push_back(parse_value());
+      if (try_consume(']')) break;
+      expect(',');
+    }
+    return JsonValue(std::move(array));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), error("unterminated string"));
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      require(pos_ < text_.size(), error("unterminated escape"));
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          require(pos_ + 4 <= text_.size(), error("truncated \\u escape"));
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              throw InvalidArgument(error("invalid \\u escape"));
+            }
+          }
+          // UTF-8 encode (BMP only).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          throw InvalidArgument(error("invalid escape"));
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    require(pos_ > start, error("expected a value"));
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    require(end == token.c_str() + token.size() && std::isfinite(value),
+            error("malformed number '" + token + "'"));
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+JsonValue parse_json_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "parse_json_file: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_json(buffer.str());
+}
+
+}  // namespace gridctl

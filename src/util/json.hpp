@@ -1,0 +1,71 @@
+// Minimal JSON parser (RFC 8259 subset) for scenario configuration
+// files. Recursive descent, value-semantic tree, precise error
+// positions. Supported: objects, arrays, strings (with \uXXXX for the
+// BMP), numbers (as double), true/false/null. Not supported: surrogate
+// pairs, duplicate-key detection (last key wins).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gridctl {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;                      // null
+  explicit JsonValue(bool b);
+  explicit JsonValue(double n);
+  explicit JsonValue(std::string s);
+  explicit JsonValue(Array a);
+  explicit JsonValue(Object o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw InvalidArgument on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  // Object lookup. `at` throws when absent; `get` returns nullptr.
+  const JsonValue& at(const std::string& key) const;
+  const JsonValue* get(const std::string& key) const;
+  bool has(const std::string& key) const { return get(key) != nullptr; }
+
+  // Convenience with defaults for scalar config fields.
+  double number_or(const std::string& key, double fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+  std::string string_or(const std::string& key, std::string fallback) const;
+
+  // Array of numbers shortcut.
+  std::vector<double> number_array(const std::string& key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+// Parse a complete JSON document; throws InvalidArgument with
+// line:column on malformed input or trailing garbage.
+JsonValue parse_json(const std::string& text);
+JsonValue parse_json_file(const std::string& path);
+
+}  // namespace gridctl

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components in gridctl (price models, workload
+// generators, test fixtures) draw from `Rng`, a xoshiro256++ engine with
+// an explicit 64-bit seed, so every simulation and benchmark is exactly
+// reproducible across runs and platforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gridctl {
+
+// xoshiro256++ 1.0 (Blackman & Vigna), seeded through splitmix64.
+// Satisfies the UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Standard normal via Box–Muller (cached second variate).
+  double normal();
+  // Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+  // Exponential with given rate (mean 1/rate).
+  double exponential(double rate);
+  // Poisson-distributed count with given mean (Knuth for small means,
+  // normal approximation above 64).
+  std::int64_t poisson(double mean);
+  // Bernoulli trial.
+  bool bernoulli(double p);
+
+  // Derive an independent stream (for per-component sub-generators).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace gridctl

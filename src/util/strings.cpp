@@ -1,0 +1,63 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace gridctl {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+double parse_double(std::string_view text) {
+  const std::string buffer(trim(text));
+  require(!buffer.empty(), "parse_double: empty field");
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  require(end == buffer.c_str() + buffer.size(),
+          "parse_double: malformed number '" + buffer + "'");
+  return value;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace gridctl

@@ -1,0 +1,25 @@
+// Small string helpers used by CSV parsing and table formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridctl {
+
+// Split `text` on `delim`; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+// Parse a double; throws InvalidArgument on malformed input.
+double parse_double(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace gridctl

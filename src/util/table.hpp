@@ -1,0 +1,31 @@
+// Fixed-width ASCII table printer used by the benchmark harness to emit
+// paper-versus-measured rows in a readable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gridctl {
+
+// Collects rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: format doubles with fixed precision.
+  static std::string num(double value, int precision = 4);
+
+  // Render with a header underline and two-space column gaps.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gridctl

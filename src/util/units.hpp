@@ -1,0 +1,34 @@
+// Unit conventions and conversion helpers.
+//
+// gridctl uses SI internally:
+//   power        watts (W)
+//   energy       joules (J)
+//   time         seconds (s)
+//   price        $ per megawatt-hour ($/MWh), the unit LMP markets quote
+//   work rate    requests per second (req/s)
+//
+// The paper's figures label power axes "MWH"; those are megawatts (MW).
+// Helpers below convert at the presentation boundary only.
+#pragma once
+
+namespace gridctl::units {
+
+inline constexpr double kWattsPerMegawatt = 1e6;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kJoulesPerMWh = kWattsPerMegawatt * kSecondsPerHour;
+
+// Power conversions.
+constexpr double watts_to_mw(double w) { return w / kWattsPerMegawatt; }
+constexpr double mw_to_watts(double mw) { return mw * kWattsPerMegawatt; }
+
+// Energy conversions.
+constexpr double joules_to_mwh(double j) { return j / kJoulesPerMWh; }
+constexpr double mwh_to_joules(double mwh) { return mwh * kJoulesPerMWh; }
+
+// Cost of consuming `power_w` watts for `seconds` at `price_per_mwh` $/MWh.
+constexpr double energy_cost_dollars(double power_w, double seconds,
+                                     double price_per_mwh) {
+  return joules_to_mwh(power_w * seconds) * price_per_mwh;
+}
+
+}  // namespace gridctl::units

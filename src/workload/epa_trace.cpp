@@ -1,0 +1,55 @@
+#include "workload/epa_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "workload/mmpp.hpp"
+
+namespace gridctl::workload {
+
+double epa_envelope(double time_s, const EpaTraceConfig& config) {
+  const double hour = std::fmod(time_s / 3600.0, 24.0);
+  // Smooth ramp up between 6h and 9h, plateau, decline from 17h to 23h.
+  auto smoothstep = [](double x) {
+    x = std::clamp(x, 0.0, 1.0);
+    return x * x * (3.0 - 2.0 * x);
+  };
+  const double up = smoothstep((hour - 6.0) / 3.0);
+  const double down = 1.0 - smoothstep((hour - 17.0) / 6.0);
+  const double level = std::min(up, down);
+  // Mild lunchtime dip, as visible in the original trace.
+  const double dip = 1.0 - 0.12 * std::exp(-0.5 * std::pow((hour - 12.5) / 0.8, 2));
+  return config.night_rate +
+         (config.peak_rate - config.night_rate) * level * dip;
+}
+
+std::vector<double> make_epa_like_trace(const EpaTraceConfig& config) {
+  require(config.bucket_s > 0.0, "make_epa_like_trace: bucket must be positive");
+  const std::size_t buckets =
+      static_cast<std::size_t>(std::lround(24.0 * 3600.0 / config.bucket_s));
+  std::vector<double> series(buckets);
+
+  // Burst modulation: a 2-state MMPP whose rate multiplies the envelope.
+  Mmpp bursts(bursty_two_state(/*quiet_rate=*/1.0,
+                               /*burst_rate=*/1.0 + config.burst_gain,
+                               /*mean_quiet_s=*/600.0,
+                               /*mean_burst_s=*/120.0),
+              config.seed);
+  Rng rng(config.seed ^ 0xabcdef1234567890ULL);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double t = (static_cast<double>(b) + 0.5) * config.bucket_s;
+    // Advance the burst chain through the bucket and read its rate.
+    bursts.step(config.bucket_s);
+    const double modulation =
+        bursts.current_rate();  // 1.0 or 1 + burst_gain
+    const double mean_rate = epa_envelope(t, config) * modulation;
+    // Poisson counting noise over the bucket, reported as a rate.
+    const double count =
+        static_cast<double>(rng.poisson(mean_rate * config.bucket_s));
+    series[b] = count / config.bucket_s;
+  }
+  return series;
+}
+
+}  // namespace gridctl::workload

@@ -1,0 +1,34 @@
+// Synthetic stand-in for the EPA-HTTP trace (Aug 30 1995) the paper's
+// Fig. 3 uses to evaluate workload prediction.
+//
+// Substitution note (DESIGN.md): the original trace is a one-day HTTP log
+// from the Internet Traffic Archive. Fig. 3 plots request rate over 24 h:
+// near-zero overnight, a steep morning ramp, a bursty plateau between
+// roughly 800 and 2000 req/s during working hours, and an evening
+// decline. We generate a nonhomogeneous Poisson count series with exactly
+// that envelope plus MMPP-style burst modulation; any estimator that
+// tracks the real trace must track this one and vice versa.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gridctl::workload {
+
+struct EpaTraceConfig {
+  double bucket_s = 60.0;     // aggregation bucket (Fig. 3 uses minutes)
+  double peak_rate = 1900.0;  // working-hours peak, req/s
+  double night_rate = 60.0;   // overnight floor, req/s
+  double burst_gain = 0.35;   // relative burst amplitude
+  std::uint64_t seed = 42;
+};
+
+// 24 hours of per-bucket average request rates (req/s), length
+// 24*3600/bucket_s.
+std::vector<double> make_epa_like_trace(const EpaTraceConfig& config = {});
+
+// The deterministic diurnal envelope (req/s) at a given time of day; the
+// trace is Poisson noise + bursts around this.
+double epa_envelope(double time_s, const EpaTraceConfig& config = {});
+
+}  // namespace gridctl::workload

@@ -1,0 +1,119 @@
+#include "workload/generators.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::workload {
+
+std::vector<double> WorkloadSource::rates(double time_s) const {
+  std::vector<double> out(num_portals());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = rate(i, time_s);
+  return out;
+}
+
+ConstantWorkload::ConstantWorkload(std::vector<double> rates)
+    : rates_(std::move(rates)) {
+  require(!rates_.empty(), "ConstantWorkload: need at least one portal");
+  for (double r : rates_) require(r >= 0.0, "ConstantWorkload: negative rate");
+}
+
+double ConstantWorkload::rate(std::size_t portal, double /*time_s*/) const {
+  require(portal < rates_.size(), "ConstantWorkload: portal out of range");
+  return rates_[portal];
+}
+
+DiurnalWorkload::DiurnalWorkload(std::vector<double> base_rates,
+                                 double amplitude, double peak_hour,
+                                 double noise_stddev, std::uint64_t seed,
+                                 double horizon_s)
+    : base_rates_(std::move(base_rates)),
+      amplitude_(amplitude),
+      peak_hour_(peak_hour) {
+  require(!base_rates_.empty(), "DiurnalWorkload: need at least one portal");
+  require(amplitude >= 0.0 && amplitude < 1.0,
+          "DiurnalWorkload: amplitude must be in [0, 1)");
+  require(noise_stddev >= 0.0, "DiurnalWorkload: negative noise stddev");
+  const std::size_t minutes =
+      static_cast<std::size_t>(std::ceil(horizon_s / 60.0)) + 1;
+  Rng rng(seed);
+  noise_.resize(base_rates_.size());
+  for (auto& series : noise_) {
+    Rng portal_rng = rng.split();
+    series.resize(minutes);
+    for (double& sample : series) {
+      sample = std::max(-0.9, portal_rng.normal(0.0, noise_stddev));
+    }
+  }
+}
+
+double DiurnalWorkload::rate(std::size_t portal, double time_s) const {
+  require(portal < base_rates_.size(), "DiurnalWorkload: portal out of range");
+  require(time_s >= 0.0, "DiurnalWorkload: negative time");
+  const double hour = std::fmod(time_s / 3600.0, 24.0);
+  const double phase = 2.0 * M_PI * (hour - peak_hour_) / 24.0;
+  const double diurnal = 1.0 + amplitude_ * std::cos(phase);
+  const std::size_t minute =
+      std::min(static_cast<std::size_t>(time_s / 60.0), noise_[portal].size() - 1);
+  return std::max(0.0, base_rates_[portal] * diurnal *
+                           (1.0 + noise_[portal][minute]));
+}
+
+FlashCrowdWorkload::FlashCrowdWorkload(
+    std::shared_ptr<const WorkloadSource> inner, std::size_t portal,
+    double t0_s, double t1_s, double factor)
+    : inner_(std::move(inner)), portal_(portal), t0_s_(t0_s), t1_s_(t1_s),
+      factor_(factor) {
+  require(inner_ != nullptr, "FlashCrowdWorkload: null inner source");
+  require(portal_ < inner_->num_portals(),
+          "FlashCrowdWorkload: portal out of range");
+  require(t0_s <= t1_s, "FlashCrowdWorkload: t0 > t1");
+  require(factor >= 0.0, "FlashCrowdWorkload: negative factor");
+}
+
+double FlashCrowdWorkload::rate(std::size_t portal, double time_s) const {
+  const double base = inner_->rate(portal, time_s);
+  if (portal == portal_ && time_s >= t0_s_ && time_s < t1_s_) {
+    return base * factor_;
+  }
+  return base;
+}
+
+TraceWorkload::TraceWorkload(std::vector<std::vector<double>> series,
+                             double bucket_s)
+    : series_(std::move(series)), bucket_s_(bucket_s) {
+  require(!series_.empty(), "TraceWorkload: need at least one portal");
+  require(bucket_s > 0.0, "TraceWorkload: bucket must be positive");
+  const std::size_t len = series_[0].size();
+  require(len > 0, "TraceWorkload: empty series");
+  for (const auto& portal_series : series_) {
+    require(portal_series.size() == len, "TraceWorkload: ragged series");
+    for (double rate : portal_series) {
+      require(rate >= 0.0, "TraceWorkload: negative rate");
+    }
+  }
+}
+
+double TraceWorkload::rate(std::size_t portal, double time_s) const {
+  require(portal < series_.size(), "TraceWorkload: portal out of range");
+  require(time_s >= 0.0, "TraceWorkload: negative time");
+  const std::size_t bucket =
+      static_cast<std::size_t>(time_s / bucket_s_) % series_[portal].size();
+  return series_[portal][bucket];
+}
+
+StepWorkload::StepWorkload(std::vector<double> before,
+                           std::vector<double> after, double switch_s)
+    : before_(std::move(before)), after_(std::move(after)),
+      switch_s_(switch_s) {
+  require(!before_.empty(), "StepWorkload: need at least one portal");
+  require(before_.size() == after_.size(),
+          "StepWorkload: before/after size mismatch");
+}
+
+double StepWorkload::rate(std::size_t portal, double time_s) const {
+  require(portal < before_.size(), "StepWorkload: portal out of range");
+  return time_s < switch_s_ ? before_[portal] : after_[portal];
+}
+
+}  // namespace gridctl::workload

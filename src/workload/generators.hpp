@@ -1,0 +1,107 @@
+// Request-arrival workload sources for the front-end Web portals.
+//
+// A `WorkloadSource` answers "what is portal i's offered load (req/s) at
+// time t". Implementations cover the paper's evaluation (constant Table I
+// rates), diurnal Internet traffic, and flash-crowd injection for
+// failure-mode tests.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace gridctl::workload {
+
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+  // Offered load of portal `portal` at `time_s`, req/s (non-negative).
+  virtual double rate(std::size_t portal, double time_s) const = 0;
+  virtual std::size_t num_portals() const = 0;
+
+  // All portals at once.
+  std::vector<double> rates(double time_s) const;
+};
+
+// Fixed per-portal rates — the paper's Table I scenario.
+class ConstantWorkload : public WorkloadSource {
+ public:
+  explicit ConstantWorkload(std::vector<double> rates);
+  double rate(std::size_t portal, double time_s) const override;
+  std::size_t num_portals() const override { return rates_.size(); }
+
+ private:
+  std::vector<double> rates_;
+};
+
+// Diurnal sinusoid with multiplicative noise:
+//   L_i(t) = base_i (1 + amplitude cos(2π(h - peak)/24)) (1 + noise)
+// Noise is precomputed per minute from a seed, keeping `rate` const and
+// runs reproducible.
+class DiurnalWorkload : public WorkloadSource {
+ public:
+  DiurnalWorkload(std::vector<double> base_rates, double amplitude,
+                  double peak_hour, double noise_stddev, std::uint64_t seed,
+                  double horizon_s = 7 * 24 * 3600.0);
+  double rate(std::size_t portal, double time_s) const override;
+  std::size_t num_portals() const override { return base_rates_.size(); }
+
+ private:
+  std::vector<double> base_rates_;
+  double amplitude_;
+  double peak_hour_;
+  std::vector<std::vector<double>> noise_;  // per portal, per minute
+};
+
+// Wraps another source and injects a flash crowd: between t0 and t1 the
+// chosen portal's rate is multiplied by `factor`.
+class FlashCrowdWorkload : public WorkloadSource {
+ public:
+  FlashCrowdWorkload(std::shared_ptr<const WorkloadSource> inner,
+                     std::size_t portal, double t0_s, double t1_s,
+                     double factor);
+  double rate(std::size_t portal, double time_s) const override;
+  std::size_t num_portals() const override { return inner_->num_portals(); }
+
+ private:
+  std::shared_ptr<const WorkloadSource> inner_;
+  std::size_t portal_;
+  double t0_s_, t1_s_, factor_;
+};
+
+// Plays back recorded per-portal rate series (piecewise constant per
+// bucket, wrapping at the end) — for running the controller against
+// production traces exported as CSV (one column per portal; see
+// trace_workload_from_csv).
+class TraceWorkload : public WorkloadSource {
+ public:
+  // series[i] is portal i's rates; entry k applies on
+  // [k*bucket_s, (k+1)*bucket_s). All series must share one length >= 1.
+  TraceWorkload(std::vector<std::vector<double>> series, double bucket_s);
+
+  double rate(std::size_t portal, double time_s) const override;
+  std::size_t num_portals() const override { return series_.size(); }
+  std::size_t buckets() const { return series_.empty() ? 0 : series_[0].size(); }
+
+ private:
+  std::vector<std::vector<double>> series_;
+  double bucket_s_;
+};
+
+// A workload that steps between two constant rate vectors at `switch_s` —
+// used by tests to exercise abrupt workload changes.
+class StepWorkload : public WorkloadSource {
+ public:
+  StepWorkload(std::vector<double> before, std::vector<double> after,
+               double switch_s);
+  double rate(std::size_t portal, double time_s) const override;
+  std::size_t num_portals() const override { return before_.size(); }
+
+ private:
+  std::vector<double> before_, after_;
+  double switch_s_;
+};
+
+}  // namespace gridctl::workload

@@ -1,0 +1,101 @@
+#include "workload/mmpp.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::workload {
+
+Mmpp::Mmpp(MmppConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  const std::size_t k = config_.rates.size();
+  require(k > 0, "Mmpp: need at least one state");
+  require(config_.transition.size() == k, "Mmpp: transition matrix size");
+  for (std::size_t i = 0; i < k; ++i) {
+    require(config_.transition[i].size() == k, "Mmpp: ragged transition matrix");
+    require(config_.rates[i] >= 0.0, "Mmpp: negative arrival rate");
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i != j) {
+        require(config_.transition[i][j] >= 0.0,
+                "Mmpp: negative transition rate");
+      }
+    }
+  }
+  time_to_jump_ = holding_rate(state_) > 0.0
+                      ? rng_.exponential(holding_rate(state_))
+                      : std::numeric_limits<double>::infinity();
+}
+
+double Mmpp::holding_rate(std::size_t state) const {
+  double total = 0.0;
+  for (std::size_t j = 0; j < config_.rates.size(); ++j) {
+    if (j != state) total += config_.transition[state][j];
+  }
+  return total;
+}
+
+void Mmpp::jump() {
+  const double total = holding_rate(state_);
+  double draw = rng_.uniform() * total;
+  for (std::size_t j = 0; j < config_.rates.size(); ++j) {
+    if (j == state_) continue;
+    draw -= config_.transition[state_][j];
+    if (draw <= 0.0) {
+      state_ = j;
+      break;
+    }
+  }
+  const double rate = holding_rate(state_);
+  time_to_jump_ = rate > 0.0 ? rng_.exponential(rate)
+                             : std::numeric_limits<double>::infinity();
+}
+
+std::int64_t Mmpp::step(double dt) {
+  require(dt >= 0.0, "Mmpp: negative time step");
+  std::int64_t arrivals = 0;
+  double remaining = dt;
+  while (remaining > 0.0) {
+    const double segment = std::min(remaining, time_to_jump_);
+    arrivals += rng_.poisson(config_.rates[state_] * segment);
+    remaining -= segment;
+    time_to_jump_ -= segment;
+    if (time_to_jump_ <= 0.0) jump();
+  }
+  return arrivals;
+}
+
+double Mmpp::stationary_rate() const {
+  const std::size_t k = config_.rates.size();
+  if (k == 1) return config_.rates[0];
+  // Solve pi Q = 0 with sum(pi) = 1: replace the last equation of
+  // Qᵀ pi = 0 by the normalization row.
+  linalg::Matrix a(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const double q_ji =
+          (i == j) ? -holding_rate(j)
+                   : config_.transition[j][i];  // Qᵀ entry (i, j) = Q(j, i)
+      a(i, j) = q_ji;
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) a(k - 1, j) = 1.0;
+  linalg::Vector b(k, 0.0);
+  b[k - 1] = 1.0;
+  const linalg::Vector pi = linalg::solve(a, b);
+  double rate = 0.0;
+  for (std::size_t i = 0; i < k; ++i) rate += pi[i] * config_.rates[i];
+  return rate;
+}
+
+MmppConfig bursty_two_state(double quiet_rate, double burst_rate,
+                            double mean_quiet_s, double mean_burst_s) {
+  require(mean_quiet_s > 0.0 && mean_burst_s > 0.0,
+          "bursty_two_state: mean sojourn times must be positive");
+  MmppConfig config;
+  config.rates = {quiet_rate, burst_rate};
+  config.transition = {{0.0, 1.0 / mean_quiet_s}, {1.0 / mean_burst_s, 0.0}};
+  return config;
+}
+
+}  // namespace gridctl::workload

@@ -1,0 +1,53 @@
+// Markov-Modulated Poisson Process (MMPP) arrival generator.
+//
+// The paper (Sec. III-D) cites MMPP as a standard model for bursty web
+// workloads. This is a continuous-time Markov chain over K states, each
+// with its own Poisson arrival rate; we expose both the modulating rate
+// and sampled per-interval arrival counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace gridctl::workload {
+
+struct MmppConfig {
+  // rates[k]: Poisson arrival rate (req/s) in state k.
+  std::vector<double> rates;
+  // transition[k][l]: CTMC transition rate k -> l (l != k), per second.
+  std::vector<std::vector<double>> transition;
+};
+
+class Mmpp {
+ public:
+  Mmpp(MmppConfig config, std::uint64_t seed);
+
+  // Advance `dt` seconds; returns the number of arrivals in the interval
+  // (state switches inside the interval are honored exactly).
+  std::int64_t step(double dt);
+
+  // Current modulating state and its rate.
+  std::size_t state() const { return state_; }
+  double current_rate() const { return config_.rates[state_]; }
+
+  // Long-run average rate from the stationary distribution of the chain.
+  double stationary_rate() const;
+
+ private:
+  double holding_rate(std::size_t state) const;
+  void jump();
+
+  MmppConfig config_;
+  Rng rng_;
+  std::size_t state_ = 0;
+  double time_to_jump_ = 0.0;
+};
+
+// Convenience: the classic 2-state bursty configuration with a quiet
+// state and a bursty state.
+MmppConfig bursty_two_state(double quiet_rate, double burst_rate,
+                            double mean_quiet_s, double mean_burst_s);
+
+}  // namespace gridctl::workload

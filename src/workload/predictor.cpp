@@ -1,0 +1,87 @@
+#include "workload/predictor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::workload {
+
+ArPredictor::ArPredictor(std::size_t order, double forgetting)
+    : order_(order), rls_(order, forgetting) {
+  require(order > 0, "ArPredictor: order must be positive");
+}
+
+double ArPredictor::observe(double sample) {
+  double error = 0.0;
+  if (warmed_up()) {
+    linalg::Vector phi(history_.begin(),
+                       history_.begin() + static_cast<std::ptrdiff_t>(order_));
+    error = rls_.update(phi, sample);
+  }
+  history_.push_front(sample);
+  if (history_.size() > order_) history_.pop_back();
+  return error;
+}
+
+double ArPredictor::predict(std::size_t horizon) const {
+  require(horizon >= 1, "ArPredictor: horizon must be >= 1");
+  if (history_.empty()) return 0.0;
+  if (!warmed_up() || rls_.updates() == 0) {
+    return history_.front();  // persistence fallback
+  }
+  // Iterate the AR recursion, feeding predictions back in.
+  std::deque<double> window = history_;
+  double value = 0.0;
+  for (std::size_t step = 0; step < horizon; ++step) {
+    linalg::Vector phi(window.begin(),
+                       window.begin() + static_cast<std::ptrdiff_t>(order_));
+    value = std::max(0.0, rls_.predict(phi));
+    window.push_front(value);
+    window.pop_back();
+  }
+  return value;
+}
+
+std::vector<double> ArPredictor::predict_trajectory(std::size_t h) const {
+  std::vector<double> out;
+  out.reserve(h);
+  for (std::size_t step = 1; step <= h; ++step) out.push_back(predict(step));
+  return out;
+}
+
+PredictionStats evaluate_one_step(ArPredictor& predictor,
+                                  const std::vector<double>& series,
+                                  std::size_t warmup) {
+  require(warmup < series.size(), "evaluate_one_step: warmup too long");
+  double abs_sum = 0.0, sq_sum = 0.0, pct_sum = 0.0;
+  std::size_t count = 0, pct_count = 0;
+  double y_sum = 0.0, y_sq_sum = 0.0;
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    if (k >= warmup) {
+      const double predicted = predictor.predict(1);
+      const double actual = series[k];
+      const double err = actual - predicted;
+      abs_sum += std::abs(err);
+      sq_sum += err * err;
+      if (std::abs(actual) > 1e-9) {
+        pct_sum += std::abs(err / actual);
+        ++pct_count;
+      }
+      y_sum += actual;
+      y_sq_sum += actual * actual;
+      ++count;
+    }
+    predictor.observe(series[k]);
+  }
+  PredictionStats stats;
+  if (count == 0) return stats;
+  stats.mae = abs_sum / static_cast<double>(count);
+  stats.rmse = std::sqrt(sq_sum / static_cast<double>(count));
+  stats.mape = pct_count ? pct_sum / static_cast<double>(pct_count) : 0.0;
+  const double mean = y_sum / static_cast<double>(count);
+  const double total_ss = y_sq_sum - static_cast<double>(count) * mean * mean;
+  stats.r_squared = total_ss > 0.0 ? 1.0 - sq_sum / total_ss : 0.0;
+  return stats;
+}
+
+}  // namespace gridctl::workload

@@ -1,0 +1,60 @@
+// Online AR(p) workload predictor fitted by Recursive Least Squares —
+// the paper's eq. (12)–(13) and Fig. 3.
+//
+//   mu(k) = sum_{s=1..p} alpha_s mu(k-s) + eps(k)
+//
+// `observe` feeds one sample per period; `predict` extrapolates h steps
+// ahead by iterating the fitted recursion. Until p samples have been
+// seen, predictions fall back to the last observation (persistence).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "solvers/rls.hpp"
+
+namespace gridctl::workload {
+
+class ArPredictor {
+ public:
+  // order: AR order p; forgetting: RLS forgetting factor.
+  explicit ArPredictor(std::size_t order, double forgetting = 0.98);
+
+  // Feed one observed sample. Returns the a-priori one-step prediction
+  // error for this sample (0 while warming up).
+  double observe(double sample);
+
+  // Predict the sample `horizon` steps after the last observation
+  // (horizon >= 1). Negative extrapolations clamp to zero: workloads
+  // cannot be negative.
+  double predict(std::size_t horizon = 1) const;
+
+  // Predicted trajectory for horizons 1..h.
+  std::vector<double> predict_trajectory(std::size_t h) const;
+
+  bool warmed_up() const { return history_.size() >= order_; }
+  std::size_t order() const { return order_; }
+  const linalg::Vector& coefficients() const { return rls_.theta(); }
+
+ private:
+  std::size_t order_;
+  solvers::RecursiveLeastSquares rls_;
+  std::deque<double> history_;  // most recent first
+};
+
+// Prediction-quality summary used by the Fig. 3 benchmark and tests.
+struct PredictionStats {
+  double mae = 0.0;    // mean absolute error
+  double mape = 0.0;   // mean absolute percentage error (on |y| > eps)
+  double rmse = 0.0;
+  double r_squared = 0.0;
+};
+
+// Run a predictor over `series` one step ahead, scoring predictions made
+// after `warmup` samples.
+PredictionStats evaluate_one_step(ArPredictor& predictor,
+                                  const std::vector<double>& series,
+                                  std::size_t warmup);
+
+}  // namespace gridctl::workload

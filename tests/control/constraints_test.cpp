@@ -1,0 +1,126 @@
+#include "control/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solvers/qp.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::control {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(ConservationMatrix, PaperEq27Layout) {
+  // C = 2 portals, N = 3 IDCs: row i sums portal i's allocations.
+  const Matrix h = conservation_matrix(2, 3);
+  EXPECT_EQ(h.rows(), 2u);
+  EXPECT_EQ(h.cols(), 6u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(h(0, j), 1.0);
+    EXPECT_DOUBLE_EQ(h(1, 3 + j), 1.0);
+    EXPECT_DOUBLE_EQ(h(0, 3 + j), 0.0);
+  }
+}
+
+TEST(IdcLoadMatrix, PaperEq32Layout) {
+  // Psi row j sums lambda_ij over portals.
+  const Matrix psi = idc_load_matrix(2, 3);
+  EXPECT_EQ(psi.rows(), 3u);
+  EXPECT_EQ(psi.cols(), 6u);
+  EXPECT_DOUBLE_EQ(psi(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(psi(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(psi(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(psi(1, 4), 1.0);
+  EXPECT_DOUBLE_EQ(psi(0, 1), 0.0);
+}
+
+InputConstraints simple_constraints() {
+  InputConstraints constraints;
+  constraints.h_eq = Matrix{{1.0, 1.0}};
+  constraints.h_rhs = {10.0};
+  constraints.a_in = Matrix{{1.0, 0.0}};
+  constraints.in_lower = {0.0};
+  constraints.in_upper = {6.0};
+  constraints.nonnegative = true;
+  return constraints;
+}
+
+TEST(StackConstraints, EqualityRhsShiftsByUPrev) {
+  const Vector u_prev{3.0, 4.0};  // sums to 7
+  const auto stacked = stack_constraints(simple_constraints(), u_prev, 2);
+  // Two equality rows (one per control step), rhs = 10 - 7 = 3.
+  ASSERT_EQ(stacked.b_eq.size(), 2u);
+  EXPECT_DOUBLE_EQ(stacked.b_eq[0], 3.0);
+  EXPECT_DOUBLE_EQ(stacked.b_eq[1], 3.0);
+  // Step-1 equality covers both dU_0 and dU_1.
+  EXPECT_DOUBLE_EQ(stacked.a_eq(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(stacked.a_eq(1, 2), 1.0);
+  // Step-0 equality covers only dU_0.
+  EXPECT_DOUBLE_EQ(stacked.a_eq(0, 2), 0.0);
+}
+
+TEST(StackConstraints, InequalityBoundsShiftByUPrev) {
+  const Vector u_prev{3.0, 4.0};
+  const auto stacked = stack_constraints(simple_constraints(), u_prev, 1);
+  // One a_in row + two nonneg rows.
+  ASSERT_EQ(stacked.lower.size(), 3u);
+  // a_in row: 0 <= u0 <= 6 becomes -3 <= du0 <= 3.
+  EXPECT_DOUBLE_EQ(stacked.lower[0], -3.0);
+  EXPECT_DOUBLE_EQ(stacked.upper[0], 3.0);
+  // Non-negativity rows: du >= -u_prev with +inf upper.
+  EXPECT_DOUBLE_EQ(stacked.lower[1], -3.0);
+  EXPECT_DOUBLE_EQ(stacked.lower[2], -4.0);
+  EXPECT_TRUE(std::isinf(stacked.upper[1]));
+}
+
+TEST(StackConstraints, SatisfiedByFeasibleTrajectory) {
+  // Verify numerically: pick dU moves keeping U feasible; the stacked
+  // rows must hold.
+  const Vector u_prev{5.0, 5.0};
+  const auto stacked = stack_constraints(simple_constraints(), u_prev, 2);
+  // Moves: dU_0 = (-1, +1), dU_1 = (+2, -2): U stays summing to 10,
+  // u0 stays in [0, 6].
+  const Vector du{-1.0, 1.0, 2.0, -2.0};
+  const Vector eq = stacked.a_eq * du;
+  for (std::size_t r = 0; r < eq.size(); ++r) {
+    EXPECT_NEAR(eq[r], stacked.b_eq[r], 1e-12);
+  }
+  const Vector in = stacked.a_in * du;
+  for (std::size_t r = 0; r < in.size(); ++r) {
+    EXPECT_GE(in[r], stacked.lower[r] - 1e-12);
+    EXPECT_LE(in[r], stacked.upper[r] + 1e-12);
+  }
+}
+
+TEST(StackConstraints, ViolatedByInfeasibleTrajectory) {
+  const Vector u_prev{5.0, 5.0};
+  const auto stacked = stack_constraints(simple_constraints(), u_prev, 1);
+  // dU_0 = (+3, -3): u0 = 8 > 6 violates the a_in upper bound.
+  const Vector du{3.0, -3.0};
+  const Vector in = stacked.a_in * du;
+  EXPECT_GT(in[0], stacked.upper[0]);
+}
+
+TEST(StackConstraints, NonnegativeDisabled) {
+  InputConstraints constraints = simple_constraints();
+  constraints.nonnegative = false;
+  const auto stacked = stack_constraints(constraints, {0.0, 0.0}, 2);
+  EXPECT_EQ(stacked.lower.size(), 2u);  // only the a_in rows
+}
+
+TEST(StackConstraints, Validation) {
+  InputConstraints bad = simple_constraints();
+  bad.h_rhs = {1.0, 2.0};
+  EXPECT_THROW(stack_constraints(bad, {0.0, 0.0}, 1), InvalidArgument);
+  InputConstraints swapped = simple_constraints();
+  swapped.in_lower = {7.0};  // > upper
+  EXPECT_THROW(stack_constraints(swapped, {0.0, 0.0}, 1), InvalidArgument);
+  EXPECT_THROW(stack_constraints(simple_constraints(), {0.0, 0.0}, 0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::control

@@ -1,0 +1,86 @@
+#include "control/controllability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::control {
+namespace {
+
+using linalg::Matrix;
+
+datacenter::IdcConfig idc_with(std::size_t servers, double mu, double bound) {
+  datacenter::IdcConfig config;
+  config.max_servers = servers;
+  config.power = datacenter::ServerPowerModel{150.0, 285.0, mu};
+  config.latency_bound_s = bound;
+  return config;
+}
+
+TEST(Controllability, MatrixLayout) {
+  const Matrix a{{0, 1}, {0, 0}};
+  const Matrix b{{0}, {1}};
+  const Matrix cm = controllability_matrix(a, b);
+  // [B, AB] = [[0, 1], [1, 0]].
+  EXPECT_DOUBLE_EQ(cm(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cm(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(cm(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cm(1, 1), 0.0);
+}
+
+TEST(Controllability, DoubleIntegratorIsControllable) {
+  EXPECT_TRUE(is_controllable(Matrix{{0, 1}, {0, 0}}, Matrix{{0}, {1}}));
+}
+
+TEST(Controllability, DecoupledUnactuatedStateIsNot) {
+  // Second state has no input and no coupling.
+  EXPECT_FALSE(is_controllable(Matrix{{1, 0}, {0, 1}}, Matrix{{1}, {0}}));
+}
+
+TEST(Controllability, PaperConditionPositivePricesAndB1) {
+  // The paper: controllable iff all Pr_j > 0 and b1 > 0.
+  const auto good = build_paper_model({40.0, 20.0}, {60.0, 60.0},
+                                      {150.0, 150.0}, 2);
+  EXPECT_TRUE(is_controllable(good.a, good.b));
+
+  // One zero price keeps the system controllable (cost remains
+  // reachable through the other IDC's energy) — the paper's "all
+  // Pr_j > 0" is sufficient, not necessary.
+  const auto one_zero_price = build_paper_model({40.0, 0.0}, {60.0, 60.0},
+                                                {150.0, 150.0}, 2);
+  EXPECT_TRUE(is_controllable(one_zero_price.a, one_zero_price.b));
+
+  // All prices zero: the cost state is completely decoupled from the
+  // inputs and cannot be steered.
+  const auto all_zero_prices = build_paper_model({0.0, 0.0}, {60.0, 60.0},
+                                                 {150.0, 150.0}, 2);
+  EXPECT_FALSE(is_controllable(all_zero_prices.a, all_zero_prices.b));
+
+  // Zero b1: that IDC's energy state is unactuated.
+  const auto zero_b1 = build_paper_model({40.0, 20.0}, {60.0, 0.0},
+                                         {150.0, 150.0}, 2);
+  EXPECT_FALSE(is_controllable(zero_b1.a, zero_b1.b));
+}
+
+TEST(SleepControllable, CapacityThreshold) {
+  // Two IDCs: capacities 2000*2-100 = 3900 and 1000*1-100 = 900.
+  const std::vector<datacenter::IdcConfig> idcs = {
+      idc_with(2000, 2.0, 0.01), idc_with(1000, 1.0, 0.01)};
+  EXPECT_TRUE(sleep_controllable(idcs, {2400.0, 2400.0}));   // 4800 = cap
+  EXPECT_FALSE(sleep_controllable(idcs, {2400.0, 2401.0}));  // just over
+}
+
+TEST(SleepControllable, RejectsNegativeDemand) {
+  const std::vector<datacenter::IdcConfig> idcs = {idc_with(10, 1.0, 1.0)};
+  EXPECT_THROW(sleep_controllable(idcs, {-1.0}), InvalidArgument);
+}
+
+TEST(Controllability, ValidatesShapes) {
+  EXPECT_THROW(controllability_matrix(Matrix(2, 3), Matrix(2, 1)),
+               InvalidArgument);
+  EXPECT_THROW(controllability_matrix(Matrix(2, 2), Matrix(3, 1)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::control

@@ -1,0 +1,60 @@
+#include "control/discretize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::control {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(Discretize, PaperModelClosedForm) {
+  // For the paper's A (strictly upper block, A² = 0):
+  //   Phi = I + A Ts,  G = (I Ts + A Ts²/2) B,  Gamma likewise.
+  const auto ss = build_paper_model({40.0, 20.0}, {60.0, 100.0},
+                                    {150.0, 130.0}, 2);
+  const double ts = 10.0;
+  const auto d = discretize(ss, ts);
+
+  Matrix expected_phi = Matrix::identity(3) + ts * ss.a;
+  EXPECT_TRUE(approx_equal(d.phi, expected_phi, 1e-9));
+
+  const Matrix integral = ts * Matrix::identity(3) + (ts * ts / 2.0) * ss.a;
+  EXPECT_TRUE(approx_equal(d.g, integral * ss.b, 1e-7));
+  EXPECT_TRUE(approx_equal(d.gamma, integral * ss.f, 1e-7));
+  EXPECT_DOUBLE_EQ(d.ts, ts);
+}
+
+TEST(Discretize, EnergyRowsIntegrateExactly) {
+  // Constant u over one period adds b1 * lambda * Ts to the energy
+  // state and (via the A coupling) price-weighted energy to cost.
+  const auto ss = build_paper_model({50.0}, {67.5}, {150.0}, 1);
+  const auto d = discretize(ss, 2.0);
+  Vector x{0.0, 0.0};
+  const Vector u{100.0};   // lambda = 100 req/s
+  const Vector v{1000.0};  // 1000 servers ON
+  x = linalg::add(linalg::add(d.phi * x, d.g * u), d.gamma * v);
+  // Energy state: (b1 lambda + b0 m) Ts.
+  EXPECT_NEAR(x[1], (67.5 * 100.0 + 150.0 * 1000.0) * 2.0, 1e-6);
+  // Cost state: Pr * integral of E over the step = Pr * rate * Ts²/2.
+  EXPECT_NEAR(x[0], 50.0 * (67.5 * 100.0 + 150.0 * 1000.0) * 2.0, 1e-3);
+}
+
+TEST(Discretize, SemigroupAcrossPeriods) {
+  const auto ss = build_paper_model({30.0, 60.0}, {10.0, 20.0}, {1.0, 2.0}, 2);
+  const auto d1 = discretize(ss, 5.0);
+  const auto d2 = discretize(ss, 10.0);
+  EXPECT_TRUE(approx_equal(d2.phi, d1.phi * d1.phi, 1e-8));
+  EXPECT_TRUE(approx_equal(d2.g, d1.phi * d1.g + d1.g, 1e-6));
+}
+
+TEST(Discretize, RejectsNonPositivePeriod) {
+  const auto ss = build_paper_model({1.0}, {1.0}, {1.0}, 1);
+  EXPECT_THROW(discretize(ss, 0.0), InvalidArgument);
+  EXPECT_THROW(discretize(ss, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::control

@@ -1,0 +1,199 @@
+#include "control/mpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::control {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// Scalar tracking plant: Y = u (power proportional to allocation).
+MpcController make_scalar_controller(double q, double r,
+                                     double upper_cap = 1e9) {
+  MpcPlant plant;
+  plant.c_u = Matrix{{1.0}};
+  plant.y0 = {0.0};
+  MpcConfig config;
+  config.horizons = {4, 2};
+  config.weights.q = {q};
+  config.weights.r = {r};
+  config.constraints.a_in = Matrix{{1.0}};
+  config.constraints.in_lower = {0.0};
+  config.constraints.in_upper = {upper_cap};
+  return MpcController(std::move(plant), std::move(config));
+}
+
+TEST(MpcController, TracksReferenceWithoutMovePenalty) {
+  auto controller = make_scalar_controller(1.0, 0.0);
+  MpcStep step;
+  step.u_prev = {2.0};
+  step.references = {Vector{10.0}};
+  const auto result = controller.step(step);
+  ASSERT_EQ(result.status, solvers::QpStatus::kOptimal);
+  EXPECT_NEAR(result.u[0], 10.0, 1e-4);
+  EXPECT_NEAR(result.predicted_y[0], 10.0, 1e-4);
+}
+
+TEST(MpcController, MovePenaltySmoothsTheStep) {
+  auto controller = make_scalar_controller(1.0, 3.0);
+  MpcStep step;
+  step.u_prev = {0.0};
+  step.references = {Vector{10.0}};
+  const auto result = controller.step(step);
+  ASSERT_EQ(result.status, solvers::QpStatus::kOptimal);
+  // Moves part of the way, strictly between 0 and the target.
+  EXPECT_GT(result.u[0], 0.5);
+  EXPECT_LT(result.u[0], 9.9);
+}
+
+TEST(MpcController, RepeatedStepsConvergeGeometrically) {
+  auto controller = make_scalar_controller(1.0, 3.0);
+  Vector u{0.0};
+  double previous_gap = 10.0;
+  for (int k = 0; k < 30; ++k) {
+    MpcStep step;
+    step.u_prev = u;
+    step.references = {Vector{10.0}};
+    const auto result = controller.step(step);
+    ASSERT_EQ(result.status, solvers::QpStatus::kOptimal);
+    const double gap = 10.0 - result.u[0];
+    EXPECT_LE(gap, previous_gap + 1e-9);  // monotone approach
+    previous_gap = gap;
+    u = result.u;
+  }
+  EXPECT_NEAR(u[0], 10.0, 0.1);
+}
+
+TEST(MpcController, LargerRMeansSmallerFirstMove) {
+  auto soft = make_scalar_controller(1.0, 1.0);
+  auto stiff = make_scalar_controller(1.0, 10.0);
+  MpcStep step;
+  step.u_prev = {0.0};
+  step.references = {Vector{10.0}};
+  const double soft_move = soft.step(step).u[0];
+  const double stiff_move = stiff.step(step).u[0];
+  EXPECT_GT(soft_move, stiff_move);
+}
+
+TEST(MpcController, RespectsUpperCap) {
+  auto controller = make_scalar_controller(1.0, 0.0, /*upper_cap=*/4.0);
+  MpcStep step;
+  step.u_prev = {0.0};
+  step.references = {Vector{10.0}};
+  const auto result = controller.step(step);
+  ASSERT_EQ(result.status, solvers::QpStatus::kOptimal);
+  EXPECT_LE(result.u[0], 4.0 + 1e-6);
+  EXPECT_NEAR(result.u[0], 4.0, 1e-3);
+}
+
+TEST(MpcController, NonnegativityHolds) {
+  auto controller = make_scalar_controller(1.0, 0.0);
+  MpcStep step;
+  step.u_prev = {5.0};
+  step.references = {Vector{-20.0}};  // pull hard toward negative
+  const auto result = controller.step(step);
+  ASSERT_EQ(result.status, solvers::QpStatus::kOptimal);
+  EXPECT_GE(result.u[0], -1e-6);
+}
+
+// Conservation-constrained 2-IDC allocation plant (the real shape).
+TEST(MpcController, ConservationHeldWhileRebalancing) {
+  MpcPlant plant;
+  plant.c_u = Matrix{{1.0, 0.0}, {0.0, 1.0}};  // Y = per-IDC load
+  plant.y0 = {0.0, 0.0};
+  MpcConfig config;
+  config.horizons = {4, 2};
+  config.weights.q = {1.0, 1.0};
+  config.weights.r = {0.5, 0.5};
+  config.constraints.h_eq = Matrix{{1.0, 1.0}};
+  config.constraints.h_rhs = {10.0};
+  MpcController controller(std::move(plant), std::move(config));
+
+  Vector u{10.0, 0.0};
+  for (int k = 0; k < 40; ++k) {
+    MpcStep step;
+    step.u_prev = u;
+    step.references = {Vector{2.0, 8.0}};
+    const auto result = controller.step(step);
+    ASSERT_EQ(result.status, solvers::QpStatus::kOptimal);
+    u = result.u;
+    EXPECT_NEAR(u[0] + u[1], 10.0, 1e-5) << "conservation at step " << k;
+  }
+  EXPECT_NEAR(u[0], 2.0, 0.1);
+  EXPECT_NEAR(u[1], 8.0, 0.1);
+}
+
+TEST(MpcController, ReferenceTrajectoryPerStep) {
+  auto controller = make_scalar_controller(1.0, 0.0);
+  MpcStep step;
+  step.u_prev = {0.0};
+  // Ramp reference across the horizon; the first move should chase the
+  // first reference, not the last.
+  step.references = {Vector{1.0}, Vector{2.0}, Vector{3.0}, Vector{4.0}};
+  const auto result = controller.step(step);
+  ASSERT_EQ(result.status, solvers::QpStatus::kOptimal);
+  EXPECT_LT(result.u[0], 3.0);
+  EXPECT_GT(result.u[0], 0.5);
+}
+
+TEST(MpcController, SetConstraintsSwapsRhs) {
+  auto controller = make_scalar_controller(1.0, 0.0, 100.0);
+  InputConstraints tighter;
+  tighter.a_in = Matrix{{1.0}};
+  tighter.in_lower = {0.0};
+  tighter.in_upper = {2.0};
+  controller.set_constraints(std::move(tighter));
+  MpcStep step;
+  step.u_prev = {0.0};
+  step.references = {Vector{10.0}};
+  const auto result = controller.step(step);
+  EXPECT_NEAR(result.u[0], 2.0, 1e-3);
+}
+
+TEST(MpcController, ActiveSetBackendAgreesWithAdmm) {
+  auto admm = make_scalar_controller(1.0, 2.0);
+  MpcPlant plant;
+  plant.c_u = Matrix{{1.0}};
+  plant.y0 = {0.0};
+  MpcConfig config;
+  config.horizons = {4, 2};
+  config.weights.q = {1.0};
+  config.weights.r = {2.0};
+  config.constraints.a_in = Matrix{{1.0}};
+  config.constraints.in_lower = {0.0};
+  config.constraints.in_upper = {1e9};
+  config.backend = solvers::LsqBackend::kActiveSet;
+  MpcController aset(std::move(plant), std::move(config));
+
+  MpcStep step;
+  step.u_prev = {1.0};
+  step.references = {Vector{7.0}};
+  const double u_admm = admm.step(step).u[0];
+  const double u_aset = aset.step(step).u[0];
+  EXPECT_NEAR(u_admm, u_aset, 1e-4);
+}
+
+TEST(MpcController, Validation) {
+  MpcPlant plant;
+  plant.c_u = Matrix{{1.0}};
+  plant.y0 = {0.0};
+  MpcConfig config;
+  config.horizons = {4, 2};
+  config.weights.q = {1.0, 2.0};  // wrong size
+  config.weights.r = {1.0};
+  EXPECT_THROW(MpcController(std::move(plant), std::move(config)),
+               InvalidArgument);
+
+  auto controller = make_scalar_controller(1.0, 1.0);
+  MpcStep step;
+  step.u_prev = {0.0};
+  EXPECT_THROW(controller.step(step), InvalidArgument);  // no references
+  step.references = {Vector{1.0, 2.0}};                  // wrong size
+  EXPECT_THROW(controller.step(step), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::control

@@ -1,0 +1,144 @@
+// End-to-end exercise of the paper's *literal* formulation: the
+// [C̄, E_1..E_N] state-space model (eq. 19–20), ZOH-discretized
+// (eq. 21–25), driven through the generic MPC prediction machinery with
+// the output W X = C̄ tracking a cumulative-cost reference (eq. 37). The
+// practical controller tracks per-IDC power instead (DESIGN.md §5.1);
+// this suite demonstrates the literal pipeline is implemented, coherent
+// and controllable.
+#include <gtest/gtest.h>
+
+#include "control/controllability.hpp"
+#include "control/discretize.hpp"
+#include "control/mpc.hpp"
+#include "core/paper.hpp"
+
+namespace gridctl::control {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+struct PaperModelFixture {
+  StateSpace ss;
+  DiscreteModel discrete;
+  Vector servers_on;  // V
+  std::size_t portals = 5;
+
+  PaperModelFixture() {
+    const std::vector<double> prices{49.90, 29.47, 77.97};
+    std::vector<double> b1(3), b0(3, 150.0);
+    const auto idcs = core::paper::paper_idcs();
+    for (std::size_t j = 0; j < 3; ++j) {
+      b1[j] = idcs[j].power.watts_per_rps();
+    }
+    ss = build_paper_model(prices, b1, b0, portals);
+    discrete = discretize(ss, 10.0);
+    servers_on = {20000.0, 40000.0, 7000.0};
+  }
+};
+
+TEST(PaperModelIntegration, DiscreteModelIsControllable) {
+  PaperModelFixture fixture;
+  EXPECT_TRUE(is_controllable(fixture.ss.a, fixture.ss.b));
+  // Discrete-time pair (Phi, G) inherits controllability.
+  EXPECT_TRUE(is_controllable(fixture.discrete.phi, fixture.discrete.g));
+}
+
+TEST(PaperModelIntegration, CostStatePredictionMatchesSimulation) {
+  PaperModelFixture fixture;
+  MpcPlant plant;
+  plant.phi = fixture.discrete.phi;
+  plant.g = fixture.discrete.g;
+  plant.w = fixture.discrete.gamma * fixture.servers_on;
+  plant.c_x = fixture.discrete.w;  // Y = C̄
+  plant.c_u = Matrix(1, fixture.ss.num_inputs());
+  plant.y0 = {0.0};
+
+  const MpcHorizons horizons{6, 2};
+  Vector x0(fixture.ss.num_states(), 0.0);
+  Vector u_prev(fixture.ss.num_inputs(), 1000.0);
+  const auto prediction = build_prediction(plant, horizons, x0, u_prev);
+
+  // Direct simulation with constant input must match the dU = 0 column.
+  Vector x = x0;
+  for (std::size_t s = 1; s <= horizons.prediction; ++s) {
+    x = linalg::add(linalg::add(plant.phi * x, plant.g * u_prev), plant.w);
+    EXPECT_NEAR(prediction.constant[s - 1], x[0],
+                1e-6 * std::max(1.0, std::abs(x[0])))
+        << "step " << s;
+  }
+  // Cost accumulates monotonically under positive prices and loads.
+  for (std::size_t s = 1; s < horizons.prediction; ++s) {
+    EXPECT_GT(prediction.constant[s], prediction.constant[s - 1]);
+  }
+}
+
+TEST(PaperModelIntegration, MpcSteersCumulativeCostBelowUncontrolled) {
+  // Track a cost-reference trajectory *below* the do-nothing cost: the
+  // controller must shift load toward cheap IDCs to slow the integrator.
+  // Built in normalized units (workload in kilo-req/s, prices scaled to
+  // O(1)) so the raw cost state — which in SI units reaches ~1e11 —
+  // stays solver-friendly; the structure is exactly the paper model.
+  const std::size_t portals = 5;
+  const std::vector<double> prices{4.99, 2.947, 7.797};      // $/MWh / 10
+  const std::vector<double> b1{0.0675, 0.108, 0.0771};       // MW per krps
+  const std::vector<double> b0{0.0, 0.0, 0.0};
+  const auto ss = build_paper_model(prices, b1, b0, portals);
+  const auto discrete = discretize(ss, 1.0);
+
+  MpcPlant plant;
+  plant.phi = discrete.phi;
+  plant.g = discrete.g;
+  plant.w = discrete.gamma * Vector{0.0, 0.0, 0.0};
+  plant.c_x = discrete.w;
+  plant.c_u = Matrix(1, ss.num_inputs());
+  plant.y0 = {0.0};
+
+  const Vector demands{30.0, 15.0, 15.0, 20.0, 20.0};  // krps
+  MpcConfig config;
+  config.horizons = {4, 2};
+  config.weights.q = {1.0};
+  config.weights.r.assign(ss.num_inputs(), 1e-4);
+  config.constraints.h_eq = conservation_matrix(portals, 3);
+  config.constraints.h_rhs = demands;
+  config.constraints.a_in = idc_load_matrix(portals, 3);
+  config.constraints.in_lower.assign(3, 0.0);
+  config.constraints.in_upper = {39.0, 49.0, 34.0};
+
+  MpcController controller(plant, config);
+
+  // Uncontrolled: split load evenly over IDCs.
+  Vector u_even(ss.num_inputs(), 0.0);
+  for (std::size_t i = 0; i < portals; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) u_even[i * 3 + j] = demands[i] / 3.0;
+  }
+  Vector x_uncontrolled(4, 0.0);
+  for (int k = 0; k < 10; ++k) {
+    x_uncontrolled = linalg::add(
+        linalg::add(plant.phi * x_uncontrolled, plant.g * u_even), plant.w);
+  }
+
+  // Controlled: reference = 60% of the uncontrolled cost trajectory.
+  Vector x(4, 0.0);
+  Vector u = u_even;
+  for (int k = 0; k < 10; ++k) {
+    MpcStep step;
+    step.x = x;
+    step.u_prev = u;
+    step.references = {Vector{0.6 * x_uncontrolled[0]}};
+    const auto result = controller.step(step);
+    ASSERT_EQ(result.status, solvers::QpStatus::kOptimal) << "step " << k;
+    u = result.u;
+    x = linalg::add(linalg::add(plant.phi * x, plant.g * u), plant.w);
+  }
+  EXPECT_LT(x[0], x_uncontrolled[0]);
+  // The cheapest-energy IDC (Michigan here: price x b1 = 0.337 vs
+  // Minnesota 0.318 vs Wisconsin 0.601 — Minnesota wins) absorbed more
+  // than an even share.
+  double mn_load = 0.0;
+  for (std::size_t i = 0; i < portals; ++i) mn_load += u[i * 3 + 1];
+  EXPECT_GT(mn_load, 100.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace gridctl::control

@@ -1,0 +1,146 @@
+#include "control/prediction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "control/discretize.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::control {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+MpcPlant stateless_plant() {
+  // Y = 2 u0 + 3 u1 + 1.
+  MpcPlant plant;
+  plant.c_u = Matrix{{2.0, 3.0}};
+  plant.y0 = {1.0};
+  return plant;
+}
+
+TEST(CumulativeSelector, LowerTriangularBlocks) {
+  const Matrix sel = cumulative_selector(2, 3);
+  EXPECT_EQ(sel.rows(), 6u);
+  // Block (2, 0) is identity: U_2 includes dU_0.
+  EXPECT_DOUBLE_EQ(sel(4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sel(5, 1), 1.0);
+  // Upper blocks are zero: U_0 excludes dU_1.
+  EXPECT_DOUBLE_EQ(sel(0, 2), 0.0);
+  // No cross-input coupling.
+  EXPECT_DOUBLE_EQ(sel(4, 1), 0.0);
+}
+
+TEST(BuildPrediction, StatelessConstantIsCurrentOutput) {
+  const MpcPlant plant = stateless_plant();
+  const MpcHorizons horizons{3, 2};
+  const auto pred = build_prediction(plant, horizons, {}, {1.0, 1.0});
+  // With dU = 0, every predicted output equals C_u u_prev + y0 = 6.
+  ASSERT_EQ(pred.constant.size(), 3u);
+  for (double c : pred.constant) EXPECT_DOUBLE_EQ(c, 6.0);
+}
+
+TEST(BuildPrediction, StatelessThetaAccumulatesMoves) {
+  const MpcPlant plant = stateless_plant();
+  const MpcHorizons horizons{3, 2};
+  const auto pred = build_prediction(plant, horizons, {}, {0.0, 0.0});
+  // Y_1 sees only dU_0; Y_2 and Y_3 see dU_0 + dU_1.
+  EXPECT_DOUBLE_EQ(pred.theta(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(pred.theta(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(pred.theta(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(pred.theta(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(pred.theta(2, 3), 3.0);
+}
+
+TEST(BuildPrediction, MatchesManualSimulationWithState) {
+  // Scalar plant: x+ = 0.5 x + u + 0.1, y = x + 2 u.
+  MpcPlant plant;
+  plant.phi = Matrix{{0.5}};
+  plant.g = Matrix{{1.0}};
+  plant.w = {0.1};
+  plant.c_x = Matrix{{1.0}};
+  plant.c_u = Matrix{{2.0}};
+  plant.y0 = {0.0};
+  const MpcHorizons horizons{4, 2};
+  const Vector x0{2.0};
+  const Vector u_prev{0.5};
+  const Vector du{0.3, -0.2};  // dU_0, dU_1
+
+  const auto pred = build_prediction(plant, horizons, x0, u_prev);
+  const Vector y_pred = linalg::add(pred.theta * du, pred.constant);
+
+  // Manual forward simulation with the same input convention:
+  // U_t = u_prev + cumulative moves, held at t >= beta2.
+  double x = x0[0];
+  std::vector<double> u_seq = {u_prev[0] + du[0], u_prev[0] + du[0] + du[1]};
+  std::vector<double> y_manual;
+  for (std::size_t s = 1; s <= 4; ++s) {
+    const double u_applied = u_seq[std::min<std::size_t>(s - 1, 1)];
+    x = 0.5 * x + u_applied + 0.1;
+    y_manual.push_back(x + 2.0 * u_applied);
+  }
+  ASSERT_EQ(y_pred.size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_NEAR(y_pred[s], y_manual[s], 1e-12) << "step " << s;
+  }
+}
+
+TEST(BuildPrediction, PaperDiscreteModelCostPrediction) {
+  // End-to-end: the paper's [C̄, E] state-space discretized, predicted
+  // cost after two steps of constant input matches direct iteration.
+  const auto ss = build_paper_model({40.0}, {67.5}, {150.0}, 1);
+  const auto d = discretize(ss, 10.0);
+  MpcPlant plant;
+  plant.phi = d.phi;
+  plant.g = d.g;
+  plant.w = d.gamma * Vector{500.0};  // 500 servers ON, constant
+  plant.c_x = d.w;                    // output = cost state
+  plant.c_u = Matrix(1, 1);           // no feedthrough
+  plant.y0 = {0.0};
+  const MpcHorizons horizons{2, 1};
+  const Vector x0{0.0, 0.0};
+  const Vector u_prev{100.0};
+  const auto pred = build_prediction(plant, horizons, x0, u_prev);
+  const Vector y = linalg::add(pred.theta * Vector{0.0}, pred.constant);
+
+  Vector x = x0;
+  Vector y_direct;
+  for (int s = 0; s < 2; ++s) {
+    x = linalg::add(linalg::add(d.phi * x, d.g * u_prev),
+                    d.gamma * Vector{500.0});
+    y_direct.push_back((d.w * x)[0]);
+  }
+  EXPECT_NEAR(y[0], y_direct[0], 1e-9);
+  EXPECT_NEAR(y[1], y_direct[1], 1e-9);
+}
+
+TEST(BuildPrediction, Validation) {
+  const MpcPlant plant = stateless_plant();
+  MpcHorizons bad{1, 2};
+  EXPECT_THROW(build_prediction(plant, bad, {}, {0.0, 0.0}), InvalidArgument);
+  const MpcHorizons ok{2, 1};
+  EXPECT_THROW(build_prediction(plant, ok, {1.0}, {0.0, 0.0}),
+               InvalidArgument);  // stateless plant given a state
+  EXPECT_THROW(build_prediction(plant, ok, {}, {0.0}), InvalidArgument);
+}
+
+TEST(MpcPlantValidate, CatchesShapeErrors) {
+  MpcPlant plant = stateless_plant();
+  plant.y0 = {1.0, 2.0};
+  EXPECT_THROW(plant.validate(), InvalidArgument);
+  MpcPlant stateful;
+  stateful.phi = Matrix{{1.0}};
+  stateful.g = Matrix{{1.0}};
+  stateful.w = {0.0};
+  stateful.c_x = Matrix{{1.0}};
+  stateful.c_u = Matrix{{1.0}};
+  stateful.y0 = {0.0};
+  EXPECT_NO_THROW(stateful.validate());
+  stateful.g = Matrix(2, 1);
+  EXPECT_THROW(stateful.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::control

@@ -1,0 +1,97 @@
+#include "control/sleep_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datacenter/latency.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::control {
+namespace {
+
+datacenter::IdcConfig idc_with(std::size_t servers, double mu) {
+  datacenter::IdcConfig config;
+  config.max_servers = servers;
+  config.power = datacenter::ServerPowerModel{150.0, 285.0, mu};
+  config.latency_bound_s = 0.001;
+  return config;
+}
+
+TEST(SleepController, Eq35TargetCounts) {
+  SleepController sleep({idc_with(40000, 1.25)});
+  // m = ceil(lambda/mu + 1/(mu D)) = ceil(lambda/1.25 + 800).
+  EXPECT_EQ(sleep.target_servers(0, 0.0), 800u);
+  EXPECT_EQ(sleep.target_servers(0, 50.0), 840u);
+  EXPECT_EQ(sleep.target_servers(0, 49000.0), 40000u);
+}
+
+TEST(SleepController, CapsAtMaxServers) {
+  SleepController sleep({idc_with(1000, 2.0)});
+  EXPECT_EQ(sleep.target_servers(0, 1e9), 1000u);
+}
+
+TEST(SleepController, StepMapsAllIdcs) {
+  SleepController sleep({idc_with(10000, 2.0), idc_with(10000, 1.0)});
+  const auto counts = sleep.step({1000.0, 1000.0}, {0, 0});
+  EXPECT_EQ(counts[0], 1000u);  // 500 + 500 margin
+  EXPECT_EQ(counts[1], 2000u);  // 1000 + 1000 margin
+}
+
+TEST(SleepController, RampLimitBoundsSwitchRate) {
+  SleepControllerOptions options;
+  options.max_ramp_per_step = 100;
+  SleepController sleep({idc_with(10000, 2.0)}, options);
+  // Target jumps from 500 to 3000; each step moves at most 100.
+  auto counts = sleep.step({5000.0}, {500});
+  EXPECT_EQ(counts[0], 600u);
+  counts = sleep.step({5000.0}, counts);
+  EXPECT_EQ(counts[0], 700u);
+  // Downward ramp too.
+  counts = sleep.step({0.0}, {5000});
+  EXPECT_EQ(counts[0], 4900u);
+}
+
+TEST(SleepController, RampDisabledJumpsDirectly) {
+  SleepController sleep({idc_with(10000, 2.0)});
+  const auto counts = sleep.step({5000.0}, {500});
+  EXPECT_EQ(counts[0], 3000u);
+}
+
+TEST(SleepController, ExactMmnProvisionsFewerServers) {
+  // The exact Erlang-C wait is far below the paper's P_Q = 1 bound at
+  // moderate utilization, so the exact mode needs fewer ON servers.
+  SleepControllerOptions exact_options;
+  exact_options.exact_mmn = true;
+  datacenter::IdcConfig idc = idc_with(40000, 1.25);
+  SleepController simplified({idc});
+  SleepController exact({idc}, exact_options);
+  const double load = 20000.0;
+  const std::size_t m_simplified = simplified.target_servers(0, load);
+  const std::size_t m_exact = exact.target_servers(0, load);
+  EXPECT_LT(m_exact, m_simplified);
+  // Exact provisioning still meets the wait bound...
+  EXPECT_LE(datacenter::mmn_response_time(m_exact, 1.25, load) - 1.0 / 1.25,
+            0.001);
+  // ...and one server fewer would not (minimality).
+  EXPECT_GT(
+      datacenter::mmn_response_time(m_exact - 1, 1.25, load) - 1.0 / 1.25,
+      0.001);
+}
+
+TEST(SleepController, ExactMmnStillCapsAtMaxServers) {
+  SleepControllerOptions exact_options;
+  exact_options.exact_mmn = true;
+  SleepController sleep({idc_with(1000, 2.0)}, exact_options);
+  EXPECT_EQ(sleep.target_servers(0, 1e7), 1000u);
+}
+
+TEST(SleepController, Validation) {
+  EXPECT_THROW(SleepController({}), InvalidArgument);
+  SleepController sleep({idc_with(10, 1.0)});
+  EXPECT_THROW(sleep.target_servers(1, 0.0), InvalidArgument);
+  EXPECT_THROW(sleep.target_servers(0, -1.0), InvalidArgument);
+  EXPECT_THROW(sleep.step({1.0, 2.0}, {0}), InvalidArgument);
+  EXPECT_THROW(sleep.step({1.0}, {0, 0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::control

@@ -1,0 +1,100 @@
+#include "control/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::control {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// Scalar tracking plant with an upper cap, as in the MPC unit tests.
+MpcPlant scalar_plant() {
+  MpcPlant plant;
+  plant.c_u = Matrix{{1.0}};
+  plant.y0 = {0.0};
+  return plant;
+}
+
+MpcConfig scalar_config(double r) {
+  MpcConfig config;
+  config.horizons = {4, 2};
+  config.weights.q = {1.0};
+  config.weights.r = {r};
+  config.constraints.a_in = Matrix{{1.0}};
+  config.constraints.in_lower = {0.0};
+  config.constraints.in_upper = {1e6};
+  return config;
+}
+
+TEST(Stability, ScalarLoopIsContractionForPositiveR) {
+  const auto plant = scalar_plant();
+  const auto config = scalar_config(3.0);
+  MpcStep a{{}, {0.0}, {Vector{10.0}}};
+  MpcStep b{{}, {6.0}, {Vector{10.0}}};
+  const auto estimate = estimate_contraction(plant, config, a, b);
+  EXPECT_TRUE(estimate.contraction);
+  EXPECT_GT(estimate.ratio, 0.0);
+  EXPECT_LT(estimate.ratio, 1.0);
+}
+
+TEST(Stability, ZeroMovePenaltyIsDeadbeat) {
+  // With r = 0 both starts jump straight to the reference: ratio ~ 0.
+  const auto estimate =
+      estimate_contraction(scalar_plant(), scalar_config(0.0),
+                           MpcStep{{}, {0.0}, {Vector{10.0}}},
+                           MpcStep{{}, {6.0}, {Vector{10.0}}});
+  EXPECT_LT(estimate.ratio, 1e-3);
+}
+
+TEST(Stability, LargerRIsSlowerButStillContractive) {
+  const auto soft =
+      estimate_contraction(scalar_plant(), scalar_config(1.0),
+                           MpcStep{{}, {0.0}, {Vector{10.0}}},
+                           MpcStep{{}, {6.0}, {Vector{10.0}}});
+  const auto stiff =
+      estimate_contraction(scalar_plant(), scalar_config(10.0),
+                           MpcStep{{}, {0.0}, {Vector{10.0}}},
+                           MpcStep{{}, {6.0}, {Vector{10.0}}});
+  EXPECT_LT(soft.ratio, stiff.ratio);
+  EXPECT_TRUE(stiff.contraction);
+}
+
+TEST(Stability, ConvergenceReportGeometricApproach) {
+  const auto report =
+      verify_convergence(scalar_plant(), scalar_config(3.0), {}, {0.0},
+                         {Vector{10.0}});
+  EXPECT_TRUE(report.converged);
+  EXPECT_GT(report.steps_to_converge, 3u);   // not deadbeat
+  EXPECT_LT(report.worst_step_ratio, 1.0);   // monotone geometric decay
+}
+
+TEST(Stability, ConservationConstrainedLoopConverges) {
+  // The allocation-shaped plant: two inputs summing to a constant.
+  MpcPlant plant;
+  plant.c_u = Matrix{{1.0, 0.0}, {0.0, 1.0}};
+  plant.y0 = {0.0, 0.0};
+  MpcConfig config;
+  config.horizons = {4, 2};
+  config.weights.q = {1.0, 1.0};
+  config.weights.r = {2.0, 2.0};
+  config.constraints.h_eq = Matrix{{1.0, 1.0}};
+  config.constraints.h_rhs = {10.0};
+  const auto report = verify_convergence(plant, config, {}, {10.0, 0.0},
+                                         {Vector{3.0, 7.0}});
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.worst_step_ratio, 1.0);
+}
+
+TEST(Stability, RejectsIdenticalStartPoints) {
+  EXPECT_THROW(
+      estimate_contraction(scalar_plant(), scalar_config(1.0),
+                           MpcStep{{}, {5.0}, {Vector{10.0}}},
+                           MpcStep{{}, {5.0}, {Vector{10.0}}}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::control

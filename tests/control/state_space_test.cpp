@@ -1,0 +1,76 @@
+#include "control/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::control {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(StateSpace, MatricesMatchPaperStructure) {
+  // N = 2 IDCs, C = 3 portals.
+  const auto ss = build_paper_model({40.0, 20.0}, {60.0, 100.0},
+                                    {150.0, 150.0}, 3);
+  EXPECT_EQ(ss.num_states(), 3u);
+  EXPECT_EQ(ss.num_inputs(), 6u);
+  EXPECT_EQ(ss.num_idcs(), 2u);
+
+  // A: first row [0, Pr_1, Pr_2], all other rows zero.
+  EXPECT_DOUBLE_EQ(ss.a(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ss.a(0, 1), 40.0);
+  EXPECT_DOUBLE_EQ(ss.a(0, 2), 20.0);
+  for (std::size_t r = 1; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(ss.a(r, c), 0.0);
+  }
+
+  // B: row j+1 carries b1_j on inputs lambda_ij (portal-major u[i*N+j]).
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(ss.b(1, i * 2 + 0), 60.0);
+    EXPECT_DOUBLE_EQ(ss.b(2, i * 2 + 1), 100.0);
+    EXPECT_DOUBLE_EQ(ss.b(1, i * 2 + 1), 0.0);
+    EXPECT_DOUBLE_EQ(ss.b(0, i * 2 + 0), 0.0);
+  }
+
+  // F: diag(b0) shifted one row down.
+  EXPECT_DOUBLE_EQ(ss.f(1, 0), 150.0);
+  EXPECT_DOUBLE_EQ(ss.f(2, 1), 150.0);
+  EXPECT_DOUBLE_EQ(ss.f(0, 0), 0.0);
+
+  // W selects the cost state.
+  EXPECT_DOUBLE_EQ(ss.w(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ss.w(0, 1), 0.0);
+}
+
+TEST(StateSpace, CostDynamicsIntegratePriceWeightedEnergy) {
+  // Ẋ = A X: the cost rate must equal sum_j Pr_j E_j.
+  const auto ss = build_paper_model({10.0, 30.0}, {1.0, 1.0}, {0.0, 0.0}, 1);
+  const Vector x{0.0, 2.0, 4.0};  // cost, E1, E2
+  const Vector xdot = ss.a * x;
+  EXPECT_DOUBLE_EQ(xdot[0], 10.0 * 2.0 + 30.0 * 4.0);
+  EXPECT_DOUBLE_EQ(xdot[1], 0.0);
+}
+
+TEST(StateSpace, InputDrivesOwnIdcOnly) {
+  const auto ss = build_paper_model({1.0, 1.0, 1.0}, {5.0, 6.0, 7.0},
+                                    {1.0, 1.0, 1.0}, 2);
+  // u = lambda for portal 1 -> IDC 2 only.
+  Vector u(6, 0.0);
+  u[1 * 3 + 2] = 10.0;
+  const Vector xdot = ss.b * u;
+  EXPECT_DOUBLE_EQ(xdot[3], 70.0);  // E_3 row
+  EXPECT_DOUBLE_EQ(xdot[1], 0.0);
+  EXPECT_DOUBLE_EQ(xdot[2], 0.0);
+}
+
+TEST(StateSpace, Validation) {
+  EXPECT_THROW(build_paper_model({}, {}, {}, 1), InvalidArgument);
+  EXPECT_THROW(build_paper_model({1.0}, {1.0, 2.0}, {1.0}, 1),
+               InvalidArgument);
+  EXPECT_THROW(build_paper_model({1.0}, {1.0}, {1.0}, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::control

@@ -1,0 +1,41 @@
+// Integration cross-check: the full closed loop run with the ADMM
+// backend and with the active-set backend must produce near-identical
+// trajectories (the two solvers implement the same optimality
+// conditions, so any drift between them flags a solver bug).
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+#include "core/simulation.hpp"
+
+namespace gridctl::core {
+namespace {
+
+TEST(BackendAgreement, ClosedLoopTrajectoriesMatch) {
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/20.0);
+  scenario.duration_s = 200.0;
+
+  scenario.controller.backend = solvers::LsqBackend::kAdmm;
+  MpcPolicy admm(CostController::Config{scenario.idcs, 5, {},
+                                        scenario.controller});
+  scenario.controller.backend = solvers::LsqBackend::kActiveSet;
+  MpcPolicy active_set(CostController::Config{scenario.idcs, 5, {},
+                                              scenario.controller});
+
+  const auto run_admm = run_simulation(scenario, admm);
+  const auto run_aset = run_simulation(scenario, active_set);
+
+  ASSERT_EQ(run_admm.trace.time_s.size(), run_aset.trace.time_s.size());
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t k = 0; k < run_admm.trace.time_s.size(); ++k) {
+      EXPECT_NEAR(run_admm.trace.power_w[j][k], run_aset.trace.power_w[j][k],
+                  2e4)  // 0.02 MW out of multi-MW signals
+          << "IDC " << j << " step " << k;
+    }
+  }
+  EXPECT_NEAR(run_admm.summary.total_cost_dollars,
+              run_aset.summary.total_cost_dollars,
+              1e-3 * run_admm.summary.total_cost_dollars);
+}
+
+}  // namespace
+}  // namespace gridctl::core

@@ -1,0 +1,281 @@
+#include "core/cost_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+#include "core/policies.hpp"
+#include "datacenter/latency.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::core {
+namespace {
+
+CostController::Config paper_config(std::vector<double> budgets = {}) {
+  const Scenario scenario = paper::smoothing_scenario();
+  return CostController::Config{scenario.idcs, 5, std::move(budgets),
+                                scenario.controller};
+}
+
+TEST(CostController, EveryStepConservesWorkloadAndNonNegativity) {
+  CostController controller(paper_config());
+  const std::vector<double> prices{49.90, 29.47, 77.97};
+  for (int k = 0; k < 20; ++k) {
+    const auto decision = controller.step(prices, paper::kPortalDemands);
+    EXPECT_EQ(decision.mpc_status, solvers::QpStatus::kOptimal);
+    EXPECT_TRUE(decision.allocation.conserves(paper::kPortalDemands, 1e-3))
+        << "step " << k;
+    EXPECT_TRUE(decision.allocation.non_negative(1e-6));
+  }
+}
+
+TEST(CostController, ServersFollowEq35) {
+  CostController controller(paper_config());
+  const auto decision =
+      controller.step({49.90, 29.47, 77.97}, paper::kPortalDemands);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const auto& idc = controller.config().idcs[j];
+    const double load = decision.allocation.idc_load(j);
+    const std::size_t expected = std::min(
+        datacenter::servers_for_latency(load, idc.power.service_rate,
+                                        idc.latency_bound_s),
+        idc.max_servers);
+    EXPECT_EQ(decision.servers[j], expected);
+  }
+}
+
+TEST(CostController, LatencyBoundHeldAtEveryStep) {
+  CostController controller(paper_config());
+  const std::vector<double> prices{49.90, 29.47, 77.97};
+  for (int k = 0; k < 15; ++k) {
+    const auto decision = controller.step(prices, paper::kPortalDemands);
+    for (std::size_t j = 0; j < 3; ++j) {
+      const auto& idc = controller.config().idcs[j];
+      const double load = decision.allocation.idc_load(j);
+      const double capacity =
+          static_cast<double>(decision.servers[j]) * idc.power.service_rate;
+      ASSERT_GT(capacity, load);
+      EXPECT_LE(1.0 / (capacity - load), idc.latency_bound_s * 1.0001);
+    }
+  }
+}
+
+TEST(CostController, ResetToSeedsTheRamp) {
+  CostController controller(paper_config());
+  datacenter::Allocation seed(5, 3);
+  // All workload at Wisconsin-ish split matching the 6H optimum.
+  for (std::size_t i = 0; i < 5; ++i) {
+    seed.at(i, 2) = paper::kPortalDemands[i] * 0.34;
+    seed.at(i, 1) = paper::kPortalDemands[i] * 0.49;
+    seed.at(i, 0) = paper::kPortalDemands[i] * 0.17;
+  }
+  controller.reset_to(seed, {9000, 40000, 20000});
+  const auto decision =
+      controller.step({49.90, 29.47, 77.97}, paper::kPortalDemands);
+  // One step later the allocation has moved only a fraction of the
+  // ~22000 req/s gap to the new optimum (smoothing), not jumped.
+  EXPECT_NEAR(decision.allocation.idc_load(2), 34000.0, 7000.0);
+}
+
+TEST(CostController, BudgetsCapThePowerTrajectory) {
+  const std::vector<double> budgets{5.13e6, 10.26e6, 4.275e6};
+  CostController controller(paper_config(budgets));
+  const std::vector<double> prices{49.90, 29.47, 77.97};
+  std::vector<double> final_power;
+  for (int k = 0; k < 120; ++k) {
+    const auto decision = controller.step(prices, paper::kPortalDemands);
+    if (k == 119) final_power = decision.predicted_power_w;
+  }
+  ASSERT_EQ(final_power.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_LE(final_power[j], budgets[j] * 1.001) << "IDC " << j;
+  }
+}
+
+TEST(CostController, PredictionModeTracksConstantWorkload) {
+  auto config = paper_config();
+  config.params.predict_workload = true;
+  config.params.ar_order = 2;
+  CostController controller(std::move(config));
+  const std::vector<double> prices{49.90, 29.47, 77.97};
+  CostController::Decision decision;
+  for (int k = 0; k < 10; ++k) {
+    decision = controller.step(prices, paper::kPortalDemands);
+  }
+  // Constant workload: predictions converge to the true rates.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(decision.predicted_demands[i], paper::kPortalDemands[i],
+                0.01 * paper::kPortalDemands[i]);
+  }
+}
+
+TEST(CostController, SlowLoopPeriodizationHoldsCountsBetweenUpdates) {
+  auto config = paper_config();
+  config.params.sleep_every_k_steps = 5;
+  CostController controller(std::move(config));
+  const std::vector<double> prices{49.90, 29.47, 77.97};
+  std::vector<std::vector<std::size_t>> history;
+  for (int k = 0; k < 10; ++k) {
+    history.push_back(controller.step(prices, paper::kPortalDemands).servers);
+  }
+  // Steps 1-4 may only raise counts relative to step 0 (safety bumps),
+  // never lower them; a genuine slow update happens at step 5.
+  for (int k = 1; k < 5; ++k) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(history[k][j], history[0][j])
+          << "step " << k << " idc " << j;
+    }
+  }
+  // Wisconsin's load is draining, so the held count exceeds the eq.-35
+  // target off-cycle and drops at the slow update.
+  EXPECT_LT(history[5][2], history[4][2]);
+}
+
+TEST(CostController, SlowLoopSafetyBumpKeepsLatencyFeasible) {
+  auto config = paper_config();
+  config.params.sleep_every_k_steps = 50;  // effectively frozen slow loop
+  CostController controller(std::move(config));
+  const std::vector<double> prices{49.90, 29.47, 77.97};
+  for (int k = 0; k < 20; ++k) {
+    const auto decision = controller.step(prices, paper::kPortalDemands);
+    for (std::size_t j = 0; j < 3; ++j) {
+      const auto& idc = controller.config().idcs[j];
+      const double capacity =
+          static_cast<double>(decision.servers[j]) * idc.power.service_rate;
+      const double load = decision.allocation.idc_load(j);
+      ASSERT_GT(capacity, load);
+      EXPECT_LE(1.0 / (capacity - load), idc.latency_bound_s * 1.0001);
+    }
+  }
+}
+
+TEST(CostController, PricePreviewShiftsReferencesAhead) {
+  // Current prices favor Wisconsin; the preview says Wisconsin spikes
+  // next step. With the preview the first move already drains WI.
+  CostController blind(paper_config());
+  CostController sighted(paper_config());
+  const std::vector<double> now{43.26, 30.26, 19.06};   // 6H: WI cheap
+  const std::vector<std::vector<double>> preview(
+      8, std::vector<double>{49.90, 29.47, 77.97});      // 7H ahead
+
+  // Warm both to the 6H optimum.
+  OptimalPolicy seed(paper::paper_idcs(), 5, control::CostBasis::kPriceOnly);
+  const auto initial = seed.decide(now, paper::kPortalDemands);
+  blind.reset_to(initial.allocation, initial.servers);
+  sighted.reset_to(initial.allocation, initial.servers);
+
+  const auto blind_decision = blind.step(now, paper::kPortalDemands);
+  const auto sighted_decision =
+      sighted.step(now, paper::kPortalDemands, preview);
+  EXPECT_GT(blind_decision.allocation.idc_load(2) -
+                sighted_decision.allocation.idc_load(2),
+            500.0);
+}
+
+TEST(CostController, PricePreviewValidatesRowSize) {
+  CostController controller(paper_config());
+  const std::vector<std::vector<double>> bad{{1.0, 2.0}};  // 2 != 3 IDCs
+  EXPECT_THROW(
+      controller.step({49.9, 29.5, 78.0}, paper::kPortalDemands, bad),
+      InvalidArgument);
+}
+
+TEST(CostController, PredictionOvershootNearCapacityIsClamped) {
+  // A steep ramp toward the 122k req/s capacity makes the AR model
+  // extrapolate beyond it; the reference must stay solvable (regression
+  // test for the forecast-overshoot failure).
+  auto config = paper_config();
+  config.params.predict_workload = true;
+  config.params.ar_order = 2;
+  CostController controller(std::move(config));
+  const std::vector<double> prices{49.90, 29.47, 77.97};
+  for (int k = 0; k < 15; ++k) {
+    std::vector<double> demands(5);
+    const double total = 60000.0 + 4000.0 * k;  // hits ~116k, still served
+    for (std::size_t i = 0; i < 5; ++i) {
+      demands[i] = total * paper::kPortalDemands[i] / 100000.0;
+    }
+    const auto decision = controller.step(prices, demands);
+    EXPECT_TRUE(decision.reference.feasible) << "step " << k;
+    EXPECT_TRUE(decision.allocation.conserves(demands, 1e-3));
+  }
+}
+
+TEST(CostController, ThrowsWhenFleetCannotServe) {
+  CostController controller(paper_config());
+  std::vector<double> monster(5, 1e8);
+  EXPECT_THROW(controller.step({1.0, 1.0, 1.0}, monster), InvalidArgument);
+}
+
+TEST(CostController, LoadSheddingServesCapacityFraction) {
+  auto config = paper_config();
+  config.params.allow_load_shedding = true;
+  CostController controller(std::move(config));
+  // Offer 2x the fleet capacity (~122k): about half must be shed.
+  std::vector<double> monster(5, 48800.0);
+  const auto decision = controller.step({49.90, 29.47, 77.97}, monster);
+  EXPECT_NEAR(decision.shed_fraction, 0.5, 0.01);
+  double served = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    served += decision.allocation.idc_load(j);
+  }
+  EXPECT_NEAR(served, 122000.0, 200.0);
+  EXPECT_TRUE(decision.allocation.non_negative(1e-6));
+}
+
+TEST(CostController, NoSheddingWhenDemandFits) {
+  auto config = paper_config();
+  config.params.allow_load_shedding = true;
+  CostController controller(std::move(config));
+  const auto decision =
+      controller.step({49.90, 29.47, 77.97}, paper::kPortalDemands);
+  EXPECT_DOUBLE_EQ(decision.shed_fraction, 0.0);
+}
+
+TEST(CostController, ReferenceTrajectoryAnticipatesDrift) {
+  auto config = paper_config();
+  config.params.predict_workload = true;
+  config.params.reference_trajectory = true;
+  config.params.ar_order = 2;
+  CostController trajectory_controller(config);
+  config.params.reference_trajectory = false;
+  CostController flat_controller(std::move(config));
+
+  // Linearly growing workload: the AR model learns the trend, so the
+  // trajectory controller's references lead the flat controller's.
+  const std::vector<double> prices{49.90, 29.47, 77.97};
+  CostController::Decision with_traj, flat;
+  for (int k = 0; k < 25; ++k) {
+    std::vector<double> demands(paper::kPortalDemands);
+    for (double& d : demands) d *= 0.8 + 0.005 * k;
+    with_traj = trajectory_controller.step(prices, demands);
+    flat = flat_controller.step(prices, demands);
+    EXPECT_EQ(with_traj.mpc_status, solvers::QpStatus::kOptimal);
+  }
+  // Both still conserve the measured demand exactly.
+  std::vector<double> final_demands(paper::kPortalDemands);
+  for (double& d : final_demands) d *= 0.8 + 0.005 * 24;
+  EXPECT_TRUE(with_traj.allocation.conserves(final_demands, 1e-3));
+  EXPECT_TRUE(flat.allocation.conserves(final_demands, 1e-3));
+}
+
+TEST(CostController, ConfigValidation) {
+  auto config = paper_config();
+  config.portals = 0;
+  EXPECT_THROW(CostController controller(config), InvalidArgument);
+  config = paper_config();
+  config.power_budgets_w = {1.0};
+  EXPECT_THROW(CostController controller(config), InvalidArgument);
+  config = paper_config();
+  config.params.q_weight = 0.0;
+  EXPECT_THROW(CostController controller(config), InvalidArgument);
+}
+
+TEST(CostController, StepValidatesSizes) {
+  CostController controller(paper_config());
+  EXPECT_THROW(controller.step({1.0}, paper::kPortalDemands),
+               InvalidArgument);
+  EXPECT_THROW(controller.step({1.0, 1.0, 1.0}, {1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::core

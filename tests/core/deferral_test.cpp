@@ -1,0 +1,134 @@
+#include "core/deferral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::core {
+namespace {
+
+datacenter::IdcConfig cheap_idc() {
+  datacenter::IdcConfig config;
+  config.max_servers = 100000;
+  config.power = datacenter::ServerPowerModel{150.0, 285.0, 2.0};
+  config.latency_bound_s = 0.01;
+  return config;
+}
+
+// One IDC, four hourly slots with prices (50, 10, 50, 10), ample spare
+// capacity, 1000 req/s-hours of work arriving in slot 0.
+DeferralProblem simple_problem(std::size_t max_delay) {
+  DeferralProblem problem;
+  problem.idcs = {cheap_idc()};
+  problem.prices = {{50.0}, {10.0}, {50.0}, {10.0}};
+  problem.spare_capacity_rps = {{5000.0}, {5000.0}, {5000.0}, {5000.0}};
+  problem.arrivals_req = {1000.0 * 3600.0, 0.0, 0.0, 0.0};
+  problem.slot_s = 3600.0;
+  problem.max_delay_slots = max_delay;
+  return problem;
+}
+
+TEST(Deferral, ZeroDelayServesOnArrival) {
+  const auto plan = plan_deferral(simple_problem(0));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.rate_rps[0][0], 1000.0, 1e-6);
+  EXPECT_NEAR(plan.rate_rps[1][0], 0.0, 1e-6);
+}
+
+TEST(Deferral, DelayToleranceMovesWorkToCheapSlot) {
+  const auto plan = plan_deferral(simple_problem(1));
+  ASSERT_TRUE(plan.feasible);
+  // Slot 1 costs 10 vs slot 0's 50: everything shifts one slot.
+  EXPECT_NEAR(plan.rate_rps[0][0], 0.0, 1e-6);
+  EXPECT_NEAR(plan.rate_rps[1][0], 1000.0, 1e-6);
+}
+
+TEST(Deferral, CostFallsMonotonicallyWithTolerance) {
+  double previous = 1e300;
+  for (std::size_t delay : {0u, 1u, 2u, 3u}) {
+    const auto plan = plan_deferral(simple_problem(delay));
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_LE(plan.cost_dollars, previous + 1e-9) << "delay " << delay;
+    previous = plan.cost_dollars;
+  }
+}
+
+TEST(Deferral, CostMatchesHandComputation) {
+  // 1000 req/s for 1 h at slope (67.5 + 75) W/rps = 142.5 kW*h =
+  // 0.1425 MWh; at $10/MWh -> $1.425.
+  const auto plan = plan_deferral(simple_problem(1));
+  EXPECT_NEAR(plan.cost_dollars, 1.425, 1e-6);
+}
+
+TEST(Deferral, CapacityForcesSplitAcrossSlots) {
+  auto problem = simple_problem(3);
+  problem.spare_capacity_rps = {{300.0}, {300.0}, {300.0}, {300.0}};
+  const auto plan = plan_deferral(problem);
+  ASSERT_TRUE(plan.feasible);
+  // 1000 req/s-hours over slots of at most 300 req/s each: both cheap
+  // slots fill (600) and the remainder lands in the cheaper-indexed
+  // expensive slots.
+  EXPECT_NEAR(plan.rate_rps[1][0], 300.0, 1e-6);
+  EXPECT_NEAR(plan.rate_rps[3][0], 300.0, 1e-6);
+  double total = 0.0;
+  for (const auto& slot : plan.rate_rps) total += slot[0] * 3600.0;
+  EXPECT_NEAR(total, 1000.0 * 3600.0, 1e-3);
+}
+
+TEST(Deferral, DeadlineBindsDespiteCheaperLaterSlot) {
+  // Work arrives slot 0, deadline slot 1, but slot 3 is cheapest: the
+  // deadline must win.
+  auto problem = simple_problem(1);
+  problem.prices = {{50.0}, {40.0}, {50.0}, {1.0}};
+  const auto plan = plan_deferral(problem);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.rate_rps[3][0], 0.0, 1e-6);
+  EXPECT_NEAR(plan.rate_rps[1][0], 1000.0, 1e-6);
+}
+
+TEST(Deferral, MultiIdcPicksCheapRegion) {
+  DeferralProblem problem;
+  problem.idcs = {cheap_idc(), cheap_idc()};
+  problem.prices = {{50.0, 20.0}, {50.0, 20.0}};
+  problem.spare_capacity_rps = {{5000.0, 5000.0}, {5000.0, 5000.0}};
+  problem.arrivals_req = {1800.0 * 3600.0, 0.0};
+  problem.max_delay_slots = 1;
+  const auto plan = plan_deferral(problem);
+  ASSERT_TRUE(plan.feasible);
+  // All work lands at IDC 1 (cheaper), split across slots as needed.
+  EXPECT_NEAR(plan.rate_rps[0][0] + plan.rate_rps[1][0], 0.0, 1e-6);
+  EXPECT_NEAR((plan.rate_rps[0][1] + plan.rate_rps[1][1]) * 3600.0,
+              1800.0 * 3600.0, 1e-3);
+}
+
+TEST(Deferral, InfeasibleWhenCapacityTooSmall) {
+  auto problem = simple_problem(1);
+  problem.spare_capacity_rps = {{100.0}, {100.0}, {100.0}, {100.0}};
+  // 1000 req/s-hours cannot fit into 2 usable slots x 100 req/s.
+  const auto plan = plan_deferral(problem);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Deferral, ServedAccountingConsistent) {
+  const auto plan = plan_deferral(simple_problem(2));
+  ASSERT_TRUE(plan.feasible);
+  double served = 0.0;
+  for (double s : plan.served_req) served += s;
+  EXPECT_NEAR(served, 1000.0 * 3600.0, 1e-3);
+}
+
+TEST(Deferral, Validation) {
+  DeferralProblem empty;
+  EXPECT_THROW(plan_deferral(empty), InvalidArgument);
+  auto bad = simple_problem(0);
+  bad.prices.pop_back();
+  EXPECT_THROW(plan_deferral(bad), InvalidArgument);
+  auto negative = simple_problem(0);
+  negative.arrivals_req[0] = -1.0;
+  EXPECT_THROW(plan_deferral(negative), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::core

@@ -1,0 +1,96 @@
+// Integration: the controller driven by EPA-like bursty traffic for a
+// full synthetic day — the workload Fig. 3 motivates, scaled up to the
+// paper's fleet. Asserts closed-loop health (no overload, SLA held by
+// the fluid audit up to warm-up) and the expected cost ordering against
+// the static baseline.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "core/paper.hpp"
+#include "workload/epa_trace.hpp"
+
+namespace gridctl::core {
+namespace {
+
+std::shared_ptr<workload::TraceWorkload> scaled_epa_portals() {
+  // One EPA-like day per portal, scaled so the five portals' combined
+  // peak stays inside the 122k req/s fleet capacity.
+  workload::EpaTraceConfig config;
+  config.bucket_s = 300.0;  // 5-minute buckets
+  std::vector<std::vector<double>> series(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    config.seed = 100 + i;
+    config.peak_rate = 16000.0;
+    config.night_rate = 2000.0;
+    series[i] = workload::make_epa_like_trace(config);
+  }
+  return std::make_shared<workload::TraceWorkload>(std::move(series), 300.0);
+}
+
+class EpaClosedLoop : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // 10-minute periods keep the fixture cheap: ctest launches a fresh
+    // process per test, so this setup runs once per TEST_F below.
+    Scenario scenario = paper::smoothing_scenario(/*ts_s=*/600.0);
+    scenario.start_time_s = 0.0;
+    scenario.duration_s = 24.0 * 3600.0;
+    scenario.workload = scaled_epa_portals();
+    scenario.controller.predict_workload = true;
+    scenario.controller.ar_order = 3;
+
+    MpcPolicy control(CostController::Config{scenario.idcs, 5, {},
+                                             scenario.controller});
+    StaticProportionalPolicy fixed(scenario.idcs, 5);
+    controlled_ = new SimulationResult(run_simulation(scenario, control));
+    baseline_ = new SimulationResult(run_simulation(scenario, fixed));
+  }
+  static void TearDownTestSuite() {
+    delete controlled_;
+    delete baseline_;
+    controlled_ = nullptr;
+    baseline_ = nullptr;
+  }
+  static SimulationResult* controlled_;
+  static SimulationResult* baseline_;
+};
+
+SimulationResult* EpaClosedLoop::controlled_ = nullptr;
+SimulationResult* EpaClosedLoop::baseline_ = nullptr;
+
+TEST_F(EpaClosedLoop, NoOverloadThroughBurstyDay) {
+  EXPECT_DOUBLE_EQ(controlled_->summary.overload_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(controlled_->summary.sla_violation_seconds, 0.0);
+}
+
+TEST_F(EpaClosedLoop, PriceAwareControlBeatsStaticSplit) {
+  EXPECT_LT(controlled_->summary.total_cost_dollars,
+            baseline_->summary.total_cost_dollars);
+}
+
+TEST_F(EpaClosedLoop, ConservationHeldEveryStep) {
+  const auto& trace = controlled_->trace;
+  for (std::size_t k = 1; k < trace.time_s.size(); ++k) {
+    double served = 0.0, offered = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) served += trace.idc_load_rps[j][k];
+    for (std::size_t i = 0; i < 5; ++i) offered += trace.portal_rps[i][k];
+    EXPECT_NEAR(served, offered, 1e-6 * offered + 1e-6) << "step " << k;
+  }
+}
+
+TEST_F(EpaClosedLoop, ServersTrackTheDiurnalSwing) {
+  // Total ON servers at night must be well below the daytime count —
+  // the energy-proportionality the sleep loop exists for.
+  const auto& trace = controlled_->trace;
+  auto total_servers_at = [&](double hour) {
+    const std::size_t k =
+        static_cast<std::size_t>(hour * 3600.0 / trace.ts_s);
+    double total = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) total += trace.servers_on[j][k];
+    return total;
+  };
+  EXPECT_LT(total_servers_at(3.0), 0.5 * total_servers_at(13.0));
+}
+
+}  // namespace
+}  // namespace gridctl::core

@@ -1,0 +1,82 @@
+// The budget_hard_constraints variant: budgets enter the MPC as hard
+// per-IDC load caps, buying first-step compliance at the price of one
+// un-smoothed jump (DESIGN.md §5.3 / EXPERIMENTS.md Fig. 6 note).
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+#include "core/simulation.hpp"
+
+namespace gridctl::core {
+namespace {
+
+TEST(HardBudget, CompliesFromTheFirstStep) {
+  Scenario scenario = paper::shaving_scenario(/*ts_s=*/10.0);
+  scenario.duration_s = 300.0;
+  scenario.controller.budget_hard_constraints = true;
+  MpcPolicy control(CostController::Config{scenario.idcs, 5,
+                                           scenario.power_budgets_w,
+                                           scenario.controller});
+  const auto result = run_simulation(scenario, control);
+  // Row 0 is the inherited pre-step state; from row 1 on, every IDC must
+  // be at/below budget (the hard caps bind immediately).
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t k = 1; k < result.trace.time_s.size(); ++k) {
+      EXPECT_LE(result.trace.power_w[j][k],
+                scenario.power_budgets_w[j] * 1.002)
+          << "IDC " << j << " step " << k;
+    }
+  }
+  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+}
+
+TEST(HardBudget, SoftVariantViolatesTransiently) {
+  Scenario scenario = paper::shaving_scenario(/*ts_s=*/10.0);
+  scenario.duration_s = 300.0;
+  scenario.controller.budget_hard_constraints = false;  // default
+  MpcPolicy control(CostController::Config{scenario.idcs, 5,
+                                           scenario.power_budgets_w,
+                                           scenario.controller});
+  const auto result = run_simulation(scenario, control);
+  // Minnesota starts above its budget (11.29 > 10.26 MW) and drains
+  // gradually: some early samples violate.
+  EXPECT_GT(result.summary.idcs[1].budget.violations, 0u);
+  // But the steady state complies.
+  const std::size_t last = result.trace.time_s.size() - 1;
+  EXPECT_LE(result.trace.power_w[1][last], scenario.power_budgets_w[1]);
+}
+
+TEST(HardBudget, HardCapsStillServeEverything) {
+  Scenario scenario = paper::shaving_scenario(/*ts_s=*/20.0);
+  scenario.duration_s = 200.0;
+  scenario.controller.budget_hard_constraints = true;
+  MpcPolicy control(CostController::Config{scenario.idcs, 5,
+                                           scenario.power_budgets_w,
+                                           scenario.controller});
+  const auto result = run_simulation(scenario, control);
+  const std::size_t last = result.trace.time_s.size() - 1;
+  double served = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    served += result.trace.idc_load_rps[j][last];
+  }
+  EXPECT_NEAR(served, 100000.0, 10.0);
+}
+
+TEST(HardBudget, InfeasibleBudgetsFallBackToCapacity) {
+  Scenario scenario = paper::shaving_scenario(/*ts_s=*/20.0);
+  scenario.duration_s = 100.0;
+  scenario.controller.budget_hard_constraints = true;
+  scenario.power_budgets_w = {1e6, 1e6, 1e6};  // jointly infeasible
+  MpcPolicy control(CostController::Config{scenario.idcs, 5,
+                                           scenario.power_budgets_w,
+                                           scenario.controller});
+  const auto result = run_simulation(scenario, control);
+  const std::size_t last = result.trace.time_s.size() - 1;
+  double served = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    served += result.trace.idc_load_rps[j][last];
+  }
+  EXPECT_NEAR(served, 100000.0, 10.0);  // served anyway
+}
+
+}  // namespace
+}  // namespace gridctl::core

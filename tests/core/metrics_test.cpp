@@ -1,0 +1,60 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridctl::core {
+namespace {
+
+TEST(Volatility, ConstantSeriesIsZero) {
+  const auto stats = volatility({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(stats.mean_abs_step, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_abs_step, 0.0);
+}
+
+TEST(Volatility, StepSeriesCapturesJump) {
+  const auto stats = volatility({0.0, 0.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(stats.max_abs_step, 10.0);
+  EXPECT_NEAR(stats.mean_abs_step, 10.0 / 3.0, 1e-12);
+}
+
+TEST(Volatility, RampSpreadsTheChange) {
+  // Same total change as the step, smaller max step — exactly what
+  // distinguishes the control method from the optimal method in Fig. 4.
+  const auto ramp = volatility({0.0, 2.5, 5.0, 7.5, 10.0});
+  const auto step = volatility({0.0, 0.0, 0.0, 0.0, 10.0});
+  EXPECT_LT(ramp.max_abs_step, step.max_abs_step);
+  EXPECT_DOUBLE_EQ(ramp.max_abs_step, 2.5);
+}
+
+TEST(Volatility, ShortSeries) {
+  EXPECT_DOUBLE_EQ(volatility({}).mean_abs_step, 0.0);
+  EXPECT_DOUBLE_EQ(volatility({1.0}).max_abs_step, 0.0);
+}
+
+TEST(Peak, FindsMaximum) {
+  EXPECT_DOUBLE_EQ(peak({1.0, 9.0, 3.0}), 9.0);
+  EXPECT_DOUBLE_EQ(peak({}), 0.0);
+}
+
+TEST(BudgetCompliance, CountsViolations) {
+  const auto stats = budget_compliance({4.0, 5.5, 6.0, 4.9}, 5.0, 10.0);
+  EXPECT_EQ(stats.violations, 2u);
+  EXPECT_DOUBLE_EQ(stats.worst_excess, 1.0);
+  EXPECT_DOUBLE_EQ(stats.excess_integral, (0.5 + 1.0) * 10.0);
+}
+
+TEST(BudgetCompliance, CleanSeries) {
+  const auto stats = budget_compliance({1.0, 2.0}, 5.0, 1.0);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_DOUBLE_EQ(stats.excess_integral, 0.0);
+}
+
+TEST(SeriesHelpers, MeanMinMax) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(series_max({-3.0, -1.0, -2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(series_min({3.0, 1.0, 2.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace gridctl::core

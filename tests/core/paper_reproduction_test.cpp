@@ -1,0 +1,185 @@
+// Integration tests pinning the paper's Sec. V results: the figure
+// endpoints, the smoothing behaviour (Figs. 4–5) and the peak-shaving
+// behaviour (Figs. 6–7). These are the "shape" claims EXPERIMENTS.md
+// records; absolute values carry the documented eq.-35 latency-margin
+// offset relative to the published numbers.
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+#include "core/simulation.hpp"
+
+namespace gridctl::core {
+namespace {
+
+class PaperSmoothing : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Scenario scenario = paper::smoothing_scenario(/*ts_s=*/10.0);
+    MpcPolicy control(CostController::Config{scenario.idcs, 5, {},
+                                             scenario.controller});
+    OptimalPolicy optimal(scenario.idcs, 5, scenario.controller.cost_basis);
+    controlled_ = new SimulationResult(run_simulation(scenario, control));
+    baseline_ = new SimulationResult(run_simulation(scenario, optimal));
+  }
+  static void TearDownTestSuite() {
+    delete controlled_;
+    delete baseline_;
+    controlled_ = nullptr;
+    baseline_ = nullptr;
+  }
+  static SimulationResult* controlled_;
+  static SimulationResult* baseline_;
+};
+
+SimulationResult* PaperSmoothing::controlled_ = nullptr;
+SimulationResult* PaperSmoothing::baseline_ = nullptr;
+
+TEST_F(PaperSmoothing, StartsAtSixAmOperatingPoint) {
+  // Fig. 4 left edge (6H optimum): MI low, MN ~11.3 MW, WI ~5.6 MW.
+  EXPECT_NEAR(baseline_->trace.power_w[0][0] / 1e6, 2.50, 0.15);
+  EXPECT_NEAR(baseline_->trace.power_w[1][0] / 1e6, 11.29, 0.15);
+  EXPECT_NEAR(baseline_->trace.power_w[2][0] / 1e6, 5.62, 0.15);
+}
+
+TEST_F(PaperSmoothing, OptimalMethodJumpsInOneStep) {
+  // Fig. 4: at 7H the optimal method steps MI up ~3.1 MW and WI down
+  // ~3.6 MW instantly.
+  const auto& mi = baseline_->trace.power_w[0];
+  const auto& wi = baseline_->trace.power_w[2];
+  EXPECT_NEAR((mi[1] - mi[0]) / 1e6, 3.13, 0.3);
+  EXPECT_NEAR((wi[0] - wi[1]) / 1e6, 3.58, 0.3);
+  // And stays flat afterwards.
+  EXPECT_LT(volatility({mi.begin() + 1, mi.end()}).max_abs_step, 1e3);
+}
+
+TEST_F(PaperSmoothing, ControlMethodReachesSameEndpoints) {
+  const std::size_t last = controlled_->trace.time_s.size() - 1;
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(controlled_->trace.power_w[j][last],
+                baseline_->trace.power_w[j][last],
+                0.06e6 + 0.02 * baseline_->trace.power_w[j][last])
+        << "IDC " << j;
+  }
+}
+
+TEST_F(PaperSmoothing, ControlMethodRampIsMonotoneAndSmooth) {
+  const auto& mi = controlled_->trace.power_w[0];
+  // Monotone non-decreasing ramp up for Michigan.
+  for (std::size_t k = 1; k < mi.size(); ++k) {
+    EXPECT_GE(mi[k], mi[k - 1] - 2e4) << "step " << k;
+  }
+  // Max per-step change far below the optimal method's jump.
+  const auto ctl_vol = volatility(mi);
+  const auto opt_vol = volatility(baseline_->trace.power_w[0]);
+  EXPECT_LT(ctl_vol.max_abs_step, 0.25 * opt_vol.max_abs_step);
+}
+
+TEST_F(PaperSmoothing, ServerCountsMirrorPower) {
+  // Fig. 5: MI ON servers ramp from ~9000 to 20000; the optimal method
+  // jumps to 20000 in one step.
+  const auto& ctl_servers = controlled_->trace.servers_on[0];
+  const auto& opt_servers = baseline_->trace.servers_on[0];
+  EXPECT_NEAR(opt_servers[0], 9000.0, 200.0);
+  EXPECT_NEAR(opt_servers[1], 20000.0, 100.0);
+  EXPECT_NEAR(ctl_servers.back(), 20000.0, 400.0);
+  // Control's per-step server change is bounded.
+  EXPECT_LT(volatility(ctl_servers).max_abs_step, 3000.0);
+  // Fig. 5(b): Minnesota stays pinned at its maximum throughout.
+  for (double servers : baseline_->trace.servers_on[1]) {
+    EXPECT_NEAR(servers, 40000.0, 1.0);
+  }
+}
+
+TEST_F(PaperSmoothing, SmoothingCostsLittle) {
+  // The MPC trades a few percent of cost for the smooth ramp.
+  EXPECT_LT(controlled_->summary.total_cost_dollars,
+            1.10 * baseline_->summary.total_cost_dollars);
+  EXPECT_GE(controlled_->summary.total_cost_dollars,
+            baseline_->summary.total_cost_dollars - 1e-6);
+}
+
+class PaperShaving : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new Scenario(paper::shaving_scenario(/*ts_s=*/10.0));
+    MpcPolicy control(CostController::Config{scenario_->idcs, 5,
+                                             scenario_->power_budgets_w,
+                                             scenario_->controller});
+    OptimalPolicy optimal(scenario_->idcs, 5, scenario_->controller.cost_basis);
+    controlled_ = new SimulationResult(run_simulation(*scenario_, control));
+    baseline_ = new SimulationResult(run_simulation(*scenario_, optimal));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    delete controlled_;
+    delete baseline_;
+    scenario_ = nullptr;
+    controlled_ = nullptr;
+    baseline_ = nullptr;
+  }
+  static Scenario* scenario_;
+  static SimulationResult* controlled_;
+  static SimulationResult* baseline_;
+};
+
+Scenario* PaperShaving::scenario_ = nullptr;
+SimulationResult* PaperShaving::controlled_ = nullptr;
+SimulationResult* PaperShaving::baseline_ = nullptr;
+
+TEST_F(PaperShaving, OptimalMethodViolatesMichiganAndMinnesota) {
+  // Fig. 6(a)-(b): the budget-blind optimum exceeds 5.13 and 10.26 MW.
+  EXPECT_GT(baseline_->summary.idcs[0].budget.violations, 30u);
+  EXPECT_GT(baseline_->summary.idcs[1].budget.violations, 30u);
+  EXPECT_NEAR(baseline_->summary.idcs[0].budget.worst_excess / 1e6, 0.50,
+              0.15);
+  EXPECT_NEAR(baseline_->summary.idcs[1].budget.worst_excess / 1e6, 1.03,
+              0.15);
+}
+
+TEST_F(PaperShaving, ControlMethodConvergesUnderBudgets) {
+  // Steady state (last sample) respects every budget.
+  const std::size_t last = controlled_->trace.time_s.size() - 1;
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_LE(controlled_->trace.power_w[j][last],
+              scenario_->power_budgets_w[j] * 1.001)
+        << "IDC " << j;
+  }
+  // Michigan and Minnesota settle essentially at their budgets (binding).
+  EXPECT_NEAR(controlled_->trace.power_w[0][last],
+              scenario_->power_budgets_w[0], 0.05e6);
+  EXPECT_NEAR(controlled_->trace.power_w[1][last],
+              scenario_->power_budgets_w[1], 0.05e6);
+}
+
+TEST_F(PaperShaving, WisconsinConvergesBetweenOptimumAndBudget) {
+  // Fig. 6(c): the overflow lands in Wisconsin: above its optimal value,
+  // below its budget.
+  const std::size_t last = controlled_->trace.time_s.size() - 1;
+  const double wi_ctl = controlled_->trace.power_w[2][last];
+  const double wi_opt = baseline_->trace.power_w[2][last];
+  EXPECT_GT(wi_ctl, wi_opt + 0.5e6);
+  EXPECT_LT(wi_ctl, scenario_->power_budgets_w[2]);
+}
+
+TEST_F(PaperShaving, WorkloadStillFullyServed) {
+  const std::size_t last = controlled_->trace.time_s.size() - 1;
+  double total = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    total += controlled_->trace.idc_load_rps[j][last];
+  }
+  EXPECT_NEAR(total, 100000.0, 10.0);
+  EXPECT_DOUBLE_EQ(controlled_->summary.overload_seconds, 0.0);
+}
+
+TEST_F(PaperShaving, ServerCountsRespectBudgets) {
+  // Fig. 7(b): Minnesota drops from 40000 toward ~36000 under its
+  // budget (10.26 MW ~ 36000 fully-loaded servers).
+  const std::size_t last = controlled_->trace.time_s.size() - 1;
+  EXPECT_LT(controlled_->trace.servers_on[1][last], 37500.0);
+  EXPECT_GT(controlled_->trace.servers_on[1][last], 34000.0);
+  // Michigan capped near 18000 (5.13 MW / 285 W).
+  EXPECT_LT(controlled_->trace.servers_on[0][last], 19000.0);
+}
+
+}  // namespace
+}  // namespace gridctl::core

@@ -1,0 +1,75 @@
+#include "core/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::core {
+namespace {
+
+TEST(OptimalPolicy, JumpsToNewOptimumInstantly) {
+  const auto idcs = paper::paper_idcs();
+  OptimalPolicy policy(idcs, 5, control::CostBasis::kPriceOnly);
+  // 6H prices: Wisconsin cheapest.
+  const auto at_6h =
+      policy.decide({43.26, 30.26, 19.06}, paper::kPortalDemands);
+  EXPECT_NEAR(at_6h.allocation.idc_load(2), 34000.0, 1.0);  // WI full
+  // 7H prices: Minnesota cheapest, Wisconsin most expensive.
+  const auto at_7h =
+      policy.decide({49.90, 29.47, 77.97}, paper::kPortalDemands);
+  EXPECT_NEAR(at_7h.allocation.idc_load(1), 49000.0, 1.0);  // MN full
+  EXPECT_LT(at_7h.allocation.idc_load(2), 13000.0);         // WI drained
+  // The jump between consecutive decisions is immediate — the defining
+  // behaviour the MPC smooths out.
+  EXPECT_GT(at_6h.allocation.idc_load(2) - at_7h.allocation.idc_load(2),
+            20000.0);
+}
+
+TEST(OptimalPolicy, ConservesWorkload) {
+  OptimalPolicy policy(paper::paper_idcs(), 5);
+  const auto decision =
+      policy.decide({40.0, 30.0, 20.0}, paper::kPortalDemands);
+  EXPECT_TRUE(decision.allocation.conserves(paper::kPortalDemands, 1e-5));
+}
+
+TEST(OptimalPolicy, ThrowsWhenDemandExceedsCapacity) {
+  OptimalPolicy policy(paper::paper_idcs(), 1);
+  EXPECT_THROW(policy.decide({1.0, 1.0, 1.0}, {1e9}), InvalidArgument);
+}
+
+TEST(MpcPolicy, SmoothsTowardReference) {
+  const Scenario scenario = paper::smoothing_scenario();
+  MpcPolicy policy(CostController::Config{scenario.idcs, 5, {},
+                                          scenario.controller});
+  const std::vector<double> prices{49.90, 29.47, 77.97};
+  auto first = policy.decide(prices, paper::kPortalDemands);
+  EXPECT_TRUE(first.allocation.conserves(paper::kPortalDemands, 1e-3));
+  // Iterating approaches the optimal loads.
+  PolicyDecision last = first;
+  for (int k = 0; k < 80; ++k) last = policy.decide(prices, paper::kPortalDemands);
+  EXPECT_NEAR(last.allocation.idc_load(1), 49000.0, 500.0);
+}
+
+TEST(StaticProportionalPolicy, SplitsByCapacityAndIgnoresPrices) {
+  StaticProportionalPolicy policy(paper::paper_idcs(), 5);
+  const auto cheap_west =
+      policy.decide({100.0, 100.0, 1.0}, paper::kPortalDemands);
+  const auto cheap_east =
+      policy.decide({1.0, 100.0, 100.0}, paper::kPortalDemands);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(cheap_west.allocation.idc_load(j),
+                cheap_east.allocation.idc_load(j), 1e-9);
+  }
+  EXPECT_TRUE(cheap_west.allocation.conserves(paper::kPortalDemands, 1e-6));
+}
+
+TEST(PolicyNames, AreStable) {
+  OptimalPolicy optimal(paper::paper_idcs(), 5);
+  StaticProportionalPolicy fixed(paper::paper_idcs(), 5);
+  EXPECT_EQ(optimal.name(), "optimal");
+  EXPECT_EQ(fixed.name(), "static");
+}
+
+}  // namespace
+}  // namespace gridctl::core

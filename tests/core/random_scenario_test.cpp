@@ -1,0 +1,137 @@
+// Property suite: randomly generated fleets, workloads and prices; the
+// closed loop must uphold its invariants on every one of them —
+// conservation, non-negativity, latency feasibility, budget-respecting
+// references, and agreement between the recorded summary and the trace.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "market/trace_price.hpp"
+#include "util/random.hpp"
+
+namespace gridctl::core {
+namespace {
+
+struct RandomCase {
+  std::uint64_t seed;
+  bool with_budgets;
+};
+
+Scenario make_random_scenario(Rng& rng, bool with_budgets) {
+  Scenario scenario;
+  const std::size_t idcs = static_cast<std::size_t>(rng.uniform_int(2, 5));
+  const std::size_t portals = static_cast<std::size_t>(rng.uniform_int(1, 6));
+
+  double fleet_capacity = 0.0;
+  for (std::size_t j = 0; j < idcs; ++j) {
+    datacenter::IdcConfig idc;
+    idc.region = j;
+    idc.max_servers = static_cast<std::size_t>(rng.uniform_int(5000, 40000));
+    idc.power.service_rate = rng.uniform(0.8, 2.5);
+    idc.power.idle_w = rng.uniform(80.0, 200.0);
+    idc.power.peak_w = idc.power.idle_w + rng.uniform(50.0, 200.0);
+    idc.latency_bound_s = rng.uniform(0.001, 0.05);
+    scenario.idcs.push_back(idc);
+    fleet_capacity += idc.max_capacity();
+  }
+
+  // Total demand at 40-70% of fleet capacity, split randomly.
+  const double total_demand = fleet_capacity * rng.uniform(0.4, 0.7);
+  std::vector<double> shares(portals);
+  double share_sum = 0.0;
+  for (double& s : shares) {
+    s = rng.uniform(0.2, 1.0);
+    share_sum += s;
+  }
+  std::vector<double> demands(portals);
+  for (std::size_t i = 0; i < portals; ++i) {
+    demands[i] = total_demand * shares[i] / share_sum;
+  }
+  scenario.workload = std::make_shared<workload::ConstantWorkload>(demands);
+
+  // Random 24 h price series per region, occasionally negative.
+  std::vector<std::vector<double>> hourly(idcs);
+  for (auto& series : hourly) {
+    series.resize(24);
+    for (double& price : series) {
+      price = rng.uniform(-10.0, 95.0);
+    }
+  }
+  scenario.prices = std::make_shared<market::TracePrice>(hourly);
+
+  if (with_budgets) {
+    // Budgets at 60-120% of each IDC's full-power draw — some bind.
+    scenario.power_budgets_w.resize(idcs);
+    for (std::size_t j = 0; j < idcs; ++j) {
+      const auto& idc = scenario.idcs[j];
+      const double full = idc.power.idc_power(idc.max_capacity(),
+                                              idc.max_servers);
+      scenario.power_budgets_w[j] = full * rng.uniform(0.6, 1.2);
+    }
+  }
+
+  scenario.start_time_s = 3600.0 * static_cast<double>(rng.uniform_int(1, 22));
+  scenario.ts_s = 20.0;
+  scenario.duration_s = 200.0;
+  scenario.controller.r_weight = rng.uniform(0.5, 5.0);
+  scenario.controller.horizons = {4, 2};
+  return scenario;
+}
+
+class RandomScenarioTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(RandomScenarioTest, ClosedLoopInvariantsHold) {
+  Rng rng(GetParam().seed);
+  const Scenario scenario =
+      make_random_scenario(rng, GetParam().with_budgets);
+  scenario.validate();
+
+  MpcPolicy control(CostController::Config{
+      scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
+      scenario.controller});
+  const auto result = run_simulation(scenario, control);
+
+  const auto demands = scenario.workload->rates(scenario.start_time_s);
+  const std::size_t steps = result.trace.time_s.size();
+  for (std::size_t k = 1; k < steps; ++k) {
+    // Conservation: total served load equals total demand.
+    double served = 0.0;
+    for (std::size_t j = 0; j < scenario.num_idcs(); ++j) {
+      served += result.trace.idc_load_rps[j][k];
+      // Non-negative loads and ON counts within fleet limits.
+      EXPECT_GE(result.trace.idc_load_rps[j][k], -1e-9);
+      EXPECT_LE(result.trace.servers_on[j][k],
+                static_cast<double>(scenario.idcs[j].max_servers));
+      // Latency bound met (no -1 overload marker).
+      EXPECT_GE(result.trace.latency_s[j][k], 0.0);
+      EXPECT_LE(result.trace.latency_s[j][k],
+                scenario.idcs[j].latency_bound_s * 1.0001);
+    }
+    double total_demand = 0.0;
+    for (double d : demands) total_demand += d;
+    EXPECT_NEAR(served, total_demand, 1e-6 * total_demand + 1e-6)
+        << "seed " << GetParam().seed << " step " << k;
+  }
+  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+  // Summary cross-checks.
+  EXPECT_NEAR(result.summary.total_cost_dollars,
+              result.trace.cumulative_cost.back(), 1e-9);
+  for (std::size_t j = 0; j < scenario.num_idcs(); ++j) {
+    EXPECT_NEAR(result.summary.idcs[j].peak_power_w,
+                peak(result.trace.power_w[j]), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomScenarioTest,
+    ::testing::Values(RandomCase{11, false}, RandomCase{12, false},
+                      RandomCase{13, false}, RandomCase{14, true},
+                      RandomCase{15, true}, RandomCase{16, true},
+                      RandomCase{17, false}, RandomCase{18, true},
+                      RandomCase{19, false}, RandomCase{20, true}),
+    [](const ::testing::TestParamInfo<RandomCase>& info) {
+      return "seed" + std::to_string(info.param.seed) +
+             (info.param.with_budgets ? "_budgets" : "_plain");
+    });
+
+}  // namespace
+}  // namespace gridctl::core

@@ -1,0 +1,157 @@
+#include "core/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::core {
+namespace {
+
+const char* kMinimalScenario = R"({
+  "idcs": [
+    {"name": "A", "region": 0, "max_servers": 20000, "service_rate": 2.0},
+    {"name": "B", "region": 1, "max_servers": 40000, "service_rate": 1.25}
+  ],
+  "prices": {"type": "trace", "hourly": [[40.0], [20.0]]},
+  "workload": {"type": "constant", "rates": [10000, 5000]},
+  "duration_s": 120,
+  "ts_s": 10
+})";
+
+TEST(ScenarioIo, LoadsMinimalScenario) {
+  const Scenario scenario = load_scenario(kMinimalScenario);
+  EXPECT_EQ(scenario.num_idcs(), 2u);
+  EXPECT_EQ(scenario.num_portals(), 2u);
+  EXPECT_EQ(scenario.idcs[0].name, "A");
+  EXPECT_EQ(scenario.idcs[1].max_servers, 40000u);
+  EXPECT_DOUBLE_EQ(scenario.idcs[1].power.service_rate, 1.25);
+  // Defaults applied.
+  EXPECT_DOUBLE_EQ(scenario.idcs[0].power.idle_w, 150.0);
+  EXPECT_DOUBLE_EQ(scenario.idcs[0].latency_bound_s, 0.001);
+  EXPECT_DOUBLE_EQ(scenario.prices->price(1, 0.0, 0.0), 20.0);
+  EXPECT_EQ(scenario.num_steps(), 12u);
+}
+
+TEST(ScenarioIo, LoadsPaperPricesAndBudgets) {
+  const Scenario scenario = load_scenario(R"({
+    "idcs": [
+      {"region": 0, "max_servers": 20000, "service_rate": 2.0},
+      {"region": 1, "max_servers": 40000, "service_rate": 1.25},
+      {"region": 2, "max_servers": 20000, "service_rate": 1.75}
+    ],
+    "prices": {"type": "paper"},
+    "workload": {"type": "constant", "rates": [30000, 15000, 15000, 20000, 20000]},
+    "power_budgets_w": [5.13e6, 10.26e6, 4.275e6],
+    "start_time_s": 25200
+  })");
+  EXPECT_DOUBLE_EQ(scenario.prices->price(0, 6.0 * 3600.0, 0.0), 43.26);
+  ASSERT_EQ(scenario.power_budgets_w.size(), 3u);
+  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[2], 4.275e6);
+}
+
+TEST(ScenarioIo, ParsesControllerBlock) {
+  std::string text(kMinimalScenario);
+  text.insert(text.rfind('}'), R"(,
+    "controller": {
+      "prediction_horizon": 12, "control_horizon": 3,
+      "q_weight": 2.0, "r_weight": 5.0,
+      "cost_basis": "price_only",
+      "predict_workload": true, "ar_order": 4,
+      "budget_hard_constraints": true,
+      "sleep_max_ramp": 500, "sleep_exact_mmn": true
+    })");
+  const Scenario scenario = load_scenario(text);
+  EXPECT_EQ(scenario.controller.horizons.prediction, 12u);
+  EXPECT_EQ(scenario.controller.horizons.control, 3u);
+  EXPECT_DOUBLE_EQ(scenario.controller.q_weight, 2.0);
+  EXPECT_DOUBLE_EQ(scenario.controller.r_weight, 5.0);
+  EXPECT_EQ(scenario.controller.cost_basis, control::CostBasis::kPriceOnly);
+  EXPECT_TRUE(scenario.controller.predict_workload);
+  EXPECT_EQ(scenario.controller.ar_order, 4u);
+  EXPECT_TRUE(scenario.controller.budget_hard_constraints);
+  EXPECT_EQ(scenario.controller.sleep.max_ramp_per_step, 500u);
+  EXPECT_TRUE(scenario.controller.sleep.exact_mmn);
+}
+
+TEST(ScenarioIo, ParsesDiurnalWorkload) {
+  const Scenario scenario = load_scenario(R"({
+    "idcs": [{"region": 0, "max_servers": 20000, "service_rate": 2.0}],
+    "prices": {"type": "trace", "hourly": [[30.0]]},
+    "workload": {"type": "diurnal", "base_rates": [10000],
+                 "amplitude": 0.2, "peak_hour": 12, "noise_stddev": 0.0,
+                 "seed": 3}
+  })");
+  EXPECT_GT(scenario.workload->rate(0, 12.0 * 3600.0),
+            scenario.workload->rate(0, 0.0));
+}
+
+TEST(ScenarioIo, ParsesStochasticPrices) {
+  const Scenario scenario = load_scenario(R"({
+    "idcs": [{"region": 0, "max_servers": 20000, "service_rate": 2.0}],
+    "prices": {"type": "stochastic", "seed": 5,
+               "regions": [{"capacity_w": 1e9, "price_floor": 12.0}]},
+    "workload": {"type": "constant", "rates": [10000]}
+  })");
+  EXPECT_GT(scenario.prices->price(0, 0.0, 0.0), 0.0);
+}
+
+TEST(ScenarioIo, ParsesCsvTraces) {
+  // Write temp CSVs for both price and workload playback.
+  const std::string price_path = ::testing::TempDir() + "/prices.csv";
+  CsvTable prices;
+  prices.header = {"hour", "east"};
+  prices.rows = {{0.0, 35.0}, {1.0, 45.0}};
+  write_csv_file(price_path, prices);
+  const std::string load_path = ::testing::TempDir() + "/loads.csv";
+  CsvTable loads;
+  loads.header = {"p0"};
+  loads.rows = {{8000.0}, {12000.0}};
+  write_csv_file(load_path, loads);
+
+  const Scenario scenario = load_scenario(R"({
+    "idcs": [{"region": 0, "max_servers": 20000, "service_rate": 2.0}],
+    "prices": {"type": "trace_csv", "path": ")" + price_path + R"("},
+    "workload": {"type": "trace_csv", "path": ")" + load_path +
+                                         R"(", "bucket_s": 1800}
+  })");
+  EXPECT_DOUBLE_EQ(scenario.prices->price(0, 3600.0, 0.0), 45.0);
+  EXPECT_DOUBLE_EQ(scenario.workload->rate(0, 0.0), 8000.0);
+  EXPECT_DOUBLE_EQ(scenario.workload->rate(0, 1800.0), 12000.0);
+}
+
+TEST(ScenarioIo, RejectsSchemaViolations) {
+  EXPECT_THROW(load_scenario("[]"), InvalidArgument);
+  EXPECT_THROW(load_scenario("{}"), InvalidArgument);
+  // Unknown price type.
+  EXPECT_THROW(load_scenario(R"({
+    "idcs": [{"region": 0, "max_servers": 10, "service_rate": 2.0}],
+    "prices": {"type": "psychic"},
+    "workload": {"type": "constant", "rates": [1]}
+  })"),
+               InvalidArgument);
+  // Missing service_rate.
+  EXPECT_THROW(load_scenario(R"({
+    "idcs": [{"region": 0, "max_servers": 10}],
+    "prices": {"type": "paper"},
+    "workload": {"type": "constant", "rates": [1]}
+  })"),
+               InvalidArgument);
+  // Unknown cost basis.
+  std::string text(kMinimalScenario);
+  text.insert(text.rfind('}'), R"(, "controller": {"cost_basis": "vibes"})");
+  EXPECT_THROW(load_scenario(text), InvalidArgument);
+}
+
+TEST(ScenarioIo, RunsValidateOnLoad) {
+  // Region index beyond the price model must be caught at load time.
+  EXPECT_THROW(load_scenario(R"({
+    "idcs": [{"region": 9, "max_servers": 10000, "service_rate": 2.0}],
+    "prices": {"type": "trace", "hourly": [[30.0]]},
+    "workload": {"type": "constant", "rates": [100]}
+  })"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::core

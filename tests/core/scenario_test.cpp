@@ -1,0 +1,90 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::core {
+namespace {
+
+TEST(Scenario, PaperScenarioValidates) {
+  EXPECT_NO_THROW(paper::smoothing_scenario().validate());
+  EXPECT_NO_THROW(paper::shaving_scenario().validate());
+}
+
+TEST(Scenario, PaperScenarioShape) {
+  const Scenario scenario = paper::smoothing_scenario();
+  EXPECT_EQ(scenario.num_idcs(), 3u);
+  EXPECT_EQ(scenario.num_portals(), 5u);
+  EXPECT_EQ(scenario.num_steps(), 60u);  // 600 s at 10 s
+  EXPECT_DOUBLE_EQ(scenario.start_time_s, 7.0 * 3600.0);
+}
+
+TEST(Scenario, ShavingScenarioCarriesBudgets) {
+  const Scenario scenario = paper::shaving_scenario();
+  ASSERT_EQ(scenario.power_budgets_w.size(), 3u);
+  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[0], 5.13e6);
+  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[1], 10.26e6);
+  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[2], 4.275e6);
+}
+
+TEST(Scenario, RejectsMissingPieces) {
+  Scenario scenario = paper::smoothing_scenario();
+  scenario.prices = nullptr;
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+
+  scenario = paper::smoothing_scenario();
+  scenario.workload = nullptr;
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+
+  scenario = paper::smoothing_scenario();
+  scenario.ts_s = 0.0;
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+
+  scenario = paper::smoothing_scenario();
+  scenario.duration_s = 1.0;  // shorter than Ts
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+
+  scenario = paper::smoothing_scenario();
+  scenario.power_budgets_w = {1.0};  // wrong length
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+}
+
+TEST(Scenario, RejectsRegionOutOfRange) {
+  Scenario scenario = paper::smoothing_scenario();
+  scenario.idcs[0].region = 7;
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+}
+
+TEST(Scenario, RejectsUnservableWorkload) {
+  Scenario scenario = paper::smoothing_scenario();
+  scenario.workload = std::make_shared<workload::ConstantWorkload>(
+      std::vector<double>{1e9, 0.0, 0.0, 0.0, 0.0});
+  EXPECT_THROW(scenario.validate(), InvalidArgument);
+}
+
+TEST(Scenario, PaperIdcsMatchCorrectedTableII) {
+  const auto idcs = paper::paper_idcs();
+  ASSERT_EQ(idcs.size(), 3u);
+  EXPECT_EQ(idcs[0].max_servers, 20000u);  // corrected M_1 (see DESIGN.md)
+  EXPECT_EQ(idcs[1].max_servers, 40000u);
+  EXPECT_EQ(idcs[2].max_servers, 20000u);
+  EXPECT_DOUBLE_EQ(idcs[0].power.service_rate, 2.0);
+  EXPECT_DOUBLE_EQ(idcs[1].power.service_rate, 1.25);
+  EXPECT_DOUBLE_EQ(idcs[2].power.service_rate, 1.75);
+  for (const auto& idc : idcs) {
+    EXPECT_DOUBLE_EQ(idc.power.idle_w, 150.0);
+    EXPECT_DOUBLE_EQ(idc.power.peak_w, 285.0);
+    EXPECT_DOUBLE_EQ(idc.latency_bound_s, 0.001);
+  }
+}
+
+TEST(Scenario, TableIWorkloadTotals) {
+  double total = 0.0;
+  for (double demand : paper::kPortalDemands) total += demand;
+  EXPECT_DOUBLE_EQ(total, 100000.0);
+}
+
+}  // namespace
+}  // namespace gridctl::core

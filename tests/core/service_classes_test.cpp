@@ -1,0 +1,108 @@
+#include "core/service_classes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::core {
+namespace {
+
+AdmissionProblem paper_problem(double cap) {
+  AdmissionProblem problem;
+  problem.idcs = paper::paper_idcs();
+  problem.prices = {49.90, 29.47, 77.97};
+  // Split Table I demand 60/40 into premium/ordinary.
+  problem.premium_demands.resize(5);
+  problem.ordinary_demands.resize(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    problem.premium_demands[i] = paper::kPortalDemands[i] * 0.6;
+    problem.ordinary_demands[i] = paper::kPortalDemands[i] * 0.4;
+  }
+  problem.cost_cap_per_hour = cap;
+  return problem;
+}
+
+TEST(ServiceClasses, GenerousCapAdmitsEverything) {
+  const auto result = admit_and_allocate(paper_problem(1e9));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.ordinary_admit_fraction, 1.0);
+  EXPECT_FALSE(result.cap_binding);
+  double served = 0.0;
+  for (double load : result.allocation.idc_loads) served += load;
+  EXPECT_NEAR(served, 100000.0, 1.0);
+}
+
+TEST(ServiceClasses, TightCapShedsOrdinaryOnly) {
+  // Full demand costs ~$770/h at these prices; cap at ~premium level.
+  const auto premium_cost =
+      admit_and_allocate(paper_problem(1e9), 1e-6);  // probe full admit
+  const auto result = admit_and_allocate(paper_problem(600.0));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LT(result.ordinary_admit_fraction, 1.0);
+  EXPECT_TRUE(result.cap_binding);
+  // Premium is fully inside the served load.
+  double served = 0.0;
+  for (double load : result.allocation.idc_loads) served += load;
+  EXPECT_GE(served, 60000.0 - 1.0);
+  // The cap is respected.
+  EXPECT_LE(result.allocation.cost_rate_per_hour, 600.0 + 0.1);
+  (void)premium_cost;
+}
+
+TEST(ServiceClasses, AdmissionMonotoneInCap) {
+  double previous = -1.0;
+  for (double cap : {450.0, 550.0, 650.0, 750.0, 1e4}) {
+    const auto result = admit_and_allocate(paper_problem(cap));
+    ASSERT_TRUE(result.feasible) << "cap " << cap;
+    EXPECT_GE(result.ordinary_admit_fraction, previous - 1e-6)
+        << "cap " << cap;
+    previous = result.ordinary_admit_fraction;
+  }
+  EXPECT_DOUBLE_EQ(previous, 1.0);  // huge cap admits all
+}
+
+TEST(ServiceClasses, PremiumServedEvenAboveCap) {
+  // Cap below the premium-only cost: fraction 0, premium still served.
+  const auto result = admit_and_allocate(paper_problem(1.0));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.ordinary_admit_fraction, 0.0);
+  EXPECT_TRUE(result.cap_binding);
+  double served = 0.0;
+  for (double load : result.allocation.idc_loads) served += load;
+  EXPECT_NEAR(served, 60000.0, 1.0);
+}
+
+TEST(ServiceClasses, InfeasiblePremiumReported) {
+  auto problem = paper_problem(1e9);
+  for (double& demand : problem.premium_demands) demand = 1e8;
+  EXPECT_FALSE(admit_and_allocate(problem).feasible);
+}
+
+TEST(ServiceClasses, CapacityNotCapMayLimitAdmission) {
+  // Generous cap but premium + ordinary beyond capacity: admission is
+  // capacity-limited and the cap is not flagged as binding.
+  auto problem = paper_problem(1e9);
+  for (double& demand : problem.ordinary_demands) demand *= 3.0;
+  const auto result = admit_and_allocate(problem);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LT(result.ordinary_admit_fraction, 1.0);
+  EXPECT_FALSE(result.cap_binding);
+  double served = 0.0;
+  for (double load : result.allocation.idc_loads) served += load;
+  EXPECT_NEAR(served, 122000.0, 100.0);  // fleet capacity
+}
+
+TEST(ServiceClasses, Validation) {
+  AdmissionProblem empty;
+  EXPECT_THROW(admit_and_allocate(empty), InvalidArgument);
+  auto bad = paper_problem(100.0);
+  bad.ordinary_demands.pop_back();
+  EXPECT_THROW(admit_and_allocate(bad), InvalidArgument);
+  auto negative = paper_problem(100.0);
+  negative.premium_demands[0] = -1.0;
+  EXPECT_THROW(admit_and_allocate(negative), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::core

@@ -1,0 +1,123 @@
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+
+namespace gridctl::core {
+namespace {
+
+Scenario quick_scenario() {
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/20.0);
+  scenario.duration_s = 200.0;
+  return scenario;
+}
+
+TEST(Simulation, TraceShapeAndTimestamps) {
+  Scenario scenario = quick_scenario();
+  OptimalPolicy policy(scenario.idcs, 5, scenario.controller.cost_basis);
+  const auto result = run_simulation(scenario, policy);
+  const auto& trace = result.trace;
+  // 10 steps + warm-start row.
+  EXPECT_EQ(trace.time_s.size(), 11u);
+  EXPECT_DOUBLE_EQ(trace.time_s.front(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.time_s.back(), 200.0);
+  ASSERT_EQ(trace.power_w.size(), 3u);
+  EXPECT_EQ(trace.power_w[0].size(), 11u);
+  EXPECT_EQ(trace.portal_rps.size(), 5u);
+  EXPECT_EQ(trace.total_power_w.size(), 11u);
+}
+
+TEST(Simulation, WarmStartRowIsPreviousHourOptimum) {
+  Scenario scenario = quick_scenario();
+  OptimalPolicy policy(scenario.idcs, 5, scenario.controller.cost_basis);
+  const auto result = run_simulation(scenario, policy);
+  // Row 0 = 6H optimum: Wisconsin full (20000 servers -> 5.62 MW at the
+  // margin-adjusted load).
+  EXPECT_NEAR(result.trace.power_w[2][0] / 1e6, 5.62, 0.1);
+  // Optimal jumps by the first recorded step.
+  EXPECT_NEAR(result.trace.power_w[2][1] / 1e6, 2.04, 0.1);
+}
+
+TEST(Simulation, CumulativeCostIsMonotoneUnderPositivePrices) {
+  Scenario scenario = quick_scenario();
+  OptimalPolicy policy(scenario.idcs, 5, scenario.controller.cost_basis);
+  const auto result = run_simulation(scenario, policy);
+  for (std::size_t k = 1; k < result.trace.cumulative_cost.size(); ++k) {
+    EXPECT_GE(result.trace.cumulative_cost[k],
+              result.trace.cumulative_cost[k - 1]);
+  }
+  EXPECT_NEAR(result.summary.total_cost_dollars,
+              result.trace.cumulative_cost.back(), 1e-9);
+}
+
+TEST(Simulation, SummaryEnergyMatchesPowerIntegral) {
+  Scenario scenario = quick_scenario();
+  OptimalPolicy policy(scenario.idcs, 5, scenario.controller.cost_basis);
+  const auto result = run_simulation(scenario, policy);
+  // Power is constant after the jump; energy = sum(P * ts). Skip the
+  // warm-start row (not integrated).
+  double joules = 0.0;
+  for (std::size_t k = 1; k < result.trace.total_power_w.size(); ++k) {
+    joules += result.trace.total_power_w[k] * scenario.ts_s;
+  }
+  EXPECT_NEAR(result.summary.total_energy_mwh, joules / 3.6e9, 1e-6);
+}
+
+TEST(Simulation, ControlSmootherThanOptimalInMaxStep) {
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/15.0);
+  scenario.duration_s = 300.0;
+  MpcPolicy control(CostController::Config{scenario.idcs, 5, {},
+                                           scenario.controller});
+  OptimalPolicy optimal(scenario.idcs, 5, scenario.controller.cost_basis);
+  const auto controlled = run_simulation(scenario, control);
+  const auto baseline = run_simulation(scenario, optimal);
+  // The defining claim: per-IDC max power step shrinks by a large factor.
+  for (std::size_t j = 0; j < 3; ++j) {
+    if (baseline.summary.idcs[j].volatility.max_abs_step < 1e5) continue;
+    EXPECT_LT(controlled.summary.idcs[j].volatility.max_abs_step,
+              0.35 * baseline.summary.idcs[j].volatility.max_abs_step)
+        << "IDC " << j;
+  }
+}
+
+TEST(Simulation, LatencyStaysWithinBoundForBothPolicies) {
+  Scenario scenario = quick_scenario();
+  MpcPolicy control(CostController::Config{scenario.idcs, 5, {},
+                                           scenario.controller});
+  const auto result = run_simulation(scenario, control);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (double latency : result.trace.latency_s[j]) {
+      EXPECT_GE(latency, 0.0);  // never the -1 overload marker
+      EXPECT_LE(latency, scenario.idcs[j].latency_bound_s * 1.0001);
+    }
+  }
+  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+}
+
+TEST(Simulation, CsvExportRoundTrips) {
+  Scenario scenario = quick_scenario();
+  OptimalPolicy policy(scenario.idcs, 5, scenario.controller.cost_basis);
+  const auto result = run_simulation(scenario, policy);
+  const CsvTable table = result.trace.to_csv();
+  EXPECT_EQ(table.rows.size(), result.trace.time_s.size());
+  // Spot-check a column mapping: total power in MW.
+  const auto total = table.column_values("total_power_mw");
+  EXPECT_NEAR(total[3], result.trace.total_power_w[3] / 1e6, 1e-9);
+  // The fluid-queue audit columns are exported too.
+  const auto backlog = table.column_values("backlog_req_1");
+  EXPECT_NEAR(backlog[2], result.trace.backlog_req[1][2], 1e-9);
+  const auto delay = table.column_values("transient_delay_ms_0");
+  EXPECT_NEAR(delay[2], result.trace.transient_delay_s[0][2] * 1000.0, 1e-9);
+}
+
+TEST(Simulation, ColdStartBeginsFromZero) {
+  Scenario scenario = quick_scenario();
+  OptimalPolicy policy(scenario.idcs, 5, scenario.controller.cost_basis);
+  const auto result = run_simulation(scenario, policy, /*warm_start=*/false);
+  EXPECT_DOUBLE_EQ(result.trace.total_power_w[0], 0.0);
+  EXPECT_GT(result.trace.total_power_w[1], 1e6);
+}
+
+}  // namespace
+}  // namespace gridctl::core

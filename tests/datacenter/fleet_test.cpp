@@ -1,0 +1,95 @@
+#include "datacenter/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::datacenter {
+namespace {
+
+IdcConfig small_idc(std::size_t region, std::size_t servers, double mu) {
+  IdcConfig config;
+  config.region = region;
+  config.max_servers = servers;
+  config.power = ServerPowerModel{150.0, 285.0, mu};
+  config.latency_bound_s = 0.01;
+  return config;
+}
+
+TEST(Allocation, LoadsAndConservation) {
+  Allocation a(2, 3);
+  a.at(0, 0) = 5.0;
+  a.at(0, 2) = 5.0;
+  a.at(1, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(a.idc_load(0), 5.0);
+  EXPECT_DOUBLE_EQ(a.idc_load(2), 5.0);
+  EXPECT_DOUBLE_EQ(a.portal_load(0), 10.0);
+  EXPECT_TRUE(a.conserves({10.0, 7.0}));
+  EXPECT_FALSE(a.conserves({10.0, 8.0}));
+  EXPECT_EQ(a.idc_loads(), (std::vector<double>{5.0, 7.0, 5.0}));
+}
+
+TEST(Allocation, NonNegativity) {
+  Allocation a(1, 2);
+  a.at(0, 0) = -0.5;
+  EXPECT_FALSE(a.non_negative());
+  EXPECT_TRUE(a.non_negative(1.0));  // within tolerance
+}
+
+TEST(Allocation, FlattenRoundTrip) {
+  Allocation a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  const auto u = a.flatten();
+  EXPECT_EQ(u, (linalg::Vector{1, 2, 3, 4}));  // portal-major
+  const Allocation b = Allocation::unflatten(u, 2, 2);
+  EXPECT_DOUBLE_EQ(b.at(1, 0), 3.0);
+  EXPECT_THROW(Allocation::unflatten(u, 3, 2), InvalidArgument);
+}
+
+TEST(Fleet, AggregatesAcrossIdcs) {
+  Fleet fleet({small_idc(0, 100, 2.0), small_idc(1, 200, 1.0)});
+  Allocation a(1, 2);
+  a.at(0, 0) = 100.0;
+  a.at(0, 1) = 50.0;
+  fleet.set_operating_point(a, {80, 100});
+  const double p0 = 67.5 * 100.0 + 80 * 150.0;
+  const double p1 = 135.0 * 50.0 + 100 * 150.0;
+  EXPECT_DOUBLE_EQ(fleet.total_power_w(), p0 + p1);
+  EXPECT_EQ(fleet.power_by_idc_w(), (std::vector<double>{p0, p1}));
+  EXPECT_EQ(fleet.servers_on(), (std::vector<std::size_t>{80, 100}));
+}
+
+TEST(Fleet, AdvanceAccumulatesCostPerRegionPrice) {
+  Fleet fleet({small_idc(0, 100, 2.0), small_idc(1, 100, 2.0)});
+  Allocation a(1, 2);
+  fleet.set_operating_point(a, {100, 100});  // 15 kW each, idle
+  fleet.advance(3600.0, {40.0, -40.0});
+  EXPECT_NEAR(fleet.idc(0).cost_dollars(), 0.6, 1e-9);
+  EXPECT_NEAR(fleet.idc(1).cost_dollars(), -0.6, 1e-9);
+  EXPECT_NEAR(fleet.total_cost_dollars(), 0.0, 1e-9);
+  EXPECT_NEAR(fleet.total_energy_joules(), 2 * 15000.0 * 3600.0, 1e-3);
+}
+
+TEST(Fleet, SleepControllabilityCondition) {
+  Fleet fleet({small_idc(0, 100, 2.0)});  // capacity 200 - 100 = 100
+  EXPECT_TRUE(fleet.can_serve(100.0));
+  EXPECT_FALSE(fleet.can_serve(100.1));
+  EXPECT_DOUBLE_EQ(fleet.total_capacity_rps(), 100.0);
+}
+
+TEST(Fleet, Validation) {
+  EXPECT_THROW(Fleet({}), InvalidArgument);
+  Fleet fleet({small_idc(0, 10, 1.0)});
+  Allocation wrong(1, 2);
+  EXPECT_THROW(fleet.set_operating_point(wrong, {1, 1}), InvalidArgument);
+  Allocation ok(1, 1);
+  EXPECT_THROW(fleet.set_operating_point(ok, {1, 2}), InvalidArgument);
+  EXPECT_THROW(fleet.advance(1.0, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(fleet.idc(5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::datacenter

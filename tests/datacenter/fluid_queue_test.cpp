@@ -1,0 +1,77 @@
+#include "datacenter/fluid_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::datacenter {
+namespace {
+
+TEST(FluidQueue, StableSystemKeepsZeroBacklog) {
+  FluidQueue queue;
+  for (int k = 0; k < 10; ++k) {
+    queue.step(100.0, 150.0, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(queue.backlog_req(), 0.0);
+  // Delay = steady-state wait only.
+  EXPECT_DOUBLE_EQ(queue.delay_estimate_s(100.0, 150.0), 1.0 / 50.0);
+}
+
+TEST(FluidQueue, OverloadAccumulatesLinearly) {
+  FluidQueue queue;
+  queue.step(200.0, 150.0, 4.0);  // +50 req/s for 4 s
+  EXPECT_DOUBLE_EQ(queue.backlog_req(), 200.0);
+  queue.step(200.0, 150.0, 2.0);
+  EXPECT_DOUBLE_EQ(queue.backlog_req(), 300.0);
+}
+
+TEST(FluidQueue, BacklogDrainsAtSpareRate) {
+  FluidQueue queue;
+  queue.step(200.0, 100.0, 3.0);  // backlog 300
+  queue.step(50.0, 150.0, 2.0);   // drains 100/s x 2
+  EXPECT_DOUBLE_EQ(queue.backlog_req(), 100.0);
+  queue.step(50.0, 150.0, 10.0);  // fully drains, clamps at zero
+  EXPECT_DOUBLE_EQ(queue.backlog_req(), 0.0);
+}
+
+TEST(FluidQueue, FifoDelayIncludesBacklogClearing) {
+  FluidQueue queue;
+  queue.step(200.0, 100.0, 1.0);  // backlog 100
+  // New arrival waits 100/150 s behind the backlog + steady wait 1/100.
+  EXPECT_NEAR(queue.delay_estimate_s(50.0, 150.0),
+              100.0 / 150.0 + 1.0 / 100.0, 1e-12);
+}
+
+TEST(FluidQueue, UnstableDelayIsFiniteWhileCapacityPositive) {
+  FluidQueue queue;
+  queue.step(200.0, 100.0, 1.0);
+  // FIFO: the current arrival still gets served after backlog/capacity.
+  EXPECT_NEAR(queue.delay_estimate_s(200.0, 100.0), 1.0, 1e-12);
+  // Zero capacity with pending work: infinite.
+  EXPECT_TRUE(std::isinf(queue.delay_estimate_s(10.0, 0.0)));
+}
+
+TEST(FluidQueue, IdleZeroCapacityIsZeroDelay) {
+  FluidQueue queue;
+  EXPECT_DOUBLE_EQ(queue.delay_estimate_s(0.0, 0.0), 0.0);
+}
+
+TEST(FluidQueue, ResetClearsBacklog) {
+  FluidQueue queue;
+  queue.step(100.0, 0.0, 5.0);
+  EXPECT_GT(queue.backlog_req(), 0.0);
+  queue.reset();
+  EXPECT_DOUBLE_EQ(queue.backlog_req(), 0.0);
+}
+
+TEST(FluidQueue, Validation) {
+  FluidQueue queue;
+  EXPECT_THROW(queue.step(-1.0, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(queue.step(0.0, -1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(queue.step(0.0, 0.0, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::datacenter

@@ -1,0 +1,77 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace gridctl::linalg {
+namespace {
+
+TEST(Cholesky, FactorsKnownSpdMatrix) {
+  const Matrix a{{4, 2}, {2, 3}};
+  Cholesky chol(a);
+  const Matrix l = chol.lower();
+  EXPECT_TRUE(approx_equal(l * l.transpose(), a, 1e-12));
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  const Matrix a{{4, 2}, {2, 3}};
+  const Vector x = Cholesky(a).solve(Vector{8, 7});
+  const Vector residual = sub(a * x, Vector{8, 7});
+  EXPECT_LT(norm_inf(residual), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  EXPECT_THROW(Cholesky(Matrix{{1, 0}, {0, -1}}), NumericalError);
+  EXPECT_THROW(Cholesky(Matrix{{0, 0}, {0, 0}}), NumericalError);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(Cholesky, RandomGramMatricesSolve) {
+  Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 4 + 3 * static_cast<std::size_t>(trial);
+    Matrix g(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.normal();
+    }
+    Matrix a = g.transpose() * g;
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.5;
+    Vector b(n);
+    for (double& v : b) v = rng.normal();
+    const Vector x = Cholesky(a).solve(b);
+    EXPECT_LT(norm_inf(sub(a * x, b)), 1e-9);
+  }
+}
+
+TEST(Ldlt, FactorsIndefiniteQuasiDefinite) {
+  // Typical ADMM KKT block structure: [[P + sI, Aᵀ], [A, -I/rho]].
+  const Matrix kkt{{3, 0, 1}, {0, 2, -1}, {1, -1, -0.5}};
+  Ldlt factor(kkt);
+  EXPECT_FALSE(factor.singular());
+  const Vector b{1, 2, 3};
+  const Vector x = factor.solve(b);
+  EXPECT_LT(norm_inf(sub(kkt * x, b)), 1e-10);
+}
+
+TEST(Ldlt, ReconstructsMatrix) {
+  const Matrix a{{4, 2}, {2, -3}};
+  Ldlt factor(a);
+  const Matrix l = factor.unit_lower();
+  const Matrix reconstructed =
+      l * Matrix::diagonal(factor.diag()) * l.transpose();
+  EXPECT_TRUE(approx_equal(reconstructed, a, 1e-12));
+}
+
+TEST(Ldlt, SingularDetection) {
+  Ldlt factor(Matrix{{1, 1}, {1, 1}});
+  EXPECT_TRUE(factor.singular());
+  EXPECT_THROW(factor.solve(Vector{1, 1}), NumericalError);
+}
+
+}  // namespace
+}  // namespace gridctl::linalg

@@ -1,0 +1,129 @@
+#include "linalg/expm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace gridctl::linalg {
+namespace {
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+  EXPECT_TRUE(approx_equal(expm(Matrix(3, 3)), Matrix::identity(3), 1e-14));
+}
+
+TEST(Expm, DiagonalMatrixExponentiatesEntries) {
+  const Matrix a = Matrix::diagonal({1.0, -2.0, 0.5});
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e(2, 2), std::exp(0.5), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentClosedForm) {
+  // A = [[0, 1], [0, 0]] -> exp(A) = I + A.
+  const Matrix a{{0, 1}, {0, 0}};
+  EXPECT_TRUE(approx_equal(expm(a), Matrix{{1, 1}, {0, 1}}, 1e-14));
+}
+
+TEST(Expm, RotationMatrixClosedForm) {
+  // A = [[0, -t], [t, 0]] -> exp(A) = rotation by t.
+  const double t = 1.3;
+  const Matrix a{{0, -t}, {t, 0}};
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-12);
+  EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-12);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-12);
+}
+
+TEST(Expm, LargeNormTriggersScalingAndStaysAccurate) {
+  // ||A|| >> theta_13 exercises the squaring phase; diagonal keeps an
+  // exact reference.
+  const Matrix a = Matrix::diagonal({20.0, -35.0});
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0) / std::exp(20.0), 1.0, 1e-10);
+  EXPECT_NEAR(e(1, 1) / std::exp(-35.0), 1.0, 1e-10);
+}
+
+TEST(Expm, InverseProperty) {
+  Rng rng(42);
+  Matrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.normal();
+  }
+  const Matrix product = expm(a) * expm(-1.0 * a);
+  EXPECT_TRUE(approx_equal(product, Matrix::identity(4), 1e-9));
+}
+
+TEST(Expm, CommutingSumProperty) {
+  // For commuting A, B (both polynomials in the same matrix):
+  // exp(A+B) = exp(A) exp(B).
+  const Matrix a{{0.3, 0.1}, {0.1, 0.2}};
+  const Matrix b = a * a;
+  EXPECT_TRUE(approx_equal(expm(a + b), expm(a) * expm(b), 1e-10));
+}
+
+TEST(Expm, RejectsNonSquare) {
+  EXPECT_THROW(expm(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(ZohDiscretize, IntegratorClosedForm) {
+  // ẋ = u (A = 0): Phi = 1, Gamma = Ts.
+  const auto d = zoh_discretize(Matrix(1, 1), Matrix{{1.0}}, 0.25);
+  EXPECT_NEAR(d.phi(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(d.gamma(0, 0), 0.25, 1e-14);
+}
+
+TEST(ZohDiscretize, FirstOrderLagClosedForm) {
+  // ẋ = -a x + b u: Phi = e^{-a Ts}, Gamma = b (1 - e^{-a Ts}) / a.
+  const double a = 2.0, b = 3.0, ts = 0.4;
+  const auto d = zoh_discretize(Matrix{{-a}}, Matrix{{b}}, ts);
+  EXPECT_NEAR(d.phi(0, 0), std::exp(-a * ts), 1e-12);
+  EXPECT_NEAR(d.gamma(0, 0), b * (1.0 - std::exp(-a * ts)) / a, 1e-12);
+}
+
+TEST(ZohDiscretize, SingularAStillExact) {
+  // The paper's A has an all-zero first column; the augmented-expm path
+  // must not require invertibility. Double integrator:
+  //   x1' = x2, x2' = u  ->  Phi = [[1, Ts], [0, 1]],
+  //   Gamma = [Ts²/2, Ts].
+  const Matrix a{{0, 1}, {0, 0}};
+  const Matrix b{{0}, {1}};
+  const double ts = 0.5;
+  const auto d = zoh_discretize(a, b, ts);
+  EXPECT_TRUE(approx_equal(d.phi, Matrix{{1, ts}, {0, 1}}, 1e-13));
+  EXPECT_NEAR(d.gamma(0, 0), ts * ts / 2.0, 1e-13);
+  EXPECT_NEAR(d.gamma(1, 0), ts, 1e-13);
+}
+
+TEST(ZohDiscretize, RejectsBadArguments) {
+  EXPECT_THROW(zoh_discretize(Matrix(2, 2), Matrix(3, 1), 0.1),
+               InvalidArgument);
+  EXPECT_THROW(zoh_discretize(Matrix(2, 2), Matrix(2, 1), 0.0),
+               InvalidArgument);
+}
+
+class ZohStepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZohStepTest, SemigroupProperty) {
+  // Discretizing at 2*Ts equals stepping twice at Ts for the state
+  // transition: Phi(2Ts) = Phi(Ts)².
+  const double ts = GetParam();
+  const Matrix a{{0, 1, 0}, {0, 0, 1}, {-0.5, -0.3, -0.8}};
+  const Matrix b{{0}, {0}, {1}};
+  const auto d1 = zoh_discretize(a, b, ts);
+  const auto d2 = zoh_discretize(a, b, 2.0 * ts);
+  EXPECT_TRUE(approx_equal(d2.phi, d1.phi * d1.phi, 1e-10));
+  // Gamma(2Ts) = Phi(Ts) Gamma(Ts) + Gamma(Ts).
+  EXPECT_TRUE(approx_equal(d2.gamma, d1.phi * d1.gamma + d1.gamma, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, ZohStepTest,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0));
+
+}  // namespace
+}  // namespace gridctl::linalg

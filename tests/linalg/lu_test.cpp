@@ -1,0 +1,87 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace gridctl::linalg {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a{{2, 1}, {1, 3}};
+  const Vector x = solve(a, Vector{3, 5});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SolveRequiresPivoting) {
+  // Zero leading pivot forces a row swap.
+  const Matrix a{{0, 1}, {1, 0}};
+  const Vector x = solve(a, Vector{2, 3});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(Lu, DetectsSingularity) {
+  const Matrix a{{1, 2}, {2, 4}};
+  Lu factor(a);
+  EXPECT_TRUE(factor.singular());
+  EXPECT_THROW(factor.solve(Vector{1, 1}), NumericalError);
+}
+
+TEST(Lu, DeterminantMatchesClosedForm) {
+  EXPECT_NEAR(determinant(Matrix{{1, 2}, {3, 4}}), -2.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}), 24.0,
+              1e-12);
+  // Permutation parity: swapping rows flips the sign.
+  EXPECT_NEAR(determinant(Matrix{{0, 1}, {1, 0}}), -1.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  const Matrix a{{4, 7, 1}, {2, 6, 0}, {1, 0, 5}};
+  EXPECT_TRUE(approx_equal(a * inverse(a), Matrix::identity(3), 1e-10));
+}
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW(Lu(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  const Matrix a{{2, 0}, {0, 4}};
+  const Matrix x = solve(a, Matrix{{2, 4}, {8, 12}});
+  EXPECT_TRUE(approx_equal(x, Matrix{{1, 2}, {2, 3}}, 1e-12));
+}
+
+// Property: for random well-conditioned systems, A x = b residual is tiny.
+class LuRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandomTest, RandomSystemsSolveToMachinePrecision) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+    a(i, i) += static_cast<double>(n);  // diagonally dominant-ish
+  }
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  const Vector x = solve(a, b);
+  const Vector residual = sub(a * x, b);
+  EXPECT_LT(norm_inf(residual), 1e-9 * (1.0 + norm_inf(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(Rank, FullAndDeficient) {
+  EXPECT_EQ(rank(Matrix::identity(4)), 4u);
+  EXPECT_EQ(rank(Matrix{{1, 2}, {2, 4}}), 1u);
+  EXPECT_EQ(rank(Matrix(3, 3)), 0u);
+  // Rectangular: rank bounded by min dimension.
+  EXPECT_EQ(rank(Matrix{{1, 0, 0}, {0, 1, 0}}), 2u);
+  EXPECT_EQ(rank(Matrix{{1, 1}, {2, 2}, {3, 3}}), 1u);
+}
+
+}  // namespace
+}  // namespace gridctl::linalg

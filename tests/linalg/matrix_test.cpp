@@ -1,0 +1,134 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  EXPECT_THROW(m(2, 0), InvalidArgument);
+  EXPECT_THROW(m(0, 3), InvalidArgument);
+}
+
+TEST(Matrix, InitializerListAndRagged) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
+  const Matrix d = Matrix::diagonal({2, 5});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(approx_equal(t.transpose(), m));
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_TRUE(approx_equal(c, Matrix{{19, 22}, {43, 50}}));
+  EXPECT_THROW(a * Matrix(3, 3), InvalidArgument);
+}
+
+TEST(Matrix, MultiplyIdentityIsNoop) {
+  const Matrix a{{1.5, -2}, {0, 4}, {7, 0.25}};
+  EXPECT_TRUE(approx_equal(a * Matrix::identity(2), a));
+  EXPECT_TRUE(approx_equal(Matrix::identity(3) * a, a));
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Vector y = a * Vector{1, 0, -1};
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, BlockGetSet) {
+  Matrix m(3, 3);
+  m.set_block(1, 1, Matrix{{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(2, 2), 4.0);
+  const Matrix b = m.block(1, 1, 2, 2);
+  EXPECT_TRUE(approx_equal(b, Matrix{{1, 2}, {3, 4}}));
+  EXPECT_THROW(m.block(2, 2, 2, 2), InvalidArgument);
+  EXPECT_THROW(m.set_block(2, 2, Matrix(2, 2)), InvalidArgument);
+}
+
+TEST(Matrix, StackingDimensions) {
+  const Matrix a(2, 2, 1.0), b(2, 3, 2.0);
+  const Matrix h = hstack(a, b);
+  EXPECT_EQ(h.cols(), 5u);
+  EXPECT_DOUBLE_EQ(h(0, 4), 2.0);
+  const Matrix v = vstack(a, Matrix(1, 2, 3.0));
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_DOUBLE_EQ(v(2, 0), 3.0);
+  EXPECT_THROW(hstack(a, Matrix(3, 1)), InvalidArgument);
+  EXPECT_THROW(vstack(a, Matrix(1, 3)), InvalidArgument);
+}
+
+TEST(Matrix, Norms) {
+  const Matrix m{{3, -4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.inf_norm(), 7.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, RowColVectors) {
+  const Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.row_vector(1), (Vector{3, 4}));
+  EXPECT_EQ(m.col_vector(0), (Vector{1, 3}));
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const Vector a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6.0);
+  Vector y{1, 1, 1};
+  axpy(2.0, a, y);
+  EXPECT_EQ(y, (Vector{3, 5, 7}));
+  EXPECT_THROW(dot(a, Vector{1}), InvalidArgument);
+}
+
+TEST(VectorOps, AddSubScaleConcatClamp) {
+  EXPECT_EQ(add({1, 2}, {3, 4}), (Vector{4, 6}));
+  EXPECT_EQ(sub({1, 2}, {3, 4}), (Vector{-2, -2}));
+  EXPECT_EQ(scale(2.0, {1, -1}), (Vector{2, -2}));
+  EXPECT_EQ(concat({1}, {2, 3}), (Vector{1, 2, 3}));
+  EXPECT_EQ(clamp({-5, 0.5, 5}, {0, 0, 0}, {1, 1, 1}), (Vector{0, 0.5, 1}));
+}
+
+TEST(VectorOps, QuadraticForm) {
+  const Matrix p{{2, 0}, {0, 3}};
+  EXPECT_DOUBLE_EQ(quadratic_form(p, {1, 2}), 14.0);
+}
+
+TEST(ApproxEqual, RespectsTolerance) {
+  EXPECT_TRUE(approx_equal(Vector{1.0}, Vector{1.0 + 1e-12}));
+  EXPECT_FALSE(approx_equal(Vector{1.0}, Vector{1.1}));
+  EXPECT_FALSE(approx_equal(Vector{1.0}, Vector{1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace gridctl::linalg

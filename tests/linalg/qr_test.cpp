@@ -1,0 +1,91 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace gridctl::linalg {
+namespace {
+
+TEST(Qr, SolvesSquareSystemExactly) {
+  const Matrix a{{2, 1}, {1, 3}};
+  const Vector x = least_squares(a, Vector{3, 5});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Qr, OverdeterminedMatchesNormalEquations) {
+  // Fit y = c0 + c1 t to 4 points; classic least squares.
+  const Matrix a{{1, 0}, {1, 1}, {1, 2}, {1, 3}};
+  const Vector b{1, 2, 2, 4};
+  const Vector x = least_squares(a, b);
+  // Normal-equation solution: c1 = 0.9, c0 = 0.9 (hand-computed).
+  EXPECT_NEAR(x[0], 0.9, 1e-12);
+  EXPECT_NEAR(x[1], 0.9, 1e-12);
+}
+
+TEST(Qr, ResidualOrthogonalToColumns) {
+  Rng rng(5);
+  const std::size_t m = 12, n = 4;
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  }
+  Vector b(m);
+  for (double& v : b) v = rng.normal();
+  const Vector x = least_squares(a, b);
+  const Vector residual = sub(a * x, b);
+  // Optimality condition: Aᵀ r = 0.
+  const Vector at_r = a.transpose() * residual;
+  EXPECT_LT(norm_inf(at_r), 1e-10);
+}
+
+TEST(Qr, RFactorIsUpperTriangularAndConsistent) {
+  const Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  Qr qr(a);
+  const Matrix r = qr.r();
+  EXPECT_DOUBLE_EQ(r(1, 0), 0.0);
+  // |det(R)| for the square part equals sqrt(det(AᵀA)).
+  const Matrix ata = a.transpose() * a;
+  EXPECT_NEAR(std::abs(r(0, 0) * r(1, 1)), std::sqrt(determinant(ata)), 1e-9);
+}
+
+TEST(Qr, DetectsRankDeficiency) {
+  const Matrix a{{1, 2}, {2, 4}, {3, 6}};
+  Qr qr(a);
+  EXPECT_TRUE(qr.rank_deficient());
+  EXPECT_THROW(qr.solve_least_squares(Vector{1, 1, 1}), NumericalError);
+}
+
+TEST(Qr, RejectsUnderdetermined) {
+  EXPECT_THROW(Qr(Matrix(2, 3)), InvalidArgument);
+}
+
+class QrRandomTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrRandomTest, RandomProblemsSatisfyNormalEquations) {
+  const auto [m, n] = GetParam();
+  Rng rng(300 + m * 17 + n);
+  Matrix a(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) a(i, j) = rng.normal();
+  }
+  Vector b(m);
+  for (double& v : b) v = rng.normal();
+  const Vector x = least_squares(a, b);
+  const Vector grad = a.transpose() * sub(a * x, b);
+  EXPECT_LT(norm_inf(grad), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrRandomTest,
+    ::testing::Values(std::pair{3, 3}, std::pair{8, 3}, std::pair{20, 7},
+                      std::pair{50, 20}, std::pair{64, 1}));
+
+}  // namespace
+}  // namespace gridctl::linalg

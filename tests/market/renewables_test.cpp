@@ -1,0 +1,85 @@
+#include "market/renewables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::market {
+namespace {
+
+RenewableRegionConfig solar_only() {
+  RenewableRegionConfig config;
+  config.solar_peak_w = 4e6;
+  config.solar_noon_hour = 13.0;
+  config.solar_span_hours = 12.0;
+  config.wind_mean_w = 0.0;
+  config.wind_variability = 0.0;
+  return config;
+}
+
+TEST(RenewableSupply, SolarPeaksAtNoonAndVanishesAtNight) {
+  RenewableSupply supply({solar_only()}, 1);
+  EXPECT_NEAR(supply.solar_w(0, 13.0 * 3600.0), 4e6, 1.0);
+  EXPECT_DOUBLE_EQ(supply.solar_w(0, 2.0 * 3600.0), 0.0);
+  EXPECT_DOUBLE_EQ(supply.solar_w(0, 23.0 * 3600.0), 0.0);
+  // Half output roughly a third of the span from the edge.
+  EXPECT_GT(supply.solar_w(0, 10.0 * 3600.0), 0.0);
+  EXPECT_LT(supply.solar_w(0, 10.0 * 3600.0), 4e6);
+}
+
+TEST(RenewableSupply, SolarSymmetricAroundNoon) {
+  RenewableSupply supply({solar_only()}, 1);
+  EXPECT_NEAR(supply.solar_w(0, 11.0 * 3600.0),
+              supply.solar_w(0, 15.0 * 3600.0), 1e-6);
+}
+
+TEST(RenewableSupply, WindStaysWithinConfiguredBand) {
+  RenewableRegionConfig config;
+  config.solar_peak_w = 0.0;
+  config.wind_mean_w = 2e6;
+  config.wind_variability = 0.5;
+  RenewableSupply supply({config}, 7);
+  for (int h = 0; h < 24 * 7; ++h) {
+    const double w = supply.available_w(0, h * 3600.0);
+    EXPECT_GE(w, 1e6 - 1e-6);
+    EXPECT_LE(w, 3e6 + 1e-6);
+  }
+}
+
+TEST(RenewableSupply, WindVariesOverTime) {
+  RenewableRegionConfig config;
+  config.solar_peak_w = 0.0;
+  config.wind_mean_w = 2e6;
+  config.wind_variability = 0.8;
+  RenewableSupply supply({config}, 7);
+  double min_w = 1e18, max_w = -1e18;
+  for (int h = 0; h < 72; ++h) {
+    const double w = supply.available_w(0, h * 3600.0);
+    min_w = std::min(min_w, w);
+    max_w = std::max(max_w, w);
+  }
+  EXPECT_GT(max_w - min_w, 2e5);
+}
+
+TEST(RenewableSupply, DeterministicPerSeed) {
+  RenewableRegionConfig config;
+  config.wind_variability = 0.7;
+  RenewableSupply a({config}, 42), b({config}, 42);
+  for (int h = 0; h < 48; ++h) {
+    EXPECT_DOUBLE_EQ(a.available_w(0, h * 3600.0),
+                     b.available_w(0, h * 3600.0));
+  }
+}
+
+TEST(RenewableSupply, Validation) {
+  EXPECT_THROW(RenewableSupply({}, 1), InvalidArgument);
+  RenewableRegionConfig bad;
+  bad.wind_variability = 1.5;
+  EXPECT_THROW(RenewableSupply({bad}, 1), InvalidArgument);
+  RenewableSupply ok({solar_only()}, 1);
+  EXPECT_THROW(ok.available_w(1, 0.0), InvalidArgument);
+  EXPECT_THROW(ok.available_w(0, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::market

@@ -1,0 +1,92 @@
+#include "market/stochastic_price.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::market {
+namespace {
+
+RegionMarketConfig default_region() { return RegionMarketConfig{}; }
+
+TEST(SupplyStack, MonotoneInDemand) {
+  SupplyStack stack;
+  double previous = stack.clearing_price(0.0);
+  for (double demand = 1e8; demand <= 2.4e9; demand += 1e8) {
+    const double price = stack.clearing_price(demand);
+    EXPECT_GT(price, previous);
+    previous = price;
+  }
+}
+
+TEST(SupplyStack, ScarcityPricingNearCapacity) {
+  SupplyStack stack;
+  // Convexity: equal-width load increments cost more the closer the
+  // system runs to capacity (the scarcity exponential).
+  const double low_seg = stack.clearing_price(1.0 * stack.capacity_w) -
+                         stack.clearing_price(0.8 * stack.capacity_w);
+  const double high_seg = stack.clearing_price(1.2 * stack.capacity_w) -
+                          stack.clearing_price(1.0 * stack.capacity_w);
+  EXPECT_GT(low_seg, 0.0);
+  EXPECT_GT(high_seg, low_seg);
+}
+
+TEST(StochasticBidPrice, DeterministicForSeed) {
+  StochasticBidPrice a({default_region()}, 99);
+  StochasticBidPrice b({default_region()}, 99);
+  for (double t = 0.0; t < 48 * 3600.0; t += 3600.0) {
+    EXPECT_DOUBLE_EQ(a.price(0, t, 1e6), b.price(0, t, 1e6));
+  }
+}
+
+TEST(StochasticBidPrice, DemandFeedbackRaisesPrice) {
+  StochasticBidPrice market({default_region()}, 7);
+  const double idle = market.price(0, 12 * 3600.0, 0.0);
+  const double loaded = market.price(0, 12 * 3600.0, 3e8);
+  EXPECT_GT(loaded, idle);
+}
+
+TEST(StochasticBidPrice, DiurnalBaseDemandPeaksAtConfiguredHour) {
+  RegionMarketConfig config = default_region();
+  config.peak_hour = 17.0;
+  StochasticBidPrice market({config}, 7);
+  const double at_peak = market.base_demand(0, 17.0 * 3600.0);
+  const double at_trough = market.base_demand(0, 5.0 * 3600.0);
+  EXPECT_GT(at_peak, at_trough);
+  EXPECT_NEAR(at_peak, config.base_demand_w * (1.0 + config.diurnal_amplitude),
+              1e-6 * config.base_demand_w);
+}
+
+TEST(StochasticBidPrice, PricesVaryOverHours) {
+  StochasticBidPrice market({default_region()}, 11);
+  double min_price = 1e18, max_price = -1e18;
+  for (int h = 0; h < 72; ++h) {
+    const double p = market.price(0, h * 3600.0, 0.0);
+    min_price = std::min(min_price, p);
+    max_price = std::max(max_price, p);
+  }
+  EXPECT_GT(max_price - min_price, 1.0);  // OU noise + diurnal must move it
+}
+
+TEST(StochasticBidPrice, MultiRegionIndependence) {
+  StochasticBidPrice market({default_region(), default_region()}, 13);
+  // Same config, same hour: only the per-region noise differs.
+  int differs = 0;
+  for (int h = 0; h < 24; ++h) {
+    if (market.price(0, h * 3600.0, 0.0) != market.price(1, h * 3600.0, 0.0)) {
+      ++differs;
+    }
+  }
+  EXPECT_GT(differs, 20);
+}
+
+TEST(StochasticBidPrice, Validation) {
+  EXPECT_THROW(StochasticBidPrice({}, 1), InvalidArgument);
+  EXPECT_THROW(StochasticBidPrice({default_region()}, 1, 0), InvalidArgument);
+  StochasticBidPrice market({default_region()}, 1);
+  EXPECT_THROW(market.price(1, 0.0, 0.0), InvalidArgument);
+  EXPECT_THROW(market.price(0, -5.0, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::market

@@ -1,0 +1,104 @@
+#include "market/trace_price.hpp"
+
+#include <gtest/gtest.h>
+
+#include "market/regions.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::market {
+namespace {
+
+TEST(TracePrice, PiecewiseConstantByHour) {
+  TracePrice trace({{10.0, 20.0, 30.0}});
+  EXPECT_DOUBLE_EQ(trace.price(0, 0.0, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.price(0, 3599.9, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.price(0, 3600.0, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(trace.price(0, 2.5 * 3600.0, 0.0), 30.0);
+}
+
+TEST(TracePrice, WrapsAroundTraceLength) {
+  TracePrice trace({{10.0, 20.0}});
+  EXPECT_DOUBLE_EQ(trace.price(0, 2.0 * 3600.0, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.price(0, 3.0 * 3600.0, 0.0), 20.0);
+}
+
+TEST(TracePrice, IgnoresDemand) {
+  TracePrice trace(std::vector<std::vector<double>>{{42.0}});
+  EXPECT_DOUBLE_EQ(trace.price(0, 0.0, 0.0), trace.price(0, 0.0, 1e9));
+}
+
+TEST(TracePrice, MultiRegionIndependentSeries) {
+  TracePrice trace({{1.0, 2.0}, {10.0, 20.0}}, {"a", "b"});
+  EXPECT_EQ(trace.num_regions(), 2u);
+  EXPECT_DOUBLE_EQ(trace.price(1, 3600.0, 0.0), 20.0);
+  EXPECT_EQ(trace.region_name(0), "a");
+}
+
+TEST(TracePrice, Validation) {
+  EXPECT_THROW(TracePrice({}), InvalidArgument);
+  EXPECT_THROW(TracePrice(std::vector<std::vector<double>>{{}}), InvalidArgument);
+  EXPECT_THROW(TracePrice(std::vector<std::vector<double>>{{1.0}, {1.0, 2.0}}), InvalidArgument);
+  EXPECT_THROW(TracePrice(std::vector<std::vector<double>>{{1.0}}, {"a", "b"}), InvalidArgument);
+  TracePrice trace(std::vector<std::vector<double>>{{1.0}});
+  EXPECT_THROW(trace.price(1, 0.0, 0.0), InvalidArgument);
+  EXPECT_THROW(trace.price(0, -1.0, 0.0), InvalidArgument);
+}
+
+TEST(TraceFromCsv, ColumnsBecomeRegions) {
+  const auto table = read_csv_string(
+      "hour,east,west\n0,40.0,20.0\n1,45.0,25.0\n");
+  const TracePrice trace = trace_from_csv(table);
+  EXPECT_EQ(trace.num_regions(), 2u);
+  EXPECT_EQ(trace.hours(), 2u);
+  EXPECT_EQ(trace.region_name(0), "east");
+  EXPECT_DOUBLE_EQ(trace.price(1, 3600.0, 0.0), 25.0);
+}
+
+TEST(TraceFromCsv, NoTimeColumnNeeded) {
+  const auto table = read_csv_string("a\n1.5\n2.5\n");
+  const TracePrice trace = trace_from_csv(table);
+  EXPECT_EQ(trace.num_regions(), 1u);
+  EXPECT_DOUBLE_EQ(trace.price(0, 0.0, 0.0), 1.5);
+}
+
+TEST(TraceFromCsv, RejectsEmptyTable) {
+  const auto table = read_csv_string("hour\n1\n");
+  EXPECT_THROW(trace_from_csv(table), InvalidArgument);
+}
+
+TEST(PaperTraces, AnchoredToTableIII) {
+  const TracePrice trace = paper_region_traces();
+  ASSERT_EQ(trace.num_regions(), 3u);
+  ASSERT_EQ(trace.hours(), 24u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(trace.price(r, 6.0 * 3600.0, 0.0), kPaperPrices6H[r])
+        << trace.region_name(r);
+    EXPECT_DOUBLE_EQ(trace.price(r, 7.0 * 3600.0, 0.0), kPaperPrices7H[r])
+        << trace.region_name(r);
+  }
+}
+
+TEST(PaperTraces, WisconsinShapeFeatures) {
+  const TracePrice trace = paper_region_traces();
+  const auto& wisconsin = trace.series(kWisconsin);
+  // Fig. 2: early-morning negative prices and a strong evening peak.
+  bool has_negative = false;
+  for (double p : wisconsin) has_negative |= (p < 0.0);
+  EXPECT_TRUE(has_negative);
+  double peak = wisconsin[0];
+  for (double p : wisconsin) peak = std::max(peak, p);
+  EXPECT_GT(peak, 75.0);
+}
+
+TEST(PaperTraces, MinnesotaIsCheapestOnAverage) {
+  const TracePrice trace = paper_region_traces();
+  auto average = [&](std::size_t r) {
+    double sum = 0.0;
+    for (double p : trace.series(r)) sum += p;
+    return sum / 24.0;
+  };
+  EXPECT_LT(average(kMinnesota), average(kMichigan));
+}
+
+}  // namespace
+}  // namespace gridctl::market

@@ -1,0 +1,155 @@
+#include "solvers/lp_simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace gridctl::solvers {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(Simplex, TextbookTwoVariableProblem) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of negative)
+  LpProblem lp;
+  lp.c = {-3, -5};
+  lp.a_ub = Matrix{{1, 0}, {0, 2}, {3, 2}};
+  lp.b_ub = {4, 12, 18};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 6.0, 1e-9);
+  EXPECT_NEAR(result.objective, -36.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstrainedProblem) {
+  // min x + 2y s.t. x + y = 10, x <= 4.
+  LpProblem lp;
+  lp.c = {1, 2};
+  lp.a_eq = Matrix{{1, 1}};
+  lp.b_eq = {10};
+  lp.a_ub = Matrix{{1, 0}};
+  lp.b_ub = {4};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x = 5 and x <= 2 cannot both hold with x >= 0.
+  LpProblem lp;
+  lp.c = {1};
+  lp.a_eq = Matrix{{1}};
+  lp.b_eq = {5};
+  lp.a_ub = Matrix{{1}};
+  lp.b_ub = {2};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x with no upper bound.
+  LpProblem lp;
+  lp.c = {-1};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsHandledByRowFlip) {
+  // -x <= -3 means x >= 3; min x should give x = 3.
+  LpProblem lp;
+  lp.c = {1};
+  lp.a_ub = Matrix{{-1}};
+  lp.b_ub = {-3};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the optimum (classic
+  // degeneracy); Bland's rule must still terminate.
+  LpProblem lp;
+  lp.c = {-1, -1};
+  lp.a_ub = Matrix{{1, 0}, {1, 0}, {0, 1}, {1, 1}};
+  lp.b_ub = {1, 1, 1, 2};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // Duplicated equality row leaves an artificial basic at zero; the
+  // solver must still report the right solution.
+  LpProblem lp;
+  lp.c = {1, 1};
+  lp.a_eq = Matrix{{1, 1}, {1, 1}};
+  lp.b_eq = {4, 4};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0] + result.x[1], 4.0, 1e-9);
+}
+
+TEST(Simplex, TransportationProblemMatchesGreedy) {
+  // The reference optimizer's shape: 2 portals x 2 IDCs, one cheap IDC
+  // with a cap. Cheapest fills first, remainder overflows.
+  // Variables: x00, x01, x10, x11 (portal-major); cost of IDC 0 = 1,
+  // IDC 1 = 3; demand 10 per portal; IDC 0 capacity 12.
+  LpProblem lp;
+  lp.c = {1, 3, 1, 3};
+  lp.a_eq = Matrix{{1, 1, 0, 0}, {0, 0, 1, 1}};
+  lp.b_eq = {10, 10};
+  lp.a_ub = Matrix{{1, 0, 1, 0}};
+  lp.b_ub = {12};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0] + result.x[2], 12.0, 1e-9);  // cheap IDC full
+  EXPECT_NEAR(result.objective, 12.0 * 1 + 8.0 * 3, 1e-9);
+}
+
+// Property suite: on random feasible bounded LPs, the simplex objective
+// is no worse than any random feasible point we can sample.
+class LpPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpPropertyTest, BeatsRandomFeasiblePoints) {
+  Rng rng(9000 + GetParam());
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+  const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  LpProblem lp;
+  lp.c.resize(n);
+  for (double& v : lp.c) v = rng.normal();
+  // Box-like rows keep the problem bounded: sum of subsets <= b.
+  lp.a_ub = Matrix(m + 1, n);
+  lp.b_ub.assign(m + 1, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t j = 0; j < n; ++j) {
+      lp.a_ub(r, j) = rng.bernoulli(0.6) ? rng.uniform(0.1, 2.0) : 0.0;
+    }
+    lp.b_ub[r] = rng.uniform(1.0, 10.0);
+  }
+  // Final row bounds everything: sum x_j <= B.
+  for (std::size_t j = 0; j < n; ++j) lp.a_ub(m, j) = 1.0;
+  lp.b_ub[m] = rng.uniform(5.0, 20.0);
+
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+
+  // Rejection-sample feasible points and compare.
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector x(n);
+    for (double& v : x) v = rng.uniform(0.0, 5.0);
+    bool feasible = true;
+    for (std::size_t r = 0; r < lp.a_ub.rows() && feasible; ++r) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < n; ++j) lhs += lp.a_ub(r, j) * x[j];
+      feasible = lhs <= lp.b_ub[r];
+    }
+    if (!feasible) continue;
+    EXPECT_LE(result.objective, linalg::dot(lp.c, x) + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, LpPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace gridctl::solvers

@@ -1,0 +1,139 @@
+#include "solvers/lsq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::solvers {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+ConstrainedLsqProblem unconstrained(const Matrix& f, const Vector& g) {
+  ConstrainedLsqProblem p;
+  p.f = f;
+  p.g = g;
+  p.w.assign(f.rows(), 1.0);
+  p.r.assign(f.cols(), 0.0);
+  return p;
+}
+
+TEST(ConstrainedLsq, UnconstrainedMatchesQr) {
+  const Matrix f{{1, 0}, {1, 1}, {1, 2}, {1, 3}};
+  const Vector g{1, 2, 2, 4};
+  auto problem = unconstrained(f, g);
+  problem.r.assign(2, 1e-9);  // keep the Hessian PD
+  const auto result = solve_constrained_lsq(problem);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  const Vector reference = linalg::least_squares(f, g);
+  EXPECT_NEAR(result.x[0], reference[0], 1e-5);
+  EXPECT_NEAR(result.x[1], reference[1], 1e-5);
+}
+
+TEST(ConstrainedLsq, RegularizationShrinksSolution) {
+  const Matrix f{{1}};
+  const Vector g{10};
+  auto weak = unconstrained(f, g);
+  weak.r = {0.0};
+  auto strong = unconstrained(f, g);
+  strong.r = {9.0};
+  const auto weak_result = solve_constrained_lsq(weak);
+  const auto strong_result = solve_constrained_lsq(strong);
+  EXPECT_NEAR(weak_result.x[0], 10.0, 1e-5);
+  // Ridge solution: x = g / (1 + r) = 1.
+  EXPECT_NEAR(strong_result.x[0], 1.0, 1e-5);
+}
+
+TEST(ConstrainedLsq, WeightsBiasTheFit) {
+  // Two incompatible targets for one variable; the heavier one wins.
+  ConstrainedLsqProblem p;
+  p.f = Matrix{{1}, {1}};
+  p.g = {0, 10};
+  p.w = {1.0, 99.0};
+  p.r = {0.0};
+  const auto result = solve_constrained_lsq(p);
+  EXPECT_NEAR(result.x[0], 9.9, 1e-4);
+}
+
+TEST(ConstrainedLsq, EqualityConstraintBinds) {
+  // min (x-5)² + (y-5)² s.t. x + y = 4 -> (2, 2).
+  ConstrainedLsqProblem p;
+  p.f = Matrix::identity(2);
+  p.g = {5, 5};
+  p.w = {1, 1};
+  p.r = {0, 0};
+  p.a_eq = Matrix{{1, 1}};
+  p.b_eq = {4};
+  const auto result = solve_constrained_lsq(p);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-5);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-5);
+}
+
+TEST(ConstrainedLsq, InequalityBoxBinds) {
+  ConstrainedLsqProblem p;
+  p.f = Matrix{{1}};
+  p.g = {7};
+  p.w = {1};
+  p.r = {0};
+  p.a_in = Matrix{{1}};
+  p.lower = {0};
+  p.upper = {3};
+  const auto result = solve_constrained_lsq(p);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-5);
+}
+
+TEST(ConstrainedLsq, BackendsAgree) {
+  ConstrainedLsqProblem p;
+  p.f = Matrix{{1, 2}, {3, 1}, {0.5, -1}};
+  p.g = {4, 2, 0};
+  p.w = {1, 2, 1};
+  p.r = {0.1, 0.1};
+  p.a_eq = Matrix{{1, 1}};
+  p.b_eq = {1.5};
+  p.a_in = Matrix{{1, 0}};
+  p.lower = {0};
+  p.upper = {1};
+  const auto admm = solve_constrained_lsq(p, LsqBackend::kAdmm);
+  const auto aset = solve_constrained_lsq(p, LsqBackend::kActiveSet);
+  ASSERT_EQ(admm.status, QpStatus::kOptimal);
+  ASSERT_EQ(aset.status, QpStatus::kOptimal);
+  EXPECT_NEAR(admm.x[0], aset.x[0], 1e-4);
+  EXPECT_NEAR(admm.x[1], aset.x[1], 1e-4);
+  EXPECT_NEAR(admm.objective, aset.objective, 1e-5);
+}
+
+TEST(ConstrainedLsq, ObjectiveReportedInLsqMetric) {
+  // x forced to 0 by equality; objective = ||0 - g||²_W = 4.
+  ConstrainedLsqProblem p;
+  p.f = Matrix{{1}};
+  p.g = {2};
+  p.w = {1};
+  p.r = {0};
+  p.a_eq = Matrix{{1}};
+  p.b_eq = {0};
+  const auto result = solve_constrained_lsq(p);
+  EXPECT_NEAR(result.objective, 4.0, 1e-5);
+}
+
+TEST(ConstrainedLsq, ValidatesShapes) {
+  ConstrainedLsqProblem p;
+  p.f = Matrix{{1}};
+  p.g = {1, 2};  // wrong
+  p.w = {1};
+  p.r = {0};
+  EXPECT_THROW(to_qp(p), InvalidArgument);
+
+  ConstrainedLsqProblem neg;
+  neg.f = Matrix{{1}};
+  neg.g = {1};
+  neg.w = {-1};  // negative weight
+  neg.r = {0};
+  EXPECT_THROW(to_qp(neg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::solvers

@@ -1,0 +1,106 @@
+#include "solvers/qp_active_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridctl::solvers {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(QpActiveSet, UnconstrainedViaLooseBounds) {
+  // min (x-1)² + (y-2)² with bounds far from the optimum.
+  QpProblem qp;
+  qp.p = Matrix{{2, 0}, {0, 2}};
+  qp.q = {-2, -4};
+  qp.a = Matrix{{1, 0}, {0, 1}};
+  qp.lower = {-100, -100};
+  qp.upper = {100, 100};
+  const auto result = solve_qp_active_set(qp);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-8);
+}
+
+TEST(QpActiveSet, NocedalWrightExample16_4) {
+  // min (x1 - 1)² + (x2 - 2.5)² s.t.
+  //   x1 - 2x2 + 2 >= 0, -x1 - 2x2 + 6 >= 0, -x1 + 2x2 + 2 >= 0,
+  //   x1 >= 0, x2 >= 0.   Solution: (1.4, 1.7).
+  QpProblem qp;
+  qp.p = Matrix{{2, 0}, {0, 2}};
+  qp.q = {-2, -5};
+  qp.a = Matrix{{1, -2}, {-1, -2}, {-1, 2}, {1, 0}, {0, 1}};
+  qp.lower = {-2, -6, -2, 0, 0};
+  qp.upper = {kInfinity, kInfinity, kInfinity, kInfinity, kInfinity};
+  const auto result = solve_qp_active_set(qp);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 1.4, 1e-8);
+  EXPECT_NEAR(result.x[1], 1.7, 1e-8);
+}
+
+TEST(QpActiveSet, EqualityOnly) {
+  // min ½xᵀIx s.t. x1 + x2 + x3 = 3 -> all ones.
+  QpProblem qp;
+  qp.p = Matrix::identity(3);
+  qp.q = {0, 0, 0};
+  qp.a = Matrix{{1, 1, 1}};
+  qp.lower = {3};
+  qp.upper = {3};
+  const auto result = solve_qp_active_set(qp);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  for (double v : result.x) EXPECT_NEAR(v, 1.0, 1e-8);
+}
+
+TEST(QpActiveSet, StartsFromProvidedFeasiblePoint) {
+  QpProblem qp;
+  qp.p = Matrix{{2}};
+  qp.q = {-6};
+  qp.a = Matrix{{1}};
+  qp.lower = {0};
+  qp.upper = {1};
+  const auto result = solve_qp_active_set(qp, ActiveSetOptions{}, Vector{0.5});
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-8);
+}
+
+TEST(QpActiveSet, DetectsInfeasible) {
+  QpProblem qp;
+  qp.p = Matrix{{2}};
+  qp.q = {0};
+  qp.a = Matrix{{1}, {1}};
+  qp.lower = {2, -kInfinity};
+  qp.upper = {kInfinity, 1};
+  EXPECT_EQ(solve_qp_active_set(qp).status, QpStatus::kInfeasible);
+}
+
+TEST(QpActiveSet, ReleasesWrongActiveConstraint) {
+  // Start at a vertex where a constraint is active but suboptimal; the
+  // solver must drop it (negative multiplier path).
+  QpProblem qp;
+  qp.p = Matrix{{2, 0}, {0, 2}};
+  qp.q = {-2, -2};  // optimum (1, 1)
+  qp.a = Matrix{{1, 0}, {0, 1}};
+  qp.lower = {0, 0};
+  qp.upper = {5, 5};
+  // x0 = (0, 0): both lower bounds active, both must be released.
+  const auto result = solve_qp_active_set(qp, ActiveSetOptions{}, Vector{0, 0});
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-8);
+}
+
+TEST(QpActiveSet, DegenerateParallelConstraints) {
+  // Duplicate rows must not produce a singular working set.
+  QpProblem qp;
+  qp.p = Matrix{{2}};
+  qp.q = {-10};
+  qp.a = Matrix{{1}, {1}, {2}};
+  qp.lower = {-kInfinity, -kInfinity, -kInfinity};
+  qp.upper = {2, 2, 4};
+  const auto result = solve_qp_active_set(qp);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace gridctl::solvers

@@ -1,0 +1,126 @@
+#include "solvers/qp_admm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::solvers {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(QpAdmm, UnconstrainedMinimumIsNewtonStep) {
+  // min ½xᵀPx + qᵀx with no constraints -> x = -P⁻¹q.
+  QpProblem qp;
+  qp.p = Matrix{{2, 0}, {0, 4}};
+  qp.q = {-2, -8};
+  const auto result = solve_qp_admm(qp);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-6);
+}
+
+TEST(QpAdmm, ActiveBoxConstraint) {
+  // min (x-3)² s.t. x <= 1 -> x = 1.
+  QpProblem qp;
+  qp.p = Matrix{{2}};
+  qp.q = {-6};
+  qp.a = Matrix{{1}};
+  qp.lower = {-kInfinity};
+  qp.upper = {1};
+  const auto result = solve_qp_admm(qp);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-6);
+  // Dual for the active constraint: gradient balance 2x - 6 + y = 0.
+  EXPECT_NEAR(result.y[0], 4.0, 1e-4);
+}
+
+TEST(QpAdmm, EqualityConstraintHolds) {
+  // min x² + y² s.t. x + y = 2 -> (1, 1).
+  QpProblem qp;
+  qp.p = Matrix{{2, 0}, {0, 2}};
+  qp.q = {0, 0};
+  qp.a = Matrix{{1, 1}};
+  qp.lower = {2};
+  qp.upper = {2};
+  const auto result = solve_qp_admm(qp);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-6);
+}
+
+TEST(QpAdmm, MixedEqualityAndInequality) {
+  // min ½((x-1)² + (y-4)²) s.t. x + y = 3, x >= 0, y <= 2.5.
+  QpProblem qp;
+  qp.p = Matrix{{1, 0}, {0, 1}};
+  qp.q = {-1, -4};
+  qp.a = Matrix{{1, 1}, {1, 0}, {0, 1}};
+  qp.lower = {3, 0, -kInfinity};
+  qp.upper = {3, kInfinity, 2.5};
+  const auto result = solve_qp_admm(qp);
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  // Unconstrained-on-line optimum is (0, 3), but y <= 2.5 binds:
+  // x = 0.5, y = 2.5.
+  EXPECT_NEAR(result.x[0], 0.5, 1e-5);
+  EXPECT_NEAR(result.x[1], 2.5, 1e-5);
+}
+
+TEST(QpAdmm, DetectsInfeasible) {
+  // x >= 2 and x <= 1 simultaneously.
+  QpProblem qp;
+  qp.p = Matrix{{2}};
+  qp.q = {0};
+  qp.a = Matrix{{1}, {1}};
+  qp.lower = {2, -kInfinity};
+  qp.upper = {kInfinity, 1};
+  AdmmOptions options;
+  options.max_iterations = 3000;
+  const auto result = solve_qp_admm(qp, options);
+  EXPECT_EQ(result.status, QpStatus::kInfeasible);
+}
+
+TEST(QpAdmm, WarmStartReducesIterations) {
+  QpProblem qp;
+  qp.p = Matrix{{2, 0.4}, {0.4, 2}};
+  qp.q = {-3, 1};
+  qp.a = Matrix{{1, 1}, {1, -1}};
+  qp.lower = {-1, -2};
+  qp.upper = {2, 2};
+  const auto cold = solve_qp_admm(qp);
+  ASSERT_EQ(cold.status, QpStatus::kOptimal);
+  const auto warm = solve_qp_admm(qp, AdmmOptions{}, cold.x, cold.y);
+  ASSERT_EQ(warm.status, QpStatus::kOptimal);
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(QpAdmm, ValidatesProblemShape) {
+  QpProblem qp;
+  qp.p = Matrix{{1, 0}, {0, 1}};
+  qp.q = {0};  // wrong size
+  EXPECT_THROW(solve_qp_admm(qp), InvalidArgument);
+
+  QpProblem qp2;
+  qp2.p = Matrix{{1}};
+  qp2.q = {0};
+  qp2.a = Matrix{{1}};
+  qp2.lower = {2};
+  qp2.upper = {1};  // lower > upper
+  EXPECT_THROW(solve_qp_admm(qp2), InvalidArgument);
+}
+
+TEST(QpProblemApi, ObjectiveAndViolation) {
+  QpProblem qp;
+  qp.p = Matrix{{2}};
+  qp.q = {1};
+  qp.a = Matrix{{1}};
+  qp.lower = {0};
+  qp.upper = {1};
+  EXPECT_DOUBLE_EQ(qp.objective({2}), 0.5 * 2 * 4 + 2);
+  EXPECT_DOUBLE_EQ(qp.max_violation({2}), 1.0);
+  EXPECT_DOUBLE_EQ(qp.max_violation({0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(qp.max_violation({-0.5}), 0.5);
+}
+
+}  // namespace
+}  // namespace gridctl::solvers

@@ -1,0 +1,150 @@
+// Cross-validation property suite: the two independently implemented QP
+// solvers (ADMM and active-set) must agree on random strictly convex
+// problems, and both must satisfy the KKT conditions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solvers/qp_active_set.hpp"
+#include "solvers/qp_admm.hpp"
+#include "util/random.hpp"
+
+namespace gridctl::solvers {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+QpProblem random_qp(Rng& rng, std::size_t n, std::size_t m,
+                    bool with_equality) {
+  QpProblem qp;
+  // P = GᵀG + cI: strictly convex.
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.normal();
+  }
+  qp.p = g.transpose() * g;
+  for (std::size_t i = 0; i < n; ++i) qp.p(i, i) += 1.0;
+  qp.q.resize(n);
+  for (double& v : qp.q) v = rng.normal(0.0, 2.0);
+
+  qp.a = Matrix(m, n);
+  qp.lower.assign(m, 0.0);
+  qp.upper.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t j = 0; j < n; ++j) qp.a(r, j) = rng.normal();
+    if (with_equality && r == 0) {
+      const double b = rng.normal();
+      qp.lower[r] = b;
+      qp.upper[r] = b;
+    } else {
+      // Wide box around zero keeps the problem feasible.
+      qp.lower[r] = rng.uniform(-6.0, -1.0);
+      qp.upper[r] = rng.uniform(1.0, 6.0);
+    }
+  }
+  return qp;
+}
+
+double kkt_stationarity(const QpProblem& qp, const Vector& x,
+                        const Vector& y) {
+  Vector grad = qp.p * x;
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] += qp.q[i];
+  if (qp.num_constraints() > 0) {
+    const Vector aty = qp.a.transpose() * y;
+    for (std::size_t i = 0; i < grad.size(); ++i) grad[i] += aty[i];
+  }
+  return linalg::norm_inf(grad);
+}
+
+struct CrossCase {
+  std::size_t n;
+  std::size_t m;
+  bool with_equality;
+  std::uint64_t seed;
+};
+
+class QpCrossTest : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(QpCrossTest, SolversAgreeAndSatisfyKkt) {
+  const CrossCase param = GetParam();
+  Rng rng(param.seed);
+  const QpProblem qp = random_qp(rng, param.n, param.m, param.with_equality);
+
+  const auto admm = solve_qp_admm(qp);
+  const auto aset = solve_qp_active_set(qp);
+  ASSERT_EQ(admm.status, QpStatus::kOptimal) << "seed " << param.seed;
+  ASSERT_EQ(aset.status, QpStatus::kOptimal) << "seed " << param.seed;
+
+  // Objectives agree to solver tolerance.
+  EXPECT_NEAR(admm.objective, aset.objective,
+              1e-5 * (1.0 + std::abs(aset.objective)));
+  // Solutions agree (strict convexity -> unique minimizer).
+  for (std::size_t i = 0; i < qp.num_vars(); ++i) {
+    EXPECT_NEAR(admm.x[i], aset.x[i], 2e-4) << "component " << i;
+  }
+  // Both primal-feasible.
+  EXPECT_LT(qp.max_violation(admm.x), 1e-5);
+  EXPECT_LT(qp.max_violation(aset.x), 1e-8);
+  // KKT stationarity for both solvers' (x, y).
+  EXPECT_LT(kkt_stationarity(qp, admm.x, admm.y), 1e-4);
+  EXPECT_LT(kkt_stationarity(qp, aset.x, aset.y), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomProblems, QpCrossTest,
+    ::testing::Values(CrossCase{2, 2, false, 101}, CrossCase{2, 3, true, 102},
+                      CrossCase{4, 2, false, 103}, CrossCase{4, 5, true, 104},
+                      CrossCase{6, 4, false, 105}, CrossCase{8, 6, true, 106},
+                      CrossCase{10, 8, false, 107},
+                      CrossCase{12, 6, true, 108},
+                      CrossCase{15, 10, false, 109},
+                      CrossCase{20, 12, true, 110}));
+
+// The MPC-shaped problem: equality rows (conservation) + box rows.
+TEST(QpCross, MpcShapedProblem) {
+  Rng rng(777);
+  const std::size_t portals = 3, idcs = 2;
+  const std::size_t n = portals * idcs;
+  QpProblem qp;
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.normal();
+  }
+  qp.p = g.transpose() * g;
+  for (std::size_t i = 0; i < n; ++i) qp.p(i, i) += 0.5;
+  qp.q.assign(n, -1.0);
+  // Conservation rows + per-variable non-negativity.
+  qp.a = Matrix(portals + n, n);
+  qp.lower.assign(portals + n, 0.0);
+  qp.upper.assign(portals + n, 0.0);
+  for (std::size_t i = 0; i < portals; ++i) {
+    for (std::size_t j = 0; j < idcs; ++j) qp.a(i, i * idcs + j) = 1.0;
+    qp.lower[i] = 4.0;
+    qp.upper[i] = 4.0;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    qp.a(portals + j, j) = 1.0;
+    qp.lower[portals + j] = 0.0;
+    qp.upper[portals + j] = kInfinity;
+  }
+  const auto admm = solve_qp_admm(qp);
+  const auto aset = solve_qp_active_set(qp);
+  ASSERT_EQ(admm.status, QpStatus::kOptimal);
+  ASSERT_EQ(aset.status, QpStatus::kOptimal);
+  EXPECT_NEAR(admm.objective, aset.objective,
+              1e-5 * (1.0 + std::abs(aset.objective)));
+  // Conservation holds exactly for both.
+  for (std::size_t i = 0; i < portals; ++i) {
+    double sum_admm = 0.0, sum_aset = 0.0;
+    for (std::size_t j = 0; j < idcs; ++j) {
+      sum_admm += admm.x[i * idcs + j];
+      sum_aset += aset.x[i * idcs + j];
+    }
+    EXPECT_NEAR(sum_admm, 4.0, 1e-5);
+    EXPECT_NEAR(sum_aset, 4.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace gridctl::solvers

@@ -1,0 +1,102 @@
+#include "solvers/rls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace gridctl::solvers {
+namespace {
+
+using linalg::Vector;
+
+TEST(Rls, RecoversStaticLinearModel) {
+  // y = 2 x1 - 3 x2 exactly; estimates must converge to (2, -3).
+  RecursiveLeastSquares rls(2, /*forgetting=*/1.0);
+  Rng rng(1);
+  for (int k = 0; k < 200; ++k) {
+    const Vector phi{rng.normal(), rng.normal()};
+    rls.update(phi, 2.0 * phi[0] - 3.0 * phi[1]);
+  }
+  EXPECT_NEAR(rls.theta()[0], 2.0, 1e-6);
+  EXPECT_NEAR(rls.theta()[1], -3.0, 1e-6);
+}
+
+TEST(Rls, HandlesNoisyObservations) {
+  RecursiveLeastSquares rls(2, 1.0);
+  Rng rng(2);
+  for (int k = 0; k < 5000; ++k) {
+    const Vector phi{rng.normal(), rng.normal()};
+    const double y = 1.5 * phi[0] + 0.5 * phi[1] + rng.normal(0.0, 0.1);
+    rls.update(phi, y);
+  }
+  EXPECT_NEAR(rls.theta()[0], 1.5, 0.02);
+  EXPECT_NEAR(rls.theta()[1], 0.5, 0.02);
+}
+
+TEST(Rls, ForgettingTracksDrift) {
+  // Coefficient switches mid-stream; a forgetting factor < 1 must adapt,
+  // lambda = 1 must lag.
+  auto run = [](double forgetting) {
+    RecursiveLeastSquares rls(1, forgetting);
+    Rng rng(3);
+    for (int k = 0; k < 400; ++k) {
+      const Vector phi{rng.normal()};
+      const double coeff = k < 200 ? 1.0 : 4.0;
+      rls.update(phi, coeff * phi[0]);
+    }
+    return rls.theta()[0];
+  };
+  const double adaptive = run(0.9);
+  EXPECT_NEAR(adaptive, 4.0, 0.05);
+}
+
+TEST(Rls, PredictionErrorShrinks) {
+  RecursiveLeastSquares rls(1, 1.0);
+  Rng rng(4);
+  double early = 0.0, late = 0.0;
+  for (int k = 0; k < 100; ++k) {
+    const Vector phi{rng.normal()};
+    const double err = std::abs(rls.update(phi, 5.0 * phi[0]));
+    if (k < 5) early += err;
+    if (k >= 95) late += err;
+  }
+  EXPECT_LT(late, early * 1e-3);
+}
+
+TEST(Rls, ResetClearsState) {
+  RecursiveLeastSquares rls(1);
+  rls.update({1.0}, 3.0);
+  EXPECT_GT(std::abs(rls.theta()[0]), 0.1);
+  rls.reset();
+  EXPECT_DOUBLE_EQ(rls.theta()[0], 0.0);
+  EXPECT_EQ(rls.updates(), 0u);
+}
+
+TEST(Rls, ValidatesArguments) {
+  EXPECT_THROW(RecursiveLeastSquares(0), InvalidArgument);
+  EXPECT_THROW(RecursiveLeastSquares(2, 0.0), InvalidArgument);
+  EXPECT_THROW(RecursiveLeastSquares(2, 1.5), InvalidArgument);
+  RecursiveLeastSquares rls(2);
+  EXPECT_THROW(rls.update({1.0}, 0.0), InvalidArgument);
+}
+
+TEST(Rls, CovarianceStaysSymmetric) {
+  RecursiveLeastSquares rls(3, 0.95);
+  Rng rng(5);
+  for (int k = 0; k < 500; ++k) {
+    const Vector phi{rng.normal(), rng.normal(), rng.normal()};
+    rls.update(phi, phi[0] - phi[2]);
+  }
+  const auto& p = rls.covariance();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(p(i, j), p(j, i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridctl::solvers

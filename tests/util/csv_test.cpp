@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gridctl {
+namespace {
+
+TEST(ReadCsv, ParsesHeaderAndRows) {
+  const auto table = read_csv_string("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(table.header.size(), 2u);
+  EXPECT_EQ(table.header[0], "a");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[1][1], 4.0);
+}
+
+TEST(ReadCsv, SkipsCommentsAndBlankLines) {
+  const auto table = read_csv_string("# comment\n\nx,y\n# another\n5,6\n\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(table.rows[0][0], 5.0);
+}
+
+TEST(ReadCsv, RejectsRaggedRows) {
+  EXPECT_THROW(read_csv_string("a,b\n1\n"), InvalidArgument);
+}
+
+TEST(ReadCsv, RejectsEmptyInput) {
+  EXPECT_THROW(read_csv_string(""), InvalidArgument);
+}
+
+TEST(CsvTable, ColumnLookup) {
+  const auto table = read_csv_string("t,p\n0,10\n1,20\n");
+  EXPECT_EQ(table.column("p"), 1u);
+  EXPECT_THROW(table.column("missing"), InvalidArgument);
+  const auto values = table.column_values("p");
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[1], 20.0);
+}
+
+TEST(WriteCsv, RoundTrips) {
+  CsvTable table;
+  table.header = {"u", "v"};
+  table.rows = {{1.25, -3.0}, {0.0, 1e6}};
+  std::ostringstream out;
+  write_csv(out, table);
+  const auto parsed = read_csv_string(out.str());
+  ASSERT_EQ(parsed.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.rows[0][0], 1.25);
+  EXPECT_DOUBLE_EQ(parsed.rows[1][1], 1e6);
+}
+
+TEST(WriteCsv, RejectsRowWidthMismatch) {
+  CsvTable table;
+  table.header = {"u", "v"};
+  table.rows = {{1.0}};
+  std::ostringstream out;
+  EXPECT_THROW(write_csv(out, table), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl

@@ -1,0 +1,97 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_json("-1e3").as_number(), -1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto doc = parse_json(R"({
+    "name": "gridctl",
+    "idcs": [{"mu": 2.0}, {"mu": 1.25}],
+    "nested": {"deep": [1, [2, 3]]}
+  })");
+  EXPECT_EQ(doc.at("name").as_string(), "gridctl");
+  EXPECT_EQ(doc.at("idcs").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.at("idcs").as_array()[1].at("mu").as_number(), 1.25);
+  EXPECT_DOUBLE_EQ(
+      doc.at("nested").at("deep").as_array()[1].as_array()[0].as_number(),
+      2.0);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(parse_json("[]").as_array().empty());
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+  EXPECT_TRUE(parse_json(" [ ] ").as_array().empty());
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse_json(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(parse_json(R"("€")").as_string(), "\xe2\x82\xac");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), InvalidArgument);
+  EXPECT_THROW(parse_json("{"), InvalidArgument);
+  EXPECT_THROW(parse_json("[1, 2"), InvalidArgument);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), InvalidArgument);
+  EXPECT_THROW(parse_json("tru"), InvalidArgument);
+  EXPECT_THROW(parse_json("1.2.3"), InvalidArgument);
+  EXPECT_THROW(parse_json("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(parse_json("{} garbage"), InvalidArgument);
+  EXPECT_THROW(parse_json(R"("\u12g4")"), InvalidArgument);
+}
+
+TEST(Json, ErrorsIncludePosition) {
+  try {
+    parse_json("{\n  \"a\": ]\n}");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos);
+  }
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const auto doc = parse_json(R"({"n": 5})");
+  EXPECT_THROW(doc.at("n").as_string(), InvalidArgument);
+  EXPECT_THROW(doc.at("n").as_array(), InvalidArgument);
+  EXPECT_THROW(doc.at("missing"), InvalidArgument);
+  EXPECT_EQ(doc.get("missing"), nullptr);
+}
+
+TEST(Json, DefaultingAccessors) {
+  const auto doc = parse_json(R"({"x": 2.5, "flag": true, "s": "v"})");
+  EXPECT_DOUBLE_EQ(doc.number_or("x", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(doc.number_or("y", 7.0), 7.0);
+  EXPECT_TRUE(doc.bool_or("flag", false));
+  EXPECT_FALSE(doc.bool_or("other", false));
+  EXPECT_EQ(doc.string_or("s", "d"), "v");
+  EXPECT_EQ(doc.string_or("t", "d"), "d");
+}
+
+TEST(Json, NumberArrayHelper) {
+  const auto doc = parse_json(R"({"v": [1, 2.5, -3]})");
+  EXPECT_EQ(doc.number_array("v"), (std::vector<double>{1.0, 2.5, -3.0}));
+  EXPECT_THROW(parse_json(R"({"v": [1, "x"]})").number_array("v"),
+               InvalidArgument);
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const auto doc = parse_json("  {  \"a\"  :  [ 1 ,  2 ]  }  ");
+  EXPECT_EQ(doc.at("a").as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace gridctl

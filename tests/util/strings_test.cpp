@@ -1,0 +1,65 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto fields = split(",x,,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Split, SingleFieldWithoutDelimiter) {
+  const auto fields = split("alone", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "alone");
+}
+
+TEST(Trim, StripsWhitespaceBothSides) {
+  EXPECT_EQ(trim("  hello \t\r\n"), "hello");
+  EXPECT_EQ(trim("nochange"), "nochange");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ParseDouble, ParsesPlainAndScientific) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e-3"), -1e-3);
+  EXPECT_DOUBLE_EQ(parse_double("  42 "), 42.0);
+}
+
+TEST(ParseDouble, RejectsMalformedInput) {
+  EXPECT_THROW(parse_double("abc"), InvalidArgument);
+  EXPECT_THROW(parse_double("1.5x"), InvalidArgument);
+  EXPECT_THROW(parse_double(""), InvalidArgument);
+}
+
+TEST(Format, FormatsLikePrintf) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 1.239), "1.24");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(StartsWith, MatchesPrefixes) {
+  EXPECT_TRUE(starts_with("gridctl", "grid"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("grid", "gridctl"));
+}
+
+}  // namespace
+}  // namespace gridctl

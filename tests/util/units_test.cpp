@@ -1,0 +1,29 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridctl::units {
+namespace {
+
+TEST(Units, PowerConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(watts_to_mw(2.5e6), 2.5);
+  EXPECT_DOUBLE_EQ(mw_to_watts(watts_to_mw(123456.0)), 123456.0);
+}
+
+TEST(Units, EnergyConversions) {
+  // 1 MW for 1 hour = 1 MWh = 3.6e9 J.
+  EXPECT_DOUBLE_EQ(mwh_to_joules(1.0), 3.6e9);
+  EXPECT_DOUBLE_EQ(joules_to_mwh(3.6e9), 1.0);
+}
+
+TEST(Units, EnergyCost) {
+  // 2 MW for 30 minutes at $50/MWh = 1 MWh x $50 = $50.
+  EXPECT_NEAR(energy_cost_dollars(2e6, 1800.0, 50.0), 50.0, 1e-9);
+  // Zero power costs nothing.
+  EXPECT_DOUBLE_EQ(energy_cost_dollars(0.0, 3600.0, 1000.0), 0.0);
+  // Negative prices (Fig. 2's Wisconsin dip) yield negative cost.
+  EXPECT_LT(energy_cost_dollars(1e6, 3600.0, -10.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gridctl::units

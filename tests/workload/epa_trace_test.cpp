@@ -1,0 +1,81 @@
+#include "workload/epa_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::workload {
+namespace {
+
+TEST(EpaEnvelope, DiurnalShape) {
+  const EpaTraceConfig config;
+  // Overnight near the floor, working hours near the peak.
+  EXPECT_NEAR(epa_envelope(3.0 * 3600.0, config), config.night_rate, 5.0);
+  EXPECT_GT(epa_envelope(11.0 * 3600.0, config), 0.8 * config.peak_rate);
+  // Morning ramp is monotone between 6h and 9h.
+  EXPECT_LT(epa_envelope(6.5 * 3600.0, config),
+            epa_envelope(8.0 * 3600.0, config));
+  // Evening decline.
+  EXPECT_GT(epa_envelope(16.0 * 3600.0, config),
+            epa_envelope(21.0 * 3600.0, config));
+}
+
+TEST(EpaTrace, LengthMatchesBucketing) {
+  EpaTraceConfig config;
+  config.bucket_s = 60.0;
+  EXPECT_EQ(make_epa_like_trace(config).size(), 1440u);
+  config.bucket_s = 300.0;
+  EXPECT_EQ(make_epa_like_trace(config).size(), 288u);
+}
+
+TEST(EpaTrace, Deterministic) {
+  const auto a = make_epa_like_trace();
+  const auto b = make_epa_like_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(EpaTrace, StatisticsMatchTheOriginalsEnvelope) {
+  const EpaTraceConfig config;
+  const auto trace = make_epa_like_trace(config);
+  // Peak within the burst-amplified envelope, never negative.
+  double peak = 0.0;
+  for (double r : trace) {
+    EXPECT_GE(r, 0.0);
+    peak = std::max(peak, r);
+  }
+  EXPECT_GT(peak, 0.8 * config.peak_rate);
+  EXPECT_LT(peak, config.peak_rate * (1.0 + config.burst_gain) * 1.3);
+  // Daytime mean well above night mean (Fig. 3's contrast).
+  double day = 0.0, night = 0.0;
+  int day_count = 0, night_count = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double hour = (static_cast<double>(i) + 0.5) * config.bucket_s / 3600.0;
+    if (hour >= 10.0 && hour < 16.0) {
+      day += trace[i];
+      ++day_count;
+    } else if (hour < 5.0) {
+      night += trace[i];
+      ++night_count;
+    }
+  }
+  EXPECT_GT(day / day_count, 5.0 * night / night_count);
+}
+
+TEST(EpaTrace, IsBursty) {
+  // Relative step changes during the plateau exceed pure-Poisson noise.
+  const auto trace = make_epa_like_trace();
+  std::vector<double> plateau(trace.begin() + 600, trace.begin() + 900);
+  const auto vol = gridctl::core::volatility(plateau);
+  EXPECT_GT(vol.max_abs_step, 100.0);
+}
+
+TEST(EpaTrace, Validation) {
+  EpaTraceConfig config;
+  config.bucket_s = 0.0;
+  EXPECT_THROW(make_epa_like_trace(config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::workload

@@ -1,0 +1,114 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridctl::workload {
+namespace {
+
+TEST(ConstantWorkload, ReturnsTableRates) {
+  ConstantWorkload source({100.0, 200.0});
+  EXPECT_DOUBLE_EQ(source.rate(0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(source.rate(1, 1e6), 200.0);
+  EXPECT_EQ(source.num_portals(), 2u);
+  const auto all = source.rates(5.0);
+  EXPECT_EQ(all, (std::vector<double>{100.0, 200.0}));
+}
+
+TEST(ConstantWorkload, Validation) {
+  EXPECT_THROW(ConstantWorkload({}), InvalidArgument);
+  EXPECT_THROW(ConstantWorkload({-1.0}), InvalidArgument);
+  ConstantWorkload source({1.0});
+  EXPECT_THROW(source.rate(1, 0.0), InvalidArgument);
+}
+
+TEST(DiurnalWorkload, PeaksAtConfiguredHour) {
+  DiurnalWorkload source({1000.0}, 0.4, 14.0, 0.0, 1);
+  const double at_peak = source.rate(0, 14.0 * 3600.0);
+  const double at_trough = source.rate(0, 2.0 * 3600.0);
+  EXPECT_GT(at_peak, at_trough);
+  EXPECT_NEAR(at_peak, 1400.0, 1.0);
+  EXPECT_NEAR(at_trough, 600.0, 1.0);
+}
+
+TEST(DiurnalWorkload, NoiseIsDeterministicPerSeed) {
+  DiurnalWorkload a({1000.0}, 0.2, 12.0, 0.1, 42);
+  DiurnalWorkload b({1000.0}, 0.2, 12.0, 0.1, 42);
+  for (double t = 0.0; t < 3600.0; t += 123.0) {
+    EXPECT_DOUBLE_EQ(a.rate(0, t), b.rate(0, t));
+  }
+}
+
+TEST(DiurnalWorkload, RatesNeverNegative) {
+  DiurnalWorkload source({50.0}, 0.5, 0.0, 0.8, 9);
+  for (double t = 0.0; t < 24 * 3600.0; t += 300.0) {
+    EXPECT_GE(source.rate(0, t), 0.0);
+  }
+}
+
+TEST(DiurnalWorkload, Validation) {
+  EXPECT_THROW(DiurnalWorkload({}, 0.2, 12.0, 0.0, 1), InvalidArgument);
+  EXPECT_THROW(DiurnalWorkload({1.0}, 1.5, 12.0, 0.0, 1), InvalidArgument);
+  EXPECT_THROW(DiurnalWorkload({1.0}, 0.2, 12.0, -0.1, 1), InvalidArgument);
+}
+
+TEST(FlashCrowdWorkload, MultipliesOnePortalInWindow) {
+  auto inner = std::make_shared<ConstantWorkload>(
+      std::vector<double>{100.0, 100.0});
+  FlashCrowdWorkload crowd(inner, 0, 10.0, 20.0, 5.0);
+  EXPECT_DOUBLE_EQ(crowd.rate(0, 5.0), 100.0);
+  EXPECT_DOUBLE_EQ(crowd.rate(0, 15.0), 500.0);
+  EXPECT_DOUBLE_EQ(crowd.rate(0, 20.0), 100.0);  // half-open window
+  EXPECT_DOUBLE_EQ(crowd.rate(1, 15.0), 100.0);  // other portal untouched
+}
+
+TEST(FlashCrowdWorkload, Validation) {
+  auto inner = std::make_shared<ConstantWorkload>(std::vector<double>{1.0});
+  EXPECT_THROW(FlashCrowdWorkload(nullptr, 0, 0.0, 1.0, 2.0), InvalidArgument);
+  EXPECT_THROW(FlashCrowdWorkload(inner, 5, 0.0, 1.0, 2.0), InvalidArgument);
+  EXPECT_THROW(FlashCrowdWorkload(inner, 0, 2.0, 1.0, 2.0), InvalidArgument);
+  EXPECT_THROW(FlashCrowdWorkload(inner, 0, 0.0, 1.0, -1.0), InvalidArgument);
+}
+
+TEST(TraceWorkload, PlaysBackBuckets) {
+  TraceWorkload trace({{10.0, 20.0, 30.0}, {1.0, 2.0, 3.0}}, 60.0);
+  EXPECT_EQ(trace.num_portals(), 2u);
+  EXPECT_EQ(trace.buckets(), 3u);
+  EXPECT_DOUBLE_EQ(trace.rate(0, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.rate(0, 59.9), 10.0);
+  EXPECT_DOUBLE_EQ(trace.rate(0, 60.0), 20.0);
+  EXPECT_DOUBLE_EQ(trace.rate(1, 125.0), 3.0);
+}
+
+TEST(TraceWorkload, WrapsAroundSeriesEnd) {
+  TraceWorkload trace({{5.0, 7.0}}, 10.0);
+  EXPECT_DOUBLE_EQ(trace.rate(0, 20.0), 5.0);
+  EXPECT_DOUBLE_EQ(trace.rate(0, 35.0), 7.0);
+}
+
+TEST(TraceWorkload, Validation) {
+  EXPECT_THROW(TraceWorkload({}, 1.0), InvalidArgument);
+  EXPECT_THROW(TraceWorkload({{}}, 1.0), InvalidArgument);
+  EXPECT_THROW(TraceWorkload({{1.0}, {1.0, 2.0}}, 1.0), InvalidArgument);
+  EXPECT_THROW(TraceWorkload({{-1.0}}, 1.0), InvalidArgument);
+  EXPECT_THROW(TraceWorkload({{1.0}}, 0.0), InvalidArgument);
+  TraceWorkload ok({{1.0}}, 1.0);
+  EXPECT_THROW(ok.rate(1, 0.0), InvalidArgument);
+  EXPECT_THROW(ok.rate(0, -1.0), InvalidArgument);
+}
+
+TEST(StepWorkload, SwitchesAtConfiguredTime) {
+  StepWorkload step({10.0, 20.0}, {30.0, 40.0}, 100.0);
+  EXPECT_DOUBLE_EQ(step.rate(0, 99.9), 10.0);
+  EXPECT_DOUBLE_EQ(step.rate(0, 100.0), 30.0);
+  EXPECT_DOUBLE_EQ(step.rate(1, 200.0), 40.0);
+}
+
+TEST(StepWorkload, Validation) {
+  EXPECT_THROW(StepWorkload({}, {}, 0.0), InvalidArgument);
+  EXPECT_THROW(StepWorkload({1.0}, {1.0, 2.0}, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::workload

@@ -1,0 +1,96 @@
+#include "workload/mmpp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::workload {
+namespace {
+
+TEST(Mmpp, SingleStateIsPoisson) {
+  MmppConfig config;
+  config.rates = {50.0};
+  config.transition = {{0.0}};
+  Mmpp process(config, 1);
+  double total = 0.0;
+  const int intervals = 2000;
+  for (int i = 0; i < intervals; ++i) {
+    total += static_cast<double>(process.step(1.0));
+  }
+  EXPECT_NEAR(total / intervals, 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(process.stationary_rate(), 50.0);
+}
+
+TEST(Mmpp, TwoStateStationaryRate) {
+  // Quiet 10 req/s for mean 100 s, burst 100 req/s for mean 25 s:
+  // pi = (0.8, 0.2), long-run rate = 0.8*10 + 0.2*100 = 28.
+  const MmppConfig config = bursty_two_state(10.0, 100.0, 100.0, 25.0);
+  Mmpp process(config, 2);
+  EXPECT_NEAR(process.stationary_rate(), 28.0, 1e-9);
+}
+
+TEST(Mmpp, EmpiricalRateMatchesStationary) {
+  const MmppConfig config = bursty_two_state(20.0, 200.0, 60.0, 20.0);
+  Mmpp process(config, 3);
+  double total = 0.0;
+  const double horizon = 20000.0;
+  for (int i = 0; i < static_cast<int>(horizon); ++i) {
+    total += static_cast<double>(process.step(1.0));
+  }
+  const double expected = process.stationary_rate();
+  EXPECT_NEAR(total / horizon, expected, 0.08 * expected);
+}
+
+TEST(Mmpp, BurstinessExceedsPoisson) {
+  // Index of dispersion (var/mean of interval counts) is 1 for Poisson;
+  // an MMPP with strongly different rates must exceed it.
+  const MmppConfig config = bursty_two_state(5.0, 500.0, 50.0, 50.0);
+  Mmpp process(config, 4);
+  std::vector<double> counts;
+  for (int i = 0; i < 4000; ++i) {
+    counts.push_back(static_cast<double>(process.step(1.0)));
+  }
+  double mean = 0.0;
+  for (double c : counts) mean += c;
+  mean /= counts.size();
+  double var = 0.0;
+  for (double c : counts) var += (c - mean) * (c - mean);
+  var /= counts.size();
+  EXPECT_GT(var / mean, 3.0);
+}
+
+TEST(Mmpp, StateChangesOverTime) {
+  const MmppConfig config = bursty_two_state(1.0, 10.0, 5.0, 5.0);
+  Mmpp process(config, 5);
+  bool saw_both = false;
+  const std::size_t initial = process.state();
+  for (int i = 0; i < 200 && !saw_both; ++i) {
+    process.step(1.0);
+    saw_both = process.state() != initial;
+  }
+  EXPECT_TRUE(saw_both);
+}
+
+TEST(Mmpp, DeterministicForSeed) {
+  const MmppConfig config = bursty_two_state(10.0, 100.0, 30.0, 10.0);
+  Mmpp a(config, 42), b(config, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.step(0.5), b.step(0.5));
+}
+
+TEST(Mmpp, Validation) {
+  MmppConfig bad;
+  EXPECT_THROW(Mmpp(bad, 1), InvalidArgument);
+  bad.rates = {1.0};
+  bad.transition = {{0.0}, {0.0}};
+  EXPECT_THROW(Mmpp(bad, 1), InvalidArgument);
+  MmppConfig negative = bursty_two_state(10.0, 20.0, 5.0, 5.0);
+  negative.transition[0][1] = -1.0;
+  EXPECT_THROW(Mmpp(negative, 1), InvalidArgument);
+  Mmpp ok(bursty_two_state(1.0, 2.0, 1.0, 1.0), 1);
+  EXPECT_THROW(ok.step(-1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::workload
