@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cost_basis.dir/bench/bench_ablation_cost_basis.cpp.o"
+  "CMakeFiles/bench_ablation_cost_basis.dir/bench/bench_ablation_cost_basis.cpp.o.d"
+  "bench/bench_ablation_cost_basis"
+  "bench/bench_ablation_cost_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cost_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

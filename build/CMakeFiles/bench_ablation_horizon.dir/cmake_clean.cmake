@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_horizon.dir/bench/bench_ablation_horizon.cpp.o"
+  "CMakeFiles/bench_ablation_horizon.dir/bench/bench_ablation_horizon.cpp.o.d"
+  "bench/bench_ablation_horizon"
+  "bench/bench_ablation_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_price_preview.dir/bench/bench_ablation_price_preview.cpp.o"
+  "CMakeFiles/bench_ablation_price_preview.dir/bench/bench_ablation_price_preview.cpp.o.d"
+  "bench/bench_ablation_price_preview"
+  "bench/bench_ablation_price_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_price_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

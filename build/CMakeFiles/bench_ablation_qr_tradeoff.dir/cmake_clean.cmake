@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qr_tradeoff.dir/bench/bench_ablation_qr_tradeoff.cpp.o"
+  "CMakeFiles/bench_ablation_qr_tradeoff.dir/bench/bench_ablation_qr_tradeoff.cpp.o.d"
+  "bench/bench_ablation_qr_tradeoff"
+  "bench/bench_ablation_qr_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qr_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ramp_sla.dir/bench/bench_ablation_ramp_sla.cpp.o"
+  "CMakeFiles/bench_ablation_ramp_sla.dir/bench/bench_ablation_ramp_sla.cpp.o.d"
+  "bench/bench_ablation_ramp_sla"
+  "bench/bench_ablation_ramp_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ramp_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cost_capping.dir/bench/bench_ext_cost_capping.cpp.o"
+  "CMakeFiles/bench_ext_cost_capping.dir/bench/bench_ext_cost_capping.cpp.o.d"
+  "bench/bench_ext_cost_capping"
+  "bench/bench_ext_cost_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cost_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

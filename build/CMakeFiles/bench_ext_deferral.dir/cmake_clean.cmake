@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_deferral.dir/bench/bench_ext_deferral.cpp.o"
+  "CMakeFiles/bench_ext_deferral.dir/bench/bench_ext_deferral.cpp.o.d"
+  "bench/bench_ext_deferral"
+  "bench/bench_ext_deferral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_deferral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_green.dir/bench/bench_ext_green.cpp.o"
+  "CMakeFiles/bench_ext_green.dir/bench/bench_ext_green.cpp.o.d"
+  "bench/bench_ext_green"
+  "bench/bench_ext_green.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_green.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_prices.dir/bench/bench_fig2_prices.cpp.o"
+  "CMakeFiles/bench_fig2_prices.dir/bench/bench_fig2_prices.cpp.o.d"
+  "bench/bench_fig2_prices"
+  "bench/bench_fig2_prices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

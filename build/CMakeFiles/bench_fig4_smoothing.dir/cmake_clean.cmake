@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_smoothing.dir/bench/bench_fig4_smoothing.cpp.o"
+  "CMakeFiles/bench_fig4_smoothing.dir/bench/bench_fig4_smoothing.cpp.o.d"
+  "bench/bench_fig4_smoothing"
+  "bench/bench_fig4_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_servers.cpp" "CMakeFiles/bench_fig5_servers.dir/bench/bench_fig5_servers.cpp.o" "gcc" "CMakeFiles/bench_fig5_servers.dir/bench/bench_fig5_servers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridctl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

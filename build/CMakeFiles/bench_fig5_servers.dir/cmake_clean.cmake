@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_servers.dir/bench/bench_fig5_servers.cpp.o"
+  "CMakeFiles/bench_fig5_servers.dir/bench/bench_fig5_servers.cpp.o.d"
+  "bench/bench_fig5_servers"
+  "bench/bench_fig5_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_shaving.dir/bench/bench_fig6_shaving.cpp.o"
+  "CMakeFiles/bench_fig6_shaving.dir/bench/bench_fig6_shaving.cpp.o.d"
+  "bench/bench_fig6_shaving"
+  "bench/bench_fig6_shaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_shaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

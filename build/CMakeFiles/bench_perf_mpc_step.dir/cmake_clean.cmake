@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_mpc_step.dir/bench/bench_perf_mpc_step.cpp.o"
+  "CMakeFiles/bench_perf_mpc_step.dir/bench/bench_perf_mpc_step.cpp.o.d"
+  "bench/bench_perf_mpc_step"
+  "bench/bench_perf_mpc_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_mpc_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

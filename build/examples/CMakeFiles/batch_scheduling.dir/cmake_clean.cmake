@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_scheduling.dir/batch_scheduling.cpp.o"
+  "CMakeFiles/batch_scheduling.dir/batch_scheduling.cpp.o.d"
+  "batch_scheduling"
+  "batch_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridctl_sim.dir/gridctl_sim.cpp.o"
+  "CMakeFiles/gridctl_sim.dir/gridctl_sim.cpp.o.d"
+  "gridctl_sim"
+  "gridctl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridctl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_feedback.dir/market_feedback.cpp.o"
+  "CMakeFiles/market_feedback.dir/market_feedback.cpp.o.d"
+  "market_feedback"
+  "market_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

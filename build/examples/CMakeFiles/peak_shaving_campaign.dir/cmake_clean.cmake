@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_shaving_campaign.dir/peak_shaving_campaign.cpp.o"
+  "CMakeFiles/peak_shaving_campaign.dir/peak_shaving_campaign.cpp.o.d"
+  "peak_shaving_campaign"
+  "peak_shaving_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_shaving_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

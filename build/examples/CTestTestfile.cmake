@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_default_scenario "/root/repo/build/examples/gridctl_sim")
+set_tests_properties(cli_default_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_shaving_scenario "/root/repo/build/examples/gridctl_sim" "/root/repo/scenarios/paper_shaving.json" "--policy" "optimal")
+set_tests_properties(cli_shaving_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_static_policy "/root/repo/build/examples/gridctl_sim" "/root/repo/scenarios/paper_shaving.json" "--policy" "static" "--no-warm-start")
+set_tests_properties(cli_static_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_policy "/root/repo/build/examples/gridctl_sim" "--policy" "psychic")
+set_tests_properties(cli_rejects_unknown_policy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/constraints.cpp" "src/CMakeFiles/gridctl_control.dir/control/constraints.cpp.o" "gcc" "src/CMakeFiles/gridctl_control.dir/control/constraints.cpp.o.d"
+  "/root/repo/src/control/controllability.cpp" "src/CMakeFiles/gridctl_control.dir/control/controllability.cpp.o" "gcc" "src/CMakeFiles/gridctl_control.dir/control/controllability.cpp.o.d"
+  "/root/repo/src/control/discretize.cpp" "src/CMakeFiles/gridctl_control.dir/control/discretize.cpp.o" "gcc" "src/CMakeFiles/gridctl_control.dir/control/discretize.cpp.o.d"
+  "/root/repo/src/control/mpc.cpp" "src/CMakeFiles/gridctl_control.dir/control/mpc.cpp.o" "gcc" "src/CMakeFiles/gridctl_control.dir/control/mpc.cpp.o.d"
+  "/root/repo/src/control/prediction.cpp" "src/CMakeFiles/gridctl_control.dir/control/prediction.cpp.o" "gcc" "src/CMakeFiles/gridctl_control.dir/control/prediction.cpp.o.d"
+  "/root/repo/src/control/reference_optimizer.cpp" "src/CMakeFiles/gridctl_control.dir/control/reference_optimizer.cpp.o" "gcc" "src/CMakeFiles/gridctl_control.dir/control/reference_optimizer.cpp.o.d"
+  "/root/repo/src/control/sleep_controller.cpp" "src/CMakeFiles/gridctl_control.dir/control/sleep_controller.cpp.o" "gcc" "src/CMakeFiles/gridctl_control.dir/control/sleep_controller.cpp.o.d"
+  "/root/repo/src/control/stability.cpp" "src/CMakeFiles/gridctl_control.dir/control/stability.cpp.o" "gcc" "src/CMakeFiles/gridctl_control.dir/control/stability.cpp.o.d"
+  "/root/repo/src/control/state_space.cpp" "src/CMakeFiles/gridctl_control.dir/control/state_space.cpp.o" "gcc" "src/CMakeFiles/gridctl_control.dir/control/state_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridctl_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridctl_control.dir/control/constraints.cpp.o"
+  "CMakeFiles/gridctl_control.dir/control/constraints.cpp.o.d"
+  "CMakeFiles/gridctl_control.dir/control/controllability.cpp.o"
+  "CMakeFiles/gridctl_control.dir/control/controllability.cpp.o.d"
+  "CMakeFiles/gridctl_control.dir/control/discretize.cpp.o"
+  "CMakeFiles/gridctl_control.dir/control/discretize.cpp.o.d"
+  "CMakeFiles/gridctl_control.dir/control/mpc.cpp.o"
+  "CMakeFiles/gridctl_control.dir/control/mpc.cpp.o.d"
+  "CMakeFiles/gridctl_control.dir/control/prediction.cpp.o"
+  "CMakeFiles/gridctl_control.dir/control/prediction.cpp.o.d"
+  "CMakeFiles/gridctl_control.dir/control/reference_optimizer.cpp.o"
+  "CMakeFiles/gridctl_control.dir/control/reference_optimizer.cpp.o.d"
+  "CMakeFiles/gridctl_control.dir/control/sleep_controller.cpp.o"
+  "CMakeFiles/gridctl_control.dir/control/sleep_controller.cpp.o.d"
+  "CMakeFiles/gridctl_control.dir/control/stability.cpp.o"
+  "CMakeFiles/gridctl_control.dir/control/stability.cpp.o.d"
+  "CMakeFiles/gridctl_control.dir/control/state_space.cpp.o"
+  "CMakeFiles/gridctl_control.dir/control/state_space.cpp.o.d"
+  "libgridctl_control.a"
+  "libgridctl_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridctl_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

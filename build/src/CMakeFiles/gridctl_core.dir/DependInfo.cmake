@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_controller.cpp" "src/CMakeFiles/gridctl_core.dir/core/cost_controller.cpp.o" "gcc" "src/CMakeFiles/gridctl_core.dir/core/cost_controller.cpp.o.d"
+  "/root/repo/src/core/deferral.cpp" "src/CMakeFiles/gridctl_core.dir/core/deferral.cpp.o" "gcc" "src/CMakeFiles/gridctl_core.dir/core/deferral.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/gridctl_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/gridctl_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/paper.cpp" "src/CMakeFiles/gridctl_core.dir/core/paper.cpp.o" "gcc" "src/CMakeFiles/gridctl_core.dir/core/paper.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/CMakeFiles/gridctl_core.dir/core/policies.cpp.o" "gcc" "src/CMakeFiles/gridctl_core.dir/core/policies.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/gridctl_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/gridctl_core.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/scenario_io.cpp" "src/CMakeFiles/gridctl_core.dir/core/scenario_io.cpp.o" "gcc" "src/CMakeFiles/gridctl_core.dir/core/scenario_io.cpp.o.d"
+  "/root/repo/src/core/service_classes.cpp" "src/CMakeFiles/gridctl_core.dir/core/service_classes.cpp.o" "gcc" "src/CMakeFiles/gridctl_core.dir/core/service_classes.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/gridctl_core.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/gridctl_core.dir/core/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridctl_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridctl_core.dir/core/cost_controller.cpp.o"
+  "CMakeFiles/gridctl_core.dir/core/cost_controller.cpp.o.d"
+  "CMakeFiles/gridctl_core.dir/core/deferral.cpp.o"
+  "CMakeFiles/gridctl_core.dir/core/deferral.cpp.o.d"
+  "CMakeFiles/gridctl_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/gridctl_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/gridctl_core.dir/core/paper.cpp.o"
+  "CMakeFiles/gridctl_core.dir/core/paper.cpp.o.d"
+  "CMakeFiles/gridctl_core.dir/core/policies.cpp.o"
+  "CMakeFiles/gridctl_core.dir/core/policies.cpp.o.d"
+  "CMakeFiles/gridctl_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/gridctl_core.dir/core/scenario.cpp.o.d"
+  "CMakeFiles/gridctl_core.dir/core/scenario_io.cpp.o"
+  "CMakeFiles/gridctl_core.dir/core/scenario_io.cpp.o.d"
+  "CMakeFiles/gridctl_core.dir/core/service_classes.cpp.o"
+  "CMakeFiles/gridctl_core.dir/core/service_classes.cpp.o.d"
+  "CMakeFiles/gridctl_core.dir/core/simulation.cpp.o"
+  "CMakeFiles/gridctl_core.dir/core/simulation.cpp.o.d"
+  "libgridctl_core.a"
+  "libgridctl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridctl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacenter/fleet.cpp" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/fleet.cpp.o" "gcc" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/fleet.cpp.o.d"
+  "/root/repo/src/datacenter/fluid_queue.cpp" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/fluid_queue.cpp.o" "gcc" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/fluid_queue.cpp.o.d"
+  "/root/repo/src/datacenter/idc.cpp" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/idc.cpp.o" "gcc" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/idc.cpp.o.d"
+  "/root/repo/src/datacenter/latency.cpp" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/latency.cpp.o" "gcc" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/latency.cpp.o.d"
+  "/root/repo/src/datacenter/queue_des.cpp" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/queue_des.cpp.o" "gcc" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/queue_des.cpp.o.d"
+  "/root/repo/src/datacenter/server_model.cpp" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/server_model.cpp.o" "gcc" "src/CMakeFiles/gridctl_datacenter.dir/datacenter/server_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridctl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

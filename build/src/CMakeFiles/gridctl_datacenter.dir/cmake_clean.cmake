@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/fleet.cpp.o"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/fleet.cpp.o.d"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/fluid_queue.cpp.o"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/fluid_queue.cpp.o.d"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/idc.cpp.o"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/idc.cpp.o.d"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/latency.cpp.o"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/latency.cpp.o.d"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/queue_des.cpp.o"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/queue_des.cpp.o.d"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/server_model.cpp.o"
+  "CMakeFiles/gridctl_datacenter.dir/datacenter/server_model.cpp.o.d"
+  "libgridctl_datacenter.a"
+  "libgridctl_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridctl_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridctl_linalg.dir/linalg/cholesky.cpp.o"
+  "CMakeFiles/gridctl_linalg.dir/linalg/cholesky.cpp.o.d"
+  "CMakeFiles/gridctl_linalg.dir/linalg/expm.cpp.o"
+  "CMakeFiles/gridctl_linalg.dir/linalg/expm.cpp.o.d"
+  "CMakeFiles/gridctl_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/gridctl_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/gridctl_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/gridctl_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/gridctl_linalg.dir/linalg/qr.cpp.o"
+  "CMakeFiles/gridctl_linalg.dir/linalg/qr.cpp.o.d"
+  "libgridctl_linalg.a"
+  "libgridctl_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridctl_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/regions.cpp" "src/CMakeFiles/gridctl_market.dir/market/regions.cpp.o" "gcc" "src/CMakeFiles/gridctl_market.dir/market/regions.cpp.o.d"
+  "/root/repo/src/market/renewables.cpp" "src/CMakeFiles/gridctl_market.dir/market/renewables.cpp.o" "gcc" "src/CMakeFiles/gridctl_market.dir/market/renewables.cpp.o.d"
+  "/root/repo/src/market/stochastic_price.cpp" "src/CMakeFiles/gridctl_market.dir/market/stochastic_price.cpp.o" "gcc" "src/CMakeFiles/gridctl_market.dir/market/stochastic_price.cpp.o.d"
+  "/root/repo/src/market/trace_price.cpp" "src/CMakeFiles/gridctl_market.dir/market/trace_price.cpp.o" "gcc" "src/CMakeFiles/gridctl_market.dir/market/trace_price.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridctl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

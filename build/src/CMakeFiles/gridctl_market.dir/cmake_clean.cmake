@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridctl_market.dir/market/regions.cpp.o"
+  "CMakeFiles/gridctl_market.dir/market/regions.cpp.o.d"
+  "CMakeFiles/gridctl_market.dir/market/renewables.cpp.o"
+  "CMakeFiles/gridctl_market.dir/market/renewables.cpp.o.d"
+  "CMakeFiles/gridctl_market.dir/market/stochastic_price.cpp.o"
+  "CMakeFiles/gridctl_market.dir/market/stochastic_price.cpp.o.d"
+  "CMakeFiles/gridctl_market.dir/market/trace_price.cpp.o"
+  "CMakeFiles/gridctl_market.dir/market/trace_price.cpp.o.d"
+  "libgridctl_market.a"
+  "libgridctl_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridctl_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

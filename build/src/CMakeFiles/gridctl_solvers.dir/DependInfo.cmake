@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/lp_simplex.cpp" "src/CMakeFiles/gridctl_solvers.dir/solvers/lp_simplex.cpp.o" "gcc" "src/CMakeFiles/gridctl_solvers.dir/solvers/lp_simplex.cpp.o.d"
+  "/root/repo/src/solvers/lsq.cpp" "src/CMakeFiles/gridctl_solvers.dir/solvers/lsq.cpp.o" "gcc" "src/CMakeFiles/gridctl_solvers.dir/solvers/lsq.cpp.o.d"
+  "/root/repo/src/solvers/qp_active_set.cpp" "src/CMakeFiles/gridctl_solvers.dir/solvers/qp_active_set.cpp.o" "gcc" "src/CMakeFiles/gridctl_solvers.dir/solvers/qp_active_set.cpp.o.d"
+  "/root/repo/src/solvers/qp_admm.cpp" "src/CMakeFiles/gridctl_solvers.dir/solvers/qp_admm.cpp.o" "gcc" "src/CMakeFiles/gridctl_solvers.dir/solvers/qp_admm.cpp.o.d"
+  "/root/repo/src/solvers/rls.cpp" "src/CMakeFiles/gridctl_solvers.dir/solvers/rls.cpp.o" "gcc" "src/CMakeFiles/gridctl_solvers.dir/solvers/rls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridctl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

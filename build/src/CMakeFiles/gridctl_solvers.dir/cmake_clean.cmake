@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridctl_solvers.dir/solvers/lp_simplex.cpp.o"
+  "CMakeFiles/gridctl_solvers.dir/solvers/lp_simplex.cpp.o.d"
+  "CMakeFiles/gridctl_solvers.dir/solvers/lsq.cpp.o"
+  "CMakeFiles/gridctl_solvers.dir/solvers/lsq.cpp.o.d"
+  "CMakeFiles/gridctl_solvers.dir/solvers/qp_active_set.cpp.o"
+  "CMakeFiles/gridctl_solvers.dir/solvers/qp_active_set.cpp.o.d"
+  "CMakeFiles/gridctl_solvers.dir/solvers/qp_admm.cpp.o"
+  "CMakeFiles/gridctl_solvers.dir/solvers/qp_admm.cpp.o.d"
+  "CMakeFiles/gridctl_solvers.dir/solvers/rls.cpp.o"
+  "CMakeFiles/gridctl_solvers.dir/solvers/rls.cpp.o.d"
+  "libgridctl_solvers.a"
+  "libgridctl_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridctl_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridctl_util.dir/util/csv.cpp.o"
+  "CMakeFiles/gridctl_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/gridctl_util.dir/util/json.cpp.o"
+  "CMakeFiles/gridctl_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/gridctl_util.dir/util/random.cpp.o"
+  "CMakeFiles/gridctl_util.dir/util/random.cpp.o.d"
+  "CMakeFiles/gridctl_util.dir/util/strings.cpp.o"
+  "CMakeFiles/gridctl_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/gridctl_util.dir/util/table.cpp.o"
+  "CMakeFiles/gridctl_util.dir/util/table.cpp.o.d"
+  "libgridctl_util.a"
+  "libgridctl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridctl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/epa_trace.cpp" "src/CMakeFiles/gridctl_workload.dir/workload/epa_trace.cpp.o" "gcc" "src/CMakeFiles/gridctl_workload.dir/workload/epa_trace.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/CMakeFiles/gridctl_workload.dir/workload/generators.cpp.o" "gcc" "src/CMakeFiles/gridctl_workload.dir/workload/generators.cpp.o.d"
+  "/root/repo/src/workload/mmpp.cpp" "src/CMakeFiles/gridctl_workload.dir/workload/mmpp.cpp.o" "gcc" "src/CMakeFiles/gridctl_workload.dir/workload/mmpp.cpp.o.d"
+  "/root/repo/src/workload/predictor.cpp" "src/CMakeFiles/gridctl_workload.dir/workload/predictor.cpp.o" "gcc" "src/CMakeFiles/gridctl_workload.dir/workload/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridctl_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

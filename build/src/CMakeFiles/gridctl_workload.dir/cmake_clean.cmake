@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridctl_workload.dir/workload/epa_trace.cpp.o"
+  "CMakeFiles/gridctl_workload.dir/workload/epa_trace.cpp.o.d"
+  "CMakeFiles/gridctl_workload.dir/workload/generators.cpp.o"
+  "CMakeFiles/gridctl_workload.dir/workload/generators.cpp.o.d"
+  "CMakeFiles/gridctl_workload.dir/workload/mmpp.cpp.o"
+  "CMakeFiles/gridctl_workload.dir/workload/mmpp.cpp.o.d"
+  "CMakeFiles/gridctl_workload.dir/workload/predictor.cpp.o"
+  "CMakeFiles/gridctl_workload.dir/workload/predictor.cpp.o.d"
+  "libgridctl_workload.a"
+  "libgridctl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridctl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridctl_workload.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/control/constraints_test.cpp" "tests/CMakeFiles/control_tests.dir/control/constraints_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/constraints_test.cpp.o.d"
+  "/root/repo/tests/control/controllability_test.cpp" "tests/CMakeFiles/control_tests.dir/control/controllability_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/controllability_test.cpp.o.d"
+  "/root/repo/tests/control/discretize_test.cpp" "tests/CMakeFiles/control_tests.dir/control/discretize_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/discretize_test.cpp.o.d"
+  "/root/repo/tests/control/green_reference_test.cpp" "tests/CMakeFiles/control_tests.dir/control/green_reference_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/green_reference_test.cpp.o.d"
+  "/root/repo/tests/control/mpc_test.cpp" "tests/CMakeFiles/control_tests.dir/control/mpc_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/mpc_test.cpp.o.d"
+  "/root/repo/tests/control/paper_model_integration_test.cpp" "tests/CMakeFiles/control_tests.dir/control/paper_model_integration_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/paper_model_integration_test.cpp.o.d"
+  "/root/repo/tests/control/prediction_test.cpp" "tests/CMakeFiles/control_tests.dir/control/prediction_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/prediction_test.cpp.o.d"
+  "/root/repo/tests/control/reference_test.cpp" "tests/CMakeFiles/control_tests.dir/control/reference_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/reference_test.cpp.o.d"
+  "/root/repo/tests/control/sleep_test.cpp" "tests/CMakeFiles/control_tests.dir/control/sleep_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/sleep_test.cpp.o.d"
+  "/root/repo/tests/control/stability_test.cpp" "tests/CMakeFiles/control_tests.dir/control/stability_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/stability_test.cpp.o.d"
+  "/root/repo/tests/control/state_space_test.cpp" "tests/CMakeFiles/control_tests.dir/control/state_space_test.cpp.o" "gcc" "tests/CMakeFiles/control_tests.dir/control/state_space_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridctl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

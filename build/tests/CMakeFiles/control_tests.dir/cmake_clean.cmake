@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_tests.dir/control/constraints_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/constraints_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/controllability_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/controllability_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/discretize_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/discretize_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/green_reference_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/green_reference_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/mpc_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/mpc_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/paper_model_integration_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/paper_model_integration_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/prediction_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/prediction_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/reference_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/reference_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/sleep_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/sleep_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/stability_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/stability_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/state_space_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/state_space_test.cpp.o.d"
+  "control_tests"
+  "control_tests.pdb"
+  "control_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/backend_agreement_test.cpp" "tests/CMakeFiles/core_tests.dir/core/backend_agreement_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/backend_agreement_test.cpp.o.d"
+  "/root/repo/tests/core/cost_controller_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cost_controller_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cost_controller_test.cpp.o.d"
+  "/root/repo/tests/core/deferral_test.cpp" "tests/CMakeFiles/core_tests.dir/core/deferral_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/deferral_test.cpp.o.d"
+  "/root/repo/tests/core/epa_closed_loop_test.cpp" "tests/CMakeFiles/core_tests.dir/core/epa_closed_loop_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/epa_closed_loop_test.cpp.o.d"
+  "/root/repo/tests/core/failure_injection_test.cpp" "tests/CMakeFiles/core_tests.dir/core/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/core/hard_budget_test.cpp" "tests/CMakeFiles/core_tests.dir/core/hard_budget_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/hard_budget_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/paper_reproduction_test.cpp" "tests/CMakeFiles/core_tests.dir/core/paper_reproduction_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/paper_reproduction_test.cpp.o.d"
+  "/root/repo/tests/core/policies_test.cpp" "tests/CMakeFiles/core_tests.dir/core/policies_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/policies_test.cpp.o.d"
+  "/root/repo/tests/core/random_scenario_test.cpp" "tests/CMakeFiles/core_tests.dir/core/random_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/random_scenario_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_io_test.cpp" "tests/CMakeFiles/core_tests.dir/core/scenario_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/scenario_io_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_test.cpp" "tests/CMakeFiles/core_tests.dir/core/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/scenario_test.cpp.o.d"
+  "/root/repo/tests/core/service_classes_test.cpp" "tests/CMakeFiles/core_tests.dir/core/service_classes_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/service_classes_test.cpp.o.d"
+  "/root/repo/tests/core/simulation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/simulation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridctl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

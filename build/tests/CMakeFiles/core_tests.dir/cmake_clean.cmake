@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/backend_agreement_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/backend_agreement_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cost_controller_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cost_controller_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/deferral_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/deferral_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/epa_closed_loop_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/epa_closed_loop_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/failure_injection_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/failure_injection_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/hard_budget_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/hard_budget_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/paper_reproduction_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/paper_reproduction_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/policies_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/policies_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/random_scenario_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/random_scenario_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/scenario_io_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/scenario_io_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/scenario_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/scenario_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/service_classes_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/service_classes_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/simulation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/simulation_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datacenter/fleet_test.cpp" "tests/CMakeFiles/domain_tests.dir/datacenter/fleet_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/datacenter/fleet_test.cpp.o.d"
+  "/root/repo/tests/datacenter/fluid_queue_test.cpp" "tests/CMakeFiles/domain_tests.dir/datacenter/fluid_queue_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/datacenter/fluid_queue_test.cpp.o.d"
+  "/root/repo/tests/datacenter/idc_test.cpp" "tests/CMakeFiles/domain_tests.dir/datacenter/idc_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/datacenter/idc_test.cpp.o.d"
+  "/root/repo/tests/datacenter/latency_test.cpp" "tests/CMakeFiles/domain_tests.dir/datacenter/latency_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/datacenter/latency_test.cpp.o.d"
+  "/root/repo/tests/datacenter/queue_des_test.cpp" "tests/CMakeFiles/domain_tests.dir/datacenter/queue_des_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/datacenter/queue_des_test.cpp.o.d"
+  "/root/repo/tests/datacenter/server_model_test.cpp" "tests/CMakeFiles/domain_tests.dir/datacenter/server_model_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/datacenter/server_model_test.cpp.o.d"
+  "/root/repo/tests/market/renewables_test.cpp" "tests/CMakeFiles/domain_tests.dir/market/renewables_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/market/renewables_test.cpp.o.d"
+  "/root/repo/tests/market/stochastic_price_test.cpp" "tests/CMakeFiles/domain_tests.dir/market/stochastic_price_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/market/stochastic_price_test.cpp.o.d"
+  "/root/repo/tests/market/trace_price_test.cpp" "tests/CMakeFiles/domain_tests.dir/market/trace_price_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/market/trace_price_test.cpp.o.d"
+  "/root/repo/tests/workload/epa_trace_test.cpp" "tests/CMakeFiles/domain_tests.dir/workload/epa_trace_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/workload/epa_trace_test.cpp.o.d"
+  "/root/repo/tests/workload/generators_test.cpp" "tests/CMakeFiles/domain_tests.dir/workload/generators_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/workload/generators_test.cpp.o.d"
+  "/root/repo/tests/workload/mmpp_test.cpp" "tests/CMakeFiles/domain_tests.dir/workload/mmpp_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/workload/mmpp_test.cpp.o.d"
+  "/root/repo/tests/workload/predictor_test.cpp" "tests/CMakeFiles/domain_tests.dir/workload/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/domain_tests.dir/workload/predictor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridctl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridctl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

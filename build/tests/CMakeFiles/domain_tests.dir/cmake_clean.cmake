@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_tests.dir/datacenter/fleet_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/datacenter/fleet_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/datacenter/fluid_queue_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/datacenter/fluid_queue_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/datacenter/idc_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/datacenter/idc_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/datacenter/latency_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/datacenter/latency_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/datacenter/queue_des_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/datacenter/queue_des_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/datacenter/server_model_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/datacenter/server_model_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/market/renewables_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/market/renewables_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/market/stochastic_price_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/market/stochastic_price_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/market/trace_price_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/market/trace_price_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/workload/epa_trace_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/workload/epa_trace_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/workload/generators_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/workload/generators_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/workload/mmpp_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/workload/mmpp_test.cpp.o.d"
+  "CMakeFiles/domain_tests.dir/workload/predictor_test.cpp.o"
+  "CMakeFiles/domain_tests.dir/workload/predictor_test.cpp.o.d"
+  "domain_tests"
+  "domain_tests.pdb"
+  "domain_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_tests.dir/solvers/lp_test.cpp.o"
+  "CMakeFiles/solvers_tests.dir/solvers/lp_test.cpp.o.d"
+  "CMakeFiles/solvers_tests.dir/solvers/lsq_test.cpp.o"
+  "CMakeFiles/solvers_tests.dir/solvers/lsq_test.cpp.o.d"
+  "CMakeFiles/solvers_tests.dir/solvers/qp_active_set_test.cpp.o"
+  "CMakeFiles/solvers_tests.dir/solvers/qp_active_set_test.cpp.o.d"
+  "CMakeFiles/solvers_tests.dir/solvers/qp_admm_test.cpp.o"
+  "CMakeFiles/solvers_tests.dir/solvers/qp_admm_test.cpp.o.d"
+  "CMakeFiles/solvers_tests.dir/solvers/qp_cross_test.cpp.o"
+  "CMakeFiles/solvers_tests.dir/solvers/qp_cross_test.cpp.o.d"
+  "CMakeFiles/solvers_tests.dir/solvers/rls_test.cpp.o"
+  "CMakeFiles/solvers_tests.dir/solvers/rls_test.cpp.o.d"
+  "solvers_tests"
+  "solvers_tests.pdb"
+  "solvers_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
