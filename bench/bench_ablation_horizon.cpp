@@ -3,11 +3,15 @@
 // longer horizons buy slightly better tracking at higher per-step solve
 // cost, and beta2 = 1 is already close on this plant (memoryless power
 // output).
-#include <chrono>
-
-#include "core/metrics.hpp"
-
+//
+// The six-case grid runs concurrently through the sweep engine; the
+// compute-cost comparison uses each job's own telemetry (time inside
+// `decide`, which is where the beta1 x beta2 QP lives) rather than
+// whole-process wall clock, so it stays fair under parallel execution.
 #include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "engine/sweep.hpp"
+#include "util/strings.hpp"
 
 int main() {
   using namespace gridctl;
@@ -22,36 +26,45 @@ int main() {
   };
   const Case cases[] = {{1, 1}, {2, 1}, {4, 2}, {8, 2}, {8, 4}, {16, 4}};
 
-  TextTable table({"beta1", "beta2", "cost_$", "MI_endpoint_MW",
-                   "MI_max_step_MW", "wall_ms_total"});
-  std::vector<double> endpoint_errors;
-  std::vector<double> walls;
+  std::vector<engine::SweepJob> jobs;
   for (const Case& c : cases) {
-    core::Scenario scenario = core::paper::smoothing_scenario(10.0);
-    scenario.controller.horizons = {c.beta1, c.beta2};
-    core::MpcPolicy control(core::CostController::Config{
-        scenario.idcs, scenario.num_portals(), {}, scenario.controller});
-    const auto start = std::chrono::steady_clock::now();
-    const auto result = core::run_simulation(scenario, control);
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    const std::size_t last = result.trace.time_s.size() - 1;
-    const double endpoint = result.trace.power_w[0][last];
+    engine::SweepJob job;
+    job.name = format("beta1=%zu/beta2=%zu", c.beta1, c.beta2);
+    job.scenario = core::paper::smoothing_scenario(10.0);
+    job.scenario.controller.horizons = {c.beta1, c.beta2};
+    job.policy = engine::control_policy();
+    jobs.push_back(std::move(job));
+  }
+  const engine::SweepReport report = engine::SweepRunner().run(jobs);
+  write_json_file("bench_ablation_horizon.sweep.json", report.to_json());
+
+  TextTable table({"beta1", "beta2", "cost_$", "MI_endpoint_MW",
+                   "MI_max_step_MW", "solve_ms_total", "qp_iters"});
+  std::vector<double> endpoint_errors;
+  std::vector<double> solve_walls;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const engine::JobResult& job = report.jobs[i];
+    const auto& trace = *job.trace;
+    const std::size_t last = trace.time_s.size() - 1;
+    const double endpoint = trace.power_w[0][last];
     endpoint_errors.push_back(std::abs(endpoint - 5.633e6));
-    walls.push_back(wall_ms);
+    solve_walls.push_back(job.telemetry.policy_s * 1e3);
     table.add_row(
-        {TextTable::num(static_cast<double>(c.beta1), 0),
-         TextTable::num(static_cast<double>(c.beta2), 0),
-         TextTable::num(result.summary.total_cost_dollars, 2),
+        {TextTable::num(static_cast<double>(cases[i].beta1), 0),
+         TextTable::num(static_cast<double>(cases[i].beta2), 0),
+         TextTable::num(job.summary.total_cost_dollars, 2),
          TextTable::num(units::watts_to_mw(endpoint), 3),
          TextTable::num(units::watts_to_mw(
-                            result.summary.idcs[0].volatility.max_abs_step),
+                            job.summary.idcs[0].volatility.max_abs_step),
                         4),
-         TextTable::num(wall_ms, 1)});
+         TextTable::num(solve_walls.back(), 1),
+         TextTable::num(static_cast<double>(job.telemetry.solver_iterations),
+                        0)});
   }
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("sweep: %zu jobs on %zu threads in %.2f s "
+              "(report: bench_ablation_horizon.sweep.json)\n\n",
+              report.jobs.size(), report.threads, report.wall_s);
 
   int passed = 0, total = 0;
   ++total;
@@ -74,8 +87,8 @@ int main() {
                   "(the horizon matters)",
                   endpoint_errors[0] > 3.0 * endpoint_errors[3]);
   ++total;
-  passed += check("horizon (1,1) is at least 5x cheaper to run than (16,4)",
-                  walls[0] * 5.0 < walls[5]);
+  passed += check("horizon (1,1) is at least 5x cheaper to solve than (16,4)",
+                  solve_walls[0] * 5.0 < solve_walls[5]);
   print_footer(passed, total);
   return passed == total ? 0 : 1;
 }

@@ -4,21 +4,26 @@
 // distribution of the outcomes. Expected: the MPC's volatility advantage
 // holds for every seed; the cost premium stays small and roughly
 // centered.
+//
+// The (seed × policy) grid runs through the sweep engine — once serially
+// and once on all cores — which both proves the engine's determinism on
+// a live workload and measures the parallel speedup. The full
+// `SweepReport` (per-run telemetry included) is written next to the
+// binary as bench_ablation_monte_carlo.sweep.json.
 #include <cmath>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "core/metrics.hpp"
+#include "engine/sweep.hpp"
 #include "market/stochastic_price.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
-struct Outcome {
-  double cost_ratio;        // control / optimal
-  double volatility_ratio;  // control / optimal (worst per-IDC max step)
-  double opt_max_step_w;    // did the baseline actually migrate?
-};
+constexpr std::uint64_t kSeeds[] = {101, 202, 303, 404, 505, 606};
 
-Outcome run_seed(std::uint64_t seed) {
+gridctl::core::Scenario seed_scenario(std::uint64_t seed) {
   using namespace gridctl;
   std::vector<market::RegionMarketConfig> regions(3);
   for (std::size_t r = 0; r < 3; ++r) {
@@ -32,25 +37,42 @@ Outcome run_seed(std::uint64_t seed) {
   scenario.prices = std::make_shared<market::StochasticBidPrice>(regions, seed);
   scenario.start_time_s = 0.0;
   scenario.duration_s = 6.0 * 3600.0;
+  return scenario;
+}
 
-  core::MpcPolicy control(core::CostController::Config{
-      scenario.idcs, 5, {}, scenario.controller});
-  core::OptimalPolicy optimal(scenario.idcs, 5,
-                              scenario.controller.cost_basis);
-  const auto ctl = core::run_simulation(scenario, control);
-  const auto opt = core::run_simulation(scenario, optimal);
-
-  auto worst_idc_step = [](const core::SimulationResult& r) {
-    double worst = 0.0;
-    for (const auto& idc : r.summary.idcs) {
-      worst = std::max(worst, idc.volatility.max_abs_step);
+std::vector<gridctl::engine::SweepJob> build_grid() {
+  using namespace gridctl;
+  std::vector<engine::SweepJob> jobs;
+  for (std::uint64_t seed : kSeeds) {
+    const core::Scenario scenario = seed_scenario(seed);
+    for (const bool control : {true, false}) {
+      engine::SweepJob job;
+      job.name = gridctl::format("seed=%llu/%s",
+                                 static_cast<unsigned long long>(seed),
+                                 control ? "control" : "optimal");
+      job.scenario = scenario;
+      job.policy = control ? engine::control_policy()
+                           : engine::optimal_policy();
+      job.seed = seed;
+      job.options.record_trace = false;  // aggregates are all we report
+      jobs.push_back(std::move(job));
     }
-    return worst;
-  };
-  const double opt_step = worst_idc_step(opt);
-  return Outcome{
-      ctl.summary.total_cost_dollars / opt.summary.total_cost_dollars,
-      worst_idc_step(ctl) / std::max(1.0, opt_step), opt_step};
+  }
+  return jobs;
+}
+
+struct Outcome {
+  double cost_ratio;        // control / optimal
+  double volatility_ratio;  // control / optimal (worst per-IDC max step)
+  double opt_max_step_w;    // did the baseline actually migrate?
+};
+
+double worst_idc_step(const gridctl::core::SimulationSummary& summary) {
+  double worst = 0.0;
+  for (const auto& idc : summary.idcs) {
+    worst = std::max(worst, idc.volatility.max_abs_step);
+  }
+  return worst;
 }
 
 }  // namespace
@@ -63,20 +85,45 @@ int main() {
                "the MPC's volatility win holds across independent price "
                "realizations; the cost premium stays small");
 
-  TextTable table({"seed", "cost_ctl/opt", "max_step_ctl/opt", "migrated"});
+  // Same grid twice: serial reference, then the full thread pool. The
+  // parallel run is the one whose outcomes feed the checks; the serial
+  // run provides the determinism baseline and the speedup denominator.
+  const std::vector<engine::SweepJob> jobs = build_grid();
+  const engine::SweepReport serial = engine::SweepRunner(1).run(jobs);
+  const engine::SweepReport parallel = engine::SweepRunner().run(jobs);
+  const double speedup = serial.wall_s / std::max(parallel.wall_s, 1e-9);
+
+  bool deterministic = serial.jobs.size() == parallel.jobs.size();
+  for (std::size_t i = 0; deterministic && i < serial.jobs.size(); ++i) {
+    deterministic =
+        serial.jobs[i].ok && parallel.jobs[i].ok &&
+        serial.jobs[i].summary.total_cost_dollars ==
+            parallel.jobs[i].summary.total_cost_dollars &&
+        serial.jobs[i].summary.total_volatility.max_abs_step ==
+            parallel.jobs[i].summary.total_volatility.max_abs_step;
+  }
+
+  TextTable table({"seed", "cost_ctl/opt", "max_step_ctl/opt", "migrated",
+                   "wall_ms_ctl"});
   std::vector<double> cost_ratios, vol_ratios, migrated_vol_ratios;
-  for (std::uint64_t seed : {101u, 202u, 303u, 404u, 505u, 606u}) {
-    const Outcome outcome = run_seed(seed);
+  for (std::size_t i = 0; i < parallel.jobs.size(); i += 2) {
+    const auto& ctl = parallel.jobs[i];
+    const auto& opt = parallel.jobs[i + 1];
+    const double opt_step = worst_idc_step(opt.summary);
+    const Outcome outcome{
+        ctl.summary.total_cost_dollars / opt.summary.total_cost_dollars,
+        worst_idc_step(ctl.summary) / std::max(1.0, opt_step), opt_step};
     cost_ratios.push_back(outcome.cost_ratio);
     vol_ratios.push_back(outcome.volatility_ratio);
     // Ratios are only meaningful when the baseline actually jumped; on
     // quiet seeds both policies sit still and the ratio is noise.
     const bool migrated = outcome.opt_max_step_w > 0.5e6;
     if (migrated) migrated_vol_ratios.push_back(outcome.volatility_ratio);
-    table.add_row({TextTable::num(static_cast<double>(seed), 0),
+    table.add_row({TextTable::num(static_cast<double>(ctl.seed), 0),
                    TextTable::num(outcome.cost_ratio, 4),
                    TextTable::num(outcome.volatility_ratio, 4),
-                   migrated ? "yes" : "no"});
+                   migrated ? "yes" : "no",
+                   TextTable::num(ctl.telemetry.total_s * 1e3, 1)});
   }
   std::printf("%s\n", table.to_string().c_str());
 
@@ -91,9 +138,22 @@ int main() {
     for (double x : v) sq += (x - mu) * (x - mu);
     return std::sqrt(sq / static_cast<double>(v.size()));
   };
-  std::printf("cost ratio: %.4f +/- %.4f, volatility ratio: %.4f +/- %.4f\n\n",
+  std::printf("cost ratio: %.4f +/- %.4f, volatility ratio: %.4f +/- %.4f\n",
               mean_of(cost_ratios), sd_of(cost_ratios), mean_of(vol_ratios),
               sd_of(vol_ratios));
+  std::printf(
+      "sweep: %zu jobs, serial %.2f s, %zu threads %.2f s -> %.2fx speedup\n\n",
+      parallel.jobs.size(), serial.wall_s, parallel.threads, parallel.wall_s,
+      speedup);
+
+  // Emit the parallel report (plus the serial baseline and speedup) for
+  // the bench trajectory.
+  JsonValue::Object emitted = parallel.to_json().as_object();
+  emitted["serial_wall_s"] = JsonValue(serial.wall_s);
+  emitted["speedup"] = JsonValue(speedup);
+  write_json_file("bench_ablation_monte_carlo.sweep.json",
+                  JsonValue(std::move(emitted)));
+  std::printf("report: bench_ablation_monte_carlo.sweep.json\n\n");
 
   int passed = 0, total = 0;
   ++total;
@@ -112,6 +172,16 @@ int main() {
   }
   ++total;
   passed += check("mean cost premium below 5%", mean_of(cost_ratios) < 1.05);
+  ++total;
+  passed += check("parallel sweep is bit-identical to the serial run",
+                  deterministic);
+  ++total;
+  {
+    // The speedup claim only binds when the hardware can deliver it.
+    const bool enough_cores = std::thread::hardware_concurrency() >= 4;
+    passed += check("sweep speedup >= 3x on >= 4 cores",
+                    !enough_cores || speedup >= 3.0);
+  }
   print_footer(passed, total);
   return passed == total ? 0 : 1;
 }

@@ -24,8 +24,10 @@ core::SimulationSummary run_window(bool with_preview, double ts,
 
   // Warm start at the 6H optimum.
   core::OptimalPolicy seed(scenario.idcs, 5, scenario.controller.cost_basis);
-  const auto initial = seed.decide({43.26, 30.26, 19.06},
-                                   core::paper::kPortalDemands);
+  core::PolicyContext seed_context;
+  seed_context.prices = {43.26, 30.26, 19.06};
+  seed_context.portal_demands = core::paper::kPortalDemands;
+  const auto initial = seed.decide(seed_context);
   controller.reset_to(initial.allocation, initial.servers);
 
   datacenter::Fleet fleet(scenario.idcs);

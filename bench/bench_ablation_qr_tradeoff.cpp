@@ -5,11 +5,13 @@
 // Sweeps the move penalty R at fixed Q on the smoothing scenario and
 // reports cost vs per-step volatility. Expected frontier: volatility
 // falls monotonically with R; cost rises (slower migration to the cheap
-// region).
+// region). The six R values run concurrently through the sweep engine.
 #include <algorithm>
 
 #include "bench_common.hpp"
 #include "core/metrics.hpp"
+#include "engine/sweep.hpp"
+#include "util/strings.hpp"
 
 int main() {
   using namespace gridctl;
@@ -20,28 +22,41 @@ int main() {
                "(Sec. IV-C's knob, not plotted in the paper)");
 
   const double r_values[] = {0.0, 0.3, 1.0, 3.0, 10.0, 30.0};
-  TextTable table({"r_weight", "cost_$", "MI_max_step_MW", "MI_mean_step_MW",
-                   "fleet_mean_step_MW"});
-  std::vector<double> max_steps, costs;
+  std::vector<engine::SweepJob> jobs;
   for (double r : r_values) {
-    core::Scenario scenario = core::paper::smoothing_scenario(10.0);
-    scenario.controller.r_weight = r;
-    core::MpcPolicy control(core::CostController::Config{
-        scenario.idcs, scenario.num_portals(), {}, scenario.controller});
-    const auto result = core::run_simulation(scenario, control);
-    const auto& mi = result.summary.idcs[0].volatility;
-    table.add_row({TextTable::num(r, 1),
-                   TextTable::num(result.summary.total_cost_dollars, 2),
+    engine::SweepJob job;
+    job.name = format("r=%.1f", r);
+    job.scenario = core::paper::smoothing_scenario(10.0);
+    job.scenario.controller.r_weight = r;
+    job.policy = engine::control_policy();
+    job.options.record_trace = false;
+    jobs.push_back(std::move(job));
+  }
+  const engine::SweepReport report = engine::SweepRunner().run(jobs);
+  write_json_file("bench_ablation_qr_tradeoff.sweep.json", report.to_json());
+
+  TextTable table({"r_weight", "cost_$", "MI_max_step_MW", "MI_mean_step_MW",
+                   "fleet_mean_step_MW", "warm_hit_rate"});
+  std::vector<double> max_steps, costs;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const engine::JobResult& job = report.jobs[i];
+    const auto& mi = job.summary.idcs[0].volatility;
+    table.add_row({TextTable::num(r_values[i], 1),
+                   TextTable::num(job.summary.total_cost_dollars, 2),
                    TextTable::num(units::watts_to_mw(mi.max_abs_step), 4),
                    TextTable::num(units::watts_to_mw(mi.mean_abs_step), 4),
                    TextTable::num(units::watts_to_mw(
-                                      result.summary.total_volatility
+                                      job.summary.total_volatility
                                           .mean_abs_step),
-                                  4)});
+                                  4),
+                   TextTable::num(job.telemetry.warm_start_hit_rate(), 3)});
     max_steps.push_back(mi.max_abs_step);
-    costs.push_back(result.summary.total_cost_dollars);
+    costs.push_back(job.summary.total_cost_dollars);
   }
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("sweep: %zu jobs on %zu threads in %.2f s "
+              "(report: bench_ablation_qr_tradeoff.sweep.json)\n\n",
+              report.jobs.size(), report.threads, report.wall_s);
 
   int passed = 0, total = 0;
   ++total;

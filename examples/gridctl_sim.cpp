@@ -1,27 +1,70 @@
 // gridctl_sim — run any JSON-described scenario from the command line.
 //
-//   gridctl_sim <scenario.json> [--policy control|optimal|static]
-//               [--csv out.csv] [--no-warm-start]
+//   gridctl_sim <scenario.json> [--policy control|optimal|static|all]
+//               [--csv out.csv] [--report out.json] [--threads N]
+//               [--no-warm-start]
 //
-// Prints the summary (cost, energy, per-IDC peaks and volatility, budget
-// compliance) and optionally dumps the full per-step trace as CSV. With
-// no arguments, runs the built-in paper smoothing scenario.
+// Runs through the sweep engine: `--policy all` executes the three stock
+// policies concurrently, `--report` dumps the SweepReport JSON (per-run
+// telemetry: phase wall-clock, QP iterations/status, warm-start hit
+// rate, step-timing histogram). Prints each run's summary (cost, energy,
+// per-IDC peaks and volatility, budget compliance) and optionally dumps
+// the per-step trace as CSV. With no arguments, runs the built-in paper
+// smoothing scenario.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/paper.hpp"
 #include "core/scenario_io.hpp"
-#include "core/simulation.hpp"
+#include "engine/sweep.hpp"
+#include "util/strings.hpp"
 #include "util/units.hpp"
 
 namespace {
 
 void print_usage() {
   std::printf(
-      "usage: gridctl_sim [scenario.json] [--policy control|optimal|static]\n"
-      "                   [--csv out.csv] [--no-warm-start]\n");
+      "usage: gridctl_sim [scenario.json]\n"
+      "                   [--policy control|optimal|static|all]\n"
+      "                   [--csv out.csv] [--report out.json] [--threads N]\n"
+      "                   [--no-warm-start]\n");
+}
+
+void print_summary(const gridctl::core::Scenario& scenario,
+                   const gridctl::engine::JobResult& job) {
+  using namespace gridctl;
+  const auto& summary = job.summary;
+  std::printf("policy   : %s\n", summary.policy.c_str());
+  std::printf("cost     : $%.2f\n", summary.total_cost_dollars);
+  std::printf("energy   : %.3f MWh\n", summary.total_energy_mwh);
+  std::printf("overload : %.1f s\n", summary.overload_seconds);
+  for (std::size_t j = 0; j < summary.idcs.size(); ++j) {
+    const auto& idc = summary.idcs[j];
+    std::printf(
+        "  idc %zu (%s): peak %.3f MW, mean |dP| %.4f MW/step, "
+        "cost $%.2f%s\n",
+        j, scenario.idcs[j].name.empty() ? "?" : scenario.idcs[j].name.c_str(),
+        units::watts_to_mw(idc.peak_power_w),
+        units::watts_to_mw(idc.volatility.mean_abs_step), idc.cost_dollars,
+        idc.budget.violations
+            ? (" — " + std::to_string(idc.budget.violations) +
+               " budget violations")
+                  .c_str()
+            : "");
+  }
+  const auto& telemetry = job.telemetry;
+  std::printf("run      : %.1f ms (policy %.1f ms), %zu steps",
+              telemetry.total_s * 1e3, telemetry.policy_s * 1e3,
+              telemetry.steps);
+  if (telemetry.solver_calls > 0) {
+    std::printf(", %.0f QP iters/step, warm-start %.0f%%",
+                telemetry.mean_solver_iterations(),
+                telemetry.warm_start_hit_rate() * 100.0);
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -32,6 +75,8 @@ int main(int argc, char** argv) {
   std::string scenario_path;
   std::string policy_name = "control";
   std::string csv_path;
+  std::string report_path;
+  std::size_t threads = 0;
   bool warm_start = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -39,6 +84,10 @@ int main(int argc, char** argv) {
       policy_name = argv[++i];
     } else if (arg == "--csv" && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-warm-start") {
       warm_start = false;
     } else if (arg == "--help" || arg == "-h") {
@@ -58,52 +107,71 @@ int main(int argc, char** argv) {
         scenario_path.empty() ? core::paper::smoothing_scenario()
                               : core::load_scenario_file(scenario_path);
 
-    std::unique_ptr<core::AllocationPolicy> policy;
-    if (policy_name == "control") {
-      policy = std::make_unique<core::MpcPolicy>(core::CostController::Config{
-          scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
-          scenario.controller});
-    } else if (policy_name == "optimal") {
-      policy = std::make_unique<core::OptimalPolicy>(
-          scenario.idcs, scenario.num_portals(),
-          scenario.controller.cost_basis);
-    } else if (policy_name == "static") {
-      policy = std::make_unique<core::StaticProportionalPolicy>(
-          scenario.idcs, scenario.num_portals());
+    std::vector<std::string> policies;
+    if (policy_name == "all") {
+      policies = {"control", "optimal", "static"};
     } else {
-      std::fprintf(stderr, "unknown policy '%s'\n", policy_name.c_str());
-      return 2;
+      policies = {policy_name};
     }
 
-    const auto result = core::run_simulation(scenario, *policy, warm_start);
-    const auto& summary = result.summary;
+    std::vector<engine::SweepJob> jobs;
+    for (const std::string& name : policies) {
+      engine::SweepJob job;
+      job.name = name;
+      job.scenario = scenario;
+      if (name == "control") {
+        job.policy = engine::control_policy();
+      } else if (name == "optimal") {
+        job.policy = engine::optimal_policy();
+      } else if (name == "static") {
+        job.policy = engine::static_policy();
+      } else {
+        std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+        return 2;
+      }
+      job.options.warm_start = warm_start;
+      job.options.record_trace = !csv_path.empty();
+      jobs.push_back(std::move(job));
+    }
+
+    const engine::SweepReport report = engine::SweepRunner(threads).run(jobs);
+
     std::printf("scenario : %s\n",
                 scenario_path.empty() ? "<built-in paper smoothing>"
                                       : scenario_path.c_str());
-    std::printf("policy   : %s\n", summary.policy.c_str());
     std::printf("window   : %.0f s at Ts = %.1f s (%zu steps)\n",
                 scenario.duration_s, scenario.ts_s, scenario.num_steps());
-    std::printf("cost     : $%.2f\n", summary.total_cost_dollars);
-    std::printf("energy   : %.3f MWh\n", summary.total_energy_mwh);
-    std::printf("overload : %.1f s\n", summary.overload_seconds);
-    for (std::size_t j = 0; j < summary.idcs.size(); ++j) {
-      const auto& idc = summary.idcs[j];
-      std::printf(
-          "  idc %zu (%s): peak %.3f MW, mean |dP| %.4f MW/step, "
-          "cost $%.2f%s\n",
-          j, scenario.idcs[j].name.empty() ? "?" : scenario.idcs[j].name.c_str(),
-          units::watts_to_mw(idc.peak_power_w),
-          units::watts_to_mw(idc.volatility.mean_abs_step), idc.cost_dollars,
-          idc.budget.violations
-              ? (" — " + std::to_string(idc.budget.violations) +
-                 " budget violations")
-                    .c_str()
-              : "");
+    bool failed = false;
+    for (const engine::JobResult& job : report.jobs) {
+      if (report.jobs.size() > 1) std::printf("--\n");
+      if (!job.ok) {
+        std::fprintf(stderr, "error (%s): %s\n", job.name.c_str(),
+                     job.error.c_str());
+        failed = true;
+        continue;
+      }
+      print_summary(scenario, job);
+      if (!csv_path.empty() && job.trace) {
+        // With multiple policies each trace gets a policy-suffixed file.
+        std::string path = csv_path;
+        if (report.jobs.size() > 1) {
+          const std::size_t dot = path.rfind('.');
+          const std::string suffix = "_" + job.summary.policy;
+          if (dot == std::string::npos) {
+            path += suffix;
+          } else {
+            path.insert(dot, suffix);
+          }
+        }
+        write_csv_file(path, job.trace->to_csv());
+        std::printf("trace    : %s\n", path.c_str());
+      }
     }
-    if (!csv_path.empty()) {
-      write_csv_file(csv_path, result.trace.to_csv());
-      std::printf("trace    : %s\n", csv_path.c_str());
+    if (!report_path.empty()) {
+      write_json_file(report_path, report.to_json());
+      std::printf("report   : %s\n", report_path.c_str());
     }
+    if (failed) return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

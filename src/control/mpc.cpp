@@ -74,6 +74,7 @@ MpcResult MpcController::step(const MpcStep& input) {
   result.status = solved.status;
   result.objective = solved.objective;
   result.solver_iterations = solved.iterations;
+  result.warm_started = !warm.empty();
   result.delta_u.assign(solved.x.begin(),
                         solved.x.begin() + static_cast<std::ptrdiff_t>(m));
   result.u = linalg::add(input.u_prev, result.delta_u);

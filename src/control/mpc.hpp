@@ -53,6 +53,10 @@ struct MpcResult {
   linalg::Vector predicted_y;  // Y_1 under the returned input
   double objective = 0.0;
   std::size_t solver_iterations = 0;
+  // Whether the QP was started from the previous step's stacked move
+  // solution (false on the first step and after a constraint-shape
+  // change invalidated the cache).
+  bool warm_started = false;
 };
 
 class MpcController {

@@ -44,6 +44,8 @@ class CostController {
     // Diagnostics.
     control::ReferenceSolution reference;
     solvers::QpStatus mpc_status = solvers::QpStatus::kMaxIterations;
+    std::size_t mpc_iterations = 0;   // QP iterations this period
+    bool mpc_warm_started = false;    // QP seeded from the previous move
     std::vector<double> predicted_power_w;  // MPC's Y_1
     std::vector<double> predicted_demands;  // references' workload input
     // Fraction of offered load shed this period (0 unless the scenario

@@ -15,28 +15,29 @@ OptimalPolicy::OptimalPolicy(std::vector<datacenter::IdcConfig> idcs,
   require(portals_ > 0, "OptimalPolicy: need at least one portal");
 }
 
-PolicyDecision OptimalPolicy::decide(
-    const std::vector<double>& prices,
-    const std::vector<double>& portal_demands) {
+PolicyDecision OptimalPolicy::decide(const PolicyContext& context) {
   control::ReferenceProblem problem;
   problem.idcs = idcs_;
-  problem.prices = prices;
-  problem.portal_demands = portal_demands;
+  problem.prices = context.prices;
+  problem.portal_demands = context.portal_demands;
   problem.basis = basis_;
   // The optimal method knows no budgets (paper Sec. V-C: it violates
   // them); budgets influence only the control method's references.
   const auto solution = control::solve_reference(problem);
   require(solution.feasible, "OptimalPolicy: demand exceeds fleet capacity");
-  return PolicyDecision{solution.allocation, solution.servers};
+  return PolicyDecision{solution.allocation, solution.servers, std::nullopt};
 }
 
 MpcPolicy::MpcPolicy(CostController::Config config)
     : controller_(std::move(config)) {}
 
-PolicyDecision MpcPolicy::decide(const std::vector<double>& prices,
-                                 const std::vector<double>& portal_demands) {
-  const auto decision = controller_.step(prices, portal_demands);
-  return PolicyDecision{decision.allocation, decision.servers};
+PolicyDecision MpcPolicy::decide(const PolicyContext& context) {
+  const auto decision =
+      controller_.step(context.prices, context.portal_demands);
+  PolicyDecision result{decision.allocation, decision.servers, std::nullopt};
+  result.solver = SolverTelemetry{decision.mpc_status, decision.mpc_iterations,
+                                  decision.mpc_warm_started};
+  return result;
 }
 
 StaticProportionalPolicy::StaticProportionalPolicy(
@@ -54,20 +55,19 @@ StaticProportionalPolicy::StaticProportionalPolicy(
   for (double& share : shares_) share /= total;
 }
 
-PolicyDecision StaticProportionalPolicy::decide(
-    const std::vector<double>& /*prices*/,
-    const std::vector<double>& portal_demands) {
-  require(portal_demands.size() == portals_,
+PolicyDecision StaticProportionalPolicy::decide(const PolicyContext& context) {
+  require(context.portal_demands.size() == portals_,
           "StaticProportionalPolicy: demand size mismatch");
   Allocation allocation(portals_, idcs_.size());
   for (std::size_t i = 0; i < portals_; ++i) {
     for (std::size_t j = 0; j < idcs_.size(); ++j) {
-      allocation.at(i, j) = portal_demands[i] * shares_[j];
+      allocation.at(i, j) = context.portal_demands[i] * shares_[j];
     }
   }
   control::SleepController sleep(idcs_);
   const std::vector<std::size_t> zeros(idcs_.size(), 0);
-  return PolicyDecision{allocation, sleep.step(allocation.idc_loads(), zeros)};
+  return PolicyDecision{allocation, sleep.step(allocation.idc_loads(), zeros),
+                        std::nullopt};
 }
 
 }  // namespace gridctl::core

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/cost_controller.hpp"
@@ -16,16 +17,37 @@
 
 namespace gridctl::core {
 
+// Everything a policy may observe at one control period. New signals
+// (renewable availability, failure masks, deferrable batch queues, price
+// previews) extend this struct instead of the virtual `decide` signature,
+// so adding one never breaks existing policy implementations.
+struct PolicyContext {
+  std::size_t step = 0;                 // control period index, 0-based
+  double time_s = 0.0;                  // absolute scenario time
+  std::vector<double> prices;           // $/MWh per IDC region
+  std::vector<double> portal_demands;   // req/s per portal
+};
+
+// Per-decision solver diagnostics, threaded up from MpcResult so the
+// sweep engine can aggregate them without knowing the policy type.
+// Policies without an inner optimizer leave `PolicyDecision::solver`
+// empty.
+struct SolverTelemetry {
+  solvers::QpStatus status = solvers::QpStatus::kMaxIterations;
+  std::size_t iterations = 0;
+  bool warm_started = false;
+};
+
 struct PolicyDecision {
   datacenter::Allocation allocation{1, 1};
   std::vector<std::size_t> servers;
+  std::optional<SolverTelemetry> solver;
 };
 
 class AllocationPolicy {
  public:
   virtual ~AllocationPolicy() = default;
-  virtual PolicyDecision decide(const std::vector<double>& prices,
-                                const std::vector<double>& portal_demands) = 0;
+  virtual PolicyDecision decide(const PolicyContext& context) = 0;
   virtual std::string name() const = 0;
 };
 
@@ -33,8 +55,7 @@ class OptimalPolicy : public AllocationPolicy {
  public:
   OptimalPolicy(std::vector<datacenter::IdcConfig> idcs, std::size_t portals,
                 control::CostBasis basis = control::CostBasis::kPowerIntegral);
-  PolicyDecision decide(const std::vector<double>& prices,
-                        const std::vector<double>& portal_demands) override;
+  PolicyDecision decide(const PolicyContext& context) override;
   std::string name() const override { return "optimal"; }
 
  private:
@@ -46,8 +67,7 @@ class OptimalPolicy : public AllocationPolicy {
 class MpcPolicy : public AllocationPolicy {
  public:
   explicit MpcPolicy(CostController::Config config);
-  PolicyDecision decide(const std::vector<double>& prices,
-                        const std::vector<double>& portal_demands) override;
+  PolicyDecision decide(const PolicyContext& context) override;
   std::string name() const override { return "control"; }
 
   CostController& controller() { return controller_; }
@@ -60,8 +80,7 @@ class StaticProportionalPolicy : public AllocationPolicy {
  public:
   StaticProportionalPolicy(std::vector<datacenter::IdcConfig> idcs,
                            std::size_t portals);
-  PolicyDecision decide(const std::vector<double>& prices,
-                        const std::vector<double>& portal_demands) override;
+  PolicyDecision decide(const PolicyContext& context) override;
   std::string name() const override { return "static"; }
 
  private:

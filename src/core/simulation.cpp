@@ -1,9 +1,11 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "datacenter/fluid_queue.hpp"
+#include "engine/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
@@ -52,7 +54,15 @@ CsvTable SimulationTrace::to_csv() const {
 }
 
 SimulationResult run_simulation(const Scenario& scenario,
-                                AllocationPolicy& policy, bool warm_start) {
+                                AllocationPolicy& policy,
+                                const SimulationOptions& options) {
+  using clock = std::chrono::steady_clock;
+  const auto seconds_between = [](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  engine::RunTelemetry* telemetry = options.telemetry;
+  const auto run_begin = clock::now();
+
   scenario.validate();
   const std::size_t n = scenario.num_idcs();
   const std::size_t c = scenario.num_portals();
@@ -73,18 +83,25 @@ SimulationResult run_simulation(const Scenario& scenario,
     return prices;
   };
 
-  if (warm_start) {
+  if (options.warm_start) {
     // Converged operating point for the hour before the window, computed
     // with the same cost basis the scenario's controller uses.
     const double t_prev = std::max(0.0, scenario.start_time_s - 3600.0);
     OptimalPolicy seed(scenario.idcs, c, scenario.controller.cost_basis);
-    const auto initial =
-        seed.decide(prices_at(t_prev), scenario.workload->rates(scenario.start_time_s));
+    PolicyContext seed_context;
+    seed_context.time_s = t_prev;
+    seed_context.prices = prices_at(t_prev);
+    seed_context.portal_demands =
+        scenario.workload->rates(scenario.start_time_s);
+    const auto initial = seed.decide(seed_context);
     fleet.set_operating_point(initial.allocation, initial.servers);
     if (auto* mpc = dynamic_cast<MpcPolicy*>(&policy)) {
       mpc->controller().reset_to(initial.allocation, initial.servers);
     }
     last_power = fleet.power_by_idc_w();
+    if (telemetry) {
+      telemetry->warm_start_s = seconds_between(run_begin, clock::now());
+    }
   }
 
   SimulationResult result;
@@ -137,15 +154,21 @@ SimulationResult run_simulation(const Scenario& scenario,
   for (std::size_t k = 0; k < steps; ++k) {
     const double t =
         scenario.start_time_s + static_cast<double>(k) * scenario.ts_s;
-    const std::vector<double> prices = prices_at(t);
-    const std::vector<double> demands = scenario.workload->rates(t);
+    const auto step_begin = clock::now();
 
-    const PolicyDecision decision = policy.decide(prices, demands);
+    PolicyContext context;
+    context.step = k;
+    context.time_s = t;
+    context.prices = prices_at(t);
+    context.portal_demands = scenario.workload->rates(t);
+
+    const PolicyDecision decision = policy.decide(context);
+    const auto decide_end = clock::now();
     require(decision.allocation.portals() == c &&
                 decision.allocation.idcs() == n,
             "run_simulation: policy returned wrong allocation shape");
     fleet.set_operating_point(decision.allocation, decision.servers);
-    fleet.advance(scenario.ts_s, prices);
+    fleet.advance(scenario.ts_s, context.prices);
     last_power = fleet.power_by_idc_w();
     for (std::size_t j = 0; j < n; ++j) {
       const auto& idc = fleet.idc(j);
@@ -154,8 +177,24 @@ SimulationResult run_simulation(const Scenario& scenario,
                          idc.config().power.service_rate,
                      scenario.ts_s);
     }
+    const auto plant_end = clock::now();
 
-    record(t - scenario.start_time_s + scenario.ts_s, prices, demands);
+    record(t - scenario.start_time_s + scenario.ts_s, context.prices,
+           context.portal_demands);
+
+    if (telemetry) {
+      const auto step_end = clock::now();
+      telemetry->policy_s += seconds_between(step_begin, decide_end);
+      telemetry->plant_s += seconds_between(decide_end, plant_end);
+      telemetry->record_s += seconds_between(plant_end, step_end);
+      telemetry->step_hist.record(seconds_between(step_begin, step_end) *
+                                  1e6);
+      if (decision.solver) {
+        telemetry->record_solver(decision.solver->status,
+                                 decision.solver->iterations,
+                                 decision.solver->warm_started);
+      }
+    }
   }
 
   // Summaries.
@@ -191,6 +230,18 @@ SimulationResult run_simulation(const Scenario& scenario,
       summary.max_backlog_req =
           std::max(summary.max_backlog_req, trace.backlog_req[j][k]);
     }
+  }
+
+  if (telemetry) {
+    telemetry->steps = steps;
+    telemetry->total_s = seconds_between(run_begin, clock::now());
+  }
+  if (!options.record_trace) {
+    // The summary above is computed from the full trace; the caller only
+    // asked to keep the aggregates.
+    result.trace = SimulationTrace{};
+    result.trace.policy = summary.policy;
+    result.trace.ts_s = scenario.ts_s;
   }
   return result;
 }

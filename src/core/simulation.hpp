@@ -10,6 +10,10 @@
 #include "core/scenario.hpp"
 #include "util/csv.hpp"
 
+namespace gridctl::engine {
+struct RunTelemetry;
+}
+
 namespace gridctl::core {
 
 // Per-step recordings. Outer index = IDC (or portal), inner = time step.
@@ -62,13 +66,37 @@ struct SimulationResult {
   SimulationSummary summary;
 };
 
-// Runs `scenario` under `policy`. When `warm_start` is true the fleet
-// and (for MpcPolicy) the controller are initialized to the optimal
-// operating point for the hour *before* start_time_s — the experiment
-// then begins from a converged steady state, as the paper's 6:00->7:00
-// price-step runs do.
+// Knobs for one closed-loop run. New options extend this struct instead
+// of growing the `run_simulation` signature.
+struct SimulationOptions {
+  // Initialize the fleet and (for MpcPolicy) the controller to the
+  // optimal operating point for the hour *before* start_time_s — the
+  // experiment then begins from a converged steady state, as the paper's
+  // 6:00->7:00 price-step runs do.
+  bool warm_start = true;
+  // When false the per-step trace is dropped from the returned result
+  // (the summary is still computed from it internally) — sweeps holding
+  // thousands of job results keep only the aggregates.
+  bool record_trace = true;
+  // Optional telemetry sink (not owned; may be null). Filled with phase
+  // wall-clock, solver counters and the step-timing histogram.
+  engine::RunTelemetry* telemetry = nullptr;
+};
+
+// Runs `scenario` under `policy`.
 SimulationResult run_simulation(const Scenario& scenario,
                                 AllocationPolicy& policy,
-                                bool warm_start = true);
+                                const SimulationOptions& options = {});
+
+// Transitional shim for the pre-SimulationOptions signature; remove
+// after one release.
+[[deprecated("pass SimulationOptions instead of a bare warm_start flag")]]
+inline SimulationResult run_simulation(const Scenario& scenario,
+                                       AllocationPolicy& policy,
+                                       bool warm_start) {
+  SimulationOptions options;
+  options.warm_start = warm_start;
+  return run_simulation(scenario, policy, options);
+}
 
 }  // namespace gridctl::core

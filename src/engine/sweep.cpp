@@ -1,0 +1,175 @@
+#include "engine/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace gridctl::engine {
+
+PolicyFactory control_policy() {
+  return [](const core::Scenario& scenario) {
+    return std::make_unique<core::MpcPolicy>(core::CostController::Config{
+        scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
+        scenario.controller});
+  };
+}
+
+PolicyFactory optimal_policy() {
+  return [](const core::Scenario& scenario) {
+    return std::make_unique<core::OptimalPolicy>(
+        scenario.idcs, scenario.num_portals(),
+        scenario.controller.cost_basis);
+  };
+}
+
+PolicyFactory static_policy() {
+  return [](const core::Scenario& scenario) {
+    return std::make_unique<core::StaticProportionalPolicy>(
+        scenario.idcs, scenario.num_portals());
+  };
+}
+
+namespace {
+
+JobResult execute_job(const SweepJob& job) {
+  JobResult result;
+  result.name = job.name;
+  result.seed = job.seed;
+  try {
+    require(static_cast<bool>(job.policy), "SweepJob: missing policy factory");
+    const std::unique_ptr<core::AllocationPolicy> policy =
+        job.policy(job.scenario);
+    require(policy != nullptr, "SweepJob: policy factory returned null");
+    result.policy = policy->name();
+
+    core::SimulationOptions options = job.options;
+    options.telemetry = &result.telemetry;
+    core::SimulationResult sim =
+        core::run_simulation(job.scenario, *policy, options);
+    result.summary = std::move(sim.summary);
+    if (options.record_trace) {
+      result.trace = std::make_shared<const core::SimulationTrace>(
+          std::move(sim.trace));
+    }
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
+  const auto begin = std::chrono::steady_clock::now();
+
+  SweepReport report;
+  report.threads = std::min(threads_, std::max<std::size_t>(jobs.size(), 1));
+  report.jobs.resize(jobs.size());
+
+  // Work queue: an atomic cursor over the job list. Workers write only
+  // their own result slot, so the loop needs no locking, and the result
+  // order is the submission order regardless of scheduling.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs.size()) return;
+      report.jobs[index] = execute_job(jobs[index]);
+    }
+  };
+
+  if (report.threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(report.threads);
+    for (std::size_t i = 0; i < report.threads; ++i) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - begin)
+                      .count();
+  return report;
+}
+
+double SweepReport::total_job_wall_s() const {
+  double total = 0.0;
+  for (const JobResult& job : jobs) total += job.telemetry.total_s;
+  return total;
+}
+
+std::size_t SweepReport::failed_jobs() const {
+  std::size_t failed = 0;
+  for (const JobResult& job : jobs) {
+    if (!job.ok) ++failed;
+  }
+  return failed;
+}
+
+JsonValue summary_to_json(const core::SimulationSummary& summary) {
+  JsonValue::Object object;
+  object["policy"] = JsonValue(summary.policy);
+  object["total_cost_dollars"] = JsonValue(summary.total_cost_dollars);
+  object["total_energy_mwh"] = JsonValue(summary.total_energy_mwh);
+  object["overload_seconds"] = JsonValue(summary.overload_seconds);
+  object["sla_violation_seconds"] = JsonValue(summary.sla_violation_seconds);
+  object["max_backlog_req"] = JsonValue(summary.max_backlog_req);
+  JsonValue::Object volatility;
+  volatility["mean_abs_step_w"] =
+      JsonValue(summary.total_volatility.mean_abs_step);
+  volatility["max_abs_step_w"] =
+      JsonValue(summary.total_volatility.max_abs_step);
+  object["total_volatility"] = JsonValue(std::move(volatility));
+  JsonValue::Array idcs;
+  for (const core::IdcSummary& idc : summary.idcs) {
+    JsonValue::Object entry;
+    entry["peak_power_w"] = JsonValue(idc.peak_power_w);
+    entry["mean_abs_step_w"] = JsonValue(idc.volatility.mean_abs_step);
+    entry["max_abs_step_w"] = JsonValue(idc.volatility.max_abs_step);
+    entry["budget_violations"] =
+        JsonValue(static_cast<double>(idc.budget.violations));
+    entry["mean_latency_s"] = JsonValue(idc.mean_latency_s);
+    entry["energy_mwh"] = JsonValue(idc.energy_mwh);
+    entry["cost_dollars"] = JsonValue(idc.cost_dollars);
+    idcs.push_back(JsonValue(std::move(entry)));
+  }
+  object["idcs"] = JsonValue(std::move(idcs));
+  return JsonValue(std::move(object));
+}
+
+JsonValue SweepReport::to_json() const {
+  JsonValue::Object object;
+  object["threads"] = JsonValue(static_cast<double>(threads));
+  object["wall_s"] = JsonValue(wall_s);
+  object["total_job_wall_s"] = JsonValue(total_job_wall_s());
+  object["failed_jobs"] = JsonValue(static_cast<double>(failed_jobs()));
+  JsonValue::Array entries;
+  for (const JobResult& job : jobs) {
+    JsonValue::Object entry;
+    entry["name"] = JsonValue(job.name);
+    entry["policy"] = JsonValue(job.policy);
+    entry["seed"] = JsonValue(static_cast<double>(job.seed));
+    entry["ok"] = JsonValue(job.ok);
+    if (!job.ok) entry["error"] = JsonValue(job.error);
+    if (job.ok) entry["summary"] = summary_to_json(job.summary);
+    entry["telemetry"] = telemetry_to_json(job.telemetry);
+    entries.push_back(JsonValue(std::move(entry)));
+  }
+  object["jobs"] = JsonValue(std::move(entries));
+  return JsonValue(std::move(object));
+}
+
+}  // namespace gridctl::engine

@@ -1,0 +1,97 @@
+// Thread-pool-backed sweep engine: execute a declared grid of
+// (scenario × policy × seed) closed-loop runs concurrently.
+//
+// Every experiment in `bench/` is such a grid; running it through
+// `SweepRunner` parallelizes it across cores with results that are
+// bit-identical to serial execution. Each job owns its policy and fleet
+// state (created inside the worker from the job's factory); the shared
+// pieces of a `Scenario` — price model, workload source — are immutable
+// after construction, so jobs never synchronize. Per-job `RunTelemetry`
+// makes solver behavior and phase costs observable, and the whole
+// `SweepReport` serializes to JSON for the bench trajectory.
+//
+//   engine::SweepRunner runner;                     // hardware threads
+//   std::vector<engine::SweepJob> jobs = ...;
+//   const engine::SweepReport report = runner.run(jobs);
+//   write_json_file("sweep.json", report.to_json());
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "engine/telemetry.hpp"
+
+namespace gridctl::engine {
+
+// Builds a fresh policy for one job. Called inside the worker thread so
+// each run owns its controller/warm-start state outright.
+using PolicyFactory =
+    std::function<std::unique_ptr<core::AllocationPolicy>(
+        const core::Scenario&)>;
+
+// Stock factories for the three policies of the paper's evaluation,
+// configured from the job's own scenario.
+PolicyFactory control_policy();
+PolicyFactory optimal_policy();
+PolicyFactory static_policy();
+
+// One cell of the sweep grid.
+struct SweepJob {
+  std::string name;               // label in the report, e.g. "seed=101/control"
+  core::Scenario scenario;
+  PolicyFactory policy;
+  std::uint64_t seed = 0;         // echoed into the report; the scenario
+                                  // builder has usually baked it in already
+  core::SimulationOptions options;  // `telemetry` is overwritten per job
+};
+
+struct JobResult {
+  std::string name;
+  std::string policy;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string error;              // what() of a thrown job; empty when ok
+  core::SimulationSummary summary;
+  RunTelemetry telemetry;
+  // Present only when the job asked for `record_trace` (sweeps usually
+  // keep aggregates only).
+  std::shared_ptr<const core::SimulationTrace> trace;
+};
+
+struct SweepReport {
+  std::size_t threads = 0;
+  double wall_s = 0.0;            // whole-sweep wall clock
+  std::vector<JobResult> jobs;    // submission order, independent of
+                                  // scheduling
+
+  // Sum of per-job run times — with `threads > 1` this exceeds `wall_s`
+  // by roughly the achieved speedup factor.
+  double total_job_wall_s() const;
+  std::size_t failed_jobs() const;
+
+  // Full report as a JSON tree (schema in docs/ARCHITECTURE.md).
+  JsonValue to_json() const;
+};
+
+JsonValue summary_to_json(const core::SimulationSummary& summary);
+
+class SweepRunner {
+ public:
+  // `threads == 0` uses the hardware concurrency.
+  explicit SweepRunner(std::size_t threads = 0);
+
+  std::size_t threads() const { return threads_; }
+
+  // Executes all jobs and blocks until done. A job that throws is
+  // reported through `JobResult::error`; it never takes down the sweep.
+  SweepReport run(const std::vector<SweepJob>& jobs) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace gridctl::engine

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -284,6 +285,114 @@ JsonValue parse_json_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_json(buffer.str());
+}
+
+namespace {
+
+void append_escaped(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(double value, std::string& out) {
+  if (!std::isfinite(value)) {
+    out += "null";  // JSON has no inf/nan spelling
+    return;
+  }
+  // Shortest decimal that parses back to the same double: try increasing
+  // precision until the round trip is exact (17 digits always is).
+  char buffer[32];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  out += buffer;
+}
+
+void dump_value(const JsonValue& value, int indent, int depth,
+                std::string& out) {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int level) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (value.type()) {
+    case JsonValue::Type::kNull: out += "null"; break;
+    case JsonValue::Type::kBool: out += value.as_bool() ? "true" : "false"; break;
+    case JsonValue::Type::kNumber: append_number(value.as_number(), out); break;
+    case JsonValue::Type::kString: append_escaped(value.as_string(), out); break;
+    case JsonValue::Type::kArray: {
+      const auto& array = value.as_array();
+      if (array.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_pad(depth + 1);
+        dump_value(array[i], indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      const auto& object = value.as_object();
+      if (object.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : object) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_pad(depth + 1);
+        append_escaped(key, out);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        dump_value(member, indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump_json(const JsonValue& value, int indent) {
+  std::string out;
+  dump_value(value, indent, 0, out);
+  return out;
+}
+
+void write_json_file(const std::string& path, const JsonValue& value,
+                     int indent) {
+  std::ofstream out(path);
+  require(out.good(), "write_json_file: cannot open '" + path + "'");
+  out << dump_json(value, indent) << '\n';
+  require(out.good(), "write_json_file: write to '" + path + "' failed");
 }
 
 }  // namespace gridctl

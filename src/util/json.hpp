@@ -68,4 +68,14 @@ class JsonValue {
 JsonValue parse_json(const std::string& text);
 JsonValue parse_json_file(const std::string& path);
 
+// Serialize a value tree back to JSON text. Numbers are printed with the
+// shortest representation that round-trips through `parse_json`
+// (integers without a fraction part); non-finite numbers have no JSON
+// spelling and are emitted as null. `indent < 0` gives compact one-line
+// output, otherwise nested values are pretty-printed with `indent`
+// spaces per level.
+std::string dump_json(const JsonValue& value, int indent = -1);
+void write_json_file(const std::string& path, const JsonValue& value,
+                     int indent = 2);
+
 }  // namespace gridctl

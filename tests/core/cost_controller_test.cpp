@@ -159,7 +159,10 @@ TEST(CostController, PricePreviewShiftsReferencesAhead) {
 
   // Warm both to the 6H optimum.
   OptimalPolicy seed(paper::paper_idcs(), 5, control::CostBasis::kPriceOnly);
-  const auto initial = seed.decide(now, paper::kPortalDemands);
+  PolicyContext seed_context;
+  seed_context.prices = now;
+  seed_context.portal_demands = paper::kPortalDemands;
+  const auto initial = seed.decide(seed_context);
   blind.reset_to(initial.allocation, initial.servers);
   sighted.reset_to(initial.allocation, initial.servers);
 

@@ -56,5 +56,49 @@ TEST(SeriesHelpers, MeanMinMax) {
   EXPECT_DOUBLE_EQ(series_min({3.0, 1.0, 2.0}), 1.0);
 }
 
+TEST(Volatility, SingleSampleHasNoSteps) {
+  const auto stats = volatility({42.0});
+  EXPECT_DOUBLE_EQ(stats.mean_abs_step, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_abs_step, 0.0);
+}
+
+TEST(BudgetCompliance, EmptySeries) {
+  const auto stats = budget_compliance({}, 5.0, 10.0);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_DOUBLE_EQ(stats.worst_excess, 0.0);
+  EXPECT_DOUBLE_EQ(stats.excess_integral, 0.0);
+}
+
+TEST(BudgetCompliance, SingleSampleSeries) {
+  const auto above = budget_compliance({7.5}, 5.0, 10.0);
+  EXPECT_EQ(above.violations, 1u);
+  EXPECT_DOUBLE_EQ(above.worst_excess, 2.5);
+  EXPECT_DOUBLE_EQ(above.excess_integral, 25.0);
+  const auto below = budget_compliance({4.0}, 5.0, 10.0);
+  EXPECT_EQ(below.violations, 0u);
+}
+
+TEST(BudgetCompliance, ZeroDtCountsViolationsButIntegratesNothing) {
+  // A zero sampling period still flags the samples above budget (the
+  // count is dimensionless) while the time integral stays exactly 0.
+  const auto stats = budget_compliance({6.0, 4.0, 8.0}, 5.0, 0.0);
+  EXPECT_EQ(stats.violations, 2u);
+  EXPECT_DOUBLE_EQ(stats.worst_excess, 3.0);
+  EXPECT_DOUBLE_EQ(stats.excess_integral, 0.0);
+}
+
+TEST(BudgetCompliance, ExactlyOnBudgetIsNotAViolation) {
+  const auto stats = budget_compliance({5.0, 5.0}, 5.0, 1.0);
+  EXPECT_EQ(stats.violations, 0u);
+}
+
+TEST(SeriesHelpers, SingleSample) {
+  EXPECT_DOUBLE_EQ(mean({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(series_max({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(series_min({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(series_max({}), 0.0);
+  EXPECT_DOUBLE_EQ(series_min({}), 0.0);
+}
+
 }  // namespace
 }  // namespace gridctl::core

@@ -8,16 +8,24 @@
 namespace gridctl::core {
 namespace {
 
+PolicyContext context_of(std::vector<double> prices,
+                         std::vector<double> demands) {
+  PolicyContext context;
+  context.prices = std::move(prices);
+  context.portal_demands = std::move(demands);
+  return context;
+}
+
 TEST(OptimalPolicy, JumpsToNewOptimumInstantly) {
   const auto idcs = paper::paper_idcs();
   OptimalPolicy policy(idcs, 5, control::CostBasis::kPriceOnly);
   // 6H prices: Wisconsin cheapest.
-  const auto at_6h =
-      policy.decide({43.26, 30.26, 19.06}, paper::kPortalDemands);
+  const auto at_6h = policy.decide(
+      context_of({43.26, 30.26, 19.06}, paper::kPortalDemands));
   EXPECT_NEAR(at_6h.allocation.idc_load(2), 34000.0, 1.0);  // WI full
   // 7H prices: Minnesota cheapest, Wisconsin most expensive.
-  const auto at_7h =
-      policy.decide({49.90, 29.47, 77.97}, paper::kPortalDemands);
+  const auto at_7h = policy.decide(
+      context_of({49.90, 29.47, 77.97}, paper::kPortalDemands));
   EXPECT_NEAR(at_7h.allocation.idc_load(1), 49000.0, 1.0);  // MN full
   EXPECT_LT(at_7h.allocation.idc_load(2), 13000.0);         // WI drained
   // The jump between consecutive decisions is immediate — the defining
@@ -29,34 +37,60 @@ TEST(OptimalPolicy, JumpsToNewOptimumInstantly) {
 TEST(OptimalPolicy, ConservesWorkload) {
   OptimalPolicy policy(paper::paper_idcs(), 5);
   const auto decision =
-      policy.decide({40.0, 30.0, 20.0}, paper::kPortalDemands);
+      policy.decide(context_of({40.0, 30.0, 20.0}, paper::kPortalDemands));
   EXPECT_TRUE(decision.allocation.conserves(paper::kPortalDemands, 1e-5));
+}
+
+TEST(OptimalPolicy, ReportsNoSolverTelemetry) {
+  OptimalPolicy policy(paper::paper_idcs(), 5);
+  const auto decision =
+      policy.decide(context_of({40.0, 30.0, 20.0}, paper::kPortalDemands));
+  EXPECT_FALSE(decision.solver.has_value());
 }
 
 TEST(OptimalPolicy, ThrowsWhenDemandExceedsCapacity) {
   OptimalPolicy policy(paper::paper_idcs(), 1);
-  EXPECT_THROW(policy.decide({1.0, 1.0, 1.0}, {1e9}), InvalidArgument);
+  EXPECT_THROW(policy.decide(context_of({1.0, 1.0, 1.0}, {1e9})),
+               InvalidArgument);
 }
 
 TEST(MpcPolicy, SmoothsTowardReference) {
   const Scenario scenario = paper::smoothing_scenario();
   MpcPolicy policy(CostController::Config{scenario.idcs, 5, {},
                                           scenario.controller});
-  const std::vector<double> prices{49.90, 29.47, 77.97};
-  auto first = policy.decide(prices, paper::kPortalDemands);
+  const auto context =
+      context_of({49.90, 29.47, 77.97}, paper::kPortalDemands);
+  auto first = policy.decide(context);
   EXPECT_TRUE(first.allocation.conserves(paper::kPortalDemands, 1e-3));
   // Iterating approaches the optimal loads.
   PolicyDecision last = first;
-  for (int k = 0; k < 80; ++k) last = policy.decide(prices, paper::kPortalDemands);
+  for (int k = 0; k < 80; ++k) last = policy.decide(context);
   EXPECT_NEAR(last.allocation.idc_load(1), 49000.0, 500.0);
+}
+
+TEST(MpcPolicy, ThreadsSolverTelemetryUp) {
+  const Scenario scenario = paper::smoothing_scenario();
+  MpcPolicy policy(CostController::Config{scenario.idcs, 5, {},
+                                          scenario.controller});
+  const auto context =
+      context_of({49.90, 29.47, 77.97}, paper::kPortalDemands);
+  const auto first = policy.decide(context);
+  ASSERT_TRUE(first.solver.has_value());
+  EXPECT_EQ(first.solver->status, solvers::QpStatus::kOptimal);
+  EXPECT_GT(first.solver->iterations, 0u);
+  // No previous move solution exists on the very first step.
+  EXPECT_FALSE(first.solver->warm_started);
+  const auto second = policy.decide(context);
+  ASSERT_TRUE(second.solver.has_value());
+  EXPECT_TRUE(second.solver->warm_started);
 }
 
 TEST(StaticProportionalPolicy, SplitsByCapacityAndIgnoresPrices) {
   StaticProportionalPolicy policy(paper::paper_idcs(), 5);
-  const auto cheap_west =
-      policy.decide({100.0, 100.0, 1.0}, paper::kPortalDemands);
-  const auto cheap_east =
-      policy.decide({1.0, 100.0, 100.0}, paper::kPortalDemands);
+  const auto cheap_west = policy.decide(
+      context_of({100.0, 100.0, 1.0}, paper::kPortalDemands));
+  const auto cheap_east = policy.decide(
+      context_of({1.0, 100.0, 100.0}, paper::kPortalDemands));
   for (std::size_t j = 0; j < 3; ++j) {
     EXPECT_NEAR(cheap_west.allocation.idc_load(j),
                 cheap_east.allocation.idc_load(j), 1e-9);

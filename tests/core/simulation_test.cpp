@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
+
 #include "core/paper.hpp"
+#include "engine/telemetry.hpp"
 
 namespace gridctl::core {
 namespace {
@@ -111,12 +115,78 @@ TEST(Simulation, CsvExportRoundTrips) {
   EXPECT_NEAR(delay[2], result.trace.transient_delay_s[0][2] * 1000.0, 1e-9);
 }
 
+TEST(Simulation, CsvExportRoundTripsThroughParser) {
+  Scenario scenario = quick_scenario();
+  OptimalPolicy policy(scenario.idcs, 5, scenario.controller.cost_basis);
+  const auto result = run_simulation(scenario, policy);
+  const CsvTable table = result.trace.to_csv();
+  // Serialize to text and parse back: same shape, same values.
+  std::ostringstream out;
+  write_csv(out, table);
+  const CsvTable parsed = read_csv_string(out.str());
+  ASSERT_EQ(parsed.header, table.header);
+  ASSERT_EQ(parsed.rows.size(), table.rows.size());
+  for (std::size_t k = 0; k < table.rows.size(); ++k) {
+    ASSERT_EQ(parsed.rows[k].size(), table.rows[k].size());
+    for (std::size_t c = 0; c < table.rows[k].size(); ++c) {
+      EXPECT_NEAR(parsed.rows[k][c], table.rows[k][c],
+                  1e-9 * std::max(1.0, std::abs(table.rows[k][c])));
+    }
+  }
+}
+
 TEST(Simulation, ColdStartBeginsFromZero) {
   Scenario scenario = quick_scenario();
   OptimalPolicy policy(scenario.idcs, 5, scenario.controller.cost_basis);
-  const auto result = run_simulation(scenario, policy, /*warm_start=*/false);
+  SimulationOptions options;
+  options.warm_start = false;
+  const auto result = run_simulation(scenario, policy, options);
   EXPECT_DOUBLE_EQ(result.trace.total_power_w[0], 0.0);
   EXPECT_GT(result.trace.total_power_w[1], 1e6);
+}
+
+TEST(Simulation, RecordTraceOffKeepsSummaryDropsSeries) {
+  Scenario scenario = quick_scenario();
+  OptimalPolicy policy(scenario.idcs, 5, scenario.controller.cost_basis);
+  const auto full = run_simulation(scenario, policy);
+  SimulationOptions options;
+  options.record_trace = false;
+  OptimalPolicy policy_again(scenario.idcs, 5, scenario.controller.cost_basis);
+  const auto lean = run_simulation(scenario, policy_again, options);
+  // Aggregates are identical; the per-step series are gone.
+  EXPECT_DOUBLE_EQ(lean.summary.total_cost_dollars,
+                   full.summary.total_cost_dollars);
+  EXPECT_DOUBLE_EQ(lean.summary.total_energy_mwh,
+                   full.summary.total_energy_mwh);
+  EXPECT_TRUE(lean.trace.time_s.empty());
+  EXPECT_TRUE(lean.trace.power_w.empty());
+  EXPECT_EQ(lean.trace.policy, full.trace.policy);
+}
+
+TEST(Simulation, TelemetrySinkCountsStepsAndSolves) {
+  Scenario scenario = quick_scenario();
+  MpcPolicy control(CostController::Config{scenario.idcs, 5, {},
+                                           scenario.controller});
+  engine::RunTelemetry telemetry;
+  SimulationOptions options;
+  options.telemetry = &telemetry;
+  run_simulation(scenario, control, options);
+  const std::size_t steps = scenario.num_steps();
+  EXPECT_EQ(telemetry.steps, steps);
+  EXPECT_EQ(telemetry.step_hist.samples, steps);
+  EXPECT_EQ(telemetry.solver_calls, steps);
+  EXPECT_EQ(telemetry.status_optimal + telemetry.status_max_iterations +
+                telemetry.status_infeasible,
+            telemetry.solver_calls);
+  EXPECT_GT(telemetry.solver_iterations, 0u);
+  // Every step after the first reuses the previous stacked move.
+  EXPECT_EQ(telemetry.warm_start_hits, steps - 1);
+  EXPECT_NEAR(telemetry.warm_start_hit_rate(),
+              static_cast<double>(steps - 1) / static_cast<double>(steps),
+              1e-12);
+  EXPECT_GT(telemetry.policy_s, 0.0);
+  EXPECT_GT(telemetry.total_s, 0.0);
+  EXPECT_GE(telemetry.total_s, telemetry.policy_s);
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+#include "engine/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+#include "market/stochastic_price.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace gridctl::engine {
+namespace {
+
+core::Scenario quick_scenario(double r_weight = 0.8) {
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
+  scenario.duration_s = 200.0;
+  scenario.controller.r_weight = r_weight;
+  return scenario;
+}
+
+core::Scenario seeded_scenario(std::uint64_t seed) {
+  core::Scenario scenario = quick_scenario();
+  std::vector<market::RegionMarketConfig> regions(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    regions[r].stack.capacity_w = 60e6;
+    regions[r].base_demand_w = 30e6;
+    regions[r].stack.price_floor = 10.0 + 4.0 * static_cast<double>(r);
+  }
+  scenario.prices =
+      std::make_shared<market::StochasticBidPrice>(regions, seed);
+  scenario.start_time_s = 0.0;
+  return scenario;
+}
+
+// A 16-job grid mixing policies, move penalties and market seeds — the
+// shape every ablation bench has.
+std::vector<SweepJob> mixed_grid() {
+  std::vector<SweepJob> jobs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const char* policy : {"control", "optimal", "static"}) {
+      SweepJob job;
+      job.name = format("seed=%llu/%s",
+                        static_cast<unsigned long long>(seed), policy);
+      job.scenario = seeded_scenario(seed);
+      job.policy = policy == std::string("control") ? control_policy()
+                   : policy == std::string("optimal") ? optimal_policy()
+                                                      : static_policy();
+      job.seed = seed;
+      job.options.record_trace = false;
+      jobs.push_back(std::move(job));
+    }
+  }
+  for (double r : {0.0, 0.4, 1.6, 6.4}) {
+    SweepJob job;
+    job.name = format("r=%.1f/control", r);
+    job.scenario = quick_scenario(r);
+    job.policy = control_policy();
+    job.options.record_trace = false;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void expect_identical_summaries(const core::SimulationSummary& a,
+                                const core::SimulationSummary& b) {
+  // Bit-identical, not approximately equal: parallel execution must not
+  // perturb a single double anywhere in the result.
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.total_cost_dollars, b.total_cost_dollars);
+  EXPECT_EQ(a.total_energy_mwh, b.total_energy_mwh);
+  EXPECT_EQ(a.overload_seconds, b.overload_seconds);
+  EXPECT_EQ(a.sla_violation_seconds, b.sla_violation_seconds);
+  EXPECT_EQ(a.max_backlog_req, b.max_backlog_req);
+  EXPECT_EQ(a.total_volatility.mean_abs_step, b.total_volatility.mean_abs_step);
+  EXPECT_EQ(a.total_volatility.max_abs_step, b.total_volatility.max_abs_step);
+  ASSERT_EQ(a.idcs.size(), b.idcs.size());
+  for (std::size_t j = 0; j < a.idcs.size(); ++j) {
+    EXPECT_EQ(a.idcs[j].peak_power_w, b.idcs[j].peak_power_w);
+    EXPECT_EQ(a.idcs[j].volatility.mean_abs_step,
+              b.idcs[j].volatility.mean_abs_step);
+    EXPECT_EQ(a.idcs[j].volatility.max_abs_step,
+              b.idcs[j].volatility.max_abs_step);
+    EXPECT_EQ(a.idcs[j].budget.violations, b.idcs[j].budget.violations);
+    EXPECT_EQ(a.idcs[j].mean_latency_s, b.idcs[j].mean_latency_s);
+    EXPECT_EQ(a.idcs[j].energy_mwh, b.idcs[j].energy_mwh);
+    EXPECT_EQ(a.idcs[j].cost_dollars, b.idcs[j].cost_dollars);
+  }
+}
+
+TEST(SweepRunner, ParallelRunIsBitIdenticalToSerial) {
+  const std::vector<SweepJob> jobs = mixed_grid();
+  ASSERT_EQ(jobs.size(), 16u);
+  const SweepReport serial = SweepRunner(1).run(jobs);
+  const SweepReport parallel = SweepRunner(4).run(jobs);
+  ASSERT_EQ(serial.jobs.size(), 16u);
+  ASSERT_EQ(parallel.jobs.size(), 16u);
+  EXPECT_EQ(serial.threads, 1u);
+  EXPECT_EQ(parallel.threads, 4u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(jobs[i].name);
+    // Submission order is preserved regardless of scheduling.
+    EXPECT_EQ(serial.jobs[i].name, jobs[i].name);
+    EXPECT_EQ(parallel.jobs[i].name, jobs[i].name);
+    ASSERT_TRUE(serial.jobs[i].ok) << serial.jobs[i].error;
+    ASSERT_TRUE(parallel.jobs[i].ok) << parallel.jobs[i].error;
+    expect_identical_summaries(serial.jobs[i].summary,
+                               parallel.jobs[i].summary);
+  }
+}
+
+TEST(SweepRunner, DefaultThreadCountUsesHardware) {
+  EXPECT_GE(SweepRunner().threads(), 1u);
+  EXPECT_EQ(SweepRunner(3).threads(), 3u);
+}
+
+TEST(SweepRunner, CollectsTelemetryPerJob) {
+  std::vector<SweepJob> jobs;
+  for (const bool control : {true, false}) {
+    SweepJob job;
+    job.name = control ? "control" : "static";
+    job.scenario = quick_scenario();
+    job.policy = control ? control_policy() : static_policy();
+    jobs.push_back(std::move(job));
+  }
+  const SweepReport report = SweepRunner(2).run(jobs);
+  ASSERT_EQ(report.jobs.size(), 2u);
+  const std::size_t steps = jobs[0].scenario.num_steps();
+  for (const JobResult& job : report.jobs) {
+    EXPECT_EQ(job.telemetry.steps, steps);
+    EXPECT_EQ(job.telemetry.step_hist.samples, steps);
+    EXPECT_GT(job.telemetry.total_s, 0.0);
+  }
+  // The MPC job reports its QP behavior; the static baseline has no
+  // inner solver.
+  EXPECT_EQ(report.jobs[0].telemetry.solver_calls, steps);
+  EXPECT_GT(report.jobs[0].telemetry.warm_start_hit_rate(), 0.0);
+  EXPECT_EQ(report.jobs[1].telemetry.solver_calls, 0u);
+  EXPECT_GT(report.total_job_wall_s(), 0.0);
+}
+
+TEST(SweepRunner, KeepsTraceOnlyWhenAsked) {
+  std::vector<SweepJob> jobs(2);
+  jobs[0].name = "with-trace";
+  jobs[0].scenario = quick_scenario();
+  jobs[0].policy = optimal_policy();
+  jobs[0].options.record_trace = true;
+  jobs[1].name = "without-trace";
+  jobs[1].scenario = quick_scenario();
+  jobs[1].policy = optimal_policy();
+  jobs[1].options.record_trace = false;
+  const SweepReport report = SweepRunner(2).run(jobs);
+  ASSERT_TRUE(report.jobs[0].ok);
+  ASSERT_TRUE(report.jobs[1].ok);
+  ASSERT_NE(report.jobs[0].trace, nullptr);
+  EXPECT_FALSE(report.jobs[0].trace->time_s.empty());
+  EXPECT_EQ(report.jobs[1].trace, nullptr);
+}
+
+TEST(SweepRunner, AFailingJobDoesNotPoisonTheSweep) {
+  std::vector<SweepJob> jobs(3);
+  jobs[0].name = "ok";
+  jobs[0].scenario = quick_scenario();
+  jobs[0].policy = optimal_policy();
+  jobs[1].name = "throwing-factory";
+  jobs[1].scenario = quick_scenario();
+  jobs[1].policy = [](const core::Scenario&)
+      -> std::unique_ptr<core::AllocationPolicy> {
+    throw InvalidArgument("factory exploded");
+  };
+  jobs[2].name = "missing-factory";  // policy left empty
+  jobs[2].scenario = quick_scenario();
+  const SweepReport report = SweepRunner(2).run(jobs);
+  EXPECT_TRUE(report.jobs[0].ok);
+  EXPECT_FALSE(report.jobs[1].ok);
+  EXPECT_NE(report.jobs[1].error.find("factory exploded"), std::string::npos);
+  EXPECT_FALSE(report.jobs[2].ok);
+  EXPECT_FALSE(report.jobs[2].error.empty());
+  EXPECT_EQ(report.failed_jobs(), 2u);
+}
+
+TEST(SweepReport, SerializesToParseableJson) {
+  std::vector<SweepJob> jobs(2);
+  jobs[0].name = "control";
+  jobs[0].scenario = quick_scenario();
+  jobs[0].policy = control_policy();
+  jobs[0].seed = 42;
+  jobs[1].name = "broken";
+  jobs[1].scenario = quick_scenario();
+  jobs[1].policy = [](const core::Scenario&)
+      -> std::unique_ptr<core::AllocationPolicy> {
+    throw InvalidArgument("nope");
+  };
+  const SweepReport report = SweepRunner(2).run(jobs);
+
+  const JsonValue parsed = parse_json(dump_json(report.to_json(), 2));
+  EXPECT_EQ(parsed.at("threads").as_number(), 2.0);
+  EXPECT_GT(parsed.at("wall_s").as_number(), 0.0);
+  EXPECT_EQ(parsed.at("failed_jobs").as_number(), 1.0);
+  const auto& entries = parsed.at("jobs").as_array();
+  ASSERT_EQ(entries.size(), 2u);
+
+  const JsonValue& good = entries[0];
+  EXPECT_EQ(good.at("name").as_string(), "control");
+  EXPECT_EQ(good.at("seed").as_number(), 42.0);
+  EXPECT_TRUE(good.at("ok").as_bool());
+  EXPECT_EQ(good.at("summary").at("policy").as_string(), "control");
+  EXPECT_EQ(good.at("summary").at("total_cost_dollars").as_number(),
+            report.jobs[0].summary.total_cost_dollars);
+  const JsonValue& telemetry = good.at("telemetry");
+  EXPECT_EQ(telemetry.at("steps").as_number(),
+            static_cast<double>(report.jobs[0].telemetry.steps));
+  EXPECT_EQ(telemetry.at("solver").at("warm_start_hit_rate").as_number(),
+            report.jobs[0].telemetry.warm_start_hit_rate());
+  EXPECT_EQ(
+      telemetry.at("step_timing").at("bucket_counts").as_array().size(),
+      StepTimingHistogram::kBuckets);
+
+  const JsonValue& bad = entries[1];
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").as_string(), "nope");
+  EXPECT_FALSE(bad.has("summary"));
+}
+
+}  // namespace
+}  // namespace gridctl::engine

@@ -1,0 +1,94 @@
+#include "engine/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gridctl::engine {
+namespace {
+
+TEST(StepTimingHistogram, BucketsByPowerOfTwoMicroseconds) {
+  StepTimingHistogram hist;
+  hist.record(0.5);      // below 2 us -> bucket 0
+  hist.record(1.999);    // bucket 0
+  hist.record(2.0);      // [2, 4) -> bucket 1
+  hist.record(3.999);    // bucket 1
+  hist.record(4.0);      // [4, 8) -> bucket 2
+  hist.record(1e9);      // far beyond the last edge -> final bucket
+  EXPECT_EQ(hist.samples, 6u);
+  EXPECT_EQ(hist.counts[0], 2u);
+  EXPECT_EQ(hist.counts[1], 2u);
+  EXPECT_EQ(hist.counts[2], 1u);
+  EXPECT_EQ(hist.counts[StepTimingHistogram::kBuckets - 1], 1u);
+  EXPECT_DOUBLE_EQ(hist.max_us, 1e9);
+  std::uint64_t total = 0;
+  for (std::uint64_t count : hist.counts) total += count;
+  EXPECT_EQ(total, hist.samples);
+}
+
+TEST(StepTimingHistogram, BucketEdges) {
+  EXPECT_DOUBLE_EQ(StepTimingHistogram::bucket_upper_us(0), 2.0);
+  EXPECT_DOUBLE_EQ(StepTimingHistogram::bucket_upper_us(1), 4.0);
+  EXPECT_DOUBLE_EQ(StepTimingHistogram::bucket_upper_us(14), 32768.0);
+  EXPECT_TRUE(std::isinf(StepTimingHistogram::bucket_upper_us(
+      StepTimingHistogram::kBuckets - 1)));
+}
+
+TEST(StepTimingHistogram, MeanOfEmptyIsZero) {
+  StepTimingHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.mean_us(), 0.0);
+  hist.record(10.0);
+  hist.record(20.0);
+  EXPECT_DOUBLE_EQ(hist.mean_us(), 15.0);
+}
+
+TEST(RunTelemetry, AggregatesSolverOutcomes) {
+  RunTelemetry telemetry;
+  telemetry.record_solver(solvers::QpStatus::kOptimal, 12, false);
+  telemetry.record_solver(solvers::QpStatus::kOptimal, 8, true);
+  telemetry.record_solver(solvers::QpStatus::kMaxIterations, 500, true);
+  telemetry.record_solver(solvers::QpStatus::kInfeasible, 3, false);
+  EXPECT_EQ(telemetry.solver_calls, 4u);
+  EXPECT_EQ(telemetry.solver_iterations, 523u);
+  EXPECT_EQ(telemetry.status_optimal, 2u);
+  EXPECT_EQ(telemetry.status_max_iterations, 1u);
+  EXPECT_EQ(telemetry.status_infeasible, 1u);
+  EXPECT_EQ(telemetry.warm_start_hits, 2u);
+  EXPECT_DOUBLE_EQ(telemetry.warm_start_hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(telemetry.mean_solver_iterations(), 523.0 / 4.0);
+}
+
+TEST(RunTelemetry, ZeroCallsGiveZeroRates) {
+  const RunTelemetry telemetry;
+  EXPECT_DOUBLE_EQ(telemetry.warm_start_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(telemetry.mean_solver_iterations(), 0.0);
+}
+
+TEST(RunTelemetry, JsonViewMatchesCounters) {
+  RunTelemetry telemetry;
+  telemetry.policy_s = 0.25;
+  telemetry.total_s = 0.5;
+  telemetry.steps = 7;
+  telemetry.record_solver(solvers::QpStatus::kOptimal, 11, true);
+  telemetry.step_hist.record(5.0);
+
+  const JsonValue json = parse_json(dump_json(telemetry_to_json(telemetry)));
+  EXPECT_DOUBLE_EQ(json.at("phases").at("policy_s").as_number(), 0.25);
+  EXPECT_DOUBLE_EQ(json.at("phases").at("total_s").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(json.at("steps").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(json.at("solver").at("calls").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(json.at("solver").at("warm_start_hit_rate").as_number(),
+                   1.0);
+  const auto& hist = json.at("step_timing");
+  EXPECT_DOUBLE_EQ(hist.at("samples").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("mean_us").as_number(), 5.0);
+  // kBuckets counts, kBuckets - 1 finite edges (the last bucket is
+  // open-ended).
+  EXPECT_EQ(hist.at("bucket_counts").as_array().size(),
+            StepTimingHistogram::kBuckets);
+  EXPECT_EQ(hist.at("bucket_edges_us").as_array().size(),
+            StepTimingHistogram::kBuckets - 1);
+}
+
+}  // namespace
+}  // namespace gridctl::engine

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/error.hpp"
 
 namespace gridctl {
@@ -91,6 +93,82 @@ TEST(Json, NumberArrayHelper) {
 TEST(Json, WhitespaceTolerant) {
   const auto doc = parse_json("  {  \"a\"  :  [ 1 ,  2 ]  }  ");
   EXPECT_EQ(doc.at("a").as_array().size(), 2u);
+}
+
+TEST(JsonWriter, ScalarsRoundTrip) {
+  EXPECT_EQ(dump_json(parse_json("null")), "null");
+  EXPECT_EQ(dump_json(parse_json("true")), "true");
+  EXPECT_EQ(dump_json(parse_json("false")), "false");
+  EXPECT_EQ(dump_json(parse_json("42")), "42");
+  EXPECT_EQ(dump_json(parse_json("-7")), "-7");
+  EXPECT_EQ(dump_json(parse_json("\"hi\"")), "\"hi\"");
+}
+
+TEST(JsonWriter, NumbersRoundTripExactly) {
+  // The writer must emit the shortest decimal form that strtod maps
+  // back to the same double — test both pretty and awkward values.
+  for (const double value : {0.1, 1.0 / 3.0, 6.02214076e23, 1e-300, -2.5,
+                             123456789.123456789, 5e-324}) {
+    const JsonValue parsed = parse_json(dump_json(JsonValue(value)));
+    EXPECT_EQ(parsed.as_number(), value) << dump_json(JsonValue(value));
+  }
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  EXPECT_EQ(dump_json(JsonValue(std::numeric_limits<double>::quiet_NaN())),
+            "null");
+  EXPECT_EQ(dump_json(JsonValue(std::numeric_limits<double>::infinity())),
+            "null");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  const std::string raw = "a\"b\\c\nd\te\x01";
+  const JsonValue round = parse_json(dump_json(JsonValue(raw)));
+  EXPECT_EQ(round.as_string(), raw);
+}
+
+TEST(JsonWriter, StructuresRoundTrip) {
+  const char* source =
+      R"({"name":"gridctl","idcs":[{"mu":2.0},{"mu":1.25}],"empty":[],)"
+      R"("nested":{"deep":[1,[2,3]]},"none":{}})";
+  const JsonValue doc = parse_json(source);
+  const JsonValue round = parse_json(dump_json(doc));
+  EXPECT_EQ(round.at("name").as_string(), "gridctl");
+  EXPECT_EQ(round.at("idcs").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(round.at("idcs").as_array()[1].at("mu").as_number(), 1.25);
+  EXPECT_TRUE(round.at("empty").as_array().empty());
+  EXPECT_TRUE(round.at("none").as_object().empty());
+  EXPECT_DOUBLE_EQ(
+      round.at("nested").at("deep").as_array()[1].as_array()[1].as_number(),
+      3.0);
+}
+
+TEST(JsonWriter, CompactHasNoWhitespacePrettyIsIndented) {
+  const JsonValue doc = parse_json(R"({"a": [1, 2], "b": {"c": true}})");
+  const std::string compact = dump_json(doc);
+  EXPECT_EQ(compact.find(' '), std::string::npos);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  const std::string pretty = dump_json(doc, 2);
+  EXPECT_NE(pretty.find("\n  "), std::string::npos);
+  // Both forms parse back to the same document.
+  EXPECT_EQ(dump_json(parse_json(pretty)), compact);
+}
+
+TEST(JsonWriter, WritesFilesThatParseBack) {
+  const std::string path = ::testing::TempDir() + "/writer_test.json";
+  const JsonValue doc = parse_json(R"({"jobs":[{"ok":true,"cost":12.5}]})");
+  write_json_file(path, doc);
+  const JsonValue round = parse_json_file(path);
+  EXPECT_TRUE(round.at("jobs").as_array()[0].at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(round.at("jobs").as_array()[0].at("cost").as_number(),
+                   12.5);
+}
+
+TEST(JsonWriter, KeysComeOutSorted) {
+  // Object storage is a std::map, so serialization order is
+  // deterministic (alphabetical) regardless of input order.
+  EXPECT_EQ(dump_json(parse_json(R"({"z":1,"a":2,"m":3})")),
+            R"({"a":2,"m":3,"z":1})");
 }
 
 }  // namespace
