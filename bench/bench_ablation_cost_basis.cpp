@@ -61,14 +61,14 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("the two bases disagree at 6H (paper's published hour)",
+  passed += expect("the two bases disagree at 6H (paper's published hour)",
                   std::abs(six_price.idc_loads[0] -
                            six_integral.idc_loads[0]) > 5000.0);
   ++total;
-  passed += check("power-integral is never more expensive (true optimum)",
+  passed += expect("power-integral is never more expensive (true optimum)",
                   day_integral <= day_price_only + 1e-6);
   ++total;
-  passed += check("price-only reproduces the paper's 6H Michigan load "
+  passed += expect("price-only reproduces the paper's 6H Michigan load "
                   "(~17000 req/s with the latency margin)",
                   std::abs(six_price.idc_loads[0] - 17000.0) < 100.0);
   print_footer(passed, total);

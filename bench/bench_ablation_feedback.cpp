@@ -76,18 +76,18 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("MPC damps allocation swings vs greedy (>= 2x smaller)",
+  passed += expect("MPC damps allocation swings vs greedy (>= 2x smaller)",
                   ctl_alloc_swing < 0.5 * opt_alloc_swing);
   ++total;
-  passed += check("MPC's power-demand volatility is lower",
+  passed += expect("MPC's power-demand volatility is lower",
                   controlled.summary.total_volatility.mean_abs_step <
                       baseline.summary.total_volatility.mean_abs_step);
   ++total;
-  passed += check("costs stay within 10% (damping is near-free here)",
+  passed += expect("costs stay within 10% (damping is near-free here)",
                   controlled.summary.total_cost_dollars <
                       1.10 * baseline.summary.total_cost_dollars);
   ++total;
-  passed += check("both runs serve the full workload without overload",
+  passed += expect("both runs serve the full workload without overload",
                   controlled.summary.overload_seconds == 0.0 &&
                       baseline.summary.overload_seconds == 0.0);
   print_footer(passed, total);

@@ -76,18 +76,18 @@ int main() {
     for (std::size_t i = 1; i < endpoint_errors.size(); ++i) {
       monotone &= (endpoint_errors[i] <= endpoint_errors[i - 1] + 2e4);
     }
-    passed += check("endpoint error shrinks monotonically with the horizon",
+    passed += expect("endpoint error shrinks monotonically with the horizon",
                     monotone);
   }
   ++total;
-  passed += check("the default (8,2) horizon converges within 0.1 MW",
+  passed += expect("the default (8,2) horizon converges within 0.1 MW",
                   endpoint_errors[3] < 0.1e6);
   ++total;
-  passed += check("myopic (1,1) visibly under-converges in the window "
+  passed += expect("myopic (1,1) visibly under-converges in the window "
                   "(the horizon matters)",
                   endpoint_errors[0] > 3.0 * endpoint_errors[3]);
   ++total;
-  passed += check("horizon (1,1) is at least 5x cheaper to solve than (16,4)",
+  passed += expect("horizon (1,1) is at least 5x cheaper to solve than (16,4)",
                   solve_walls[0] * 5.0 < solve_walls[5]);
   print_footer(passed, total);
   return passed == total ? 0 : 1;

@@ -160,7 +160,7 @@ int main() {
   {
     bool all_damped = !migrated_vol_ratios.empty();
     for (double ratio : migrated_vol_ratios) all_damped &= (ratio < 0.8);
-    passed += check("max power step reduced on every migrating seed "
+    passed += expect("max power step reduced on every migrating seed "
                     "(ratio < 0.8)",
                     all_damped);
   }
@@ -168,18 +168,18 @@ int main() {
   {
     bool all_cheap = true;
     for (double ratio : cost_ratios) all_cheap &= (ratio < 1.10);
-    passed += check("cost premium below 10% on every seed", all_cheap);
+    passed += expect("cost premium below 10% on every seed", all_cheap);
   }
   ++total;
-  passed += check("mean cost premium below 5%", mean_of(cost_ratios) < 1.05);
+  passed += expect("mean cost premium below 5%", mean_of(cost_ratios) < 1.05);
   ++total;
-  passed += check("parallel sweep is bit-identical to the serial run",
+  passed += expect("parallel sweep is bit-identical to the serial run",
                   deterministic);
   ++total;
   {
     // The speedup claim only binds when the hardware can deliver it.
     const bool enough_cores = std::thread::hardware_concurrency() >= 4;
-    passed += check("sweep speedup >= 3x on >= 4 cores",
+    passed += expect("sweep speedup >= 3x on >= 4 cores",
                     !enough_cores || speedup >= 3.0);
   }
   print_footer(passed, total);

@@ -57,14 +57,14 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("AR(4) beats AR(1) on the EPA-like trace (lower RMSE)",
+  passed += expect("AR(4) beats AR(1) on the EPA-like trace (lower RMSE)",
                   rmse_by_order[3] < rmse_by_order[0]);
   ++total;
-  passed += check("both closed-loop variants serve without overload",
+  passed += expect("both closed-loop variants serve without overload",
                   with.summary.overload_seconds == 0.0 &&
                       without.summary.overload_seconds == 0.0);
   ++total;
-  passed += check("costs agree within 5% (prediction is a refinement, "
+  passed += expect("costs agree within 5% (prediction is a refinement, "
                   "not a correctness knob, on slow drift)",
                   std::abs(with.summary.total_cost_dollars -
                            without.summary.total_cost_dollars) <

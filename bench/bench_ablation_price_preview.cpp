@@ -111,15 +111,15 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("preview starts migrating before the boundary",
+  passed += expect("preview starts migrating before the boundary",
                   power_preview[0][boundary - 2] >
                       power_blind[0][boundary - 2] + 1e5);
   ++total;
-  passed += check("blind run has not moved before the boundary",
+  passed += expect("blind run has not moved before the boundary",
                   std::abs(power_blind[0][boundary - 3] -
                            power_blind[0][0]) < 5e4);
   ++total;
-  passed += check("both reach the same neighborhood by the window end",
+  passed += expect("both reach the same neighborhood by the window end",
                   std::abs(power_preview[0].back() -
                            power_blind[0].back()) < 0.3e6);
   print_footer(passed, total);

@@ -89,7 +89,7 @@ int main() {
     control::SleepController simplified(idcs);
     control::SleepController exact(idcs, exact_options);
     ++total;
-    passed += check("Erlang-C provisions fewer servers at every IDC",
+    passed += expect("Erlang-C provisions fewer servers at every IDC",
                     exact.target_servers(0, 39000.0) <
                             simplified.target_servers(0, 39000.0) &&
                         exact.target_servers(1, 49000.0) <
@@ -98,10 +98,10 @@ int main() {
                             simplified.target_servers(2, 12000.0));
   }
   ++total;
-  passed += check("costs stay within 2% across slow-loop periods",
+  passed += expect("costs stay within 2% across slow-loop periods",
                   core::series_max(costs) < 1.02 * core::series_min(costs));
   ++total;
-  passed += check("all variants converge to similar switching totals "
+  passed += expect("all variants converge to similar switching totals "
                   "(same endpoints, bounded overshoot)",
                   core::series_max(switches) <
                       1.5 * core::series_min(switches));

@@ -60,16 +60,16 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("volatility decreases monotonically with R",
+  passed += expect("volatility decreases monotonically with R",
                   std::is_sorted(max_steps.rbegin(), max_steps.rend()));
   ++total;
-  passed += check("cost is (weakly) increasing with R",
+  passed += expect("cost is (weakly) increasing with R",
                   costs.back() >= costs.front() - 1e-6);
   ++total;
-  passed += check("R = 0 reproduces the optimal method's jump (> 2.5 MW)",
+  passed += expect("R = 0 reproduces the optimal method's jump (> 2.5 MW)",
                   max_steps.front() > 2.5e6);
   ++total;
-  passed += check("largest R cuts the max step by > 10x vs R = 0",
+  passed += expect("largest R cuts the max step by > 10x vs R = 0",
                   max_steps.back() < 0.1 * max_steps.front());
   print_footer(passed, total);
   return passed == total ? 0 : 1;

@@ -49,13 +49,13 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("unlimited ramping has zero transient SLA damage",
+  passed += expect("unlimited ramping has zero transient SLA damage",
                   sla_seconds.front() == 0.0);
   ++total;
-  passed += check("tightening the ramp never reduces SLA damage",
+  passed += expect("tightening the ramp never reduces SLA damage",
                   std::is_sorted(sla_seconds.begin(), sla_seconds.end()));
   ++total;
-  passed += check("the tightest ramp causes real damage (> 30 s beyond "
+  passed += expect("the tightest ramp causes real damage (> 30 s beyond "
                   "the bound)",
                   sla_seconds.back() > 30.0);
   print_footer(passed, total);

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,25 @@ struct PairedRun {
   core::SimulationResult control;
   core::SimulationResult optimal;
 };
+
+// Figure benches accept `--strict`: enable the invariant checker in
+// strict mode so the first violated decision aborts the bench with a
+// described InvariantViolationError instead of silently producing a
+// wrong figure.
+inline bool strict_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) return true;
+  }
+  return false;
+}
+
+inline core::Scenario maybe_strict(core::Scenario scenario, bool strict) {
+  if (strict) {
+    scenario.controller.invariants.enabled = true;
+    scenario.controller.invariants.strict = true;
+  }
+  return scenario;
+}
 
 inline PairedRun run_both(const core::Scenario& scenario) {
   core::MpcPolicy control(core::CostController::Config{
@@ -38,7 +58,10 @@ inline void print_header(const char* experiment, const char* claim) {
 }
 
 // A single PASS/DEVIATION verdict line for a qualitative shape check.
-inline bool check(const char* what, bool ok) {
+// (Named `expect`, not `check`: unqualified `check(...)` would be
+// ambiguous against the `gridctl::check` namespace in files that pull
+// in `using namespace gridctl`.)
+inline bool expect(const char* what, bool ok) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "DEVIATION", what);
   return ok;
 }

@@ -56,19 +56,19 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("admission fraction monotone in the cap",
+  passed += expect("admission fraction monotone in the cap",
                   std::is_sorted(fractions.begin(), fractions.end()));
   ++total;
-  passed += check("premium fully served at every cap", premium_always_served);
+  passed += expect("premium fully served at every cap", premium_always_served);
   ++total;
-  passed += check("realized cost never exceeds the cap (when any ordinary "
+  passed += expect("realized cost never exceeds the cap (when any ordinary "
                   "traffic is admitted)",
                   cost_within_cap);
   ++total;
-  passed += check("largest cap admits all ordinary traffic",
+  passed += expect("largest cap admits all ordinary traffic",
                   fractions.back() == 1.0);
   ++total;
-  passed += check("smallest cap admits (almost) none",
+  passed += expect("smallest cap admits (almost) none",
                   fractions.front() < 0.05);
   print_footer(passed, total);
   return passed == total ? 0 : 1;

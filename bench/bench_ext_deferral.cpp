@@ -82,20 +82,20 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("cost decreases monotonically with delay tolerance",
+  passed += expect("cost decreases monotonically with delay tolerance",
                   std::is_sorted(costs.rbegin(), costs.rend()));
   ++total;
-  passed += check("12 h tolerance saves > 10% vs serve-on-arrival",
+  passed += expect("12 h tolerance saves > 10% vs serve-on-arrival",
                   costs.back() < 0.9 * costs.front());
   ++total;
-  passed += check("even 1 h of tolerance already saves > 3% (hour-to-hour "
+  passed += expect("even 1 h of tolerance already saves > 3% (hour-to-hour "
                   "price spread)",
                   costs[1] < 0.97 * costs[0]);
   ++total;
   // Long tolerances keep paying on this price day: the Wisconsin
   // negative-price valley (hours 2-4) is only reachable from the
   // business-hour arrivals with >= 8 h of slack.
-  passed += check("8h -> 12h still adds savings (deep overnight valley)",
+  passed += expect("8h -> 12h still adds savings (deep overnight valley)",
                   costs.back() < costs[costs.size() - 2] - 1e-6);
   print_footer(passed, total);
   return passed == total ? 0 : 1;

@@ -98,14 +98,14 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("green-aware allocation uses less brown energy",
+  passed += expect("green-aware allocation uses less brown energy",
                   green_brown_mwh < priceonly_brown_mwh);
   ++total;
-  passed += check("Michigan carries more load at solar noon than at night "
+  passed += expect("Michigan carries more load at solar noon than at night "
                   "(follows the sun)",
                   mi_noon_green > mi_night_green + 5000.0);
   ++total;
-  passed += check("brown saving is substantial (> 4% daily)",
+  passed += expect("brown saving is substantial (> 4% daily)",
                   green_brown_mwh < 0.96 * priceonly_brown_mwh);
   print_footer(passed, total);
   return passed == total ? 0 : 1;

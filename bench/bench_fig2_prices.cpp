@@ -40,16 +40,16 @@ int main() {
   const auto& mn = trace.series(market::kMinnesota);
   const auto& mi = trace.series(market::kMichigan);
   ++total;
-  passed += check("hour-6 prices match Table III exactly",
+  passed += expect("hour-6 prices match Table III exactly",
                   mi[6] == 43.26 && mn[6] == 30.26 && wi[6] == 19.06);
   ++total;
-  passed += check("hour-7 prices match Table III exactly",
+  passed += expect("hour-7 prices match Table III exactly",
                   mi[7] == 49.90 && mn[7] == 29.47 && wi[7] == 77.97);
   ++total;
-  passed += check("Wisconsin shows a negative-price dip (Fig. 2)",
+  passed += expect("Wisconsin shows a negative-price dip (Fig. 2)",
                   core::series_min(wi) < 0.0);
   ++total;
-  passed += check("Wisconsin is the most volatile series (Fig. 2)",
+  passed += expect("Wisconsin is the most volatile series (Fig. 2)",
                   core::volatility(wi).mean_abs_step >
                       core::volatility(mn).mean_abs_step &&
                   core::volatility(wi).mean_abs_step >
@@ -61,7 +61,7 @@ int main() {
     // its negative-price hours — volatility, not cheapness.)
     bool always_below = true;
     for (std::size_t h = 0; h < 24; ++h) always_below &= (mn[h] < mi[h]);
-    passed += check("Minnesota undercuts Michigan at every hour (Fig. 2)",
+    passed += expect("Minnesota undercuts Michigan at every hour (Fig. 2)",
                     always_below);
   }
   print_footer(passed, total);

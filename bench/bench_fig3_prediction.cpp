@@ -46,14 +46,14 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("predicted series tracks the original (R^2 > 0.9)",
+  passed += expect("predicted series tracks the original (R^2 > 0.9)",
                   stats.r_squared > 0.9);
   ++total;
-  passed += check("relative error small against the ~1900 req/s peak "
+  passed += expect("relative error small against the ~1900 req/s peak "
                   "(RMSE < 10% of peak)",
                   stats.rmse < 190.0);
   ++total;
-  passed += check("prediction unbiased at the diurnal scale (MAE < RMSE)",
+  passed += expect("prediction unbiased at the diurnal scale (MAE < RMSE)",
                   stats.mae < stats.rmse);
   print_footer(passed, total);
   return passed == total ? 0 : 1;

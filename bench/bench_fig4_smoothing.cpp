@@ -6,7 +6,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridctl;
   using namespace gridctl::bench;
   using core::paper::kPublished;
@@ -17,7 +17,8 @@ int main() {
       "price change; control method reaches the same endpoints gradually; "
       "MN stays ~11.4 MW");
 
-  const core::Scenario scenario = core::paper::smoothing_scenario(10.0);
+  const core::Scenario scenario = maybe_strict(
+      core::paper::smoothing_scenario(10.0), strict_requested(argc, argv));
 
   std::printf("Table I (portal workloads, req/s):");
   for (double demand : core::paper::kPortalDemands) {
@@ -56,30 +57,30 @@ int main() {
   const auto& mn_opt = run.optimal.trace.power_w[1];
 
   ++total;
-  passed += check("optimal method steps MI up ~3.1 MW in one period",
+  passed += expect("optimal method steps MI up ~3.1 MW in one period",
                   mi_opt[1] - mi_opt[0] > 2.5e6);
   ++total;
-  passed += check("optimal method steps WI down ~3.6 MW in one period",
+  passed += expect("optimal method steps WI down ~3.6 MW in one period",
                   wi_opt[0] - wi_opt[1] > 3.0e6);
   ++total;
-  passed += check("Minnesota stays flat near 11.3 MW under both policies",
+  passed += expect("Minnesota stays flat near 11.3 MW under both policies",
                   core::volatility(mn_opt).max_abs_step < 0.05e6);
   ++total;
   {
     const double ctl_max = core::volatility(mi_ctl).max_abs_step;
     const double opt_max = core::volatility(mi_opt).max_abs_step;
-    passed += check("control max power step < 25% of optimal's jump (MI)",
+    passed += expect("control max power step < 25% of optimal's jump (MI)",
                     ctl_max < 0.25 * opt_max);
   }
   ++total;
-  passed += check("control converges to the optimal endpoint (MI within 2%)",
+  passed += expect("control converges to the optimal endpoint (MI within 2%)",
                   std::abs(mi_ctl[last] - mi_opt[last]) < 0.02 * mi_opt[last] + 5e4);
   ++total;
   {
     // Smoothing costs only a small premium over the window.
     const double ctl = run.control.summary.total_cost_dollars;
     const double opt = run.optimal.summary.total_cost_dollars;
-    passed += check("smoothing premium below 10% of the window cost",
+    passed += expect("smoothing premium below 10% of the window cost",
                     ctl < 1.10 * opt && ctl >= opt - 1e-9);
   }
   std::printf("\nwindow cost: control $%.2f vs optimal $%.2f (+%.1f%%)\n",

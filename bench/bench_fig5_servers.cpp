@@ -5,7 +5,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridctl;
   using namespace gridctl::bench;
   using core::paper::kPublished;
@@ -15,7 +15,8 @@ int main() {
       "optimal jumps MI 7500->20000 and WI 20000->5715 instantly; MN flat "
       "at 40000; control ramps server counts gradually");
 
-  const core::Scenario scenario = core::paper::smoothing_scenario(10.0);
+  const core::Scenario scenario = maybe_strict(
+      core::paper::smoothing_scenario(10.0), strict_requested(argc, argv));
   const PairedRun run = run_both(scenario);
   print_server_series(run, 3);
 
@@ -37,20 +38,20 @@ int main() {
   const auto& wi_opt = run.optimal.trace.servers_on[2];
 
   ++total;
-  passed += check("optimal jumps MI to its 20000-server cap in one period",
+  passed += expect("optimal jumps MI to its 20000-server cap in one period",
                   mi_opt[1] == 20000.0 && mi_opt[0] < 10000.0);
   ++total;
-  passed += check("optimal drops WI by >10000 servers in one period",
+  passed += expect("optimal drops WI by >10000 servers in one period",
                   wi_opt[0] - wi_opt[1] > 10000.0);
   ++total;
-  passed += check("Minnesota pinned at 40000 servers throughout (Fig. 5b)",
+  passed += expect("Minnesota pinned at 40000 servers throughout (Fig. 5b)",
                   core::series_min(mn_opt) == 40000.0 &&
                       core::series_max(mn_opt) == 40000.0);
   ++total;
-  passed += check("control ramps MI: max per-step change < 3000 servers",
+  passed += expect("control ramps MI: max per-step change < 3000 servers",
                   core::volatility(mi_ctl).max_abs_step < 3000.0);
   ++total;
-  passed += check("control reaches the same MI endpoint (within 500)",
+  passed += expect("control reaches the same MI endpoint (within 500)",
                   std::abs(mi_ctl[last] - mi_opt[last]) < 500.0);
   print_footer(passed, total);
   return passed == total ? 0 : 1;

@@ -6,7 +6,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridctl;
   using namespace gridctl::bench;
 
@@ -15,7 +15,8 @@ int main() {
       "control keeps MI <= 5.13 MW and MN <= 10.26 MW (optimal violates "
       "both); WI converges between its optimal value and its budget");
 
-  const core::Scenario scenario = core::paper::shaving_scenario(10.0);
+  const core::Scenario scenario = maybe_strict(
+      core::paper::shaving_scenario(10.0), strict_requested(argc, argv));
   std::printf("budgets: MI %.3f MW, MN %.3f MW, WI %.3f MW\n\n",
               units::watts_to_mw(scenario.power_budgets_w[0]),
               units::watts_to_mw(scenario.power_budgets_w[1]),
@@ -39,24 +40,24 @@ int main() {
   const std::size_t last = run.control.trace.time_s.size() - 1;
   int passed = 0, total = 0;
   ++total;
-  passed += check("optimal violates the Michigan budget persistently",
+  passed += expect("optimal violates the Michigan budget persistently",
                   run.optimal.summary.idcs[0].budget.violations > 30);
   ++total;
-  passed += check("optimal violates the Minnesota budget persistently",
+  passed += expect("optimal violates the Minnesota budget persistently",
                   run.optimal.summary.idcs[1].budget.violations > 30);
   ++total;
-  passed += check("control settles Michigan at/below its budget",
+  passed += expect("control settles Michigan at/below its budget",
                   run.control.trace.power_w[0][last] <=
                       scenario.power_budgets_w[0] * 1.001);
   ++total;
-  passed += check("control settles Minnesota at/below its budget",
+  passed += expect("control settles Minnesota at/below its budget",
                   run.control.trace.power_w[1][last] <=
                       scenario.power_budgets_w[1] * 1.001);
   ++total;
   {
     const double wi_ctl = run.control.trace.power_w[2][last];
     const double wi_opt = run.optimal.trace.power_w[2][last];
-    passed += check(
+    passed += expect(
         "Wisconsin converges strictly between its optimum and its budget",
         wi_ctl > wi_opt && wi_ctl < scenario.power_budgets_w[2]);
   }
@@ -66,7 +67,7 @@ int main() {
     for (std::size_t j = 0; j < 3; ++j) {
       served += run.control.trace.idc_load_rps[j][last];
     }
-    passed += check("all 100000 req/s still served under the budgets",
+    passed += expect("all 100000 req/s still served under the budgets",
                     std::abs(served - 100000.0) < 10.0);
   }
   print_footer(passed, total);

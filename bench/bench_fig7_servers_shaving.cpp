@@ -6,7 +6,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridctl;
   using namespace gridctl::bench;
 
@@ -15,7 +15,8 @@ int main() {
       "control lowers MN below 40000 and caps MI below its unconstrained "
       "20000; WI holds more servers than its unconstrained optimum");
 
-  const core::Scenario scenario = core::paper::shaving_scenario(10.0);
+  const core::Scenario scenario = maybe_strict(
+      core::paper::shaving_scenario(10.0), strict_requested(argc, argv));
   const PairedRun run = run_both(scenario);
   print_server_series(run, 3);
 
@@ -30,24 +31,24 @@ int main() {
 
   int passed = 0, total = 0;
   ++total;
-  passed += check("control ends MN in the budget-implied 34000-37500 band",
+  passed += expect("control ends MN in the budget-implied 34000-37500 band",
                   run.control.trace.servers_on[1][last] > 34000.0 &&
                       run.control.trace.servers_on[1][last] < 37500.0);
   ++total;
-  passed += check("optimal keeps MN pinned at 40000 (budget-blind)",
+  passed += expect("optimal keeps MN pinned at 40000 (budget-blind)",
                   run.optimal.trace.servers_on[1][last] == 40000.0);
   ++total;
-  passed += check("control caps MI below the optimal method's 20000",
+  passed += expect("control caps MI below the optimal method's 20000",
                   run.control.trace.servers_on[0][last] <
                       run.optimal.trace.servers_on[0][last]);
   ++total;
-  passed += check("WI holds more servers under control than under optimal",
+  passed += expect("WI holds more servers under control than under optimal",
                   run.control.trace.servers_on[2][last] >
                       run.optimal.trace.servers_on[2][last] + 2000.0);
   ++total;
   {
     const auto vol = core::volatility(run.control.trace.servers_on[1]);
-    passed += check("control moves MN gradually (< 2000 servers/step)",
+    passed += expect("control moves MN gradually (< 2000 servers/step)",
                     vol.max_abs_step < 2000.0);
   }
   print_footer(passed, total);

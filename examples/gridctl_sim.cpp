@@ -2,7 +2,7 @@
 //
 //   gridctl_sim <scenario.json> [--policy control|optimal|static|all]
 //               [--csv out.csv] [--report out.json] [--threads N]
-//               [--no-warm-start]
+//               [--no-warm-start] [--strict] [--qp-cap N] [--no-fallback]
 //
 // Runs through the sweep engine: `--policy all` executes the three stock
 // policies concurrently, `--report` dumps the SweepReport JSON (per-run
@@ -30,7 +30,13 @@ void print_usage() {
       "usage: gridctl_sim [scenario.json]\n"
       "                   [--policy control|optimal|static|all]\n"
       "                   [--csv out.csv] [--report out.json] [--threads N]\n"
-      "                   [--no-warm-start]\n");
+      "                   [--no-warm-start]\n"
+      "                   [--strict]       abort the run on any invariant "
+      "violation\n"
+      "                   [--qp-cap N]     cap QP iterations (fault "
+      "injection)\n"
+      "                   [--no-fallback]  disable the alternate-backend "
+      "retry\n");
 }
 
 void print_summary(const gridctl::core::Scenario& scenario,
@@ -65,6 +71,19 @@ void print_summary(const gridctl::core::Scenario& scenario,
                 telemetry.warm_start_hit_rate() * 100.0);
   }
   std::printf("\n");
+  if (telemetry.invariants.checks > 0 || telemetry.fallback_backend_retries ||
+      telemetry.fallback_holds) {
+    std::printf("checks   : %llu invariant checks, %llu violations",
+                static_cast<unsigned long long>(telemetry.invariants.checks),
+                static_cast<unsigned long long>(telemetry.invariants.total()));
+    if (telemetry.fallback_backend_retries || telemetry.fallback_holds) {
+      std::printf("; fallbacks: %llu backend retries, %llu holds",
+                  static_cast<unsigned long long>(
+                      telemetry.fallback_backend_retries),
+                  static_cast<unsigned long long>(telemetry.fallback_holds));
+    }
+    std::printf("\n");
+  }
 }
 
 }  // namespace
@@ -78,6 +97,9 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::size_t threads = 0;
   bool warm_start = true;
+  bool strict = false;
+  bool no_fallback = false;
+  long qp_cap = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--policy" && i + 1 < argc) {
@@ -90,6 +112,12 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-warm-start") {
       warm_start = false;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--no-fallback") {
+      no_fallback = true;
+    } else if (arg == "--qp-cap" && i + 1 < argc) {
+      qp_cap = std::atol(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -103,9 +131,19 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const core::Scenario scenario =
+    core::Scenario scenario =
         scenario_path.empty() ? core::paper::smoothing_scenario()
                               : core::load_scenario_file(scenario_path);
+    // The check/fallback flags override whatever the scenario configured.
+    if (strict) {
+      scenario.controller.invariants.enabled = true;
+      scenario.controller.invariants.strict = true;
+    }
+    if (no_fallback) scenario.controller.solver_fallback = false;
+    if (qp_cap >= 0) {
+      scenario.controller.solver_max_iterations =
+          static_cast<std::size_t>(qp_cap);
+    }
 
     std::vector<std::string> policies;
     if (policy_name == "all") {

@@ -1,0 +1,97 @@
+// Plain data types of the runtime invariant-checking and
+// graceful-degradation subsystem (`gridctl::check`).
+//
+// This header is dependency-free on purpose: `ControllerParams`
+// (core/scenario.hpp) embeds `CheckOptions`, and the header-only
+// `engine::RunTelemetry` accumulates `InvariantCounts`, so both must be
+// able to include it without pulling in the controller stack. The
+// checker itself lives in check/invariants.hpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gridctl::check {
+
+// The hard guarantees the paper's control method rests on, checked
+// against every `CostController::Decision`.
+enum class Invariant : std::size_t {
+  kConservation = 0,  // per portal: sum_j lambda_ij = lambda_i (eq. 26)
+  kNonNegativity,     // lambda_ij >= 0 (eq. 34)
+  kBudget,            // per-IDC power within the clamped budget/capacity cap
+  kServerBound,       // m_j >= eq. (35)'s lower bound at the applied load
+  kFinite,            // allocation, power and reference stay finite
+};
+
+inline constexpr std::size_t kNumInvariants = 5;
+
+const char* invariant_name(Invariant kind);
+
+// One recorded violation: which invariant broke, where, and by how much.
+struct Violation {
+  Invariant kind = Invariant::kConservation;
+  std::size_t index = 0;   // portal (conservation) or IDC (the rest)
+  double magnitude = 0.0;  // violation size in the invariant's own units
+  std::string detail;      // human-readable, ready for a report/exception
+};
+
+// Running violation counters, cheap enough to accumulate per step and
+// sum per run.
+struct InvariantCounts {
+  std::uint64_t checks = 0;  // decisions examined
+  std::array<std::uint64_t, kNumInvariants> by_kind{};
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t count : by_kind) sum += count;
+    return sum;
+  }
+  void merge(const InvariantCounts& other) {
+    checks += other.checks;
+    for (std::size_t i = 0; i < kNumInvariants; ++i) {
+      by_kind[i] += other.by_kind[i];
+    }
+  }
+};
+
+// How far down the solver degradation chain one control period had to
+// go. Tier 0 is the configured QP backend converging; tier 1 re-solves
+// the same problem with the alternate backend; tier 2 abandons the
+// period's QP entirely and re-applies the last feasible allocation
+// projected onto the current constraints.
+enum class FallbackTier : std::uint8_t {
+  kNone = 0,
+  kBackendRetry = 1,
+  kHoldLastFeasible = 2,
+};
+
+const char* fallback_tier_name(FallbackTier tier);
+
+struct CheckOptions {
+  bool enabled = true;   // run the checker each period
+  bool strict = false;   // throw InvariantViolationError on any violation
+  // Relative tolerance per portal on workload conservation.
+  double conservation_tol = 1e-6;
+  // Allocation entries may undershoot zero by this much (absolute req/s)
+  // before counting as a violation.
+  double nonneg_tol_rps = 1e-9;
+  // Power may exceed the clamped cap by this relative margin plus one
+  // watt absolute (QP convergence tolerance headroom).
+  double budget_tol = 1e-4;
+};
+
+// Thrown by strict mode when a decision violates an invariant; carries
+// the formatted violation list in what().
+class InvariantViolationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// "kind[index]: detail; kind[index]: detail; ..." for exceptions/logs.
+std::string describe(const std::vector<Violation>& violations);
+
+}  // namespace gridctl::check

@@ -43,10 +43,12 @@ MpcResult MpcController::step(const MpcStep& input) {
   lsq.g.assign(p * b1, 0.0);
   lsq.w.assign(p * b1, 0.0);
   for (std::size_t s = 0; s < b1; ++s) {
-    const Vector& ref = input.references.size() == 1
-                            ? input.references[0]
-                            : input.references[std::min(
-                                  s, input.references.size() - 1)];
+    // Shorter reference trajectories are extended by holding the last
+    // entry. Indexed without a size()-1 clamp: on an empty vector that
+    // expression wraps to SIZE_MAX (the emptiness `require` above is the
+    // first line of defense, `back()` the second).
+    const Vector& ref = s < input.references.size() ? input.references[s]
+                                                    : input.references.back();
     for (std::size_t i = 0; i < p; ++i) {
       lsq.g[s * p + i] = ref[i] - prediction.constant[s * p + i];
       lsq.w[s * p + i] = config_.weights.q[i];
@@ -68,13 +70,31 @@ MpcResult MpcController::step(const MpcStep& input) {
   lsq.upper = stacked.upper;
 
   const Vector warm = warm_start_.size() == m * b2 ? warm_start_ : Vector{};
-  const auto solved = solve_constrained_lsq(lsq, config_.backend, warm);
+  solvers::LsqSolveOptions solve_options{config_.backend,
+                                         config_.max_solver_iterations};
+  auto solved = solve_constrained_lsq(lsq, solve_options, warm);
 
   MpcResult result;
+  result.warm_started = !warm.empty();
+  if (solved.status != solvers::QpStatus::kOptimal &&
+      config_.backend_fallback) {
+    // Degradation tier 1: same problem, other backend, cold start, its
+    // own default iteration budget (an injected cap on the primary must
+    // not also cripple the rescue attempt).
+    const solvers::LsqBackend other =
+        config_.backend == solvers::LsqBackend::kAdmm
+            ? solvers::LsqBackend::kActiveSet
+            : solvers::LsqBackend::kAdmm;
+    auto retried = solve_constrained_lsq(lsq, solvers::LsqSolveOptions{other, 0});
+    if (retried.status == solvers::QpStatus::kOptimal) {
+      solved = std::move(retried);
+      result.used_fallback_backend = true;
+      result.warm_started = false;
+    }
+  }
   result.status = solved.status;
   result.objective = solved.objective;
   result.solver_iterations = solved.iterations;
-  result.warm_started = !warm.empty();
   result.delta_u.assign(solved.x.begin(),
                         solved.x.begin() + static_cast<std::ptrdiff_t>(m));
   result.u = linalg::add(input.u_prev, result.delta_u);
@@ -83,7 +103,14 @@ MpcResult MpcController::step(const MpcStep& input) {
                                      prediction.constant);
   result.predicted_y.assign(y_stack.begin(),
                             y_stack.begin() + static_cast<std::ptrdiff_t>(p));
-  warm_start_ = solved.x;
+  // An unconverged iterate is a poor warm start for the next period (and
+  // under ADMM can anchor the next solve in the same stall), so only an
+  // optimal solution is cached.
+  if (solved.status == solvers::QpStatus::kOptimal) {
+    warm_start_ = solved.x;
+  } else {
+    warm_start_.clear();
+  }
   return result;
 }
 

@@ -34,6 +34,17 @@ struct MpcConfig {
   MpcWeights weights;
   InputConstraints constraints;
   solvers::LsqBackend backend = solvers::LsqBackend::kAdmm;
+  // QP iteration cap for the primary backend; 0 = backend default. A
+  // deliberately tiny cap is the fault-injection lever for exercising
+  // the degradation chain.
+  std::size_t max_solver_iterations = 0;
+  // When the primary backend fails (iteration cap / infeasible), re-solve
+  // the same stacked problem cold with the *other* backend at its default
+  // iteration budget before giving up. The two solvers fail for different
+  // reasons (ADMM stalls on ill-conditioning where the active set pivots
+  // through; the active set needs a phase-1 point ADMM does not), so the
+  // retry rescues most transient failures.
+  bool backend_fallback = false;
 };
 
 struct MpcStep {
@@ -57,6 +68,10 @@ struct MpcResult {
   // solution (false on the first step and after a constraint-shape
   // change invalidated the cache).
   bool warm_started = false;
+  // True when the primary backend failed and the alternate backend's
+  // solution was returned instead (degradation tier 1). `status` and
+  // `solver_iterations` then describe the fallback solve.
+  bool used_fallback_backend = false;
 };
 
 class MpcController {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace gridctl::core {
 
@@ -22,6 +23,73 @@ namespace {
 constexpr double kRpsScale = 1e3;   // 1 input unit = 1000 req/s
 constexpr double kPowerScale = 1e6; // 1 output unit = 1 MW
 
+// Degradation tier 2: re-apply the previous allocation, projected onto
+// the current constraint set — conservation against the live demand,
+// non-negativity, and the per-IDC load caps. Returns false when the
+// projection cannot be made feasible (caller falls back to the
+// reference split).
+bool project_hold_allocation(const Allocation& previous,
+                             const Allocation& reference,
+                             const std::vector<double>& served_demands,
+                             const std::vector<double>& caps,
+                             Allocation& out) {
+  const std::size_t c = previous.portals();
+  const std::size_t n = previous.idcs();
+  Vector u = previous.flatten();
+  for (double& v : u) v = std::max(v, 0.0);
+  for (std::size_t i = 0; i < c; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row_sum += u[i * n + j];
+    if (row_sum > 0.0) {
+      const double factor = served_demands[i] / row_sum;
+      for (std::size_t j = 0; j < n; ++j) u[i * n + j] *= factor;
+    } else if (served_demands[i] > 0.0) {
+      // Degenerate all-zero row: seed from the reference split.
+      for (std::size_t j = 0; j < n; ++j) u[i * n + j] = reference.at(i, j);
+    }
+  }
+  // Rescaling can push an IDC over its cap; shave the worst offender
+  // back to its cap and hand the freed load to IDCs with slack,
+  // weighted by slack. Moving load never breaks conservation (each
+  // portal's freed amount is redistributed in full), so a few passes
+  // converge whenever the caps are jointly feasible for the demand.
+  for (int pass = 0; pass < 8; ++pass) {
+    std::vector<double> loads(n, 0.0);
+    for (std::size_t i = 0; i < c; ++i) {
+      for (std::size_t j = 0; j < n; ++j) loads[j] += u[i * n + j];
+    }
+    std::size_t worst = n;
+    double worst_excess = 1e-9;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double excess = loads[j] - caps[j];
+      if (excess > worst_excess) {
+        worst = j;
+        worst_excess = excess;
+      }
+    }
+    if (worst == n) {
+      out = Allocation::unflatten(u, c, n);
+      return true;
+    }
+    double total_slack = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != worst) total_slack += std::max(caps[k] - loads[k], 0.0);
+    }
+    if (total_slack < worst_excess) return false;
+    const double shrink = caps[worst] / loads[worst];
+    for (std::size_t i = 0; i < c; ++i) {
+      const double freed = u[i * n + worst] * (1.0 - shrink);
+      u[i * n + worst] *= shrink;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k == worst) continue;
+        const double slack = std::max(caps[k] - loads[k], 0.0);
+        u[i * n + k] += freed * slack / total_slack;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 void CostController::Config::validate() const {
@@ -30,9 +98,25 @@ void CostController::Config::validate() const {
   for (const auto& idc : idcs) idc.validate();
   require(power_budgets_w.empty() || power_budgets_w.size() == idcs.size(),
           "CostController: budget size mismatch");
+  for (std::size_t j = 0; j < power_budgets_w.size(); ++j) {
+    // +inf (unconstrained) is allowed; NaN and non-positive budgets are
+    // config errors to reject up front, not mid-run.
+    require(!std::isnan(power_budgets_w[j]),
+            format("CostController: power budget of IDC %zu is NaN", j));
+    require(power_budgets_w[j] > 0.0,
+            format("CostController: power budget of IDC %zu must be "
+                   "positive (got %g W)",
+                   j, power_budgets_w[j]));
+  }
   params.horizons.validate();
-  require(params.q_weight > 0.0, "CostController: q_weight must be positive");
-  require(params.r_weight >= 0.0, "CostController: r_weight must be >= 0");
+  require(std::isfinite(params.q_weight) && params.q_weight > 0.0,
+          "CostController: q_weight must be positive and finite");
+  require(std::isfinite(params.r_weight) && params.r_weight >= 0.0,
+          "CostController: r_weight must be >= 0 and finite");
+  require(params.invariants.conservation_tol > 0.0 &&
+              params.invariants.budget_tol > 0.0 &&
+              params.invariants.nonneg_tol_rps >= 0.0,
+          "CostController: invariant tolerances must be positive");
 }
 
 CostController::CostController(Config config)
@@ -52,6 +136,8 @@ CostController::CostController(Config config)
   mpc_config.weights.r.assign(config_.portals * config_.idcs.size(),
                               config_.params.r_weight);
   mpc_config.backend = config_.params.backend;
+  mpc_config.max_solver_iterations = config_.params.solver_max_iterations;
+  mpc_config.backend_fallback = config_.params.solver_fallback;
   // Constraints are installed per step (the conservation right-hand side
   // follows the live workload).
   mpc_config.constraints.h_eq =
@@ -63,6 +149,11 @@ CostController::CostController(Config config)
   mpc_config.constraints.in_upper.assign(config_.idcs.size(), 0.0);
   mpc_ = std::make_unique<control::MpcController>(build_plant(),
                                                   std::move(mpc_config));
+  if (config_.params.invariants.enabled) {
+    checker_.emplace(config_.idcs, config_.portals, config_.power_budgets_w,
+                     config_.params.budget_hard_constraints,
+                     config_.params.sleep, config_.params.invariants);
+  }
 }
 
 MpcPlant CostController::build_plant() const {
@@ -104,24 +195,11 @@ InputConstraints CostController::build_constraints(
   // approached smoothly. With budget_hard_constraints, budget-derived
   // caps are enforced when they are jointly feasible for the demand
   // (serve the workload first, report the violation otherwise — matches
-  // the reference optimizer's fallback).
-  std::vector<double> caps(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    caps[j] = control::load_cap_for_capacity(config_.idcs[j]);
-  }
-  if (config_.params.budget_hard_constraints &&
-      !config_.power_budgets_w.empty()) {
-    double total_demand = 0.0;
-    for (double demand : portal_demands) total_demand += demand;
-    double total_cap = 0.0;
-    std::vector<double> budget_caps(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      budget_caps[j] = control::load_cap_for_budget(
-          config_.idcs[j], config_.power_budgets_w[j]);
-      total_cap += budget_caps[j];
-    }
-    if (total_cap >= total_demand) caps = std::move(budget_caps);
-  }
+  // the reference optimizer's fallback). The same cap derivation backs
+  // the invariant checker, so enforcement and checking cannot diverge.
+  const std::vector<double> caps = check::effective_load_caps(
+      config_.idcs, config_.power_budgets_w,
+      config_.params.budget_hard_constraints, portal_demands);
   constraints.in_upper = linalg::scale(1.0 / kRpsScale, caps);
   constraints.nonnegative = true;
   return constraints;
@@ -214,8 +292,11 @@ CostController::Decision CostController::step(
         }
       }
       if (!price_preview.empty()) {
-        const auto& row = price_preview[std::min(s - 1,
-                                                 price_preview.size() - 1)];
+        // Shorter previews repeat the last row. `s` starts at 1, so the
+        // index is `s - 1`; guarded directly instead of a size()-1 clamp
+        // (which would wrap on an empty vector).
+        const auto& row = s - 1 < price_preview.size() ? price_preview[s - 1]
+                                                       : price_preview.back();
         require(row.size() == n,
                 "CostController: price preview row size mismatch");
         ahead.prices = row;
@@ -235,6 +316,9 @@ CostController::Decision CostController::step(
       linalg::scale(kPowerScale, mpc_result.predicted_y);
 
   if (mpc_result.status == solvers::QpStatus::kOptimal) {
+    decision.fallback_tier = mpc_result.used_fallback_backend
+                                 ? check::FallbackTier::kBackendRetry
+                                 : check::FallbackTier::kNone;
     // The QP enforces U >= 0 and conservation only to its convergence
     // tolerance; clamp negatives and rescale each portal row so the
     // conservation invariant holds exactly.
@@ -255,9 +339,31 @@ CostController::Decision CostController::step(
     }
     allocation_ = Allocation::unflatten(u, config_.portals, n);
   } else {
-    // Defensive fallback: apply the reference allocation directly rather
-    // than an unconverged iterate.
-    allocation_ = decision.reference.allocation;
+    // Degradation tier 2: neither backend converged. Holding the last
+    // feasible allocation (projected onto the current constraints)
+    // preserves the smoothing objective — jumping to the reference
+    // allocation would be exactly the un-smoothed move the MPC exists
+    // to avoid — so the reference split is only the terminal fallback
+    // when the hold cannot be made feasible for this period's demand.
+    decision.fallback_tier = check::FallbackTier::kHoldLastFeasible;
+    const std::vector<double> caps = check::effective_load_caps(
+        config_.idcs, config_.power_budgets_w,
+        config_.params.budget_hard_constraints, served_demands);
+    Allocation held(config_.portals == 0 ? 1 : config_.portals,
+                    n == 0 ? 1 : n);
+    if (project_hold_allocation(allocation_, decision.reference.allocation,
+                                served_demands, caps, held)) {
+      allocation_ = std::move(held);
+    } else {
+      allocation_ = decision.reference.allocation;
+    }
+    // The MPC's Y_1 describes an unconverged iterate, not the applied
+    // move; recompute the power prediction from what was applied.
+    const auto held_loads = allocation_.idc_loads();
+    for (std::size_t j = 0; j < n; ++j) {
+      decision.predicted_power_w[j] =
+          check::continuous_power_w(config_.idcs[j], held_loads[j]);
+    }
   }
 
   // Slow loop: servers follow the (smoothed) allocation, once every
@@ -278,6 +384,16 @@ CostController::Decision CostController::step(
 
   decision.allocation = allocation_;
   decision.servers = servers_;
+  if (checker_) {
+    // Throws InvariantViolationError in strict mode.
+    decision.violations = checker_->check(decision.allocation, decision.servers,
+                                          decision.predicted_power_w,
+                                          served_demands);
+    decision.invariants.checks = 1;
+    for (const auto& violation : decision.violations) {
+      ++decision.invariants.by_kind[static_cast<std::size_t>(violation.kind)];
+    }
+  }
   return decision;
 }
 

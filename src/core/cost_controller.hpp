@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "control/mpc.hpp"
 #include "control/reference_optimizer.hpp"
 #include "control/sleep_controller.hpp"
@@ -51,6 +52,16 @@ class CostController {
     // Fraction of offered load shed this period (0 unless the scenario
     // enables allow_load_shedding and demand exceeded capacity).
     double shed_fraction = 0.0;
+    // Solver degradation tier this period: kNone when the primary QP
+    // backend converged, kBackendRetry when the alternate backend
+    // rescued the solve, kHoldLastFeasible when the previous allocation
+    // was re-applied (projected onto the current constraints).
+    check::FallbackTier fallback_tier = check::FallbackTier::kNone;
+    // Invariant checking results for this decision (empty/zero when
+    // checking is disabled). In strict mode `step` throws
+    // check::InvariantViolationError instead of returning violations.
+    std::vector<check::Violation> violations;
+    check::InvariantCounts invariants;
   };
 
   explicit CostController(Config config);
@@ -84,6 +95,11 @@ class CostController {
 
   const Config& config() const { return config_; }
 
+  // The running invariant counters (null when checking is disabled).
+  const check::InvariantChecker* checker() const {
+    return checker_ ? &*checker_ : nullptr;
+  }
+
  private:
   control::MpcPlant build_plant() const;
   control::InputConstraints build_constraints(
@@ -96,6 +112,7 @@ class CostController {
   std::size_t step_count_ = 0;
   std::vector<workload::ArPredictor> predictors_;
   std::unique_ptr<control::MpcController> mpc_;
+  std::optional<check::InvariantChecker> checker_;
 };
 
 }  // namespace gridctl::core

@@ -12,8 +12,15 @@ using linalg::Vector;
 DeferralPlan plan_deferral(const DeferralProblem& problem) {
   const std::size_t slots = problem.arrivals_req.size();
   const std::size_t n = problem.idcs.size();
-  require(slots > 0, "plan_deferral: need at least one slot");
   require(n > 0, "plan_deferral: need at least one IDC");
+  if (slots == 0) {
+    // No arrivals to place: the empty plan is trivially feasible (zero
+    // cost, nothing served) — not an error. Guards `cum_arrivals.back()`
+    // below, which would dereference an empty vector.
+    DeferralPlan plan;
+    plan.feasible = true;
+    return plan;
+  }
   require(problem.prices.size() == slots &&
               problem.spare_capacity_rps.size() == slots,
           "plan_deferral: per-slot input size mismatch");

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.hpp"
+
 namespace gridctl::core {
 
 VolatilityStats volatility(const std::vector<double>& power_series) {
@@ -19,13 +21,17 @@ VolatilityStats volatility(const std::vector<double>& power_series) {
 }
 
 double peak(const std::vector<double>& series) {
-  double best = 0.0;
+  // Seeded from the first element, not 0.0: an all-negative series (e.g.
+  // a net-metered power trace) must report its true peak, same as
+  // series_max below.
+  double best = series.empty() ? 0.0 : series.front();
   for (double x : series) best = std::max(best, x);
   return best;
 }
 
 BudgetStats budget_compliance(const std::vector<double>& power_series,
                               double budget, double dt_s) {
+  require(dt_s > 0.0, "budget_compliance: dt_s must be positive");
   BudgetStats stats;
   for (double power : power_series) {
     const double excess = power - budget;

@@ -17,10 +17,14 @@ struct VolatilityStats {
 
 VolatilityStats volatility(const std::vector<double>& power_series);
 
-// Peak of a series (0 for empty).
+// Peak (maximum) of a series; 0 for an empty series. Matches
+// series_max, so an all-negative series reports its true (negative)
+// peak instead of a spurious 0.
 double peak(const std::vector<double>& series);
 
 // Budget compliance of a power series against a fixed budget.
+// Throws InvalidArgument when dt_s is not positive (the excess integral
+// would silently be zero or negative).
 struct BudgetStats {
   std::size_t violations = 0;      // samples above budget
   double worst_excess = 0.0;       // max(P - budget, 0)

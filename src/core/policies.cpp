@@ -25,7 +25,8 @@ PolicyDecision OptimalPolicy::decide(const PolicyContext& context) {
   // them); budgets influence only the control method's references.
   const auto solution = control::solve_reference(problem);
   require(solution.feasible, "OptimalPolicy: demand exceeds fleet capacity");
-  return PolicyDecision{solution.allocation, solution.servers, std::nullopt};
+  return PolicyDecision{solution.allocation, solution.servers, std::nullopt,
+                        {}};
 }
 
 MpcPolicy::MpcPolicy(CostController::Config config)
@@ -34,9 +35,13 @@ MpcPolicy::MpcPolicy(CostController::Config config)
 PolicyDecision MpcPolicy::decide(const PolicyContext& context) {
   const auto decision =
       controller_.step(context.prices, context.portal_demands);
-  PolicyDecision result{decision.allocation, decision.servers, std::nullopt};
+  PolicyDecision result;
+  result.allocation = decision.allocation;
+  result.servers = decision.servers;
   result.solver = SolverTelemetry{decision.mpc_status, decision.mpc_iterations,
-                                  decision.mpc_warm_started};
+                                  decision.mpc_warm_started,
+                                  decision.fallback_tier};
+  result.invariants = decision.invariants;
   return result;
 }
 
@@ -67,7 +72,7 @@ PolicyDecision StaticProportionalPolicy::decide(const PolicyContext& context) {
   control::SleepController sleep(idcs_);
   const std::vector<std::size_t> zeros(idcs_.size(), 0);
   return PolicyDecision{allocation, sleep.step(allocation.idc_loads(), zeros),
-                        std::nullopt};
+                        std::nullopt, {}};
 }
 
 }  // namespace gridctl::core

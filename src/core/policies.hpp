@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/types.hpp"
 #include "core/cost_controller.hpp"
 #include "datacenter/fleet.hpp"
 
@@ -36,12 +37,18 @@ struct SolverTelemetry {
   solvers::QpStatus status = solvers::QpStatus::kMaxIterations;
   std::size_t iterations = 0;
   bool warm_started = false;
+  // How far down the degradation chain this period went (tier 0 = the
+  // configured backend converged).
+  check::FallbackTier fallback_tier = check::FallbackTier::kNone;
 };
 
 struct PolicyDecision {
   datacenter::Allocation allocation{1, 1};
   std::vector<std::size_t> servers;
   std::optional<SolverTelemetry> solver;
+  // Invariant-checking outcome for this decision; zero `checks` when the
+  // policy does not run the checker (baselines, checking disabled).
+  check::InvariantCounts invariants;
 };
 
 class AllocationPolicy {

@@ -1,7 +1,10 @@
 #include "core/scenario.hpp"
 
+#include <cmath>
+
 #include "control/controllability.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace gridctl::core {
 
@@ -17,12 +20,31 @@ void Scenario::validate() const {
   }
   require(power_budgets_w.empty() || power_budgets_w.size() == idcs.size(),
           "Scenario: budget vector size mismatch");
-  require(ts_s > 0.0, "Scenario: sampling period must be positive");
-  require(duration_s >= ts_s, "Scenario: duration shorter than one period");
-  require(start_time_s >= 0.0, "Scenario: negative start time");
+  for (std::size_t j = 0; j < power_budgets_w.size(); ++j) {
+    // +inf = unconstrained IDC is fine; NaN or a non-positive budget is a
+    // config error that would otherwise surface as a mid-sweep failure.
+    require(!std::isnan(power_budgets_w[j]),
+            format("Scenario: power budget of IDC %zu is NaN", j));
+    require(power_budgets_w[j] > 0.0,
+            format("Scenario: power budget of IDC %zu must be positive "
+                   "(got %g W)",
+                   j, power_budgets_w[j]));
+  }
+  require(std::isfinite(ts_s) && ts_s > 0.0,
+          "Scenario: sampling period must be positive and finite");
+  require(std::isfinite(duration_s) && duration_s >= ts_s,
+          "Scenario: duration shorter than one period");
+  require(std::isfinite(start_time_s) && start_time_s >= 0.0,
+          "Scenario: negative start time");
   controller.horizons.validate();
-  require(controller.q_weight > 0.0, "Scenario: q_weight must be positive");
-  require(controller.r_weight >= 0.0, "Scenario: r_weight must be >= 0");
+  require(std::isfinite(controller.q_weight) && controller.q_weight > 0.0,
+          "Scenario: q_weight must be positive and finite");
+  require(std::isfinite(controller.r_weight) && controller.r_weight >= 0.0,
+          "Scenario: r_weight must be >= 0 and finite");
+  require(controller.invariants.conservation_tol > 0.0 &&
+              controller.invariants.budget_tol > 0.0 &&
+              controller.invariants.nonneg_tol_rps >= 0.0,
+          "Scenario: invariant tolerances must be positive");
 
   // Sleep-controllability at the initial workload (paper Sec. IV-B).
   require(control::sleep_controllable(idcs, workload->rates(start_time_s)),

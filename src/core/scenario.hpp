@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/types.hpp"
 #include "control/mpc.hpp"
 #include "control/reference_optimizer.hpp"
 #include "control/sleep_controller.hpp"
@@ -53,6 +54,16 @@ struct ControllerParams {
   // When total demand exceeds fleet capacity, shed load proportionally
   // across portals instead of throwing (availability policy knob).
   bool allow_load_shedding = false;
+  // QP iteration cap for the MPC's primary backend; 0 = backend default.
+  // Small forced caps are the fault-injection lever for the solver
+  // degradation chain.
+  std::size_t solver_max_iterations = 0;
+  // Retry a failed QP with the alternate backend (degradation tier 1)
+  // before holding the last feasible allocation (tier 2).
+  bool solver_fallback = true;
+  // Runtime invariant checking of every controller decision; `strict`
+  // turns violations into thrown errors (failing the sweep job).
+  check::CheckOptions invariants;
 };
 
 struct Scenario {

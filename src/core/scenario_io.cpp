@@ -1,5 +1,6 @@
 #include "core/scenario_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -7,23 +8,56 @@
 #include "market/stochastic_price.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/strings.hpp"
 
 namespace gridctl::core {
 
 namespace {
 
-datacenter::IdcConfig parse_idc(const JsonValue& node) {
+// Field-level validation with the offending IDC and value in the
+// message: a malformed scenario should fail at load time with a hint
+// about what to edit, not as an opaque mid-sweep exception.
+datacenter::IdcConfig parse_idc(const JsonValue& node, std::size_t index) {
   datacenter::IdcConfig config;
   config.name = node.string_or("name", "");
-  config.region = static_cast<std::size_t>(node.number_or("region", 0));
-  require(node.has("max_servers"), "scenario: idc missing max_servers");
-  config.max_servers =
-      static_cast<std::size_t>(node.at("max_servers").as_number());
-  require(node.has("service_rate"), "scenario: idc missing service_rate");
+  const std::string label =
+      config.name.empty() ? format("idcs[%zu]", index) : config.name;
+  const double region = node.number_or("region", 0);
+  require(region >= 0.0,
+          format("scenario: %s: region must be >= 0 (got %g)", label.c_str(),
+                 region));
+  config.region = static_cast<std::size_t>(region);
+  require(node.has("max_servers"),
+          format("scenario: %s: missing max_servers", label.c_str()));
+  const double max_servers = node.at("max_servers").as_number();
+  require(max_servers >= 1.0,
+          format("scenario: %s: max_servers must be >= 1 (got %g)",
+                 label.c_str(), max_servers));
+  config.max_servers = static_cast<std::size_t>(max_servers);
+  require(node.has("service_rate"),
+          format("scenario: %s: missing service_rate", label.c_str()));
   config.power.service_rate = node.at("service_rate").as_number();
+  require(std::isfinite(config.power.service_rate) &&
+              config.power.service_rate > 0.0,
+          format("scenario: %s: service_rate must be positive req/s per "
+                 "server (got %g)",
+                 label.c_str(), config.power.service_rate));
   config.power.idle_w = node.number_or("idle_w", 150.0);
   config.power.peak_w = node.number_or("peak_w", 285.0);
+  require(std::isfinite(config.power.idle_w) && config.power.idle_w >= 0.0,
+          format("scenario: %s: idle_w must be >= 0 (got %g)", label.c_str(),
+                 config.power.idle_w));
+  require(std::isfinite(config.power.peak_w) &&
+              config.power.peak_w >= config.power.idle_w,
+          format("scenario: %s: peak_w must be >= idle_w (got peak_w=%g, "
+                 "idle_w=%g)",
+                 label.c_str(), config.power.peak_w, config.power.idle_w));
   config.latency_bound_s = node.number_or("latency_bound_s", 0.001);
+  require(std::isfinite(config.latency_bound_s) &&
+              config.latency_bound_s > 0.0,
+          format("scenario: %s: latency_bound_s must be positive seconds "
+                 "(got %g)",
+                 label.c_str(), config.latency_bound_s));
   return config;
 }
 
@@ -33,14 +67,20 @@ std::shared_ptr<const market::PriceModel> parse_prices(const JsonValue& node) {
     return std::make_shared<market::TracePrice>(market::paper_region_traces());
   }
   if (type == "trace") {
+    require(node.has("hourly"),
+            "scenario: prices type 'trace' requires an 'hourly' array "
+            "(one series per region)");
     std::vector<std::vector<double>> hourly;
     for (const JsonValue& series : node.at("hourly").as_array()) {
       std::vector<double> values;
       for (const JsonValue& price : series.as_array()) {
         values.push_back(price.as_number());
       }
+      require(!values.empty(),
+              format("scenario: prices hourly[%zu] is empty", hourly.size()));
       hourly.push_back(std::move(values));
     }
+    require(!hourly.empty(), "scenario: prices 'hourly' has no regions");
     std::vector<std::string> names;
     if (node.has("names")) {
       for (const JsonValue& name : node.at("names").as_array()) {
@@ -80,13 +120,27 @@ std::shared_ptr<const market::PriceModel> parse_prices(const JsonValue& node) {
 std::shared_ptr<const workload::WorkloadSource> parse_workload(
     const JsonValue& node) {
   const std::string type = node.string_or("type", "constant");
+  const auto portal_rates = [&node](const char* field) {
+    require(node.has(field),
+            format("scenario: workload missing '%s' (req/s per portal)",
+                   field));
+    std::vector<double> rates = node.number_array(field);
+    require(!rates.empty(),
+            format("scenario: workload '%s' must name at least one portal",
+                   field));
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      require(std::isfinite(rates[i]) && rates[i] >= 0.0,
+              format("scenario: workload %s[%zu] must be >= 0 req/s (got %g)",
+                     field, i, rates[i]));
+    }
+    return rates;
+  };
   if (type == "constant") {
-    return std::make_shared<workload::ConstantWorkload>(
-        node.number_array("rates"));
+    return std::make_shared<workload::ConstantWorkload>(portal_rates("rates"));
   }
   if (type == "diurnal") {
     return std::make_shared<workload::DiurnalWorkload>(
-        node.number_array("base_rates"), node.number_or("amplitude", 0.1),
+        portal_rates("base_rates"), node.number_or("amplitude", 0.1),
         node.number_or("peak_hour", 15.0), node.number_or("noise_stddev", 0.0),
         static_cast<std::uint64_t>(node.number_or("seed", 1)));
   }
@@ -139,6 +193,38 @@ void parse_controller(const JsonValue& node, ControllerParams& params) {
       node.bool_or("reference_trajectory", params.reference_trajectory);
   params.allow_load_shedding =
       node.bool_or("allow_load_shedding", params.allow_load_shedding);
+  const std::string backend = node.string_or("backend", "admm");
+  if (backend == "admm") {
+    params.backend = solvers::LsqBackend::kAdmm;
+  } else if (backend == "active_set") {
+    params.backend = solvers::LsqBackend::kActiveSet;
+  } else {
+    throw InvalidArgument("scenario: unknown backend '" + backend +
+                          "' (expected 'admm' or 'active_set')");
+  }
+  const double cap = node.number_or(
+      "solver_max_iterations",
+      static_cast<double>(params.solver_max_iterations));
+  require(cap >= 0.0,
+          format("scenario: solver_max_iterations must be >= 0 (got %g)",
+                 cap));
+  params.solver_max_iterations = static_cast<std::size_t>(cap);
+  params.solver_fallback =
+      node.bool_or("solver_fallback", params.solver_fallback);
+  if (node.has("invariants")) {
+    const JsonValue& inv = node.at("invariants");
+    require(inv.is_object(), "scenario: controller.invariants must be an "
+                             "object {enabled, strict, ...tolerances}");
+    params.invariants.enabled =
+        inv.bool_or("enabled", params.invariants.enabled);
+    params.invariants.strict = inv.bool_or("strict", params.invariants.strict);
+    params.invariants.conservation_tol = inv.number_or(
+        "conservation_tol", params.invariants.conservation_tol);
+    params.invariants.nonneg_tol_rps =
+        inv.number_or("nonneg_tol_rps", params.invariants.nonneg_tol_rps);
+    params.invariants.budget_tol =
+        inv.number_or("budget_tol", params.invariants.budget_tol);
+  }
 }
 
 }  // namespace
@@ -150,8 +236,9 @@ Scenario load_scenario(const std::string& json_text) {
   Scenario scenario;
   require(root.has("idcs"), "scenario: missing 'idcs'");
   for (const JsonValue& idc : root.at("idcs").as_array()) {
-    scenario.idcs.push_back(parse_idc(idc));
+    scenario.idcs.push_back(parse_idc(idc, scenario.idcs.size()));
   }
+  require(!scenario.idcs.empty(), "scenario: 'idcs' must not be empty");
   require(root.has("prices"), "scenario: missing 'prices'");
   scenario.prices = parse_prices(root.at("prices"));
   require(root.has("workload"), "scenario: missing 'workload'");
@@ -174,7 +261,13 @@ Scenario load_scenario_file(const std::string& path) {
   require(in.good(), "load_scenario_file: cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return load_scenario(buffer.str());
+  try {
+    return load_scenario(buffer.str());
+  } catch (const std::exception& e) {
+    // Re-raise with the file named: a sweep loading dozens of scenario
+    // files should say which one is malformed.
+    throw InvalidArgument(path + ": " + e.what());
+  }
 }
 
 }  // namespace gridctl::core

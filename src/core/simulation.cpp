@@ -192,8 +192,10 @@ SimulationResult run_simulation(const Scenario& scenario,
       if (decision.solver) {
         telemetry->record_solver(decision.solver->status,
                                  decision.solver->iterations,
-                                 decision.solver->warm_started);
+                                 decision.solver->warm_started,
+                                 decision.solver->fallback_tier);
       }
+      telemetry->record_invariants(decision.invariants);
     }
   }
 

@@ -119,6 +119,21 @@ std::size_t SweepReport::failed_jobs() const {
   return failed;
 }
 
+std::uint64_t SweepReport::invariant_violations() const {
+  std::uint64_t total = 0;
+  for (const JobResult& job : jobs) total += job.telemetry.invariants.total();
+  return total;
+}
+
+std::uint64_t SweepReport::fallback_events() const {
+  std::uint64_t total = 0;
+  for (const JobResult& job : jobs) {
+    total += job.telemetry.fallback_backend_retries +
+             job.telemetry.fallback_holds;
+  }
+  return total;
+}
+
 JsonValue summary_to_json(const core::SimulationSummary& summary) {
   JsonValue::Object object;
   object["policy"] = JsonValue(summary.policy);
@@ -156,6 +171,9 @@ JsonValue SweepReport::to_json() const {
   object["wall_s"] = JsonValue(wall_s);
   object["total_job_wall_s"] = JsonValue(total_job_wall_s());
   object["failed_jobs"] = JsonValue(static_cast<double>(failed_jobs()));
+  object["invariant_violations"] =
+      JsonValue(static_cast<double>(invariant_violations()));
+  object["fallback_events"] = JsonValue(static_cast<double>(fallback_events()));
   JsonValue::Array entries;
   for (const JobResult& job : jobs) {
     JsonValue::Object entry;

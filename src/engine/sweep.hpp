@@ -73,6 +73,10 @@ struct SweepReport {
   double total_job_wall_s() const;
   std::size_t failed_jobs() const;
 
+  // Sweep-wide invariant/degradation aggregates, summed over all jobs.
+  std::uint64_t invariant_violations() const;
+  std::uint64_t fallback_events() const;  // tier-1 retries + tier-2 holds
+
   // Full report as a JSON tree (schema in docs/ARCHITECTURE.md).
   JsonValue to_json() const;
 };

@@ -33,6 +33,25 @@ JsonValue telemetry_to_json(const RunTelemetry& telemetry) {
   solver["warm_start_hit_rate"] = JsonValue(telemetry.warm_start_hit_rate());
   object["solver"] = JsonValue(std::move(solver));
 
+  JsonValue::Object fallback;
+  fallback["backend_retries"] =
+      JsonValue(static_cast<double>(telemetry.fallback_backend_retries));
+  fallback["holds"] = JsonValue(static_cast<double>(telemetry.fallback_holds));
+  object["fallback"] = JsonValue(std::move(fallback));
+
+  JsonValue::Object invariants;
+  invariants["checks"] =
+      JsonValue(static_cast<double>(telemetry.invariants.checks));
+  invariants["violations"] =
+      JsonValue(static_cast<double>(telemetry.invariants.total()));
+  JsonValue::Object by_kind;
+  for (std::size_t i = 0; i < check::kNumInvariants; ++i) {
+    by_kind[check::invariant_name(static_cast<check::Invariant>(i))] =
+        JsonValue(static_cast<double>(telemetry.invariants.by_kind[i]));
+  }
+  invariants["by_kind"] = JsonValue(std::move(by_kind));
+  object["invariants"] = JsonValue(std::move(invariants));
+
   JsonValue::Object hist;
   hist["samples"] = JsonValue(static_cast<double>(telemetry.step_hist.samples));
   hist["mean_us"] = JsonValue(telemetry.step_hist.mean_us());

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "check/types.hpp"
 #include "solvers/qp.hpp"
 #include "util/json.hpp"
 
@@ -83,10 +84,21 @@ struct RunTelemetry {
   std::uint64_t status_infeasible = 0;
   std::uint64_t warm_start_hits = 0;
 
+  // Degradation-chain counters (gridctl::check): periods rescued by the
+  // alternate QP backend (tier 1) and periods that re-applied the last
+  // feasible allocation (tier 2).
+  std::uint64_t fallback_backend_retries = 0;
+  std::uint64_t fallback_holds = 0;
+
+  // Invariant-checking totals over the run (zero `checks` when the
+  // policy does not run the checker).
+  check::InvariantCounts invariants;
+
   StepTimingHistogram step_hist;
 
   void record_solver(solvers::QpStatus status, std::size_t iterations,
-                     bool warm_started) {
+                     bool warm_started,
+                     check::FallbackTier tier = check::FallbackTier::kNone) {
     ++solver_calls;
     solver_iterations += iterations;
     switch (status) {
@@ -95,6 +107,15 @@ struct RunTelemetry {
       case solvers::QpStatus::kInfeasible: ++status_infeasible; break;
     }
     if (warm_started) ++warm_start_hits;
+    switch (tier) {
+      case check::FallbackTier::kNone: break;
+      case check::FallbackTier::kBackendRetry: ++fallback_backend_retries; break;
+      case check::FallbackTier::kHoldLastFeasible: ++fallback_holds; break;
+    }
+  }
+
+  void record_invariants(const check::InvariantCounts& counts) {
+    invariants.merge(counts);
   }
 
   // Fraction of solver calls that reused the previous move solution.

@@ -52,6 +52,9 @@ double RenewableSupply::solar_w(std::size_t region, double time_s) const {
 }
 
 double RenewableSupply::available_w(std::size_t region, double time_s) const {
+  // Validate before touching wind_[region]: indexing first read out of
+  // bounds (solar_w's own range check fired too late to help).
+  require(region < wind_.size(), "RenewableSupply: region out of range");
   require(time_s >= 0.0, "RenewableSupply: negative time");
   const std::size_t hour =
       static_cast<std::size_t>(time_s / 3600.0) % wind_[region].size();

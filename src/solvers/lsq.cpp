@@ -67,24 +67,32 @@ QpProblem to_qp(const ConstrainedLsqProblem& problem) {
 }
 
 ConstrainedLsqResult solve_constrained_lsq(const ConstrainedLsqProblem& problem,
-                                           LsqBackend backend,
+                                           const LsqSolveOptions& options,
                                            const Vector& warm_x) {
   const QpProblem qp = to_qp(problem);
   QpResult qp_result;
-  switch (backend) {
+  switch (options.backend) {
     case LsqBackend::kAdmm: {
       // MPC problems arrive pre-normalized to O(1) magnitudes, so a
       // 1e-6 tolerance is far below any physically meaningful digit and
       // saves a large constant factor per control period.
-      AdmmOptions options;
-      options.eps_abs = 1e-6;
-      options.eps_rel = 1e-6;
-      qp_result = solve_qp_admm(qp, options, warm_x);
+      AdmmOptions admm;
+      admm.eps_abs = 1e-6;
+      admm.eps_rel = 1e-6;
+      if (options.max_iterations > 0) {
+        admm.max_iterations = options.max_iterations;
+      }
+      qp_result = solve_qp_admm(qp, admm, warm_x);
       break;
     }
-    case LsqBackend::kActiveSet:
-      qp_result = solve_qp_active_set(qp);
+    case LsqBackend::kActiveSet: {
+      ActiveSetOptions active_set;
+      if (options.max_iterations > 0) {
+        active_set.max_iterations = options.max_iterations;
+      }
+      qp_result = solve_qp_active_set(qp, active_set);
       break;
+    }
   }
   ConstrainedLsqResult result;
   result.status = qp_result.status;

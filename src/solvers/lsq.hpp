@@ -26,6 +26,14 @@ struct ConstrainedLsqProblem {
 
 enum class LsqBackend { kAdmm, kActiveSet };
 
+// Solve knobs shared by both backends. `max_iterations == 0` keeps each
+// backend's own default; a small forced cap is the fault-injection lever
+// the degradation-chain tests use.
+struct LsqSolveOptions {
+  LsqBackend backend = LsqBackend::kAdmm;
+  std::size_t max_iterations = 0;
+};
+
 struct ConstrainedLsqResult {
   QpStatus status = QpStatus::kMaxIterations;
   linalg::Vector x;
@@ -36,9 +44,15 @@ struct ConstrainedLsqResult {
 // Builds the equivalent QP (merging equality and inequality blocks into
 // one box-constraint matrix) and solves it.
 ConstrainedLsqResult solve_constrained_lsq(
+    const ConstrainedLsqProblem& problem, const LsqSolveOptions& options,
+    const linalg::Vector& warm_x = {});
+
+inline ConstrainedLsqResult solve_constrained_lsq(
     const ConstrainedLsqProblem& problem,
     LsqBackend backend = LsqBackend::kAdmm,
-    const linalg::Vector& warm_x = {});
+    const linalg::Vector& warm_x = {}) {
+  return solve_constrained_lsq(problem, LsqSolveOptions{backend, 0}, warm_x);
+}
 
 // The QP translation, exposed for tests.
 QpProblem to_qp(const ConstrainedLsqProblem& problem);

@@ -42,7 +42,10 @@ void TextTable::print(std::ostream& out) const {
   emit(header_);
   std::size_t total = 0;
   for (std::size_t w : widths) total += w;
-  out << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  // Two spaces between columns; a header-less table has no separators
+  // (and size() - 1 would wrap).
+  const std::size_t gaps = widths.empty() ? 0 : widths.size() - 1;
+  out << std::string(total + 2 * gaps, '-') << '\n';
   for (const auto& row : rows_) emit(row);
 }
 

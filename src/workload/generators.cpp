@@ -34,6 +34,9 @@ DiurnalWorkload::DiurnalWorkload(std::vector<double> base_rates,
   require(amplitude >= 0.0 && amplitude < 1.0,
           "DiurnalWorkload: amplitude must be in [0, 1)");
   require(noise_stddev >= 0.0, "DiurnalWorkload: negative noise stddev");
+  // A negative horizon would wrap the minute count through the size_t
+  // cast and attempt a near-SIZE_MAX allocation below.
+  require(horizon_s >= 0.0, "DiurnalWorkload: negative noise horizon");
   const std::size_t minutes =
       static_cast<std::size_t>(std::ceil(horizon_s / 60.0)) + 1;
   Rng rng(seed);
@@ -53,10 +56,15 @@ double DiurnalWorkload::rate(std::size_t portal, double time_s) const {
   const double hour = std::fmod(time_s / 3600.0, 24.0);
   const double phase = 2.0 * M_PI * (hour - peak_hour_) / 24.0;
   const double diurnal = 1.0 + amplitude_ * std::cos(phase);
-  const std::size_t minute =
-      std::min(static_cast<std::size_t>(time_s / 60.0), noise_[portal].size() - 1);
-  return std::max(0.0, base_rates_[portal] * diurnal *
-                           (1.0 + noise_[portal][minute]));
+  // Times past the precomputed horizon hold the last noise sample;
+  // guarded directly rather than with a size()-1 clamp (which would
+  // wrap on an empty series).
+  const auto& noise = noise_[portal];
+  const std::size_t minute = static_cast<std::size_t>(time_s / 60.0);
+  const double jitter = minute < noise.size()
+                            ? noise[minute]
+                            : (noise.empty() ? 0.0 : noise.back());
+  return std::max(0.0, base_rates_[portal] * diurnal * (1.0 + jitter));
 }
 
 FlashCrowdWorkload::FlashCrowdWorkload(

@@ -30,6 +30,19 @@ DeferralProblem simple_problem(std::size_t max_delay) {
   return problem;
 }
 
+TEST(Deferral, EmptyArrivalsYieldNoopFeasiblePlan) {
+  // Regression: an empty batch queue used to be rejected outright, but
+  // a day with no deferrable work is a normal operating state — the
+  // planner must return the trivially feasible empty schedule.
+  DeferralProblem problem;
+  problem.idcs = {cheap_idc()};
+  const auto plan = plan_deferral(problem);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.rate_rps.empty());
+  EXPECT_TRUE(plan.served_req.empty());
+  EXPECT_DOUBLE_EQ(plan.cost_dollars, 0.0);
+}
+
 TEST(Deferral, ZeroDelayServesOnArrival) {
   const auto plan = plan_deferral(simple_problem(0));
   ASSERT_TRUE(plan.feasible);

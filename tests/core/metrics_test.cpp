@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/error.hpp"
+
 namespace gridctl::core {
 namespace {
 
@@ -34,6 +36,15 @@ TEST(Volatility, ShortSeries) {
 TEST(Peak, FindsMaximum) {
   EXPECT_DOUBLE_EQ(peak({1.0, 9.0, 3.0}), 9.0);
   EXPECT_DOUBLE_EQ(peak({}), 0.0);
+}
+
+TEST(Peak, AllNegativeSeriesReportsTrueMaximum) {
+  // Regression: seeding the fold with 0.0 reported a spurious 0 peak
+  // for all-negative series (e.g. net-metered power). Must agree with
+  // series_max.
+  const std::vector<double> series{-4.0, -1.5, -9.0};
+  EXPECT_DOUBLE_EQ(peak(series), -1.5);
+  EXPECT_DOUBLE_EQ(peak(series), series_max(series));
 }
 
 TEST(BudgetCompliance, CountsViolations) {
@@ -78,13 +89,12 @@ TEST(BudgetCompliance, SingleSampleSeries) {
   EXPECT_EQ(below.violations, 0u);
 }
 
-TEST(BudgetCompliance, ZeroDtCountsViolationsButIntegratesNothing) {
-  // A zero sampling period still flags the samples above budget (the
-  // count is dimensionless) while the time integral stays exactly 0.
-  const auto stats = budget_compliance({6.0, 4.0, 8.0}, 5.0, 0.0);
-  EXPECT_EQ(stats.violations, 2u);
-  EXPECT_DOUBLE_EQ(stats.worst_excess, 3.0);
-  EXPECT_DOUBLE_EQ(stats.excess_integral, 0.0);
+TEST(BudgetCompliance, RejectsNonPositiveDt) {
+  // A zero or negative sampling period has no meaningful excess
+  // integral (it would silently report 0 or negative violation energy),
+  // so it is a caller error.
+  EXPECT_THROW(budget_compliance({6.0, 4.0, 8.0}, 5.0, 0.0), InvalidArgument);
+  EXPECT_THROW(budget_compliance({6.0}, 5.0, -1.0), InvalidArgument);
 }
 
 TEST(BudgetCompliance, ExactlyOnBudgetIsNotAViolation) {

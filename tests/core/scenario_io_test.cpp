@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "util/csv.hpp"
 #include "util/error.hpp"
 
@@ -151,6 +153,84 @@ TEST(ScenarioIo, RunsValidateOnLoad) {
     "workload": {"type": "constant", "rates": [100]}
   })"),
                InvalidArgument);
+}
+
+TEST(ScenarioIo, ParsesSolverAndInvariantKnobs) {
+  std::string text(kMinimalScenario);
+  text.insert(text.rfind('}'), R"(,
+    "controller": {
+      "backend": "active_set",
+      "solver_max_iterations": 25,
+      "solver_fallback": false,
+      "invariants": {"enabled": true, "strict": true,
+                     "conservation_tol": 1e-5, "nonneg_tol_rps": 1e-8,
+                     "budget_tol": 2e-4}
+    })");
+  const Scenario scenario = load_scenario(text);
+  EXPECT_EQ(scenario.controller.backend, solvers::LsqBackend::kActiveSet);
+  EXPECT_EQ(scenario.controller.solver_max_iterations, 25u);
+  EXPECT_FALSE(scenario.controller.solver_fallback);
+  EXPECT_TRUE(scenario.controller.invariants.enabled);
+  EXPECT_TRUE(scenario.controller.invariants.strict);
+  EXPECT_DOUBLE_EQ(scenario.controller.invariants.conservation_tol, 1e-5);
+  EXPECT_DOUBLE_EQ(scenario.controller.invariants.nonneg_tol_rps, 1e-8);
+  EXPECT_DOUBLE_EQ(scenario.controller.invariants.budget_tol, 2e-4);
+}
+
+// The messages must be actionable: they name the malformed field, the
+// offending IDC, and the rejected value.
+TEST(ScenarioIo, MalformedFieldsProduceActionableMessages) {
+  const auto error_of = [](const std::string& text) -> std::string {
+    try {
+      load_scenario(text);
+    } catch (const std::exception& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(error_of(R"({
+    "idcs": [{"name": "east", "max_servers": 0, "service_rate": 2.0}],
+    "prices": {"type": "paper"},
+    "workload": {"type": "constant", "rates": [1]}
+  })").find("east: max_servers must be >= 1"), std::string::npos);
+  EXPECT_NE(error_of(R"({
+    "idcs": [{"max_servers": 10, "service_rate": -2.0}],
+    "prices": {"type": "paper"},
+    "workload": {"type": "constant", "rates": [1]}
+  })").find("idcs[0]: service_rate must be positive"), std::string::npos);
+  EXPECT_NE(error_of(R"({
+    "idcs": [{"max_servers": 10, "service_rate": 2.0, "latency_bound_s": 0}],
+    "prices": {"type": "paper"},
+    "workload": {"type": "constant", "rates": [1]}
+  })").find("latency_bound_s must be positive"), std::string::npos);
+  EXPECT_NE(error_of(R"({
+    "idcs": [{"max_servers": 10000, "service_rate": 2.0}],
+    "prices": {"type": "paper"},
+    "workload": {"type": "constant", "rates": []}
+  })").find("'rates' must name at least one portal"), std::string::npos);
+  // Unknown backend names the accepted spellings.
+  std::string text(kMinimalScenario);
+  text.insert(text.rfind('}'), R"(, "controller": {"backend": "gurobi"})");
+  EXPECT_NE(error_of(text).find("expected 'admm' or 'active_set'"),
+            std::string::npos);
+}
+
+TEST(ScenarioIo, FileErrorsCarryThePath) {
+  const std::string path = ::testing::TempDir() + "/broken_scenario.json";
+  {
+    std::ofstream out(path);
+    out << R"({"idcs": [{"max_servers": 0, "service_rate": 2.0}],
+               "prices": {"type": "paper"},
+               "workload": {"type": "constant", "rates": [1]}})";
+  }
+  try {
+    load_scenario_file(path);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    // Both the file and the field are named.
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("max_servers"), std::string::npos);
+  }
 }
 
 }  // namespace

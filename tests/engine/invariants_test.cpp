@@ -1,0 +1,411 @@
+// The invariant-checking & graceful-degradation subsystem, end to end:
+// direct InvariantChecker verdicts on corrupted decisions, strict-mode
+// escalation, property tests over randomized closed loops, and the
+// solver fallback chain under fault injection (forced QP iteration
+// caps), with every tier visible in RunTelemetry and the sweep JSON.
+#include "check/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "control/reference_optimizer.hpp"
+#include "core/paper.hpp"
+#include "core/simulation.hpp"
+#include "engine/sweep.hpp"
+#include "market/trace_price.hpp"
+#include "util/random.hpp"
+
+namespace gridctl::engine {
+namespace {
+
+using check::CheckOptions;
+using check::FallbackTier;
+using check::Invariant;
+using check::InvariantChecker;
+using check::InvariantViolationError;
+using datacenter::Allocation;
+
+// Two IDCs, one portal, plenty of headroom.
+std::vector<datacenter::IdcConfig> small_fleet() {
+  std::vector<datacenter::IdcConfig> idcs(2);
+  for (std::size_t j = 0; j < idcs.size(); ++j) {
+    idcs[j].region = j;
+    idcs[j].max_servers = 10000;
+    idcs[j].power.service_rate = 2.0;
+    idcs[j].power.idle_w = 150.0;
+    idcs[j].power.peak_w = 285.0;
+    idcs[j].latency_bound_s = 0.001;
+  }
+  return idcs;
+}
+
+// A decision that satisfies every invariant: the demand split evenly,
+// eq.-35 server counts, and the continuous-model power at those loads.
+struct CleanDecision {
+  Allocation allocation{1, 2};
+  std::vector<std::size_t> servers;
+  std::vector<double> power_w;
+  std::vector<double> demands{8000.0};
+};
+
+CleanDecision clean_decision(const std::vector<datacenter::IdcConfig>& idcs) {
+  CleanDecision d;
+  control::SleepController sleep(idcs);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const double load = d.demands[0] / 2.0;
+    d.allocation.at(0, j) = load;
+    d.servers.push_back(sleep.target_servers(j, load));
+    d.power_w.push_back(check::continuous_power_w(idcs[j], load));
+  }
+  return d;
+}
+
+TEST(InvariantChecker, CleanDecisionPasses) {
+  const auto idcs = small_fleet();
+  InvariantChecker checker(idcs, 1, {}, false);
+  const auto d = clean_decision(idcs);
+  const auto violations =
+      checker.check(d.allocation, d.servers, d.power_w, d.demands);
+  EXPECT_TRUE(violations.empty()) << check::describe(violations);
+  EXPECT_EQ(checker.counts().checks, 1u);
+  EXPECT_EQ(checker.counts().total(), 0u);
+}
+
+TEST(InvariantChecker, FlagsConservationGap) {
+  const auto idcs = small_fleet();
+  InvariantChecker checker(idcs, 1, {}, false);
+  auto d = clean_decision(idcs);
+  d.allocation.at(0, 0) *= 0.5;  // the portal now under-allocates
+  const auto violations =
+      checker.check(d.allocation, d.servers, d.power_w, d.demands);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Invariant::kConservation);
+  EXPECT_NEAR(violations[0].magnitude, 2000.0, 1e-6);
+  EXPECT_EQ(checker.counts().by_kind[static_cast<std::size_t>(
+                Invariant::kConservation)],
+            1u);
+}
+
+TEST(InvariantChecker, FlagsNegativeAllocationEntry) {
+  const auto idcs = small_fleet();
+  InvariantChecker checker(idcs, 1, {}, false);
+  auto d = clean_decision(idcs);
+  // Shift mass between IDCs so conservation still holds exactly.
+  d.allocation.at(0, 0) = d.demands[0] + 100.0;
+  d.allocation.at(0, 1) = -100.0;
+  bool saw_negativity = false;
+  for (const auto& v :
+       checker.check(d.allocation, d.servers, d.power_w, d.demands)) {
+    if (v.kind == Invariant::kNonNegativity) {
+      saw_negativity = true;
+      EXPECT_EQ(v.index, 1u);
+      EXPECT_NEAR(v.magnitude, 100.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_negativity);
+}
+
+TEST(InvariantChecker, FlagsLoadAboveEffectiveCap) {
+  const auto idcs = small_fleet();
+  InvariantChecker checker(idcs, 1, {}, false);
+  const double cap = control::load_cap_for_capacity(idcs[0]);
+  Allocation allocation(1, 2);
+  allocation.at(0, 0) = cap * 1.5;  // beyond what IDC 0 can host
+  allocation.at(0, 1) = 0.0;
+  const std::vector<double> demands{cap * 1.5};
+  control::SleepController sleep(idcs);
+  const std::vector<std::size_t> servers{idcs[0].max_servers, 0};
+  // Predicted power at the cap, so only the load check can fire.
+  const std::vector<double> power{check::continuous_power_w(idcs[0], cap),
+                                  check::continuous_power_w(idcs[1], 0.0)};
+  bool saw_budget = false;
+  for (const auto& v : checker.check(allocation, servers, power, demands)) {
+    if (v.kind == Invariant::kBudget) {
+      saw_budget = true;
+      EXPECT_EQ(v.index, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_budget);
+}
+
+TEST(InvariantChecker, FlagsServerShortfall) {
+  const auto idcs = small_fleet();
+  InvariantChecker checker(idcs, 1, {}, false);
+  auto d = clean_decision(idcs);
+  d.servers[0] = 0;  // positive load on a dark IDC
+  bool saw_bound = false;
+  for (const auto& v :
+       checker.check(d.allocation, d.servers, d.power_w, d.demands)) {
+    if (v.kind == Invariant::kServerBound) {
+      saw_bound = true;
+      EXPECT_EQ(v.index, 0u);
+      EXPECT_GT(v.magnitude, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_bound);
+}
+
+TEST(InvariantChecker, RampLimitedFleetSkipsServerBound) {
+  const auto idcs = small_fleet();
+  control::SleepControllerOptions sleep;
+  sleep.max_ramp_per_step = 10;  // slow loop may legitimately lag eq. (35)
+  InvariantChecker checker(idcs, 1, {}, false, sleep);
+  auto d = clean_decision(idcs);
+  d.servers[0] = 0;
+  for (const auto& v :
+       checker.check(d.allocation, d.servers, d.power_w, d.demands)) {
+    EXPECT_NE(v.kind, Invariant::kServerBound) << v.detail;
+  }
+}
+
+TEST(InvariantChecker, NanPoisonsOnlyTheFiniteCheck) {
+  const auto idcs = small_fleet();
+  InvariantChecker checker(idcs, 1, {}, false);
+  auto d = clean_decision(idcs);
+  d.allocation.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  const auto violations =
+      checker.check(d.allocation, d.servers, d.power_w, d.demands);
+  ASSERT_FALSE(violations.empty());
+  for (const auto& v : violations) {
+    // NaN compares false against every threshold, so the remaining
+    // invariants must not produce confusing secondary reports.
+    EXPECT_EQ(v.kind, Invariant::kFinite) << v.detail;
+  }
+}
+
+TEST(InvariantChecker, StrictModeThrowsWithDescribedViolations) {
+  const auto idcs = small_fleet();
+  CheckOptions options;
+  options.strict = true;
+  InvariantChecker checker(idcs, 1, {}, false, {}, options);
+  auto d = clean_decision(idcs);
+  d.allocation.at(0, 0) *= 0.5;
+  try {
+    checker.check(d.allocation, d.servers, d.power_w, d.demands);
+    FAIL() << "expected InvariantViolationError";
+  } catch (const InvariantViolationError& e) {
+    EXPECT_NE(std::string(e.what()).find("conservation"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop property tests: randomized fleets and prices, strict
+// invariants on — every decision of every run must pass.
+
+core::Scenario random_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  core::Scenario scenario;
+  const std::size_t idcs = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  const std::size_t portals = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  double fleet_capacity = 0.0;
+  for (std::size_t j = 0; j < idcs; ++j) {
+    datacenter::IdcConfig idc;
+    idc.region = j;
+    idc.max_servers = static_cast<std::size_t>(rng.uniform_int(5000, 30000));
+    idc.power.service_rate = rng.uniform(1.0, 2.5);
+    idc.power.idle_w = rng.uniform(100.0, 180.0);
+    idc.power.peak_w = idc.power.idle_w + rng.uniform(80.0, 160.0);
+    idc.latency_bound_s = rng.uniform(0.001, 0.02);
+    scenario.idcs.push_back(idc);
+    fleet_capacity += idc.max_capacity();
+  }
+  const double total_demand = fleet_capacity * rng.uniform(0.3, 0.6);
+  std::vector<double> demands(portals, total_demand / portals);
+  scenario.workload = std::make_shared<workload::ConstantWorkload>(demands);
+  std::vector<std::vector<double>> hourly(idcs);
+  for (auto& series : hourly) {
+    series.resize(24);
+    for (double& price : series) price = rng.uniform(-5.0, 90.0);
+  }
+  scenario.prices = std::make_shared<market::TracePrice>(hourly);
+  if (rng.uniform(0.0, 1.0) < 0.5) {
+    scenario.power_budgets_w.resize(idcs);
+    for (std::size_t j = 0; j < idcs; ++j) {
+      const auto& idc = scenario.idcs[j];
+      scenario.power_budgets_w[j] =
+          idc.power.idc_power(idc.max_capacity(), idc.max_servers) *
+          rng.uniform(0.7, 1.2);
+    }
+  }
+  scenario.start_time_s = 3600.0 * static_cast<double>(rng.uniform_int(0, 23));
+  scenario.ts_s = 20.0;
+  scenario.duration_s = 160.0;
+  scenario.controller.r_weight = rng.uniform(0.4, 4.0);
+  scenario.controller.horizons = {4, 2};
+  scenario.controller.invariants.strict = true;
+  return scenario;
+}
+
+class RandomizedInvariantsTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedInvariantsTest, EveryDecisionPassesStrictChecking) {
+  const core::Scenario scenario = random_scenario(GetParam());
+  core::MpcPolicy policy(core::CostController::Config{
+      scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
+      scenario.controller});
+  RunTelemetry telemetry;
+  core::SimulationOptions options;
+  options.record_trace = false;
+  options.telemetry = &telemetry;
+  // Strict mode: a single violated invariant would throw here.
+  core::run_simulation(scenario, policy, options);
+  EXPECT_EQ(telemetry.invariants.checks, telemetry.steps);
+  EXPECT_EQ(telemetry.invariants.total(), 0u);
+  const auto* checker = policy.controller().checker();
+  ASSERT_NE(checker, nullptr);
+  EXPECT_EQ(checker->counts().total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedInvariantsTest,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u,
+                                           106u));
+
+// ---------------------------------------------------------------------
+// Fault injection: a forced QP iteration cap starves the primary
+// backend; the degradation chain must keep the loop alive and count
+// each tier.
+
+core::Scenario crippled_scenario(bool allow_backend_fallback) {
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
+  scenario.duration_s = 200.0;
+  scenario.controller.solver_max_iterations = 1;  // primary cannot converge
+  scenario.controller.solver_fallback = allow_backend_fallback;
+  scenario.controller.invariants.strict = true;
+  return scenario;
+}
+
+TEST(FaultInjection, IterationCapIsRescuedByBackendRetry) {
+  const core::Scenario scenario = crippled_scenario(true);
+  core::MpcPolicy policy(core::CostController::Config{
+      scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
+      scenario.controller});
+  RunTelemetry telemetry;
+  core::SimulationOptions options;
+  options.record_trace = false;
+  options.telemetry = &telemetry;
+  core::run_simulation(scenario, policy, options);
+  // Every period needed tier 1, none had to fall through to tier 2, and
+  // the rescued decisions still satisfy all invariants (strict mode).
+  EXPECT_EQ(telemetry.fallback_backend_retries, telemetry.solver_calls);
+  EXPECT_EQ(telemetry.fallback_holds, 0u);
+  EXPECT_EQ(telemetry.status_optimal, telemetry.solver_calls);
+  EXPECT_EQ(telemetry.invariants.total(), 0u);
+}
+
+TEST(FaultInjection, WithoutRetryTheLoopHoldsLastFeasible) {
+  const core::Scenario scenario = crippled_scenario(false);
+  core::MpcPolicy policy(core::CostController::Config{
+      scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
+      scenario.controller});
+  RunTelemetry telemetry;
+  core::SimulationOptions options;
+  options.record_trace = false;
+  options.telemetry = &telemetry;
+  // Tier 2 re-applies the projected previous allocation; even a run that
+  // never solves a QP to optimality must finish with invariants intact.
+  const auto result = core::run_simulation(scenario, policy, options);
+  EXPECT_EQ(telemetry.fallback_holds, telemetry.solver_calls);
+  EXPECT_EQ(telemetry.fallback_backend_retries, 0u);
+  EXPECT_EQ(telemetry.status_optimal, 0u);
+  EXPECT_EQ(telemetry.invariants.total(), 0u);
+  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+}
+
+TEST(FaultInjection, DegradationTiersAreVisibleInSweepJson) {
+  std::vector<SweepJob> jobs(2);
+  jobs[0].name = "crippled/control";
+  jobs[0].scenario = crippled_scenario(true);
+  jobs[0].policy = control_policy();
+  jobs[0].options.record_trace = false;
+  jobs[1].name = "healthy/control";
+  jobs[1].scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
+  jobs[1].scenario.duration_s = 200.0;
+  jobs[1].policy = control_policy();
+  jobs[1].options.record_trace = false;
+  const SweepReport report = SweepRunner(2).run(jobs);
+  ASSERT_TRUE(report.jobs[0].ok) << report.jobs[0].error;
+  ASSERT_TRUE(report.jobs[1].ok) << report.jobs[1].error;
+  EXPECT_GT(report.fallback_events(), 0u);
+  EXPECT_EQ(report.invariant_violations(), 0u);
+
+  const JsonValue parsed = parse_json(dump_json(report.to_json(), 2));
+  EXPECT_EQ(parsed.at("invariant_violations").as_number(), 0.0);
+  EXPECT_GT(parsed.at("fallback_events").as_number(), 0.0);
+  const auto& entries = parsed.at("jobs").as_array();
+  ASSERT_EQ(entries.size(), 2u);
+  const JsonValue& crippled = entries[0].at("telemetry");
+  EXPECT_GT(crippled.at("fallback").at("backend_retries").as_number(), 0.0);
+  EXPECT_EQ(crippled.at("fallback").at("holds").as_number(), 0.0);
+  EXPECT_GT(crippled.at("invariants").at("checks").as_number(), 0.0);
+  EXPECT_EQ(crippled.at("invariants").at("violations").as_number(), 0.0);
+  EXPECT_EQ(crippled.at("invariants")
+                .at("by_kind")
+                .at("conservation")
+                .as_number(),
+            0.0);
+  const JsonValue& healthy = entries[1].at("telemetry");
+  EXPECT_EQ(healthy.at("fallback").at("backend_retries").as_number(), 0.0);
+  EXPECT_EQ(healthy.at("fallback").at("holds").as_number(), 0.0);
+}
+
+// A policy that fabricates a non-conserving decision and runs a strict
+// checker over it — the strict failure must surface as a failed sweep
+// job, not a crashed sweep.
+class CorruptPolicy : public core::AllocationPolicy {
+ public:
+  CorruptPolicy(std::vector<datacenter::IdcConfig> idcs, std::size_t portals)
+      : idcs_(std::move(idcs)),
+        portals_(portals),
+        checker_(idcs_, portals_, {}, false, {},
+                 [] {
+                   CheckOptions options;
+                   options.strict = true;
+                   return options;
+                 }()) {}
+
+  core::PolicyDecision decide(const core::PolicyContext& context) override {
+    Allocation allocation(portals_, idcs_.size());
+    for (std::size_t i = 0; i < portals_; ++i) {
+      allocation.at(i, 0) = context.portal_demands[i] * 0.5;  // drops half
+    }
+    control::SleepController sleep(idcs_);
+    core::PolicyDecision decision;
+    decision.servers = sleep.step(allocation.idc_loads(),
+                                  std::vector<std::size_t>(idcs_.size(), 0));
+    decision.allocation = allocation;
+    checker_.check(allocation, decision.servers, {},
+                   context.portal_demands);  // throws
+    return decision;
+  }
+  std::string name() const override { return "corrupt"; }
+
+ private:
+  std::vector<datacenter::IdcConfig> idcs_;
+  std::size_t portals_;
+  InvariantChecker checker_;
+};
+
+TEST(FaultInjection, StrictViolationFailsTheJobGracefully) {
+  SweepJob job;
+  job.name = "corrupt";
+  job.scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
+  job.scenario.duration_s = 100.0;
+  job.policy = [](const core::Scenario& scenario) {
+    return std::make_unique<CorruptPolicy>(scenario.idcs,
+                                           scenario.num_portals());
+  };
+  job.options.warm_start = false;
+  const SweepReport report = SweepRunner(1).run({job});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_FALSE(report.jobs[0].ok);
+  EXPECT_NE(report.jobs[0].error.find("invariant violation"),
+            std::string::npos)
+      << report.jobs[0].error;
+}
+
+}  // namespace
+}  // namespace gridctl::engine

@@ -30,6 +30,17 @@ TEST(TextTable, RejectsEmptyHeader) {
   EXPECT_THROW(TextTable({}), InvalidArgument);
 }
 
+TEST(TextTable, SingleColumnSeparatorMatchesWidth) {
+  // Regression: the separator length `total + 2 * (widths.size() - 1)`
+  // underflowed conceptually for the zero-gap case; a single-column
+  // table must draw a rule exactly as wide as its one column.
+  TextTable table({"only"});
+  table.add_row({"x"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("only\n----\n"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
 TEST(TextTable, NumFormatsFixedPrecision) {
   EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");

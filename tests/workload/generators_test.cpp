@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace gridctl::workload {
@@ -51,6 +53,23 @@ TEST(DiurnalWorkload, Validation) {
   EXPECT_THROW(DiurnalWorkload({}, 0.2, 12.0, 0.0, 1), InvalidArgument);
   EXPECT_THROW(DiurnalWorkload({1.0}, 1.5, 12.0, 0.0, 1), InvalidArgument);
   EXPECT_THROW(DiurnalWorkload({1.0}, 0.2, 12.0, -0.1, 1), InvalidArgument);
+  // Regression: a negative horizon wrapped through the size_t cast of
+  // the minute count and attempted a near-SIZE_MAX allocation.
+  EXPECT_THROW(DiurnalWorkload({1.0}, 0.2, 12.0, 0.1, 1, -60.0),
+               InvalidArgument);
+}
+
+TEST(DiurnalWorkload, QueriesBeyondNoiseHorizonHoldLastSample) {
+  // Regression: past the precomputed horizon the minute index walked off
+  // the end of the noise table. With amplitude 0 the rate is purely
+  // base * (1 + jitter), so beyond the 2-minute horizon every query must
+  // return the held final sample.
+  DiurnalWorkload source({1000.0}, 0.0, 12.0, 0.5, 7, 120.0);
+  const double held = source.rate(0, 10.0 * 3600.0);
+  EXPECT_TRUE(std::isfinite(held));
+  EXPECT_GE(held, 0.0);
+  EXPECT_DOUBLE_EQ(source.rate(0, 20.0 * 3600.0), held);
+  EXPECT_DOUBLE_EQ(source.rate(0, 400.0 * 3600.0), held);
 }
 
 TEST(FlashCrowdWorkload, MultipliesOnePortalInWindow) {
