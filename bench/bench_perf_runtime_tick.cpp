@@ -1,0 +1,82 @@
+// Online-runtime tick latency (google-benchmark): the paper scenario
+// served through ControlRuntime in free-run mode, reporting p50/p99/max
+// control-step wall time from the runtime's own step histogram — the
+// numbers that decide how much wall-clock acceleration a replay can
+// sustain before missing deadlines.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/paper.hpp"
+#include "runtime/control_runtime.hpp"
+
+namespace {
+
+using namespace gridctl;
+
+// Conservative percentile from the power-of-two bucket histogram: the
+// upper edge of the bucket where the cumulative count crosses q (the
+// open-ended last bucket reports the observed max instead).
+double percentile_us(const engine::StepTimingHistogram& hist, double q) {
+  if (hist.samples == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(hist.samples)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < engine::StepTimingHistogram::kBuckets; ++i) {
+    cumulative += hist.counts[i];
+    if (cumulative >= target) {
+      const double upper = engine::StepTimingHistogram::bucket_upper_us(i);
+      return std::isfinite(upper) ? upper : hist.max_us;
+    }
+  }
+  return hist.max_us;
+}
+
+void merge(engine::StepTimingHistogram& into,
+           const engine::StepTimingHistogram& from) {
+  for (std::size_t i = 0; i < engine::StepTimingHistogram::kBuckets; ++i) {
+    into.counts[i] += from.counts[i];
+  }
+  into.samples += from.samples;
+  into.total_us += from.total_us;
+  if (from.max_us > into.max_us) into.max_us = from.max_us;
+}
+
+void BM_RuntimeTick(benchmark::State& state) {
+  const bool faulted = state.range(0) != 0;
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
+
+  runtime::RuntimeOptions options;  // free run: every tick back-to-back
+  options.record_trace = false;
+  if (faulted) {
+    options.price_faults = {/*drop=*/0.2, /*late=*/0.3, /*max_lateness=*/35.0,
+                            /*jitter=*/2.0, /*seed=*/5};
+    options.workload_faults = {0.15, 0.0, 0.0, 1.0, 6};
+  }
+
+  engine::StepTimingHistogram hist;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    runtime::ControlRuntime service(scenario, options);
+    const runtime::RuntimeResult result = service.run();
+    benchmark::DoNotOptimize(result.summary.total_cost_dollars);
+    merge(hist, result.stats.step_wall_hist);
+    steps += result.telemetry.steps;
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));  // ticks/s
+  state.counters["tick_p50_us"] = percentile_us(hist, 0.50);
+  state.counters["tick_p99_us"] = percentile_us(hist, 0.99);
+  state.counters["tick_max_us"] = hist.max_us;
+  state.counters["tick_mean_us"] = hist.mean_us();
+  state.SetLabel(faulted ? "faulted feeds" : "clean feeds");
+}
+
+BENCHMARK(BM_RuntimeTick)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -30,6 +30,8 @@ gridctl_bench(bench_perf_solvers)
 target_link_libraries(bench_perf_solvers PRIVATE benchmark::benchmark)
 gridctl_bench(bench_perf_mpc_step)
 target_link_libraries(bench_perf_mpc_step PRIVATE benchmark::benchmark)
+gridctl_bench(bench_perf_runtime_tick)
+target_link_libraries(bench_perf_runtime_tick PRIVATE benchmark::benchmark)
 
 # Extension benches (related-work features: refs [6] and [9]).
 gridctl_bench(bench_ext_deferral)

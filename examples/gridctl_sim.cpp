@@ -25,8 +25,11 @@
 
 namespace {
 
-void print_usage() {
-  std::printf(
+// `--help` prints to stdout (exit 0); argument errors print to stderr
+// so `gridctl_sim ... | tool` pipelines never parse usage text as data.
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
       "usage: gridctl_sim [scenario.json]\n"
       "                   [--policy control|optimal|static|all]\n"
       "                   [--csv out.csv] [--report out.json] [--threads N]\n"
@@ -119,13 +122,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--qp-cap" && i + 1 < argc) {
       qp_cap = std::atol(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
-      print_usage();
+      print_usage(stdout);
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       scenario_path = arg;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
-      print_usage();
+      print_usage(stderr);
       return 2;
     }
   }

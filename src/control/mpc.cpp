@@ -18,6 +18,14 @@ MpcController::MpcController(MpcPlant plant, MpcConfig config)
   config_.constraints.validate(plant_.num_inputs());
 }
 
+void MpcController::restore_warm_start(linalg::Vector warm_start) {
+  require(warm_start.empty() ||
+              warm_start.size() ==
+                  plant_.num_inputs() * config_.horizons.control,
+          "MpcController: restored warm start has the wrong length");
+  warm_start_ = std::move(warm_start);
+}
+
 void MpcController::set_constraints(InputConstraints constraints) {
   constraints.validate(plant_.num_inputs());
   config_.constraints = std::move(constraints);

@@ -89,6 +89,12 @@ class MpcController {
   MpcPlant& mutable_plant() { return plant_; }
   const MpcConfig& config() const { return config_; }
 
+  // The cached stacked move solution seeding the next solve (empty =
+  // cold start). Exposed so a checkpointed controller resumes with the
+  // same QP iterate path it would have taken uninterrupted.
+  const linalg::Vector& warm_start() const { return warm_start_; }
+  void restore_warm_start(linalg::Vector warm_start);
+
  private:
   MpcPlant plant_;
   MpcConfig config_;

@@ -366,6 +366,15 @@ CostController::Decision CostController::step(
     }
   }
 
+  finish_decision(decision, served_demands);
+  return decision;
+}
+
+// Shared tail of every control period (full or degraded): the slow
+// loop, then the invariant checker over the applied decision.
+void CostController::finish_decision(Decision& decision,
+                                     const std::vector<double>& served_demands) {
+  const std::size_t n = config_.idcs.size();
   // Slow loop: servers follow the (smoothed) allocation, once every
   // sleep_every_k_steps fast periods. Off-cycle, the held counts are
   // only *raised* when the new allocation would otherwise violate the
@@ -394,7 +403,107 @@ CostController::Decision CostController::step(
       ++decision.invariants.by_kind[static_cast<std::size_t>(violation.kind)];
     }
   }
+}
+
+CostController::Decision CostController::step_degraded(
+    const std::vector<double>& /*prices*/,
+    const std::vector<double>& portal_demands) {
+  const std::size_t n = config_.idcs.size();
+  require(portal_demands.size() == config_.portals,
+          "CostController: demand size mismatch");
+
+  Decision decision;
+  decision.fallback_tier = check::FallbackTier::kHoldLastFeasible;
+  decision.mpc_status = solvers::QpStatus::kMaxIterations;
+
+  // Same availability knob as the full step.
+  std::vector<double> served_demands = portal_demands;
+  if (config_.params.allow_load_shedding) {
+    double capacity = 0.0;
+    for (const auto& idc : config_.idcs) capacity += idc.max_capacity();
+    double offered = 0.0;
+    for (double demand : portal_demands) offered += demand;
+    if (offered > capacity) {
+      const double keep = capacity / offered * (1.0 - 1e-9);
+      for (double& demand : served_demands) demand *= keep;
+      decision.shed_fraction = 1.0 - keep;
+    }
+  }
+
+  // Keep the estimator stream continuous: a degraded period still
+  // observes the measured demand, so the AR predictor sees no gap.
+  decision.predicted_demands = served_demands;
+  if (config_.params.predict_workload) {
+    for (std::size_t i = 0; i < config_.portals; ++i) {
+      predictors_[i].observe(served_demands[i]);
+      decision.predicted_demands[i] = predictors_[i].predict(1);
+    }
+  }
+
+  // No optimizer: hold the previous allocation projected onto this
+  // period's constraints. The capacity-proportional split doubles as the
+  // seed for degenerate rows and as the terminal fallback — it is always
+  // jointly feasible because effective_load_caps only enforces caps that
+  // are feasible for the demand.
+  const std::vector<double> caps = check::effective_load_caps(
+      config_.idcs, config_.power_budgets_w,
+      config_.params.budget_hard_constraints, served_demands);
+  double total_cap = 0.0;
+  for (double cap : caps) total_cap += cap;
+  require(total_cap > 0.0, "CostController: fleet has zero effective capacity");
+  Allocation proportional(config_.portals, n);
+  for (std::size_t i = 0; i < config_.portals; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      proportional.at(i, j) = served_demands[i] * caps[j] / total_cap;
+    }
+  }
+  Allocation held(config_.portals, n);
+  if (project_hold_allocation(allocation_, proportional, served_demands, caps,
+                              held)) {
+    allocation_ = std::move(held);
+  } else {
+    allocation_ = std::move(proportional);
+  }
+  const auto held_loads = allocation_.idc_loads();
+  decision.predicted_power_w.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    decision.predicted_power_w[j] =
+        check::continuous_power_w(config_.idcs[j], held_loads[j]);
+  }
+
+  finish_decision(decision, served_demands);
   return decision;
+}
+
+CostController::State CostController::snapshot() const {
+  State state;
+  state.allocation = allocation_.flatten();
+  state.servers = servers_;
+  state.step_count = step_count_;
+  state.mpc_warm_start = mpc_->warm_start();
+  state.predictors.reserve(predictors_.size());
+  for (const auto& predictor : predictors_) {
+    state.predictors.push_back(predictor.snapshot());
+  }
+  return state;
+}
+
+void CostController::restore(const State& state) {
+  const std::size_t n = config_.idcs.size();
+  require(state.allocation.size() == config_.portals * n,
+          "CostController: restored allocation size mismatch");
+  require(state.servers.size() == n,
+          "CostController: restored servers size mismatch");
+  require(state.predictors.size() == predictors_.size(),
+          "CostController: restored predictor count mismatch (was the "
+          "checkpoint written with a different predict_workload setting?)");
+  allocation_ = Allocation::unflatten(state.allocation, config_.portals, n);
+  servers_ = state.servers;
+  step_count_ = state.step_count;
+  mpc_->restore_warm_start(state.mpc_warm_start);
+  for (std::size_t i = 0; i < predictors_.size(); ++i) {
+    predictors_[i].restore(state.predictors[i]);
+  }
 }
 
 void CostController::reset_to(const datacenter::Allocation& allocation,

@@ -64,6 +64,20 @@ class CostController {
     check::InvariantCounts invariants;
   };
 
+  // Complete mutable controller state, snapshotted by the online runtime
+  // for checkpoint/restore. Restoring it makes the controller continue
+  // bit-identically to an uninterrupted run: the MPC warm-start cache
+  // and the RLS predictor state both influence the QP iterate path, so
+  // they are part of the state, not just diagnostics.
+  struct State {
+    linalg::Vector allocation;            // flattened portal-major U(k-1)
+    std::vector<std::size_t> servers;
+    std::size_t step_count = 0;
+    linalg::Vector mpc_warm_start;        // empty = cold
+    std::vector<workload::ArPredictor::State> predictors;  // empty unless
+                                                           // predict_workload
+  };
+
   explicit CostController(Config config);
 
   // One control period: `prices[j]` is the current price at IDC j's
@@ -82,10 +96,25 @@ class CostController {
                 const std::vector<double>& portal_demands,
                 const std::vector<std::vector<double>>& price_preview);
 
+  // Degraded control period for deadline-missed ticks: skips the
+  // reference LPs and the MPC QP entirely and re-applies the previous
+  // allocation projected onto this period's conservation + cap
+  // constraints (the tier-2 hold-last-feasible path), then runs the slow
+  // loop and the invariant checker as usual. O(portals × idcs) — no
+  // optimizer in the loop — so an overloaded runtime can always catch
+  // up. The decision reports fallback_tier = kHoldLastFeasible.
+  Decision step_degraded(const std::vector<double>& prices,
+                         const std::vector<double>& portal_demands);
+
   // Seed the controller state (e.g. with a converged steady state) so an
   // experiment window starts from a known operating point.
   void reset_to(const datacenter::Allocation& allocation,
                 const std::vector<std::size_t>& servers);
+
+  // Checkpoint/restore of the full mutable state (schema documented in
+  // docs/ARCHITECTURE.md; JSON codec in runtime/checkpoint.hpp).
+  State snapshot() const;
+  void restore(const State& state);
 
   // Current applied allocation (U(k-1)); starts at zero.
   const datacenter::Allocation& current_allocation() const {
@@ -104,6 +133,8 @@ class CostController {
   control::MpcPlant build_plant() const;
   control::InputConstraints build_constraints(
       const std::vector<double>& portal_demands) const;
+  void finish_decision(Decision& decision,
+                       const std::vector<double>& served_demands);
 
   Config config_;
   control::SleepController sleep_;

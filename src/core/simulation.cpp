@@ -53,6 +53,76 @@ CsvTable SimulationTrace::to_csv() const {
   return table;
 }
 
+void record_step(SimulationTrace& trace, const datacenter::Fleet& fleet,
+                 const std::vector<datacenter::FluidQueue>& queues,
+                 double window_time_s, const std::vector<double>& prices,
+                 const std::vector<double>& demands) {
+  const std::size_t n = trace.power_w.size();
+  const std::size_t c = trace.portal_rps.size();
+  trace.time_s.push_back(window_time_s);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& idc = fleet.idc(j);
+    trace.power_w[j].push_back(idc.power_w());
+    trace.servers_on[j].push_back(static_cast<double>(idc.servers_on()));
+    trace.idc_load_rps[j].push_back(idc.assigned_load());
+    trace.price_per_mwh[j].push_back(prices[j]);
+    const double latency = idc.latency_s();
+    trace.latency_s[j].push_back(std::isfinite(latency) ? latency : -1.0);
+    trace.backlog_req[j].push_back(queues[j].backlog_req());
+    const double capacity = static_cast<double>(idc.servers_on()) *
+                            idc.config().power.service_rate;
+    const double delay =
+        queues[j].delay_estimate_s(idc.assigned_load(), capacity);
+    trace.transient_delay_s[j].push_back(std::isfinite(delay) ? delay : -1.0);
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    trace.portal_rps[i].push_back(demands[i]);
+  }
+  trace.total_power_w.push_back(fleet.total_power_w());
+  trace.cumulative_cost.push_back(fleet.total_cost_dollars());
+}
+
+SimulationSummary summarize_trace(const Scenario& scenario,
+                                  const SimulationTrace& trace,
+                                  const datacenter::Fleet& fleet,
+                                  const std::string& policy_name) {
+  const std::size_t n = scenario.num_idcs();
+  SimulationSummary summary;
+  summary.policy = policy_name;
+  summary.total_cost_dollars = fleet.total_cost_dollars();
+  summary.total_energy_mwh = units::joules_to_mwh(fleet.total_energy_joules());
+  summary.total_volatility = volatility(trace.total_power_w);
+  summary.idcs.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    IdcSummary& idc_summary = summary.idcs[j];
+    idc_summary.peak_power_w = peak(trace.power_w[j]);
+    idc_summary.volatility = volatility(trace.power_w[j]);
+    if (!scenario.power_budgets_w.empty() &&
+        std::isfinite(scenario.power_budgets_w[j])) {
+      idc_summary.budget = budget_compliance(
+          trace.power_w[j], scenario.power_budgets_w[j], scenario.ts_s);
+    }
+    idc_summary.mean_latency_s = mean(trace.latency_s[j]);
+    idc_summary.energy_mwh =
+        units::joules_to_mwh(fleet.idc(j).energy_joules());
+    idc_summary.cost_dollars = fleet.idc(j).cost_dollars();
+    summary.overload_seconds += fleet.idc(j).overload_seconds();
+    // Transient SLA audit from the fluid queues. An IDC pinned at its
+    // capacity cap sits exactly on the bound; the small relative margin
+    // keeps float jitter from counting those samples as violations.
+    for (std::size_t k = 0; k < trace.transient_delay_s[j].size(); ++k) {
+      const double delay = trace.transient_delay_s[j][k];
+      if (delay < 0.0 ||
+          delay > scenario.idcs[j].latency_bound_s * (1.0 + 1e-4)) {
+        summary.sla_violation_seconds += scenario.ts_s;
+      }
+      summary.max_backlog_req =
+          std::max(summary.max_backlog_req, trace.backlog_req[j][k]);
+    }
+  }
+  return summary;
+}
+
 SimulationResult run_simulation(const Scenario& scenario,
                                 AllocationPolicy& policy,
                                 const SimulationOptions& options) {
@@ -121,28 +191,7 @@ SimulationResult run_simulation(const Scenario& scenario,
 
   const auto record = [&](double window_time, const std::vector<double>& prices,
                           const std::vector<double>& demands) {
-    trace.time_s.push_back(window_time);
-    for (std::size_t j = 0; j < n; ++j) {
-      const auto& idc = fleet.idc(j);
-      trace.power_w[j].push_back(idc.power_w());
-      trace.servers_on[j].push_back(static_cast<double>(idc.servers_on()));
-      trace.idc_load_rps[j].push_back(idc.assigned_load());
-      trace.price_per_mwh[j].push_back(prices[j]);
-      const double latency = idc.latency_s();
-      trace.latency_s[j].push_back(std::isfinite(latency) ? latency : -1.0);
-      trace.backlog_req[j].push_back(queues[j].backlog_req());
-      const double capacity = static_cast<double>(idc.servers_on()) *
-                              idc.config().power.service_rate;
-      const double delay =
-          queues[j].delay_estimate_s(idc.assigned_load(), capacity);
-      trace.transient_delay_s[j].push_back(
-          std::isfinite(delay) ? delay : -1.0);
-    }
-    for (std::size_t i = 0; i < c; ++i) {
-      trace.portal_rps[i].push_back(demands[i]);
-    }
-    trace.total_power_w.push_back(fleet.total_power_w());
-    trace.cumulative_cost.push_back(fleet.total_cost_dollars());
+    record_step(trace, fleet, queues, window_time, prices, demands);
   };
 
   // Row 0 is the warm-start operating point (the pre-transition state),
@@ -199,40 +248,7 @@ SimulationResult run_simulation(const Scenario& scenario,
     }
   }
 
-  // Summaries.
-  SimulationSummary& summary = result.summary;
-  summary.policy = policy.name();
-  summary.total_cost_dollars = fleet.total_cost_dollars();
-  summary.total_energy_mwh = units::joules_to_mwh(fleet.total_energy_joules());
-  summary.total_volatility = volatility(trace.total_power_w);
-  summary.idcs.resize(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    IdcSummary& idc_summary = summary.idcs[j];
-    idc_summary.peak_power_w = peak(trace.power_w[j]);
-    idc_summary.volatility = volatility(trace.power_w[j]);
-    if (!scenario.power_budgets_w.empty() &&
-        std::isfinite(scenario.power_budgets_w[j])) {
-      idc_summary.budget = budget_compliance(
-          trace.power_w[j], scenario.power_budgets_w[j], scenario.ts_s);
-    }
-    idc_summary.mean_latency_s = mean(trace.latency_s[j]);
-    idc_summary.energy_mwh =
-        units::joules_to_mwh(fleet.idc(j).energy_joules());
-    idc_summary.cost_dollars = fleet.idc(j).cost_dollars();
-    summary.overload_seconds += fleet.idc(j).overload_seconds();
-    // Transient SLA audit from the fluid queues. An IDC pinned at its
-    // capacity cap sits exactly on the bound; the small relative margin
-    // keeps float jitter from counting those samples as violations.
-    for (std::size_t k = 0; k < trace.transient_delay_s[j].size(); ++k) {
-      const double delay = trace.transient_delay_s[j][k];
-      if (delay < 0.0 ||
-          delay > scenario.idcs[j].latency_bound_s * (1.0 + 1e-4)) {
-        summary.sla_violation_seconds += scenario.ts_s;
-      }
-      summary.max_backlog_req =
-          std::max(summary.max_backlog_req, trace.backlog_req[j][k]);
-    }
-  }
+  result.summary = summarize_trace(scenario, trace, fleet, policy.name());
 
   if (telemetry) {
     telemetry->steps = steps;
@@ -242,7 +258,7 @@ SimulationResult run_simulation(const Scenario& scenario,
     // The summary above is computed from the full trace; the caller only
     // asked to keep the aggregates.
     result.trace = SimulationTrace{};
-    result.trace.policy = summary.policy;
+    result.trace.policy = result.summary.policy;
     result.trace.ts_s = scenario.ts_s;
   }
   return result;

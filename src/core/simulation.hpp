@@ -8,6 +8,7 @@
 #include "core/metrics.hpp"
 #include "core/policies.hpp"
 #include "core/scenario.hpp"
+#include "datacenter/fluid_queue.hpp"
 #include "util/csv.hpp"
 
 namespace gridctl::engine {
@@ -87,6 +88,21 @@ struct SimulationOptions {
 SimulationResult run_simulation(const Scenario& scenario,
                                 AllocationPolicy& policy,
                                 const SimulationOptions& options = {});
+
+// Append one per-step row to `trace` from the current fleet and
+// fluid-queue state. Shared by the batch simulation and the online
+// runtime (src/runtime) so both record byte-identical series.
+void record_step(SimulationTrace& trace, const datacenter::Fleet& fleet,
+                 const std::vector<datacenter::FluidQueue>& queues,
+                 double window_time_s, const std::vector<double>& prices,
+                 const std::vector<double>& demands);
+
+// Compute the run summary from a completed trace and the final fleet
+// state. Shared by the batch simulation and the online runtime.
+SimulationSummary summarize_trace(const Scenario& scenario,
+                                  const SimulationTrace& trace,
+                                  const datacenter::Fleet& fleet,
+                                  const std::string& policy_name);
 
 // Transitional shim for the pre-SimulationOptions signature; remove
 // after one release.

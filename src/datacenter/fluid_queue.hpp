@@ -30,6 +30,8 @@ class FluidQueue {
   double delay_estimate_s(double arrival_rps, double capacity_rps) const;
 
   void reset() { backlog_req_ = 0.0; }
+  // Checkpoint restore.
+  void restore(double backlog_req) { backlog_req_ = backlog_req; }
 
  private:
   double backlog_req_ = 0.0;

@@ -31,6 +31,17 @@ void Idc::set_operating_point(std::size_t servers_on, double load_rps) {
   assigned_load_ = load_rps;
 }
 
+void Idc::restore_state(std::size_t servers_on, double load_rps,
+                        double energy_joules, double cost_dollars,
+                        double overload_seconds) {
+  set_operating_point(servers_on, load_rps);
+  require(energy_joules >= 0.0 && overload_seconds >= 0.0,
+          "Idc: restored accumulators must be non-negative");
+  energy_joules_ = energy_joules;
+  cost_dollars_ = cost_dollars;
+  overload_seconds_ = overload_seconds;
+}
+
 double Idc::power_w() const {
   return config_.power.idc_power(assigned_load_, servers_on_);
 }

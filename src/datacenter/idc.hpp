@@ -55,6 +55,12 @@ class Idc {
   // Time spent in an overloaded state.
   double overload_seconds() const { return overload_seconds_; }
 
+  // Overwrite the full runtime state (checkpoint restore); the operating
+  // point goes through the same validation as set_operating_point.
+  void restore_state(std::size_t servers_on, double load_rps,
+                     double energy_joules, double cost_dollars,
+                     double overload_seconds);
+
  private:
   IdcConfig config_;
   std::size_t servers_on_ = 0;

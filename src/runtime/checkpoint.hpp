@@ -1,0 +1,83 @@
+// Checkpoint/restore for the online control runtime.
+//
+// A `RuntimeCheckpoint` is everything the runtime needs to resume
+// bit-identically after a kill: the controller's full mutable state
+// (allocation, server vector, MPC warm-start cache, RLS predictor
+// state), the plant integrators (per-IDC energy/cost/overload, fluid
+// queue backlogs), the last applied feed values with their nominal
+// times, per-feed applied-tick counts (fault injection is stateless
+// counter hashing, so a cursor is the *entire* feed state), the
+// recorded trace so the final summary covers the whole window, and the
+// deterministic telemetry counters.
+//
+// The JSON codec round-trips doubles exactly (dump_json prints the
+// shortest representation that reparses to the same value), so a
+// restored run's state vectors are bit-identical, not just close.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost_controller.hpp"
+#include "core/simulation.hpp"
+#include "engine/telemetry.hpp"
+#include "runtime/stats.hpp"
+#include "util/json.hpp"
+
+namespace gridctl::runtime {
+
+// Current schema identifier; bump on incompatible layout changes.
+inline constexpr const char* kCheckpointSchema = "gridctl.runtime.checkpoint/1";
+
+struct RuntimeCheckpoint {
+  // Progress: the next control step to execute and how many ticks of
+  // each feed have been consumed (applied or observed-dropped).
+  std::uint64_t next_step = 0;
+  std::uint64_t price_ticks_consumed = 0;
+  std::uint64_t workload_ticks_consumed = 0;
+
+  // The values the control loop currently operates on, with the nominal
+  // event time of the tick that delivered them (staleness accounting).
+  std::vector<double> held_prices;
+  double held_price_time_s = 0.0;
+  std::vector<double> held_demands;
+  double held_demand_time_s = 0.0;
+
+  // Per-IDC power after the last plant advance — the feedback a
+  // demand-responsive price model sees on the next tick.
+  std::vector<double> last_power_w;
+
+  // A deadline miss degrades the *following* period; true when the
+  // next step after restore must take the no-QP hold path.
+  bool degrade_pending = false;
+
+  // Controller, plant and bookkeeping state.
+  core::CostController::State controller;
+  struct IdcState {
+    std::size_t servers_on = 0;
+    double load_rps = 0.0;
+    double energy_joules = 0.0;
+    double cost_dollars = 0.0;
+    double overload_seconds = 0.0;
+  };
+  std::vector<IdcState> fleet;
+  std::vector<double> queue_backlogs_req;
+  core::SimulationTrace trace;
+  engine::RunTelemetry telemetry;
+  RuntimeStats stats;
+
+  JsonValue to_json() const;
+  static RuntimeCheckpoint from_json(const JsonValue& json);
+
+  // Shape consistency against the scenario a runtime is resuming into;
+  // throws InvalidArgument on any mismatch.
+  void validate_for(const core::Scenario& scenario) const;
+};
+
+// File convenience wrappers (JSON text, pretty-printed).
+void save_checkpoint(const std::string& path,
+                     const RuntimeCheckpoint& checkpoint);
+RuntimeCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace gridctl::runtime

@@ -1,0 +1,45 @@
+#include "runtime/event_clock.hpp"
+
+#include <limits>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace gridctl::runtime {
+
+EventClock::EventClock(double acceleration) : acceleration_(acceleration) {
+  require(acceleration >= 0.0,
+          "EventClock: acceleration must be >= 0 (0 = free run)");
+}
+
+void EventClock::start(double event_time_s) {
+  origin_event_s_ = event_time_s;
+  origin_wall_ = std::chrono::steady_clock::now();
+}
+
+std::chrono::steady_clock::time_point EventClock::wall_for(
+    double event_time_s) const {
+  const double wall_offset_s = (event_time_s - origin_event_s_) / acceleration_;
+  return origin_wall_ + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(wall_offset_s));
+}
+
+void EventClock::wait_until(double event_time_s) const {
+  if (!paced()) return;
+  std::this_thread::sleep_until(wall_for(event_time_s));
+}
+
+double EventClock::lag_s(double event_time_s) const {
+  if (!paced()) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       wall_for(event_time_s))
+      .count();
+}
+
+double EventClock::wall_budget_s(double period_event_s) const {
+  if (!paced()) return std::numeric_limits<double>::infinity();
+  return period_event_s / acceleration_;
+}
+
+}  // namespace gridctl::runtime

@@ -1,0 +1,127 @@
+#include "runtime/feed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::runtime {
+
+namespace {
+
+// splitmix64 finalizer — the stateless uniform generator behind fault
+// injection. Pure function of its input, so any tick's fate can be
+// recomputed after a restore.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform in [0, 1) from (seed, sequence, salt).
+double hash01(std::uint64_t seed, std::uint64_t sequence, std::uint64_t salt) {
+  const std::uint64_t h = mix64(mix64(seed ^ (salt * 0xd6e8feb86659fd93ULL)) ^
+                                sequence);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  require(drop_probability >= 0.0 && drop_probability <= 1.0,
+          "FaultSpec: drop_probability must be in [0, 1]");
+  require(late_probability >= 0.0 && late_probability <= 1.0,
+          "FaultSpec: late_probability must be in [0, 1]");
+  require(max_lateness_s >= 0.0, "FaultSpec: max_lateness_s must be >= 0");
+  require(jitter_s >= 0.0, "FaultSpec: jitter_s must be >= 0");
+  require(late_probability == 0.0 || max_lateness_s > 0.0,
+          "FaultSpec: late ticks need a positive max_lateness_s");
+}
+
+TickStream::TickStream(double start_s, double period_s, std::uint64_t count,
+                       FaultSpec faults)
+    : start_s_(start_s),
+      period_s_(period_s),
+      count_(count),
+      faults_(faults) {
+  require(period_s > 0.0, "TickStream: period must be positive");
+  faults_.validate();
+  // FIFO monotonicity: a tick's arrival is the running max over its own
+  // raw arrival and everything ahead of it. The max delay bounds how
+  // far back that max can reach, keeping at() a pure O(window) function.
+  const double max_delay = faults_.jitter_s + faults_.max_lateness_s;
+  window_ = static_cast<std::uint64_t>(std::ceil(max_delay / period_s_)) + 1;
+}
+
+double TickStream::raw_arrival(std::uint64_t sequence) const {
+  const double nominal =
+      start_s_ + static_cast<double>(sequence) * period_s_;
+  double delay = 0.0;
+  if (faults_.jitter_s > 0.0) {
+    delay += faults_.jitter_s * hash01(faults_.seed, sequence, 1);
+  }
+  if (faults_.late_probability > 0.0 &&
+      hash01(faults_.seed, sequence, 2) < faults_.late_probability) {
+    delay += faults_.max_lateness_s * hash01(faults_.seed, sequence, 3);
+  }
+  return nominal + delay;
+}
+
+Tick TickStream::at(std::uint64_t sequence) const {
+  require(sequence < count_, "TickStream: sequence out of range");
+  Tick tick;
+  tick.sequence = sequence;
+  tick.time_s = start_s_ + static_cast<double>(sequence) * period_s_;
+  tick.dropped = faults_.drop_probability > 0.0 &&
+                 hash01(faults_.seed, sequence, 0) < faults_.drop_probability;
+  double arrival = raw_arrival(sequence);
+  const std::uint64_t back = std::min(window_, sequence);
+  for (std::uint64_t i = sequence - back; i < sequence; ++i) {
+    arrival = std::max(arrival, raw_arrival(i));
+  }
+  tick.arrival_s = arrival;
+  return tick;
+}
+
+std::optional<Tick> TickStream::next() {
+  if (cursor_ >= count_) return std::nullopt;
+  return at(cursor_++);
+}
+
+std::optional<double> TickStream::peek_arrival() const {
+  if (cursor_ >= count_) return std::nullopt;
+  return at(cursor_).arrival_s;
+}
+
+PriceFeed::PriceFeed(std::shared_ptr<const market::PriceModel> model,
+                     std::vector<std::size_t> idc_regions, TickStream stream)
+    : Feed("price", std::move(stream)),
+      model_(std::move(model)),
+      regions_(std::move(idc_regions)) {
+  require(model_ != nullptr, "PriceFeed: null price model");
+  require(!regions_.empty(), "PriceFeed: need at least one IDC region");
+  for (std::size_t region : regions_) {
+    require(region < model_->num_regions(),
+            "PriceFeed: IDC region out of range for the price model");
+  }
+}
+
+std::vector<double> PriceFeed::values(
+    double time_s, const std::vector<double>& power_feedback_w) const {
+  require(power_feedback_w.size() == regions_.size(),
+          "PriceFeed: power feedback size mismatch");
+  std::vector<double> prices(regions_.size());
+  for (std::size_t j = 0; j < regions_.size(); ++j) {
+    prices[j] = model_->price(regions_[j], time_s, power_feedback_w[j]);
+  }
+  return prices;
+}
+
+WorkloadFeed::WorkloadFeed(
+    std::shared_ptr<const workload::WorkloadSource> source, TickStream stream)
+    : Feed("workload", std::move(stream)), source_(std::move(source)) {
+  require(source_ != nullptr, "WorkloadFeed: null workload source");
+}
+
+}  // namespace gridctl::runtime

@@ -1,0 +1,141 @@
+// The feed layer of the online control runtime: replayable, timestamped
+// tick streams adapting the batch price/workload models into the event
+// world.
+//
+// A `TickStream` is the schedule: ticks at a fixed period, each with a
+// nominal time (what the payload describes) and an arrival time (when
+// the consumer may see it). Fault injection — dropped, late and
+// jittered ticks — is *stateless*: every perturbation is a pure hash of
+// (seed, sequence), so `reset(k)` rewinds or fast-forwards exactly and
+// a checkpointed stream resumes bit-identically with no RNG state to
+// persist.
+//
+// Payloads are resolved at consume time, not enqueue time: a
+// demand-responsive price model (paper eq. 9) must see the *freshest*
+// power feedback, exactly as the batch simulation queries it, so
+// `PriceFeed`/`WorkloadFeed` carry the model and the runtime asks for
+// `values(...)` when the tick is applied. A dropped tick therefore
+// means the consumer keeps operating on stale values — the realistic
+// failure, and the one the degradation path must absorb.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "market/price_model.hpp"
+#include "workload/generators.hpp"
+
+namespace gridctl::runtime {
+
+// Deterministic per-tick fault model. All probabilities are evaluated
+// by counter hashing, never by a stateful RNG.
+struct FaultSpec {
+  double drop_probability = 0.0;  // tick never arrives
+  double late_probability = 0.0;  // tick arrives up to max_lateness_s late
+  double max_lateness_s = 0.0;
+  double jitter_s = 0.0;          // every tick arrives up to this much late
+  std::uint64_t seed = 0;
+
+  bool any() const {
+    return drop_probability > 0.0 || late_probability > 0.0 || jitter_s > 0.0;
+  }
+  void validate() const;
+};
+
+struct Tick {
+  std::uint64_t sequence = 0;
+  double time_s = 0.0;     // nominal event time the payload describes
+  double arrival_s = 0.0;  // event time at which the tick becomes visible
+  bool dropped = false;    // fault-injected loss; the payload never arrives
+};
+
+// Fixed-period tick schedule with deterministic fault injection.
+// Arrival times are FIFO-monotone within the stream (a delayed tick
+// also delays everything behind it, like a real ordered transport), so
+// a k-way merge on per-stream head arrivals yields a globally
+// arrival-ordered event sequence.
+class TickStream {
+ public:
+  TickStream(double start_s, double period_s, std::uint64_t count,
+             FaultSpec faults = {});
+
+  // The tick at `sequence`, independent of the cursor (pure function).
+  Tick at(std::uint64_t sequence) const;
+
+  // Next tick in sequence order, or nullopt when exhausted.
+  std::optional<Tick> next();
+  // Arrival time of the next tick without consuming it.
+  std::optional<double> peek_arrival() const;
+
+  void reset(std::uint64_t sequence) { cursor_ = sequence; }
+  std::uint64_t cursor() const { return cursor_; }
+  std::uint64_t count() const { return count_; }
+  double period_s() const { return period_s_; }
+
+ private:
+  double raw_arrival(std::uint64_t sequence) const;
+
+  double start_s_;
+  double period_s_;
+  std::uint64_t count_;
+  FaultSpec faults_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t window_;  // FIFO-monotone running-max look-back
+};
+
+// Common half of a concrete feed: a name for telemetry and the tick
+// schedule driving it.
+class Feed {
+ public:
+  Feed(std::string name, TickStream stream)
+      : name_(std::move(name)), stream_(std::move(stream)) {}
+  virtual ~Feed() = default;
+
+  const std::string& name() const { return name_; }
+  TickStream& stream() { return stream_; }
+  const TickStream& stream() const { return stream_; }
+  // Number of values one tick carries.
+  virtual std::size_t width() const = 0;
+
+ private:
+  std::string name_;
+  TickStream stream_;
+};
+
+// Streams per-IDC regional prices from any market::PriceModel
+// (trace playback or the stochastic bid market). `power_feedback_w` is
+// the latest per-IDC power draw — demand-responsive models (eq. 9) see
+// it, exogenous models ignore it.
+class PriceFeed : public Feed {
+ public:
+  PriceFeed(std::shared_ptr<const market::PriceModel> model,
+            std::vector<std::size_t> idc_regions, TickStream stream);
+
+  std::size_t width() const override { return regions_.size(); }
+  std::vector<double> values(double time_s,
+                             const std::vector<double>& power_feedback_w) const;
+
+ private:
+  std::shared_ptr<const market::PriceModel> model_;
+  std::vector<std::size_t> regions_;  // region index per IDC
+};
+
+// Streams per-portal offered load from any workload::WorkloadSource.
+class WorkloadFeed : public Feed {
+ public:
+  WorkloadFeed(std::shared_ptr<const workload::WorkloadSource> source,
+               TickStream stream);
+
+  std::size_t width() const override { return source_->num_portals(); }
+  std::vector<double> values(double time_s) const {
+    return source_->rates(time_s);
+  }
+
+ private:
+  std::shared_ptr<const workload::WorkloadSource> source_;
+};
+
+}  // namespace gridctl::runtime

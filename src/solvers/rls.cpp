@@ -27,6 +27,17 @@ void RecursiveLeastSquares::reset() {
   updates_ = 0;
 }
 
+void RecursiveLeastSquares::restore(const Vector& theta,
+                                    const Matrix& covariance,
+                                    std::size_t updates) {
+  require(theta.size() == dim_, "RLS: restored theta dimension mismatch");
+  require(covariance.rows() == dim_ && covariance.cols() == dim_,
+          "RLS: restored covariance shape mismatch");
+  theta_ = theta;
+  p_ = covariance;
+  updates_ = updates;
+}
+
 double RecursiveLeastSquares::predict(const Vector& phi) const {
   return linalg::dot(phi, theta_);
 }

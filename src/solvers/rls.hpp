@@ -33,6 +33,11 @@ class RecursiveLeastSquares {
   // Reset the estimate and covariance (e.g., after a regime change).
   void reset();
 
+  // Overwrite the full estimator state (checkpoint restore). The
+  // restored estimator continues bit-identically to the snapshotted one.
+  void restore(const linalg::Vector& theta, const linalg::Matrix& covariance,
+               std::size_t updates);
+
  private:
   std::size_t dim_;
   double forgetting_;

@@ -42,6 +42,22 @@ double ArPredictor::predict(std::size_t horizon) const {
   return value;
 }
 
+ArPredictor::State ArPredictor::snapshot() const {
+  State state;
+  state.theta = rls_.theta();
+  state.covariance = rls_.covariance();
+  state.updates = rls_.updates();
+  state.history.assign(history_.begin(), history_.end());
+  return state;
+}
+
+void ArPredictor::restore(const State& state) {
+  require(state.history.size() <= order_,
+          "ArPredictor: restored history longer than the AR order");
+  rls_.restore(state.theta, state.covariance, state.updates);
+  history_.assign(state.history.begin(), state.history.end());
+}
+
 std::vector<double> ArPredictor::predict_trajectory(std::size_t h) const {
   std::vector<double> out;
   out.reserve(h);

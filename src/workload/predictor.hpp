@@ -18,6 +18,15 @@ namespace gridctl::workload {
 
 class ArPredictor {
  public:
+  // Complete estimator state, for checkpoint/restore of long-running
+  // controllers. A restored predictor continues bit-identically.
+  struct State {
+    linalg::Vector theta;          // RLS coefficient estimate
+    linalg::Matrix covariance;     // RLS P matrix
+    std::size_t updates = 0;       // RLS update count
+    std::vector<double> history;   // most recent first, size <= order
+  };
+
   // order: AR order p; forgetting: RLS forgetting factor.
   explicit ArPredictor(std::size_t order, double forgetting = 0.98);
 
@@ -36,6 +45,9 @@ class ArPredictor {
   bool warmed_up() const { return history_.size() >= order_; }
   std::size_t order() const { return order_; }
   const linalg::Vector& coefficients() const { return rls_.theta(); }
+
+  State snapshot() const;
+  void restore(const State& state);
 
  private:
   std::size_t order_;

@@ -1,0 +1,136 @@
+#include "runtime/feed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/paper.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::runtime {
+namespace {
+
+TEST(TickStream, CleanStreamArrivesOnTime) {
+  TickStream stream(/*start_s=*/100.0, /*period_s=*/10.0, /*count=*/5);
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    const auto tick = stream.next();
+    ASSERT_TRUE(tick.has_value());
+    EXPECT_EQ(tick->sequence, k);
+    EXPECT_DOUBLE_EQ(tick->time_s, 100.0 + 10.0 * static_cast<double>(k));
+    EXPECT_DOUBLE_EQ(tick->arrival_s, tick->time_s);
+    EXPECT_FALSE(tick->dropped);
+  }
+  EXPECT_FALSE(stream.next().has_value());
+  EXPECT_FALSE(stream.peek_arrival().has_value());
+}
+
+TEST(TickStream, FaultsAreDeterministicAndReplayable) {
+  FaultSpec faults;
+  faults.drop_probability = 0.3;
+  faults.late_probability = 0.4;
+  faults.max_lateness_s = 25.0;
+  faults.jitter_s = 2.0;
+  faults.seed = 42;
+
+  TickStream a(0.0, 10.0, 200, faults);
+  TickStream b(0.0, 10.0, 200, faults);
+  std::size_t dropped = 0;
+  std::size_t late = 0;
+  while (auto tick = a.next()) {
+    const auto other = b.next();
+    ASSERT_TRUE(other.has_value());
+    EXPECT_EQ(tick->sequence, other->sequence);
+    EXPECT_EQ(tick->dropped, other->dropped);
+    EXPECT_EQ(tick->arrival_s, other->arrival_s);
+    if (tick->dropped) ++dropped;
+    if (tick->arrival_s > tick->time_s) ++late;
+  }
+  // The probabilities are high enough that a 200-tick stream exercises
+  // both fault paths.
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(late, 0u);
+}
+
+TEST(TickStream, ArrivalsAreFifoMonotone) {
+  FaultSpec faults;
+  faults.late_probability = 0.5;
+  faults.max_lateness_s = 47.0;  // several periods of lateness
+  faults.jitter_s = 3.0;
+  faults.seed = 7;
+  TickStream stream(0.0, 10.0, 500, faults);
+  double previous = -1.0;
+  while (auto tick = stream.next()) {
+    EXPECT_GE(tick->arrival_s, tick->time_s);
+    EXPECT_GE(tick->arrival_s, previous);
+    previous = tick->arrival_s;
+  }
+}
+
+TEST(TickStream, ResetReplaysExactly) {
+  FaultSpec faults;
+  faults.drop_probability = 0.2;
+  faults.jitter_s = 1.5;
+  faults.seed = 11;
+  TickStream stream(50.0, 5.0, 100, faults);
+  std::vector<Tick> first;
+  while (auto tick = stream.next()) first.push_back(*tick);
+
+  stream.reset(30);
+  for (std::uint64_t k = 30; k < 100; ++k) {
+    const auto tick = stream.next();
+    ASSERT_TRUE(tick.has_value());
+    EXPECT_EQ(tick->sequence, first[k].sequence);
+    EXPECT_EQ(tick->dropped, first[k].dropped);
+    EXPECT_EQ(tick->arrival_s, first[k].arrival_s);
+  }
+}
+
+TEST(FaultSpec, RejectsInvalidConfiguration) {
+  FaultSpec faults;
+  faults.drop_probability = 1.5;
+  EXPECT_THROW(faults.validate(), InvalidArgument);
+  faults = {};
+  faults.late_probability = 0.5;  // no max_lateness_s
+  EXPECT_THROW(faults.validate(), InvalidArgument);
+  faults = {};
+  faults.jitter_s = -1.0;
+  EXPECT_THROW(faults.validate(), InvalidArgument);
+}
+
+TEST(Feeds, ValuesMatchDirectModelReads) {
+  const core::Scenario scenario = core::paper::smoothing_scenario(20.0);
+  const std::size_t n = scenario.num_idcs();
+
+  std::vector<std::size_t> regions(n);
+  for (std::size_t j = 0; j < n; ++j) regions[j] = scenario.idcs[j].region;
+  PriceFeed price_feed(scenario.prices, regions,
+                       TickStream(scenario.start_time_s, scenario.ts_s, 10));
+  WorkloadFeed workload_feed(
+      scenario.workload,
+      TickStream(scenario.start_time_s, scenario.ts_s, 10));
+
+  const double t = scenario.start_time_s + 40.0;
+  const std::vector<double> feedback(n, 1e6);
+  const auto prices = price_feed.values(t, feedback);
+  ASSERT_EQ(prices.size(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(prices[j],
+              scenario.prices->price(scenario.idcs[j].region, t, feedback[j]));
+  }
+
+  const auto demands = workload_feed.values(t);
+  EXPECT_EQ(demands, scenario.workload->rates(t));
+  EXPECT_EQ(price_feed.width(), n);
+  EXPECT_EQ(workload_feed.width(), scenario.num_portals());
+}
+
+TEST(Feeds, PriceFeedRejectsBadRegions) {
+  const core::Scenario scenario = core::paper::smoothing_scenario(20.0);
+  EXPECT_THROW(
+      PriceFeed(scenario.prices, {999},
+                TickStream(scenario.start_time_s, scenario.ts_s, 10)),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::runtime
