@@ -28,11 +28,11 @@ int main() {
     regions[r].spikes.probability_per_hour = 0.05;
   }
 
-  core::Scenario scenario = core::paper::smoothing_scenario(30.0);
+  core::Scenario scenario = core::paper::smoothing_scenario(units::Seconds{30.0});
   scenario.prices = std::make_shared<market::StochasticBidPrice>(
       regions, /*seed=*/2024);
-  scenario.start_time_s = 0.0;
-  scenario.duration_s = 24.0 * 3600.0;  // a full synthetic day
+  scenario.start_time_s = units::Seconds{0.0};
+  scenario.duration_s = units::Seconds{24.0 * 3600.0};  // a full synthetic day
 
   core::MpcPolicy control(core::CostController::Config{
       scenario.idcs, scenario.num_portals(), {}, scenario.controller});
@@ -44,7 +44,7 @@ int main() {
   auto realized_price_volatility = [](const core::SimulationResult& r) {
     double total = 0.0;
     for (std::size_t j = 0; j < 3; ++j) {
-      total += core::volatility(r.trace.price_per_mwh[j]).mean_abs_step;
+      total += core::volatility(r.trace.price_per_mwh[j]).mean_abs_step.value();
     }
     return total / 3.0;
   };
@@ -52,23 +52,23 @@ int main() {
   std::printf("24 h under the endogenous market:\n");
   std::printf("  control: cost $%.0f  fleet mean step %.3f MW  realized "
               "price vol %.3f $/MWh/step\n",
-              controlled.summary.total_cost_dollars,
+              controlled.summary.total_cost.value(),
               units::watts_to_mw(
-                  controlled.summary.total_volatility.mean_abs_step),
+                  controlled.summary.total_volatility.mean_abs_step.value()),
               realized_price_volatility(controlled));
   std::printf("  optimal: cost $%.0f  fleet mean step %.3f MW  realized "
               "price vol %.3f $/MWh/step\n\n",
-              baseline.summary.total_cost_dollars,
+              baseline.summary.total_cost.value(),
               units::watts_to_mw(
-                  baseline.summary.total_volatility.mean_abs_step),
+                  baseline.summary.total_volatility.mean_abs_step.value()),
               realized_price_volatility(baseline));
 
   double ctl_alloc_swing = 0.0, opt_alloc_swing = 0.0;
   for (std::size_t j = 0; j < 3; ++j) {
     ctl_alloc_swing +=
-        core::volatility(controlled.trace.idc_load_rps[j]).mean_abs_step;
+        core::volatility(controlled.trace.idc_load_rps[j]).mean_abs_step.value();
     opt_alloc_swing +=
-        core::volatility(baseline.trace.idc_load_rps[j]).mean_abs_step;
+        core::volatility(baseline.trace.idc_load_rps[j]).mean_abs_step.value();
   }
   std::printf("mean per-step allocation swing: control %.0f req/s vs "
               "optimal %.0f req/s\n\n",
@@ -80,16 +80,16 @@ int main() {
                   ctl_alloc_swing < 0.5 * opt_alloc_swing);
   ++total;
   passed += expect("MPC's power-demand volatility is lower",
-                  controlled.summary.total_volatility.mean_abs_step <
-                      baseline.summary.total_volatility.mean_abs_step);
+                  controlled.summary.total_volatility.mean_abs_step.value() <
+                      baseline.summary.total_volatility.mean_abs_step.value());
   ++total;
   passed += expect("costs stay within 10% (damping is near-free here)",
-                  controlled.summary.total_cost_dollars <
-                      1.10 * baseline.summary.total_cost_dollars);
+                  controlled.summary.total_cost.value() <
+                      1.10 * baseline.summary.total_cost.value());
   ++total;
   passed += expect("both runs serve the full workload without overload",
-                  controlled.summary.overload_seconds == 0.0 &&
-                      baseline.summary.overload_seconds == 0.0);
+                  controlled.summary.overload_time.value() == 0.0 &&
+                      baseline.summary.overload_time.value() == 0.0);
   print_footer(passed, total);
   return passed == total ? 0 : 1;
 }

@@ -30,7 +30,7 @@ int main() {
   for (const Case& c : cases) {
     engine::SweepJob job;
     job.name = format("beta1=%zu/beta2=%zu", c.beta1, c.beta2);
-    job.scenario = core::paper::smoothing_scenario(10.0);
+    job.scenario = core::paper::smoothing_scenario(units::Seconds{10.0});
     job.scenario.controller.horizons = {c.beta1, c.beta2};
     job.policy = engine::control_policy();
     jobs.push_back(std::move(job));
@@ -52,10 +52,10 @@ int main() {
     table.add_row(
         {TextTable::num(static_cast<double>(cases[i].beta1), 0),
          TextTable::num(static_cast<double>(cases[i].beta2), 0),
-         TextTable::num(job.summary.total_cost_dollars, 2),
+         TextTable::num(job.summary.total_cost.value(), 2),
          TextTable::num(units::watts_to_mw(endpoint), 3),
          TextTable::num(units::watts_to_mw(
-                            job.summary.idcs[0].volatility.max_abs_step),
+                            job.summary.idcs[0].volatility.max_abs_step.value()),
                         4),
          TextTable::num(solve_walls.back(), 1),
          TextTable::num(static_cast<double>(job.telemetry.solver_iterations),

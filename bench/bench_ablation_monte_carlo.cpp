@@ -33,10 +33,10 @@ gridctl::core::Scenario seed_scenario(std::uint64_t seed) {
     regions[r].noise.volatility = 0.25;
     regions[r].spikes.probability_per_hour = 0.05;
   }
-  core::Scenario scenario = core::paper::smoothing_scenario(60.0);
+  core::Scenario scenario = core::paper::smoothing_scenario(units::Seconds{60.0});
   scenario.prices = std::make_shared<market::StochasticBidPrice>(regions, seed);
-  scenario.start_time_s = 0.0;
-  scenario.duration_s = 6.0 * 3600.0;
+  scenario.start_time_s = units::Seconds{0.0};
+  scenario.duration_s = units::Seconds{6.0 * 3600.0};
   return scenario;
 }
 
@@ -70,7 +70,7 @@ struct Outcome {
 double worst_idc_step(const gridctl::core::SimulationSummary& summary) {
   double worst = 0.0;
   for (const auto& idc : summary.idcs) {
-    worst = std::max(worst, idc.volatility.max_abs_step);
+    worst = std::max(worst, idc.volatility.max_abs_step.value());
   }
   return worst;
 }
@@ -97,10 +97,10 @@ int main() {
   for (std::size_t i = 0; deterministic && i < serial.jobs.size(); ++i) {
     deterministic =
         serial.jobs[i].ok && parallel.jobs[i].ok &&
-        serial.jobs[i].summary.total_cost_dollars ==
-            parallel.jobs[i].summary.total_cost_dollars &&
-        serial.jobs[i].summary.total_volatility.max_abs_step ==
-            parallel.jobs[i].summary.total_volatility.max_abs_step;
+        serial.jobs[i].summary.total_cost.value() ==
+            parallel.jobs[i].summary.total_cost.value() &&
+        serial.jobs[i].summary.total_volatility.max_abs_step.value() ==
+            parallel.jobs[i].summary.total_volatility.max_abs_step.value();
   }
 
   TextTable table({"seed", "cost_ctl/opt", "max_step_ctl/opt", "migrated",
@@ -111,7 +111,7 @@ int main() {
     const auto& opt = parallel.jobs[i + 1];
     const double opt_step = worst_idc_step(opt.summary);
     const Outcome outcome{
-        ctl.summary.total_cost_dollars / opt.summary.total_cost_dollars,
+        ctl.summary.total_cost.value() / opt.summary.total_cost.value(),
         worst_idc_step(ctl.summary) / std::max(1.0, opt_step), opt_step};
     cost_ratios.push_back(outcome.cost_ratio);
     vol_ratios.push_back(outcome.volatility_ratio);

@@ -32,8 +32,8 @@ int main() {
 
   // Part 2: closed loop with a drifting workload, prediction on vs off.
   auto run_with_prediction = [&](bool enabled) {
-    core::Scenario scenario = core::paper::smoothing_scenario(20.0);
-    scenario.duration_s = 1200.0;
+    core::Scenario scenario = core::paper::smoothing_scenario(units::Seconds{20.0});
+    scenario.duration_s = units::Seconds{1200.0};
     // Diurnal drift strong enough to move the allocation mid-window.
     scenario.workload = std::make_shared<workload::DiurnalWorkload>(
         std::vector<double>(core::paper::kPortalDemands), 0.15, 9.0, 0.02,
@@ -48,12 +48,12 @@ int main() {
   const auto without = run_with_prediction(false);
   std::printf("closed loop under diurnal drift (20-minute window):\n");
   std::printf("  prediction ON : cost $%.2f, fleet mean step %.4f MW\n",
-              with.summary.total_cost_dollars,
-              units::watts_to_mw(with.summary.total_volatility.mean_abs_step));
+              with.summary.total_cost.value(),
+              units::watts_to_mw(with.summary.total_volatility.mean_abs_step.value()));
   std::printf(
       "  prediction OFF: cost $%.2f, fleet mean step %.4f MW\n\n",
-      without.summary.total_cost_dollars,
-      units::watts_to_mw(without.summary.total_volatility.mean_abs_step));
+      without.summary.total_cost.value(),
+      units::watts_to_mw(without.summary.total_volatility.mean_abs_step.value()));
 
   int passed = 0, total = 0;
   ++total;
@@ -61,14 +61,14 @@ int main() {
                   rmse_by_order[3] < rmse_by_order[0]);
   ++total;
   passed += expect("both closed-loop variants serve without overload",
-                  with.summary.overload_seconds == 0.0 &&
-                      without.summary.overload_seconds == 0.0);
+                  with.summary.overload_time.value() == 0.0 &&
+                      without.summary.overload_time.value() == 0.0);
   ++total;
   passed += expect("costs agree within 5% (prediction is a refinement, "
                   "not a correctness knob, on slow drift)",
-                  std::abs(with.summary.total_cost_dollars -
-                           without.summary.total_cost_dollars) <
-                      0.05 * without.summary.total_cost_dollars);
+                  std::abs(with.summary.total_cost.value() -
+                           without.summary.total_cost.value()) <
+                      0.05 * without.summary.total_cost.value());
   print_footer(passed, total);
   return passed == total ? 0 : 1;
 }

@@ -18,15 +18,17 @@ using namespace gridctl;
 core::SimulationSummary run_window(bool with_preview, double ts,
                                    std::vector<std::vector<double>>* power) {
   const auto traces = market::paper_region_traces();
-  core::Scenario scenario = core::paper::smoothing_scenario(ts);
+  core::Scenario scenario = core::paper::smoothing_scenario(units::Seconds{ts});
   core::CostController controller(core::CostController::Config{
       scenario.idcs, 5, {}, scenario.controller});
 
   // Warm start at the 6H optimum.
   core::OptimalPolicy seed(scenario.idcs, 5, scenario.controller.cost_basis);
   core::PolicyContext seed_context;
-  seed_context.prices = {43.26, 30.26, 19.06};
-  seed_context.portal_demands = core::paper::kPortalDemands;
+  seed_context.prices = {units::PricePerMwh{43.26}, units::PricePerMwh{30.26},
+                         units::PricePerMwh{19.06}};
+  seed_context.portal_demands =
+      units::typed_vector<units::Rps>(core::paper::kPortalDemands);
   const auto initial = seed.decide(seed_context);
   controller.reset_to(initial.allocation, initial.servers);
 
@@ -39,35 +41,41 @@ core::SimulationSummary run_window(bool with_preview, double ts,
   power->assign(3, {});
   for (std::size_t k = 0; k < steps; ++k) {
     const double t = start + static_cast<double>(k) * ts;
-    std::vector<double> prices(3);
-    for (std::size_t j = 0; j < 3; ++j) prices[j] = traces.price(j, t, 0.0);
+    std::vector<units::PricePerMwh> prices(3);
+    for (std::size_t j = 0; j < 3; ++j) {
+      prices[j] =
+          traces.price(j, units::Seconds{t}, units::Watts::zero());
+    }
 
     core::CostController::Decision decision;
     if (with_preview) {
       // Preview row per horizon step: the true trace prices ahead.
-      std::vector<std::vector<double>> preview;
+      std::vector<std::vector<units::PricePerMwh>> preview;
       for (std::size_t s = 1; s <= scenario.controller.horizons.prediction;
            ++s) {
-        std::vector<double> row(3);
+        std::vector<units::PricePerMwh> row(3);
         for (std::size_t j = 0; j < 3; ++j) {
-          row[j] = traces.price(j, t + static_cast<double>(s) * ts, 0.0);
+          row[j] = traces.price(j, units::Seconds{t + static_cast<double>(s) * ts},
+                                units::Watts::zero());
         }
         preview.push_back(std::move(row));
       }
-      decision =
-          controller.step(prices, core::paper::kPortalDemands, preview);
+      decision = controller.step(
+          prices, units::typed_vector<units::Rps>(core::paper::kPortalDemands),
+          preview);
     } else {
-      decision = controller.step(prices, core::paper::kPortalDemands);
+      decision = controller.step(
+          prices, units::typed_vector<units::Rps>(core::paper::kPortalDemands));
     }
     fleet.set_operating_point(decision.allocation, decision.servers);
-    fleet.advance(ts, prices);
+    fleet.advance(units::Seconds{ts}, prices);
     for (std::size_t j = 0; j < 3; ++j) {
-      (*power)[j].push_back(fleet.idc(j).power_w());
+      (*power)[j].push_back(fleet.idc(j).power_w().value());
     }
   }
 
   core::SimulationSummary summary;
-  summary.total_cost_dollars = fleet.total_cost_dollars();
+  summary.total_cost = fleet.total_cost_dollars();
   summary.idcs.resize(3);
   for (std::size_t j = 0; j < 3; ++j) {
     summary.idcs[j].volatility = core::volatility((*power)[j]);
@@ -103,11 +111,11 @@ int main() {
          TextTable::num(units::watts_to_mw(power_preview[0][k]), 3)});
   }
   std::printf("%s\n", table.to_string().c_str());
-  std::printf("cost: blind $%.2f vs preview $%.2f\n", blind.total_cost_dollars,
-              preview.total_cost_dollars);
+  std::printf("cost: blind $%.2f vs preview $%.2f\n", blind.total_cost.value(),
+              preview.total_cost.value());
   std::printf("MI max step: blind %.3f MW vs preview %.3f MW\n\n",
-              units::watts_to_mw(blind.idcs[0].volatility.max_abs_step),
-              units::watts_to_mw(preview.idcs[0].volatility.max_abs_step));
+              units::watts_to_mw(blind.idcs[0].volatility.max_abs_step.value()),
+              units::watts_to_mw(preview.idcs[0].volatility.max_abs_step.value()));
 
   int passed = 0, total = 0;
   ++total;

@@ -46,7 +46,7 @@ int main() {
       const std::size_t m1 = simplified.target_servers(j, loads[j]);
       const std::size_t m2 = exact.target_servers(j, loads[j]);
       const double saved_w =
-          static_cast<double>(m1 - m2) * idcs[j].power.idle_w;
+          static_cast<double>(m1 - m2) * idcs[j].power.idle_w.value();
       total_saved_w += saved_w;
       table.add_row({kIdcNames[j], TextTable::num(loads[j], 0),
                      TextTable::num(static_cast<double>(m1), 0),
@@ -63,7 +63,7 @@ int main() {
                    "energy_MWh"});
   std::vector<double> switches, costs;
   for (std::size_t k : {1u, 3u, 6u, 12u}) {
-    core::Scenario scenario = core::paper::smoothing_scenario(10.0);
+    core::Scenario scenario = core::paper::smoothing_scenario(units::Seconds{10.0});
     scenario.controller.sleep_every_k_steps = k;
     core::MpcPolicy control(core::CostController::Config{
         scenario.idcs, scenario.num_portals(), {}, scenario.controller});
@@ -73,11 +73,11 @@ int main() {
       total_switches += switch_count(result.trace.servers_on[j]);
     }
     switches.push_back(total_switches);
-    costs.push_back(result.summary.total_cost_dollars);
+    costs.push_back(result.summary.total_cost.value());
     table.add_row({TextTable::num(static_cast<double>(k), 0),
-                   TextTable::num(result.summary.total_cost_dollars, 2),
+                   TextTable::num(result.summary.total_cost.value(), 2),
                    TextTable::num(total_switches, 0),
-                   TextTable::num(result.summary.total_energy_mwh, 3)});
+                   TextTable::num(units::as_mwh(result.summary.total_energy), 3)});
   }
   std::printf("%s\n", table.to_string().c_str());
 

@@ -26,7 +26,7 @@ int main() {
   for (double r : r_values) {
     engine::SweepJob job;
     job.name = format("r=%.1f", r);
-    job.scenario = core::paper::smoothing_scenario(10.0);
+    job.scenario = core::paper::smoothing_scenario(units::Seconds{10.0});
     job.scenario.controller.r_weight = r;
     job.policy = engine::control_policy();
     job.options.record_trace = false;
@@ -42,16 +42,16 @@ int main() {
     const engine::JobResult& job = report.jobs[i];
     const auto& mi = job.summary.idcs[0].volatility;
     table.add_row({TextTable::num(r_values[i], 1),
-                   TextTable::num(job.summary.total_cost_dollars, 2),
-                   TextTable::num(units::watts_to_mw(mi.max_abs_step), 4),
-                   TextTable::num(units::watts_to_mw(mi.mean_abs_step), 4),
+                   TextTable::num(job.summary.total_cost.value(), 2),
+                   TextTable::num(units::watts_to_mw(mi.max_abs_step.value()), 4),
+                   TextTable::num(units::watts_to_mw(mi.mean_abs_step.value()), 4),
                    TextTable::num(units::watts_to_mw(
                                       job.summary.total_volatility
-                                          .mean_abs_step),
+                                          .mean_abs_step.value()),
                                   4),
                    TextTable::num(job.telemetry.warm_start_hit_rate(), 3)});
-    max_steps.push_back(mi.max_abs_step);
-    costs.push_back(job.summary.total_cost_dollars);
+    max_steps.push_back(mi.max_abs_step.value());
+    costs.push_back(job.summary.total_cost.value());
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("sweep: %zu jobs on %zu threads in %.2f s "

@@ -25,7 +25,7 @@ int main() {
                    "max_switch_per_step", "cost_$"});
   std::vector<double> sla_seconds;
   for (std::size_t ramp : {0u, 4000u, 2000u, 1000u, 500u}) {
-    core::Scenario scenario = core::paper::smoothing_scenario(10.0);
+    core::Scenario scenario = core::paper::smoothing_scenario(units::Seconds{10.0});
     scenario.controller.sleep.max_ramp_per_step = ramp;
     core::MpcPolicy control(core::CostController::Config{
         scenario.idcs, scenario.num_portals(), {}, scenario.controller});
@@ -34,15 +34,15 @@ int main() {
     for (std::size_t j = 0; j < 3; ++j) {
       max_switch = std::max(
           max_switch,
-          core::volatility(result.trace.servers_on[j]).max_abs_step);
+          core::volatility(result.trace.servers_on[j]).max_abs_step.value());
     }
-    sla_seconds.push_back(result.summary.sla_violation_seconds);
+    sla_seconds.push_back(result.summary.sla_violation_time.value());
     table.add_row({ramp == 0 ? "unlimited"
                              : TextTable::num(static_cast<double>(ramp), 0),
-                   TextTable::num(result.summary.sla_violation_seconds, 0),
-                   TextTable::num(result.summary.max_backlog_req / 1e3, 1),
+                   TextTable::num(result.summary.sla_violation_time.value(), 0),
+                   TextTable::num(result.summary.max_backlog.value() / 1e3, 1),
                    TextTable::num(max_switch, 0),
-                   TextTable::num(result.summary.total_cost_dollars, 2)});
+                   TextTable::num(result.summary.total_cost.value(), 2)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("(rows ordered: unlimited, then tightening ramps)\n\n");

@@ -52,7 +52,9 @@ int main() {
     // Keep prices non-negative for the brown-power epigraph.
     for (double& p : prices) p = std::max(p, 0.0);
     std::vector<double> available(3);
-    for (std::size_t r = 0; r < 3; ++r) available[r] = supply.available_w(r, t);
+    for (std::size_t r = 0; r < 3; ++r) {
+      available[r] = supply.available_w(r, units::Seconds{t}).value();
+    }
 
     control::GreenReferenceProblem green;
     green.idcs = idcs;

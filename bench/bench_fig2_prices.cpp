@@ -50,10 +50,10 @@ int main() {
                   core::series_min(wi) < 0.0);
   ++total;
   passed += expect("Wisconsin is the most volatile series (Fig. 2)",
-                  core::volatility(wi).mean_abs_step >
-                      core::volatility(mn).mean_abs_step &&
-                  core::volatility(wi).mean_abs_step >
-                      core::volatility(mi).mean_abs_step);
+                  core::volatility(wi).mean_abs_step.value() >
+                      core::volatility(mn).mean_abs_step.value() &&
+                  core::volatility(wi).mean_abs_step.value() >
+                      core::volatility(mi).mean_abs_step.value());
   ++total;
   {
     // Fig. 2's stable-cheap region: Minnesota undercuts Michigan every

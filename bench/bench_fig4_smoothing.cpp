@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
       "MN stays ~11.4 MW");
 
   const core::Scenario scenario = maybe_strict(
-      core::paper::smoothing_scenario(10.0), strict_requested(argc, argv));
+      core::paper::smoothing_scenario(units::Seconds{10.0}), strict_requested(argc, argv));
 
   std::printf("Table I (portal workloads, req/s):");
   for (double demand : core::paper::kPortalDemands) {
@@ -29,8 +29,9 @@ int main(int argc, char** argv) {
     const auto& idc = scenario.idcs[j];
     std::printf(
         "  %-9s mu=%.2f req/s  M=%zu  idle=%.0fW peak=%.0fW  D=%.0f ms\n",
-        kIdcNames[j], idc.power.service_rate, idc.max_servers,
-        idc.power.idle_w, idc.power.peak_w, idc.latency_bound_s * 1000.0);
+        kIdcNames[j], idc.power.service_rate.value(), idc.max_servers,
+        idc.power.idle_w.value(), idc.power.peak_w.value(),
+        idc.latency_bound_s.value() * 1000.0);
   }
   std::printf("  (M_1 = 20000: the value the paper's reported trajectories "
               "imply; Table II prints 30000 — see EXPERIMENTS.md)\n\n");
@@ -64,11 +65,11 @@ int main(int argc, char** argv) {
                   wi_opt[0] - wi_opt[1] > 3.0e6);
   ++total;
   passed += expect("Minnesota stays flat near 11.3 MW under both policies",
-                  core::volatility(mn_opt).max_abs_step < 0.05e6);
+                  core::volatility(mn_opt).max_abs_step.value() < 0.05e6);
   ++total;
   {
-    const double ctl_max = core::volatility(mi_ctl).max_abs_step;
-    const double opt_max = core::volatility(mi_opt).max_abs_step;
+    const double ctl_max = core::volatility(mi_ctl).max_abs_step.value();
+    const double opt_max = core::volatility(mi_opt).max_abs_step.value();
     passed += expect("control max power step < 25% of optimal's jump (MI)",
                     ctl_max < 0.25 * opt_max);
   }
@@ -78,16 +79,16 @@ int main(int argc, char** argv) {
   ++total;
   {
     // Smoothing costs only a small premium over the window.
-    const double ctl = run.control.summary.total_cost_dollars;
-    const double opt = run.optimal.summary.total_cost_dollars;
+    const double ctl = run.control.summary.total_cost.value();
+    const double opt = run.optimal.summary.total_cost.value();
     passed += expect("smoothing premium below 10% of the window cost",
                     ctl < 1.10 * opt && ctl >= opt - 1e-9);
   }
   std::printf("\nwindow cost: control $%.2f vs optimal $%.2f (+%.1f%%)\n",
-              run.control.summary.total_cost_dollars,
-              run.optimal.summary.total_cost_dollars,
-              100.0 * (run.control.summary.total_cost_dollars /
-                           run.optimal.summary.total_cost_dollars -
+              run.control.summary.total_cost.value(),
+              run.optimal.summary.total_cost.value(),
+              100.0 * (run.control.summary.total_cost.value() /
+                           run.optimal.summary.total_cost.value() -
                        1.0));
   print_footer(passed, total);
   return passed == total ? 0 : 1;

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
       "at 40000; control ramps server counts gradually");
 
   const core::Scenario scenario = maybe_strict(
-      core::paper::smoothing_scenario(10.0), strict_requested(argc, argv));
+      core::paper::smoothing_scenario(units::Seconds{10.0}), strict_requested(argc, argv));
   const PairedRun run = run_both(scenario);
   print_server_series(run, 3);
 
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
                       core::series_max(mn_opt) == 40000.0);
   ++total;
   passed += expect("control ramps MI: max per-step change < 3000 servers",
-                  core::volatility(mi_ctl).max_abs_step < 3000.0);
+                  core::volatility(mi_ctl).max_abs_step.value() < 3000.0);
   ++total;
   passed += expect("control reaches the same MI endpoint (within 500)",
                   std::abs(mi_ctl[last] - mi_opt[last]) < 500.0);

@@ -16,11 +16,11 @@ int main(int argc, char** argv) {
       "both); WI converges between its optimal value and its budget");
 
   const core::Scenario scenario = maybe_strict(
-      core::paper::shaving_scenario(10.0), strict_requested(argc, argv));
+      core::paper::shaving_scenario(units::Seconds{10.0}), strict_requested(argc, argv));
   std::printf("budgets: MI %.3f MW, MN %.3f MW, WI %.3f MW\n\n",
-              units::watts_to_mw(scenario.power_budgets_w[0]),
-              units::watts_to_mw(scenario.power_budgets_w[1]),
-              units::watts_to_mw(scenario.power_budgets_w[2]));
+              units::watts_to_mw(scenario.power_budgets_w[0].value()),
+              units::watts_to_mw(scenario.power_budgets_w[1].value()),
+              units::watts_to_mw(scenario.power_budgets_w[2].value()));
 
   const PairedRun run = run_both(scenario);
   print_power_series(run, 3);
@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
     const auto& opt = run.optimal.summary.idcs[j].budget;
     std::printf("  %-9s control %2zu (+%.3f MW)   optimal %2zu (+%.3f MW)\n",
                 kIdcNames[j], ctl.violations,
-                units::watts_to_mw(ctl.worst_excess), opt.violations,
-                units::watts_to_mw(opt.worst_excess));
+                units::watts_to_mw(ctl.worst_excess.value()), opt.violations,
+                units::watts_to_mw(opt.worst_excess.value()));
   }
   std::printf("  (the control method's early-window counts are inherited "
               "from the pre-step state it is draining)\n\n");
@@ -48,18 +48,18 @@ int main(int argc, char** argv) {
   ++total;
   passed += expect("control settles Michigan at/below its budget",
                   run.control.trace.power_w[0][last] <=
-                      scenario.power_budgets_w[0] * 1.001);
+                      scenario.power_budgets_w[0].value() * 1.001);
   ++total;
   passed += expect("control settles Minnesota at/below its budget",
                   run.control.trace.power_w[1][last] <=
-                      scenario.power_budgets_w[1] * 1.001);
+                      scenario.power_budgets_w[1].value() * 1.001);
   ++total;
   {
     const double wi_ctl = run.control.trace.power_w[2][last];
     const double wi_opt = run.optimal.trace.power_w[2][last];
     passed += expect(
         "Wisconsin converges strictly between its optimum and its budget",
-        wi_ctl > wi_opt && wi_ctl < scenario.power_budgets_w[2]);
+        wi_ctl > wi_opt && wi_ctl < scenario.power_budgets_w[2].value());
   }
   ++total;
   {

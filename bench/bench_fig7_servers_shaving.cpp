@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
       "20000; WI holds more servers than its unconstrained optimum");
 
   const core::Scenario scenario = maybe_strict(
-      core::paper::shaving_scenario(10.0), strict_requested(argc, argv));
+      core::paper::shaving_scenario(units::Seconds{10.0}), strict_requested(argc, argv));
   const PairedRun run = run_both(scenario);
   print_server_series(run, 3);
 
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   {
     const auto vol = core::volatility(run.control.trace.servers_on[1]);
     passed += expect("control moves MN gradually (< 2000 servers/step)",
-                    vol.max_abs_step < 2000.0);
+                    vol.max_abs_step.value() < 2000.0);
   }
   print_footer(passed, total);
   return passed == total ? 0 : 1;

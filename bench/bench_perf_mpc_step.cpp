@@ -21,9 +21,10 @@ core::CostController::Config make_config(std::size_t idcs,
     datacenter::IdcConfig idc;
     idc.region = j;
     idc.max_servers = 40000;
-    idc.power = datacenter::ServerPowerModel{150.0, 285.0,
-                                             1.0 + 0.25 * (j % 4)};
-    idc.latency_bound_s = 0.001;
+    idc.power = datacenter::ServerPowerModel{
+        units::Watts{150.0}, units::Watts{285.0},
+        units::Rps{1.0 + 0.25 * (j % 4)}};
+    idc.latency_bound_s = units::Seconds{0.001};
     config.idcs.push_back(idc);
   }
   config.params.horizons = {std::max<std::size_t>(beta2 * 2, 4), beta2};
@@ -37,9 +38,9 @@ void BM_ControllerStep(benchmark::State& state) {
   const std::size_t beta2 = static_cast<std::size_t>(state.range(2));
   core::CostController controller(make_config(idcs, portals, beta2));
   Rng rng(1);
-  std::vector<double> prices(idcs);
-  for (double& p : prices) p = rng.uniform(15.0, 90.0);
-  const std::vector<double> demands(portals, 10000.0);
+  std::vector<units::PricePerMwh> prices(idcs);
+  for (auto& p : prices) p = units::PricePerMwh{rng.uniform(15.0, 90.0)};
+  const std::vector<units::Rps> demands(portals, units::Rps{10000.0});
   for (auto _ : state) {
     benchmark::DoNotOptimize(controller.step(prices, demands));
   }

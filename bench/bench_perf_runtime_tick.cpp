@@ -44,7 +44,7 @@ void merge(engine::StepTimingHistogram& into,
 
 void BM_RuntimeTick(benchmark::State& state) {
   const bool faulted = state.range(0) != 0;
-  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
 
   runtime::RuntimeOptions options;  // free run: every tick back-to-back
   options.record_trace = false;
@@ -59,7 +59,7 @@ void BM_RuntimeTick(benchmark::State& state) {
   for (auto _ : state) {
     runtime::ControlRuntime service(scenario, options);
     const runtime::RuntimeResult result = service.run();
-    benchmark::DoNotOptimize(result.summary.total_cost_dollars);
+    benchmark::DoNotOptimize(result.summary.total_cost.value());
     merge(hist, result.stats.step_wall_hist);
     steps += result.telemetry.steps;
   }

@@ -15,9 +15,9 @@
 int main() {
   using namespace gridctl;
 
-  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/60.0);
-  scenario.start_time_s = 0.0;
-  scenario.duration_s = 24.0 * 3600.0;
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{60.0});
+  scenario.start_time_s = units::Seconds{0.0};
+  scenario.duration_s = units::Seconds{24.0 * 3600.0};
   // Diurnal traffic peaking mid-afternoon, mild noise.
   // Amplitude/noise chosen so the worst-case total stays inside the
   // fleet's 122000 req/s capacity (the sleep-controllability bound).
@@ -49,16 +49,16 @@ int main() {
     // size is the volatility the grid operator actually sees.
     double worst_idc_step = 0.0;
     for (const auto& idc : row.result.summary.idcs) {
-      worst_idc_step = std::max(worst_idc_step, idc.volatility.max_abs_step);
+      worst_idc_step = std::max(worst_idc_step, idc.volatility.max_abs_step.value());
     }
     std::printf("%-8s  %12.2f  %10.2f  %20.3f\n", row.name,
-                row.result.summary.total_cost_dollars,
-                row.result.summary.total_energy_mwh,
+                row.result.summary.total_cost.value(),
+                units::as_mwh(row.result.summary.total_energy),
                 units::watts_to_mw(worst_idc_step));
   }
 
-  const double static_cost = rows[0].result.summary.total_cost_dollars;
-  const double control_cost = rows[2].result.summary.total_cost_dollars;
+  const double static_cost = rows[0].result.summary.total_cost.value();
+  const double control_cost = rows[2].result.summary.total_cost.value();
   std::printf("\nprice-aware control saves %.1f%% vs the price-blind split, "
               "while bounding per-step demand changes.\n",
               100.0 * (1.0 - control_cost / static_cost));

@@ -15,6 +15,7 @@
 // way. `--stop-after N` stops resumably at step N and `--checkpoint`
 // persists the full runtime state; a later `--resume` continues
 // bit-identically (same final cost/trace as an uninterrupted run).
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -51,7 +52,42 @@ void print_usage(std::FILE* out) {
       "                     [--degrade]        hold-last-feasible after a "
       "missed deadline\n"
       "                     [--progress N]     live report every N steps "
-      "(default 10)\n");
+      "(default 10)\n"
+      "                     [--units-check]    re-integrate the trace "
+      "through the typed\n"
+      "                                        units layer and cross-check "
+      "the summary\n");
+}
+
+// --units-check: same cross-check as gridctl_sim — rectangle-integrate
+// the recorded trace through the dimension-checked Quantity layer and
+// compare against the runtime's own accumulators. Agreement is to
+// float-reassociation tolerance, not bit-identity.
+bool run_units_check(const gridctl::runtime::RuntimeResult& result) {
+  using namespace gridctl;
+  const core::TraceTotals totals = core::integrate_trace(*result.trace);
+  const auto& summary = result.summary;
+  const double cost_err =
+      std::abs(totals.cost.value() - summary.total_cost.value());
+  const double energy_err =
+      std::abs(totals.energy.value() - summary.total_energy.value());
+  const double cost_tol =
+      1e-9 * std::max(1.0, std::abs(summary.total_cost.value()));
+  const double energy_tol =
+      1e-9 * std::max(1.0, std::abs(summary.total_energy.value()));
+  const bool ok = cost_err <= cost_tol && energy_err <= energy_tol;
+  std::printf(
+      "units    : typed re-integration %s (cost |d| $%.3g, energy |d| "
+      "%.3g J over %.0f s)\n",
+      ok ? "ok" : "MISMATCH", cost_err, energy_err, totals.duration.value());
+  if (!ok) {
+    std::fprintf(stderr,
+                 "units-check failed: typed $%.*g vs summary $%.*g, "
+                 "typed %.*g J vs summary %.*g J\n",
+                 17, totals.cost.value(), 17, summary.total_cost.value(), 17,
+                 totals.energy.value(), 17, summary.total_energy.value());
+  }
+  return ok;
 }
 
 }  // namespace
@@ -68,6 +104,7 @@ int main(int argc, char** argv) {
   options.acceleration = 10000.0;
   options.progress_every = 10;
   bool strict = false;
+  bool units_check = false;
   runtime::FaultSpec faults;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +138,8 @@ int main(int argc, char** argv) {
       options.deadline_s = std::atof(argv[++i]) * 1e-3;
     } else if (arg == "--degrade") {
       options.degrade_on_deadline_miss = true;
+    } else if (arg == "--units-check") {
+      units_check = true;
     } else if (arg == "--progress" && i + 1 < argc) {
       options.progress_every = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--help" || arg == "-h") {
@@ -127,7 +166,7 @@ int main(int argc, char** argv) {
       scenario.controller.invariants.enabled = true;
       scenario.controller.invariants.strict = true;
     }
-    options.record_trace = !csv_path.empty();
+    options.record_trace = !csv_path.empty() || units_check;
 
     options.on_progress = [](const runtime::Progress& p) {
       std::printf(
@@ -148,7 +187,8 @@ int main(int argc, char** argv) {
                 scenario_path.empty() ? "<built-in paper smoothing>"
                                       : scenario_path.c_str());
     std::printf("window   : %.0f s at Ts = %.1f s (%zu steps), %s\n",
-                scenario.duration_s, scenario.ts_s, scenario.num_steps(),
+                scenario.duration_s.value(), scenario.ts_s.value(),
+                scenario.num_steps(),
                 options.acceleration > 0.0
                     ? (std::to_string(static_cast<long long>(
                            options.acceleration)) +
@@ -172,14 +212,14 @@ int main(int argc, char** argv) {
     const auto& summary = result.summary;
     const auto& stats = result.stats;
     std::printf("%s\n", result.completed ? "completed" : "stopped (resumable)");
-    std::printf("cost     : $%.2f\n", summary.total_cost_dollars);
-    std::printf("energy   : %.3f MWh\n", summary.total_energy_mwh);
+    std::printf("cost     : $%.2f\n", summary.total_cost.value());
+    std::printf("energy   : %.3f MWh\n", units::as_mwh(summary.total_energy));
     for (std::size_t j = 0; j < summary.idcs.size(); ++j) {
       std::printf("  idc %zu (%s): peak %.3f MW, cost $%.2f\n", j,
                   scenario.idcs[j].name.empty() ? "?"
                                                 : scenario.idcs[j].name.c_str(),
-                  units::watts_to_mw(summary.idcs[j].peak_power_w),
-                  summary.idcs[j].cost_dollars);
+                  units::watts_to_mw(summary.idcs[j].peak_power.value()),
+                  summary.idcs[j].cost.value());
     }
     std::printf(
         "feeds    : %llu price + %llu workload ticks, %llu dropped, "
@@ -201,6 +241,7 @@ int main(int argc, char** argv) {
                     result.telemetry.invariants.checks),
                 static_cast<unsigned long long>(
                     result.telemetry.invariants.total()));
+    if (units_check && result.trace && !run_units_check(result)) return 1;
 
     if (!checkpoint_path.empty()) {
       runtime::save_checkpoint(checkpoint_path, service->checkpoint());

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+
 #include "core/paper.hpp"
 #include "core/scenario_io.hpp"
 #include "engine/sweep.hpp"
@@ -39,7 +41,44 @@ void print_usage(std::FILE* out) {
       "                   [--qp-cap N]     cap QP iterations (fault "
       "injection)\n"
       "                   [--no-fallback]  disable the alternate-backend "
-      "retry\n");
+      "retry\n"
+      "                   [--units-check]  re-integrate the trace through "
+      "the typed\n"
+      "                                    units layer and cross-check the "
+      "summary\n");
+}
+
+// --units-check: rectangle-integrate the recorded trace through the
+// dimension-checked Quantity layer (Watts x Seconds -> Joules,
+// Joules x $/MWh -> Dollars) and compare against the fleet's own
+// accumulators. The two paths sum the same per-step terms in different
+// association orders, so agreement is to float-reassociation tolerance,
+// not bit-identity.
+bool run_units_check(const gridctl::engine::JobResult& job) {
+  using namespace gridctl;
+  const core::TraceTotals totals = core::integrate_trace(*job.trace);
+  const double cost_err =
+      std::abs(totals.cost.value() - job.summary.total_cost.value());
+  const double energy_err =
+      std::abs(totals.energy.value() - job.summary.total_energy.value());
+  const double cost_tol =
+      1e-9 * std::max(1.0, std::abs(job.summary.total_cost.value()));
+  const double energy_tol =
+      1e-9 * std::max(1.0, std::abs(job.summary.total_energy.value()));
+  const bool ok = cost_err <= cost_tol && energy_err <= energy_tol;
+  std::printf(
+      "units    : typed re-integration %s (cost |d| $%.3g, energy |d| "
+      "%.3g J over %.0f s)\n",
+      ok ? "ok" : "MISMATCH", cost_err, energy_err, totals.duration.value());
+  if (!ok) {
+    std::fprintf(stderr,
+                 "units-check failed (%s): typed $%.*g vs summary $%.*g, "
+                 "typed %.*g J vs summary %.*g J\n",
+                 job.name.c_str(), 17, totals.cost.value(), 17,
+                 job.summary.total_cost.value(), 17, totals.energy.value(),
+                 17, job.summary.total_energy.value());
+  }
+  return ok;
 }
 
 void print_summary(const gridctl::core::Scenario& scenario,
@@ -47,17 +86,18 @@ void print_summary(const gridctl::core::Scenario& scenario,
   using namespace gridctl;
   const auto& summary = job.summary;
   std::printf("policy   : %s\n", summary.policy.c_str());
-  std::printf("cost     : $%.2f\n", summary.total_cost_dollars);
-  std::printf("energy   : %.3f MWh\n", summary.total_energy_mwh);
-  std::printf("overload : %.1f s\n", summary.overload_seconds);
+  std::printf("cost     : $%.2f\n", summary.total_cost.value());
+  std::printf("energy   : %.3f MWh\n", units::as_mwh(summary.total_energy));
+  std::printf("overload : %.1f s\n", summary.overload_time.value());
   for (std::size_t j = 0; j < summary.idcs.size(); ++j) {
     const auto& idc = summary.idcs[j];
     std::printf(
         "  idc %zu (%s): peak %.3f MW, mean |dP| %.4f MW/step, "
         "cost $%.2f%s\n",
         j, scenario.idcs[j].name.empty() ? "?" : scenario.idcs[j].name.c_str(),
-        units::watts_to_mw(idc.peak_power_w),
-        units::watts_to_mw(idc.volatility.mean_abs_step), idc.cost_dollars,
+        units::watts_to_mw(idc.peak_power.value()),
+        units::watts_to_mw(idc.volatility.mean_abs_step.value()),
+        idc.cost.value(),
         idc.budget.violations
             ? (" — " + std::to_string(idc.budget.violations) +
                " budget violations")
@@ -102,6 +142,7 @@ int main(int argc, char** argv) {
   bool warm_start = true;
   bool strict = false;
   bool no_fallback = false;
+  bool units_check = false;
   long qp_cap = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -119,6 +160,8 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (arg == "--no-fallback") {
       no_fallback = true;
+    } else if (arg == "--units-check") {
+      units_check = true;
     } else if (arg == "--qp-cap" && i + 1 < argc) {
       qp_cap = std::atol(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
@@ -171,7 +214,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       job.options.warm_start = warm_start;
-      job.options.record_trace = !csv_path.empty();
+      job.options.record_trace = !csv_path.empty() || units_check;
       jobs.push_back(std::move(job));
     }
 
@@ -181,7 +224,8 @@ int main(int argc, char** argv) {
                 scenario_path.empty() ? "<built-in paper smoothing>"
                                       : scenario_path.c_str());
     std::printf("window   : %.0f s at Ts = %.1f s (%zu steps)\n",
-                scenario.duration_s, scenario.ts_s, scenario.num_steps());
+                scenario.duration_s.value(), scenario.ts_s.value(),
+                scenario.num_steps());
     bool failed = false;
     for (const engine::JobResult& job : report.jobs) {
       if (report.jobs.size() > 1) std::printf("--\n");
@@ -192,6 +236,7 @@ int main(int argc, char** argv) {
         continue;
       }
       print_summary(scenario, job);
+      if (units_check && job.trace && !run_units_check(job)) failed = true;
       if (!csv_path.empty() && job.trace) {
         // With multiple policies each trace gets a policy-suffixed file.
         std::string path = csv_path;

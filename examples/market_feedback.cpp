@@ -27,11 +27,11 @@ int main() {
     regions[r].noise.volatility = 0.2;
   }
 
-  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/60.0);
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{60.0});
   scenario.prices =
       std::make_shared<market::StochasticBidPrice>(regions, /*seed=*/99);
-  scenario.start_time_s = 0.0;
-  scenario.duration_s = 12.0 * 3600.0;
+  scenario.start_time_s = units::Seconds{0.0};
+  scenario.duration_s = units::Seconds{12.0 * 3600.0};
 
   core::OptimalPolicy greedy(scenario.idcs, 5, scenario.controller.cost_basis);
   core::MpcPolicy control(core::CostController::Config{
@@ -53,7 +53,7 @@ int main() {
   auto swing = [](const core::SimulationResult& r) {
     double total = 0.0;
     for (std::size_t j = 0; j < 3; ++j) {
-      total += core::volatility(r.trace.idc_load_rps[j]).mean_abs_step;
+      total += core::volatility(r.trace.idc_load_rps[j]).mean_abs_step.value();
     }
     return total;
   };
@@ -61,13 +61,13 @@ int main() {
               "control %.0f req/s\n",
               swing(greedy_run), swing(control_run));
   std::printf("total cost: greedy $%.0f, control $%.0f\n",
-              greedy_run.summary.total_cost_dollars,
-              control_run.summary.total_cost_dollars);
+              greedy_run.summary.total_cost.value(),
+              control_run.summary.total_cost.value());
   std::printf("fleet power volatility (mean |dP| per min): greedy %.3f MW, "
               "control %.3f MW\n",
               units::watts_to_mw(
-                  greedy_run.summary.total_volatility.mean_abs_step),
+                  greedy_run.summary.total_volatility.mean_abs_step.value()),
               units::watts_to_mw(
-                  control_run.summary.total_volatility.mean_abs_step));
+                  control_run.summary.total_volatility.mean_abs_step.value()));
   return 0;
 }

@@ -16,7 +16,7 @@
 int main() {
   using namespace gridctl;
 
-  core::Scenario scenario = core::paper::shaving_scenario(/*ts_s=*/10.0);
+  core::Scenario scenario = core::paper::shaving_scenario(/*ts_s=*/units::Seconds{10.0});
 
   core::MpcPolicy control(core::CostController::Config{
       scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
@@ -28,9 +28,9 @@ int main() {
   const auto baseline = core::run_simulation(scenario, optimal);
 
   std::printf("budgets: MI %.3f MW, MN %.3f MW, WI %.3f MW\n\n",
-              units::watts_to_mw(scenario.power_budgets_w[0]),
-              units::watts_to_mw(scenario.power_budgets_w[1]),
-              units::watts_to_mw(scenario.power_budgets_w[2]));
+              units::watts_to_mw(scenario.power_budgets_w[0].value()),
+              units::watts_to_mw(scenario.power_budgets_w[1].value()),
+              units::watts_to_mw(scenario.power_budgets_w[2].value()));
 
   std::printf("time_min  ");
   for (const char* name : {"MI", "MN", "WI"}) {
@@ -55,8 +55,8 @@ int main() {
     std::printf(
         "  IDC %zu: control %zu violations (worst +%.3f MW), "
         "optimal %zu violations (worst +%.3f MW)\n",
-        j, ctl.budget.violations, units::watts_to_mw(ctl.budget.worst_excess),
-        opt.budget.violations, units::watts_to_mw(opt.budget.worst_excess));
+        j, ctl.budget.violations, units::watts_to_mw(ctl.budget.worst_excess.value()),
+        opt.budget.violations, units::watts_to_mw(opt.budget.worst_excess.value()));
   }
   return 0;
 }

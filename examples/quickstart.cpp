@@ -15,7 +15,7 @@ int main() {
 
   // The paper's Sec. V setup: 5 portals, 3 IDCs (Michigan, Minnesota,
   // Wisconsin), constant Table I workload, the 6H->7H price step.
-  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/10.0);
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{10.0});
 
   core::MpcPolicy control(core::CostController::Config{
       scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
@@ -44,19 +44,19 @@ int main() {
 
   std::printf("\nsummary (10 min window):\n");
   std::printf("  control: cost $%.2f, fleet volatility %.4f MW/step\n",
-              controlled.summary.total_cost_dollars,
+              controlled.summary.total_cost.value(),
               units::watts_to_mw(
-                  controlled.summary.total_volatility.mean_abs_step));
+                  controlled.summary.total_volatility.mean_abs_step.value()));
   std::printf("  optimal: cost $%.2f, fleet volatility %.4f MW/step\n",
-              baseline.summary.total_cost_dollars,
+              baseline.summary.total_cost.value(),
               units::watts_to_mw(
-                  baseline.summary.total_volatility.mean_abs_step));
+                  baseline.summary.total_volatility.mean_abs_step.value()));
   for (std::size_t j = 0; j < 3; ++j) {
     std::printf("  IDC %zu: control mean |dP| %.4f MW, optimal %.4f MW\n", j,
                 units::watts_to_mw(
-                    controlled.summary.idcs[j].volatility.mean_abs_step),
+                    controlled.summary.idcs[j].volatility.mean_abs_step.value()),
                 units::watts_to_mw(
-                    baseline.summary.idcs[j].volatility.mean_abs_step));
+                    baseline.summary.idcs[j].volatility.mean_abs_step.value()));
   }
   return 0;
 }

@@ -43,17 +43,19 @@ std::string describe(const std::vector<Violation>& violations) {
   return text;
 }
 
-double continuous_power_w(const IdcConfig& idc, double lambda_rps) {
-  const double slope =
-      idc.power.watts_per_rps() + idc.power.idle_w / idc.power.service_rate;
-  return slope * lambda_rps +
-         idc.power.idle_w / (idc.power.service_rate * idc.latency_bound_s);
+units::Watts continuous_power_w(const IdcConfig& idc, units::Rps lambda) {
+  const double slope = idc.power.watts_per_rps() +
+                       idc.power.idle_w.value() / idc.power.service_rate.value();
+  return units::Watts{slope * lambda.value() +
+                      idc.power.idle_w.value() /
+                          (idc.power.service_rate.value() *
+                           idc.latency_bound_s.value())};
 }
 
 std::vector<double> effective_load_caps(
     const std::vector<IdcConfig>& idcs,
-    const std::vector<double>& power_budgets_w, bool budget_hard_constraints,
-    const std::vector<double>& served_demands) {
+    const std::vector<units::Watts>& power_budgets_w,
+    bool budget_hard_constraints, const std::vector<double>& served_demands) {
   const std::size_t n = idcs.size();
   std::vector<double> caps(n);
   for (std::size_t j = 0; j < n; ++j) {
@@ -66,7 +68,7 @@ std::vector<double> effective_load_caps(
     std::vector<double> budget_caps(n);
     for (std::size_t j = 0; j < n; ++j) {
       budget_caps[j] =
-          control::load_cap_for_budget(idcs[j], power_budgets_w[j]);
+          control::load_cap_for_budget(idcs[j], power_budgets_w[j].value());
       total_cap += budget_caps[j];
     }
     if (total_cap >= total_demand) caps = std::move(budget_caps);
@@ -76,7 +78,7 @@ std::vector<double> effective_load_caps(
 
 InvariantChecker::InvariantChecker(std::vector<IdcConfig> idcs,
                                    std::size_t portals,
-                                   std::vector<double> power_budgets_w,
+                                   std::vector<units::Watts> power_budgets_w,
                                    bool budget_hard_constraints,
                                    control::SleepControllerOptions sleep,
                                    CheckOptions options)
@@ -139,7 +141,7 @@ std::vector<Violation> InvariantChecker::check(
     // Portal simplex: sum_j lambda_ij = lambda_i within tolerance and
     // every entry non-negative.
     for (std::size_t i = 0; i < portals_; ++i) {
-      const double row = allocation.portal_load(i);
+      const double row = allocation.portal_load(i).value();
       const double scale = std::max(1.0, std::abs(served_demands[i]));
       const double gap = std::abs(row - served_demands[i]);
       if (gap > options_.conservation_tol * scale) {
@@ -160,7 +162,8 @@ std::vector<Violation> InvariantChecker::check(
     // must respect the caps the controller enforced this period.
     const std::vector<double> caps =
         effective_load_caps(idcs_, budgets_, budget_hard_, served_demands);
-    const std::vector<double> loads = allocation.idc_loads();
+    const std::vector<double> loads =
+        units::raw_vector(allocation.idc_loads());
     for (std::size_t j = 0; j < n; ++j) {
       const double load_slack = options_.budget_tol * std::max(1.0, caps[j]);
       if (loads[j] > caps[j] + load_slack) {
@@ -169,7 +172,8 @@ std::vector<Violation> InvariantChecker::check(
                     loads[j], caps[j]));
       }
       if (j < predicted_power_w.size()) {
-        const double cap_power = continuous_power_w(idcs_[j], caps[j]);
+        const double cap_power =
+            continuous_power_w(idcs_[j], units::Rps{caps[j]}).value();
         const double allowed =
             cap_power * (1.0 + options_.budget_tol) + 1.0;  // +1 W absolute
         if (predicted_power_w[j] > allowed) {

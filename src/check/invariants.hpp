@@ -18,22 +18,26 @@
 #include "control/sleep_controller.hpp"
 #include "datacenter/fleet.hpp"
 #include "datacenter/idc.hpp"
+#include "util/units.hpp"
 
 namespace gridctl::check {
 
 // Per-IDC power of the continuous-relaxation plant model the controller
 // tracks: P_j(lambda) = (b1 + b0/mu) lambda + b0/(mu D) — eq. (35)'s
 // server count substituted into the eq.-(7) power model.
-double continuous_power_w(const datacenter::IdcConfig& idc, double lambda_rps);
+units::Watts continuous_power_w(const datacenter::IdcConfig& idc,
+                                units::Rps lambda);
 
 // The per-IDC load caps the controller enforced this period: capacity
 // caps by default; replaced by budget-derived caps when hard budget
 // constraints are enabled and jointly feasible for the served demand
-// (mirrors CostController::build_constraints).
+// (mirrors CostController::build_constraints). The returned caps and
+// `served_demands` are raw req/s bulk buffers: they feed straight into
+// the solver-side constraint rows.
 std::vector<double> effective_load_caps(
     const std::vector<datacenter::IdcConfig>& idcs,
-    const std::vector<double>& power_budgets_w, bool budget_hard_constraints,
-    const std::vector<double>& served_demands);
+    const std::vector<units::Watts>& power_budgets_w,
+    bool budget_hard_constraints, const std::vector<double>& served_demands);
 
 class InvariantChecker {
  public:
@@ -42,7 +46,8 @@ class InvariantChecker {
   // disables the lower-bound check entirely (with a ramp limit the slow
   // loop is *allowed* to lag the bound while it powers servers on).
   InvariantChecker(std::vector<datacenter::IdcConfig> idcs,
-                   std::size_t portals, std::vector<double> power_budgets_w,
+                   std::size_t portals,
+                   std::vector<units::Watts> power_budgets_w,
                    bool budget_hard_constraints,
                    control::SleepControllerOptions sleep = {},
                    CheckOptions options = {});
@@ -64,7 +69,7 @@ class InvariantChecker {
  private:
   std::vector<datacenter::IdcConfig> idcs_;
   std::size_t portals_;
-  std::vector<double> budgets_;
+  std::vector<units::Watts> budgets_;
   bool budget_hard_;
   bool ramp_limited_;
   CheckOptions options_;

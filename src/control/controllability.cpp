@@ -27,7 +27,7 @@ bool is_controllable(const Matrix& a, const Matrix& b, double tol) {
 bool sleep_controllable(const std::vector<datacenter::IdcConfig>& idcs,
                         const std::vector<double>& portal_demands) {
   double capacity = 0.0;
-  for (const auto& idc : idcs) capacity += idc.max_capacity();
+  for (const auto& idc : idcs) capacity += idc.max_capacity().value();
   double demand = 0.0;
   for (double load : portal_demands) {
     require(load >= 0.0, "sleep_controllable: negative demand");

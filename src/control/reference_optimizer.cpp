@@ -18,17 +18,18 @@ using linalg::Vector;
 
 double load_cap_for_capacity(const IdcConfig& idc) {
   return datacenter::capacity_for_latency(
-      idc.max_servers, idc.power.service_rate, idc.latency_bound_s);
+             idc.max_servers, idc.power.service_rate, idc.latency_bound_s)
+      .value();
 }
 
 double load_cap_for_budget(const IdcConfig& idc, double budget_w) {
   if (!std::isfinite(budget_w)) return load_cap_for_capacity(idc);
-  const double mu = idc.power.service_rate;
-  const double b0 = idc.power.idle_w;
+  const double mu = idc.power.service_rate.value();
+  const double b0 = idc.power.idle_w.value();
   const double b1 = idc.power.watts_per_rps();
   // With m = lambda/mu + 1/(mu D) (continuous eq. 35):
   //   P = b1 lambda + b0 m = (b1 + b0/mu) lambda + b0 / (mu D)
-  const double fixed = b0 / (mu * idc.latency_bound_s);
+  const double fixed = b0 / (mu * idc.latency_bound_s.value());
   const double slope = b1 + b0 / mu;
   const double cap = (budget_w - fixed) / slope;
   return std::clamp(cap, 0.0, load_cap_for_capacity(idc));
@@ -53,7 +54,7 @@ solvers::LpResult solve_allocation_lp(const ReferenceProblem& problem,
       const double per_rps =
           problem.basis == CostBasis::kPowerIntegral
               ? idc.power.watts_per_rps() +
-                    idc.power.idle_w / idc.power.service_rate
+                    idc.power.idle_w.value() / idc.power.service_rate.value()
               : 1.0;
       lp.c[i * n + j] = problem.prices[j] * per_rps;
     }
@@ -117,7 +118,7 @@ ReferenceSolution solve_reference(const ReferenceProblem& problem) {
 
   solution.feasible = true;
   solution.allocation = Allocation::unflatten(lp_result.x, c, n);
-  solution.idc_loads = solution.allocation.idc_loads();
+  solution.idc_loads = units::raw_vector(solution.allocation.idc_loads());
   solution.servers.resize(n);
   solution.power_w.resize(n);
   solution.reference_power_w.resize(n);
@@ -125,12 +126,13 @@ ReferenceSolution solve_reference(const ReferenceProblem& problem) {
   for (std::size_t j = 0; j < n; ++j) {
     const auto& idc = problem.idcs[j];
     const std::size_t m = std::min(
-        datacenter::servers_for_latency(solution.idc_loads[j],
+        datacenter::servers_for_latency(units::Rps{solution.idc_loads[j]},
                                         idc.power.service_rate,
                                         idc.latency_bound_s),
         idc.max_servers);
     solution.servers[j] = m;
-    solution.power_w[j] = idc.power.idc_power(solution.idc_loads[j], m);
+    solution.power_w[j] =
+        idc.power.idc_power(units::Rps{solution.idc_loads[j]}, m).value();
     solution.reference_power_w[j] = std::min(solution.power_w[j], budget(j));
     cost_rate_w_price += problem.prices[j] * solution.power_w[j];
   }
@@ -178,10 +180,12 @@ GreenReferenceSolution solve_green_reference(
     lp.b_ub[j] = load_cap_for_capacity(idc);
 
     // slope * lambda_j - g_j <= renewable_j - fixed_j.
-    const double slope = idc.power.watts_per_rps() +
-                         idc.power.idle_w / idc.power.service_rate;
-    const double fixed =
-        idc.power.idle_w / (idc.power.service_rate * idc.latency_bound_s);
+    const double slope =
+        idc.power.watts_per_rps() +
+        idc.power.idle_w.value() / idc.power.service_rate.value();
+    const double fixed = idc.power.idle_w.value() /
+                         (idc.power.service_rate.value() *
+                          idc.latency_bound_s.value());
     for (std::size_t i = 0; i < c; ++i) lp.a_ub(n + j, i * n + j) = slope;
     lp.a_ub(n + j, n * c + j) = -1.0;
     lp.b_ub[n + j] = problem.renewable_w[j] - fixed;
@@ -196,7 +200,7 @@ GreenReferenceSolution solve_green_reference(
                         lp_result.x.begin() +
                             static_cast<std::ptrdiff_t>(n * c));
   solution.allocation = Allocation::unflatten(lambda, c, n);
-  solution.idc_loads = solution.allocation.idc_loads();
+  solution.idc_loads = units::raw_vector(solution.allocation.idc_loads());
   solution.servers.resize(n);
   solution.power_w.resize(n);
   solution.brown_power_w.resize(n);
@@ -204,12 +208,14 @@ GreenReferenceSolution solve_green_reference(
   for (std::size_t j = 0; j < n; ++j) {
     const auto& idc = problem.idcs[j];
     solution.servers[j] = std::min(
-        datacenter::servers_for_latency(solution.idc_loads[j],
+        datacenter::servers_for_latency(units::Rps{solution.idc_loads[j]},
                                         idc.power.service_rate,
                                         idc.latency_bound_s),
         idc.max_servers);
     solution.power_w[j] =
-        idc.power.idc_power(solution.idc_loads[j], solution.servers[j]);
+        idc.power.idc_power(units::Rps{solution.idc_loads[j]},
+                            solution.servers[j])
+            .value();
     solution.brown_power_w[j] =
         std::max(0.0, solution.power_w[j] - problem.renewable_w[j]);
     brown_cost += problem.prices[j] * solution.brown_power_w[j];

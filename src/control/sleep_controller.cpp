@@ -19,9 +19,9 @@ std::size_t SleepController::target_servers(std::size_t idc,
   require(idc < idcs_.size(), "SleepController: IDC index out of range");
   require(lambda_rps >= 0.0, "SleepController: negative load");
   const auto& cfg = idcs_[idc];
-  const double mu = cfg.power.service_rate;
-  const std::size_t simplified =
-      datacenter::servers_for_latency(lambda_rps, mu, cfg.latency_bound_s);
+  const double mu = cfg.power.service_rate.value();
+  const std::size_t simplified = datacenter::servers_for_latency(
+      units::Rps{lambda_rps}, cfg.power.service_rate, cfg.latency_bound_s);
   if (!options_.exact_mmn) return std::min(simplified, cfg.max_servers);
 
   // The paper's D bounds the mean *wait* (eq. 14 with P_Q = 1); the
@@ -31,7 +31,9 @@ std::size_t SleepController::target_servers(std::size_t idc,
   std::size_t lo = static_cast<std::size_t>(lambda_rps / mu) + 1;  // stability
   std::size_t hi = std::max(simplified, lo);
   const auto exact_wait = [&](std::size_t m) {
-    return datacenter::mmn_response_time(m, mu, lambda_rps) - 1.0 / mu;
+    return datacenter::mmn_response_time(m, cfg.power.service_rate,
+                                         units::Rps{lambda_rps}) -
+           units::Seconds{1.0 / mu};
   };
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;

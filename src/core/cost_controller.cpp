@@ -101,12 +101,12 @@ void CostController::Config::validate() const {
   for (std::size_t j = 0; j < power_budgets_w.size(); ++j) {
     // +inf (unconstrained) is allowed; NaN and non-positive budgets are
     // config errors to reject up front, not mid-run.
-    require(!std::isnan(power_budgets_w[j]),
+    require(!std::isnan(power_budgets_w[j].value()),
             format("CostController: power budget of IDC %zu is NaN", j));
-    require(power_budgets_w[j] > 0.0,
+    require(power_budgets_w[j] > units::Watts::zero(),
             format("CostController: power budget of IDC %zu must be "
                    "positive (got %g W)",
-                   j, power_budgets_w[j]));
+                   j, power_budgets_w[j].value()));
   }
   params.horizons.validate();
   require(std::isfinite(params.q_weight) && params.q_weight > 0.0,
@@ -168,12 +168,14 @@ MpcPlant CostController::build_plant() const {
   plant.y0.assign(n, 0.0);
   for (std::size_t j = 0; j < n; ++j) {
     const auto& idc = config_.idcs[j];
-    const double slope_w_per_rps = idc.power.watts_per_rps() +
-                                   idc.power.idle_w / idc.power.service_rate;
+    const double slope_w_per_rps =
+        idc.power.watts_per_rps() +
+        idc.power.idle_w.value() / idc.power.service_rate.value();
     const double slope = slope_w_per_rps * kRpsScale / kPowerScale;
     for (std::size_t i = 0; i < c; ++i) plant.c_u(j, i * n + j) = slope;
-    plant.y0[j] = idc.power.idle_w /
-                  (idc.power.service_rate * idc.latency_bound_s) /
+    plant.y0[j] = idc.power.idle_w.value() /
+                  (idc.power.service_rate.value() *
+                   idc.latency_bound_s.value()) /
                   kPowerScale;
   }
   return plant;
@@ -206,15 +208,15 @@ InputConstraints CostController::build_constraints(
 }
 
 CostController::Decision CostController::step(
-    const std::vector<double>& prices,
-    const std::vector<double>& portal_demands) {
+    const std::vector<units::PricePerMwh>& prices,
+    const std::vector<units::Rps>& portal_demands) {
   return step(prices, portal_demands, {});
 }
 
 CostController::Decision CostController::step(
-    const std::vector<double>& prices,
-    const std::vector<double>& portal_demands,
-    const std::vector<std::vector<double>>& price_preview) {
+    const std::vector<units::PricePerMwh>& prices,
+    const std::vector<units::Rps>& portal_demands,
+    const std::vector<std::vector<units::PricePerMwh>>& price_preview) {
   const std::size_t n = config_.idcs.size();
   require(prices.size() == n, "CostController: price size mismatch");
   require(portal_demands.size() == config_.portals,
@@ -224,13 +226,14 @@ CostController::Decision CostController::step(
 
   // Availability knob: when the offered load exceeds what the fleet can
   // absorb under the latency bounds, optionally shed proportionally
-  // instead of failing.
-  std::vector<double> served_demands = portal_demands;
+  // instead of failing. From here down the controller works on raw
+  // req/s buffers: everything feeds the solver-side constraint rows.
+  std::vector<double> served_demands = units::raw_vector(portal_demands);
   if (config_.params.allow_load_shedding) {
     double capacity = 0.0;
-    for (const auto& idc : config_.idcs) capacity += idc.max_capacity();
+    for (const auto& idc : config_.idcs) capacity += idc.max_capacity().value();
     double offered = 0.0;
-    for (double demand : portal_demands) offered += demand;
+    for (double demand : served_demands) offered += demand;
     if (offered > capacity) {
       const double keep = capacity / offered * (1.0 - 1e-9);
       for (double& demand : served_demands) demand *= keep;
@@ -250,7 +253,9 @@ CostController::Decision CostController::step(
       decision.predicted_demands[i] = predictors_[i].predict(1);
     }
     double fleet_capacity = 0.0;
-    for (const auto& idc : config_.idcs) fleet_capacity += idc.max_capacity();
+    for (const auto& idc : config_.idcs) {
+      fleet_capacity += idc.max_capacity().value();
+    }
     double predicted_total = 0.0;
     for (double demand : decision.predicted_demands) predicted_total += demand;
     if (predicted_total > fleet_capacity) {
@@ -262,9 +267,9 @@ CostController::Decision CostController::step(
   // Reference: budget-clamped optimal power (paper Sec. IV-D).
   control::ReferenceProblem ref_problem;
   ref_problem.idcs = config_.idcs;
-  ref_problem.prices = prices;
+  ref_problem.prices = units::raw_vector(prices);
   ref_problem.portal_demands = decision.predicted_demands;
-  ref_problem.power_budgets_w = config_.power_budgets_w;
+  ref_problem.power_budgets_w = units::raw_vector(config_.power_budgets_w);
   ref_problem.basis = config_.params.cost_basis;
   decision.reference = control::solve_reference(ref_problem);
   require(decision.reference.feasible,
@@ -299,7 +304,7 @@ CostController::Decision CostController::step(
                                                        : price_preview.back();
         require(row.size() == n,
                 "CostController: price preview row size mismatch");
-        ahead.prices = row;
+        ahead.prices = units::raw_vector(row);
       }
       const auto solution = control::solve_reference(ahead);
       step_input.references.push_back(linalg::scale(
@@ -362,7 +367,7 @@ CostController::Decision CostController::step(
     const auto held_loads = allocation_.idc_loads();
     for (std::size_t j = 0; j < n; ++j) {
       decision.predicted_power_w[j] =
-          check::continuous_power_w(config_.idcs[j], held_loads[j]);
+          check::continuous_power_w(config_.idcs[j], held_loads[j]).value();
     }
   }
 
@@ -381,11 +386,11 @@ void CostController::finish_decision(Decision& decision,
   // latency bound (safety overrides the slow-rate schedule).
   const std::size_t k = std::max<std::size_t>(config_.params.sleep_every_k_steps, 1);
   if (step_count_ % k == 0) {
-    servers_ = sleep_.step(allocation_.idc_loads(), servers_);
+    servers_ = sleep_.step(units::raw_vector(allocation_.idc_loads()), servers_);
   } else {
     const auto loads = allocation_.idc_loads();
     for (std::size_t j = 0; j < n; ++j) {
-      const std::size_t needed = sleep_.target_servers(j, loads[j]);
+      const std::size_t needed = sleep_.target_servers(j, loads[j].value());
       if (needed > servers_[j]) servers_[j] = needed;
     }
   }
@@ -406,8 +411,8 @@ void CostController::finish_decision(Decision& decision,
 }
 
 CostController::Decision CostController::step_degraded(
-    const std::vector<double>& /*prices*/,
-    const std::vector<double>& portal_demands) {
+    const std::vector<units::PricePerMwh>& /*prices*/,
+    const std::vector<units::Rps>& portal_demands) {
   const std::size_t n = config_.idcs.size();
   require(portal_demands.size() == config_.portals,
           "CostController: demand size mismatch");
@@ -417,12 +422,12 @@ CostController::Decision CostController::step_degraded(
   decision.mpc_status = solvers::QpStatus::kMaxIterations;
 
   // Same availability knob as the full step.
-  std::vector<double> served_demands = portal_demands;
+  std::vector<double> served_demands = units::raw_vector(portal_demands);
   if (config_.params.allow_load_shedding) {
     double capacity = 0.0;
-    for (const auto& idc : config_.idcs) capacity += idc.max_capacity();
+    for (const auto& idc : config_.idcs) capacity += idc.max_capacity().value();
     double offered = 0.0;
-    for (double demand : portal_demands) offered += demand;
+    for (double demand : served_demands) offered += demand;
     if (offered > capacity) {
       const double keep = capacity / offered * (1.0 - 1e-9);
       for (double& demand : served_demands) demand *= keep;
@@ -468,7 +473,7 @@ CostController::Decision CostController::step_degraded(
   decision.predicted_power_w.assign(n, 0.0);
   for (std::size_t j = 0; j < n; ++j) {
     decision.predicted_power_w[j] =
-        check::continuous_power_w(config_.idcs[j], held_loads[j]);
+        check::continuous_power_w(config_.idcs[j], held_loads[j]).value();
   }
 
   finish_decision(decision, served_demands);

@@ -33,7 +33,7 @@ class CostController {
   struct Config {
     std::vector<datacenter::IdcConfig> idcs;
     std::size_t portals = 0;
-    std::vector<double> power_budgets_w;  // empty = unconstrained
+    std::vector<units::Watts> power_budgets_w;  // empty = unconstrained
     ControllerParams params;
 
     void validate() const;
@@ -81,9 +81,9 @@ class CostController {
   explicit CostController(Config config);
 
   // One control period: `prices[j]` is the current price at IDC j's
-  // region; `portal_demands[i]` the measured portal workload (req/s).
-  Decision step(const std::vector<double>& prices,
-                const std::vector<double>& portal_demands);
+  // region; `portal_demands[i]` the measured portal workload.
+  Decision step(const std::vector<units::PricePerMwh>& prices,
+                const std::vector<units::Rps>& portal_demands);
 
   // As above, with a price preview: `price_preview[s][j]` is the
   // expected price at IDC j during prediction step s+1 (day-ahead
@@ -92,9 +92,10 @@ class CostController {
   // starts migrating before a known price step instead of reacting to
   // it. Fewer preview rows than the prediction horizon are extended by
   // repeating the last row.
-  Decision step(const std::vector<double>& prices,
-                const std::vector<double>& portal_demands,
-                const std::vector<std::vector<double>>& price_preview);
+  Decision step(
+      const std::vector<units::PricePerMwh>& prices,
+      const std::vector<units::Rps>& portal_demands,
+      const std::vector<std::vector<units::PricePerMwh>>& price_preview);
 
   // Degraded control period for deadline-missed ticks: skips the
   // reference LPs and the MPC QP entirely and re-applies the previous
@@ -103,8 +104,8 @@ class CostController {
   // loop and the invariant checker as usual. O(portals × idcs) — no
   // optimizer in the loop — so an overloaded runtime can always catch
   // up. The decision reports fallback_tier = kHoldLastFeasible.
-  Decision step_degraded(const std::vector<double>& prices,
-                         const std::vector<double>& portal_demands);
+  Decision step_degraded(const std::vector<units::PricePerMwh>& prices,
+                         const std::vector<units::Rps>& portal_demands);
 
   // Seed the controller state (e.g. with a converged steady state) so an
   // experiment window starts from a known operating point.

@@ -43,8 +43,9 @@ DeferralPlan plan_deferral(const DeferralProblem& problem) {
       const auto& idc = problem.idcs[j];
       // Marginal power of one extra req/s with the slow loop following:
       // b1 + b0/mu watts (the servers hosting batch work are ON for it).
-      const double slope = idc.power.watts_per_rps() +
-                           idc.power.idle_w / idc.power.service_rate;
+      const double slope =
+          idc.power.watts_per_rps() +
+          idc.power.idle_w.value() / idc.power.service_rate.value();
       lp.c[t * n + j] = problem.prices[t][j] *
                         units::joules_to_mwh(slope * problem.slot_s);
     }

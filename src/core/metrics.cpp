@@ -7,38 +7,42 @@
 
 namespace gridctl::core {
 
-VolatilityStats volatility(const std::vector<double>& power_series) {
+VolatilityStats volatility(const std::vector<double>& power_series_w) {
   VolatilityStats stats;
-  if (power_series.size() < 2) return stats;
+  if (power_series_w.size() < 2) return stats;
   double total = 0.0;
-  for (std::size_t k = 1; k < power_series.size(); ++k) {
-    const double step = std::abs(power_series[k] - power_series[k - 1]);
+  double max_abs_step = 0.0;
+  for (std::size_t k = 1; k < power_series_w.size(); ++k) {
+    const double step = std::abs(power_series_w[k] - power_series_w[k - 1]);
     total += step;
-    stats.max_abs_step = std::max(stats.max_abs_step, step);
+    max_abs_step = std::max(max_abs_step, step);
   }
-  stats.mean_abs_step = total / static_cast<double>(power_series.size() - 1);
+  stats.max_abs_step = units::Watts{max_abs_step};
+  stats.mean_abs_step =
+      units::Watts{total / static_cast<double>(power_series_w.size() - 1)};
   return stats;
 }
 
-double peak(const std::vector<double>& series) {
+units::Watts peak(const std::vector<double>& power_series_w) {
   // Seeded from the first element, not 0.0: an all-negative series (e.g.
   // a net-metered power trace) must report its true peak, same as
   // series_max below.
-  double best = series.empty() ? 0.0 : series.front();
-  for (double x : series) best = std::max(best, x);
-  return best;
+  double best = power_series_w.empty() ? 0.0 : power_series_w.front();
+  for (double x : power_series_w) best = std::max(best, x);
+  return units::Watts{best};
 }
 
-BudgetStats budget_compliance(const std::vector<double>& power_series,
-                              double budget, double dt_s) {
-  require(dt_s > 0.0, "budget_compliance: dt_s must be positive");
+BudgetStats budget_compliance(const std::vector<double>& power_series_w,
+                              units::Watts budget, units::Seconds dt) {
+  require(dt > units::Seconds::zero(),
+          "budget_compliance: dt must be positive");
   BudgetStats stats;
-  for (double power : power_series) {
-    const double excess = power - budget;
-    if (excess > 0.0) {
+  for (double power : power_series_w) {
+    const units::Watts excess = units::Watts{power} - budget;
+    if (excess > units::Watts::zero()) {
       ++stats.violations;
       stats.worst_excess = std::max(stats.worst_excess, excess);
-      stats.excess_integral += excess * dt_s;
+      stats.excess_integral += excess * dt;
     }
   }
   return stats;

@@ -1,9 +1,16 @@
 // Evaluation metrics: the quantities the paper's figures and our
 // ablations report.
+//
+// Series arguments stay raw `std::vector<double>` — they are the bulk
+// recording buffers of SimulationTrace (power in W, latency in s), on
+// the untyped side of the serialization boundary. Scalars crossing the
+// API are typed.
 #pragma once
 
 #include <cstddef>
 #include <vector>
+
+#include "util/units.hpp"
 
 namespace gridctl::core {
 
@@ -11,30 +18,30 @@ namespace gridctl::core {
 // volatility as the rate of change of demand; we report the mean and max
 // absolute per-step change.
 struct VolatilityStats {
-  double mean_abs_step = 0.0;  // mean |P(k) - P(k-1)|
-  double max_abs_step = 0.0;   // max  |P(k) - P(k-1)|
+  units::Watts mean_abs_step;  // mean |P(k) - P(k-1)|
+  units::Watts max_abs_step;   // max  |P(k) - P(k-1)|
 };
 
-VolatilityStats volatility(const std::vector<double>& power_series);
+VolatilityStats volatility(const std::vector<double>& power_series_w);
 
-// Peak (maximum) of a series; 0 for an empty series. Matches
-// series_max, so an all-negative series reports its true (negative)
-// peak instead of a spurious 0.
-double peak(const std::vector<double>& series);
+// Peak (maximum) of a power series (watts); 0 for an empty series.
+// Matches series_max, so an all-negative series reports its true
+// (negative) peak instead of a spurious 0.
+units::Watts peak(const std::vector<double>& power_series_w);
 
 // Budget compliance of a power series against a fixed budget.
-// Throws InvalidArgument when dt_s is not positive (the excess integral
+// Throws InvalidArgument when dt is not positive (the excess integral
 // would silently be zero or negative).
 struct BudgetStats {
-  std::size_t violations = 0;      // samples above budget
-  double worst_excess = 0.0;       // max(P - budget, 0)
-  double excess_integral = 0.0;    // sum of excesses x dt
+  std::size_t violations = 0;       // samples above budget
+  units::Watts worst_excess;        // max(P - budget, 0)
+  units::Joules excess_integral;    // sum of excesses x dt
 };
 
-BudgetStats budget_compliance(const std::vector<double>& power_series,
-                              double budget, double dt_s);
+BudgetStats budget_compliance(const std::vector<double>& power_series_w,
+                              units::Watts budget, units::Seconds dt);
 
-// Simple series helpers shared by benches/tests.
+// Simple series helpers shared by benches/tests (unit-agnostic).
 double mean(const std::vector<double>& series);
 double series_max(const std::vector<double>& series);
 double series_min(const std::vector<double>& series);

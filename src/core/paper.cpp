@@ -11,26 +11,26 @@ std::vector<datacenter::IdcConfig> paper_idcs() {
     idcs[j].name = names[j];
     idcs[j].region = j;
     idcs[j].max_servers = kMaxServers[j];
-    idcs[j].power.idle_w = kIdleW;
-    idcs[j].power.peak_w = kPeakW;
-    idcs[j].power.service_rate = kServiceRates[j];
-    idcs[j].latency_bound_s = kLatencyBound;
+    idcs[j].power.idle_w = units::Watts{kIdleW};
+    idcs[j].power.peak_w = units::Watts{kPeakW};
+    idcs[j].power.service_rate = units::Rps{kServiceRates[j]};
+    idcs[j].latency_bound_s = units::Seconds{kLatencyBound};
   }
   return idcs;
 }
 
 namespace {
 
-Scenario base_scenario(double ts_s) {
+Scenario base_scenario(units::Seconds ts) {
   Scenario scenario;
   scenario.idcs = paper_idcs();
   scenario.prices =
       std::make_shared<market::TracePrice>(market::paper_region_traces());
   scenario.workload =
       std::make_shared<workload::ConstantWorkload>(kPortalDemands);
-  scenario.start_time_s = 7.0 * 3600.0;  // the 6H->7H price step
-  scenario.duration_s = 600.0;           // the figures' 10-minute window
-  scenario.ts_s = ts_s;
+  scenario.start_time_s = units::Seconds{7.0 * 3600.0};  // the 6H->7H step
+  scenario.duration_s = units::Seconds{600.0};  // the 10-minute window
+  scenario.ts_s = ts;
   scenario.controller.horizons = {/*prediction=*/8, /*control=*/2};
   scenario.controller.q_weight = 1.0;
   // Tuned so the closed loop converges to the new optimum within the
@@ -42,12 +42,13 @@ Scenario base_scenario(double ts_s) {
 
 }  // namespace
 
-Scenario smoothing_scenario(double ts_s) { return base_scenario(ts_s); }
+Scenario smoothing_scenario(units::Seconds ts) { return base_scenario(ts); }
 
-Scenario shaving_scenario(double ts_s) {
-  Scenario scenario = base_scenario(ts_s);
-  scenario.power_budgets_w.assign(std::begin(kPowerBudgetsW),
-                                  std::end(kPowerBudgetsW));
+Scenario shaving_scenario(units::Seconds ts) {
+  Scenario scenario = base_scenario(ts);
+  scenario.power_budgets_w =
+      units::typed_vector<units::Watts>(std::vector<double>(
+          std::begin(kPowerBudgetsW), std::end(kPowerBudgetsW)));
   return scenario;
 }
 

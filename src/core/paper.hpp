@@ -42,10 +42,10 @@ std::vector<datacenter::IdcConfig> paper_idcs();
 
 // Fig. 4/5 experiment: constant Table I workload, paper price traces,
 // 10-minute window starting at hour 7 (warm-started at the hour-6
-// optimum), no budgets. `ts_s` defaults to a 10 s control period.
-Scenario smoothing_scenario(double ts_s = 10.0);
+// optimum), no budgets. `ts` defaults to a 10 s control period.
+Scenario smoothing_scenario(units::Seconds ts = units::Seconds{10.0});
 
 // Fig. 6/7 experiment: same, with the Sec. V-C power budgets.
-Scenario shaving_scenario(double ts_s = 10.0);
+Scenario shaving_scenario(units::Seconds ts = units::Seconds{10.0});
 
 }  // namespace gridctl::core::paper

@@ -18,8 +18,9 @@ OptimalPolicy::OptimalPolicy(std::vector<datacenter::IdcConfig> idcs,
 PolicyDecision OptimalPolicy::decide(const PolicyContext& context) {
   control::ReferenceProblem problem;
   problem.idcs = idcs_;
-  problem.prices = context.prices;
-  problem.portal_demands = context.portal_demands;
+  // The reference LP lives on the untyped side of the solver boundary.
+  problem.prices = units::raw_vector(context.prices);
+  problem.portal_demands = units::raw_vector(context.portal_demands);
   problem.basis = basis_;
   // The optimal method knows no budgets (paper Sec. V-C: it violates
   // them); budgets influence only the control method's references.
@@ -53,7 +54,7 @@ StaticProportionalPolicy::StaticProportionalPolicy(
   double total = 0.0;
   shares_.resize(idcs_.size());
   for (std::size_t j = 0; j < idcs_.size(); ++j) {
-    shares_[j] = idcs_[j].max_capacity();
+    shares_[j] = idcs_[j].max_capacity().value();
     total += shares_[j];
   }
   require(total > 0.0, "StaticProportionalPolicy: fleet has zero capacity");
@@ -66,13 +67,16 @@ PolicyDecision StaticProportionalPolicy::decide(const PolicyContext& context) {
   Allocation allocation(portals_, idcs_.size());
   for (std::size_t i = 0; i < portals_; ++i) {
     for (std::size_t j = 0; j < idcs_.size(); ++j) {
-      allocation.at(i, j) = context.portal_demands[i] * shares_[j];
+      allocation.at(i, j) = context.portal_demands[i].value() * shares_[j];
     }
   }
   control::SleepController sleep(idcs_);
   const std::vector<std::size_t> zeros(idcs_.size(), 0);
-  return PolicyDecision{allocation, sleep.step(allocation.idc_loads(), zeros),
-                        std::nullopt, {}};
+  return PolicyDecision{
+      allocation,
+      sleep.step(units::raw_vector(allocation.idc_loads()), zeros),
+      std::nullopt,
+      {}};
 }
 
 }  // namespace gridctl::core

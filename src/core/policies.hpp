@@ -15,6 +15,7 @@
 #include "check/types.hpp"
 #include "core/cost_controller.hpp"
 #include "datacenter/fleet.hpp"
+#include "util/units.hpp"
 
 namespace gridctl::core {
 
@@ -23,10 +24,10 @@ namespace gridctl::core {
 // previews) extend this struct instead of the virtual `decide` signature,
 // so adding one never breaks existing policy implementations.
 struct PolicyContext {
-  std::size_t step = 0;                 // control period index, 0-based
-  double time_s = 0.0;                  // absolute scenario time
-  std::vector<double> prices;           // $/MWh per IDC region
-  std::vector<double> portal_demands;   // req/s per portal
+  std::size_t step = 0;                       // control period index, 0-based
+  units::Seconds time_s;                      // absolute scenario time
+  std::vector<units::PricePerMwh> prices;     // per IDC region
+  std::vector<units::Rps> portal_demands;     // per portal
 };
 
 // Per-decision solver diagnostics, threaded up from MpcResult so the

@@ -23,18 +23,19 @@ void Scenario::validate() const {
   for (std::size_t j = 0; j < power_budgets_w.size(); ++j) {
     // +inf = unconstrained IDC is fine; NaN or a non-positive budget is a
     // config error that would otherwise surface as a mid-sweep failure.
-    require(!std::isnan(power_budgets_w[j]),
+    require(!std::isnan(power_budgets_w[j].value()),
             format("Scenario: power budget of IDC %zu is NaN", j));
-    require(power_budgets_w[j] > 0.0,
+    require(power_budgets_w[j] > units::Watts::zero(),
             format("Scenario: power budget of IDC %zu must be positive "
                    "(got %g W)",
-                   j, power_budgets_w[j]));
+                   j, power_budgets_w[j].value()));
   }
-  require(std::isfinite(ts_s) && ts_s > 0.0,
+  require(std::isfinite(ts_s.value()) && ts_s > units::Seconds::zero(),
           "Scenario: sampling period must be positive and finite");
-  require(std::isfinite(duration_s) && duration_s >= ts_s,
+  require(std::isfinite(duration_s.value()) && duration_s >= ts_s,
           "Scenario: duration shorter than one period");
-  require(std::isfinite(start_time_s) && start_time_s >= 0.0,
+  require(std::isfinite(start_time_s.value()) &&
+              start_time_s >= units::Seconds::zero(),
           "Scenario: negative start time");
   controller.horizons.validate();
   require(std::isfinite(controller.q_weight) && controller.q_weight > 0.0,
@@ -47,7 +48,7 @@ void Scenario::validate() const {
           "Scenario: invariant tolerances must be positive");
 
   // Sleep-controllability at the initial workload (paper Sec. IV-B).
-  require(control::sleep_controllable(idcs, workload->rates(start_time_s)),
+  require(control::sleep_controllable(idcs, workload->rates(start_time_s.value())),
           "Scenario: fleet cannot serve the initial workload within the "
           "latency bounds (sleep controllability violated)");
 }

@@ -7,6 +7,7 @@
 
 #include "check/types.hpp"
 #include "control/mpc.hpp"
+#include "util/units.hpp"
 #include "control/reference_optimizer.hpp"
 #include "control/sleep_controller.hpp"
 #include "datacenter/idc.hpp"
@@ -70,12 +71,12 @@ struct Scenario {
   std::vector<datacenter::IdcConfig> idcs;
   std::shared_ptr<const market::PriceModel> prices;
   std::shared_ptr<const workload::WorkloadSource> workload;
-  // Per-IDC power budgets in watts; empty = unconstrained.
-  std::vector<double> power_budgets_w;
+  // Per-IDC power budgets; empty = unconstrained.
+  std::vector<units::Watts> power_budgets_w;
 
-  double start_time_s = 0.0;   // offset into the price/workload traces
-  double duration_s = 600.0;
-  double ts_s = 10.0;          // sampling (and control) period
+  units::Seconds start_time_s;          // offset into the price/workload traces
+  units::Seconds duration_s{600.0};
+  units::Seconds ts_s{10.0};            // sampling (and control) period
 
   ControllerParams controller;
 

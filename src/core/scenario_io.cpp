@@ -36,28 +36,31 @@ datacenter::IdcConfig parse_idc(const JsonValue& node, std::size_t index) {
   config.max_servers = static_cast<std::size_t>(max_servers);
   require(node.has("service_rate"),
           format("scenario: %s: missing service_rate", label.c_str()));
-  config.power.service_rate = node.at("service_rate").as_number();
-  require(std::isfinite(config.power.service_rate) &&
-              config.power.service_rate > 0.0,
+  config.power.service_rate = units::Rps{node.at("service_rate").as_number()};
+  require(std::isfinite(config.power.service_rate.value()) &&
+              config.power.service_rate > units::Rps::zero(),
           format("scenario: %s: service_rate must be positive req/s per "
                  "server (got %g)",
-                 label.c_str(), config.power.service_rate));
-  config.power.idle_w = node.number_or("idle_w", 150.0);
-  config.power.peak_w = node.number_or("peak_w", 285.0);
-  require(std::isfinite(config.power.idle_w) && config.power.idle_w >= 0.0,
+                 label.c_str(), config.power.service_rate.value()));
+  config.power.idle_w = units::Watts{node.number_or("idle_w", 150.0)};
+  config.power.peak_w = units::Watts{node.number_or("peak_w", 285.0)};
+  require(std::isfinite(config.power.idle_w.value()) &&
+              config.power.idle_w >= units::Watts::zero(),
           format("scenario: %s: idle_w must be >= 0 (got %g)", label.c_str(),
-                 config.power.idle_w));
-  require(std::isfinite(config.power.peak_w) &&
+                 config.power.idle_w.value()));
+  require(std::isfinite(config.power.peak_w.value()) &&
               config.power.peak_w >= config.power.idle_w,
           format("scenario: %s: peak_w must be >= idle_w (got peak_w=%g, "
                  "idle_w=%g)",
-                 label.c_str(), config.power.peak_w, config.power.idle_w));
-  config.latency_bound_s = node.number_or("latency_bound_s", 0.001);
-  require(std::isfinite(config.latency_bound_s) &&
-              config.latency_bound_s > 0.0,
+                 label.c_str(), config.power.peak_w.value(),
+                 config.power.idle_w.value()));
+  config.latency_bound_s =
+      units::Seconds{node.number_or("latency_bound_s", 0.001)};
+  require(std::isfinite(config.latency_bound_s.value()) &&
+              config.latency_bound_s > units::Seconds::zero(),
           format("scenario: %s: latency_bound_s must be positive seconds "
                  "(got %g)",
-                 label.c_str(), config.latency_bound_s));
+                 label.c_str(), config.latency_bound_s.value()));
   return config;
 }
 
@@ -244,11 +247,12 @@ Scenario load_scenario(const std::string& json_text) {
   require(root.has("workload"), "scenario: missing 'workload'");
   scenario.workload = parse_workload(root.at("workload"));
   if (root.has("power_budgets_w")) {
-    scenario.power_budgets_w = root.number_array("power_budgets_w");
+    scenario.power_budgets_w =
+        units::typed_vector<units::Watts>(root.number_array("power_budgets_w"));
   }
-  scenario.start_time_s = root.number_or("start_time_s", 0.0);
-  scenario.duration_s = root.number_or("duration_s", 600.0);
-  scenario.ts_s = root.number_or("ts_s", 10.0);
+  scenario.start_time_s = units::Seconds{root.number_or("start_time_s", 0.0)};
+  scenario.duration_s = units::Seconds{root.number_or("duration_s", 600.0)};
+  scenario.ts_s = units::Seconds{root.number_or("ts_s", 10.0)};
   if (root.has("controller")) {
     parse_controller(root.at("controller"), scenario.controller);
   }

@@ -55,31 +55,51 @@ CsvTable SimulationTrace::to_csv() const {
 
 void record_step(SimulationTrace& trace, const datacenter::Fleet& fleet,
                  const std::vector<datacenter::FluidQueue>& queues,
-                 double window_time_s, const std::vector<double>& prices,
-                 const std::vector<double>& demands) {
+                 units::Seconds window_time,
+                 const std::vector<units::PricePerMwh>& prices,
+                 const std::vector<units::Rps>& demands) {
   const std::size_t n = trace.power_w.size();
   const std::size_t c = trace.portal_rps.size();
-  trace.time_s.push_back(window_time_s);
+  trace.time_s.push_back(window_time.value());
   for (std::size_t j = 0; j < n; ++j) {
     const auto& idc = fleet.idc(j);
-    trace.power_w[j].push_back(idc.power_w());
+    trace.power_w[j].push_back(idc.power_w().value());
     trace.servers_on[j].push_back(static_cast<double>(idc.servers_on()));
-    trace.idc_load_rps[j].push_back(idc.assigned_load());
-    trace.price_per_mwh[j].push_back(prices[j]);
-    const double latency = idc.latency_s();
-    trace.latency_s[j].push_back(std::isfinite(latency) ? latency : -1.0);
+    trace.idc_load_rps[j].push_back(idc.assigned_load().value());
+    trace.price_per_mwh[j].push_back(prices[j].value());
+    const units::Seconds latency = idc.latency_s();
+    trace.latency_s[j].push_back(
+        std::isfinite(latency.value()) ? latency.value() : -1.0);
     trace.backlog_req[j].push_back(queues[j].backlog_req());
     const double capacity = static_cast<double>(idc.servers_on()) *
-                            idc.config().power.service_rate;
+                            idc.config().power.service_rate.value();
     const double delay =
-        queues[j].delay_estimate_s(idc.assigned_load(), capacity);
+        queues[j].delay_estimate_s(idc.assigned_load().value(), capacity);
     trace.transient_delay_s[j].push_back(std::isfinite(delay) ? delay : -1.0);
   }
   for (std::size_t i = 0; i < c; ++i) {
-    trace.portal_rps[i].push_back(demands[i]);
+    trace.portal_rps[i].push_back(demands[i].value());
   }
-  trace.total_power_w.push_back(fleet.total_power_w());
-  trace.cumulative_cost.push_back(fleet.total_cost_dollars());
+  trace.total_power_w.push_back(fleet.total_power_w().value());
+  trace.cumulative_cost.push_back(fleet.total_cost_dollars().value());
+}
+
+TraceTotals integrate_trace(const SimulationTrace& trace) {
+  TraceTotals totals;
+  const units::Seconds dt{trace.ts_s};
+  // Row 0 is the pre-window warm-start state; rows 1..K each cover one
+  // elapsed period at the recorded (piecewise-constant) power.
+  for (std::size_t k = 1; k < trace.total_power_w.size(); ++k) {
+    totals.energy += units::Watts{trace.total_power_w[k]} * dt;
+    totals.duration += dt;
+  }
+  for (std::size_t j = 0; j < trace.power_w.size(); ++j) {
+    for (std::size_t k = 1; k < trace.power_w[j].size(); ++k) {
+      const units::Joules step_energy = units::Watts{trace.power_w[j][k]} * dt;
+      totals.cost += step_energy * units::PricePerMwh{trace.price_per_mwh[j][k]};
+    }
+  }
+  return totals;
 }
 
 SimulationSummary summarize_trace(const Scenario& scenario,
@@ -89,35 +109,35 @@ SimulationSummary summarize_trace(const Scenario& scenario,
   const std::size_t n = scenario.num_idcs();
   SimulationSummary summary;
   summary.policy = policy_name;
-  summary.total_cost_dollars = fleet.total_cost_dollars();
-  summary.total_energy_mwh = units::joules_to_mwh(fleet.total_energy_joules());
+  summary.total_cost = fleet.total_cost_dollars();
+  summary.total_energy = fleet.total_energy_joules();
   summary.total_volatility = volatility(trace.total_power_w);
   summary.idcs.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
     IdcSummary& idc_summary = summary.idcs[j];
-    idc_summary.peak_power_w = peak(trace.power_w[j]);
+    idc_summary.peak_power = peak(trace.power_w[j]);
     idc_summary.volatility = volatility(trace.power_w[j]);
     if (!scenario.power_budgets_w.empty() &&
-        std::isfinite(scenario.power_budgets_w[j])) {
+        std::isfinite(scenario.power_budgets_w[j].value())) {
       idc_summary.budget = budget_compliance(
           trace.power_w[j], scenario.power_budgets_w[j], scenario.ts_s);
     }
-    idc_summary.mean_latency_s = mean(trace.latency_s[j]);
-    idc_summary.energy_mwh =
-        units::joules_to_mwh(fleet.idc(j).energy_joules());
-    idc_summary.cost_dollars = fleet.idc(j).cost_dollars();
-    summary.overload_seconds += fleet.idc(j).overload_seconds();
+    idc_summary.mean_latency = units::Seconds{mean(trace.latency_s[j])};
+    idc_summary.energy = fleet.idc(j).energy_joules();
+    idc_summary.cost = fleet.idc(j).cost_dollars();
+    summary.overload_time += fleet.idc(j).overload_seconds();
     // Transient SLA audit from the fluid queues. An IDC pinned at its
     // capacity cap sits exactly on the bound; the small relative margin
     // keeps float jitter from counting those samples as violations.
     for (std::size_t k = 0; k < trace.transient_delay_s[j].size(); ++k) {
       const double delay = trace.transient_delay_s[j][k];
       if (delay < 0.0 ||
-          delay > scenario.idcs[j].latency_bound_s * (1.0 + 1e-4)) {
-        summary.sla_violation_seconds += scenario.ts_s;
+          delay > scenario.idcs[j].latency_bound_s.value() * (1.0 + 1e-4)) {
+        summary.sla_violation_time += scenario.ts_s;
       }
-      summary.max_backlog_req =
-          std::max(summary.max_backlog_req, trace.backlog_req[j][k]);
+      summary.max_backlog =
+          std::max(summary.max_backlog,
+                   units::Requests{trace.backlog_req[j][k]});
     }
   }
   return summary;
@@ -142,27 +162,31 @@ SimulationResult run_simulation(const Scenario& scenario,
 
   // Previous-step power per IDC, fed back into demand-responsive price
   // models (zero before the first step).
-  std::vector<double> last_power(n, 0.0);
+  std::vector<units::Watts> last_power(n, units::Watts::zero());
 
-  const auto prices_at = [&](double t) {
-    std::vector<double> prices(n);
+  const auto prices_at = [&](units::Seconds t) {
+    std::vector<units::PricePerMwh> prices(n, units::PricePerMwh::zero());
     for (std::size_t j = 0; j < n; ++j) {
       prices[j] = scenario.prices->price(scenario.idcs[j].region, t,
                                          last_power[j]);
     }
     return prices;
   };
+  const auto demands_at = [&](units::Seconds t) {
+    // The workload module emits raw req/s series; type them at the edge.
+    return units::typed_vector<units::Rps>(scenario.workload->rates(t.value()));
+  };
 
   if (options.warm_start) {
     // Converged operating point for the hour before the window, computed
     // with the same cost basis the scenario's controller uses.
-    const double t_prev = std::max(0.0, scenario.start_time_s - 3600.0);
+    const units::Seconds t_prev = std::max(
+        units::Seconds::zero(), scenario.start_time_s - units::Seconds{3600.0});
     OptimalPolicy seed(scenario.idcs, c, scenario.controller.cost_basis);
     PolicyContext seed_context;
     seed_context.time_s = t_prev;
     seed_context.prices = prices_at(t_prev);
-    seed_context.portal_demands =
-        scenario.workload->rates(scenario.start_time_s);
+    seed_context.portal_demands = demands_at(scenario.start_time_s);
     const auto initial = seed.decide(seed_context);
     fleet.set_operating_point(initial.allocation, initial.servers);
     if (auto* mpc = dynamic_cast<MpcPolicy*>(&policy)) {
@@ -177,7 +201,7 @@ SimulationResult run_simulation(const Scenario& scenario,
   SimulationResult result;
   SimulationTrace& trace = result.trace;
   trace.policy = policy.name();
-  trace.ts_s = scenario.ts_s;
+  trace.ts_s = scenario.ts_s.value();
   trace.power_w.assign(n, {});
   trace.servers_on.assign(n, {});
   trace.idc_load_rps.assign(n, {});
@@ -189,19 +213,20 @@ SimulationResult run_simulation(const Scenario& scenario,
 
   std::vector<datacenter::FluidQueue> queues(n);
 
-  const auto record = [&](double window_time, const std::vector<double>& prices,
-                          const std::vector<double>& demands) {
+  const auto record = [&](units::Seconds window_time,
+                          const std::vector<units::PricePerMwh>& prices,
+                          const std::vector<units::Rps>& demands) {
     record_step(trace, fleet, queues, window_time, prices, demands);
   };
 
   // Row 0 is the warm-start operating point (the pre-transition state),
   // so policy-induced jumps at the window start are visible in the
   // recorded series — the paper's figures plot the same way.
-  record(0.0, prices_at(scenario.start_time_s),
-         scenario.workload->rates(scenario.start_time_s));
+  record(units::Seconds::zero(), prices_at(scenario.start_time_s),
+         demands_at(scenario.start_time_s));
 
   for (std::size_t k = 0; k < steps; ++k) {
-    const double t =
+    const units::Seconds t =
         scenario.start_time_s + static_cast<double>(k) * scenario.ts_s;
     const auto step_begin = clock::now();
 
@@ -209,7 +234,7 @@ SimulationResult run_simulation(const Scenario& scenario,
     context.step = k;
     context.time_s = t;
     context.prices = prices_at(t);
-    context.portal_demands = scenario.workload->rates(t);
+    context.portal_demands = demands_at(t);
 
     const PolicyDecision decision = policy.decide(context);
     const auto decide_end = clock::now();
@@ -221,10 +246,10 @@ SimulationResult run_simulation(const Scenario& scenario,
     last_power = fleet.power_by_idc_w();
     for (std::size_t j = 0; j < n; ++j) {
       const auto& idc = fleet.idc(j);
-      queues[j].step(idc.assigned_load(),
+      queues[j].step(idc.assigned_load().value(),
                      static_cast<double>(idc.servers_on()) *
-                         idc.config().power.service_rate,
-                     scenario.ts_s);
+                         idc.config().power.service_rate.value(),
+                     scenario.ts_s.value());
     }
     const auto plant_end = clock::now();
 
@@ -259,7 +284,7 @@ SimulationResult run_simulation(const Scenario& scenario,
     // asked to keep the aggregates.
     result.trace = SimulationTrace{};
     result.trace.policy = result.summary.policy;
-    result.trace.ts_s = scenario.ts_s;
+    result.trace.ts_s = scenario.ts_s.value();
   }
   return result;
 }

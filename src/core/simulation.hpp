@@ -10,6 +10,7 @@
 #include "core/scenario.hpp"
 #include "datacenter/fluid_queue.hpp"
 #include "util/csv.hpp"
+#include "util/units.hpp"
 
 namespace gridctl::engine {
 struct RunTelemetry;
@@ -18,6 +19,8 @@ struct RunTelemetry;
 namespace gridctl::core {
 
 // Per-step recordings. Outer index = IDC (or portal), inner = time step.
+// The series are raw bulk buffers (column unit in the name): they feed
+// CSV/JSON writers and metric kernels that iterate contiguous doubles.
 struct SimulationTrace {
   std::string policy;
   double ts_s = 0.0;
@@ -41,23 +44,23 @@ struct SimulationTrace {
 };
 
 struct IdcSummary {
-  double peak_power_w = 0.0;
+  units::Watts peak_power;
   VolatilityStats volatility;       // of the power series
   BudgetStats budget;               // vs the scenario budget (if any)
-  double mean_latency_s = 0.0;
-  double energy_mwh = 0.0;
-  double cost_dollars = 0.0;
+  units::Seconds mean_latency;
+  units::Joules energy;
+  units::Dollars cost;
 };
 
 struct SimulationSummary {
   std::string policy;
-  double total_cost_dollars = 0.0;
-  double total_energy_mwh = 0.0;
-  double overload_seconds = 0.0;
+  units::Dollars total_cost;
+  units::Joules total_energy;
+  units::Seconds overload_time;
   // Time during which any IDC's fluid-queue delay estimate exceeded its
   // latency bound (transient SLA damage; 0 when provisioning never lags).
-  double sla_violation_seconds = 0.0;
-  double max_backlog_req = 0.0;
+  units::Seconds sla_violation_time;
+  units::Requests max_backlog;
   VolatilityStats total_volatility;  // of the fleet-total power series
   std::vector<IdcSummary> idcs;
 };
@@ -66,6 +69,27 @@ struct SimulationResult {
   SimulationTrace trace;
   SimulationSummary summary;
 };
+
+// Dimension-checked totals re-integrated from a recorded trace. Used by
+// the CLI `--units-check` self-test: the typed rectangle sums must agree
+// with the fleet's own accumulators to within float reassociation.
+struct TraceTotals {
+  units::Joules energy;
+  units::Dollars cost;
+  units::Seconds duration;
+};
+
+// Rectangle-rule integration of the fleet-total power (and per-IDC
+// power × price) over the recorded steps. Row 0 is the warm-start
+// operating point and carries no elapsed time, so it is skipped.
+TraceTotals integrate_trace(const SimulationTrace& trace);
+
+// Mean power over a window. The argument order is part of the typed
+// contract: passing a power where the energy belongs does not compile.
+inline units::Watts average_power(units::Joules energy,
+                                  units::Seconds elapsed) {
+  return energy / elapsed;
+}
 
 // Knobs for one closed-loop run. New options extend this struct instead
 // of growing the `run_simulation` signature.
@@ -94,8 +118,9 @@ SimulationResult run_simulation(const Scenario& scenario,
 // runtime (src/runtime) so both record byte-identical series.
 void record_step(SimulationTrace& trace, const datacenter::Fleet& fleet,
                  const std::vector<datacenter::FluidQueue>& queues,
-                 double window_time_s, const std::vector<double>& prices,
-                 const std::vector<double>& demands);
+                 units::Seconds window_time,
+                 const std::vector<units::PricePerMwh>& prices,
+                 const std::vector<units::Rps>& demands);
 
 // Compute the run summary from a completed trace and the final fleet
 // state. Shared by the batch simulation and the online runtime.

@@ -23,30 +23,32 @@ double Allocation::at(std::size_t portal, std::size_t idc) const {
   return lambda_(portal, idc);
 }
 
-double Allocation::idc_load(std::size_t idc) const {
+units::Rps Allocation::idc_load(std::size_t idc) const {
   double total = 0.0;
   for (std::size_t i = 0; i < lambda_.rows(); ++i) total += lambda_(i, idc);
-  return total;
+  return units::Rps{total};
 }
 
-std::vector<double> Allocation::idc_loads() const {
-  std::vector<double> loads(idcs());
+std::vector<units::Rps> Allocation::idc_loads() const {
+  std::vector<units::Rps> loads(idcs());
   for (std::size_t j = 0; j < loads.size(); ++j) loads[j] = idc_load(j);
   return loads;
 }
 
-double Allocation::portal_load(std::size_t portal) const {
+units::Rps Allocation::portal_load(std::size_t portal) const {
   double total = 0.0;
   for (std::size_t j = 0; j < lambda_.cols(); ++j) total += lambda_(portal, j);
-  return total;
+  return units::Rps{total};
 }
 
-bool Allocation::conserves(const std::vector<double>& portal_demands,
+bool Allocation::conserves(const std::vector<units::Rps>& portal_demands,
                            double tol) const {
   require(portal_demands.size() == portals(),
           "Allocation::conserves: demand size mismatch");
   for (std::size_t i = 0; i < portals(); ++i) {
-    if (std::abs(portal_load(i) - portal_demands[i]) > tol) return false;
+    if (std::abs(portal_load(i).value() - portal_demands[i].value()) > tol) {
+      return false;
+    }
   }
   return non_negative(tol);
 }
@@ -106,33 +108,34 @@ void Fleet::set_operating_point(const Allocation& allocation,
   }
 }
 
-void Fleet::advance(double dt_s, const std::vector<double>& prices) {
+void Fleet::advance(units::Seconds dt,
+                    const std::vector<units::PricePerMwh>& prices) {
   require(prices.size() == idcs_.size(), "Fleet: price vector size mismatch");
   for (std::size_t j = 0; j < idcs_.size(); ++j) {
-    idcs_[j].advance(dt_s, prices[j]);
+    idcs_[j].advance(dt, prices[j]);
   }
 }
 
-double Fleet::total_power_w() const {
-  double total = 0.0;
+units::Watts Fleet::total_power_w() const {
+  units::Watts total;
   for (const auto& idc : idcs_) total += idc.power_w();
   return total;
 }
 
-double Fleet::total_cost_dollars() const {
-  double total = 0.0;
+units::Dollars Fleet::total_cost_dollars() const {
+  units::Dollars total;
   for (const auto& idc : idcs_) total += idc.cost_dollars();
   return total;
 }
 
-double Fleet::total_energy_joules() const {
-  double total = 0.0;
+units::Joules Fleet::total_energy_joules() const {
+  units::Joules total;
   for (const auto& idc : idcs_) total += idc.energy_joules();
   return total;
 }
 
-std::vector<double> Fleet::power_by_idc_w() const {
-  std::vector<double> out(idcs_.size());
+std::vector<units::Watts> Fleet::power_by_idc_w() const {
+  std::vector<units::Watts> out(idcs_.size());
   for (std::size_t j = 0; j < out.size(); ++j) out[j] = idcs_[j].power_w();
   return out;
 }
@@ -143,14 +146,14 @@ std::vector<std::size_t> Fleet::servers_on() const {
   return out;
 }
 
-double Fleet::total_capacity_rps() const {
-  double total = 0.0;
+units::Rps Fleet::total_capacity_rps() const {
+  units::Rps total;
   for (const auto& idc : idcs_) total += idc.config().max_capacity();
   return total;
 }
 
-bool Fleet::can_serve(double total_demand_rps) const {
-  return total_demand_rps <= total_capacity_rps();
+bool Fleet::can_serve(units::Rps total_demand) const {
+  return total_demand <= total_capacity_rps();
 }
 
 }  // namespace gridctl::datacenter

@@ -7,12 +7,18 @@
 
 #include "datacenter/idc.hpp"
 #include "linalg/matrix.hpp"
+#include "util/units.hpp"
 
 namespace gridctl::datacenter {
 
 // A portal->IDC allocation: entry (i, j) is lambda_ij, req/s routed from
 // portal i to IDC j. Thin wrapper over Matrix with the invariants the
 // paper imposes (eq. 2–4).
+//
+// Deliberately a raw-double type: the allocation IS the QP's input
+// vector U, flattened in and out of the solver layer every period, so it
+// lives on the untyped side of the solver boundary. Entries are req/s;
+// the typed read-out is `idc_load` / `idc_loads`.
 class Allocation {
  public:
   Allocation(std::size_t portals, std::size_t idcs);
@@ -26,13 +32,13 @@ class Allocation {
   const linalg::Matrix& matrix() const { return lambda_; }
 
   // Total load arriving at IDC j (eq. 4).
-  double idc_load(std::size_t idc) const;
-  std::vector<double> idc_loads() const;
+  units::Rps idc_load(std::size_t idc) const;
+  std::vector<units::Rps> idc_loads() const;
   // Total load emitted by portal i (should equal L_i, eq. 2).
-  double portal_load(std::size_t portal) const;
+  units::Rps portal_load(std::size_t portal) const;
 
   // Checks lambda_ij >= -tol and |sum_j lambda_ij - demand_i| <= tol.
-  bool conserves(const std::vector<double>& portal_demands,
+  bool conserves(const std::vector<units::Rps>& portal_demands,
                  double tol = 1e-6) const;
   bool non_negative(double tol = 1e-9) const;
 
@@ -60,19 +66,19 @@ class Fleet {
                            const std::vector<std::size_t>& servers_on);
 
   // Advance all IDCs; `prices[j]` is the price at IDC j's region.
-  void advance(double dt_s, const std::vector<double>& prices);
+  void advance(units::Seconds dt, const std::vector<units::PricePerMwh>& prices);
 
   // Aggregates.
-  double total_power_w() const;
-  double total_cost_dollars() const;
-  double total_energy_joules() const;
-  std::vector<double> power_by_idc_w() const;
+  units::Watts total_power_w() const;
+  units::Dollars total_cost_dollars() const;
+  units::Joules total_energy_joules() const;
+  std::vector<units::Watts> power_by_idc_w() const;
   std::vector<std::size_t> servers_on() const;
 
   // Sleep-controllability condition (paper Sec. IV-B): total demand must
   // not exceed the summed per-IDC capacity at full fleet power-on.
-  bool can_serve(double total_demand_rps) const;
-  double total_capacity_rps() const;
+  bool can_serve(units::Rps total_demand) const;
+  units::Rps total_capacity_rps() const;
 
  private:
   std::vector<Idc> idcs_;

@@ -19,7 +19,9 @@ class FluidQueue {
  public:
   // Advance one interval with constant arrival rate and ON capacity
   // (both req/s). Returns the backlog after the step.
-  double step(double arrival_rps, double capacity_rps, double dt_s);
+  // Raw doubles: hot audit loop fed from raw trace buffers.
+  double step(double arrival_rps, double capacity_rps,
+              double dt_s);  // lint: raw-ok
 
   double backlog_req() const { return backlog_req_; }
 
@@ -27,7 +29,7 @@ class FluidQueue {
   // backlog ahead of it plus the steady-state wait when stable. When
   // capacity <= arrival rate the queue grows without bound; returns
   // +infinity.
-  double delay_estimate_s(double arrival_rps, double capacity_rps) const;
+  double delay_estimate_s(double arrival_rps, double capacity_rps) const;  // lint: raw-ok
 
   void reset() { backlog_req_ = 0.0; }
   // Checkpoint restore.

@@ -10,11 +10,12 @@ namespace gridctl::datacenter {
 
 void IdcConfig::validate() const {
   require(max_servers > 0, "IdcConfig: need at least one server");
-  require(latency_bound_s > 0.0, "IdcConfig: latency bound must be positive");
+  require(latency_bound_s > units::Seconds::zero(),
+          "IdcConfig: latency bound must be positive");
   power.validate();
 }
 
-double IdcConfig::max_capacity() const {
+units::Rps IdcConfig::max_capacity() const {
   return capacity_for_latency(max_servers, power.service_rate,
                               latency_bound_s);
 }
@@ -23,49 +24,57 @@ Idc::Idc(IdcConfig config) : config_(std::move(config)) {
   config_.validate();
 }
 
-void Idc::set_operating_point(std::size_t servers_on, double load_rps) {
+void Idc::set_operating_point(std::size_t servers_on, units::Rps load) {
   require(servers_on <= config_.max_servers,
           "Idc: servers_on exceeds max_servers");
-  require(load_rps >= 0.0, "Idc: negative load");
+  require(load >= units::Rps::zero(), "Idc: negative load");
   servers_on_ = servers_on;
-  assigned_load_ = load_rps;
+  assigned_load_ = load;
 }
 
-void Idc::restore_state(std::size_t servers_on, double load_rps,
-                        double energy_joules, double cost_dollars,
-                        double overload_seconds) {
-  set_operating_point(servers_on, load_rps);
-  require(energy_joules >= 0.0 && overload_seconds >= 0.0,
+void Idc::restore_state(std::size_t servers_on, units::Rps load,
+                        units::Joules energy, units::Dollars cost,
+                        units::Seconds overload_time) {
+  set_operating_point(servers_on, load);
+  require(energy >= units::Joules::zero() &&
+              overload_time >= units::Seconds::zero(),
           "Idc: restored accumulators must be non-negative");
-  energy_joules_ = energy_joules;
-  cost_dollars_ = cost_dollars;
-  overload_seconds_ = overload_seconds;
+  energy_ = energy;
+  cost_ = cost;
+  overload_time_ = overload_time;
 }
 
-double Idc::power_w() const {
+units::Watts Idc::power_w() const {
   return config_.power.idc_power(assigned_load_, servers_on_);
 }
 
 bool Idc::overloaded() const {
-  if (assigned_load_ == 0.0) return false;
-  const double capacity =
+  if (assigned_load_ == units::Rps::zero()) return false;
+  const units::Rps capacity =
       static_cast<double>(servers_on_) * config_.power.service_rate;
   return assigned_load_ >= capacity;
 }
 
-double Idc::latency_s() const {
-  if (overloaded()) return std::numeric_limits<double>::infinity();
-  if (assigned_load_ == 0.0 && servers_on_ == 0) return 0.0;
+units::Seconds Idc::latency_s() const {
+  if (overloaded()) {
+    return units::Seconds{std::numeric_limits<double>::infinity()};
+  }
+  if (assigned_load_ == units::Rps::zero() && servers_on_ == 0) {
+    return units::Seconds::zero();
+  }
   return simplified_latency(servers_on_, config_.power.service_rate,
                             assigned_load_);
 }
 
-void Idc::advance(double dt_s, double price_per_mwh) {
-  require(dt_s >= 0.0, "Idc: negative time step");
-  const double power = power_w();
-  energy_joules_ += power * dt_s;
-  cost_dollars_ += units::energy_cost_dollars(power, dt_s, price_per_mwh);
-  if (overloaded() && assigned_load_ > 0.0) overload_seconds_ += dt_s;
+void Idc::advance(units::Seconds dt, units::PricePerMwh price) {
+  require(dt >= units::Seconds::zero(), "Idc: negative time step");
+  const units::Watts power = power_w();
+  const units::Joules step_energy = power * dt;
+  energy_ += step_energy;
+  cost_ += step_energy * price;
+  if (overloaded() && assigned_load_ > units::Rps::zero()) {
+    overload_time_ += dt;
+  }
 }
 
 }  // namespace gridctl::datacenter

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "datacenter/server_model.hpp"
+#include "util/units.hpp"
 
 namespace gridctl::datacenter {
 
@@ -14,13 +15,13 @@ struct IdcConfig {
   std::size_t region = 0;        // index into the price model
   std::size_t max_servers = 0;   // M_j
   ServerPowerModel power;        // includes mu_j (service_rate)
-  double latency_bound_s = 1e-3; // D_j
+  units::Seconds latency_bound_s{1e-3};  // D_j
 
   void validate() const;
 
   // Workload capacity with all servers ON and the latency bound met
   // (lambda_bar_j in the paper's sleep-controllability condition).
-  double max_capacity() const;
+  units::Rps max_capacity() const;
 };
 
 // Runtime state of an IDC, advanced by the simulator.
@@ -31,43 +32,43 @@ class Idc {
   const IdcConfig& config() const { return config_; }
 
   std::size_t servers_on() const { return servers_on_; }
-  double assigned_load() const { return assigned_load_; }
+  units::Rps assigned_load() const { return assigned_load_; }
 
   // Set the operating point for the next interval. `servers_on` is capped
   // at M_j by the caller (throws if exceeded); the load must fit under
   // the ON capacity (n mu > lambda) or the IDC is overloaded, which is
   // recorded rather than thrown (the simulator audits QoS violations).
-  void set_operating_point(std::size_t servers_on, double load_rps);
+  void set_operating_point(std::size_t servers_on, units::Rps load);
 
-  // Electrical power drawn at the current operating point, watts.
-  double power_w() const;
+  // Electrical power drawn at the current operating point.
+  units::Watts power_w() const;
 
   // Mean request latency at the current operating point using the
   // paper's simplified model; +inf when unstable/overloaded.
-  double latency_s() const;
+  units::Seconds latency_s() const;
   bool overloaded() const;
 
-  // Integrate `dt` seconds at the current point and `price_per_mwh`.
-  void advance(double dt_s, double price_per_mwh);
+  // Integrate `dt` at the current operating point and `price`.
+  void advance(units::Seconds dt, units::PricePerMwh price);
 
-  double energy_joules() const { return energy_joules_; }
-  double cost_dollars() const { return cost_dollars_; }
+  units::Joules energy_joules() const { return energy_; }
+  units::Dollars cost_dollars() const { return cost_; }
   // Time spent in an overloaded state.
-  double overload_seconds() const { return overload_seconds_; }
+  units::Seconds overload_seconds() const { return overload_time_; }
 
   // Overwrite the full runtime state (checkpoint restore); the operating
   // point goes through the same validation as set_operating_point.
-  void restore_state(std::size_t servers_on, double load_rps,
-                     double energy_joules, double cost_dollars,
-                     double overload_seconds);
+  void restore_state(std::size_t servers_on, units::Rps load,
+                     units::Joules energy, units::Dollars cost,
+                     units::Seconds overload_time);
 
  private:
   IdcConfig config_;
   std::size_t servers_on_ = 0;
-  double assigned_load_ = 0.0;
-  double energy_joules_ = 0.0;
-  double cost_dollars_ = 0.0;
-  double overload_seconds_ = 0.0;
+  units::Rps assigned_load_;
+  units::Joules energy_;
+  units::Dollars cost_;
+  units::Seconds overload_time_;
 };
 
 }  // namespace gridctl::datacenter

@@ -6,14 +6,18 @@
 
 namespace gridctl::datacenter {
 
-double simplified_latency(std::size_t servers, double service_rate,
-                          double arrival_rate) {
-  require(service_rate > 0.0, "simplified_latency: service rate must be positive");
-  require(arrival_rate >= 0.0, "simplified_latency: negative arrival rate");
-  const double capacity = static_cast<double>(servers) * service_rate;
+units::Seconds simplified_latency(std::size_t servers,
+                                  units::Rps service_rate,
+                                  units::Rps arrival_rate) {
+  require(service_rate > units::Rps::zero(),
+          "simplified_latency: service rate must be positive");
+  require(arrival_rate >= units::Rps::zero(),
+          "simplified_latency: negative arrival rate");
+  const units::Rps capacity =
+      static_cast<double>(servers) * service_rate;
   require(capacity > arrival_rate,
           "simplified_latency: system is unstable (n mu <= lambda)");
-  return 1.0 / (capacity - arrival_rate);
+  return units::Seconds{1.0 / (capacity.value() - arrival_rate.value())};
 }
 
 double erlang_c(std::size_t servers, double offered_load_erlangs) {
@@ -32,33 +36,45 @@ double erlang_c(std::size_t servers, double offered_load_erlangs) {
   return erlang_b / (1.0 - rho * (1.0 - erlang_b));
 }
 
-double mmn_response_time(std::size_t servers, double service_rate,
-                         double arrival_rate) {
-  require(service_rate > 0.0, "mmn_response_time: service rate must be positive");
+units::Seconds mmn_response_time(std::size_t servers,
+                                 units::Rps service_rate,
+                                 units::Rps arrival_rate) {
+  require(service_rate > units::Rps::zero(),
+          "mmn_response_time: service rate must be positive");
   const double a = arrival_rate / service_rate;  // offered load, Erlangs
   const double pq = erlang_c(servers, a);
-  const double capacity = static_cast<double>(servers) * service_rate;
+  const double capacity = static_cast<double>(servers) * service_rate.value();
   // Mean wait = P_Q / (n mu - lambda); response adds one service time.
-  return pq / (capacity - arrival_rate) + 1.0 / service_rate;
+  return units::Seconds{pq / (capacity - arrival_rate.value()) +
+                        1.0 / service_rate.value()};
 }
 
-std::size_t servers_for_latency(double arrival_rate, double service_rate,
-                                double latency_bound) {
-  require(service_rate > 0.0, "servers_for_latency: service rate must be positive");
-  require(latency_bound > 0.0, "servers_for_latency: latency bound must be positive");
-  require(arrival_rate >= 0.0, "servers_for_latency: negative arrival rate");
+std::size_t servers_for_latency(units::Rps arrival_rate,
+                                units::Rps service_rate,
+                                units::Seconds latency_bound) {
+  require(service_rate > units::Rps::zero(),
+          "servers_for_latency: service rate must be positive");
+  require(latency_bound > units::Seconds::zero(),
+          "servers_for_latency: latency bound must be positive");
+  require(arrival_rate >= units::Rps::zero(),
+          "servers_for_latency: negative arrival rate");
   const double exact =
-      arrival_rate / service_rate + 1.0 / (service_rate * latency_bound);
+      arrival_rate.value() / service_rate.value() +
+      1.0 / (service_rate.value() * latency_bound.value());
   return static_cast<std::size_t>(std::ceil(exact - 1e-9));
 }
 
-double capacity_for_latency(std::size_t servers, double service_rate,
-                            double latency_bound) {
-  require(service_rate > 0.0, "capacity_for_latency: service rate must be positive");
-  require(latency_bound > 0.0, "capacity_for_latency: latency bound must be positive");
+units::Rps capacity_for_latency(std::size_t servers,
+                                units::Rps service_rate,
+                                units::Seconds latency_bound) {
+  require(service_rate > units::Rps::zero(),
+          "capacity_for_latency: service rate must be positive");
+  require(latency_bound > units::Seconds::zero(),
+          "capacity_for_latency: latency bound must be positive");
   const double capacity =
-      static_cast<double>(servers) * service_rate - 1.0 / latency_bound;
-  return capacity > 0.0 ? capacity : 0.0;
+      static_cast<double>(servers) * service_rate.value() -
+      1.0 / latency_bound.value();
+  return units::Rps{capacity > 0.0 ? capacity : 0.0};
 }
 
 }  // namespace gridctl::datacenter

@@ -9,31 +9,38 @@
 
 #include <cstddef>
 
+#include "util/units.hpp"
+
 namespace gridctl::datacenter {
 
 // Paper's simplified latency: 1 / (n mu - lambda). Requires the system
 // to be stable (n mu > lambda); throws InvalidArgument otherwise.
-double simplified_latency(std::size_t servers, double service_rate,
-                          double arrival_rate);
+units::Seconds simplified_latency(std::size_t servers,
+                                  units::Rps service_rate,
+                                  units::Rps arrival_rate);
 
 // Erlang-C probability that an arrival must queue in an M/M/n system.
 // Computed with a numerically stable recurrence; requires stability.
+// Offered load is dimensionless (Erlangs = lambda / mu).
 double erlang_c(std::size_t servers, double offered_load_erlangs);
 
 // Exact M/M/n mean response time (wait + service).
-double mmn_response_time(std::size_t servers, double service_rate,
-                         double arrival_rate);
+units::Seconds mmn_response_time(std::size_t servers,
+                                 units::Rps service_rate,
+                                 units::Rps arrival_rate);
 
 // Minimum number of servers such that the simplified latency is within
 // `latency_bound`: n = ceil(lambda/mu + 1/(mu D)) — the paper's eq. (35)
 // right-hand side (before the M_j cap).
-std::size_t servers_for_latency(double arrival_rate, double service_rate,
-                                double latency_bound);
+std::size_t servers_for_latency(units::Rps arrival_rate,
+                                units::Rps service_rate,
+                                units::Seconds latency_bound);
 
 // Largest arrival rate `servers` can absorb with simplified latency
 // <= latency_bound: lambda_bar = n mu - 1/D (paper Sec. IV-B's workload
 // capacity). Clamped at zero.
-double capacity_for_latency(std::size_t servers, double service_rate,
-                            double latency_bound);
+units::Rps capacity_for_latency(std::size_t servers,
+                                units::Rps service_rate,
+                                units::Seconds latency_bound);
 
 }  // namespace gridctl::datacenter

@@ -5,21 +5,24 @@
 namespace gridctl::datacenter {
 
 void ServerPowerModel::validate() const {
-  require(idle_w >= 0.0, "ServerPowerModel: negative idle power");
+  require(idle_w >= units::Watts::zero(),
+          "ServerPowerModel: negative idle power");
   require(peak_w >= idle_w, "ServerPowerModel: peak below idle");
-  require(service_rate > 0.0, "ServerPowerModel: service rate must be positive");
+  require(service_rate > units::Rps::zero(),
+          "ServerPowerModel: service rate must be positive");
 }
 
-ServerPowerModel FrequencyPowerFit::at_frequency(double frequency,
-                                                 double service_rate) const {
+ServerPowerModel FrequencyPowerFit::at_frequency(
+    double frequency, units::Rps service_rate) const {
   require(frequency > 0.0, "FrequencyPowerFit: frequency must be positive");
   ServerPowerModel model;
-  model.idle_w = a2 * frequency + a0;                      // b0
+  model.idle_w = units::Watts{a2 * frequency + a0};        // b0
   const double b1 = a3 + a1 / frequency;                   // per-utilization
   model.service_rate = service_rate;
   // b1 above is watts per unit lambda when U = lambda / f; expressed in
   // the peak/idle form: peak = b0 + b1 * mu.
-  model.peak_w = model.idle_w + b1 * service_rate;
+  model.peak_w =
+      units::Watts{model.idle_w.value() + b1 * service_rate.value()};
   model.validate();
   return model;
 }

@@ -9,25 +9,31 @@
 
 #include <cstddef>
 
+#include "util/units.hpp"
+
 namespace gridctl::datacenter {
 
 struct ServerPowerModel {
-  double idle_w = 150.0;   // b0: power of an ON but idle server
-  double peak_w = 285.0;   // power at full utilization (lambda = mu)
-  double service_rate = 1.0;  // mu: req/s one server sustains
+  units::Watts idle_w{150.0};      // b0: power of an ON but idle server
+  units::Watts peak_w{285.0};      // power at full utilization (lambda = mu)
+  units::Rps service_rate{1.0};    // mu: req/s one server sustains
 
-  // b1 = (peak - idle) / mu: watts per unit of request rate.
-  double watts_per_rps() const { return (peak_w - idle_w) / service_rate; }
+  // b1 = (peak - idle) / mu: watts per unit of request rate. A mixed
+  // W/(req/s) slope — the one deliberately untyped constant here; it
+  // feeds the controller's raw plant matrices.
+  double watts_per_rps() const {
+    return (peak_w.value() - idle_w.value()) / service_rate.value();
+  }
 
   // Power of one server processing `lambda` req/s (lambda <= mu).
-  double server_power(double lambda) const {
-    return idle_w + watts_per_rps() * lambda;
+  units::Watts server_power(units::Rps lambda) const {
+    return units::Watts{idle_w.value() + watts_per_rps() * lambda.value()};
   }
 
   // IDC aggregate power: m servers ON sharing `lambda` req/s total.
-  double idc_power(double lambda, std::size_t servers_on) const {
-    return watts_per_rps() * lambda +
-           static_cast<double>(servers_on) * idle_w;
+  units::Watts idc_power(units::Rps lambda, std::size_t servers_on) const {
+    return units::Watts{watts_per_rps() * lambda.value() +
+                        static_cast<double>(servers_on) * idle_w.value()};
   }
 
   // Throws InvalidArgument on non-physical parameters.
@@ -36,7 +42,8 @@ struct ServerPowerModel {
 
 // The four-parameter utilization/frequency fit of eq. (5), provided for
 // completeness and to document how (b0, b1) derive from (a0..a3) at a
-// fixed frequency: b0 = a2 f + a0, b1 = a3 + a1 / f.
+// fixed frequency: b0 = a2 f + a0, b1 = a3 + a1 / f. Raw fit
+// coefficients — dimensionless per-axis slopes, not quantities.
 struct FrequencyPowerFit {
   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
 
@@ -46,7 +53,8 @@ struct FrequencyPowerFit {
   }
 
   // Collapse to the linear-in-lambda model at a fixed frequency.
-  ServerPowerModel at_frequency(double frequency, double service_rate) const;
+  ServerPowerModel at_frequency(double frequency,
+                                units::Rps service_rate) const;
 };
 
 }  // namespace gridctl::datacenter

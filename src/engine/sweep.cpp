@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace gridctl::engine {
 
@@ -135,30 +136,33 @@ std::uint64_t SweepReport::fallback_events() const {
 }
 
 JsonValue summary_to_json(const core::SimulationSummary& summary) {
+  // JSON keys keep their unit suffixes; the typed fields convert at this
+  // serialization boundary (joules -> MWh, quantities -> raw numbers).
   JsonValue::Object object;
   object["policy"] = JsonValue(summary.policy);
-  object["total_cost_dollars"] = JsonValue(summary.total_cost_dollars);
-  object["total_energy_mwh"] = JsonValue(summary.total_energy_mwh);
-  object["overload_seconds"] = JsonValue(summary.overload_seconds);
-  object["sla_violation_seconds"] = JsonValue(summary.sla_violation_seconds);
-  object["max_backlog_req"] = JsonValue(summary.max_backlog_req);
+  object["total_cost_dollars"] = JsonValue(summary.total_cost.value());
+  object["total_energy_mwh"] = JsonValue(units::as_mwh(summary.total_energy));
+  object["overload_seconds"] = JsonValue(summary.overload_time.value());
+  object["sla_violation_seconds"] =
+      JsonValue(summary.sla_violation_time.value());
+  object["max_backlog_req"] = JsonValue(summary.max_backlog.value());
   JsonValue::Object volatility;
   volatility["mean_abs_step_w"] =
-      JsonValue(summary.total_volatility.mean_abs_step);
+      JsonValue(summary.total_volatility.mean_abs_step.value());
   volatility["max_abs_step_w"] =
-      JsonValue(summary.total_volatility.max_abs_step);
+      JsonValue(summary.total_volatility.max_abs_step.value());
   object["total_volatility"] = JsonValue(std::move(volatility));
   JsonValue::Array idcs;
   for (const core::IdcSummary& idc : summary.idcs) {
     JsonValue::Object entry;
-    entry["peak_power_w"] = JsonValue(idc.peak_power_w);
-    entry["mean_abs_step_w"] = JsonValue(idc.volatility.mean_abs_step);
-    entry["max_abs_step_w"] = JsonValue(idc.volatility.max_abs_step);
+    entry["peak_power_w"] = JsonValue(idc.peak_power.value());
+    entry["mean_abs_step_w"] = JsonValue(idc.volatility.mean_abs_step.value());
+    entry["max_abs_step_w"] = JsonValue(idc.volatility.max_abs_step.value());
     entry["budget_violations"] =
         JsonValue(static_cast<double>(idc.budget.violations));
-    entry["mean_latency_s"] = JsonValue(idc.mean_latency_s);
-    entry["energy_mwh"] = JsonValue(idc.energy_mwh);
-    entry["cost_dollars"] = JsonValue(idc.cost_dollars);
+    entry["mean_latency_s"] = JsonValue(idc.mean_latency.value());
+    entry["energy_mwh"] = JsonValue(units::as_mwh(idc.energy));
+    entry["cost_dollars"] = JsonValue(idc.cost.value());
     idcs.push_back(JsonValue(std::move(entry)));
   }
   object["idcs"] = JsonValue(std::move(idcs));

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace gridctl::market {
 
 // One price quote, $/MWh.
@@ -21,11 +23,11 @@ class PriceModel {
  public:
   virtual ~PriceModel() = default;
 
-  // Price in region `region` at simulation time `time_s` (seconds since
-  // trace start) given the consumer's power draw `demand_w` in that
-  // region. Exogenous models ignore `demand_w`.
-  virtual double price(std::size_t region, double time_s,
-                       double demand_w) const = 0;
+  // Price in region `region` at simulation time `time` (seconds since
+  // trace start) given the consumer's power draw `demand` in that
+  // region. Exogenous models ignore `demand`.
+  virtual units::PricePerMwh price(std::size_t region, units::Seconds time,
+                                   units::Watts demand) const = 0;
 
   virtual std::size_t num_regions() const = 0;
   virtual std::string region_name(std::size_t region) const;

@@ -41,24 +41,27 @@ RenewableSupply::RenewableSupply(std::vector<RenewableRegionConfig> regions,
   }
 }
 
-double RenewableSupply::solar_w(std::size_t region, double time_s) const {
+units::Watts RenewableSupply::solar_w(std::size_t region,
+                                      units::Seconds time) const {
   require(region < regions_.size(), "RenewableSupply: region out of range");
   const auto& cfg = regions_[region];
-  const double hour = std::fmod(time_s / 3600.0, 24.0);
+  const double hour = std::fmod(time.value() / 3600.0, 24.0);
   const double offset = hour - cfg.solar_noon_hour;
   const double half_span = cfg.solar_span_hours / 2.0;
-  if (std::abs(offset) >= half_span) return 0.0;
-  return cfg.solar_peak_w * std::cos(M_PI * offset / cfg.solar_span_hours);
+  if (std::abs(offset) >= half_span) return units::Watts::zero();
+  return units::Watts{cfg.solar_peak_w *
+                      std::cos(M_PI * offset / cfg.solar_span_hours)};
 }
 
-double RenewableSupply::available_w(std::size_t region, double time_s) const {
+units::Watts RenewableSupply::available_w(std::size_t region,
+                                          units::Seconds time) const {
   // Validate before touching wind_[region]: indexing first read out of
   // bounds (solar_w's own range check fired too late to help).
   require(region < wind_.size(), "RenewableSupply: region out of range");
-  require(time_s >= 0.0, "RenewableSupply: negative time");
+  require(time >= units::Seconds::zero(), "RenewableSupply: negative time");
   const std::size_t hour =
-      static_cast<std::size_t>(time_s / 3600.0) % wind_[region].size();
-  return solar_w(region, time_s) + wind_[region][hour];
+      static_cast<std::size_t>(time.value() / 3600.0) % wind_[region].size();
+  return units::Watts{solar_w(region, time).value() + wind_[region][hour]};
 }
 
 }  // namespace gridctl::market

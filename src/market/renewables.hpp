@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace gridctl::market {
 
 struct RenewableRegionConfig {
@@ -25,12 +27,12 @@ class RenewableSupply {
   RenewableSupply(std::vector<RenewableRegionConfig> regions,
                   std::uint64_t seed, std::size_t horizon_hours = 24 * 7);
 
-  // Renewable power available in `region` at time `time_s`, watts.
-  double available_w(std::size_t region, double time_s) const;
+  // Renewable power available in `region` at time `time`.
+  units::Watts available_w(std::size_t region, units::Seconds time) const;
   std::size_t num_regions() const { return regions_.size(); }
 
   // Deterministic solar envelope alone (for tests).
-  double solar_w(std::size_t region, double time_s) const;
+  units::Watts solar_w(std::size_t region, units::Seconds time) const;
 
  private:
   std::vector<RenewableRegionConfig> regions_;

@@ -7,11 +7,12 @@
 
 namespace gridctl::market {
 
-double SupplyStack::clearing_price(double demand_w) const {
+units::PricePerMwh SupplyStack::clearing_price(units::Watts demand) const {
   require(capacity_w > 0.0, "SupplyStack: capacity must be positive");
-  const double load_fraction = std::max(demand_w, 0.0) / capacity_w;
-  return price_floor + linear_coeff * load_fraction +
-         exp_coeff * std::exp(exp_rate * (load_fraction - 1.0));
+  const double load_fraction = std::max(demand.value(), 0.0) / capacity_w;
+  return units::PricePerMwh{price_floor + linear_coeff * load_fraction +
+                            exp_coeff *
+                                std::exp(exp_rate * (load_fraction - 1.0))};
 }
 
 StochasticBidPrice::StochasticBidPrice(std::vector<RegionMarketConfig> regions,
@@ -43,25 +44,31 @@ StochasticBidPrice::StochasticBidPrice(std::vector<RegionMarketConfig> regions,
   }
 }
 
-double StochasticBidPrice::base_demand(std::size_t region,
-                                       double time_s) const {
+units::Watts StochasticBidPrice::base_demand(std::size_t region,
+                                             units::Seconds time) const {
   require(region < regions_.size(), "StochasticBidPrice: region out of range");
   const auto& cfg = regions_[region];
-  const double hour = std::fmod(time_s / 3600.0, 24.0);
+  const double hour = std::fmod(time.value() / 3600.0, 24.0);
   const double phase = 2.0 * M_PI * (hour - cfg.peak_hour) / 24.0;
-  return cfg.base_demand_w * (1.0 + cfg.diurnal_amplitude * std::cos(phase));
+  return units::Watts{cfg.base_demand_w *
+                      (1.0 + cfg.diurnal_amplitude * std::cos(phase))};
 }
 
-double StochasticBidPrice::price(std::size_t region, double time_s,
-                                 double demand_w) const {
+units::PricePerMwh StochasticBidPrice::price(std::size_t region,
+                                             units::Seconds time,
+                                             units::Watts demand) const {
   require(region < regions_.size(), "StochasticBidPrice: region out of range");
-  require(time_s >= 0.0, "StochasticBidPrice: negative time");
+  require(time >= units::Seconds::zero(),
+          "StochasticBidPrice: negative time");
   const auto& cfg = regions_[region];
-  const std::size_t hour = static_cast<std::size_t>(time_s / 3600.0) %
+  const std::size_t hour = static_cast<std::size_t>(time.value() / 3600.0) %
                            noise_[region].size();
-  const double total_demand = base_demand(region, time_s) + std::max(demand_w, 0.0);
-  const double cleared = cfg.stack.clearing_price(total_demand);
-  return cleared * noise_[region][hour] + spikes_[region][hour];
+  const units::Watts total_demand =
+      units::Watts{base_demand(region, time).value() +
+                   std::max(demand.value(), 0.0)};
+  const units::PricePerMwh cleared = cfg.stack.clearing_price(total_demand);
+  return units::PricePerMwh{cleared.value() * noise_[region][hour] +
+                            spikes_[region][hour]};
 }
 
 }  // namespace gridctl::market

@@ -28,7 +28,7 @@ struct SupplyStack {
 
   // Marginal clearing price for a given total demand (demand above
   // capacity extrapolates along the exponential — scarcity pricing).
-  double clearing_price(double demand_w) const;
+  units::PricePerMwh clearing_price(units::Watts demand) const;
 };
 
 struct OrnsteinUhlenbeck {
@@ -60,12 +60,12 @@ class StochasticBidPrice : public PriceModel {
   StochasticBidPrice(std::vector<RegionMarketConfig> regions,
                      std::uint64_t seed, std::size_t horizon_hours = 24 * 7);
 
-  double price(std::size_t region, double time_s,
-               double demand_w) const override;
+  units::PricePerMwh price(std::size_t region, units::Seconds time,
+                           units::Watts demand) const override;
   std::size_t num_regions() const override { return regions_.size(); }
 
   // Exogenous base demand at a time (before the IDC's own draw).
-  double base_demand(std::size_t region, double time_s) const;
+  units::Watts base_demand(std::size_t region, units::Seconds time) const;
 
  private:
   std::vector<RegionMarketConfig> regions_;

@@ -26,13 +26,14 @@ TracePrice::TracePrice(std::vector<std::vector<double>> hourly,
   }
 }
 
-double TracePrice::price(std::size_t region, double time_s,
-                         double /*demand_w*/) const {
+units::PricePerMwh TracePrice::price(std::size_t region, units::Seconds time,
+                                     units::Watts /*demand*/) const {
   require(region < hourly_.size(), "TracePrice: region out of range");
-  require(time_s >= 0.0, "TracePrice: negative time");
+  require(time >= units::Seconds::zero(), "TracePrice: negative time");
   const std::size_t hour =
-      static_cast<std::size_t>(std::floor(time_s / 3600.0)) % hourly_[region].size();
-  return hourly_[region][hour];
+      static_cast<std::size_t>(std::floor(time.value() / 3600.0)) %
+      hourly_[region].size();
+  return units::PricePerMwh{hourly_[region][hour]};
 }
 
 std::string TracePrice::region_name(std::size_t region) const {

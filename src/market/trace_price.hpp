@@ -18,8 +18,8 @@ class TracePrice : public PriceModel {
   TracePrice(std::vector<std::vector<double>> hourly,
              std::vector<std::string> names = {});
 
-  double price(std::size_t region, double time_s,
-               double demand_w) const override;
+  units::PricePerMwh price(std::size_t region, units::Seconds time,
+                           units::Watts demand) const override;
   std::size_t num_regions() const override { return hourly_.size(); }
   std::string region_name(std::size_t region) const override;
 

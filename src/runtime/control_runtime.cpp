@@ -38,21 +38,27 @@ ControlRuntime::ControlRuntime(core::Scenario scenario, RuntimeOptions options)
       options_(std::move(options)),
       clock_(options_.acceleration),
       fleet_(scenario_.idcs),
-      timer_(scenario_.start_time_s, scenario_.ts_s, scenario_.num_steps()) {
+      timer_(scenario_.start_time_s.value(), scenario_.ts_s.value(),
+             scenario_.num_steps()) {
   init_common();
   if (options_.warm_start) warm_start();
   // Row 0: the pre-transition operating point, recorded exactly as the
   // batch simulation does. These bootstrap reads go straight to the
   // models — the feeds start delivering from the window start.
-  held_demands_ = scenario_.workload->rates(scenario_.start_time_s);
-  held_demand_time_s_ = scenario_.start_time_s;
+  held_demands_ = scenario_.workload->rates(scenario_.start_time_s.value());
+  held_demand_time_s_ = scenario_.start_time_s.value();
   held_prices_.resize(scenario_.num_idcs());
   for (std::size_t j = 0; j < scenario_.num_idcs(); ++j) {
-    held_prices_[j] = scenario_.prices->price(
-        scenario_.idcs[j].region, scenario_.start_time_s, last_power_[j]);
+    held_prices_[j] = scenario_.prices
+                          ->price(scenario_.idcs[j].region,
+                                  scenario_.start_time_s,
+                                  units::Watts{last_power_[j]})
+                          .value();
   }
-  held_price_time_s_ = scenario_.start_time_s;
-  core::record_step(trace_, fleet_, queues_, 0.0, held_prices_, held_demands_);
+  held_price_time_s_ = scenario_.start_time_s.value();
+  core::record_step(trace_, fleet_, queues_, units::Seconds::zero(),
+                    units::typed_vector<units::PricePerMwh>(held_prices_),
+                    units::typed_vector<units::Rps>(held_demands_));
 }
 
 ControlRuntime::ControlRuntime(core::Scenario scenario, RuntimeOptions options,
@@ -61,7 +67,8 @@ ControlRuntime::ControlRuntime(core::Scenario scenario, RuntimeOptions options,
       options_(std::move(options)),
       clock_(options_.acceleration),
       fleet_(scenario_.idcs),
-      timer_(scenario_.start_time_s, scenario_.ts_s, scenario_.num_steps()) {
+      timer_(scenario_.start_time_s.value(), scenario_.ts_s.value(),
+             scenario_.num_steps()) {
   init_common();
   checkpoint.validate_for(scenario_);
   restore_from(checkpoint);
@@ -91,15 +98,15 @@ void ControlRuntime::init_common() {
   const std::uint64_t steps = scenario_.num_steps();
   price_feed_ = std::make_unique<PriceFeed>(
       scenario_.prices, std::move(regions),
-      TickStream(scenario_.start_time_s, scenario_.ts_s, steps,
-                 options_.price_faults));
+      TickStream(scenario_.start_time_s.value(), scenario_.ts_s.value(),
+                 steps, options_.price_faults));
   workload_feed_ = std::make_unique<WorkloadFeed>(
       scenario_.workload,
-      TickStream(scenario_.start_time_s, scenario_.ts_s, steps,
-                 options_.workload_faults));
+      TickStream(scenario_.start_time_s.value(), scenario_.ts_s.value(),
+                 steps, options_.workload_faults));
 
   trace_.policy = "control";
-  trace_.ts_s = scenario_.ts_s;
+  trace_.ts_s = scenario_.ts_s.value();
   trace_.power_w.assign(n, {});
   trace_.servers_on.assign(n, {});
   trace_.idc_load_rps.assign(n, {});
@@ -111,26 +118,28 @@ void ControlRuntime::init_common() {
 
   stats_.deadline_s = options_.deadline_s > 0.0
                           ? options_.deadline_s
-                          : clock_.wall_budget_s(scenario_.ts_s);
+                          : clock_.wall_budget_s(scenario_.ts_s.value());
 }
 
 void ControlRuntime::warm_start() {
   const auto begin = clock_type::now();
-  const double t_prev = std::max(0.0, scenario_.start_time_s - 3600.0);
+  const units::Seconds t_prev = std::max(
+      units::Seconds::zero(), scenario_.start_time_s - units::Seconds{3600.0});
   core::OptimalPolicy seed(scenario_.idcs, scenario_.num_portals(),
                            scenario_.controller.cost_basis);
   core::PolicyContext context;
   context.time_s = t_prev;
-  context.prices.resize(scenario_.num_idcs());
+  context.prices.resize(scenario_.num_idcs(), units::PricePerMwh::zero());
   for (std::size_t j = 0; j < scenario_.num_idcs(); ++j) {
-    context.prices[j] = scenario_.prices->price(scenario_.idcs[j].region,
-                                                t_prev, last_power_[j]);
+    context.prices[j] = scenario_.prices->price(
+        scenario_.idcs[j].region, t_prev, units::Watts{last_power_[j]});
   }
-  context.portal_demands = scenario_.workload->rates(scenario_.start_time_s);
+  context.portal_demands = units::typed_vector<units::Rps>(
+      scenario_.workload->rates(scenario_.start_time_s.value()));
   const auto initial = seed.decide(context);
   fleet_.set_operating_point(initial.allocation, initial.servers);
   controller_->reset_to(initial.allocation, initial.servers);
-  last_power_ = fleet_.power_by_idc_w();
+  last_power_ = units::raw_vector(fleet_.power_by_idc_w());
   telemetry_.warm_start_s = seconds_between(begin, clock_type::now());
 }
 
@@ -138,9 +147,10 @@ void ControlRuntime::restore_from(const RuntimeCheckpoint& checkpoint) {
   controller_->restore(checkpoint.controller);
   for (std::size_t j = 0; j < fleet_.size(); ++j) {
     const auto& idc = checkpoint.fleet[j];
-    fleet_.idc(j).restore_state(idc.servers_on, idc.load_rps,
-                                idc.energy_joules, idc.cost_dollars,
-                                idc.overload_seconds);
+    fleet_.idc(j).restore_state(idc.servers_on, units::Rps{idc.load_rps},
+                                units::Joules{idc.energy_joules},
+                                units::Dollars{idc.cost_dollars},
+                                units::Seconds{idc.overload_seconds});
     queues_[j].restore(checkpoint.queue_backlogs_req[j]);
   }
   held_prices_ = checkpoint.held_prices;
@@ -159,7 +169,7 @@ void ControlRuntime::restore_from(const RuntimeCheckpoint& checkpoint) {
   // wall-clock history.
   stats_.deadline_s = options_.deadline_s > 0.0
                           ? options_.deadline_s
-                          : clock_.wall_budget_s(scenario_.ts_s);
+                          : clock_.wall_budget_s(scenario_.ts_s.value());
 
   price_feed_->stream().reset(price_ticks_consumed_);
   workload_feed_->stream().reset(workload_ticks_consumed_);
@@ -181,8 +191,9 @@ RuntimeResult ControlRuntime::run() {
                   seconds_between(run_begin, clock_type::now()));
   }
 
-  clock_.start(scenario_.start_time_s +
-               static_cast<double>(next_step_) * scenario_.ts_s);
+  clock_.start((scenario_.start_time_s +
+                static_cast<double>(next_step_) * scenario_.ts_s)
+                   .value());
 
   BoundedQueue<Event> queue(options_.queue_capacity);
 
@@ -258,8 +269,9 @@ RuntimeResult ControlRuntime::run() {
 }
 
 void ControlRuntime::execute_step(std::uint64_t step) {
-  const double ts = scenario_.ts_s;
-  const double t = scenario_.start_time_s + static_cast<double>(step) * ts;
+  const double ts = scenario_.ts_s.value();
+  const double t =
+      scenario_.start_time_s.value() + static_cast<double>(step) * ts;
   const std::size_t n = scenario_.num_idcs();
 
   // Feed health at the control boundary: the step is about to run on
@@ -271,26 +283,31 @@ void ControlRuntime::execute_step(std::uint64_t step) {
   const auto step_begin = clock_type::now();
   const bool degraded = degrade_pending_ && options_.degrade_on_deadline_miss;
   degrade_pending_ = false;
+  // The held feed payloads are raw buffers (the checkpoint schema pins
+  // them); type them once per step at the controller boundary.
+  const auto prices = units::typed_vector<units::PricePerMwh>(held_prices_);
+  const auto demands = units::typed_vector<units::Rps>(held_demands_);
   const core::CostController::Decision decision =
-      degraded ? controller_->step_degraded(held_prices_, held_demands_)
-               : controller_->step(held_prices_, held_demands_);
+      degraded ? controller_->step_degraded(prices, demands)
+               : controller_->step(prices, demands);
   if (degraded) ++stats_.degraded_steps;
   const auto decide_end = clock_type::now();
 
   fleet_.set_operating_point(decision.allocation, decision.servers);
-  fleet_.advance(ts, held_prices_);
-  last_power_ = fleet_.power_by_idc_w();
+  fleet_.advance(scenario_.ts_s, prices);
+  last_power_ = units::raw_vector(fleet_.power_by_idc_w());
   for (std::size_t j = 0; j < n; ++j) {
     const auto& idc = fleet_.idc(j);
-    queues_[j].step(idc.assigned_load(),
+    queues_[j].step(idc.assigned_load().value(),
                     static_cast<double>(idc.servers_on()) *
-                        idc.config().power.service_rate,
+                        idc.config().power.service_rate.value(),
                     ts);
   }
   const auto plant_end = clock_type::now();
 
-  core::record_step(trace_, fleet_, queues_, t - scenario_.start_time_s + ts,
-                    held_prices_, held_demands_);
+  core::record_step(trace_, fleet_, queues_,
+                    units::Seconds{t - scenario_.start_time_s.value() + ts},
+                    prices, demands);
   const auto step_end = clock_type::now();
 
   telemetry_.policy_s += seconds_between(step_begin, decide_end);
@@ -358,8 +375,9 @@ RuntimeCheckpoint ControlRuntime::checkpoint() const {
   cp.queue_backlogs_req.resize(fleet_.size());
   for (std::size_t j = 0; j < fleet_.size(); ++j) {
     const auto& idc = fleet_.idc(j);
-    cp.fleet[j] = {idc.servers_on(), idc.assigned_load(), idc.energy_joules(),
-                   idc.cost_dollars(), idc.overload_seconds()};
+    cp.fleet[j] = {idc.servers_on(), idc.assigned_load().value(),
+                   idc.energy_joules().value(), idc.cost_dollars().value(),
+                   idc.overload_seconds().value()};
     cp.queue_backlogs_req[j] = queues_[j].backlog_req();
   }
   cp.trace = trace_;

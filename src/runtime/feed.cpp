@@ -113,7 +113,10 @@ std::vector<double> PriceFeed::values(
           "PriceFeed: power feedback size mismatch");
   std::vector<double> prices(regions_.size());
   for (std::size_t j = 0; j < regions_.size(); ++j) {
-    prices[j] = model_->price(regions_[j], time_s, power_feedback_w[j]);
+    prices[j] = model_
+                    ->price(regions_[j], units::Seconds{time_s},
+                            units::Watts{power_feedback_w[j]})
+                    .value();
   }
   return prices;
 }

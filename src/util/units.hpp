@@ -1,15 +1,48 @@
-// Unit conventions and conversion helpers.
+// Compile-time dimensional analysis for the physical quantities gridctl
+// moves between domains:
 //
-// gridctl uses SI internally:
-//   power        watts (W)
-//   energy       joules (J)
-//   time         seconds (s)
-//   price        $ per megawatt-hour ($/MWh), the unit LMP markets quote
-//   work rate    requests per second (req/s)
+//   workload (req/s) -> servers ON -> power (W) -> energy (J) -> cost ($)
 //
-// The paper's figures label power axes "MWH"; those are megawatts (MW).
-// Helpers below convert at the presentation boundary only.
+// `Quantity<Dim>` is a zero-overhead strong type over `double`: it is
+// layout-identical to a bare double (static_assert-pinned below), so
+// vectors of quantities serialize and checkpoint bit-identically, but
+// only dimensionally valid arithmetic compiles:
+//
+//   Power  x Time  -> Energy        (and Energy / Time -> Power)
+//   Energy x Price -> Money
+//   Rate   x Time  -> Work          (and Work / Rate   -> Time)
+//   same-dimension + - += -= comparisons, scalar * /,
+//   same-dimension ratio Q / Q -> double.
+//
+// Anything else — Power + Energy, Power x Price, passing a Seconds where
+// a Watts is expected — is a compile error (see tests/compile).
+//
+// Canonical storage units are the repo's internal SI convention:
+//   time    seconds (s)         power   watts (W)
+//   energy  joules (J)          money   dollars ($)
+//   price   $ per MWh ($/MWh)   rate    requests per second (req/s)
+//   work    requests (req)
+//
+// Price is deliberately quoted in $/MWh — the unit LMP markets post —
+// rather than the coherent $/J; the Energy x Price operator carries the
+// J -> MWh conversion and reproduces the exact floating-point sequence
+// `joules_to_mwh(j) * price` the cost integrators have always used, so
+// the unit-type rollout changes no output bit.
+//
+// Presentation helpers (`as_mw`, `as_mwh`, `as_hours`) convert at the
+// reporting boundary only. The paper's figures label power axes "MWH";
+// those are megawatts (MW).
+//
+// Escape hatch policy: `.value()` is the only way out of the type system.
+// Use it exactly at solver boundaries (src/control, src/solvers, linalg
+// vectors) and serialization sinks; everywhere else keep quantities
+// typed. tools/lint_units.py polices new raw-double unit-suffixed
+// parameters outside the whitelisted solver files.
 #pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
 
 namespace gridctl::units {
 
@@ -17,18 +50,297 @@ inline constexpr double kWattsPerMegawatt = 1e6;
 inline constexpr double kSecondsPerHour = 3600.0;
 inline constexpr double kJoulesPerMWh = kWattsPerMegawatt * kSecondsPerHour;
 
-// Power conversions.
+// Legacy scalar conversions, kept for presentation-boundary code that
+// works on raw series buffers (CSV/JSON writers).
 constexpr double watts_to_mw(double w) { return w / kWattsPerMegawatt; }
 constexpr double mw_to_watts(double mw) { return mw * kWattsPerMegawatt; }
-
-// Energy conversions.
 constexpr double joules_to_mwh(double j) { return j / kJoulesPerMWh; }
 constexpr double mwh_to_joules(double mwh) { return mwh * kJoulesPerMWh; }
 
-// Cost of consuming `power_w` watts for `seconds` at `price_per_mwh` $/MWh.
+// Cost of consuming `power_w` watts for `seconds` at `price_per_mwh`
+// $/MWh. The typed Energy x Price operator below reproduces this exact
+// expression.
 constexpr double energy_cost_dollars(double power_w, double seconds,
                                      double price_per_mwh) {
   return joules_to_mwh(power_w * seconds) * price_per_mwh;
+}
+
+// Dimension tags. `unit` is the canonical storage unit, used by
+// diagnostics and docs.
+namespace dim {
+struct Time {
+  static constexpr const char* name = "time";
+  static constexpr const char* unit = "s";
+};
+struct Power {
+  static constexpr const char* name = "power";
+  static constexpr const char* unit = "W";
+};
+struct Energy {
+  static constexpr const char* name = "energy";
+  static constexpr const char* unit = "J";
+};
+struct Price {
+  static constexpr const char* name = "price";
+  static constexpr const char* unit = "$/MWh";
+};
+struct Money {
+  static constexpr const char* name = "money";
+  static constexpr const char* unit = "$";
+};
+struct Rate {
+  static constexpr const char* name = "rate";
+  static constexpr const char* unit = "req/s";
+};
+struct Work {
+  static constexpr const char* name = "work";
+  static constexpr const char* unit = "req";
+};
+}  // namespace dim
+
+template <class Dim, class Rep = double>
+class Quantity {
+ public:
+  using dimension = Dim;
+  using rep = Rep;
+
+  constexpr Quantity() = default;
+  explicit constexpr Quantity(Rep value) : value_(value) {}
+
+  // The escape hatch: the canonical-unit magnitude as a bare Rep. Only
+  // for solver boundaries and serialization sinks (see header comment).
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  static constexpr Quantity zero() { return Quantity{}; }
+
+  // Same-dimension arithmetic.
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(Rep scale) {
+    value_ *= scale;
+    return *this;
+  }
+  constexpr Quantity& operator/=(Rep scale) {
+    value_ /= scale;
+    return *this;
+  }
+
+  constexpr Quantity operator-() const { return Quantity{-value_}; }
+  constexpr Quantity operator+() const { return *this; }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator*(Quantity a, Rep scale) {
+    return Quantity{a.value_ * scale};
+  }
+  friend constexpr Quantity operator*(Rep scale, Quantity a) {
+    return Quantity{scale * a.value_};
+  }
+  friend constexpr Quantity operator/(Quantity a, Rep scale) {
+    return Quantity{a.value_ / scale};
+  }
+  // Same-dimension ratio is dimensionless.
+  friend constexpr Rep operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+  friend constexpr bool operator==(Quantity, Quantity) = default;
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+ private:
+  Rep value_{};
+};
+
+using Seconds = Quantity<dim::Time>;
+using Watts = Quantity<dim::Power>;
+using Joules = Quantity<dim::Energy>;
+using PricePerMwh = Quantity<dim::Price>;
+using Dollars = Quantity<dim::Money>;
+using Rps = Quantity<dim::Rate>;
+using Requests = Quantity<dim::Work>;
+
+// Layout pins: a Quantity must be a drop-in bit-pattern replacement for
+// the double it wraps, so Eigen-free linalg paths, memcpy'd buffers and
+// checkpoint JSON stay bit-identical.
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(alignof(Watts) == alignof(double));
+static_assert(std::is_trivially_copyable_v<Watts>);
+static_assert(std::is_standard_layout_v<Watts>);
+static_assert(sizeof(Quantity<dim::Energy, float>) == sizeof(float));
+
+// --- Dimensionally valid cross products -------------------------------
+
+// Power x Time -> Energy (W x s = J, the plant integrator's op).
+constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+constexpr Joules operator*(Seconds t, Watts p) {
+  return Joules{t.value() * p.value()};
+}
+constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts{e.value() / t.value()};
+}
+constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds{e.value() / p.value()};
+}
+
+// Energy x Price -> Money. Both operand orders use the exact expression
+// `joules_to_mwh(j) * price` so typed cost accumulation is bit-identical
+// to the historical energy_cost_dollars path.
+constexpr Dollars operator*(Joules e, PricePerMwh price) {
+  return Dollars{joules_to_mwh(e.value()) * price.value()};
+}
+constexpr Dollars operator*(PricePerMwh price, Joules e) {
+  return Dollars{joules_to_mwh(e.value()) * price.value()};
+}
+constexpr PricePerMwh operator/(Dollars d, Joules e) {
+  return PricePerMwh{d.value() / joules_to_mwh(e.value())};
+}
+
+// Rate x Time -> Work (req/s x s = req, the queue integrator's op).
+constexpr Requests operator*(Rps r, Seconds t) {
+  return Requests{r.value() * t.value()};
+}
+constexpr Requests operator*(Seconds t, Rps r) {
+  return Requests{t.value() * r.value()};
+}
+constexpr Rps operator/(Requests w, Seconds t) {
+  return Rps{w.value() / t.value()};
+}
+constexpr Seconds operator/(Requests w, Rps r) {
+  return Seconds{w.value() / r.value()};
+}
+
+// Typed cost helper mirroring energy_cost_dollars.
+constexpr Dollars energy_cost(Watts power, Seconds dt, PricePerMwh price) {
+  return (power * dt) * price;
+}
+
+// --- Presentation-unit accessors and constructors ---------------------
+
+constexpr double as_mw(Watts p) { return p.value() / kWattsPerMegawatt; }
+constexpr double as_mwh(Joules e) { return e.value() / kJoulesPerMWh; }
+constexpr double as_hours(Seconds t) { return t.value() / kSecondsPerHour; }
+constexpr Watts from_mw(double mw) {
+  return Watts{mw * kWattsPerMegawatt};
+}
+constexpr Joules from_mwh(double mwh) {
+  return Joules{mwh * kJoulesPerMWh};
+}
+constexpr Seconds from_hours(double hours) {
+  return Seconds{hours * kSecondsPerHour};
+}
+
+template <class Dim, class Rep>
+constexpr Quantity<Dim, Rep> abs(Quantity<Dim, Rep> q) {
+  return q.value() < Rep{0} ? -q : q;
+}
+
+// --- Unit literals ----------------------------------------------------
+//
+//   using namespace gridctl::units::literals;
+//   auto budget = 120.0_mw;   // Watts{1.2e8}
+//   auto period = 10.0_s;     // Seconds{10}
+
+inline namespace literals {
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_h(long double v) {
+  return from_hours(static_cast<double>(v));
+}
+constexpr Seconds operator""_h(unsigned long long v) {
+  return from_hours(static_cast<double>(v));
+}
+constexpr Watts operator""_w(long double v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Watts operator""_w(unsigned long long v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Watts operator""_kw(long double v) {
+  return Watts{static_cast<double>(v) * 1e3};
+}
+constexpr Watts operator""_kw(unsigned long long v) {
+  return Watts{static_cast<double>(v) * 1e3};
+}
+constexpr Watts operator""_mw(long double v) {
+  return from_mw(static_cast<double>(v));
+}
+constexpr Watts operator""_mw(unsigned long long v) {
+  return from_mw(static_cast<double>(v));
+}
+constexpr Joules operator""_j(long double v) {
+  return Joules{static_cast<double>(v)};
+}
+constexpr Joules operator""_j(unsigned long long v) {
+  return Joules{static_cast<double>(v)};
+}
+constexpr Joules operator""_mwh(long double v) {
+  return from_mwh(static_cast<double>(v));
+}
+constexpr Joules operator""_mwh(unsigned long long v) {
+  return from_mwh(static_cast<double>(v));
+}
+constexpr PricePerMwh operator""_per_mwh(long double v) {
+  return PricePerMwh{static_cast<double>(v)};
+}
+constexpr PricePerMwh operator""_per_mwh(unsigned long long v) {
+  return PricePerMwh{static_cast<double>(v)};
+}
+constexpr Dollars operator""_usd(long double v) {
+  return Dollars{static_cast<double>(v)};
+}
+constexpr Dollars operator""_usd(unsigned long long v) {
+  return Dollars{static_cast<double>(v)};
+}
+constexpr Rps operator""_rps(long double v) {
+  return Rps{static_cast<double>(v)};
+}
+constexpr Rps operator""_rps(unsigned long long v) {
+  return Rps{static_cast<double>(v)};
+}
+constexpr Requests operator""_req(long double v) {
+  return Requests{static_cast<double>(v)};
+}
+constexpr Requests operator""_req(unsigned long long v) {
+  return Requests{static_cast<double>(v)};
+}
+}  // namespace literals
+
+// --- Vector adapters at typed/raw boundaries --------------------------
+//
+// Solver and serialization layers speak std::vector<double>; these copy
+// across the boundary. (Quantity is layout-identical to double, but we
+// keep the copies explicit rather than reinterpreting storage.)
+
+template <class Q>
+inline std::vector<Q> typed_vector(const std::vector<double>& raw) {
+  std::vector<Q> out;
+  out.reserve(raw.size());
+  for (double v : raw) out.push_back(Q{v});
+  return out;
+}
+
+template <class Q>
+inline std::vector<double> raw_vector(const std::vector<Q>& typed) {
+  std::vector<double> out;
+  out.reserve(typed.size());
+  for (Q q : typed) out.push_back(q.value());
+  return out;
 }
 
 }  // namespace gridctl::units

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: Quantity's constructor is explicit; a bare double
+// cannot silently become a Watts.
+#include "util/units.hpp"
+
+namespace u = gridctl::units;
+
+u::Watts budget() { return 5.13e6; }
+
+int main() { return static_cast<int>(budget().value()); }

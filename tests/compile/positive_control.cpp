@@ -1,0 +1,14 @@
+// Positive control for the compile-failure suite: exercises the same
+// headers and operators the negative snippets abuse. If this stops
+// compiling, the negative tests are failing for the wrong reason.
+#include "core/simulation.hpp"
+#include "util/units.hpp"
+
+namespace u = gridctl::units;
+
+int main() {
+  const u::Joules energy = u::Watts{2e6} * u::Seconds{1800.0};
+  const u::Dollars cost = energy * u::PricePerMwh{50.0};
+  const u::Watts mean = gridctl::core::average_power(energy, u::Seconds{600.0});
+  return (cost.value() > 0.0 && mean.value() > 0.0) ? 0 : 1;
+}

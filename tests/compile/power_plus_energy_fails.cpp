@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: adding a power to an energy is dimensionally
+// invalid. Registered as a WILL_FAIL compile test.
+#include "util/units.hpp"
+
+namespace u = gridctl::units;
+
+int main() {
+  auto nonsense = u::Watts{1.0} + u::Joules{1.0};
+  return static_cast<int>(nonsense.value());
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: power x price skips the time integration — cost
+// comes from energy x price only.
+#include "util/units.hpp"
+
+namespace u = gridctl::units;
+
+int main() {
+  auto nonsense = u::Watts{1e6} * u::PricePerMwh{50.0};
+  return static_cast<int>(nonsense.value());
+}

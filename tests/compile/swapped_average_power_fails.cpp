@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: average_power takes (energy, elapsed); swapping the
+// arguments is exactly the bug class the strong types exist to catch.
+#include "core/simulation.hpp"
+#include "util/units.hpp"
+
+namespace u = gridctl::units;
+
+int main() {
+  const u::Watts mean =
+      gridctl::core::average_power(u::Seconds{600.0}, u::Joules{3.6e9});
+  return static_cast<int>(mean.value());
+}

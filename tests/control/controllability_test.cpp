@@ -12,8 +12,9 @@ using linalg::Matrix;
 datacenter::IdcConfig idc_with(std::size_t servers, double mu, double bound) {
   datacenter::IdcConfig config;
   config.max_servers = servers;
-  config.power = datacenter::ServerPowerModel{150.0, 285.0, mu};
-  config.latency_bound_s = bound;
+  config.power = datacenter::ServerPowerModel{
+      units::Watts{150.0}, units::Watts{285.0}, units::Rps{mu}};
+  config.latency_bound_s = units::Seconds{bound};
   return config;
 }
 

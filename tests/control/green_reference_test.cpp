@@ -9,8 +9,9 @@ namespace {
 datacenter::IdcConfig idc_with(std::size_t servers, double mu) {
   datacenter::IdcConfig config;
   config.max_servers = servers;
-  config.power = datacenter::ServerPowerModel{150.0, 285.0, mu};
-  config.latency_bound_s = 0.01;
+  config.power = datacenter::ServerPowerModel{
+      units::Watts{150.0}, units::Watts{285.0}, units::Rps{mu}};
+  config.latency_bound_s = units::Seconds{0.01};
   return config;
 }
 
@@ -78,7 +79,7 @@ TEST(GreenReference, ConservationAndCapacityHold) {
   problem.portal_demands = {30000.0};
   const auto solution = solve_green_reference(problem);
   ASSERT_TRUE(solution.feasible);
-  EXPECT_TRUE(solution.allocation.conserves({30000.0}, 1e-5));
+  EXPECT_TRUE(solution.allocation.conserves({units::Rps{30000.0}}, 1e-5));
   for (std::size_t j = 0; j < 2; ++j) {
     EXPECT_LE(solution.idc_loads[j],
               load_cap_for_capacity(problem.idcs[j]) + 1e-6);

@@ -16,8 +16,9 @@ datacenter::IdcConfig idc_with(std::size_t servers, double mu,
                                double bound = 0.001) {
   datacenter::IdcConfig config;
   config.max_servers = servers;
-  config.power = datacenter::ServerPowerModel{150.0, 285.0, mu};
-  config.latency_bound_s = bound;
+  config.power = datacenter::ServerPowerModel{
+      units::Watts{150.0}, units::Watts{285.0}, units::Rps{mu}};
+  config.latency_bound_s = units::Seconds{bound};
   return config;
 }
 
@@ -53,7 +54,8 @@ TEST(ReferenceOptimizer, FillsCheapIdcFirst) {
   // Cheap IDC capacity: 10000*2 - 100 = 19900 > 10000 total: all there.
   EXPECT_NEAR(solution.idc_loads[0], 10000.0, 1e-6);
   EXPECT_NEAR(solution.idc_loads[1], 0.0, 1e-6);
-  EXPECT_TRUE(solution.allocation.conserves({5000.0, 5000.0}));
+  EXPECT_TRUE(solution.allocation.conserves(
+      {units::Rps{5000.0}, units::Rps{5000.0}}));
 }
 
 TEST(ReferenceOptimizer, OverflowsAtCapacity) {
@@ -76,7 +78,9 @@ TEST(ReferenceOptimizer, BudgetCapsShiftLoad) {
   auto problem = two_idc_problem();
   // Cap the cheap IDC so it can only carry ~half the demand.
   const double cap_power =
-      idc_with(10000, 2.0, 0.01).power.idc_power(5000.0, 2550 /* eq35 */);
+      idc_with(10000, 2.0, 0.01)
+          .power.idc_power(units::Rps{5000.0}, 2550 /* eq35 */)
+          .value();
   problem.power_budgets_w = {cap_power, kInf};
   const auto solution = solve_reference(problem);
   ASSERT_TRUE(solution.feasible);

@@ -11,8 +11,9 @@ namespace {
 datacenter::IdcConfig idc_with(std::size_t servers, double mu) {
   datacenter::IdcConfig config;
   config.max_servers = servers;
-  config.power = datacenter::ServerPowerModel{150.0, 285.0, mu};
-  config.latency_bound_s = 0.001;
+  config.power = datacenter::ServerPowerModel{
+      units::Watts{150.0}, units::Watts{285.0}, units::Rps{mu}};
+  config.latency_bound_s = units::Seconds{0.001};
   return config;
 }
 
@@ -69,12 +70,17 @@ TEST(SleepController, ExactMmnProvisionsFewerServers) {
   const std::size_t m_exact = exact.target_servers(0, load);
   EXPECT_LT(m_exact, m_simplified);
   // Exact provisioning still meets the wait bound...
-  EXPECT_LE(datacenter::mmn_response_time(m_exact, 1.25, load) - 1.0 / 1.25,
+  EXPECT_LE(datacenter::mmn_response_time(m_exact, units::Rps{1.25},
+                                          units::Rps{load})
+                    .value() -
+                1.0 / 1.25,
             0.001);
   // ...and one server fewer would not (minimality).
-  EXPECT_GT(
-      datacenter::mmn_response_time(m_exact - 1, 1.25, load) - 1.0 / 1.25,
-      0.001);
+  EXPECT_GT(datacenter::mmn_response_time(m_exact - 1, units::Rps{1.25},
+                                          units::Rps{load})
+                    .value() -
+                1.0 / 1.25,
+            0.001);
 }
 
 TEST(SleepController, ExactMmnStillCapsAtMaxServers) {

@@ -11,8 +11,8 @@ namespace gridctl::core {
 namespace {
 
 TEST(BackendAgreement, ClosedLoopTrajectoriesMatch) {
-  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 200.0;
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{200.0};
 
   scenario.controller.backend = solvers::LsqBackend::kAdmm;
   MpcPolicy admm(CostController::Config{scenario.idcs, 5, {},
@@ -32,9 +32,9 @@ TEST(BackendAgreement, ClosedLoopTrajectoriesMatch) {
           << "IDC " << j << " step " << k;
     }
   }
-  EXPECT_NEAR(run_admm.summary.total_cost_dollars,
-              run_aset.summary.total_cost_dollars,
-              1e-3 * run_admm.summary.total_cost_dollars);
+  EXPECT_NEAR(run_admm.summary.total_cost.value(),
+              run_aset.summary.total_cost.value(),
+              1e-3 * run_admm.summary.total_cost.value());
 }
 
 }  // namespace

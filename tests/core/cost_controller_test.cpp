@@ -12,17 +12,26 @@ namespace {
 
 CostController::Config paper_config(std::vector<double> budgets = {}) {
   const Scenario scenario = paper::smoothing_scenario();
-  return CostController::Config{scenario.idcs, 5, std::move(budgets),
+  return CostController::Config{scenario.idcs, 5,
+                                units::typed_vector<units::Watts>(budgets),
                                 scenario.controller};
+}
+
+std::vector<units::PricePerMwh> typed_prices(const std::vector<double>& v) {
+  return units::typed_vector<units::PricePerMwh>(v);
+}
+
+std::vector<units::Rps> typed_demands(const std::vector<double>& v) {
+  return units::typed_vector<units::Rps>(v);
 }
 
 TEST(CostController, EveryStepConservesWorkloadAndNonNegativity) {
   CostController controller(paper_config());
   const std::vector<double> prices{49.90, 29.47, 77.97};
   for (int k = 0; k < 20; ++k) {
-    const auto decision = controller.step(prices, paper::kPortalDemands);
+    const auto decision = controller.step(typed_prices(prices), typed_demands(paper::kPortalDemands));
     EXPECT_EQ(decision.mpc_status, solvers::QpStatus::kOptimal);
-    EXPECT_TRUE(decision.allocation.conserves(paper::kPortalDemands, 1e-3))
+    EXPECT_TRUE(decision.allocation.conserves(typed_demands(paper::kPortalDemands), 1e-3))
         << "step " << k;
     EXPECT_TRUE(decision.allocation.non_negative(1e-6));
   }
@@ -31,12 +40,12 @@ TEST(CostController, EveryStepConservesWorkloadAndNonNegativity) {
 TEST(CostController, ServersFollowEq35) {
   CostController controller(paper_config());
   const auto decision =
-      controller.step({49.90, 29.47, 77.97}, paper::kPortalDemands);
+      controller.step(typed_prices({49.90, 29.47, 77.97}), typed_demands(paper::kPortalDemands));
   for (std::size_t j = 0; j < 3; ++j) {
     const auto& idc = controller.config().idcs[j];
-    const double load = decision.allocation.idc_load(j);
+    const double load = decision.allocation.idc_load(j).value();
     const std::size_t expected = std::min(
-        datacenter::servers_for_latency(load, idc.power.service_rate,
+        datacenter::servers_for_latency(units::Rps{load}, idc.power.service_rate,
                                         idc.latency_bound_s),
         idc.max_servers);
     EXPECT_EQ(decision.servers[j], expected);
@@ -47,14 +56,14 @@ TEST(CostController, LatencyBoundHeldAtEveryStep) {
   CostController controller(paper_config());
   const std::vector<double> prices{49.90, 29.47, 77.97};
   for (int k = 0; k < 15; ++k) {
-    const auto decision = controller.step(prices, paper::kPortalDemands);
+    const auto decision = controller.step(typed_prices(prices), typed_demands(paper::kPortalDemands));
     for (std::size_t j = 0; j < 3; ++j) {
       const auto& idc = controller.config().idcs[j];
-      const double load = decision.allocation.idc_load(j);
+      const double load = decision.allocation.idc_load(j).value();
       const double capacity =
-          static_cast<double>(decision.servers[j]) * idc.power.service_rate;
+          static_cast<double>(decision.servers[j]) * idc.power.service_rate.value();
       ASSERT_GT(capacity, load);
-      EXPECT_LE(1.0 / (capacity - load), idc.latency_bound_s * 1.0001);
+      EXPECT_LE(1.0 / (capacity - load), idc.latency_bound_s.value() * 1.0001);
     }
   }
 }
@@ -70,10 +79,10 @@ TEST(CostController, ResetToSeedsTheRamp) {
   }
   controller.reset_to(seed, {9000, 40000, 20000});
   const auto decision =
-      controller.step({49.90, 29.47, 77.97}, paper::kPortalDemands);
+      controller.step(typed_prices({49.90, 29.47, 77.97}), typed_demands(paper::kPortalDemands));
   // One step later the allocation has moved only a fraction of the
   // ~22000 req/s gap to the new optimum (smoothing), not jumped.
-  EXPECT_NEAR(decision.allocation.idc_load(2), 34000.0, 7000.0);
+  EXPECT_NEAR(decision.allocation.idc_load(2).value(), 34000.0, 7000.0);
 }
 
 TEST(CostController, BudgetsCapThePowerTrajectory) {
@@ -82,7 +91,7 @@ TEST(CostController, BudgetsCapThePowerTrajectory) {
   const std::vector<double> prices{49.90, 29.47, 77.97};
   std::vector<double> final_power;
   for (int k = 0; k < 120; ++k) {
-    const auto decision = controller.step(prices, paper::kPortalDemands);
+    const auto decision = controller.step(typed_prices(prices), typed_demands(paper::kPortalDemands));
     if (k == 119) final_power = decision.predicted_power_w;
   }
   ASSERT_EQ(final_power.size(), 3u);
@@ -99,7 +108,7 @@ TEST(CostController, PredictionModeTracksConstantWorkload) {
   const std::vector<double> prices{49.90, 29.47, 77.97};
   CostController::Decision decision;
   for (int k = 0; k < 10; ++k) {
-    decision = controller.step(prices, paper::kPortalDemands);
+    decision = controller.step(typed_prices(prices), typed_demands(paper::kPortalDemands));
   }
   // Constant workload: predictions converge to the true rates.
   for (std::size_t i = 0; i < 5; ++i) {
@@ -115,7 +124,7 @@ TEST(CostController, SlowLoopPeriodizationHoldsCountsBetweenUpdates) {
   const std::vector<double> prices{49.90, 29.47, 77.97};
   std::vector<std::vector<std::size_t>> history;
   for (int k = 0; k < 10; ++k) {
-    history.push_back(controller.step(prices, paper::kPortalDemands).servers);
+    history.push_back(controller.step(typed_prices(prices), typed_demands(paper::kPortalDemands)).servers);
   }
   // Steps 1-4 may only raise counts relative to step 0 (safety bumps),
   // never lower them; a genuine slow update happens at step 5.
@@ -136,14 +145,14 @@ TEST(CostController, SlowLoopSafetyBumpKeepsLatencyFeasible) {
   CostController controller(std::move(config));
   const std::vector<double> prices{49.90, 29.47, 77.97};
   for (int k = 0; k < 20; ++k) {
-    const auto decision = controller.step(prices, paper::kPortalDemands);
+    const auto decision = controller.step(typed_prices(prices), typed_demands(paper::kPortalDemands));
     for (std::size_t j = 0; j < 3; ++j) {
       const auto& idc = controller.config().idcs[j];
       const double capacity =
-          static_cast<double>(decision.servers[j]) * idc.power.service_rate;
-      const double load = decision.allocation.idc_load(j);
+          static_cast<double>(decision.servers[j]) * idc.power.service_rate.value();
+      const double load = decision.allocation.idc_load(j).value();
       ASSERT_GT(capacity, load);
-      EXPECT_LE(1.0 / (capacity - load), idc.latency_bound_s * 1.0001);
+      EXPECT_LE(1.0 / (capacity - load), idc.latency_bound_s.value() * 1.0001);
     }
   }
 }
@@ -154,31 +163,32 @@ TEST(CostController, PricePreviewShiftsReferencesAhead) {
   CostController blind(paper_config());
   CostController sighted(paper_config());
   const std::vector<double> now{43.26, 30.26, 19.06};   // 6H: WI cheap
-  const std::vector<std::vector<double>> preview(
-      8, std::vector<double>{49.90, 29.47, 77.97});      // 7H ahead
+  const std::vector<std::vector<units::PricePerMwh>> preview(
+      8, typed_prices({49.90, 29.47, 77.97}));           // 7H ahead
 
   // Warm both to the 6H optimum.
   OptimalPolicy seed(paper::paper_idcs(), 5, control::CostBasis::kPriceOnly);
   PolicyContext seed_context;
-  seed_context.prices = now;
-  seed_context.portal_demands = paper::kPortalDemands;
+  seed_context.prices = typed_prices(now);
+  seed_context.portal_demands = typed_demands(paper::kPortalDemands);
   const auto initial = seed.decide(seed_context);
   blind.reset_to(initial.allocation, initial.servers);
   sighted.reset_to(initial.allocation, initial.servers);
 
-  const auto blind_decision = blind.step(now, paper::kPortalDemands);
+  const auto blind_decision = blind.step(typed_prices(now), typed_demands(paper::kPortalDemands));
   const auto sighted_decision =
-      sighted.step(now, paper::kPortalDemands, preview);
-  EXPECT_GT(blind_decision.allocation.idc_load(2) -
-                sighted_decision.allocation.idc_load(2),
+      sighted.step(typed_prices(now), typed_demands(paper::kPortalDemands), preview);
+  EXPECT_GT(blind_decision.allocation.idc_load(2).value() -
+                sighted_decision.allocation.idc_load(2).value(),
             500.0);
 }
 
 TEST(CostController, PricePreviewValidatesRowSize) {
   CostController controller(paper_config());
-  const std::vector<std::vector<double>> bad{{1.0, 2.0}};  // 2 != 3 IDCs
+  const std::vector<std::vector<units::PricePerMwh>> bad{
+      typed_prices({1.0, 2.0})};  // 2 != 3 IDCs
   EXPECT_THROW(
-      controller.step({49.9, 29.5, 78.0}, paper::kPortalDemands, bad),
+      controller.step(typed_prices({49.9, 29.5, 78.0}), typed_demands(paper::kPortalDemands), bad),
       InvalidArgument);
 }
 
@@ -197,16 +207,16 @@ TEST(CostController, PredictionOvershootNearCapacityIsClamped) {
     for (std::size_t i = 0; i < 5; ++i) {
       demands[i] = total * paper::kPortalDemands[i] / 100000.0;
     }
-    const auto decision = controller.step(prices, demands);
+    const auto decision = controller.step(typed_prices(prices), typed_demands(demands));
     EXPECT_TRUE(decision.reference.feasible) << "step " << k;
-    EXPECT_TRUE(decision.allocation.conserves(demands, 1e-3));
+    EXPECT_TRUE(decision.allocation.conserves(typed_demands(demands), 1e-3));
   }
 }
 
 TEST(CostController, ThrowsWhenFleetCannotServe) {
   CostController controller(paper_config());
   std::vector<double> monster(5, 1e8);
-  EXPECT_THROW(controller.step({1.0, 1.0, 1.0}, monster), InvalidArgument);
+  EXPECT_THROW(controller.step(typed_prices({1.0, 1.0, 1.0}), typed_demands(monster)), InvalidArgument);
 }
 
 TEST(CostController, LoadSheddingServesCapacityFraction) {
@@ -215,11 +225,11 @@ TEST(CostController, LoadSheddingServesCapacityFraction) {
   CostController controller(std::move(config));
   // Offer 2x the fleet capacity (~122k): about half must be shed.
   std::vector<double> monster(5, 48800.0);
-  const auto decision = controller.step({49.90, 29.47, 77.97}, monster);
+  const auto decision = controller.step(typed_prices({49.90, 29.47, 77.97}), typed_demands(monster));
   EXPECT_NEAR(decision.shed_fraction, 0.5, 0.01);
   double served = 0.0;
   for (std::size_t j = 0; j < 3; ++j) {
-    served += decision.allocation.idc_load(j);
+    served += decision.allocation.idc_load(j).value();
   }
   EXPECT_NEAR(served, 122000.0, 200.0);
   EXPECT_TRUE(decision.allocation.non_negative(1e-6));
@@ -230,7 +240,7 @@ TEST(CostController, NoSheddingWhenDemandFits) {
   config.params.allow_load_shedding = true;
   CostController controller(std::move(config));
   const auto decision =
-      controller.step({49.90, 29.47, 77.97}, paper::kPortalDemands);
+      controller.step(typed_prices({49.90, 29.47, 77.97}), typed_demands(paper::kPortalDemands));
   EXPECT_DOUBLE_EQ(decision.shed_fraction, 0.0);
 }
 
@@ -250,15 +260,15 @@ TEST(CostController, ReferenceTrajectoryAnticipatesDrift) {
   for (int k = 0; k < 25; ++k) {
     std::vector<double> demands(paper::kPortalDemands);
     for (double& d : demands) d *= 0.8 + 0.005 * k;
-    with_traj = trajectory_controller.step(prices, demands);
-    flat = flat_controller.step(prices, demands);
+    with_traj = trajectory_controller.step(typed_prices(prices), typed_demands(demands));
+    flat = flat_controller.step(typed_prices(prices), typed_demands(demands));
     EXPECT_EQ(with_traj.mpc_status, solvers::QpStatus::kOptimal);
   }
   // Both still conserve the measured demand exactly.
   std::vector<double> final_demands(paper::kPortalDemands);
   for (double& d : final_demands) d *= 0.8 + 0.005 * 24;
-  EXPECT_TRUE(with_traj.allocation.conserves(final_demands, 1e-3));
-  EXPECT_TRUE(flat.allocation.conserves(final_demands, 1e-3));
+  EXPECT_TRUE(with_traj.allocation.conserves(typed_demands(final_demands), 1e-3));
+  EXPECT_TRUE(flat.allocation.conserves(typed_demands(final_demands), 1e-3));
 }
 
 TEST(CostController, ConfigValidation) {
@@ -266,7 +276,7 @@ TEST(CostController, ConfigValidation) {
   config.portals = 0;
   EXPECT_THROW(CostController controller(config), InvalidArgument);
   config = paper_config();
-  config.power_budgets_w = {1.0};
+  config.power_budgets_w = {units::Watts{1.0}};
   EXPECT_THROW(CostController controller(config), InvalidArgument);
   config = paper_config();
   config.params.q_weight = 0.0;
@@ -275,9 +285,9 @@ TEST(CostController, ConfigValidation) {
 
 TEST(CostController, StepValidatesSizes) {
   CostController controller(paper_config());
-  EXPECT_THROW(controller.step({1.0}, paper::kPortalDemands),
+  EXPECT_THROW(controller.step(typed_prices({1.0}), typed_demands(paper::kPortalDemands)),
                InvalidArgument);
-  EXPECT_THROW(controller.step({1.0, 1.0, 1.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW(controller.step(typed_prices({1.0, 1.0, 1.0}), typed_demands({1.0})), InvalidArgument);
 }
 
 }  // namespace

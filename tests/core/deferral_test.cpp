@@ -12,8 +12,9 @@ namespace {
 datacenter::IdcConfig cheap_idc() {
   datacenter::IdcConfig config;
   config.max_servers = 100000;
-  config.power = datacenter::ServerPowerModel{150.0, 285.0, 2.0};
-  config.latency_bound_s = 0.01;
+  config.power = datacenter::ServerPowerModel{
+      units::Watts{150.0}, units::Watts{285.0}, units::Rps{2.0}};
+  config.latency_bound_s = units::Seconds{0.01};
   return config;
 }
 

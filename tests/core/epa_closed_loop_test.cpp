@@ -32,9 +32,9 @@ class EpaClosedLoop : public ::testing::Test {
   static void SetUpTestSuite() {
     // 10-minute periods keep the fixture cheap: ctest launches a fresh
     // process per test, so this setup runs once per TEST_F below.
-    Scenario scenario = paper::smoothing_scenario(/*ts_s=*/600.0);
-    scenario.start_time_s = 0.0;
-    scenario.duration_s = 24.0 * 3600.0;
+    Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{600.0});
+    scenario.start_time_s = units::Seconds{0.0};
+    scenario.duration_s = units::Seconds{24.0 * 3600.0};
     scenario.workload = scaled_epa_portals();
     scenario.controller.predict_workload = true;
     scenario.controller.ar_order = 3;
@@ -59,13 +59,13 @@ SimulationResult* EpaClosedLoop::controlled_ = nullptr;
 SimulationResult* EpaClosedLoop::baseline_ = nullptr;
 
 TEST_F(EpaClosedLoop, NoOverloadThroughBurstyDay) {
-  EXPECT_DOUBLE_EQ(controlled_->summary.overload_seconds, 0.0);
-  EXPECT_DOUBLE_EQ(controlled_->summary.sla_violation_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(controlled_->summary.overload_time.value(), 0.0);
+  EXPECT_DOUBLE_EQ(controlled_->summary.sla_violation_time.value(), 0.0);
 }
 
 TEST_F(EpaClosedLoop, PriceAwareControlBeatsStaticSplit) {
-  EXPECT_LT(controlled_->summary.total_cost_dollars,
-            baseline_->summary.total_cost_dollars);
+  EXPECT_LT(controlled_->summary.total_cost.value(),
+            baseline_->summary.total_cost.value());
 }
 
 TEST_F(EpaClosedLoop, ConservationHeldEveryStep) {

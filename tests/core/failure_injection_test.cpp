@@ -13,8 +13,8 @@ namespace gridctl::core {
 namespace {
 
 TEST(FailureInjection, ExtremePriceSpikeDoesNotBreakConservation) {
-  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 600.0;  // long enough for the smoothed drain
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{600.0};  // long enough for the smoothed drain
   // Wisconsin price explodes to $5000/MWh at hour 7.
   auto series = market::paper_region_traces();
   std::vector<std::vector<double>> hourly;
@@ -34,12 +34,12 @@ TEST(FailureInjection, ExtremePriceSpikeDoesNotBreakConservation) {
   // The controller drains the spiked region toward the 12000 req/s
   // floor the other two IDCs' capacities leave behind (from 34000).
   EXPECT_LT(result.trace.idc_load_rps[2][last], 15000.0);
-  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.summary.overload_time.value(), 0.0);
 }
 
 TEST(FailureInjection, NegativePricesAttractLoad) {
-  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 200.0;
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{200.0};
   auto series = market::paper_region_traces();
   std::vector<std::vector<double>> hourly;
   for (std::size_t r = 0; r < 3; ++r) hourly.push_back(series.series(r));
@@ -53,19 +53,20 @@ TEST(FailureInjection, NegativePricesAttractLoad) {
 }
 
 TEST(FailureInjection, FlashCrowdAbsorbedWithinCapacity) {
-  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 400.0;
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{400.0};
   auto base = std::make_shared<workload::ConstantWorkload>(
       paper::kPortalDemands);
   // Portal 1 doubles for two minutes mid-window: total peaks at 115k
   // req/s, inside the 122k fleet capacity.
   scenario.workload = std::make_shared<workload::FlashCrowdWorkload>(
-      base, 1, scenario.start_time_s + 100.0, scenario.start_time_s + 220.0,
+      base, 1, scenario.start_time_s.value() + 100.0,
+      scenario.start_time_s.value() + 220.0,
       2.0);
   MpcPolicy control(CostController::Config{scenario.idcs, 5, {},
                                            scenario.controller});
   const auto result = run_simulation(scenario, control);
-  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.summary.overload_time.value(), 0.0);
   // During the crowd, total served load rises accordingly.
   double peak_load = 0.0;
   for (std::size_t k = 0; k < result.trace.time_s.size(); ++k) {
@@ -79,12 +80,12 @@ TEST(FailureInjection, FlashCrowdAbsorbedWithinCapacity) {
 }
 
 TEST(FailureInjection, PortalDropoutReducesLoadCleanly) {
-  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 300.0;
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{300.0};
   scenario.workload = std::make_shared<workload::StepWorkload>(
       std::vector<double>(paper::kPortalDemands),
       std::vector<double>{0.0, 15000.0, 15000.0, 20000.0, 20000.0},
-      scenario.start_time_s + 100.0);
+      scenario.start_time_s.value() + 100.0);
   MpcPolicy control(CostController::Config{scenario.idcs, 5, {},
                                            scenario.controller});
   const auto result = run_simulation(scenario, control);
@@ -94,14 +95,15 @@ TEST(FailureInjection, PortalDropoutReducesLoadCleanly) {
     total += result.trace.idc_load_rps[j][last];
   }
   EXPECT_NEAR(total, 70000.0, 10.0);
-  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.summary.overload_time.value(), 0.0);
 }
 
 TEST(FailureInjection, InfeasibleBudgetsRelaxedButServed) {
-  Scenario scenario = paper::shaving_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 200.0;
+  Scenario scenario = paper::shaving_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{200.0};
   // Budgets far below what serving 100k req/s requires.
-  scenario.power_budgets_w = {2e6, 2e6, 2e6};
+  scenario.power_budgets_w = {units::Watts{2e6}, units::Watts{2e6},
+                              units::Watts{2e6}};
   MpcPolicy control(CostController::Config{scenario.idcs, 5,
                                            scenario.power_budgets_w,
                                            scenario.controller});
@@ -124,8 +126,8 @@ TEST(FailureInjection, InfeasibleBudgetsRelaxedButServed) {
 TEST(FailureInjection, DemandResponsivePricesStayStable) {
   // Endogenous prices: the fleet's own draw moves the market. The MPC
   // loop must remain stable (no oscillating allocation blow-up).
-  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/30.0);
-  scenario.duration_s = 600.0;
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{30.0});
+  scenario.duration_s = units::Seconds{600.0};
   std::vector<market::RegionMarketConfig> regions(3);
   regions[1].stack.price_floor = 8.0;  // keep one region cheapest
   scenario.prices =
@@ -134,8 +136,8 @@ TEST(FailureInjection, DemandResponsivePricesStayStable) {
                                            scenario.controller});
   const auto result = run_simulation(scenario, control);
   // Bounded per-step fleet volatility.
-  EXPECT_LT(result.summary.total_volatility.max_abs_step, 2e6);
-  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+  EXPECT_LT(result.summary.total_volatility.max_abs_step.value(), 2e6);
+  EXPECT_DOUBLE_EQ(result.summary.overload_time.value(), 0.0);
 }
 
 }  // namespace

@@ -10,8 +10,8 @@ namespace gridctl::core {
 namespace {
 
 TEST(HardBudget, CompliesFromTheFirstStep) {
-  Scenario scenario = paper::shaving_scenario(/*ts_s=*/10.0);
-  scenario.duration_s = 300.0;
+  Scenario scenario = paper::shaving_scenario(/*ts_s=*/units::Seconds{10.0});
+  scenario.duration_s = units::Seconds{300.0};
   scenario.controller.budget_hard_constraints = true;
   MpcPolicy control(CostController::Config{scenario.idcs, 5,
                                            scenario.power_budgets_w,
@@ -22,16 +22,16 @@ TEST(HardBudget, CompliesFromTheFirstStep) {
   for (std::size_t j = 0; j < 3; ++j) {
     for (std::size_t k = 1; k < result.trace.time_s.size(); ++k) {
       EXPECT_LE(result.trace.power_w[j][k],
-                scenario.power_budgets_w[j] * 1.002)
+                scenario.power_budgets_w[j].value() * 1.002)
           << "IDC " << j << " step " << k;
     }
   }
-  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.summary.overload_time.value(), 0.0);
 }
 
 TEST(HardBudget, SoftVariantViolatesTransiently) {
-  Scenario scenario = paper::shaving_scenario(/*ts_s=*/10.0);
-  scenario.duration_s = 300.0;
+  Scenario scenario = paper::shaving_scenario(/*ts_s=*/units::Seconds{10.0});
+  scenario.duration_s = units::Seconds{300.0};
   scenario.controller.budget_hard_constraints = false;  // default
   MpcPolicy control(CostController::Config{scenario.idcs, 5,
                                            scenario.power_budgets_w,
@@ -42,12 +42,12 @@ TEST(HardBudget, SoftVariantViolatesTransiently) {
   EXPECT_GT(result.summary.idcs[1].budget.violations, 0u);
   // But the steady state complies.
   const std::size_t last = result.trace.time_s.size() - 1;
-  EXPECT_LE(result.trace.power_w[1][last], scenario.power_budgets_w[1]);
+  EXPECT_LE(result.trace.power_w[1][last], scenario.power_budgets_w[1].value());
 }
 
 TEST(HardBudget, HardCapsStillServeEverything) {
-  Scenario scenario = paper::shaving_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 200.0;
+  Scenario scenario = paper::shaving_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{200.0};
   scenario.controller.budget_hard_constraints = true;
   MpcPolicy control(CostController::Config{scenario.idcs, 5,
                                            scenario.power_budgets_w,
@@ -62,10 +62,11 @@ TEST(HardBudget, HardCapsStillServeEverything) {
 }
 
 TEST(HardBudget, InfeasibleBudgetsFallBackToCapacity) {
-  Scenario scenario = paper::shaving_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 100.0;
+  Scenario scenario = paper::shaving_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{100.0};
   scenario.controller.budget_hard_constraints = true;
-  scenario.power_budgets_w = {1e6, 1e6, 1e6};  // jointly infeasible
+  scenario.power_budgets_w = {units::Watts{1e6}, units::Watts{1e6},
+                              units::Watts{1e6}};  // jointly infeasible
   MpcPolicy control(CostController::Config{scenario.idcs, 5,
                                            scenario.power_budgets_w,
                                            scenario.controller});

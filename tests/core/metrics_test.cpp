@@ -9,14 +9,14 @@ namespace {
 
 TEST(Volatility, ConstantSeriesIsZero) {
   const auto stats = volatility({5.0, 5.0, 5.0, 5.0});
-  EXPECT_DOUBLE_EQ(stats.mean_abs_step, 0.0);
-  EXPECT_DOUBLE_EQ(stats.max_abs_step, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_abs_step.value(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_abs_step.value(), 0.0);
 }
 
 TEST(Volatility, StepSeriesCapturesJump) {
   const auto stats = volatility({0.0, 0.0, 10.0, 10.0});
-  EXPECT_DOUBLE_EQ(stats.max_abs_step, 10.0);
-  EXPECT_NEAR(stats.mean_abs_step, 10.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.max_abs_step.value(), 10.0);
+  EXPECT_NEAR(stats.mean_abs_step.value(), 10.0 / 3.0, 1e-12);
 }
 
 TEST(Volatility, RampSpreadsTheChange) {
@@ -24,18 +24,18 @@ TEST(Volatility, RampSpreadsTheChange) {
   // distinguishes the control method from the optimal method in Fig. 4.
   const auto ramp = volatility({0.0, 2.5, 5.0, 7.5, 10.0});
   const auto step = volatility({0.0, 0.0, 0.0, 0.0, 10.0});
-  EXPECT_LT(ramp.max_abs_step, step.max_abs_step);
-  EXPECT_DOUBLE_EQ(ramp.max_abs_step, 2.5);
+  EXPECT_LT(ramp.max_abs_step.value(), step.max_abs_step.value());
+  EXPECT_DOUBLE_EQ(ramp.max_abs_step.value(), 2.5);
 }
 
 TEST(Volatility, ShortSeries) {
-  EXPECT_DOUBLE_EQ(volatility({}).mean_abs_step, 0.0);
-  EXPECT_DOUBLE_EQ(volatility({1.0}).max_abs_step, 0.0);
+  EXPECT_DOUBLE_EQ(volatility({}).mean_abs_step.value(), 0.0);
+  EXPECT_DOUBLE_EQ(volatility({1.0}).max_abs_step.value(), 0.0);
 }
 
 TEST(Peak, FindsMaximum) {
-  EXPECT_DOUBLE_EQ(peak({1.0, 9.0, 3.0}), 9.0);
-  EXPECT_DOUBLE_EQ(peak({}), 0.0);
+  EXPECT_DOUBLE_EQ(peak({1.0, 9.0, 3.0}).value(), 9.0);
+  EXPECT_DOUBLE_EQ(peak({}).value(), 0.0);
 }
 
 TEST(Peak, AllNegativeSeriesReportsTrueMaximum) {
@@ -43,21 +43,21 @@ TEST(Peak, AllNegativeSeriesReportsTrueMaximum) {
   // for all-negative series (e.g. net-metered power). Must agree with
   // series_max.
   const std::vector<double> series{-4.0, -1.5, -9.0};
-  EXPECT_DOUBLE_EQ(peak(series), -1.5);
-  EXPECT_DOUBLE_EQ(peak(series), series_max(series));
+  EXPECT_DOUBLE_EQ(peak(series).value(), -1.5);
+  EXPECT_DOUBLE_EQ(peak(series).value(), series_max(series));
 }
 
 TEST(BudgetCompliance, CountsViolations) {
-  const auto stats = budget_compliance({4.0, 5.5, 6.0, 4.9}, 5.0, 10.0);
+  const auto stats = budget_compliance({4.0, 5.5, 6.0, 4.9}, units::Watts{5.0}, units::Seconds{10.0});
   EXPECT_EQ(stats.violations, 2u);
-  EXPECT_DOUBLE_EQ(stats.worst_excess, 1.0);
-  EXPECT_DOUBLE_EQ(stats.excess_integral, (0.5 + 1.0) * 10.0);
+  EXPECT_DOUBLE_EQ(stats.worst_excess.value(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.excess_integral.value(), (0.5 + 1.0) * 10.0);
 }
 
 TEST(BudgetCompliance, CleanSeries) {
-  const auto stats = budget_compliance({1.0, 2.0}, 5.0, 1.0);
+  const auto stats = budget_compliance({1.0, 2.0}, units::Watts{5.0}, units::Seconds{1.0});
   EXPECT_EQ(stats.violations, 0u);
-  EXPECT_DOUBLE_EQ(stats.excess_integral, 0.0);
+  EXPECT_DOUBLE_EQ(stats.excess_integral.value(), 0.0);
 }
 
 TEST(SeriesHelpers, MeanMinMax) {
@@ -69,23 +69,23 @@ TEST(SeriesHelpers, MeanMinMax) {
 
 TEST(Volatility, SingleSampleHasNoSteps) {
   const auto stats = volatility({42.0});
-  EXPECT_DOUBLE_EQ(stats.mean_abs_step, 0.0);
-  EXPECT_DOUBLE_EQ(stats.max_abs_step, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_abs_step.value(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_abs_step.value(), 0.0);
 }
 
 TEST(BudgetCompliance, EmptySeries) {
-  const auto stats = budget_compliance({}, 5.0, 10.0);
+  const auto stats = budget_compliance({}, units::Watts{5.0}, units::Seconds{10.0});
   EXPECT_EQ(stats.violations, 0u);
-  EXPECT_DOUBLE_EQ(stats.worst_excess, 0.0);
-  EXPECT_DOUBLE_EQ(stats.excess_integral, 0.0);
+  EXPECT_DOUBLE_EQ(stats.worst_excess.value(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.excess_integral.value(), 0.0);
 }
 
 TEST(BudgetCompliance, SingleSampleSeries) {
-  const auto above = budget_compliance({7.5}, 5.0, 10.0);
+  const auto above = budget_compliance({7.5}, units::Watts{5.0}, units::Seconds{10.0});
   EXPECT_EQ(above.violations, 1u);
-  EXPECT_DOUBLE_EQ(above.worst_excess, 2.5);
-  EXPECT_DOUBLE_EQ(above.excess_integral, 25.0);
-  const auto below = budget_compliance({4.0}, 5.0, 10.0);
+  EXPECT_DOUBLE_EQ(above.worst_excess.value(), 2.5);
+  EXPECT_DOUBLE_EQ(above.excess_integral.value(), 25.0);
+  const auto below = budget_compliance({4.0}, units::Watts{5.0}, units::Seconds{10.0});
   EXPECT_EQ(below.violations, 0u);
 }
 
@@ -93,12 +93,12 @@ TEST(BudgetCompliance, RejectsNonPositiveDt) {
   // A zero or negative sampling period has no meaningful excess
   // integral (it would silently report 0 or negative violation energy),
   // so it is a caller error.
-  EXPECT_THROW(budget_compliance({6.0, 4.0, 8.0}, 5.0, 0.0), InvalidArgument);
-  EXPECT_THROW(budget_compliance({6.0}, 5.0, -1.0), InvalidArgument);
+  EXPECT_THROW(budget_compliance({6.0, 4.0, 8.0}, units::Watts{5.0}, units::Seconds{0.0}), InvalidArgument);
+  EXPECT_THROW(budget_compliance({6.0}, units::Watts{5.0}, units::Seconds{-1.0}), InvalidArgument);
 }
 
 TEST(BudgetCompliance, ExactlyOnBudgetIsNotAViolation) {
-  const auto stats = budget_compliance({5.0, 5.0}, 5.0, 1.0);
+  const auto stats = budget_compliance({5.0, 5.0}, units::Watts{5.0}, units::Seconds{1.0});
   EXPECT_EQ(stats.violations, 0u);
 }
 

@@ -14,7 +14,7 @@ namespace {
 class PaperSmoothing : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    Scenario scenario = paper::smoothing_scenario(/*ts_s=*/10.0);
+    Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{10.0});
     MpcPolicy control(CostController::Config{scenario.idcs, 5, {},
                                              scenario.controller});
     OptimalPolicy optimal(scenario.idcs, 5, scenario.controller.cost_basis);
@@ -49,7 +49,7 @@ TEST_F(PaperSmoothing, OptimalMethodJumpsInOneStep) {
   EXPECT_NEAR((mi[1] - mi[0]) / 1e6, 3.13, 0.3);
   EXPECT_NEAR((wi[0] - wi[1]) / 1e6, 3.58, 0.3);
   // And stays flat afterwards.
-  EXPECT_LT(volatility({mi.begin() + 1, mi.end()}).max_abs_step, 1e3);
+  EXPECT_LT(volatility({mi.begin() + 1, mi.end()}).max_abs_step.value(), 1e3);
 }
 
 TEST_F(PaperSmoothing, ControlMethodReachesSameEndpoints) {
@@ -71,7 +71,7 @@ TEST_F(PaperSmoothing, ControlMethodRampIsMonotoneAndSmooth) {
   // Max per-step change far below the optimal method's jump.
   const auto ctl_vol = volatility(mi);
   const auto opt_vol = volatility(baseline_->trace.power_w[0]);
-  EXPECT_LT(ctl_vol.max_abs_step, 0.25 * opt_vol.max_abs_step);
+  EXPECT_LT(ctl_vol.max_abs_step.value(), 0.25 * opt_vol.max_abs_step.value());
 }
 
 TEST_F(PaperSmoothing, ServerCountsMirrorPower) {
@@ -83,7 +83,7 @@ TEST_F(PaperSmoothing, ServerCountsMirrorPower) {
   EXPECT_NEAR(opt_servers[1], 20000.0, 100.0);
   EXPECT_NEAR(ctl_servers.back(), 20000.0, 400.0);
   // Control's per-step server change is bounded.
-  EXPECT_LT(volatility(ctl_servers).max_abs_step, 3000.0);
+  EXPECT_LT(volatility(ctl_servers).max_abs_step.value(), 3000.0);
   // Fig. 5(b): Minnesota stays pinned at its maximum throughout.
   for (double servers : baseline_->trace.servers_on[1]) {
     EXPECT_NEAR(servers, 40000.0, 1.0);
@@ -92,16 +92,16 @@ TEST_F(PaperSmoothing, ServerCountsMirrorPower) {
 
 TEST_F(PaperSmoothing, SmoothingCostsLittle) {
   // The MPC trades a few percent of cost for the smooth ramp.
-  EXPECT_LT(controlled_->summary.total_cost_dollars,
-            1.10 * baseline_->summary.total_cost_dollars);
-  EXPECT_GE(controlled_->summary.total_cost_dollars,
-            baseline_->summary.total_cost_dollars - 1e-6);
+  EXPECT_LT(controlled_->summary.total_cost.value(),
+            1.10 * baseline_->summary.total_cost.value());
+  EXPECT_GE(controlled_->summary.total_cost.value(),
+            baseline_->summary.total_cost.value() - 1e-6);
 }
 
 class PaperShaving : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    scenario_ = new Scenario(paper::shaving_scenario(/*ts_s=*/10.0));
+    scenario_ = new Scenario(paper::shaving_scenario(/*ts_s=*/units::Seconds{10.0}));
     MpcPolicy control(CostController::Config{scenario_->idcs, 5,
                                              scenario_->power_budgets_w,
                                              scenario_->controller});
@@ -130,9 +130,9 @@ TEST_F(PaperShaving, OptimalMethodViolatesMichiganAndMinnesota) {
   // Fig. 6(a)-(b): the budget-blind optimum exceeds 5.13 and 10.26 MW.
   EXPECT_GT(baseline_->summary.idcs[0].budget.violations, 30u);
   EXPECT_GT(baseline_->summary.idcs[1].budget.violations, 30u);
-  EXPECT_NEAR(baseline_->summary.idcs[0].budget.worst_excess / 1e6, 0.50,
+  EXPECT_NEAR(baseline_->summary.idcs[0].budget.worst_excess.value() / 1e6, 0.50,
               0.15);
-  EXPECT_NEAR(baseline_->summary.idcs[1].budget.worst_excess / 1e6, 1.03,
+  EXPECT_NEAR(baseline_->summary.idcs[1].budget.worst_excess.value() / 1e6, 1.03,
               0.15);
 }
 
@@ -141,14 +141,14 @@ TEST_F(PaperShaving, ControlMethodConvergesUnderBudgets) {
   const std::size_t last = controlled_->trace.time_s.size() - 1;
   for (std::size_t j = 0; j < 3; ++j) {
     EXPECT_LE(controlled_->trace.power_w[j][last],
-              scenario_->power_budgets_w[j] * 1.001)
+              scenario_->power_budgets_w[j].value() * 1.001)
         << "IDC " << j;
   }
   // Michigan and Minnesota settle essentially at their budgets (binding).
   EXPECT_NEAR(controlled_->trace.power_w[0][last],
-              scenario_->power_budgets_w[0], 0.05e6);
+              scenario_->power_budgets_w[0].value(), 0.05e6);
   EXPECT_NEAR(controlled_->trace.power_w[1][last],
-              scenario_->power_budgets_w[1], 0.05e6);
+              scenario_->power_budgets_w[1].value(), 0.05e6);
 }
 
 TEST_F(PaperShaving, WisconsinConvergesBetweenOptimumAndBudget) {
@@ -158,7 +158,7 @@ TEST_F(PaperShaving, WisconsinConvergesBetweenOptimumAndBudget) {
   const double wi_ctl = controlled_->trace.power_w[2][last];
   const double wi_opt = baseline_->trace.power_w[2][last];
   EXPECT_GT(wi_ctl, wi_opt + 0.5e6);
-  EXPECT_LT(wi_ctl, scenario_->power_budgets_w[2]);
+  EXPECT_LT(wi_ctl, scenario_->power_budgets_w[2].value());
 }
 
 TEST_F(PaperShaving, WorkloadStillFullyServed) {
@@ -168,7 +168,7 @@ TEST_F(PaperShaving, WorkloadStillFullyServed) {
     total += controlled_->trace.idc_load_rps[j][last];
   }
   EXPECT_NEAR(total, 100000.0, 10.0);
-  EXPECT_DOUBLE_EQ(controlled_->summary.overload_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(controlled_->summary.overload_time.value(), 0.0);
 }
 
 TEST_F(PaperShaving, ServerCountsRespectBudgets) {

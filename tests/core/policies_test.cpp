@@ -11,8 +11,8 @@ namespace {
 PolicyContext context_of(std::vector<double> prices,
                          std::vector<double> demands) {
   PolicyContext context;
-  context.prices = std::move(prices);
-  context.portal_demands = std::move(demands);
+  context.prices = units::typed_vector<units::PricePerMwh>(prices);
+  context.portal_demands = units::typed_vector<units::Rps>(demands);
   return context;
 }
 
@@ -22,15 +22,15 @@ TEST(OptimalPolicy, JumpsToNewOptimumInstantly) {
   // 6H prices: Wisconsin cheapest.
   const auto at_6h = policy.decide(
       context_of({43.26, 30.26, 19.06}, paper::kPortalDemands));
-  EXPECT_NEAR(at_6h.allocation.idc_load(2), 34000.0, 1.0);  // WI full
+  EXPECT_NEAR(at_6h.allocation.idc_load(2).value(), 34000.0, 1.0);  // WI full
   // 7H prices: Minnesota cheapest, Wisconsin most expensive.
   const auto at_7h = policy.decide(
       context_of({49.90, 29.47, 77.97}, paper::kPortalDemands));
-  EXPECT_NEAR(at_7h.allocation.idc_load(1), 49000.0, 1.0);  // MN full
-  EXPECT_LT(at_7h.allocation.idc_load(2), 13000.0);         // WI drained
+  EXPECT_NEAR(at_7h.allocation.idc_load(1).value(), 49000.0, 1.0);  // MN full
+  EXPECT_LT(at_7h.allocation.idc_load(2).value(), 13000.0);         // WI drained
   // The jump between consecutive decisions is immediate — the defining
   // behaviour the MPC smooths out.
-  EXPECT_GT(at_6h.allocation.idc_load(2) - at_7h.allocation.idc_load(2),
+  EXPECT_GT(at_6h.allocation.idc_load(2).value() - at_7h.allocation.idc_load(2).value(),
             20000.0);
 }
 
@@ -38,7 +38,7 @@ TEST(OptimalPolicy, ConservesWorkload) {
   OptimalPolicy policy(paper::paper_idcs(), 5);
   const auto decision =
       policy.decide(context_of({40.0, 30.0, 20.0}, paper::kPortalDemands));
-  EXPECT_TRUE(decision.allocation.conserves(paper::kPortalDemands, 1e-5));
+  EXPECT_TRUE(decision.allocation.conserves(units::typed_vector<units::Rps>(paper::kPortalDemands), 1e-5));
 }
 
 TEST(OptimalPolicy, ReportsNoSolverTelemetry) {
@@ -61,11 +61,11 @@ TEST(MpcPolicy, SmoothsTowardReference) {
   const auto context =
       context_of({49.90, 29.47, 77.97}, paper::kPortalDemands);
   auto first = policy.decide(context);
-  EXPECT_TRUE(first.allocation.conserves(paper::kPortalDemands, 1e-3));
+  EXPECT_TRUE(first.allocation.conserves(units::typed_vector<units::Rps>(paper::kPortalDemands), 1e-3));
   // Iterating approaches the optimal loads.
   PolicyDecision last = first;
   for (int k = 0; k < 80; ++k) last = policy.decide(context);
-  EXPECT_NEAR(last.allocation.idc_load(1), 49000.0, 500.0);
+  EXPECT_NEAR(last.allocation.idc_load(1).value(), 49000.0, 500.0);
 }
 
 TEST(MpcPolicy, ThreadsSolverTelemetryUp) {
@@ -92,10 +92,10 @@ TEST(StaticProportionalPolicy, SplitsByCapacityAndIgnoresPrices) {
   const auto cheap_east = policy.decide(
       context_of({1.0, 100.0, 100.0}, paper::kPortalDemands));
   for (std::size_t j = 0; j < 3; ++j) {
-    EXPECT_NEAR(cheap_west.allocation.idc_load(j),
-                cheap_east.allocation.idc_load(j), 1e-9);
+    EXPECT_NEAR(cheap_west.allocation.idc_load(j).value(),
+                cheap_east.allocation.idc_load(j).value(), 1e-9);
   }
-  EXPECT_TRUE(cheap_west.allocation.conserves(paper::kPortalDemands, 1e-6));
+  EXPECT_TRUE(cheap_west.allocation.conserves(units::typed_vector<units::Rps>(paper::kPortalDemands), 1e-6));
 }
 
 TEST(PolicyNames, AreStable) {

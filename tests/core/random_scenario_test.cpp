@@ -26,12 +26,12 @@ Scenario make_random_scenario(Rng& rng, bool with_budgets) {
     datacenter::IdcConfig idc;
     idc.region = j;
     idc.max_servers = static_cast<std::size_t>(rng.uniform_int(5000, 40000));
-    idc.power.service_rate = rng.uniform(0.8, 2.5);
-    idc.power.idle_w = rng.uniform(80.0, 200.0);
-    idc.power.peak_w = idc.power.idle_w + rng.uniform(50.0, 200.0);
-    idc.latency_bound_s = rng.uniform(0.001, 0.05);
+    idc.power.service_rate = units::Rps{rng.uniform(0.8, 2.5)};
+    idc.power.idle_w = units::Watts{rng.uniform(80.0, 200.0)};
+    idc.power.peak_w = units::Watts{idc.power.idle_w.value() + rng.uniform(50.0, 200.0)};
+    idc.latency_bound_s = units::Seconds{rng.uniform(0.001, 0.05)};
     scenario.idcs.push_back(idc);
-    fleet_capacity += idc.max_capacity();
+    fleet_capacity += idc.max_capacity().value();
   }
 
   // Total demand at 40-70% of fleet capacity, split randomly.
@@ -63,15 +63,15 @@ Scenario make_random_scenario(Rng& rng, bool with_budgets) {
     scenario.power_budgets_w.resize(idcs);
     for (std::size_t j = 0; j < idcs; ++j) {
       const auto& idc = scenario.idcs[j];
-      const double full = idc.power.idc_power(idc.max_capacity(),
-                                              idc.max_servers);
+      const units::Watts full =
+          idc.power.idc_power(idc.max_capacity(), idc.max_servers);
       scenario.power_budgets_w[j] = full * rng.uniform(0.6, 1.2);
     }
   }
 
-  scenario.start_time_s = 3600.0 * static_cast<double>(rng.uniform_int(1, 22));
-  scenario.ts_s = 20.0;
-  scenario.duration_s = 200.0;
+  scenario.start_time_s = units::Seconds{3600.0 * static_cast<double>(rng.uniform_int(1, 22))};
+  scenario.ts_s = units::Seconds{20.0};
+  scenario.duration_s = units::Seconds{200.0};
   scenario.controller.r_weight = rng.uniform(0.5, 5.0);
   scenario.controller.horizons = {4, 2};
   return scenario;
@@ -90,7 +90,7 @@ TEST_P(RandomScenarioTest, ClosedLoopInvariantsHold) {
       scenario.controller});
   const auto result = run_simulation(scenario, control);
 
-  const auto demands = scenario.workload->rates(scenario.start_time_s);
+  const auto demands = scenario.workload->rates(scenario.start_time_s.value());
   const std::size_t steps = result.trace.time_s.size();
   for (std::size_t k = 1; k < steps; ++k) {
     // Conservation: total served load equals total demand.
@@ -104,20 +104,20 @@ TEST_P(RandomScenarioTest, ClosedLoopInvariantsHold) {
       // Latency bound met (no -1 overload marker).
       EXPECT_GE(result.trace.latency_s[j][k], 0.0);
       EXPECT_LE(result.trace.latency_s[j][k],
-                scenario.idcs[j].latency_bound_s * 1.0001);
+                scenario.idcs[j].latency_bound_s.value() * 1.0001);
     }
     double total_demand = 0.0;
     for (double d : demands) total_demand += d;
     EXPECT_NEAR(served, total_demand, 1e-6 * total_demand + 1e-6)
         << "seed " << GetParam().seed << " step " << k;
   }
-  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.summary.overload_time.value(), 0.0);
   // Summary cross-checks.
-  EXPECT_NEAR(result.summary.total_cost_dollars,
+  EXPECT_NEAR(result.summary.total_cost.value(),
               result.trace.cumulative_cost.back(), 1e-9);
   for (std::size_t j = 0; j < scenario.num_idcs(); ++j) {
-    EXPECT_NEAR(result.summary.idcs[j].peak_power_w,
-                peak(result.trace.power_w[j]), 1e-9);
+    EXPECT_NEAR(result.summary.idcs[j].peak_power.value(),
+                peak(result.trace.power_w[j]).value(), 1e-9);
   }
 }
 

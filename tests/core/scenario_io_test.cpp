@@ -27,11 +27,11 @@ TEST(ScenarioIo, LoadsMinimalScenario) {
   EXPECT_EQ(scenario.num_portals(), 2u);
   EXPECT_EQ(scenario.idcs[0].name, "A");
   EXPECT_EQ(scenario.idcs[1].max_servers, 40000u);
-  EXPECT_DOUBLE_EQ(scenario.idcs[1].power.service_rate, 1.25);
+  EXPECT_DOUBLE_EQ(scenario.idcs[1].power.service_rate.value(), 1.25);
   // Defaults applied.
-  EXPECT_DOUBLE_EQ(scenario.idcs[0].power.idle_w, 150.0);
-  EXPECT_DOUBLE_EQ(scenario.idcs[0].latency_bound_s, 0.001);
-  EXPECT_DOUBLE_EQ(scenario.prices->price(1, 0.0, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(scenario.idcs[0].power.idle_w.value(), 150.0);
+  EXPECT_DOUBLE_EQ(scenario.idcs[0].latency_bound_s.value(), 0.001);
+  EXPECT_DOUBLE_EQ(scenario.prices->price(1, units::Seconds{0.0}, units::Watts{0.0}).value(), 20.0);
   EXPECT_EQ(scenario.num_steps(), 12u);
 }
 
@@ -47,9 +47,9 @@ TEST(ScenarioIo, LoadsPaperPricesAndBudgets) {
     "power_budgets_w": [5.13e6, 10.26e6, 4.275e6],
     "start_time_s": 25200
   })");
-  EXPECT_DOUBLE_EQ(scenario.prices->price(0, 6.0 * 3600.0, 0.0), 43.26);
+  EXPECT_DOUBLE_EQ(scenario.prices->price(0, units::Seconds{6.0 * 3600.0}, units::Watts{0.0}).value(), 43.26);
   ASSERT_EQ(scenario.power_budgets_w.size(), 3u);
-  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[2], 4.275e6);
+  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[2].value(), 4.275e6);
 }
 
 TEST(ScenarioIo, ParsesControllerBlock) {
@@ -95,7 +95,7 @@ TEST(ScenarioIo, ParsesStochasticPrices) {
                "regions": [{"capacity_w": 1e9, "price_floor": 12.0}]},
     "workload": {"type": "constant", "rates": [10000]}
   })");
-  EXPECT_GT(scenario.prices->price(0, 0.0, 0.0), 0.0);
+  EXPECT_GT(scenario.prices->price(0, units::Seconds{0.0}, units::Watts{0.0}).value(), 0.0);
 }
 
 TEST(ScenarioIo, ParsesCsvTraces) {
@@ -117,7 +117,7 @@ TEST(ScenarioIo, ParsesCsvTraces) {
     "workload": {"type": "trace_csv", "path": ")" + load_path +
                                          R"(", "bucket_s": 1800}
   })");
-  EXPECT_DOUBLE_EQ(scenario.prices->price(0, 3600.0, 0.0), 45.0);
+  EXPECT_DOUBLE_EQ(scenario.prices->price(0, units::Seconds{3600.0}, units::Watts{0.0}).value(), 45.0);
   EXPECT_DOUBLE_EQ(scenario.workload->rate(0, 0.0), 8000.0);
   EXPECT_DOUBLE_EQ(scenario.workload->rate(0, 1800.0), 12000.0);
 }

@@ -18,15 +18,15 @@ TEST(Scenario, PaperScenarioShape) {
   EXPECT_EQ(scenario.num_idcs(), 3u);
   EXPECT_EQ(scenario.num_portals(), 5u);
   EXPECT_EQ(scenario.num_steps(), 60u);  // 600 s at 10 s
-  EXPECT_DOUBLE_EQ(scenario.start_time_s, 7.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(scenario.start_time_s.value(), 7.0 * 3600.0);
 }
 
 TEST(Scenario, ShavingScenarioCarriesBudgets) {
   const Scenario scenario = paper::shaving_scenario();
   ASSERT_EQ(scenario.power_budgets_w.size(), 3u);
-  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[0], 5.13e6);
-  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[1], 10.26e6);
-  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[2], 4.275e6);
+  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[0].value(), 5.13e6);
+  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[1].value(), 10.26e6);
+  EXPECT_DOUBLE_EQ(scenario.power_budgets_w[2].value(), 4.275e6);
 }
 
 TEST(Scenario, RejectsMissingPieces) {
@@ -39,15 +39,15 @@ TEST(Scenario, RejectsMissingPieces) {
   EXPECT_THROW(scenario.validate(), InvalidArgument);
 
   scenario = paper::smoothing_scenario();
-  scenario.ts_s = 0.0;
+  scenario.ts_s = units::Seconds{0.0};
   EXPECT_THROW(scenario.validate(), InvalidArgument);
 
   scenario = paper::smoothing_scenario();
-  scenario.duration_s = 1.0;  // shorter than Ts
+  scenario.duration_s = units::Seconds{1.0};  // shorter than Ts
   EXPECT_THROW(scenario.validate(), InvalidArgument);
 
   scenario = paper::smoothing_scenario();
-  scenario.power_budgets_w = {1.0};  // wrong length
+  scenario.power_budgets_w = {units::Watts{1.0}};  // wrong length
   EXPECT_THROW(scenario.validate(), InvalidArgument);
 }
 
@@ -70,13 +70,13 @@ TEST(Scenario, PaperIdcsMatchCorrectedTableII) {
   EXPECT_EQ(idcs[0].max_servers, 20000u);  // corrected M_1 (see DESIGN.md)
   EXPECT_EQ(idcs[1].max_servers, 40000u);
   EXPECT_EQ(idcs[2].max_servers, 20000u);
-  EXPECT_DOUBLE_EQ(idcs[0].power.service_rate, 2.0);
-  EXPECT_DOUBLE_EQ(idcs[1].power.service_rate, 1.25);
-  EXPECT_DOUBLE_EQ(idcs[2].power.service_rate, 1.75);
+  EXPECT_DOUBLE_EQ(idcs[0].power.service_rate.value(), 2.0);
+  EXPECT_DOUBLE_EQ(idcs[1].power.service_rate.value(), 1.25);
+  EXPECT_DOUBLE_EQ(idcs[2].power.service_rate.value(), 1.75);
   for (const auto& idc : idcs) {
-    EXPECT_DOUBLE_EQ(idc.power.idle_w, 150.0);
-    EXPECT_DOUBLE_EQ(idc.power.peak_w, 285.0);
-    EXPECT_DOUBLE_EQ(idc.latency_bound_s, 0.001);
+    EXPECT_DOUBLE_EQ(idc.power.idle_w.value(), 150.0);
+    EXPECT_DOUBLE_EQ(idc.power.peak_w.value(), 285.0);
+    EXPECT_DOUBLE_EQ(idc.latency_bound_s.value(), 0.001);
   }
 }
 

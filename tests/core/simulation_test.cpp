@@ -12,8 +12,8 @@ namespace gridctl::core {
 namespace {
 
 Scenario quick_scenario() {
-  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 200.0;
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{200.0};
   return scenario;
 }
 
@@ -51,7 +51,7 @@ TEST(Simulation, CumulativeCostIsMonotoneUnderPositivePrices) {
     EXPECT_GE(result.trace.cumulative_cost[k],
               result.trace.cumulative_cost[k - 1]);
   }
-  EXPECT_NEAR(result.summary.total_cost_dollars,
+  EXPECT_NEAR(result.summary.total_cost.value(),
               result.trace.cumulative_cost.back(), 1e-9);
 }
 
@@ -63,14 +63,14 @@ TEST(Simulation, SummaryEnergyMatchesPowerIntegral) {
   // warm-start row (not integrated).
   double joules = 0.0;
   for (std::size_t k = 1; k < result.trace.total_power_w.size(); ++k) {
-    joules += result.trace.total_power_w[k] * scenario.ts_s;
+    joules += result.trace.total_power_w[k] * scenario.ts_s.value();
   }
-  EXPECT_NEAR(result.summary.total_energy_mwh, joules / 3.6e9, 1e-6);
+  EXPECT_NEAR(units::as_mwh(result.summary.total_energy), joules / 3.6e9, 1e-6);
 }
 
 TEST(Simulation, ControlSmootherThanOptimalInMaxStep) {
-  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/15.0);
-  scenario.duration_s = 300.0;
+  Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{15.0});
+  scenario.duration_s = units::Seconds{300.0};
   MpcPolicy control(CostController::Config{scenario.idcs, 5, {},
                                            scenario.controller});
   OptimalPolicy optimal(scenario.idcs, 5, scenario.controller.cost_basis);
@@ -78,9 +78,9 @@ TEST(Simulation, ControlSmootherThanOptimalInMaxStep) {
   const auto baseline = run_simulation(scenario, optimal);
   // The defining claim: per-IDC max power step shrinks by a large factor.
   for (std::size_t j = 0; j < 3; ++j) {
-    if (baseline.summary.idcs[j].volatility.max_abs_step < 1e5) continue;
-    EXPECT_LT(controlled.summary.idcs[j].volatility.max_abs_step,
-              0.35 * baseline.summary.idcs[j].volatility.max_abs_step)
+    if (baseline.summary.idcs[j].volatility.max_abs_step.value() < 1e5) continue;
+    EXPECT_LT(controlled.summary.idcs[j].volatility.max_abs_step.value(),
+              0.35 * baseline.summary.idcs[j].volatility.max_abs_step.value())
         << "IDC " << j;
   }
 }
@@ -93,10 +93,10 @@ TEST(Simulation, LatencyStaysWithinBoundForBothPolicies) {
   for (std::size_t j = 0; j < 3; ++j) {
     for (double latency : result.trace.latency_s[j]) {
       EXPECT_GE(latency, 0.0);  // never the -1 overload marker
-      EXPECT_LE(latency, scenario.idcs[j].latency_bound_s * 1.0001);
+      EXPECT_LE(latency, scenario.idcs[j].latency_bound_s.value() * 1.0001);
     }
   }
-  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.summary.overload_time.value(), 0.0);
 }
 
 TEST(Simulation, CsvExportRoundTrips) {
@@ -154,10 +154,10 @@ TEST(Simulation, RecordTraceOffKeepsSummaryDropsSeries) {
   OptimalPolicy policy_again(scenario.idcs, 5, scenario.controller.cost_basis);
   const auto lean = run_simulation(scenario, policy_again, options);
   // Aggregates are identical; the per-step series are gone.
-  EXPECT_DOUBLE_EQ(lean.summary.total_cost_dollars,
-                   full.summary.total_cost_dollars);
-  EXPECT_DOUBLE_EQ(lean.summary.total_energy_mwh,
-                   full.summary.total_energy_mwh);
+  EXPECT_DOUBLE_EQ(lean.summary.total_cost.value(),
+                   full.summary.total_cost.value());
+  EXPECT_DOUBLE_EQ(units::as_mwh(lean.summary.total_energy),
+                   units::as_mwh(full.summary.total_energy));
   EXPECT_TRUE(lean.trace.time_s.empty());
   EXPECT_TRUE(lean.trace.power_w.empty());
   EXPECT_EQ(lean.trace.policy, full.trace.policy);

@@ -11,8 +11,9 @@ IdcConfig small_idc(std::size_t region, std::size_t servers, double mu) {
   IdcConfig config;
   config.region = region;
   config.max_servers = servers;
-  config.power = ServerPowerModel{150.0, 285.0, mu};
-  config.latency_bound_s = 0.01;
+  config.power = ServerPowerModel{units::Watts{150.0}, units::Watts{285.0},
+                                  units::Rps{mu}};
+  config.latency_bound_s = units::Seconds{0.01};
   return config;
 }
 
@@ -21,12 +22,13 @@ TEST(Allocation, LoadsAndConservation) {
   a.at(0, 0) = 5.0;
   a.at(0, 2) = 5.0;
   a.at(1, 1) = 7.0;
-  EXPECT_DOUBLE_EQ(a.idc_load(0), 5.0);
-  EXPECT_DOUBLE_EQ(a.idc_load(2), 5.0);
-  EXPECT_DOUBLE_EQ(a.portal_load(0), 10.0);
-  EXPECT_TRUE(a.conserves({10.0, 7.0}));
-  EXPECT_FALSE(a.conserves({10.0, 8.0}));
-  EXPECT_EQ(a.idc_loads(), (std::vector<double>{5.0, 7.0, 5.0}));
+  EXPECT_DOUBLE_EQ(a.idc_load(0).value(), 5.0);
+  EXPECT_DOUBLE_EQ(a.idc_load(2).value(), 5.0);
+  EXPECT_DOUBLE_EQ(a.portal_load(0).value(), 10.0);
+  EXPECT_TRUE(a.conserves({units::Rps{10.0}, units::Rps{7.0}}));
+  EXPECT_FALSE(a.conserves({units::Rps{10.0}, units::Rps{8.0}}));
+  EXPECT_EQ(units::raw_vector(a.idc_loads()),
+            (std::vector<double>{5.0, 7.0, 5.0}));
 }
 
 TEST(Allocation, NonNegativity) {
@@ -57,8 +59,9 @@ TEST(Fleet, AggregatesAcrossIdcs) {
   fleet.set_operating_point(a, {80, 100});
   const double p0 = 67.5 * 100.0 + 80 * 150.0;
   const double p1 = 135.0 * 50.0 + 100 * 150.0;
-  EXPECT_DOUBLE_EQ(fleet.total_power_w(), p0 + p1);
-  EXPECT_EQ(fleet.power_by_idc_w(), (std::vector<double>{p0, p1}));
+  EXPECT_DOUBLE_EQ(fleet.total_power_w().value(), p0 + p1);
+  EXPECT_EQ(units::raw_vector(fleet.power_by_idc_w()),
+            (std::vector<double>{p0, p1}));
   EXPECT_EQ(fleet.servers_on(), (std::vector<std::size_t>{80, 100}));
 }
 
@@ -66,18 +69,19 @@ TEST(Fleet, AdvanceAccumulatesCostPerRegionPrice) {
   Fleet fleet({small_idc(0, 100, 2.0), small_idc(1, 100, 2.0)});
   Allocation a(1, 2);
   fleet.set_operating_point(a, {100, 100});  // 15 kW each, idle
-  fleet.advance(3600.0, {40.0, -40.0});
-  EXPECT_NEAR(fleet.idc(0).cost_dollars(), 0.6, 1e-9);
-  EXPECT_NEAR(fleet.idc(1).cost_dollars(), -0.6, 1e-9);
-  EXPECT_NEAR(fleet.total_cost_dollars(), 0.0, 1e-9);
-  EXPECT_NEAR(fleet.total_energy_joules(), 2 * 15000.0 * 3600.0, 1e-3);
+  fleet.advance(units::Seconds{3600.0},
+                {units::PricePerMwh{40.0}, units::PricePerMwh{-40.0}});
+  EXPECT_NEAR(fleet.idc(0).cost_dollars().value(), 0.6, 1e-9);
+  EXPECT_NEAR(fleet.idc(1).cost_dollars().value(), -0.6, 1e-9);
+  EXPECT_NEAR(fleet.total_cost_dollars().value(), 0.0, 1e-9);
+  EXPECT_NEAR(fleet.total_energy_joules().value(), 2 * 15000.0 * 3600.0, 1e-3);
 }
 
 TEST(Fleet, SleepControllabilityCondition) {
   Fleet fleet({small_idc(0, 100, 2.0)});  // capacity 200 - 100 = 100
-  EXPECT_TRUE(fleet.can_serve(100.0));
-  EXPECT_FALSE(fleet.can_serve(100.1));
-  EXPECT_DOUBLE_EQ(fleet.total_capacity_rps(), 100.0);
+  EXPECT_TRUE(fleet.can_serve(units::Rps{100.0}));
+  EXPECT_FALSE(fleet.can_serve(units::Rps{100.1}));
+  EXPECT_DOUBLE_EQ(fleet.total_capacity_rps().value(), 100.0);
 }
 
 TEST(Fleet, Validation) {
@@ -87,7 +91,9 @@ TEST(Fleet, Validation) {
   EXPECT_THROW(fleet.set_operating_point(wrong, {1, 1}), InvalidArgument);
   Allocation ok(1, 1);
   EXPECT_THROW(fleet.set_operating_point(ok, {1, 2}), InvalidArgument);
-  EXPECT_THROW(fleet.advance(1.0, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(fleet.advance(units::Seconds{1.0}, {units::PricePerMwh{1.0},
+                                                   units::PricePerMwh{2.0}}),
+               InvalidArgument);
   EXPECT_THROW(fleet.idc(5), InvalidArgument);
 }
 

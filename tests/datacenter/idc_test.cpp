@@ -15,15 +15,16 @@ IdcConfig test_config() {
   config.name = "test";
   config.region = 0;
   config.max_servers = 1000;
-  config.power = ServerPowerModel{150.0, 285.0, 2.0};
-  config.latency_bound_s = 0.01;
+  config.power = ServerPowerModel{units::Watts{150.0}, units::Watts{285.0},
+                                  units::Rps{2.0}};
+  config.latency_bound_s = units::Seconds{0.01};
   return config;
 }
 
 TEST(IdcConfig, MaxCapacityUsesLatencyBound) {
   const auto config = test_config();
   // n mu - 1/D = 2000 - 100 = 1900.
-  EXPECT_DOUBLE_EQ(config.max_capacity(), 1900.0);
+  EXPECT_DOUBLE_EQ(config.max_capacity().value(), 1900.0);
 }
 
 TEST(IdcConfig, Validation) {
@@ -31,57 +32,57 @@ TEST(IdcConfig, Validation) {
   config.max_servers = 0;
   EXPECT_THROW(config.validate(), InvalidArgument);
   config = test_config();
-  config.latency_bound_s = 0.0;
+  config.latency_bound_s = units::Seconds{0.0};
   EXPECT_THROW(config.validate(), InvalidArgument);
 }
 
 TEST(Idc, OperatingPointAndPower) {
   Idc idc(test_config());
-  idc.set_operating_point(500, 800.0);
+  idc.set_operating_point(500, units::Rps{800.0});
   EXPECT_EQ(idc.servers_on(), 500u);
-  EXPECT_DOUBLE_EQ(idc.assigned_load(), 800.0);
-  EXPECT_DOUBLE_EQ(idc.power_w(), 67.5 * 800.0 + 500 * 150.0);
+  EXPECT_DOUBLE_EQ(idc.assigned_load().value(), 800.0);
+  EXPECT_DOUBLE_EQ(idc.power_w().value(), 67.5 * 800.0 + 500 * 150.0);
 }
 
 TEST(Idc, RejectsOverMaxServersAndNegativeLoad) {
   Idc idc(test_config());
-  EXPECT_THROW(idc.set_operating_point(1001, 0.0), InvalidArgument);
-  EXPECT_THROW(idc.set_operating_point(10, -1.0), InvalidArgument);
+  EXPECT_THROW(idc.set_operating_point(1001, units::Rps{0.0}), InvalidArgument);
+  EXPECT_THROW(idc.set_operating_point(10, units::Rps{-1.0}), InvalidArgument);
 }
 
 TEST(Idc, LatencyMatchesSimplifiedModel) {
   Idc idc(test_config());
-  idc.set_operating_point(500, 800.0);
-  EXPECT_DOUBLE_EQ(idc.latency_s(), 1.0 / (500 * 2.0 - 800.0));
+  idc.set_operating_point(500, units::Rps{800.0});
+  EXPECT_DOUBLE_EQ(idc.latency_s().value(), 1.0 / (500 * 2.0 - 800.0));
   // Idle IDC with zero servers: no latency.
   Idc idle(test_config());
-  EXPECT_DOUBLE_EQ(idle.latency_s(), 0.0);
+  EXPECT_DOUBLE_EQ(idle.latency_s().value(), 0.0);
 }
 
 TEST(Idc, OverloadDetection) {
   Idc idc(test_config());
-  idc.set_operating_point(10, 30.0);  // capacity 20 < 30
+  idc.set_operating_point(10, units::Rps{30.0});  // capacity 20 < 30
   EXPECT_TRUE(idc.overloaded());
-  EXPECT_TRUE(std::isinf(idc.latency_s()));
-  idc.advance(5.0, 50.0);
-  EXPECT_DOUBLE_EQ(idc.overload_seconds(), 5.0);
+  EXPECT_TRUE(std::isinf(idc.latency_s().value()));
+  idc.advance(units::Seconds{5.0}, units::PricePerMwh{50.0});
+  EXPECT_DOUBLE_EQ(idc.overload_seconds().value(), 5.0);
 }
 
 TEST(Idc, EnergyAndCostIntegration) {
   Idc idc(test_config());
-  idc.set_operating_point(1000, 0.0);  // 150 kW
-  idc.advance(3600.0, 40.0);           // 1 hour at $40/MWh
-  EXPECT_NEAR(idc.energy_joules(), 150000.0 * 3600.0, 1e-6);
+  idc.set_operating_point(1000, units::Rps{0.0});  // 150 kW
+  idc.advance(units::Seconds{3600.0}, units::PricePerMwh{40.0});           // 1 hour at $40/MWh
+  EXPECT_NEAR(idc.energy_joules().value(), 150000.0 * 3600.0, 1e-6);
   // 0.15 MWh * $40 = $6.
-  EXPECT_NEAR(idc.cost_dollars(), 6.0, 1e-9);
+  EXPECT_NEAR(idc.cost_dollars().value(), 6.0, 1e-9);
   // A second hour at a different price accumulates.
-  idc.advance(3600.0, -10.0);
-  EXPECT_NEAR(idc.cost_dollars(), 6.0 - 1.5, 1e-9);
+  idc.advance(units::Seconds{3600.0}, units::PricePerMwh{-10.0});
+  EXPECT_NEAR(idc.cost_dollars().value(), 6.0 - 1.5, 1e-9);
 }
 
 TEST(Idc, AdvanceRejectsNegativeDt) {
   Idc idc(test_config());
-  EXPECT_THROW(idc.advance(-1.0, 10.0), InvalidArgument);
+  EXPECT_THROW(idc.advance(units::Seconds{-1.0}, units::PricePerMwh{10.0}), InvalidArgument);
 }
 
 }  // namespace

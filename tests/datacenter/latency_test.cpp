@@ -11,13 +11,13 @@ namespace {
 
 TEST(SimplifiedLatency, PaperEq14) {
   // D = 1 / (n mu - lambda).
-  EXPECT_DOUBLE_EQ(simplified_latency(10, 2.0, 15.0), 1.0 / 5.0);
-  EXPECT_DOUBLE_EQ(simplified_latency(1000, 1.25, 0.0), 1.0 / 1250.0);
+  EXPECT_DOUBLE_EQ(simplified_latency(10, units::Rps{2.0}, units::Rps{15.0}).value(), 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(simplified_latency(1000, units::Rps{1.25}, units::Rps{0.0}).value(), 1.0 / 1250.0);
 }
 
 TEST(SimplifiedLatency, RejectsUnstableSystem) {
-  EXPECT_THROW(simplified_latency(10, 1.0, 10.0), InvalidArgument);
-  EXPECT_THROW(simplified_latency(10, 1.0, 20.0), InvalidArgument);
+  EXPECT_THROW(simplified_latency(10, units::Rps{1.0}, units::Rps{10.0}), InvalidArgument);
+  EXPECT_THROW(simplified_latency(10, units::Rps{1.0}, units::Rps{20.0}), InvalidArgument);
 }
 
 TEST(ErlangC, SingleServerIsMm1QueueProbability) {
@@ -43,7 +43,7 @@ TEST(ErlangC, ApproachesOneNearSaturation) {
 TEST(MmnResponseTime, ReducesToMm1ClosedForm) {
   // M/M/1 response time: 1 / (mu - lambda).
   const double mu = 2.0, lambda = 1.5;
-  EXPECT_NEAR(mmn_response_time(1, mu, lambda), 1.0 / (mu - lambda), 1e-12);
+  EXPECT_NEAR(mmn_response_time(1, units::Rps{mu}, units::Rps{lambda}).value(), 1.0 / (mu - lambda), 1e-12);
 }
 
 TEST(MmnResponseTime, SimplifiedModelIsUpperBoundOnWait) {
@@ -51,48 +51,48 @@ TEST(MmnResponseTime, SimplifiedModelIsUpperBoundOnWait) {
   // P_Q/(n mu - lambda) <= 1/(n mu - lambda).
   const std::size_t n = 50;
   const double mu = 1.0, lambda = 40.0;
-  const double exact_wait = mmn_response_time(n, mu, lambda) - 1.0 / mu;
-  EXPECT_LE(exact_wait, simplified_latency(n, mu, lambda) + 1e-12);
+  const double exact_wait = mmn_response_time(n, units::Rps{mu}, units::Rps{lambda}).value() - 1.0 / mu;
+  EXPECT_LE(exact_wait, simplified_latency(n, units::Rps{mu}, units::Rps{lambda}).value() + 1e-12);
 }
 
 TEST(ServersForLatency, PaperEq35) {
   // m = ceil(lambda/mu + 1/(mu D)).
-  EXPECT_EQ(servers_for_latency(15000.0, 2.0, 0.001), 8000u);
-  EXPECT_EQ(servers_for_latency(50000.0, 1.25, 0.001), 40800u);
+  EXPECT_EQ(servers_for_latency(units::Rps{15000.0}, units::Rps{2.0}, units::Seconds{0.001}), 8000u);
+  EXPECT_EQ(servers_for_latency(units::Rps{50000.0}, units::Rps{1.25}, units::Seconds{0.001}), 40800u);
   // Wisconsin at 7H without margin dominance: 10000/1.75 + 571.4.
-  EXPECT_EQ(servers_for_latency(10000.0, 1.75, 0.001), 6286u);
-  EXPECT_EQ(servers_for_latency(0.0, 2.0, 0.001), 500u);
+  EXPECT_EQ(servers_for_latency(units::Rps{10000.0}, units::Rps{1.75}, units::Seconds{0.001}), 6286u);
+  EXPECT_EQ(servers_for_latency(units::Rps{0.0}, units::Rps{2.0}, units::Seconds{0.001}), 500u);
 }
 
 TEST(ServersForLatency, ExactBoundaryDoesNotOverProvision) {
   // lambda/mu + 1/(mu D) integral already: no extra server.
-  EXPECT_EQ(servers_for_latency(10.0, 1.0, 0.1), 20u);
+  EXPECT_EQ(servers_for_latency(units::Rps{10.0}, units::Rps{1.0}, units::Seconds{0.1}), 20u);
 }
 
 TEST(CapacityForLatency, InverseOfServersForLatency) {
   // All (m, mu) pairs here keep n mu > 1/D so the capacity is positive.
   for (std::size_t m : {2000u, 5000u, 40000u}) {
     for (double mu : {2.0, 1.25, 1.75}) {
-      const double cap = capacity_for_latency(m, mu, 0.001);
+      const double cap = capacity_for_latency(m, units::Rps{mu}, units::Seconds{0.001}).value();
       // Serving exactly the capacity requires exactly m servers.
-      EXPECT_EQ(servers_for_latency(cap, mu, 0.001), m);
+      EXPECT_EQ(servers_for_latency(units::Rps{cap}, units::Rps{mu}, units::Seconds{0.001}), m);
       // The latency bound is met with equality.
-      EXPECT_NEAR(simplified_latency(m, mu, cap), 0.001, 1e-12);
+      EXPECT_NEAR(simplified_latency(m, units::Rps{mu}, units::Rps{cap}).value(), 0.001, 1e-12);
     }
   }
 }
 
 TEST(CapacityForLatency, ClampsAtZero) {
   // Too few servers to meet the bound at any load.
-  EXPECT_DOUBLE_EQ(capacity_for_latency(1, 1.0, 0.001), 0.0);
+  EXPECT_DOUBLE_EQ(capacity_for_latency(1, units::Rps{1.0}, units::Seconds{0.001}).value(), 0.0);
 }
 
 TEST(LatencyHelpers, Validation) {
   EXPECT_THROW(erlang_c(0, 1.0), InvalidArgument);
   EXPECT_THROW(erlang_c(2, 2.0), InvalidArgument);
-  EXPECT_THROW(servers_for_latency(-1.0, 1.0, 0.1), InvalidArgument);
-  EXPECT_THROW(servers_for_latency(1.0, 0.0, 0.1), InvalidArgument);
-  EXPECT_THROW(capacity_for_latency(1, 1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(servers_for_latency(units::Rps{-1.0}, units::Rps{1.0}, units::Seconds{0.1}), InvalidArgument);
+  EXPECT_THROW(servers_for_latency(units::Rps{1.0}, units::Rps{0.0}, units::Seconds{0.1}), InvalidArgument);
+  EXPECT_THROW(capacity_for_latency(1, units::Rps{1.0}, units::Seconds{0.0}), InvalidArgument);
 }
 
 }  // namespace

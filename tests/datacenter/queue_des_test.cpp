@@ -30,7 +30,7 @@ TEST_P(MmnValidation, ErlangCMatchesSimulatedQueueingProbability) {
 TEST_P(MmnValidation, ResponseTimeMatchesAnalytic) {
   const auto [n, mu, lambda] = GetParam();
   const auto sim = simulate_mmn(n, mu, lambda, 400000, /*seed=*/11);
-  const double analytic = mmn_response_time(n, mu, lambda);
+  const double analytic = mmn_response_time(n, units::Rps{mu}, units::Rps{lambda}).value();
   EXPECT_NEAR(sim.mean_response_s, analytic, 0.05 * analytic);
 }
 
@@ -39,7 +39,8 @@ TEST_P(MmnValidation, SimplifiedBoundIsAnUpperBoundOnTheWait) {
   const auto sim = simulate_mmn(n, mu, lambda, 200000, /*seed=*/13);
   // The paper's P_Q = 1 model overestimates: 1/(n mu - lambda).
   EXPECT_LE(sim.mean_wait_s,
-            simplified_latency(n, mu, lambda) * 1.05 + 1e-4);
+            simplified_latency(n, units::Rps{mu}, units::Rps{lambda}).value() * 1.05 +
+                1e-4);
 }
 
 TEST_P(MmnValidation, LittlesLawHolds) {

@@ -8,14 +8,15 @@ namespace gridctl::datacenter {
 namespace {
 
 ServerPowerModel paper_server(double mu) {
-  return ServerPowerModel{150.0, 285.0, mu};
+  return ServerPowerModel{units::Watts{150.0}, units::Watts{285.0},
+                          units::Rps{mu}};
 }
 
 TEST(ServerPowerModel, LinearBetweenIdleAndPeak) {
   const auto model = paper_server(2.0);
-  EXPECT_DOUBLE_EQ(model.server_power(0.0), 150.0);
-  EXPECT_DOUBLE_EQ(model.server_power(2.0), 285.0);
-  EXPECT_DOUBLE_EQ(model.server_power(1.0), 217.5);
+  EXPECT_DOUBLE_EQ(model.server_power(units::Rps{0.0}).value(), 150.0);
+  EXPECT_DOUBLE_EQ(model.server_power(units::Rps{2.0}).value(), 285.0);
+  EXPECT_DOUBLE_EQ(model.server_power(units::Rps{1.0}).value(), 217.5);
   EXPECT_DOUBLE_EQ(model.watts_per_rps(), 67.5);
 }
 
@@ -23,7 +24,7 @@ TEST(ServerPowerModel, IdcPowerMatchesPaperEq7) {
   // P_j = b1 lambda_j + m_j b0.
   const auto model = paper_server(1.25);
   const double b1 = (285.0 - 150.0) / 1.25;
-  EXPECT_DOUBLE_EQ(model.idc_power(50000.0, 40000), b1 * 50000.0 + 40000 * 150.0);
+  EXPECT_DOUBLE_EQ(model.idc_power(units::Rps{50000.0}, 40000).value(), b1 * 50000.0 + 40000 * 150.0);
 }
 
 TEST(ServerPowerModel, FullyLoadedFleetDrawsPeakTimesServers) {
@@ -32,15 +33,18 @@ TEST(ServerPowerModel, FullyLoadedFleetDrawsPeakTimesServers) {
   const auto model = paper_server(1.75);
   const std::size_t m = 20000;
   const double lambda = 1.75 * static_cast<double>(m);
-  EXPECT_DOUBLE_EQ(model.idc_power(lambda, m), 285.0 * static_cast<double>(m));
+  EXPECT_DOUBLE_EQ(model.idc_power(units::Rps{lambda}, m).value(), 285.0 * static_cast<double>(m));
 }
 
 TEST(ServerPowerModel, Validation) {
-  ServerPowerModel negative_idle{-1.0, 285.0, 1.0};
+  ServerPowerModel negative_idle{units::Watts{-1.0}, units::Watts{285.0},
+                                 units::Rps{1.0}};
   EXPECT_THROW(negative_idle.validate(), InvalidArgument);
-  ServerPowerModel peak_below_idle{200.0, 100.0, 1.0};
+  ServerPowerModel peak_below_idle{units::Watts{200.0}, units::Watts{100.0},
+                                   units::Rps{1.0}};
   EXPECT_THROW(peak_below_idle.validate(), InvalidArgument);
-  ServerPowerModel zero_mu{150.0, 285.0, 0.0};
+  ServerPowerModel zero_mu{units::Watts{150.0}, units::Watts{285.0},
+                           units::Rps{0.0}};
   EXPECT_THROW(zero_mu.validate(), InvalidArgument);
 }
 
@@ -55,19 +59,19 @@ TEST(FrequencyPowerFit, CollapsesToLinearModel) {
   // b0 = a2 f + a0; b1 = a3 + a1 / f; peak = b0 + b1 mu.
   const FrequencyPowerFit fit{5.0, 8.0, 50.0, 20.0};
   const double f = 2.0, mu = 1.5;
-  const auto model = fit.at_frequency(f, mu);
-  EXPECT_DOUBLE_EQ(model.idle_w, 50.0 * f + 5.0);
+  const auto model = fit.at_frequency(f, units::Rps{mu});
+  EXPECT_DOUBLE_EQ(model.idle_w.value(), 50.0 * f + 5.0);
   const double b1 = 20.0 + 8.0 / f;
-  EXPECT_DOUBLE_EQ(model.peak_w, model.idle_w + b1 * mu);
+  EXPECT_DOUBLE_EQ(model.peak_w.value(), model.idle_w.value() + b1 * mu);
   EXPECT_DOUBLE_EQ(model.watts_per_rps(), b1);
   // Consistency with the full fit at full utilization:
   // U = lambda / f = mu / f.
-  EXPECT_NEAR(model.server_power(mu), fit.power(f, mu / f), 1e-9);
+  EXPECT_NEAR(model.server_power(units::Rps{mu}).value(), fit.power(f, mu / f), 1e-9);
 }
 
 TEST(FrequencyPowerFit, RejectsZeroFrequency) {
   const FrequencyPowerFit fit{1, 1, 1, 1};
-  EXPECT_THROW(fit.at_frequency(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(fit.at_frequency(0.0, units::Rps{1.0}), InvalidArgument);
 }
 
 }  // namespace

@@ -33,10 +33,10 @@ std::vector<datacenter::IdcConfig> small_fleet() {
   for (std::size_t j = 0; j < idcs.size(); ++j) {
     idcs[j].region = j;
     idcs[j].max_servers = 10000;
-    idcs[j].power.service_rate = 2.0;
-    idcs[j].power.idle_w = 150.0;
-    idcs[j].power.peak_w = 285.0;
-    idcs[j].latency_bound_s = 0.001;
+    idcs[j].power.service_rate = units::Rps{2.0};
+    idcs[j].power.idle_w = units::Watts{150.0};
+    idcs[j].power.peak_w = units::Watts{285.0};
+    idcs[j].latency_bound_s = units::Seconds{0.001};
   }
   return idcs;
 }
@@ -57,7 +57,8 @@ CleanDecision clean_decision(const std::vector<datacenter::IdcConfig>& idcs) {
     const double load = d.demands[0] / 2.0;
     d.allocation.at(0, j) = load;
     d.servers.push_back(sleep.target_servers(j, load));
-    d.power_w.push_back(check::continuous_power_w(idcs[j], load));
+    d.power_w.push_back(
+        check::continuous_power_w(idcs[j], units::Rps{load}).value());
   }
   return d;
 }
@@ -118,8 +119,9 @@ TEST(InvariantChecker, FlagsLoadAboveEffectiveCap) {
   control::SleepController sleep(idcs);
   const std::vector<std::size_t> servers{idcs[0].max_servers, 0};
   // Predicted power at the cap, so only the load check can fire.
-  const std::vector<double> power{check::continuous_power_w(idcs[0], cap),
-                                  check::continuous_power_w(idcs[1], 0.0)};
+  const std::vector<double> power{
+      check::continuous_power_w(idcs[0], units::Rps{cap}).value(),
+      check::continuous_power_w(idcs[1], units::Rps{0.0}).value()};
   bool saw_budget = false;
   for (const auto& v : checker.check(allocation, servers, power, demands)) {
     if (v.kind == Invariant::kBudget) {
@@ -205,12 +207,12 @@ core::Scenario random_scenario(std::uint64_t seed) {
     datacenter::IdcConfig idc;
     idc.region = j;
     idc.max_servers = static_cast<std::size_t>(rng.uniform_int(5000, 30000));
-    idc.power.service_rate = rng.uniform(1.0, 2.5);
-    idc.power.idle_w = rng.uniform(100.0, 180.0);
-    idc.power.peak_w = idc.power.idle_w + rng.uniform(80.0, 160.0);
-    idc.latency_bound_s = rng.uniform(0.001, 0.02);
+    idc.power.service_rate = units::Rps{rng.uniform(1.0, 2.5)};
+    idc.power.idle_w = units::Watts{rng.uniform(100.0, 180.0)};
+    idc.power.peak_w = units::Watts{idc.power.idle_w.value() + rng.uniform(80.0, 160.0)};
+    idc.latency_bound_s = units::Seconds{rng.uniform(0.001, 0.02)};
     scenario.idcs.push_back(idc);
-    fleet_capacity += idc.max_capacity();
+    fleet_capacity += idc.max_capacity().value();
   }
   const double total_demand = fleet_capacity * rng.uniform(0.3, 0.6);
   std::vector<double> demands(portals, total_demand / portals);
@@ -230,9 +232,9 @@ core::Scenario random_scenario(std::uint64_t seed) {
           rng.uniform(0.7, 1.2);
     }
   }
-  scenario.start_time_s = 3600.0 * static_cast<double>(rng.uniform_int(0, 23));
-  scenario.ts_s = 20.0;
-  scenario.duration_s = 160.0;
+  scenario.start_time_s = units::Seconds{3600.0 * static_cast<double>(rng.uniform_int(0, 23))};
+  scenario.ts_s = units::Seconds{20.0};
+  scenario.duration_s = units::Seconds{160.0};
   scenario.controller.r_weight = rng.uniform(0.4, 4.0);
   scenario.controller.horizons = {4, 2};
   scenario.controller.invariants.strict = true;
@@ -270,8 +272,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedInvariantsTest,
 // each tier.
 
 core::Scenario crippled_scenario(bool allow_backend_fallback) {
-  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 200.0;
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{200.0};
   scenario.controller.solver_max_iterations = 1;  // primary cannot converge
   scenario.controller.solver_fallback = allow_backend_fallback;
   scenario.controller.invariants.strict = true;
@@ -312,7 +314,7 @@ TEST(FaultInjection, WithoutRetryTheLoopHoldsLastFeasible) {
   EXPECT_EQ(telemetry.fallback_backend_retries, 0u);
   EXPECT_EQ(telemetry.status_optimal, 0u);
   EXPECT_EQ(telemetry.invariants.total(), 0u);
-  EXPECT_DOUBLE_EQ(result.summary.overload_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.summary.overload_time.value(), 0.0);
 }
 
 TEST(FaultInjection, DegradationTiersAreVisibleInSweepJson) {
@@ -322,8 +324,8 @@ TEST(FaultInjection, DegradationTiersAreVisibleInSweepJson) {
   jobs[0].policy = control_policy();
   jobs[0].options.record_trace = false;
   jobs[1].name = "healthy/control";
-  jobs[1].scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
-  jobs[1].scenario.duration_s = 200.0;
+  jobs[1].scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  jobs[1].scenario.duration_s = units::Seconds{200.0};
   jobs[1].policy = control_policy();
   jobs[1].options.record_trace = false;
   const SweepReport report = SweepRunner(2).run(jobs);
@@ -370,15 +372,16 @@ class CorruptPolicy : public core::AllocationPolicy {
   core::PolicyDecision decide(const core::PolicyContext& context) override {
     Allocation allocation(portals_, idcs_.size());
     for (std::size_t i = 0; i < portals_; ++i) {
-      allocation.at(i, 0) = context.portal_demands[i] * 0.5;  // drops half
+      allocation.at(i, 0) = context.portal_demands[i].value() * 0.5;  // drops half
     }
     control::SleepController sleep(idcs_);
     core::PolicyDecision decision;
-    decision.servers = sleep.step(allocation.idc_loads(),
-                                  std::vector<std::size_t>(idcs_.size(), 0));
+    decision.servers =
+        sleep.step(units::raw_vector(allocation.idc_loads()),
+                   std::vector<std::size_t>(idcs_.size(), 0));
     decision.allocation = allocation;
     checker_.check(allocation, decision.servers, {},
-                   context.portal_demands);  // throws
+                   units::raw_vector(context.portal_demands));  // throws
     return decision;
   }
   std::string name() const override { return "corrupt"; }
@@ -392,8 +395,8 @@ class CorruptPolicy : public core::AllocationPolicy {
 TEST(FaultInjection, StrictViolationFailsTheJobGracefully) {
   SweepJob job;
   job.name = "corrupt";
-  job.scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
-  job.scenario.duration_s = 100.0;
+  job.scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  job.scenario.duration_s = units::Seconds{100.0};
   job.policy = [](const core::Scenario& scenario) {
     return std::make_unique<CorruptPolicy>(scenario.idcs,
                                            scenario.num_portals());

@@ -11,8 +11,8 @@ namespace gridctl::engine {
 namespace {
 
 core::Scenario quick_scenario(double r_weight = 0.8) {
-  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 200.0;
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{200.0};
   scenario.controller.r_weight = r_weight;
   return scenario;
 }
@@ -27,7 +27,7 @@ core::Scenario seeded_scenario(std::uint64_t seed) {
   }
   scenario.prices =
       std::make_shared<market::StochasticBidPrice>(regions, seed);
-  scenario.start_time_s = 0.0;
+  scenario.start_time_s = units::Seconds{0.0};
   return scenario;
 }
 
@@ -65,24 +65,24 @@ void expect_identical_summaries(const core::SimulationSummary& a,
   // Bit-identical, not approximately equal: parallel execution must not
   // perturb a single double anywhere in the result.
   EXPECT_EQ(a.policy, b.policy);
-  EXPECT_EQ(a.total_cost_dollars, b.total_cost_dollars);
-  EXPECT_EQ(a.total_energy_mwh, b.total_energy_mwh);
-  EXPECT_EQ(a.overload_seconds, b.overload_seconds);
-  EXPECT_EQ(a.sla_violation_seconds, b.sla_violation_seconds);
-  EXPECT_EQ(a.max_backlog_req, b.max_backlog_req);
-  EXPECT_EQ(a.total_volatility.mean_abs_step, b.total_volatility.mean_abs_step);
-  EXPECT_EQ(a.total_volatility.max_abs_step, b.total_volatility.max_abs_step);
+  EXPECT_EQ(a.total_cost.value(), b.total_cost.value());
+  EXPECT_EQ(units::as_mwh(a.total_energy), units::as_mwh(b.total_energy));
+  EXPECT_EQ(a.overload_time.value(), b.overload_time.value());
+  EXPECT_EQ(a.sla_violation_time.value(), b.sla_violation_time.value());
+  EXPECT_EQ(a.max_backlog.value(), b.max_backlog.value());
+  EXPECT_EQ(a.total_volatility.mean_abs_step.value(), b.total_volatility.mean_abs_step.value());
+  EXPECT_EQ(a.total_volatility.max_abs_step.value(), b.total_volatility.max_abs_step.value());
   ASSERT_EQ(a.idcs.size(), b.idcs.size());
   for (std::size_t j = 0; j < a.idcs.size(); ++j) {
-    EXPECT_EQ(a.idcs[j].peak_power_w, b.idcs[j].peak_power_w);
-    EXPECT_EQ(a.idcs[j].volatility.mean_abs_step,
-              b.idcs[j].volatility.mean_abs_step);
-    EXPECT_EQ(a.idcs[j].volatility.max_abs_step,
-              b.idcs[j].volatility.max_abs_step);
+    EXPECT_EQ(a.idcs[j].peak_power.value(), b.idcs[j].peak_power.value());
+    EXPECT_EQ(a.idcs[j].volatility.mean_abs_step.value(),
+              b.idcs[j].volatility.mean_abs_step.value());
+    EXPECT_EQ(a.idcs[j].volatility.max_abs_step.value(),
+              b.idcs[j].volatility.max_abs_step.value());
     EXPECT_EQ(a.idcs[j].budget.violations, b.idcs[j].budget.violations);
-    EXPECT_EQ(a.idcs[j].mean_latency_s, b.idcs[j].mean_latency_s);
-    EXPECT_EQ(a.idcs[j].energy_mwh, b.idcs[j].energy_mwh);
-    EXPECT_EQ(a.idcs[j].cost_dollars, b.idcs[j].cost_dollars);
+    EXPECT_EQ(a.idcs[j].mean_latency.value(), b.idcs[j].mean_latency.value());
+    EXPECT_EQ(units::as_mwh(a.idcs[j].energy), units::as_mwh(b.idcs[j].energy));
+    EXPECT_EQ(a.idcs[j].cost.value(), b.idcs[j].cost.value());
   }
 }
 
@@ -204,7 +204,7 @@ TEST(SweepReport, SerializesToParseableJson) {
   EXPECT_TRUE(good.at("ok").as_bool());
   EXPECT_EQ(good.at("summary").at("policy").as_string(), "control");
   EXPECT_EQ(good.at("summary").at("total_cost_dollars").as_number(),
-            report.jobs[0].summary.total_cost_dollars);
+            report.jobs[0].summary.total_cost.value());
   const JsonValue& telemetry = good.at("telemetry");
   EXPECT_EQ(telemetry.at("steps").as_number(),
             static_cast<double>(report.jobs[0].telemetry.steps));

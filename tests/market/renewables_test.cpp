@@ -19,18 +19,18 @@ RenewableRegionConfig solar_only() {
 
 TEST(RenewableSupply, SolarPeaksAtNoonAndVanishesAtNight) {
   RenewableSupply supply({solar_only()}, 1);
-  EXPECT_NEAR(supply.solar_w(0, 13.0 * 3600.0), 4e6, 1.0);
-  EXPECT_DOUBLE_EQ(supply.solar_w(0, 2.0 * 3600.0), 0.0);
-  EXPECT_DOUBLE_EQ(supply.solar_w(0, 23.0 * 3600.0), 0.0);
+  EXPECT_NEAR(supply.solar_w(0, units::Seconds{13.0 * 3600.0}).value(), 4e6, 1.0);
+  EXPECT_DOUBLE_EQ(supply.solar_w(0, units::Seconds{2.0 * 3600.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(supply.solar_w(0, units::Seconds{23.0 * 3600.0}).value(), 0.0);
   // Half output roughly a third of the span from the edge.
-  EXPECT_GT(supply.solar_w(0, 10.0 * 3600.0), 0.0);
-  EXPECT_LT(supply.solar_w(0, 10.0 * 3600.0), 4e6);
+  EXPECT_GT(supply.solar_w(0, units::Seconds{10.0 * 3600.0}).value(), 0.0);
+  EXPECT_LT(supply.solar_w(0, units::Seconds{10.0 * 3600.0}).value(), 4e6);
 }
 
 TEST(RenewableSupply, SolarSymmetricAroundNoon) {
   RenewableSupply supply({solar_only()}, 1);
-  EXPECT_NEAR(supply.solar_w(0, 11.0 * 3600.0),
-              supply.solar_w(0, 15.0 * 3600.0), 1e-6);
+  EXPECT_NEAR(supply.solar_w(0, units::Seconds{11.0 * 3600.0}).value(),
+              supply.solar_w(0, units::Seconds{15.0 * 3600.0}).value(), 1e-6);
 }
 
 TEST(RenewableSupply, WindStaysWithinConfiguredBand) {
@@ -40,7 +40,7 @@ TEST(RenewableSupply, WindStaysWithinConfiguredBand) {
   config.wind_variability = 0.5;
   RenewableSupply supply({config}, 7);
   for (int h = 0; h < 24 * 7; ++h) {
-    const double w = supply.available_w(0, h * 3600.0);
+    const double w = supply.available_w(0, units::Seconds{h * 3600.0}).value();
     EXPECT_GE(w, 1e6 - 1e-6);
     EXPECT_LE(w, 3e6 + 1e-6);
   }
@@ -54,7 +54,7 @@ TEST(RenewableSupply, WindVariesOverTime) {
   RenewableSupply supply({config}, 7);
   double min_w = 1e18, max_w = -1e18;
   for (int h = 0; h < 72; ++h) {
-    const double w = supply.available_w(0, h * 3600.0);
+    const double w = supply.available_w(0, units::Seconds{h * 3600.0}).value();
     min_w = std::min(min_w, w);
     max_w = std::max(max_w, w);
   }
@@ -66,8 +66,8 @@ TEST(RenewableSupply, DeterministicPerSeed) {
   config.wind_variability = 0.7;
   RenewableSupply a({config}, 42), b({config}, 42);
   for (int h = 0; h < 48; ++h) {
-    EXPECT_DOUBLE_EQ(a.available_w(0, h * 3600.0),
-                     b.available_w(0, h * 3600.0));
+    EXPECT_DOUBLE_EQ(a.available_w(0, units::Seconds{h * 3600.0}).value(),
+                     b.available_w(0, units::Seconds{h * 3600.0}).value());
   }
 }
 
@@ -77,8 +77,8 @@ TEST(RenewableSupply, Validation) {
   bad.wind_variability = 1.5;
   EXPECT_THROW(RenewableSupply({bad}, 1), InvalidArgument);
   RenewableSupply ok({solar_only()}, 1);
-  EXPECT_THROW(ok.available_w(1, 0.0), InvalidArgument);
-  EXPECT_THROW(ok.available_w(0, -1.0), InvalidArgument);
+  EXPECT_THROW(ok.available_w(1, units::Seconds{0.0}), InvalidArgument);
+  EXPECT_THROW(ok.available_w(0, units::Seconds{-1.0}), InvalidArgument);
 }
 
 }  // namespace

@@ -11,9 +11,9 @@ RegionMarketConfig default_region() { return RegionMarketConfig{}; }
 
 TEST(SupplyStack, MonotoneInDemand) {
   SupplyStack stack;
-  double previous = stack.clearing_price(0.0);
+  double previous = stack.clearing_price(units::Watts{0.0}).value();
   for (double demand = 1e8; demand <= 2.4e9; demand += 1e8) {
-    const double price = stack.clearing_price(demand);
+    const double price = stack.clearing_price(units::Watts{demand}).value();
     EXPECT_GT(price, previous);
     previous = price;
   }
@@ -23,10 +23,10 @@ TEST(SupplyStack, ScarcityPricingNearCapacity) {
   SupplyStack stack;
   // Convexity: equal-width load increments cost more the closer the
   // system runs to capacity (the scarcity exponential).
-  const double low_seg = stack.clearing_price(1.0 * stack.capacity_w) -
-                         stack.clearing_price(0.8 * stack.capacity_w);
-  const double high_seg = stack.clearing_price(1.2 * stack.capacity_w) -
-                          stack.clearing_price(1.0 * stack.capacity_w);
+  const double low_seg = stack.clearing_price(units::Watts{1.0 * stack.capacity_w}).value() -
+                         stack.clearing_price(units::Watts{0.8 * stack.capacity_w}).value();
+  const double high_seg = stack.clearing_price(units::Watts{1.2 * stack.capacity_w}).value() -
+                          stack.clearing_price(units::Watts{1.0 * stack.capacity_w}).value();
   EXPECT_GT(low_seg, 0.0);
   EXPECT_GT(high_seg, low_seg);
 }
@@ -35,14 +35,14 @@ TEST(StochasticBidPrice, DeterministicForSeed) {
   StochasticBidPrice a({default_region()}, 99);
   StochasticBidPrice b({default_region()}, 99);
   for (double t = 0.0; t < 48 * 3600.0; t += 3600.0) {
-    EXPECT_DOUBLE_EQ(a.price(0, t, 1e6), b.price(0, t, 1e6));
+    EXPECT_DOUBLE_EQ(a.price(0, units::Seconds{t}, units::Watts{1e6}).value(), b.price(0, units::Seconds{t}, units::Watts{1e6}).value());
   }
 }
 
 TEST(StochasticBidPrice, DemandFeedbackRaisesPrice) {
   StochasticBidPrice market({default_region()}, 7);
-  const double idle = market.price(0, 12 * 3600.0, 0.0);
-  const double loaded = market.price(0, 12 * 3600.0, 3e8);
+  const double idle = market.price(0, units::Seconds{12 * 3600.0}, units::Watts{0.0}).value();
+  const double loaded = market.price(0, units::Seconds{12 * 3600.0}, units::Watts{3e8}).value();
   EXPECT_GT(loaded, idle);
 }
 
@@ -50,8 +50,8 @@ TEST(StochasticBidPrice, DiurnalBaseDemandPeaksAtConfiguredHour) {
   RegionMarketConfig config = default_region();
   config.peak_hour = 17.0;
   StochasticBidPrice market({config}, 7);
-  const double at_peak = market.base_demand(0, 17.0 * 3600.0);
-  const double at_trough = market.base_demand(0, 5.0 * 3600.0);
+  const double at_peak = market.base_demand(0, units::Seconds{17.0 * 3600.0}).value();
+  const double at_trough = market.base_demand(0, units::Seconds{5.0 * 3600.0}).value();
   EXPECT_GT(at_peak, at_trough);
   EXPECT_NEAR(at_peak, config.base_demand_w * (1.0 + config.diurnal_amplitude),
               1e-6 * config.base_demand_w);
@@ -61,7 +61,7 @@ TEST(StochasticBidPrice, PricesVaryOverHours) {
   StochasticBidPrice market({default_region()}, 11);
   double min_price = 1e18, max_price = -1e18;
   for (int h = 0; h < 72; ++h) {
-    const double p = market.price(0, h * 3600.0, 0.0);
+    const double p = market.price(0, units::Seconds{h * 3600.0}, units::Watts{0.0}).value();
     min_price = std::min(min_price, p);
     max_price = std::max(max_price, p);
   }
@@ -73,7 +73,7 @@ TEST(StochasticBidPrice, MultiRegionIndependence) {
   // Same config, same hour: only the per-region noise differs.
   int differs = 0;
   for (int h = 0; h < 24; ++h) {
-    if (market.price(0, h * 3600.0, 0.0) != market.price(1, h * 3600.0, 0.0)) {
+    if (market.price(0, units::Seconds{h * 3600.0}, units::Watts{0.0}).value() != market.price(1, units::Seconds{h * 3600.0}, units::Watts{0.0}).value()) {
       ++differs;
     }
   }
@@ -84,8 +84,8 @@ TEST(StochasticBidPrice, Validation) {
   EXPECT_THROW(StochasticBidPrice({}, 1), InvalidArgument);
   EXPECT_THROW(StochasticBidPrice({default_region()}, 1, 0), InvalidArgument);
   StochasticBidPrice market({default_region()}, 1);
-  EXPECT_THROW(market.price(1, 0.0, 0.0), InvalidArgument);
-  EXPECT_THROW(market.price(0, -5.0, 0.0), InvalidArgument);
+  EXPECT_THROW(market.price(1, units::Seconds{0.0}, units::Watts{0.0}), InvalidArgument);
+  EXPECT_THROW(market.price(0, units::Seconds{-5.0}, units::Watts{0.0}), InvalidArgument);
 }
 
 }  // namespace

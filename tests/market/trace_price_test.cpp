@@ -10,27 +10,27 @@ namespace {
 
 TEST(TracePrice, PiecewiseConstantByHour) {
   TracePrice trace({{10.0, 20.0, 30.0}});
-  EXPECT_DOUBLE_EQ(trace.price(0, 0.0, 0.0), 10.0);
-  EXPECT_DOUBLE_EQ(trace.price(0, 3599.9, 0.0), 10.0);
-  EXPECT_DOUBLE_EQ(trace.price(0, 3600.0, 0.0), 20.0);
-  EXPECT_DOUBLE_EQ(trace.price(0, 2.5 * 3600.0, 0.0), 30.0);
+  EXPECT_DOUBLE_EQ(trace.price(0, units::Seconds{0.0}, units::Watts{0.0}).value(), 10.0);
+  EXPECT_DOUBLE_EQ(trace.price(0, units::Seconds{3599.9}, units::Watts{0.0}).value(), 10.0);
+  EXPECT_DOUBLE_EQ(trace.price(0, units::Seconds{3600.0}, units::Watts{0.0}).value(), 20.0);
+  EXPECT_DOUBLE_EQ(trace.price(0, units::Seconds{2.5 * 3600.0}, units::Watts{0.0}).value(), 30.0);
 }
 
 TEST(TracePrice, WrapsAroundTraceLength) {
   TracePrice trace({{10.0, 20.0}});
-  EXPECT_DOUBLE_EQ(trace.price(0, 2.0 * 3600.0, 0.0), 10.0);
-  EXPECT_DOUBLE_EQ(trace.price(0, 3.0 * 3600.0, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(trace.price(0, units::Seconds{2.0 * 3600.0}, units::Watts{0.0}).value(), 10.0);
+  EXPECT_DOUBLE_EQ(trace.price(0, units::Seconds{3.0 * 3600.0}, units::Watts{0.0}).value(), 20.0);
 }
 
 TEST(TracePrice, IgnoresDemand) {
   TracePrice trace(std::vector<std::vector<double>>{{42.0}});
-  EXPECT_DOUBLE_EQ(trace.price(0, 0.0, 0.0), trace.price(0, 0.0, 1e9));
+  EXPECT_DOUBLE_EQ(trace.price(0, units::Seconds{0.0}, units::Watts{0.0}).value(), trace.price(0, units::Seconds{0.0}, units::Watts{1e9}).value());
 }
 
 TEST(TracePrice, MultiRegionIndependentSeries) {
   TracePrice trace({{1.0, 2.0}, {10.0, 20.0}}, {"a", "b"});
   EXPECT_EQ(trace.num_regions(), 2u);
-  EXPECT_DOUBLE_EQ(trace.price(1, 3600.0, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(trace.price(1, units::Seconds{3600.0}, units::Watts{0.0}).value(), 20.0);
   EXPECT_EQ(trace.region_name(0), "a");
 }
 
@@ -40,8 +40,8 @@ TEST(TracePrice, Validation) {
   EXPECT_THROW(TracePrice(std::vector<std::vector<double>>{{1.0}, {1.0, 2.0}}), InvalidArgument);
   EXPECT_THROW(TracePrice(std::vector<std::vector<double>>{{1.0}}, {"a", "b"}), InvalidArgument);
   TracePrice trace(std::vector<std::vector<double>>{{1.0}});
-  EXPECT_THROW(trace.price(1, 0.0, 0.0), InvalidArgument);
-  EXPECT_THROW(trace.price(0, -1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(trace.price(1, units::Seconds{0.0}, units::Watts{0.0}), InvalidArgument);
+  EXPECT_THROW(trace.price(0, units::Seconds{-1.0}, units::Watts{0.0}), InvalidArgument);
 }
 
 TEST(TraceFromCsv, ColumnsBecomeRegions) {
@@ -51,14 +51,14 @@ TEST(TraceFromCsv, ColumnsBecomeRegions) {
   EXPECT_EQ(trace.num_regions(), 2u);
   EXPECT_EQ(trace.hours(), 2u);
   EXPECT_EQ(trace.region_name(0), "east");
-  EXPECT_DOUBLE_EQ(trace.price(1, 3600.0, 0.0), 25.0);
+  EXPECT_DOUBLE_EQ(trace.price(1, units::Seconds{3600.0}, units::Watts{0.0}).value(), 25.0);
 }
 
 TEST(TraceFromCsv, NoTimeColumnNeeded) {
   const auto table = read_csv_string("a\n1.5\n2.5\n");
   const TracePrice trace = trace_from_csv(table);
   EXPECT_EQ(trace.num_regions(), 1u);
-  EXPECT_DOUBLE_EQ(trace.price(0, 0.0, 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(trace.price(0, units::Seconds{0.0}, units::Watts{0.0}).value(), 1.5);
 }
 
 TEST(TraceFromCsv, RejectsEmptyTable) {
@@ -71,9 +71,9 @@ TEST(PaperTraces, AnchoredToTableIII) {
   ASSERT_EQ(trace.num_regions(), 3u);
   ASSERT_EQ(trace.hours(), 24u);
   for (std::size_t r = 0; r < 3; ++r) {
-    EXPECT_DOUBLE_EQ(trace.price(r, 6.0 * 3600.0, 0.0), kPaperPrices6H[r])
+    EXPECT_DOUBLE_EQ(trace.price(r, units::Seconds{6.0 * 3600.0}, units::Watts{0.0}).value(), kPaperPrices6H[r])
         << trace.region_name(r);
-    EXPECT_DOUBLE_EQ(trace.price(r, 7.0 * 3600.0, 0.0), kPaperPrices7H[r])
+    EXPECT_DOUBLE_EQ(trace.price(r, units::Seconds{7.0 * 3600.0}, units::Watts{0.0}).value(), kPaperPrices7H[r])
         << trace.region_name(r);
   }
 }

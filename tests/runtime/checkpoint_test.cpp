@@ -23,8 +23,8 @@ namespace {
 // the most hidden controller state (step-count phase, predictor theta/
 // covariance/history) — exactly what a sloppy checkpoint would lose.
 core::Scenario stateful_scenario() {
-  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 2400.0;  // 120 control steps
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{2400.0};  // 120 control steps
   scenario.controller.sleep_every_k_steps = 2;
   scenario.controller.predict_workload = true;
   scenario.controller.ar_order = 3;
@@ -88,6 +88,33 @@ void expect_checkpoints_identical(const RuntimeCheckpoint& a,
   EXPECT_EQ(a.stats.dropped_ticks, b.stats.dropped_ticks);
 }
 
+TEST(Checkpoint, JsonBytesArePinnedAcrossRoundTrips) {
+  // The checkpoint wire format is a raw-double JSON schema; the strong
+  // unit types stop at the serialization boundary. Pin that: the schema
+  // id is unchanged, the top-level key set is exactly the historical
+  // one, and serialize -> parse -> serialize reproduces the same bytes
+  // (shortest-repr double printing is deterministic, so any typed value
+  // leaking a conversion into the writer shows up as a byte diff).
+  const core::Scenario scenario = stateful_scenario();
+  RuntimeOptions partial;
+  partial.stop_after_step = 20;
+  ControlRuntime runtime(scenario, partial);
+  runtime.run();
+
+  const JsonValue json = runtime.checkpoint().to_json();
+  EXPECT_EQ(json.at("schema").as_string(), "gridctl.runtime.checkpoint/1");
+  for (const char* key :
+       {"schema", "progress", "held", "fleet", "queue_backlogs_req",
+        "controller", "trace", "telemetry", "stats"}) {
+    EXPECT_TRUE(json.as_object().count(key)) << "missing key " << key;
+  }
+
+  const std::string first = dump_json(json);
+  const std::string second =
+      dump_json(RuntimeCheckpoint::from_json(parse_json(first)).to_json());
+  EXPECT_EQ(first, second);
+}
+
 TEST(Checkpoint, JsonRoundTripThenHundredSteps) {
   const core::Scenario scenario = stateful_scenario();
 
@@ -127,8 +154,8 @@ TEST(Checkpoint, KillAndResumeMatchesUninterruptedExactly) {
 
   auto batch_policy = engine::control_policy()(scenario);
   const auto batch = core::run_simulation(scenario, *batch_policy);
-  EXPECT_EQ(reference.summary.total_cost_dollars,
-            batch.summary.total_cost_dollars);
+  EXPECT_EQ(reference.summary.total_cost.value(),
+            batch.summary.total_cost.value());
 
   // Kill at step 37 (odd, so the slow sleep loop is mid-phase), persist
   // the checkpoint to disk, restart from the file.
@@ -151,20 +178,20 @@ TEST(Checkpoint, KillAndResumeMatchesUninterruptedExactly) {
 
   // Final report identical to the uninterrupted run: cost, peaks,
   // solver/invariant counters, and the whole per-step trace.
-  EXPECT_EQ(tail.summary.total_cost_dollars,
-            reference.summary.total_cost_dollars);
-  EXPECT_EQ(tail.summary.total_energy_mwh, reference.summary.total_energy_mwh);
-  EXPECT_EQ(tail.summary.overload_seconds, reference.summary.overload_seconds);
-  EXPECT_EQ(tail.summary.sla_violation_seconds,
-            reference.summary.sla_violation_seconds);
+  EXPECT_EQ(tail.summary.total_cost.value(),
+            reference.summary.total_cost.value());
+  EXPECT_EQ(units::as_mwh(tail.summary.total_energy), units::as_mwh(reference.summary.total_energy));
+  EXPECT_EQ(tail.summary.overload_time.value(), reference.summary.overload_time.value());
+  EXPECT_EQ(tail.summary.sla_violation_time.value(),
+            reference.summary.sla_violation_time.value());
   ASSERT_EQ(tail.summary.idcs.size(), reference.summary.idcs.size());
   for (std::size_t j = 0; j < reference.summary.idcs.size(); ++j) {
-    EXPECT_EQ(tail.summary.idcs[j].peak_power_w,
-              reference.summary.idcs[j].peak_power_w);
-    EXPECT_EQ(tail.summary.idcs[j].energy_mwh,
-              reference.summary.idcs[j].energy_mwh);
-    EXPECT_EQ(tail.summary.idcs[j].cost_dollars,
-              reference.summary.idcs[j].cost_dollars);
+    EXPECT_EQ(tail.summary.idcs[j].peak_power.value(),
+              reference.summary.idcs[j].peak_power.value());
+    EXPECT_EQ(units::as_mwh(tail.summary.idcs[j].energy),
+              units::as_mwh(reference.summary.idcs[j].energy));
+    EXPECT_EQ(tail.summary.idcs[j].cost.value(),
+              reference.summary.idcs[j].cost.value());
   }
   EXPECT_EQ(tail.telemetry.steps, reference.telemetry.steps);
   EXPECT_EQ(tail.telemetry.solver_calls, reference.telemetry.solver_calls);
@@ -191,8 +218,8 @@ TEST(Checkpoint, KillAndResumeMatchesUninterruptedExactly) {
 }
 
 TEST(Checkpoint, ResumeWithFaultedFeedsReplaysExactly) {
-  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/20.0);
-  scenario.duration_s = 1200.0;  // 60 steps
+  core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{1200.0};  // 60 steps
 
   RuntimeOptions options;
   options.price_faults.drop_probability = 0.2;
@@ -218,8 +245,8 @@ TEST(Checkpoint, ResumeWithFaultedFeedsReplaysExactly) {
 
   // Stateless fault injection: the resumed feeds replay the identical
   // drop/lateness pattern, so even a faulted run resumes exactly.
-  EXPECT_EQ(tail.summary.total_cost_dollars,
-            reference.summary.total_cost_dollars);
+  EXPECT_EQ(tail.summary.total_cost.value(),
+            reference.summary.total_cost.value());
   EXPECT_EQ(tail.stats.dropped_ticks, reference.stats.dropped_ticks);
   EXPECT_EQ(tail.stats.late_ticks, reference.stats.late_ticks);
   EXPECT_EQ(tail.stats.stale_price_steps, reference.stats.stale_price_steps);
@@ -240,7 +267,7 @@ TEST(Checkpoint, ValidationRejectsScenarioMismatch) {
   const RuntimeCheckpoint checkpoint = runtime.checkpoint();
 
   core::Scenario other = scenario;
-  other.duration_s = 40.0;  // 2 steps < checkpoint progress
+  other.duration_s = units::Seconds{40.0};  // 2 steps < checkpoint progress
   EXPECT_THROW(ControlRuntime(other, RuntimeOptions{}, checkpoint),
                InvalidArgument);
 

@@ -98,24 +98,24 @@ TEST(FaultSpec, RejectsInvalidConfiguration) {
 }
 
 TEST(Feeds, ValuesMatchDirectModelReads) {
-  const core::Scenario scenario = core::paper::smoothing_scenario(20.0);
+  const core::Scenario scenario = core::paper::smoothing_scenario(units::Seconds{20.0});
   const std::size_t n = scenario.num_idcs();
 
   std::vector<std::size_t> regions(n);
   for (std::size_t j = 0; j < n; ++j) regions[j] = scenario.idcs[j].region;
   PriceFeed price_feed(scenario.prices, regions,
-                       TickStream(scenario.start_time_s, scenario.ts_s, 10));
+                       TickStream(scenario.start_time_s.value(), scenario.ts_s.value(), 10));
   WorkloadFeed workload_feed(
       scenario.workload,
-      TickStream(scenario.start_time_s, scenario.ts_s, 10));
+      TickStream(scenario.start_time_s.value(), scenario.ts_s.value(), 10));
 
-  const double t = scenario.start_time_s + 40.0;
+  const double t = scenario.start_time_s.value() + 40.0;
   const std::vector<double> feedback(n, 1e6);
   const auto prices = price_feed.values(t, feedback);
   ASSERT_EQ(prices.size(), n);
   for (std::size_t j = 0; j < n; ++j) {
     EXPECT_EQ(prices[j],
-              scenario.prices->price(scenario.idcs[j].region, t, feedback[j]));
+              scenario.prices->price(scenario.idcs[j].region, units::Seconds{t}, units::Watts{feedback[j]}).value());
   }
 
   const auto demands = workload_feed.values(t);
@@ -125,10 +125,10 @@ TEST(Feeds, ValuesMatchDirectModelReads) {
 }
 
 TEST(Feeds, PriceFeedRejectsBadRegions) {
-  const core::Scenario scenario = core::paper::smoothing_scenario(20.0);
+  const core::Scenario scenario = core::paper::smoothing_scenario(units::Seconds{20.0});
   EXPECT_THROW(
       PriceFeed(scenario.prices, {999},
-                TickStream(scenario.start_time_s, scenario.ts_s, 10)),
+                TickStream(scenario.start_time_s.value(), scenario.ts_s.value(), 10)),
       InvalidArgument);
 }
 

@@ -18,8 +18,8 @@ namespace gridctl::runtime {
 namespace {
 
 core::Scenario quick_scenario(double ts_s = 20.0, double duration_s = 200.0) {
-  core::Scenario scenario = core::paper::smoothing_scenario(ts_s);
-  scenario.duration_s = duration_s;
+  core::Scenario scenario = core::paper::smoothing_scenario(units::Seconds{ts_s});
+  scenario.duration_s = units::Seconds{duration_s};
   return scenario;
 }
 
@@ -34,7 +34,7 @@ core::Scenario feedback_scenario() {
     regions[r].stack.price_floor = 10.0 + 4.0 * static_cast<double>(r);
   }
   scenario.prices = std::make_shared<market::StochasticBidPrice>(regions, 17);
-  scenario.start_time_s = 0.0;
+  scenario.start_time_s = units::Seconds{0.0};
   return scenario;
 }
 
@@ -85,16 +85,16 @@ TEST(RuntimeEquivalence, FreeRunMatchesBatchBitIdentically) {
   const RuntimeResult result = runtime.run();
 
   EXPECT_TRUE(result.completed);
-  EXPECT_EQ(result.summary.total_cost_dollars,
-            batch.summary.total_cost_dollars);
-  EXPECT_EQ(result.summary.total_energy_mwh, batch.summary.total_energy_mwh);
-  EXPECT_EQ(result.summary.overload_seconds, batch.summary.overload_seconds);
+  EXPECT_EQ(result.summary.total_cost.value(),
+            batch.summary.total_cost.value());
+  EXPECT_EQ(units::as_mwh(result.summary.total_energy), units::as_mwh(batch.summary.total_energy));
+  EXPECT_EQ(result.summary.overload_time.value(), batch.summary.overload_time.value());
   ASSERT_EQ(result.summary.idcs.size(), batch.summary.idcs.size());
   for (std::size_t j = 0; j < batch.summary.idcs.size(); ++j) {
-    EXPECT_EQ(result.summary.idcs[j].peak_power_w,
-              batch.summary.idcs[j].peak_power_w);
-    EXPECT_EQ(result.summary.idcs[j].cost_dollars,
-              batch.summary.idcs[j].cost_dollars);
+    EXPECT_EQ(result.summary.idcs[j].peak_power.value(),
+              batch.summary.idcs[j].peak_power.value());
+    EXPECT_EQ(result.summary.idcs[j].cost.value(),
+              batch.summary.idcs[j].cost.value());
   }
   ASSERT_NE(result.trace, nullptr);
   expect_traces_identical(*result.trace, batch.trace);
@@ -122,8 +122,8 @@ TEST(RuntimeEquivalence, PacedRunMatchesBatch) {
   const RuntimeResult result = runtime.run();
 
   EXPECT_TRUE(result.completed);
-  EXPECT_EQ(result.summary.total_cost_dollars,
-            batch.summary.total_cost_dollars);
+  EXPECT_EQ(result.summary.total_cost.value(),
+            batch.summary.total_cost.value());
   ASSERT_NE(result.trace, nullptr);
   expect_traces_identical(*result.trace, batch.trace);
   expect_counters_identical(result.telemetry, batch_telemetry);
@@ -139,8 +139,8 @@ TEST(RuntimeEquivalence, DemandResponsiveFeedbackMatchesBatch) {
   ControlRuntime runtime(scenario, RuntimeOptions{});
   const RuntimeResult result = runtime.run();
 
-  EXPECT_EQ(result.summary.total_cost_dollars,
-            batch.summary.total_cost_dollars);
+  EXPECT_EQ(result.summary.total_cost.value(),
+            batch.summary.total_cost.value());
   ASSERT_NE(result.trace, nullptr);
   expect_traces_identical(*result.trace, batch.trace);
 }
@@ -164,7 +164,7 @@ TEST(RuntimeEquivalence, FaultedRunIsAccelerationIndependent) {
   ControlRuntime paced_run(scenario, options);
   const RuntimeResult b = paced_run.run();
 
-  EXPECT_EQ(a.summary.total_cost_dollars, b.summary.total_cost_dollars);
+  EXPECT_EQ(a.summary.total_cost.value(), b.summary.total_cost.value());
   ASSERT_NE(a.trace, nullptr);
   ASSERT_NE(b.trace, nullptr);
   expect_traces_identical(*a.trace, *b.trace);
@@ -199,7 +199,7 @@ TEST(RuntimeDegradation, DeadlineMissesDegradeTheNextPeriod) {
   EXPECT_EQ(result.telemetry.fallback_holds, steps - 1);
   // The hold path still satisfies conservation/caps: zero violations.
   EXPECT_EQ(result.telemetry.invariants.total(), 0u);
-  EXPECT_GT(result.summary.total_cost_dollars, 0.0);
+  EXPECT_GT(result.summary.total_cost.value(), 0.0);
 }
 
 TEST(RuntimeDegradation, MissesAreCountedButHarmlessWhenDisabled) {
@@ -214,8 +214,8 @@ TEST(RuntimeDegradation, MissesAreCountedButHarmlessWhenDisabled) {
 
   EXPECT_EQ(result.stats.deadline_misses, scenario.num_steps());
   EXPECT_EQ(result.stats.degraded_steps, 0u);
-  EXPECT_EQ(result.summary.total_cost_dollars,
-            batch.summary.total_cost_dollars);
+  EXPECT_EQ(result.summary.total_cost.value(),
+            batch.summary.total_cost.value());
 }
 
 }  // namespace

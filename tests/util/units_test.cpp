@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <type_traits>
+
 namespace gridctl::units {
 namespace {
 
@@ -23,6 +26,106 @@ TEST(Units, EnergyCost) {
   EXPECT_DOUBLE_EQ(energy_cost_dollars(0.0, 3600.0, 1000.0), 0.0);
   // Negative prices (Fig. 2's Wisconsin dip) yield negative cost.
   EXPECT_LT(energy_cost_dollars(1e6, 3600.0, -10.0), 0.0);
+}
+
+TEST(Units, SameDimensionArithmetic) {
+  Watts p{2e6};
+  p += Watts{1e6};
+  EXPECT_DOUBLE_EQ(p.value(), 3e6);
+  p -= Watts{0.5e6};
+  EXPECT_DOUBLE_EQ(p.value(), 2.5e6);
+  p *= 2.0;
+  EXPECT_DOUBLE_EQ(p.value(), 5e6);
+  p /= 5.0;
+  EXPECT_DOUBLE_EQ(p.value(), 1e6);
+  EXPECT_DOUBLE_EQ((Watts{3.0} + Watts{4.0}).value(), 7.0);
+  EXPECT_DOUBLE_EQ((Watts{3.0} - Watts{4.0}).value(), -1.0);
+  EXPECT_DOUBLE_EQ((-Watts{3.0}).value(), -3.0);
+  EXPECT_DOUBLE_EQ((2.0 * Watts{3.0}).value(), 6.0);
+  EXPECT_DOUBLE_EQ((Watts{3.0} * 2.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((Watts{6.0} / 2.0).value(), 3.0);
+  // Same-dimension ratio is dimensionless.
+  static_assert(std::is_same_v<decltype(Watts{6.0} / Watts{2.0}), double>);
+  EXPECT_DOUBLE_EQ(Watts{6.0} / Watts{2.0}, 3.0);
+  EXPECT_LT(Watts{1.0}, Watts{2.0});
+  EXPECT_EQ(Watts{2.0}, Watts{2.0});
+  EXPECT_EQ(Watts::zero().value(), 0.0);
+}
+
+TEST(Units, CrossDimensionProductsRoundTrip) {
+  // Power x Time -> Energy, and back out both ways.
+  const Joules e = Watts{2e6} * Seconds{1800.0};
+  EXPECT_DOUBLE_EQ(e.value(), 3.6e9);
+  EXPECT_DOUBLE_EQ((Seconds{1800.0} * Watts{2e6}).value(), 3.6e9);
+  EXPECT_DOUBLE_EQ((e / Seconds{1800.0}).value(), 2e6);
+  EXPECT_DOUBLE_EQ((e / Watts{2e6}).value(), 1800.0);
+
+  // Energy x Price -> Money matches the legacy scalar helper bit for bit.
+  const Dollars cost = e * PricePerMwh{50.0};
+  EXPECT_EQ(cost.value(), energy_cost_dollars(2e6, 1800.0, 50.0));
+  EXPECT_EQ((PricePerMwh{50.0} * e).value(), cost.value());
+  EXPECT_DOUBLE_EQ((cost / e).value(), 50.0);
+  EXPECT_EQ(energy_cost(Watts{2e6}, Seconds{1800.0}, PricePerMwh{50.0}),
+            cost);
+
+  // Rate x Time -> Work, and back.
+  const Requests served = Rps{100.0} * Seconds{10.0};
+  EXPECT_DOUBLE_EQ(served.value(), 1000.0);
+  EXPECT_DOUBLE_EQ((Seconds{10.0} * Rps{100.0}).value(), 1000.0);
+  EXPECT_DOUBLE_EQ((served / Seconds{10.0}).value(), 100.0);
+  EXPECT_DOUBLE_EQ((served / Rps{100.0}).value(), 10.0);
+}
+
+TEST(Units, PresentationAccessors) {
+  EXPECT_DOUBLE_EQ(as_mw(Watts{2.5e6}), 2.5);
+  EXPECT_DOUBLE_EQ(as_mwh(Joules{3.6e9}), 1.0);
+  EXPECT_DOUBLE_EQ(as_hours(Seconds{7200.0}), 2.0);
+  EXPECT_EQ(from_mw(2.5), Watts{2.5e6});
+  EXPECT_EQ(from_mwh(1.0), Joules{3.6e9});
+  EXPECT_EQ(from_hours(2.0), Seconds{7200.0});
+  EXPECT_DOUBLE_EQ(abs(Watts{-3.0}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(abs(Watts{3.0}).value(), 3.0);
+}
+
+TEST(Units, Literals) {
+  using namespace literals;
+  EXPECT_EQ(10.0_s, Seconds{10.0});
+  EXPECT_EQ(2_h, Seconds{7200.0});
+  EXPECT_EQ(1.5_mw, Watts{1.5e6});
+  EXPECT_EQ(150_w, Watts{150.0});
+  EXPECT_EQ(2_kw, Watts{2000.0});
+  EXPECT_EQ(1_mwh, Joules{3.6e9});
+  EXPECT_EQ(2.5e9_j, Joules{2.5e9});
+  EXPECT_EQ(43.26_per_mwh, PricePerMwh{43.26});
+  EXPECT_EQ(5_usd, Dollars{5.0});
+  EXPECT_EQ(1000_rps, Rps{1000.0});
+  EXPECT_EQ(500_req, Requests{500.0});
+}
+
+TEST(Units, VectorAdaptersRoundTrip) {
+  const std::vector<double> raw{1.0, -2.5, 3e6};
+  const auto typed = typed_vector<Watts>(raw);
+  ASSERT_EQ(typed.size(), 3u);
+  EXPECT_EQ(typed[1], Watts{-2.5});
+  EXPECT_EQ(raw_vector(typed), raw);
+  EXPECT_TRUE(typed_vector<Rps>({}).empty());
+  EXPECT_TRUE(raw_vector(std::vector<Rps>{}).empty());
+}
+
+TEST(Units, LayoutIsPinnedToDouble) {
+  // A vector<Quantity> must be byte-compatible with vector<double> so
+  // checkpoints and memcpy'd buffers stay bit-identical. The
+  // static_asserts in units.hpp enforce this at compile time; assert the
+  // runtime picture too.
+  static_assert(sizeof(Seconds) == sizeof(double));
+  static_assert(alignof(Dollars) == alignof(double));
+  static_assert(std::is_trivially_copyable_v<Joules>);
+  static_assert(std::is_standard_layout_v<PricePerMwh>);
+  Watts w{42.0};
+  double bits;
+  static_assert(sizeof(w) == sizeof(bits));
+  std::memcpy(&bits, &w, sizeof(bits));
+  EXPECT_EQ(bits, 42.0);
 }
 
 }  // namespace

@@ -68,7 +68,7 @@ TEST(EpaTrace, IsBursty) {
   const auto trace = make_epa_like_trace();
   std::vector<double> plateau(trace.begin() + 600, trace.begin() + 900);
   const auto vol = gridctl::core::volatility(plateau);
-  EXPECT_GT(vol.max_abs_step, 100.0);
+  EXPECT_GT(vol.max_abs_step.value(), 100.0);
 }
 
 TEST(EpaTrace, Validation) {

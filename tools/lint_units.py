@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Units-discipline lint for the typed public API layers.
+
+The dimensional-analysis layer (src/util/units.hpp) only pays off if
+new code keeps using it. This lint walks the headers of the typed
+layers (core, datacenter, market, check) and flags function parameters
+declared as raw `double` whose names carry a unit suffix — those
+should be strong types (units::Watts, units::Seconds, ...).
+
+Intentionally raw boundaries are still allowed:
+  * struct members with default initializers (config/trace/checkpoint
+    structs keep their serialized raw reps);
+  * lines carrying a `lint: raw-ok` comment (documented hot-loop or
+    serialization boundaries);
+  * everything outside the typed layers (control/, solvers/, workload/,
+    engine/, runtime/ adapt through units::raw_vector/typed_vector).
+
+Exit status 0 when clean, 1 with a findings listing otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TYPED_LAYERS = ["src/core", "src/datacenter", "src/market", "src/check"]
+SUFFIXES = ("_w", "_s", "_mwh", "_dollars", "_joules", "_rps")
+
+# `double name_w` used as a function parameter: followed by ',' or ')'.
+PARAM = re.compile(
+    r"\bdouble\s+([a-z][a-z0-9_]*(?:%s))\s*[,)]"
+    % "|".join(re.escape(s) for s in SUFFIXES)
+)
+# Struct/class members with default initializers stay raw by design.
+MEMBER = re.compile(r"\bdouble\s+[a-z][a-z0-9_]*\s*(=|\{)")
+
+
+def findings_in(path: pathlib.Path):
+    # Join continuation lines into statements so a multi-line signature
+    # is inspected (and suppressed) as one unit.
+    lines = path.read_text().splitlines()
+    statement, start = "", 1
+    for lineno, line in enumerate(lines, start=1):
+        if not statement:
+            start = lineno
+        statement += line + "\n"
+        if line.rstrip().endswith((";", "{", "}")) or not line.strip():
+            if "lint: raw-ok" not in statement and not MEMBER.search(statement):
+                for match in PARAM.finditer(statement):
+                    yield start, match.group(1), statement.strip().splitlines()[0]
+            statement = ""
+
+
+def main() -> int:
+    failures = []
+    for layer in TYPED_LAYERS:
+        for header in sorted((REPO / layer).glob("*.hpp")):
+            for lineno, name, text in findings_in(header):
+                failures.append(
+                    f"{header.relative_to(REPO)}:{lineno}: raw double "
+                    f"parameter '{name}' in a typed layer — use a "
+                    f"units:: strong type or mark the line 'lint: raw-ok'\n"
+                    f"    {text}"
+                )
+    if failures:
+        print("\n".join(failures))
+        print(f"\nlint_units: {len(failures)} finding(s)")
+        return 1
+    print("lint_units: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
