@@ -7,6 +7,7 @@
 #include "solvers/lp_simplex.hpp"
 #include "solvers/qp_active_set.hpp"
 #include "solvers/qp_admm.hpp"
+#include "solvers/qp_condensed.hpp"
 #include "solvers/rls.hpp"
 #include "util/random.hpp"
 
@@ -90,6 +91,69 @@ void BM_QpActiveSet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QpActiveSet)->Args({10, 8})->Args({30, 20});
+
+// The condensed transport QP: factorization cached outside the loop
+// (as the MPC layer does across ticks), cold-started solves inside.
+// Args are (portals, idcs, control_horizon).
+void BM_QpCondensed(benchmark::State& state) {
+  const auto portals = static_cast<std::size_t>(state.range(0));
+  const auto idcs = static_cast<std::size_t>(state.range(1));
+  const auto beta2 = static_cast<std::size_t>(state.range(2));
+  Rng rng(11);
+
+  solvers::TransportQpShape shape;
+  shape.portals = portals;
+  shape.idcs = idcs;
+  shape.prediction = 2 * beta2;
+  shape.control = beta2;
+  solvers::TransportQpCost cost;
+  cost.q.assign(idcs, 1.0);
+  cost.slope.resize(idcs);
+  cost.y0.resize(idcs);
+  for (std::size_t j = 0; j < idcs; ++j) {
+    cost.slope[j] = rng.uniform(0.2, 0.6);
+    cost.y0[j] = rng.uniform(0.01, 0.05);
+  }
+  cost.r = 1.0;
+  solvers::CondensedQpSolver solver;
+  solver.configure(shape, cost);
+
+  Vector u_prev(portals * idcs), demand(portals);
+  double total = 0.0;
+  for (double& d : demand) {
+    d = rng.uniform(1e3, 3e4);
+    total += d;
+  }
+  for (std::size_t i = 0; i < portals; ++i) {
+    for (std::size_t j = 0; j < idcs; ++j) {
+      u_prev[i * idcs + j] = demand[i] / static_cast<double>(idcs);
+    }
+  }
+  Vector cap_lower(idcs, 0.0), cap_upper(idcs, total);
+  std::vector<Vector> references(1, Vector(idcs));
+  for (std::size_t j = 0; j < idcs; ++j) {
+    references[0][j] =
+        cost.slope[j] * total / static_cast<double>(idcs) + cost.y0[j];
+  }
+
+  std::uint64_t iterations = 0, solves = 0;
+  for (auto _ : state) {
+    const auto& res = solver.solve(u_prev, demand, cap_lower, cap_upper,
+                                   references, {}, {});
+    iterations += res.iterations;
+    ++solves;
+    benchmark::DoNotOptimize(iterations);
+  }
+  state.SetLabel("vars=" + std::to_string(portals * idcs * beta2));
+  state.counters["iters_per_solve"] =
+      solves ? static_cast<double>(iterations) / static_cast<double>(solves)
+             : 0.0;
+}
+BENCHMARK(BM_QpCondensed)
+    ->Args({5, 3, 2})
+    ->Args({10, 10, 2})
+    ->Args({50, 20, 5})
+    ->Args({200, 50, 10});
 
 void BM_Expm(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

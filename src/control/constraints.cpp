@@ -42,6 +42,15 @@ Matrix idc_load_matrix(std::size_t portals, std::size_t idcs) {
 StackedConstraints stack_constraints(const InputConstraints& per_step,
                                      const Vector& u_prev,
                                      std::size_t control_horizon) {
+  StackedConstraints out;
+  stack_constraints_into(per_step, u_prev, control_horizon, out);
+  return out;
+}
+
+void stack_constraints_into(const InputConstraints& per_step,
+                            const Vector& u_prev,
+                            std::size_t control_horizon,
+                            StackedConstraints& out) {
   const std::size_t m = u_prev.size();
   require(control_horizon >= 1, "stack_constraints: empty control horizon");
   per_step.validate(m);
@@ -51,10 +60,9 @@ StackedConstraints stack_constraints(const InputConstraints& per_step,
   const std::size_t nn_rows = per_step.nonnegative ? m : 0;
   const std::size_t b2 = control_horizon;
 
-  StackedConstraints out;
-  out.a_eq = Matrix(eq_rows * b2, m * b2);
+  out.a_eq.resize(eq_rows * b2, m * b2);
   out.b_eq.assign(eq_rows * b2, 0.0);
-  out.a_in = Matrix((in_rows + nn_rows) * b2, m * b2);
+  out.a_in.resize((in_rows + nn_rows) * b2, m * b2);
   out.lower.assign((in_rows + nn_rows) * b2, 0.0);
   out.upper.assign((in_rows + nn_rows) * b2, 0.0);
 
@@ -96,7 +104,31 @@ StackedConstraints stack_constraints(const InputConstraints& per_step,
       out.upper[row] = solvers::kInfinity;
     }
   }
-  return out;
+}
+
+void TransportConstraints::validate() const {
+  require(!demand.empty(), "TransportConstraints: need at least one portal");
+  require(!cap_lower.empty(), "TransportConstraints: need at least one IDC");
+  require(cap_upper.size() == cap_lower.size(),
+          "TransportConstraints: cap bound size mismatch");
+  for (std::size_t j = 0; j < cap_lower.size(); ++j) {
+    require(cap_lower[j] <= cap_upper[j],
+            "TransportConstraints: cap lower > upper");
+  }
+}
+
+InputConstraints TransportConstraints::materialize() const {
+  validate();
+  const std::size_t c = portals();
+  const std::size_t n = idcs();
+  InputConstraints dense;
+  dense.h_eq = conservation_matrix(c, n);
+  dense.h_rhs = demand;
+  dense.a_in = idc_load_matrix(c, n);
+  dense.in_lower = cap_lower;
+  dense.in_upper = cap_upper;
+  dense.nonnegative = nonnegative;
+  return dense;
 }
 
 }  // namespace gridctl::control

@@ -38,6 +38,34 @@ StackedConstraints stack_constraints(const InputConstraints& per_step,
                                      const linalg::Vector& u_prev,
                                      std::size_t control_horizon);
 
+// Arena variant: writes into `out`, reusing its storage when the shapes
+// already match (the per-tick hot path re-stacks with a new u_prev but
+// an unchanged shape, so after the first call this allocates nothing).
+void stack_constraints_into(const InputConstraints& per_step,
+                            const linalg::Vector& u_prev,
+                            std::size_t control_horizon,
+                            StackedConstraints& out);
+
+// The CostController constraint set in structured form: conservation
+// (Σ_j u[i,j] = demand_i per portal), per-IDC load caps
+// (cap_lower_j <= Σ_i u[i,j] <= cap_upper_j) and non-negativity. This
+// is the exact pattern conservation_matrix / idc_load_matrix produce,
+// carried as O(C + N) vectors instead of O(C·N²) dense rows so the
+// condensed solver can exploit it and the dense path can materialize it
+// lazily.
+struct TransportConstraints {
+  linalg::Vector demand;     // C, conservation right-hand side
+  linalg::Vector cap_lower;  // N, entries may be -inf
+  linalg::Vector cap_upper;  // N, entries may be +inf
+  bool nonnegative = true;
+
+  std::size_t portals() const { return demand.size(); }
+  std::size_t idcs() const { return cap_lower.size(); }
+  void validate() const;
+  // Equivalent dense per-step form (for the generic QP backends).
+  InputConstraints materialize() const;
+};
+
 // Workload-conservation block (paper eq. 26–29): portal-major U layout,
 // H (C x NC) with H(i, i*N + j) = 1 for all j; h = L.
 linalg::Matrix conservation_matrix(std::size_t portals, std::size_t idcs);

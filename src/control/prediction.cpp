@@ -45,9 +45,8 @@ Matrix cumulative_selector(std::size_t num_inputs,
   return sel;
 }
 
-StackedPrediction build_prediction(const MpcPlant& plant,
-                                   const MpcHorizons& horizons,
-                                   const Vector& x, const Vector& u_prev) {
+void build_theta_into(const MpcPlant& plant, const MpcHorizons& horizons,
+                      Matrix& theta) {
   plant.validate();
   horizons.validate();
   const std::size_t n = plant.num_states();
@@ -55,59 +54,81 @@ StackedPrediction build_prediction(const MpcPlant& plant,
   const std::size_t p = plant.num_outputs();
   const std::size_t b1 = horizons.prediction;
   const std::size_t b2 = horizons.control;
-  require(x.size() == n, "build_prediction: state size mismatch");
-  require(u_prev.size() == m, "build_prediction: input size mismatch");
 
-  StackedPrediction out;
-  out.theta = Matrix(p * b1, m * b2);
-  out.constant.assign(p * b1, 0.0);
+  theta.resize(p * b1, m * b2);
 
-  // State propagation bookkeeping. x_const_s = Phi^s x + sum Phi^t w +
-  // (sum Phi^{s-1-t} G) u_prev; x_move_s[tau] = dX_s / dΔU_tau.
-  Vector x_const(n, 0.0);
+  // Move sensitivities: x_move_s[tau] = dX_s / dΔU_tau. Independent of
+  // the current state and previous input, which is what makes theta
+  // cacheable across control periods.
   std::vector<Matrix> x_move(b2, Matrix(n, m));
-  if (n > 0) x_const = x;
-
   for (std::size_t s = 1; s <= b1; ++s) {
+    const std::size_t t = std::min(s - 1, b2 - 1);
     if (n > 0) {
-      // One recursion step: X_{k+s} = Phi X_{k+s-1} + G U_{k+s-1} + w.
-      // Input applied over [k+s-1, k+s): U index t = min(s-1, b2-1);
-      // U_t = u_prev + Σ_{τ<=t} ΔU_τ.
-      const std::size_t t = std::min(s - 1, b2 - 1);
-      Vector next_const = plant.phi * x_const;
-      const Vector gu = plant.g * u_prev;
-      for (std::size_t i = 0; i < n; ++i) {
-        next_const[i] += gu[i] + plant.w[i];
-      }
       std::vector<Matrix> next_move(b2, Matrix(n, m));
       for (std::size_t tau = 0; tau < b2; ++tau) {
         next_move[tau] = plant.phi * x_move[tau];
         if (tau <= t) next_move[tau] += plant.g;
       }
-      x_const = std::move(next_const);
       x_move = std::move(next_move);
-    }
-
-    // Output row block s-1: Y_s = C_x X_s + C_u U_t + y0 with the same
-    // input index convention.
-    const std::size_t t = std::min(s - 1, b2 - 1);
-    Vector y_const = plant.y0;
-    if (n > 0) {
-      const Vector cx = plant.c_x * x_const;
-      for (std::size_t i = 0; i < p; ++i) y_const[i] += cx[i];
-    }
-    const Vector cu = plant.c_u * u_prev;
-    for (std::size_t i = 0; i < p; ++i) y_const[i] += cu[i];
-    for (std::size_t i = 0; i < p; ++i) {
-      out.constant[(s - 1) * p + i] = y_const[i];
     }
     for (std::size_t tau = 0; tau < b2; ++tau) {
       Matrix block(p, m);
       if (n > 0) block = plant.c_x * x_move[tau];
       if (tau <= t) block += plant.c_u;
-      out.theta.set_block((s - 1) * p, tau * m, block);
+      theta.set_block((s - 1) * p, tau * m, block);
     }
   }
+}
+
+void build_constant_into(const MpcPlant& plant, const MpcHorizons& horizons,
+                         const Vector& x, const Vector& u_prev,
+                         Vector& constant) {
+  plant.validate();
+  horizons.validate();
+  const std::size_t n = plant.num_states();
+  const std::size_t m = plant.num_inputs();
+  const std::size_t p = plant.num_outputs();
+  const std::size_t b1 = horizons.prediction;
+  require(x.size() == n, "build_prediction: state size mismatch");
+  require(u_prev.size() == m, "build_prediction: input size mismatch");
+
+  constant.assign(p * b1, 0.0);
+
+  // Affine part of the recursion X_{k+s} = Phi X_{k+s-1} + G U + w with
+  // all moves zero: x_const_s = Phi^s x + sum Phi^t w +
+  // (sum Phi^{s-1-t} G) u_prev.
+  Vector x_const(n, 0.0);
+  if (n > 0) x_const = x;
+  const Vector gu = n > 0 ? plant.g * u_prev : Vector{};
+  const Vector cu = plant.c_u * u_prev;
+
+  for (std::size_t s = 1; s <= b1; ++s) {
+    if (n > 0) {
+      Vector next_const = plant.phi * x_const;
+      for (std::size_t i = 0; i < n; ++i) {
+        next_const[i] += gu[i] + plant.w[i];
+      }
+      x_const = std::move(next_const);
+    }
+    // Output row block s-1: Y_s = C_x X_s + C_u U_t + y0.
+    Vector y_const = plant.y0;
+    if (n > 0) {
+      const Vector cx = plant.c_x * x_const;
+      for (std::size_t i = 0; i < p; ++i) y_const[i] += cx[i];
+    }
+    for (std::size_t i = 0; i < p; ++i) y_const[i] += cu[i];
+    for (std::size_t i = 0; i < p; ++i) {
+      constant[(s - 1) * p + i] = y_const[i];
+    }
+  }
+}
+
+StackedPrediction build_prediction(const MpcPlant& plant,
+                                   const MpcHorizons& horizons,
+                                   const Vector& x, const Vector& u_prev) {
+  StackedPrediction out;
+  build_theta_into(plant, horizons, out.theta);
+  build_constant_into(plant, horizons, x, u_prev, out.constant);
   return out;
 }
 

@@ -60,6 +60,17 @@ StackedPrediction build_prediction(const MpcPlant& plant,
                                    const linalg::Vector& x,
                                    const linalg::Vector& u_prev);
 
+// Split form for per-tick reuse: theta depends only on the plant and
+// the horizons (never on the current state or input), so controllers
+// cache it across control periods and rebuild only the affine constant.
+// Both write into their output arguments, reusing existing storage when
+// the shape is unchanged.
+void build_theta_into(const MpcPlant& plant, const MpcHorizons& horizons,
+                      linalg::Matrix& theta);
+void build_constant_into(const MpcPlant& plant, const MpcHorizons& horizons,
+                         const linalg::Vector& x, const linalg::Vector& u_prev,
+                         linalg::Vector& constant);
+
 // The block-lower-triangular cumulative selector Ī (paper eq. 43–45):
 // row-block t maps dU_stack to U_t - U_{k-1} = Σ_{τ<=t} ΔU_τ.
 linalg::Matrix cumulative_selector(std::size_t num_inputs,

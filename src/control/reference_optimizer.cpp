@@ -37,6 +37,74 @@ double load_cap_for_budget(const IdcConfig& idc, double budget_w) {
 
 namespace {
 
+// Above this variable count, the transportation LP is solved by the
+// closed-form greedy below instead of the simplex (whose dense tableau
+// is (c + n) × (n·c) — gigabytes at fleet scale). Small problems keep
+// the simplex so its vertex solutions — which published trajectories
+// pin — are unchanged.
+constexpr std::size_t kGreedyGateVars = 4096;
+
+double unit_cost(const ReferenceProblem& problem, std::size_t j) {
+  const auto& idc = problem.idcs[j];
+  const double per_rps =
+      problem.basis == CostBasis::kPowerIntegral
+          ? idc.power.watts_per_rps() +
+                idc.power.idle_w.value() / idc.power.service_rate.value()
+          : 1.0;
+  return problem.prices[j] * per_rps;
+}
+
+// The LP's cost on lambda_ij depends only on the IDC column j, so the
+// optimal per-IDC loads are the greedy fill of the cheapest IDCs up to
+// their caps, and the product-form split
+// lambda_ij = L_i · load_j / L_total meets both marginals exactly
+// (row sums L_i, column sums load_j). O(n·c) instead of a simplex run.
+solvers::LpResult solve_allocation_greedy(const ReferenceProblem& problem,
+                                          const std::vector<double>& caps) {
+  const std::size_t n = problem.idcs.size();
+  const std::size_t c = problem.portal_demands.size();
+  solvers::LpResult result;
+  result.x.assign(n * c, 0.0);
+
+  double total = 0.0;
+  for (double demand : problem.portal_demands) total += demand;
+  if (total <= 0.0) {
+    result.status = solvers::LpStatus::kOptimal;
+    return result;
+  }
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t j = 0; j < n; ++j) order[j] = j;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return unit_cost(problem, a) < unit_cost(problem, b);
+                   });
+  std::vector<double> loads(n, 0.0);
+  double remaining = total;
+  double objective = 0.0;
+  for (const std::size_t j : order) {
+    const double take = std::min(caps[j], remaining);
+    if (take <= 0.0) continue;
+    loads[j] = take;
+    objective += unit_cost(problem, j) * take;
+    remaining -= take;
+    if (remaining <= 0.0) break;
+  }
+  if (remaining > 1e-9 * std::max(1.0, total)) {
+    result.status = solvers::LpStatus::kInfeasible;
+    return result;
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    const double share = problem.portal_demands[i] / total;
+    for (std::size_t j = 0; j < n; ++j) {
+      result.x[i * n + j] = share * loads[j];
+    }
+  }
+  result.status = solvers::LpStatus::kOptimal;
+  result.objective = objective;
+  return result;
+}
+
 // Transportation LP over lambda_ij (portal-major flattening):
 //   min sum_ij Pr_j (b1_j + b0_j/mu_j) lambda_ij
 //   s.t. sum_j lambda_ij = L_i          (portal conservation)
@@ -46,6 +114,7 @@ solvers::LpResult solve_allocation_lp(const ReferenceProblem& problem,
                                       const std::vector<double>& caps) {
   const std::size_t n = problem.idcs.size();
   const std::size_t c = problem.portal_demands.size();
+  if (n * c >= kGreedyGateVars) return solve_allocation_greedy(problem, caps);
   solvers::LpProblem lp;
   lp.c.assign(n * c, 0.0);
   for (std::size_t i = 0; i < c; ++i) {

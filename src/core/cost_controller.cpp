@@ -8,7 +8,6 @@
 
 namespace gridctl::core {
 
-using control::InputConstraints;
 using control::MpcPlant;
 using datacenter::Allocation;
 using linalg::Matrix;
@@ -138,15 +137,10 @@ CostController::CostController(Config config)
   mpc_config.backend = config_.params.backend;
   mpc_config.max_solver_iterations = config_.params.solver_max_iterations;
   mpc_config.backend_fallback = config_.params.solver_fallback;
-  // Constraints are installed per step (the conservation right-hand side
-  // follows the live workload).
-  mpc_config.constraints.h_eq =
-      control::conservation_matrix(config_.portals, config_.idcs.size());
-  mpc_config.constraints.h_rhs.assign(config_.portals, 0.0);
-  mpc_config.constraints.a_in =
-      control::idc_load_matrix(config_.portals, config_.idcs.size());
-  mpc_config.constraints.in_lower.assign(config_.idcs.size(), 0.0);
-  mpc_config.constraints.in_upper.assign(config_.idcs.size(), 0.0);
+  // Constraints are installed per step in structured TransportConstraints
+  // form (the conservation right-hand side follows the live workload);
+  // the controller never materializes the dense conservation/cap rows
+  // unless a dense backend or a fallback solve asks for them.
   mpc_ = std::make_unique<control::MpcController>(build_plant(),
                                                   std::move(mpc_config));
   if (config_.params.invariants.enabled) {
@@ -181,16 +175,12 @@ MpcPlant CostController::build_plant() const {
   return plant;
 }
 
-InputConstraints CostController::build_constraints(
+control::TransportConstraints CostController::build_constraints(
     const std::vector<double>& portal_demands) const {
   const std::size_t n = config_.idcs.size();
-  InputConstraints constraints;
-  constraints.h_eq =
-      control::conservation_matrix(config_.portals, n);
-  constraints.h_rhs = linalg::scale(1.0 / kRpsScale, portal_demands);
-  constraints.a_in = control::idc_load_matrix(config_.portals, n);
-  constraints.in_lower.assign(n, 0.0);
-  constraints.in_upper.assign(n, 0.0);
+  control::TransportConstraints constraints;
+  constraints.demand = linalg::scale(1.0 / kRpsScale, portal_demands);
+  constraints.cap_lower.assign(n, 0.0);
 
   // Per-IDC load caps. Default (paper-faithful): capacity caps only —
   // budgets act through the clamped references, so compliance is
@@ -202,7 +192,7 @@ InputConstraints CostController::build_constraints(
   const std::vector<double> caps = check::effective_load_caps(
       config_.idcs, config_.power_budgets_w,
       config_.params.budget_hard_constraints, portal_demands);
-  constraints.in_upper = linalg::scale(1.0 / kRpsScale, caps);
+  constraints.cap_upper = linalg::scale(1.0 / kRpsScale, caps);
   constraints.nonnegative = true;
   return constraints;
 }
@@ -277,10 +267,12 @@ CostController::Decision CostController::step(
 
   // Fast loop: MPC tracks the reference power with move penalties.
   mpc_->set_constraints(build_constraints(served_demands));
-  control::MpcStep step_input;
+  control::MpcStep& step_input = mpc_input_;
+  step_input.x.clear();
   step_input.u_prev = linalg::scale(1.0 / kRpsScale, allocation_.flatten());
-  step_input.references = {
-      linalg::scale(1.0 / kPowerScale, decision.reference.reference_power_w)};
+  step_input.references.assign(
+      1,
+      linalg::scale(1.0 / kPowerScale, decision.reference.reference_power_w));
   const bool trajectory_references =
       (config_.params.predict_workload && config_.params.reference_trajectory) ||
       !price_preview.empty();
@@ -313,7 +305,8 @@ CostController::Decision CostController::step(
                                  : decision.reference.reference_power_w));
     }
   }
-  const control::MpcResult mpc_result = mpc_->step(step_input);
+  mpc_->step_into(step_input, mpc_result_);
+  const control::MpcResult& mpc_result = mpc_result_;
   decision.mpc_status = mpc_result.status;
   decision.mpc_iterations = mpc_result.solver_iterations;
   decision.mpc_warm_started = mpc_result.warm_started;
@@ -486,6 +479,7 @@ CostController::State CostController::snapshot() const {
   state.servers = servers_;
   state.step_count = step_count_;
   state.mpc_warm_start = mpc_->warm_start();
+  state.mpc_warm_dual = mpc_->warm_dual();
   state.predictors.reserve(predictors_.size());
   for (const auto& predictor : predictors_) {
     state.predictors.push_back(predictor.snapshot());
@@ -506,6 +500,7 @@ void CostController::restore(const State& state) {
   servers_ = state.servers;
   step_count_ = state.step_count;
   mpc_->restore_warm_start(state.mpc_warm_start);
+  mpc_->restore_warm_dual(state.mpc_warm_dual);
   for (std::size_t i = 0; i < predictors_.size(); ++i) {
     predictors_[i].restore(state.predictors[i]);
   }

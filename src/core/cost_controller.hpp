@@ -74,6 +74,11 @@ class CostController {
     std::vector<std::size_t> servers;
     std::size_t step_count = 0;
     linalg::Vector mpc_warm_start;        // empty = cold
+    // Condensed-backend dual cache (empty = cold / dense backend). Kept
+    // alongside the warm start so a condensed resume replays the exact
+    // QP iterate path; checkpoints written before this field existed
+    // restore as a cold dual.
+    linalg::Vector mpc_warm_dual;
     std::vector<workload::ArPredictor::State> predictors;  // empty unless
                                                            // predict_workload
   };
@@ -132,7 +137,7 @@ class CostController {
 
  private:
   control::MpcPlant build_plant() const;
-  control::InputConstraints build_constraints(
+  control::TransportConstraints build_constraints(
       const std::vector<double>& portal_demands) const;
   void finish_decision(Decision& decision,
                        const std::vector<double>& served_demands);
@@ -144,6 +149,8 @@ class CostController {
   std::size_t step_count_ = 0;
   std::vector<workload::ArPredictor> predictors_;
   std::unique_ptr<control::MpcController> mpc_;
+  control::MpcStep mpc_input_;     // per-tick arena for the MPC call
+  control::MpcResult mpc_result_;
   std::optional<check::InvariantChecker> checker_;
 };
 

@@ -201,9 +201,11 @@ void parse_controller(const JsonValue& node, ControllerParams& params) {
     params.backend = solvers::LsqBackend::kAdmm;
   } else if (backend == "active_set") {
     params.backend = solvers::LsqBackend::kActiveSet;
+  } else if (backend == "condensed") {
+    params.backend = solvers::LsqBackend::kCondensed;
   } else {
     throw InvalidArgument("scenario: unknown backend '" + backend +
-                          "' (expected 'admm' or 'active_set')");
+                          "' (expected 'admm', 'active_set' or 'condensed')");
   }
   const double cap = node.number_or(
       "solver_max_iterations",

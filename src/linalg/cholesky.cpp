@@ -1,52 +1,87 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
 
 namespace gridctl::linalg {
 
-Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
-  require(a.square(), "Cholesky: matrix must be square");
-  const std::size_t n = a.rows();
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
-    if (diag <= 0.0 || !std::isfinite(diag)) {
-      throw NumericalError("Cholesky: matrix is not positive definite");
-    }
-    l_(j, j) = std::sqrt(diag);
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double sum = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
-      l_(i, j) = sum / l_(j, j);
-    }
+namespace {
+
+// Shared raw-pointer kernels. Both factorizations are left-looking with
+// the dot products over the already-computed part of the row; operating
+// on the raw row-major storage (instead of the bounds-checked accessor)
+// keeps the inner loops branch-free and auto-vectorizable, which is
+// what makes the repeated KKT factorizations in the QP solvers cheap.
+
+// Forward substitution L y = b (L lower-triangular, `unit` selects an
+// implicit unit diagonal), overwriting b.
+void forward_subst(const double* l, std::size_t n, bool unit, double* b) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* lrow = l + i * n;
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= lrow[j] * b[j];
+    b[i] = unit ? sum : sum / lrow[i];
   }
 }
 
-Vector Cholesky::solve(const Vector& b) const {
+// Back substitution Lᵀ x = b, overwriting b. Walks columns of L (rows
+// of Lᵀ) with a saxpy per step so the memory access stays row-major.
+void backward_subst(const double* l, std::size_t n, bool unit, double* b) {
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double x = unit ? b[ii] : b[ii] / l[ii * n + ii];
+    b[ii] = x;
+    if (x == 0.0) continue;
+    for (std::size_t j = 0; j < ii; ++j) b[j] -= l[ii * n + j] * x;
+  }
+}
+
+}  // namespace
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  require(a.square(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  const double* src = a.data();
+  double* l = l_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* lrow = l + i * n;
+    // Off-diagonal entries of row i against prior rows j < i.
+    for (std::size_t j = 0; j < i; ++j) {
+      const double* ljrow = l + j * n;
+      double sum = src[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= lrow[k] * ljrow[k];
+      lrow[j] = sum / ljrow[j];
+    }
+    double diag = src[i * n + i];
+    for (std::size_t k = 0; k < i; ++k) diag -= lrow[k] * lrow[k];
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      throw NumericalError("Cholesky: matrix is not positive definite");
+    }
+    lrow[i] = std::sqrt(diag);
+  }
+}
+
+void Cholesky::solve_in_place(Vector& b) const {
   const std::size_t n = l_.rows();
   require(b.size() == n, "Cholesky::solve: dimension mismatch");
-  Vector y(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (std::size_t j = 0; j < i; ++j) sum -= l_(i, j) * y[j];
-    y[i] = sum / l_(i, i);
-  }
-  Vector x(n);
-  for (std::size_t ii = n; ii-- > 0;) {
-    double sum = y[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) sum -= l_(j, ii) * x[j];
-    x[ii] = sum / l_(ii, ii);
-  }
+  forward_subst(l_.data(), n, /*unit=*/false, b.data());
+  backward_subst(l_.data(), n, /*unit=*/false, b.data());
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  Vector x = b;
+  solve_in_place(x);
   return x;
 }
 
 Matrix Cholesky::solve(const Matrix& b) const {
   require(b.rows() == l_.rows(), "Cholesky::solve: dimension mismatch");
   Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
   for (std::size_t c = 0; c < b.cols(); ++c) {
-    const Vector col = solve(b.col_vector(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    solve_in_place(col);
     for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
   }
   return x;
@@ -56,15 +91,25 @@ Ldlt::Ldlt(const Matrix& a) : l_(Matrix::identity(a.rows())), d_(a.rows()) {
   require(a.square(), "Ldlt: matrix must be square");
   scale_ = a.max_abs();
   const std::size_t n = a.rows();
-  for (std::size_t j = 0; j < n; ++j) {
-    double dj = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) dj -= l_(j, k) * l_(j, k) * d_[k];
-    d_[j] = dj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double sum = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k) * d_[k];
-      l_(i, j) = (dj != 0.0) ? sum / dj : 0.0;
+  const double* src = a.data();
+  double* l = l_.data();
+  double* d = d_.data();
+  // Row-scratch holding l_(i, k) * d_k for the active row, so the inner
+  // dot products read two contiguous rows instead of touching d_[k]
+  // per element.
+  Vector ld(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* lrow = l + i * n;
+    for (std::size_t j = 0; j < i; ++j) {
+      const double* ljrow = l + j * n;
+      double sum = src[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= ld[k] * ljrow[k];
+      lrow[j] = (d[j] != 0.0) ? sum / d[j] : 0.0;
+      ld[j] = lrow[j] * d[j];
     }
+    double di = src[i * n + i];
+    for (std::size_t k = 0; k < i; ++k) di -= lrow[k] * ld[k];
+    d[i] = di;
   }
 }
 
@@ -76,26 +121,18 @@ bool Ldlt::singular(double tol) const {
   return false;
 }
 
-Vector Ldlt::solve(const Vector& b) const {
+void Ldlt::solve_in_place(Vector& b) const {
   const std::size_t n = l_.rows();
   require(b.size() == n, "Ldlt::solve: dimension mismatch");
   if (singular()) throw NumericalError("Ldlt::solve: matrix is singular");
-  // L y = b
-  Vector y(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (std::size_t j = 0; j < i; ++j) sum -= l_(i, j) * y[j];
-    y[i] = sum;
-  }
-  // D z = y
-  for (std::size_t i = 0; i < n; ++i) y[i] /= d_[i];
-  // Lᵀ x = z
-  Vector x(n);
-  for (std::size_t ii = n; ii-- > 0;) {
-    double sum = y[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) sum -= l_(j, ii) * x[j];
-    x[ii] = sum;
-  }
+  forward_subst(l_.data(), n, /*unit=*/true, b.data());
+  for (std::size_t i = 0; i < n; ++i) b[i] /= d_[i];
+  backward_subst(l_.data(), n, /*unit=*/true, b.data());
+}
+
+Vector Ldlt::solve(const Vector& b) const {
+  Vector x = b;
+  solve_in_place(x);
   return x;
 }
 

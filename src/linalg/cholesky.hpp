@@ -17,6 +17,9 @@ class Cholesky {
 
   Vector solve(const Vector& b) const;
   Matrix solve(const Matrix& b) const;
+  // Overwrites `b` with A⁻¹b; allocation-free (the arena-friendly form
+  // used by the condensed MPC solver's hot loop).
+  void solve_in_place(Vector& b) const;
 
   const Matrix& lower() const { return l_; }
 
@@ -33,6 +36,8 @@ class Ldlt {
 
   bool singular(double tol = 1e-12) const;
   Vector solve(const Vector& b) const;
+  // Overwrites `b` with A⁻¹b; allocation-free.
+  void solve_in_place(Vector& b) const;
 
   const Matrix& unit_lower() const { return l_; }
   const Vector& diag() const { return d_; }

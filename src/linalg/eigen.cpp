@@ -1,0 +1,89 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace gridctl::linalg {
+
+SymmetricEigen symmetric_eigen(const Matrix& a, double sym_tol) {
+  require(a.square(), "symmetric_eigen: matrix must be square");
+  const std::size_t n = a.rows();
+  const double scale = a.max_abs();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      require(std::abs(a(i, j) - a(j, i)) <= sym_tol * std::max(scale, 1.0),
+              "symmetric_eigen: matrix is not symmetric");
+    }
+  }
+
+  SymmetricEigen out;
+  out.vectors = Matrix::identity(n);
+  if (n == 0) return out;
+
+  Matrix work = a;
+  // Cyclic Jacobi: sweep all (p, q) pairs, rotating each off-diagonal
+  // entry to zero; off-diagonal mass decays quadratically once small.
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += work(p, q) * work(p, q);
+    }
+    if (off <= 1e-30 * std::max(scale * scale, 1.0)) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = work(p, q);
+        if (apq == 0.0) continue;
+        const double app = work(p, p);
+        const double aqq = work(q, q);
+        // Stable rotation (Golub & Van Loan, Alg. 8.4.1).
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wkp = work(k, p);
+          const double wkq = work(k, q);
+          work(k, p) = c * wkp - s * wkq;
+          work(k, q) = s * wkp + c * wkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wpk = work(p, k);
+          const double wqk = work(q, k);
+          work(p, k) = c * wpk - s * wqk;
+          work(q, k) = s * wpk + c * wqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = out.vectors(k, p);
+          const double vkq = out.vectors(k, q);
+          out.vectors(k, p) = c * vkp - s * vkq;
+          out.vectors(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending, permuting the eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return work(i, i) < work(j, j);
+  });
+  out.values.resize(n);
+  Matrix sorted(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    out.values[c] = work(order[c], order[c]);
+    for (std::size_t r = 0; r < n; ++r) {
+      sorted(r, c) = out.vectors(r, order[c]);
+    }
+  }
+  out.vectors = std::move(sorted);
+  return out;
+}
+
+}  // namespace gridctl::linalg

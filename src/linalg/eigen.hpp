@@ -1,0 +1,24 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Sized for the small dense symmetric matrices gridctl diagonalizes —
+// the β2 x β2 control-horizon coupling matrix of the condensed MPC
+// solver and test fixtures — where Jacobi's unconditional stability and
+// orthogonality to machine precision matter more than asymptotics.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gridctl::linalg {
+
+struct SymmetricEigen {
+  // a = vectors · diag(values) · vectorsᵀ, eigenvalues ascending,
+  // eigenvectors in the corresponding columns (orthonormal).
+  Vector values;
+  Matrix vectors;
+};
+
+// Throws InvalidArgument unless `a` is square and symmetric to `sym_tol`
+// (relative to max |entry|).
+SymmetricEigen symmetric_eigen(const Matrix& a, double sym_tol = 1e-9);
+
+}  // namespace gridctl::linalg

@@ -56,6 +56,14 @@ double Matrix::operator()(std::size_t r, std::size_t c) const {
   return data_[r * cols_ + c];
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+void Matrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
 Matrix Matrix::transpose() const {
   Matrix t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
@@ -159,20 +167,89 @@ std::string Matrix::to_string(int precision) const {
 Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
 Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
 
+namespace {
+
+// Blocked GEMM kernel: C += A·B over [i0,i1) x [k0,k1) tiles, i-k-j
+// inner order so B and C rows stream through cache. Tiles are sized so
+// one A tile plus the touched B/C row panels stay L1/L2-resident; the
+// zero-skip on A entries keeps banded/stacked control matrices cheap.
+constexpr std::size_t kGemmTile = 64;
+
+void gemm_tiles(const double* a, const double* b, double* c, std::size_t n,
+                std::size_t k_dim, std::size_t m) {
+  for (std::size_t i0 = 0; i0 < n; i0 += kGemmTile) {
+    const std::size_t i1 = std::min(i0 + kGemmTile, n);
+    for (std::size_t k0 = 0; k0 < k_dim; k0 += kGemmTile) {
+      const std::size_t k1 = std::min(k0 + kGemmTile, k_dim);
+      for (std::size_t i = i0; i < i1; ++i) {
+        double* crow = c + i * m;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double aik = a[i * k_dim + k];
+          if (aik == 0.0) continue;
+          const double* brow = b + k * m;
+          for (std::size_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  require(a.cols() == b.rows(), "Matrix multiply: dimension mismatch");
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    c.resize(a.rows(), b.cols());
+  } else {
+    c.set_zero();
+  }
+  gemm_tiles(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+}
+
+void multiply_into(const Matrix& a, const Vector& x, Vector& y) {
+  require(a.cols() == x.size(), "Matrix*Vector: dimension mismatch");
+  y.assign(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* arow = a.data() + r * a.cols();
+    double sum = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) sum += arow[c] * x[c];
+    y[r] = sum;
+  }
+}
+
+void weighted_gram_into(const Matrix& f, const Vector& w, Matrix& out) {
+  const std::size_t rows = f.rows();
+  const std::size_t n = f.cols();
+  require(w.size() == rows, "weighted_gram: weight size mismatch");
+  if (out.rows() != n || out.cols() != n) {
+    out.resize(n, n);
+  } else {
+    out.set_zero();
+  }
+  // Rank-1 accumulation over rows, upper triangle only; each row r
+  // contributes w_r f_r f_rᵀ. Row-major streaming of f keeps the access
+  // pattern sequential; the triangle is mirrored at the end.
+  double* o = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double wr = w[r];
+    if (wr == 0.0) continue;
+    const double* frow = f.data() + r * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double fi = wr * frow[i];
+      if (fi == 0.0) continue;
+      double* orow = o + i * n;
+      for (std::size_t j = i; j < n; ++j) orow[j] += fi * frow[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) o[j * n + i] = o[i * n + j];
+  }
+}
+
 Matrix operator*(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.rows(), "Matrix multiply: dimension mismatch");
   Matrix c(a.rows(), b.cols());
-  const std::size_t n = a.rows(), k_dim = a.cols(), m = b.cols();
-  // i-k-j loop order for row-major cache friendliness.
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t k = 0; k < k_dim; ++k) {
-      const double aik = a.data()[i * k_dim + k];
-      if (aik == 0.0) continue;
-      const double* brow = b.data() + k * m;
-      double* crow = c.data() + i * m;
-      for (std::size_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  gemm_tiles(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
   return c;
 }
 

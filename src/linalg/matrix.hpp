@@ -38,6 +38,13 @@ class Matrix {
   double& operator()(std::size_t r, std::size_t c);
   double operator()(std::size_t r, std::size_t c) const;
 
+  // Reshape to rows x cols, all entries zero. Reuses the existing
+  // storage when the element count allows (the arena-reuse primitive:
+  // a shape-stable hot loop pays no allocation after warm-up).
+  void resize(std::size_t rows, std::size_t cols);
+  // Set every entry to zero, keeping the shape.
+  void set_zero();
+
   // Raw storage access (row-major), for tight loops.
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
@@ -78,6 +85,17 @@ Matrix operator*(const Matrix& a, const Matrix& b);
 Matrix operator*(double s, Matrix a);
 Matrix operator*(Matrix a, double s);
 Vector operator*(const Matrix& a, const Vector& x);
+
+// c = a * b without allocating when c already has the right shape.
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& c);
+// y = a * x without allocating when y already has the right size.
+void multiply_into(const Matrix& a, const Vector& x, Vector& y);
+// Symmetric weighted Gram product FᵀWF (W = diag(w), w >= 0 assumed
+// validated by the caller). Exploits symmetry — half the multiplies of
+// the generic transpose()+operator* route — with a blocked rank-k
+// update over the rows of F for cache locality. `out` is resized to
+// n x n and fully overwritten.
+void weighted_gram_into(const Matrix& f, const Vector& w, Matrix& out);
 
 // Stack horizontally / vertically; dimension-checked.
 Matrix hstack(const Matrix& a, const Matrix& b);

@@ -209,6 +209,7 @@ JsonValue controller_to_json(const core::CostController::State& state) {
   object.emplace("step_count",
                  num(static_cast<std::uint64_t>(state.step_count)));
   object.emplace("mpc_warm_start", doubles_to_json(state.mpc_warm_start));
+  object.emplace("mpc_warm_dual", doubles_to_json(state.mpc_warm_dual));
   JsonValue::Array predictors;
   predictors.reserve(state.predictors.size());
   for (const auto& p : state.predictors) {
@@ -229,6 +230,12 @@ core::CostController::State controller_from_json(const JsonValue& json) {
   state.servers = sizes_from_json(json.at("servers"));
   state.step_count = static_cast<std::size_t>(as_u64(json.at("step_count")));
   state.mpc_warm_start = doubles_from_json(json.at("mpc_warm_start"));
+  // Checkpoints written before the condensed backend existed have no
+  // dual cache; they restore cold (exactly what the writer would have
+  // produced for a dense-backend run).
+  if (json.as_object().count("mpc_warm_dual") > 0) {
+    state.mpc_warm_dual = doubles_from_json(json.at("mpc_warm_dual"));
+  }
   for (const auto& p : json.at("predictors").as_array()) {
     workload::ArPredictor::State predictor;
     predictor.theta = doubles_from_json(p.at("theta"));

@@ -72,6 +72,10 @@ ConstrainedLsqResult solve_constrained_lsq(const ConstrainedLsqProblem& problem,
   const QpProblem qp = to_qp(problem);
   QpResult qp_result;
   switch (options.backend) {
+    // kCondensed needs the structured problem description the MPC layer
+    // holds; through this dense interface it degrades to the equivalent
+    // ADMM solve.
+    case LsqBackend::kCondensed:
     case LsqBackend::kAdmm: {
       // MPC problems arrive pre-normalized to O(1) magnitudes, so a
       // 1e-6 tolerance is far below any physically meaningful digit and

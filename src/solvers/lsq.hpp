@@ -24,7 +24,13 @@ struct ConstrainedLsqProblem {
   linalg::Vector upper;    // entries may be +inf
 };
 
-enum class LsqBackend { kAdmm, kActiveSet };
+// kCondensed selects the structure-exploiting transport solver
+// (qp_condensed.hpp) where the problem shape allows it — the MPC layer
+// detects the transport structure and routes accordingly. This dense
+// entry point cannot express that structure, so solve_constrained_lsq
+// treats kCondensed as kAdmm (the same splitting method the condensed
+// solver mirrors).
+enum class LsqBackend { kAdmm, kActiveSet, kCondensed };
 
 // Solve knobs shared by both backends. `max_iterations == 0` keeps each
 // backend's own default; a small forced cap is the fault-injection lever

@@ -25,6 +25,17 @@ class NumericalError : public std::runtime_error {
 };
 
 // Require `cond`; otherwise throw InvalidArgument with `msg`.
+//
+// The `const char*` overload exists so the hot paths (matrix element
+// access, per-iteration solver checks) pay nothing on success: the
+// `std::string` overload would construct (and for any message beyond
+// the SSO limit, heap-allocate) its argument on every call, which both
+// costs time and breaks the zero-allocation-per-step guarantee of the
+// condensed MPC path.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw InvalidArgument(msg);
 }

@@ -1,0 +1,297 @@
+// MpcController condensed-path integration: structure detection and
+// gating, step-level agreement with the dense ADMM backend, warm-start
+// and dual caching across ticks, fallback-chain semantics under fault
+// injection, and the degradation of kCondensed to the dense path when
+// the structure is absent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/mpc.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::control {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using solvers::LsqBackend;
+using solvers::QpStatus;
+
+constexpr std::size_t kPortals = 2;
+constexpr std::size_t kIdcs = 3;
+
+// A transport-structured stateless plant: output j = slope_j * sigma_j
+// + y0_j where sigma_j is the per-IDC column sum of the portal-major
+// input. This is the exact shape CostController builds.
+MpcPlant transport_plant() {
+  MpcPlant plant;
+  const Vector slope{0.3, 0.45, 0.25};
+  const Vector y0{0.02, 0.04, 0.03};
+  plant.c_u = Matrix(kIdcs, kPortals * kIdcs);
+  for (std::size_t j = 0; j < kIdcs; ++j) {
+    for (std::size_t i = 0; i < kPortals; ++i) {
+      plant.c_u(j, i * kIdcs + j) = slope[j];
+    }
+  }
+  plant.y0 = y0;
+  return plant;
+}
+
+MpcConfig transport_config(LsqBackend backend) {
+  MpcConfig config;
+  config.horizons = MpcHorizons{4, 2};
+  config.weights.q.assign(kIdcs, 1.0);
+  config.weights.r.assign(kPortals * kIdcs, 0.1);
+  config.backend = backend;
+  return config;
+}
+
+TransportConstraints transport_constraints() {
+  TransportConstraints transport;
+  transport.demand = Vector{5.0, 7.0};
+  transport.cap_lower.assign(kIdcs, 0.0);
+  transport.cap_upper.assign(kIdcs, 9.0);
+  transport.nonnegative = true;
+  return transport;
+}
+
+MpcStep transport_step() {
+  MpcStep input;
+  input.u_prev = Vector{2.0, 2.0, 1.0, 2.0, 3.0, 2.0};
+  input.references.assign(1, Vector{1.3, 1.9, 1.1});
+  return input;
+}
+
+TEST(MpcCondensed, ActivatesOnlyWithStructuredConstraints) {
+  MpcController controller(transport_plant(),
+                           transport_config(LsqBackend::kCondensed));
+  // No constraints installed yet: structure detected but not eligible.
+  EXPECT_FALSE(controller.condensed_active());
+  controller.set_constraints(transport_constraints());
+  EXPECT_TRUE(controller.condensed_active());
+  // Installing dense constraints switches back to the dense path.
+  controller.set_constraints(transport_constraints().materialize());
+  EXPECT_FALSE(controller.condensed_active());
+}
+
+TEST(MpcCondensed, InactiveForDenseBackends) {
+  MpcController controller(transport_plant(),
+                           transport_config(LsqBackend::kAdmm));
+  controller.set_constraints(transport_constraints());
+  EXPECT_FALSE(controller.condensed_active());
+}
+
+TEST(MpcCondensed, InactiveWhenPlantLacksStructure) {
+  MpcPlant plant = transport_plant();
+  plant.c_u(0, 1) = 0.7;  // cross-IDC coupling breaks separability
+  MpcController controller(std::move(plant),
+                           transport_config(LsqBackend::kCondensed));
+  controller.set_constraints(transport_constraints());
+  EXPECT_FALSE(controller.condensed_active());
+}
+
+TEST(MpcCondensed, PlantMutationInvalidatesStructure) {
+  MpcController controller(transport_plant(),
+                           transport_config(LsqBackend::kCondensed));
+  controller.set_constraints(transport_constraints());
+  ASSERT_TRUE(controller.condensed_active());
+  controller.mutable_plant().c_u(1, 0) = 0.9;
+  // The cache refreshes on the next step; the mutated plant no longer
+  // has the transport structure, so that step solves densely.
+  const MpcResult result = controller.step(transport_step());
+  EXPECT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_FALSE(controller.condensed_active());
+}
+
+TEST(MpcCondensed, AgreesWithDenseAdmm) {
+  MpcController condensed(transport_plant(),
+                          transport_config(LsqBackend::kCondensed));
+  condensed.set_constraints(transport_constraints());
+  ASSERT_TRUE(condensed.condensed_active());
+
+  MpcController dense(transport_plant(),
+                      transport_config(LsqBackend::kAdmm));
+  dense.set_constraints(transport_constraints());
+
+  const MpcStep input = transport_step();
+  const MpcResult a = condensed.step(input);
+  const MpcResult b = dense.step(input);
+  ASSERT_EQ(a.status, QpStatus::kOptimal);
+  ASSERT_EQ(b.status, QpStatus::kOptimal);
+  EXPECT_FALSE(a.used_fallback_backend);
+  ASSERT_EQ(a.u.size(), b.u.size());
+  for (std::size_t k = 0; k < a.u.size(); ++k) {
+    EXPECT_NEAR(a.u[k], b.u[k], 2e-3) << "input " << k;
+    EXPECT_NEAR(a.delta_u[k], b.delta_u[k], 2e-3) << "move " << k;
+  }
+  ASSERT_EQ(a.predicted_y.size(), b.predicted_y.size());
+  for (std::size_t j = 0; j < a.predicted_y.size(); ++j) {
+    EXPECT_NEAR(a.predicted_y[j], b.predicted_y[j], 2e-3) << "output " << j;
+  }
+  EXPECT_NEAR(a.objective, b.objective,
+              1e-4 * std::max(1.0, std::abs(b.objective)));
+}
+
+TEST(MpcCondensed, WarmStartsSecondStep) {
+  MpcController controller(transport_plant(),
+                           transport_config(LsqBackend::kCondensed));
+  controller.set_constraints(transport_constraints());
+  MpcStep input = transport_step();
+  const MpcResult first = controller.step(input);
+  ASSERT_EQ(first.status, QpStatus::kOptimal);
+  EXPECT_FALSE(first.warm_started);
+  EXPECT_FALSE(controller.warm_start().empty());
+  EXPECT_FALSE(controller.warm_dual().empty());
+
+  input.u_prev = first.u;
+  const MpcResult second = controller.step(input);
+  ASSERT_EQ(second.status, QpStatus::kOptimal);
+  EXPECT_TRUE(second.warm_started);
+}
+
+TEST(MpcCondensed, RepeatedSolveFromOptimumTerminatesFast) {
+  MpcController controller(transport_plant(),
+                           transport_config(LsqBackend::kCondensed));
+  controller.set_constraints(transport_constraints());
+  const MpcStep input = transport_step();
+  const MpcResult cold = controller.step(input);
+  ASSERT_EQ(cold.status, QpStatus::kOptimal);
+  // Identical problem, warm-started at the optimum: the solver must
+  // terminate (nearly) immediately.
+  const MpcResult warm = controller.step(input);
+  ASSERT_EQ(warm.status, QpStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_LE(warm.solver_iterations, 2u);
+  EXPECT_LT(warm.solver_iterations, cold.solver_iterations);
+}
+
+TEST(MpcCondensed, IterationCapWithoutFallbackReportsFailure) {
+  MpcConfig config = transport_config(LsqBackend::kCondensed);
+  config.max_solver_iterations = 2;
+  config.backend_fallback = false;
+  MpcController controller(transport_plant(), config);
+  controller.set_constraints(transport_constraints());
+  const MpcResult result = controller.step(transport_step());
+  EXPECT_EQ(result.status, QpStatus::kMaxIterations);
+  EXPECT_FALSE(result.used_fallback_backend);
+  // Failed solves must not poison the warm-start caches.
+  EXPECT_TRUE(controller.warm_start().empty());
+  EXPECT_TRUE(controller.warm_dual().empty());
+}
+
+TEST(MpcCondensed, IterationCapFallsBackToDense) {
+  MpcConfig config = transport_config(LsqBackend::kCondensed);
+  config.max_solver_iterations = 2;
+  config.backend_fallback = true;
+  MpcController controller(transport_plant(), config);
+  controller.set_constraints(transport_constraints());
+  const MpcResult result = controller.step(transport_step());
+  ASSERT_EQ(result.status, QpStatus::kOptimal);
+  EXPECT_TRUE(result.used_fallback_backend);
+  EXPECT_FALSE(result.warm_started);
+
+  // The fallback solution matches a healthy dense solve.
+  MpcController dense(transport_plant(),
+                      transport_config(LsqBackend::kAdmm));
+  dense.set_constraints(transport_constraints());
+  const MpcResult reference = dense.step(transport_step());
+  ASSERT_EQ(reference.status, QpStatus::kOptimal);
+  for (std::size_t k = 0; k < reference.u.size(); ++k) {
+    EXPECT_NEAR(result.u[k], reference.u[k], 2e-3) << "input " << k;
+  }
+}
+
+TEST(MpcCondensed, InfeasibleConstraintsReported) {
+  MpcController controller(transport_plant(),
+                           transport_config(LsqBackend::kCondensed));
+  TransportConstraints transport = transport_constraints();
+  transport.cap_upper.assign(kIdcs, 1.0);  // sum(caps) < sum(demand)
+  controller.set_constraints(transport);
+  const MpcResult result = controller.step(transport_step());
+  EXPECT_EQ(result.status, QpStatus::kInfeasible);
+}
+
+TEST(MpcCondensed, DegradedDenseSolveMatchesAdmmExactly) {
+  // kCondensed without structured constraints degrades to the dense
+  // path, which treats kCondensed as kAdmm — results must be bitwise
+  // identical to an explicit kAdmm controller fed the same problem.
+  MpcController degraded(transport_plant(),
+                         transport_config(LsqBackend::kCondensed));
+  degraded.set_constraints(transport_constraints().materialize());
+  ASSERT_FALSE(degraded.condensed_active());
+
+  MpcController dense(transport_plant(),
+                      transport_config(LsqBackend::kAdmm));
+  dense.set_constraints(transport_constraints().materialize());
+
+  const MpcStep input = transport_step();
+  const MpcResult a = degraded.step(input);
+  const MpcResult b = dense.step(input);
+  ASSERT_EQ(a.status, b.status);
+  ASSERT_EQ(a.u.size(), b.u.size());
+  for (std::size_t k = 0; k < a.u.size(); ++k) {
+    EXPECT_EQ(a.u[k], b.u[k]) << "input " << k;
+  }
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.solver_iterations, b.solver_iterations);
+}
+
+TEST(MpcCondensed, WarmDualRoundTripsThroughRestore) {
+  MpcController controller(transport_plant(),
+                           transport_config(LsqBackend::kCondensed));
+  controller.set_constraints(transport_constraints());
+  MpcStep input = transport_step();
+  const MpcResult first = controller.step(input);
+  ASSERT_EQ(first.status, QpStatus::kOptimal);
+  const Vector saved_x = controller.warm_start();
+  const Vector saved_y = controller.warm_dual();
+  input.u_prev = first.u;
+  const MpcResult continued = controller.step(input);
+  ASSERT_EQ(continued.status, QpStatus::kOptimal);
+
+  // A fresh controller restored from the snapshot takes the same path.
+  MpcController resumed(transport_plant(),
+                        transport_config(LsqBackend::kCondensed));
+  resumed.set_constraints(transport_constraints());
+  resumed.restore_warm_start(saved_x);
+  resumed.restore_warm_dual(saved_y);
+  const MpcResult replay = resumed.step(input);
+  ASSERT_EQ(replay.status, QpStatus::kOptimal);
+  EXPECT_TRUE(replay.warm_started);
+  EXPECT_EQ(replay.solver_iterations, continued.solver_iterations);
+  for (std::size_t k = 0; k < continued.u.size(); ++k) {
+    EXPECT_EQ(replay.u[k], continued.u[k]) << "input " << k;
+  }
+}
+
+TEST(MpcCondensed, StepIntoMatchesStep) {
+  MpcController a(transport_plant(),
+                  transport_config(LsqBackend::kCondensed));
+  a.set_constraints(transport_constraints());
+  MpcController b(transport_plant(),
+                  transport_config(LsqBackend::kCondensed));
+  b.set_constraints(transport_constraints());
+
+  const MpcStep input = transport_step();
+  const MpcResult by_value = a.step(input);
+  MpcResult reused;
+  b.step_into(input, reused);
+  EXPECT_EQ(by_value.status, reused.status);
+  EXPECT_EQ(by_value.solver_iterations, reused.solver_iterations);
+  for (std::size_t k = 0; k < by_value.u.size(); ++k) {
+    EXPECT_EQ(by_value.u[k], reused.u[k]);
+  }
+}
+
+TEST(MpcCondensed, RejectsMismatchedTransportShape) {
+  MpcController controller(transport_plant(),
+                           transport_config(LsqBackend::kCondensed));
+  TransportConstraints transport = transport_constraints();
+  transport.cap_lower.resize(kIdcs + 1);
+  transport.cap_upper.resize(kIdcs + 1);
+  EXPECT_THROW(controller.set_constraints(transport), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::control

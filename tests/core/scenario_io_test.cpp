@@ -211,7 +211,7 @@ TEST(ScenarioIo, MalformedFieldsProduceActionableMessages) {
   // Unknown backend names the accepted spellings.
   std::string text(kMinimalScenario);
   text.insert(text.rfind('}'), R"(, "controller": {"backend": "gurobi"})");
-  EXPECT_NE(error_of(text).find("expected 'admm' or 'active_set'"),
+  EXPECT_NE(error_of(text).find("expected 'admm', 'active_set' or 'condensed'"),
             std::string::npos);
 }
 

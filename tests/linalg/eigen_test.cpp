@@ -1,0 +1,127 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::linalg {
+namespace {
+
+void expect_eigen_decomposition(const Matrix& a, const SymmetricEigen& eig,
+                                double tol) {
+  const std::size_t n = a.rows();
+  ASSERT_EQ(eig.values.size(), n);
+  ASSERT_EQ(eig.vectors.rows(), n);
+  ASSERT_EQ(eig.vectors.cols(), n);
+  // A v_k = lambda_k v_k.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < n; ++j) av += a(i, j) * eig.vectors(j, k);
+      EXPECT_NEAR(av, eig.values[k] * eig.vectors(i, k), tol)
+          << "eigenpair " << k << " row " << i;
+    }
+  }
+  // Orthonormal columns.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t l = 0; l < n; ++l) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += eig.vectors(i, k) * eig.vectors(i, l);
+      }
+      EXPECT_NEAR(dot, k == l ? 1.0 : 0.0, tol) << "columns " << k << "," << l;
+    }
+  }
+  // Ascending eigenvalues.
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_LE(eig.values[k - 1], eig.values[k]);
+  }
+}
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  const Matrix a = Matrix::diagonal({3.0, -1.0, 2.0});
+  const SymmetricEigen eig = symmetric_eigen(a);
+  EXPECT_NEAR(eig.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+  expect_eigen_decomposition(a, eig, 1e-12);
+}
+
+TEST(SymmetricEigenTest, OneByOne) {
+  const Matrix a{{-7.5}};
+  const SymmetricEigen eig = symmetric_eigen(a);
+  EXPECT_DOUBLE_EQ(eig.values[0], -7.5);
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), 1.0, 1e-15);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const SymmetricEigen eig = symmetric_eigen(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  expect_eigen_decomposition(a, eig, 1e-12);
+}
+
+TEST(SymmetricEigenTest, AnchoredChainTridiagonal) {
+  // The condensed solver's T matrix: diag 2,…,2,1, off-diag −1. Its
+  // eigenvalues are 4 sin²((2k+1)π/(2(2n+1))) — strictly positive, so T
+  // is positive definite for every horizon length.
+  const std::size_t n = 7;
+  Matrix t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t(i, i) = (i + 1 < n) ? 2.0 : 1.0;
+    if (i + 1 < n) {
+      t(i, i + 1) = -1.0;
+      t(i + 1, i) = -1.0;
+    }
+  }
+  const SymmetricEigen eig = symmetric_eigen(t);
+  expect_eigen_decomposition(t, eig, 1e-10);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected =
+        4.0 * std::pow(std::sin((2.0 * static_cast<double>(k) + 1.0) * M_PI /
+                                (2.0 * (2.0 * static_cast<double>(n) + 1.0))),
+                       2.0);
+    EXPECT_NEAR(eig.values[k], expected, 1e-10) << "eigenvalue " << k;
+  }
+}
+
+TEST(SymmetricEigenTest, DenseSymmetric) {
+  Matrix a(5, 5);
+  // Deterministic "random" symmetric fill.
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i; j < 5; ++j) {
+      const double v =
+          std::sin(1.7 * static_cast<double>(i * 5 + j + 1)) * 3.0;
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const SymmetricEigen eig = symmetric_eigen(a);
+  expect_eigen_decomposition(a, eig, 1e-9);
+  // Trace is preserved.
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    trace += a(i, i);
+    sum += eig.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+TEST(SymmetricEigenTest, RejectsNonSquare) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(symmetric_eigen(a), InvalidArgument);
+}
+
+TEST(SymmetricEigenTest, RejectsAsymmetric) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = -1.0;
+  EXPECT_THROW(symmetric_eigen(a), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::linalg

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Run the perf benchmark suite and write the committed baseline JSONs.
+
+Produces BENCH_perf_mpc.json (bench_perf_mpc_step + bench_perf_solvers)
+and BENCH_perf_runtime.json (bench_perf_runtime_tick) from the
+google-benchmark binaries in <build>/bench, in --benchmark_format=json
+form with the volatile context fields (timestamps, load average,
+executable path) stripped so re-runs diff cleanly.
+
+Usage:
+  tools/run_benches.py [--build-dir build] [--out-dir .] [--min-time 2]
+
+--min-time is google-benchmark's --benchmark_min_time in seconds (a
+plain number: the benchmark version pinned in the image predates the
+"2s" suffix syntax). The committed baselines use the default; CI's
+smoke leg passes a short value just to prove the binaries still run.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+# Output file -> benchmark binaries whose reports it aggregates.
+GROUPS = {
+    "BENCH_perf_mpc.json": ["bench_perf_mpc_step", "bench_perf_solvers"],
+    "BENCH_perf_runtime.json": ["bench_perf_runtime_tick"],
+}
+
+# Context keys that change on every run or machine without carrying
+# baseline information.
+VOLATILE_CONTEXT = {"date", "load_avg", "executable"}
+
+
+def run_binary(exe: pathlib.Path, min_time: float) -> dict:
+    cmd = [
+        str(exe),
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time:g}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"{exe.name} exited with {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: build)")
+    parser.add_argument("--out-dir", default=None,
+                        help="where to write the BENCH_*.json files "
+                             "(default: the repository root)")
+    parser.add_argument("--min-time", type=float, default=2.0,
+                        help="--benchmark_min_time per benchmark, seconds "
+                             "(default: 2)")
+    args = parser.parse_args()
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    build_dir = pathlib.Path(args.build_dir)
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else repo_root
+
+    for out_name, binaries in GROUPS.items():
+        doc = {
+            "generated_by": "tools/run_benches.py",
+            "min_time_s": args.min_time,
+            "binaries": {},
+        }
+        for name in binaries:
+            exe = build_dir / "bench" / name
+            if not exe.exists():
+                raise SystemExit(
+                    f"missing {exe} — build the bench targets first "
+                    f"(cmake --build {build_dir} --target {name})")
+            report = run_binary(exe, args.min_time)
+            context = {k: v for k, v in report.get("context", {}).items()
+                       if k not in VOLATILE_CONTEXT}
+            doc["binaries"][name] = {
+                "context": context,
+                "benchmarks": report.get("benchmarks", []),
+            }
+            for bench in report.get("benchmarks", []):
+                print(f"  {bench['name']}: "
+                      f"{bench['real_time']:.1f} {bench['time_unit']}")
+        out_path = out_dir / out_name
+        out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()
