@@ -34,8 +34,8 @@ inline bool strict_requested(int argc, char** argv) {
 
 inline core::Scenario maybe_strict(core::Scenario scenario, bool strict) {
   if (strict) {
-    scenario.controller.invariants.enabled = true;
-    scenario.controller.invariants.strict = true;
+    scenario.controller.solver.invariants.enabled = true;
+    scenario.controller.solver.invariants.strict = true;
   }
   return scenario;
 }

@@ -37,7 +37,7 @@ core::CostController::Config make_config(std::size_t idcs,
   }
   config.params.horizons = {std::max<std::size_t>(beta2 * 2, 4), beta2};
   config.params.r_weight = 1.0;
-  config.params.backend = backend;
+  config.params.solver.backend = backend;
   return config;
 }
 

@@ -2,11 +2,15 @@
 // served through ControlRuntime in free-run mode, reporting p50/p99/max
 // control-step wall time from the runtime's own step histogram — the
 // numbers that decide how much wall-clock acceleration a replay can
-// sustain before missing deadlines.
+// sustain before missing deadlines. A second family drives a fleet of
+// identical scenarios through the multi-fleet ControlPlane and reports
+// aggregate ticks/s versus worker count (the plane's scaling shape).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
 
+#include "controlplane/control_plane.hpp"
 #include "core/paper.hpp"
 #include "runtime/control_runtime.hpp"
 
@@ -75,6 +79,58 @@ void BM_RuntimeTick(benchmark::State& state) {
 BENCHMARK(BM_RuntimeTick)
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Multi-fleet aggregate throughput: N identical paper fleets on the
+// condensed backend (so the shared factorization cache engages, as a
+// production plane would run) multiplexed over a fixed worker pool.
+// items_per_second is the aggregate control-step rate across fleets —
+// the plane's headline number; the scaling across the worker axis is
+// the acceptance metric (meaningful only on a multi-core host: with
+// one CPU the workers serialize and the curve is flat by construction).
+void BM_PlaneAggregate(benchmark::State& state) {
+  const auto fleets = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+
+  core::Scenario scenario =
+      core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.controller.solver.backend = solvers::LsqBackend::kCondensed;
+
+  std::uint64_t steps = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t cache_hits = 0;
+  for (auto _ : state) {
+    std::vector<controlplane::FleetSpec> specs(fleets);
+    for (std::size_t f = 0; f < fleets; ++f) {
+      specs[f].id = "fleet-" + std::to_string(f);
+      specs[f].scenario = scenario;
+      specs[f].options.record_trace = false;
+    }
+    controlplane::PlaneOptions options;
+    options.workers = workers;
+    controlplane::ControlPlane plane(std::move(specs), options);
+    const controlplane::PlaneReport report = plane.run();
+    benchmark::DoNotOptimize(report.fleets.front().result.summary.total_cost
+                                 .value());
+    steps += report.total_steps();
+    steals += report.steals;
+    cache_hits += report.factor_cache_hits;
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));  // ticks/s
+  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["factor_cache_hits"] = static_cast<double>(cache_hits);
+  state.SetLabel(std::to_string(fleets) + " fleets / " +
+                 std::to_string(workers) + " workers");
+}
+
+BENCHMARK(BM_PlaneAggregate)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    // The work happens on the plane's own pool; the benchmark thread
+    // just joins it, so rate on wall time, not main-thread CPU time.
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,160 @@
+// gridctl_plane — run many online control fleets on one worker pool
+// through the multi-fleet control plane (src/controlplane).
+//
+//   gridctl_plane [scenario.json ...] [--fleets N] [--workers N]
+//                 [--batch N] [--stop-after N] [--report out.json]
+//                 [--strict] [--qp-cap N] [--no-fallback] [--backend B]
+//
+// Each positional scenario file declares a fleet template; `--fleets N`
+// replicates the templates round-robin until N fleets exist (default:
+// one fleet per template; with no files, the built-in paper smoothing
+// scenario). All fleets free-run concurrently on `--workers` threads
+// with a shared condensed-factorization cache, so homogeneous fleets
+// pay the MPC configure cost once. The final report is the plane JSON
+// (`--report`): a SweepReport-compatible `sweep` section plus per-fleet
+// runtime stats under `plane`.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "controlplane/control_plane.hpp"
+#include "core/controls.hpp"
+#include "core/paper.hpp"
+#include "core/scenario_io.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: gridctl_plane [scenario.json ...]\n"
+      "                     [--fleets N]       total fleets (templates "
+      "replicated round-robin)\n"
+      "                     [--workers N]      worker threads (default: "
+      "hardware)\n"
+      "                     [--batch N]        events per scheduling quantum "
+      "(default 64)\n"
+      "                     [--stop-after N]   stop every fleet (resumably) "
+      "at step N\n"
+      "%s"
+      "                     [--report out.json] plane report (SweepReport-"
+      "compatible)\n",
+      gridctl::core::SolverOverrides::usage());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gridctl;
+
+  std::vector<std::string> scenario_paths;
+  std::string report_path;
+  std::size_t num_fleets = 0;
+  std::uint64_t stop_after = 0;
+  controlplane::PlaneOptions plane_options;
+  core::SolverOverrides solver;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (solver.parse_flag(argc, argv, i)) {
+      continue;
+    } else if (arg == "--fleets" && i + 1 < argc) {
+      num_fleets = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      plane_options.workers = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--batch" && i + 1 < argc) {
+      plane_options.batch_events =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--stop-after" && i + 1 < argc) {
+      stop_after = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      scenario_paths.push_back(arg);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+
+  try {
+    std::vector<core::Scenario> templates;
+    std::vector<std::string> names;
+    if (scenario_paths.empty()) {
+      templates.push_back(core::paper::smoothing_scenario());
+      names.push_back("paper-smoothing");
+    } else {
+      for (const std::string& path : scenario_paths) {
+        templates.push_back(core::load_scenario_file(path));
+        names.push_back(path);
+      }
+    }
+    for (core::Scenario& scenario : templates) {
+      solver.apply(scenario.controller.solver);
+    }
+    if (num_fleets == 0) num_fleets = templates.size();
+
+    std::vector<controlplane::FleetSpec> specs;
+    specs.reserve(num_fleets);
+    for (std::size_t f = 0; f < num_fleets; ++f) {
+      controlplane::FleetSpec spec;
+      spec.id = "fleet-" + std::to_string(f);
+      spec.scenario = templates[f % templates.size()];
+      spec.options.record_trace = false;
+      spec.options.stop_after_step = stop_after;
+      specs.push_back(std::move(spec));
+    }
+
+    controlplane::ControlPlane plane(std::move(specs), plane_options);
+    std::printf("fleets   : %zu (%zu template%s), %zu workers\n", num_fleets,
+                templates.size(), templates.size() == 1 ? "" : "s",
+                plane.workers());
+    const controlplane::PlaneReport report = plane.run();
+
+    double total_cost = 0.0;
+    for (const controlplane::FleetResult& fleet : report.fleets) {
+      if (!fleet.ok) {
+        std::fprintf(stderr, "error (%s): %s\n", fleet.id.c_str(),
+                     fleet.error.c_str());
+        continue;
+      }
+      total_cost += fleet.result.summary.total_cost.value();
+      if (report.fleets.size() <= 8) {
+        std::printf("  %s: %s, cost $%.2f, %zu steps\n", fleet.id.c_str(),
+                    fleet.result.completed ? "completed" : "stopped",
+                    fleet.result.summary.total_cost.value(),
+                    fleet.result.telemetry.steps);
+      }
+    }
+    const std::uint64_t steps = report.total_steps();
+    std::printf("plane    : %llu steps over %.1f ms -> %.0f ticks/s "
+                "aggregate\n",
+                static_cast<unsigned long long>(steps), report.wall_s * 1e3,
+                report.wall_s > 0.0 ? static_cast<double>(steps) /
+                                          report.wall_s
+                                    : 0.0);
+    std::printf("cache    : %llu factorization hits, %llu misses\n",
+                static_cast<unsigned long long>(report.factor_cache_hits),
+                static_cast<unsigned long long>(report.factor_cache_misses));
+    std::printf("steals   : %llu\n",
+                static_cast<unsigned long long>(report.steals));
+    std::printf("cost     : $%.2f across %zu fleets (%zu failed)\n",
+                total_cost, report.fleets.size(), report.failed_fleets());
+
+    if (!report_path.empty()) {
+      write_json_file(report_path, report.to_json());
+      std::printf("report   : %s\n", report_path.c_str());
+    }
+    if (report.failed_fleets() > 0) return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "check/types.hpp"
+#include "core/controls.hpp"
 #include "core/paper.hpp"
 #include "core/scenario_io.hpp"
 #include "engine/sweep.hpp"
@@ -35,8 +36,7 @@ void print_usage(std::FILE* out) {
       "usage: gridctl_serve [scenario.json]\n"
       "                     [--accel X]        event-seconds per wall second "
       "(default 10000, 0 = free run)\n"
-      "                     [--strict]         abort on any invariant "
-      "violation\n"
+      "%s"
       "                     [--report out.json] final SweepReport-compatible "
       "JSON\n"
       "                     [--csv out.csv]    per-step trace\n"
@@ -56,7 +56,8 @@ void print_usage(std::FILE* out) {
       "                     [--units-check]    re-integrate the trace "
       "through the typed\n"
       "                                        units layer and cross-check "
-      "the summary\n");
+      "the summary\n",
+      gridctl::core::SolverOverrides::usage());
 }
 
 // --units-check: same cross-check as gridctl_sim — rectangle-integrate
@@ -103,16 +104,16 @@ int main(int argc, char** argv) {
   runtime::RuntimeOptions options;
   options.acceleration = 10000.0;
   options.progress_every = 10;
-  bool strict = false;
   bool units_check = false;
+  core::SolverOverrides solver;
   runtime::FaultSpec faults;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--accel" && i + 1 < argc) {
+    if (solver.parse_flag(argc, argv, i)) {
+      continue;
+    } else if (arg == "--accel" && i + 1 < argc) {
       options.acceleration = std::atof(argv[++i]);
-    } else if (arg == "--strict") {
-      strict = true;
     } else if (arg == "--report" && i + 1 < argc) {
       report_path = argv[++i];
     } else if (arg == "--csv" && i + 1 < argc) {
@@ -162,10 +163,7 @@ int main(int argc, char** argv) {
     core::Scenario scenario =
         scenario_path.empty() ? core::paper::smoothing_scenario()
                               : core::load_scenario_file(scenario_path);
-    if (strict) {
-      scenario.controller.invariants.enabled = true;
-      scenario.controller.invariants.strict = true;
-    }
+    solver.apply(scenario.controller.solver);
     options.record_trace = !csv_path.empty() || units_check;
 
     options.on_progress = [](const runtime::Progress& p) {

@@ -19,6 +19,7 @@
 
 #include <cmath>
 
+#include "core/controls.hpp"
 #include "core/paper.hpp"
 #include "core/scenario_io.hpp"
 #include "engine/sweep.hpp"
@@ -36,16 +37,12 @@ void print_usage(std::FILE* out) {
       "                   [--policy control|optimal|static|all]\n"
       "                   [--csv out.csv] [--report out.json] [--threads N]\n"
       "                   [--no-warm-start]\n"
-      "                   [--strict]       abort the run on any invariant "
-      "violation\n"
-      "                   [--qp-cap N]     cap QP iterations (fault "
-      "injection)\n"
-      "                   [--no-fallback]  disable the alternate-backend "
-      "retry\n"
+      "%s"
       "                   [--units-check]  re-integrate the trace through "
       "the typed\n"
       "                                    units layer and cross-check the "
-      "summary\n");
+      "summary\n",
+      gridctl::core::SolverOverrides::usage());
 }
 
 // --units-check: rectangle-integrate the recorded trace through the
@@ -140,13 +137,13 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::size_t threads = 0;
   bool warm_start = true;
-  bool strict = false;
-  bool no_fallback = false;
   bool units_check = false;
-  long qp_cap = -1;
+  core::SolverOverrides solver;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--policy" && i + 1 < argc) {
+    if (solver.parse_flag(argc, argv, i)) {
+      continue;
+    } else if (arg == "--policy" && i + 1 < argc) {
       policy_name = argv[++i];
     } else if (arg == "--csv" && i + 1 < argc) {
       csv_path = argv[++i];
@@ -156,14 +153,8 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-warm-start") {
       warm_start = false;
-    } else if (arg == "--strict") {
-      strict = true;
-    } else if (arg == "--no-fallback") {
-      no_fallback = true;
     } else if (arg == "--units-check") {
       units_check = true;
-    } else if (arg == "--qp-cap" && i + 1 < argc) {
-      qp_cap = std::atol(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       print_usage(stdout);
       return 0;
@@ -180,16 +171,8 @@ int main(int argc, char** argv) {
     core::Scenario scenario =
         scenario_path.empty() ? core::paper::smoothing_scenario()
                               : core::load_scenario_file(scenario_path);
-    // The check/fallback flags override whatever the scenario configured.
-    if (strict) {
-      scenario.controller.invariants.enabled = true;
-      scenario.controller.invariants.strict = true;
-    }
-    if (no_fallback) scenario.controller.solver_fallback = false;
-    if (qp_cap >= 0) {
-      scenario.controller.solver_max_iterations =
-          static_cast<std::size_t>(qp_cap);
-    }
+    // The CLI solver flags override whatever the scenario configured.
+    solver.apply(scenario.controller.solver);
 
     std::vector<std::string> policies;
     if (policy_name == "all") {

@@ -141,7 +141,7 @@ void MpcController::step_into(const MpcStep& input, MpcResult& result) {
     admm.eps_abs = 1e-6;
     admm.eps_rel = 1e-6;
     admm.check_interval = 1;
-    condensed_.configure(shape, cost, admm);
+    condensed_.configure(shape, cost, admm, config_.factor_cache.get());
     condensed_ready_ = true;
   }
 

@@ -32,6 +32,7 @@
 // step the condensed hot path performs no heap allocation.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "control/constraints.hpp"
@@ -65,6 +66,11 @@ struct MpcConfig {
   // different reasons, so the retry rescues most transient failures);
   // the condensed primary walks condensed → dense ADMM → active set.
   bool backend_fallback = false;
+  // Optional shared cache of condensed factorizations (not owned by any
+  // single controller): when set, the condensed configure pulls its
+  // factors from here so controllers with identical shape/cost/penalty
+  // keys amortize the factorization and share the capacitance matrix.
+  std::shared_ptr<solvers::CondensedFactorCache> factor_cache;
 };
 
 struct MpcStep {

@@ -1,0 +1,266 @@
+#include "controlplane/control_plane.hpp"
+
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace gridctl::controlplane {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_between(clock_type::time_point a, clock_type::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+std::size_t PlaneReport::failed_fleets() const {
+  std::size_t failed = 0;
+  for (const FleetResult& fleet : fleets) {
+    if (!fleet.ok) ++failed;
+  }
+  return failed;
+}
+
+std::uint64_t PlaneReport::total_steps() const {
+  std::uint64_t steps = 0;
+  for (const FleetResult& fleet : fleets) {
+    if (fleet.ok) steps += fleet.result.telemetry.steps;
+  }
+  return steps;
+}
+
+engine::SweepReport PlaneReport::to_sweep_report() const {
+  engine::SweepReport report;
+  report.threads = workers;
+  report.wall_s = wall_s;
+  report.jobs.reserve(fleets.size());
+  for (const FleetResult& fleet : fleets) {
+    engine::JobResult job;
+    job.name = fleet.id;
+    job.ok = fleet.ok;
+    job.error = fleet.error;
+    if (fleet.ok) {
+      job.policy = fleet.result.summary.policy;
+      job.summary = fleet.result.summary;
+      job.telemetry = fleet.result.telemetry;
+      job.trace = fleet.result.trace;
+    }
+    report.jobs.push_back(std::move(job));
+  }
+  return report;
+}
+
+JsonValue PlaneReport::to_json() const {
+  JsonValue::Object plane;
+  plane.emplace("workers", static_cast<double>(workers));
+  plane.emplace("wall_s", wall_s);
+  plane.emplace("steals", static_cast<double>(steals));
+  JsonValue::Object cache;
+  cache.emplace("hits", static_cast<double>(factor_cache_hits));
+  cache.emplace("misses", static_cast<double>(factor_cache_misses));
+  plane.emplace("factor_cache", JsonValue(std::move(cache)));
+  JsonValue::Array fleet_stats;
+  for (const FleetResult& fleet : fleets) {
+    JsonValue::Object entry;
+    entry.emplace("id", fleet.id);
+    entry.emplace("ok", fleet.ok);
+    if (!fleet.ok) entry.emplace("error", fleet.error);
+    if (fleet.ok) {
+      entry.emplace("completed", fleet.result.completed);
+      entry.emplace("runtime", fleet.result.stats.to_json());
+    }
+    fleet_stats.push_back(JsonValue(std::move(entry)));
+  }
+  plane.emplace("fleets", JsonValue(std::move(fleet_stats)));
+
+  JsonValue::Object root;
+  root.emplace("sweep", to_sweep_report().to_json());
+  root.emplace("plane", JsonValue(std::move(plane)));
+  return JsonValue(std::move(root));
+}
+
+ControlPlane::ControlPlane(std::vector<FleetSpec> fleets, PlaneOptions options)
+    : options_(std::move(options)) {
+  require(!fleets.empty(), "ControlPlane: need at least one fleet");
+  require(options_.batch_events > 0,
+          "ControlPlane: batch_events must be positive");
+  workers_ = options_.workers > 0
+                 ? options_.workers
+                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  factor_cache_ = options_.factor_cache
+                      ? options_.factor_cache
+                      : std::make_shared<solvers::CondensedFactorCache>();
+
+  std::unordered_set<std::string> ids;
+  fleets_.reserve(fleets.size());
+  for (FleetSpec& spec : fleets) {
+    require(!spec.id.empty(), "ControlPlane: fleet id must be non-empty");
+    require(ids.insert(spec.id).second,
+            "ControlPlane: duplicate fleet id '" + spec.id + "'");
+    // The plane owns pacing (it free-runs); a per-fleet acceleration
+    // would need one clock per fleet and is not supported here.
+    spec.options.acceleration = 0.0;
+    if (!spec.options.factor_cache) spec.options.factor_cache = factor_cache_;
+    auto state = std::make_unique<FleetState>();
+    state->result.id = spec.id;
+    state->spec = std::move(spec);
+    fleets_.push_back(std::move(state));
+  }
+
+  queues_.reserve(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  for (std::size_t i = 0; i < fleets_.size(); ++i) {
+    queues_[i % workers_]->fleets.push_back(i);
+  }
+  remaining_.store(fleets_.size());
+}
+
+ControlPlane::~ControlPlane() = default;
+
+bool ControlPlane::pop_local(std::size_t worker, std::size_t& index) {
+  WorkerQueue& queue = *queues_[worker];
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  if (queue.fleets.empty()) return false;
+  index = queue.fleets.front();
+  queue.fleets.pop_front();
+  return true;
+}
+
+bool ControlPlane::steal(std::size_t worker, std::size_t& index) {
+  for (std::size_t step = 1; step < workers_; ++step) {
+    WorkerQueue& victim = *queues_[(worker + step) % workers_];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.fleets.empty()) continue;
+    index = victim.fleets.back();
+    victim.fleets.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ControlPlane::push_back(std::size_t worker, std::size_t index) {
+  WorkerQueue& queue = *queues_[worker];
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  queue.fleets.push_back(index);
+}
+
+bool ControlPlane::process(FleetState& fleet) {
+  const auto begin = clock_type::now();
+  try {
+    if (!fleet.session) {
+      fleet.session = fleet.spec.checkpoint
+                          ? std::make_unique<runtime::FleetSession>(
+                                fleet.spec.scenario, fleet.spec.options,
+                                *fleet.spec.checkpoint)
+                          : std::make_unique<runtime::FleetSession>(
+                                fleet.spec.scenario, fleet.spec.options);
+    }
+    bool exhausted = false;
+    for (std::size_t events = 0; events < options_.batch_events; ++events) {
+      if (fleet.session->done() ||
+          fleet.stop_requested.load(std::memory_order_relaxed)) {
+        break;
+      }
+      const auto event = fleet.session->poll();
+      if (!event) {
+        exhausted = true;  // every stream drained (defensive; done()
+        break;             // normally fires first)
+      }
+      fleet.session->apply(*event);
+    }
+    fleet.wall_s += seconds_between(begin, clock_type::now());
+    if (fleet.session->done() || exhausted ||
+        fleet.stop_requested.load(std::memory_order_relaxed)) {
+      const bool completed =
+          fleet.session->next_step() >= fleet.session->scenario().num_steps();
+      fleet.result.result = fleet.session->finish(completed, fleet.wall_s);
+      fleet.result.ok = true;
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    return false;
+  } catch (const std::exception& e) {
+    fleet.wall_s += seconds_between(begin, clock_type::now());
+    fleet.result.ok = false;
+    fleet.result.error = e.what();
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+}
+
+void ControlPlane::worker_loop(std::size_t worker) {
+  while (remaining_.load(std::memory_order_acquire) > 0) {
+    std::size_t index = 0;
+    if (!pop_local(worker, index) && !steal(worker, index)) {
+      // Every runnable fleet is currently owned by another worker (or
+      // the plane is draining). Yield until remaining_ hits zero.
+      std::this_thread::yield();
+      continue;
+    }
+    if (!process(*fleets_[index])) push_back(worker, index);
+  }
+}
+
+PlaneReport ControlPlane::run() {
+  require(!ran_, "ControlPlane::run: a plane instance runs once");
+  ran_ = true;
+  const auto run_begin = clock_type::now();
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    pool.emplace_back([this, w] { worker_loop(w); });
+  }
+  for (std::thread& worker : pool) worker.join();
+  run_done_ = true;
+
+  PlaneReport report;
+  report.workers = workers_;
+  report.wall_s = seconds_between(run_begin, clock_type::now());
+  report.steals = steals_.load();
+  report.factor_cache_hits = factor_cache_->hits();
+  report.factor_cache_misses = factor_cache_->misses();
+  report.fleets.reserve(fleets_.size());
+  for (const auto& fleet : fleets_) report.fleets.push_back(fleet->result);
+  return report;
+}
+
+bool ControlPlane::request_stop(const std::string& id) {
+  for (const auto& fleet : fleets_) {
+    if (fleet->spec.id == id) {
+      fleet->stop_requested.store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ControlPlane::request_stop_all() {
+  for (const auto& fleet : fleets_) {
+    fleet->stop_requested.store(true, std::memory_order_relaxed);
+  }
+}
+
+runtime::RuntimeCheckpoint ControlPlane::checkpoint(
+    const std::string& id) const {
+  require(run_done_, "ControlPlane::checkpoint: valid after run() returns");
+  for (const auto& fleet : fleets_) {
+    if (fleet->spec.id != id) continue;
+    require(fleet->session != nullptr,
+            "ControlPlane::checkpoint: fleet '" + id + "' has no state");
+    return fleet->session->checkpoint();
+  }
+  throw InvalidArgument("ControlPlane::checkpoint: unknown fleet '" + id +
+                        "'");
+}
+
+}  // namespace gridctl::controlplane

@@ -1,0 +1,178 @@
+// Multi-fleet control plane: drive N independent online control fleets
+// (each a runtime::FleetSession — one scenario, one controller, one
+// plant, its own feeds) on a fixed pool of workers instead of two
+// threads per fleet.
+//
+// Declaration is first-class: a `FleetSpec` names the fleet, carries
+// its scenario and RuntimeOptions, and optionally a checkpoint to
+// resume from. The plane owns scheduling:
+//
+//  * Work-stealing tick scheduler. Each worker keeps a FIFO deque of
+//    fleet indices; it pops its own front, steals from the back of a
+//    sibling when empty, and requeues a fleet after applying at most
+//    `batch_events` events (the fairness quantum — one slow fleet
+//    cannot starve the rest; see the fairness test). A fleet is owned
+//    by exactly one worker between queue operations, and every handoff
+//    goes through a deque mutex, so session state needs no locking and
+//    the schedule never changes results: event ordering inside a fleet
+//    depends on event time only, so every fleet's trajectory is
+//    bit-identical to a solo free-running ControlRuntime at any worker
+//    count (equivalence test, including 1000 fleets).
+//
+//  * Amortized MPC configuration. The plane installs one shared
+//    solvers::CondensedFactorCache into every fleet, so fleets with the
+//    same plant shape/weights/penalties pay the O(β2³ + (β2·N)³)
+//    condensed factorization once and share the capacitance-inverse
+//    memory. Hit/miss counts surface in the report.
+//
+//  * Lock-free result aggregation. Workers write only their fleet's
+//    result slot plus a few atomic counters; the final PlaneReport is
+//    assembled after the pool joins and converts to a SweepReport so
+//    existing analysis tooling reads a plane run unchanged.
+//
+//  * Per-fleet kill and resume. `request_stop(id)` halts one fleet at
+//    its next step boundary (resumable, like ControlRuntime); after
+//    run() returns, `checkpoint(id)` yields its full resume state,
+//    which a later plane (or a solo ControlRuntime) continues
+//    bit-identically.
+//
+// A fleet that throws (strict invariant violation, bad scenario) is
+// reported through FleetResult::error — it never takes down the plane.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/sweep.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/fleet_session.hpp"
+
+namespace gridctl::controlplane {
+
+// One fleet under plane management. `options.acceleration` is ignored:
+// the plane always free-runs (pacing N fleets against one wall clock is
+// a different product; deadline accounting still works via deadline_s).
+struct FleetSpec {
+  std::string id;  // unique label; names the fleet in the report
+  core::Scenario scenario;
+  runtime::RuntimeOptions options;
+  // Resume point: when set, the fleet restores from this checkpoint
+  // (validated against the scenario) instead of starting fresh.
+  std::optional<runtime::RuntimeCheckpoint> checkpoint;
+};
+
+struct PlaneOptions {
+  // Worker threads; 0 = hardware concurrency.
+  std::size_t workers = 0;
+  // Fairness quantum: max events applied to one fleet before it is
+  // requeued behind its siblings.
+  std::size_t batch_events = 64;
+  // Shared condensed-factorization cache. Null = the plane creates one.
+  // Installed into every fleet whose options don't already carry one.
+  std::shared_ptr<solvers::CondensedFactorCache> factor_cache;
+};
+
+struct FleetResult {
+  std::string id;
+  bool ok = false;
+  std::string error;  // what() of a thrown fleet; empty when ok
+  runtime::RuntimeResult result;  // valid when ok
+};
+
+struct PlaneReport {
+  std::size_t workers = 0;
+  double wall_s = 0.0;  // whole-plane wall clock
+  // Scheduler and cache observability.
+  std::uint64_t steals = 0;  // fleets taken from a sibling's deque
+  std::uint64_t factor_cache_hits = 0;
+  std::uint64_t factor_cache_misses = 0;
+  std::vector<FleetResult> fleets;  // FleetSpec submission order
+
+  std::size_t failed_fleets() const;
+  // Total control steps executed across all fleets (throughput metric).
+  std::uint64_t total_steps() const;
+
+  // SweepReport-compatible view: one JobResult per fleet, named by its
+  // id, so sweep tooling (tools/, bench analysis) reads a plane run
+  // unchanged.
+  engine::SweepReport to_sweep_report() const;
+  // {"sweep": <SweepReport>, "plane": {workers, steals, cache,
+  //  per-fleet runtime stats}}.
+  JsonValue to_json() const;
+};
+
+class ControlPlane {
+ public:
+  // Validates specs (non-empty unique ids, at least one fleet) and
+  // installs the shared factor cache. Sessions are built lazily inside
+  // the workers so construction cost (warm start) parallelizes too.
+  ControlPlane(std::vector<FleetSpec> fleets, PlaneOptions options = {});
+  ~ControlPlane();
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  // Drive every fleet to completion (or its stop_after_step, or a
+  // requested stop) on the worker pool. Call once per plane.
+  PlaneReport run();
+
+  // Thread-safe; the fleet stops at its next step boundary and reports
+  // completed = false. Returns false for an unknown id.
+  bool request_stop(const std::string& id);
+  // Stop every fleet (plane shutdown); run() still returns a full
+  // report with every fleet resumable.
+  void request_stop_all();
+
+  // Full resume state of one fleet. Valid after run() returns; throws
+  // for an unknown id or a fleet that failed before building state.
+  runtime::RuntimeCheckpoint checkpoint(const std::string& id) const;
+
+  std::size_t workers() const { return workers_; }
+  const std::shared_ptr<solvers::CondensedFactorCache>& factor_cache() const {
+    return factor_cache_;
+  }
+
+ private:
+  struct FleetState {
+    FleetSpec spec;
+    std::unique_ptr<runtime::FleetSession> session;  // built in a worker
+    std::atomic<bool> stop_requested{false};
+    double wall_s = 0.0;  // accumulated processing wall time
+    FleetResult result;
+  };
+
+  // One deque per worker; the owner pops the front, thieves take the
+  // back. Guarded by a per-deque mutex: the queues are touched once per
+  // `batch_events` events, so contention is negligible and the lock
+  // doubles as the memory fence that hands a session between workers.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::size_t> fleets;
+  };
+
+  void worker_loop(std::size_t worker);
+  bool pop_local(std::size_t worker, std::size_t& index);
+  bool steal(std::size_t worker, std::size_t& index);
+  void push_back(std::size_t worker, std::size_t index);
+  // Run one quantum of a fleet; returns true when the fleet is finished
+  // (result slot written, remaining_ decremented).
+  bool process(FleetState& fleet);
+
+  PlaneOptions options_;
+  std::size_t workers_ = 0;
+  std::shared_ptr<solvers::CondensedFactorCache> factor_cache_;
+  std::vector<std::unique_ptr<FleetState>> fleets_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<std::size_t> remaining_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  bool ran_ = false;
+  bool run_done_ = false;
+};
+
+}  // namespace gridctl::controlplane

@@ -1,0 +1,71 @@
+#include "core/controls.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace gridctl::core {
+
+solvers::LsqBackend parse_backend(const std::string& name) {
+  if (name == "admm") return solvers::LsqBackend::kAdmm;
+  if (name == "active_set") return solvers::LsqBackend::kActiveSet;
+  if (name == "condensed") return solvers::LsqBackend::kCondensed;
+  throw InvalidArgument("unknown backend '" + name +
+                        "' (expected 'admm', 'active_set' or 'condensed')");
+}
+
+const char* backend_name(solvers::LsqBackend backend) {
+  switch (backend) {
+    case solvers::LsqBackend::kAdmm: return "admm";
+    case solvers::LsqBackend::kActiveSet: return "active_set";
+    case solvers::LsqBackend::kCondensed: return "condensed";
+  }
+  return "?";
+}
+
+bool SolverOverrides::parse_flag(int argc, char** argv, int& i) {
+  const std::string arg = argv[i];
+  if (arg == "--strict") {
+    strict = true;
+    return true;
+  }
+  if (arg == "--no-fallback") {
+    fallback = false;
+    return true;
+  }
+  if (arg == "--qp-cap") {
+    require(i + 1 < argc, "--qp-cap needs a value");
+    const long cap = std::atol(argv[++i]);
+    require(cap >= 0, "--qp-cap must be >= 0");
+    max_iterations = static_cast<std::size_t>(cap);
+    return true;
+  }
+  if (arg == "--backend") {
+    require(i + 1 < argc, "--backend needs a value");
+    backend = parse_backend(argv[++i]);
+    return true;
+  }
+  return false;
+}
+
+void SolverOverrides::apply(SolverControls& controls) const {
+  if (backend) controls.backend = *backend;
+  if (max_iterations) controls.max_iterations = *max_iterations;
+  if (fallback) controls.fallback = *fallback;
+  if (strict) {
+    controls.invariants.enabled = true;
+    controls.invariants.strict = true;
+  }
+}
+
+const char* SolverOverrides::usage() {
+  return "                   [--strict]       abort on any invariant "
+         "violation\n"
+         "                   [--qp-cap N]     cap QP iterations (fault "
+         "injection)\n"
+         "                   [--no-fallback]  disable the alternate-backend "
+         "retry\n"
+         "                   [--backend B]    admm | active_set | condensed\n";
+}
+
+}  // namespace gridctl::core

@@ -112,9 +112,9 @@ void CostController::Config::validate() const {
           "CostController: q_weight must be positive and finite");
   require(std::isfinite(params.r_weight) && params.r_weight >= 0.0,
           "CostController: r_weight must be >= 0 and finite");
-  require(params.invariants.conservation_tol > 0.0 &&
-              params.invariants.budget_tol > 0.0 &&
-              params.invariants.nonneg_tol_rps >= 0.0,
+  require(params.solver.invariants.conservation_tol > 0.0 &&
+              params.solver.invariants.budget_tol > 0.0 &&
+              params.solver.invariants.nonneg_tol_rps >= 0.0,
           "CostController: invariant tolerances must be positive");
 }
 
@@ -134,19 +134,20 @@ CostController::CostController(Config config)
   mpc_config.weights.q.assign(config_.idcs.size(), config_.params.q_weight);
   mpc_config.weights.r.assign(config_.portals * config_.idcs.size(),
                               config_.params.r_weight);
-  mpc_config.backend = config_.params.backend;
-  mpc_config.max_solver_iterations = config_.params.solver_max_iterations;
-  mpc_config.backend_fallback = config_.params.solver_fallback;
+  mpc_config.backend = config_.params.solver.backend;
+  mpc_config.max_solver_iterations = config_.params.solver.max_iterations;
+  mpc_config.backend_fallback = config_.params.solver.fallback;
+  mpc_config.factor_cache = config_.factor_cache;
   // Constraints are installed per step in structured TransportConstraints
   // form (the conservation right-hand side follows the live workload);
   // the controller never materializes the dense conservation/cap rows
   // unless a dense backend or a fallback solve asks for them.
   mpc_ = std::make_unique<control::MpcController>(build_plant(),
                                                   std::move(mpc_config));
-  if (config_.params.invariants.enabled) {
+  if (config_.params.solver.invariants.enabled) {
     checker_.emplace(config_.idcs, config_.portals, config_.power_budgets_w,
                      config_.params.budget_hard_constraints,
-                     config_.params.sleep, config_.params.invariants);
+                     config_.params.sleep, config_.params.solver.invariants);
   }
 }
 

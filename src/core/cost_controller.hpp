@@ -35,6 +35,11 @@ class CostController {
     std::size_t portals = 0;
     std::vector<units::Watts> power_budgets_w;  // empty = unconstrained
     ControllerParams params;
+    // Optional shared cache of condensed MPC factorizations (runtime
+    // wiring, never serialized): controllers with the same plant shape,
+    // weights and penalty parameters then share one factorization
+    // instead of each paying the O((β2·N)³) configure cost.
+    std::shared_ptr<solvers::CondensedFactorCache> factor_cache;
 
     void validate() const;
   };

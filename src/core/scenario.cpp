@@ -42,9 +42,9 @@ void Scenario::validate() const {
           "Scenario: q_weight must be positive and finite");
   require(std::isfinite(controller.r_weight) && controller.r_weight >= 0.0,
           "Scenario: r_weight must be >= 0 and finite");
-  require(controller.invariants.conservation_tol > 0.0 &&
-              controller.invariants.budget_tol > 0.0 &&
-              controller.invariants.nonneg_tol_rps >= 0.0,
+  require(controller.solver.invariants.conservation_tol > 0.0 &&
+              controller.solver.invariants.budget_tol > 0.0 &&
+              controller.solver.invariants.nonneg_tol_rps >= 0.0,
           "Scenario: invariant tolerances must be positive");
 
   // Sleep-controllability at the initial workload (paper Sec. IV-B).

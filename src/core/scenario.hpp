@@ -7,6 +7,7 @@
 
 #include "check/types.hpp"
 #include "control/mpc.hpp"
+#include "core/controls.hpp"
 #include "util/units.hpp"
 #include "control/reference_optimizer.hpp"
 #include "control/sleep_controller.hpp"
@@ -27,7 +28,6 @@ struct ControllerParams {
   // jumps, large r freezes the allocation.
   double q_weight = 1.0;
   double r_weight = 0.8;
-  solvers::LsqBackend backend = solvers::LsqBackend::kAdmm;
   control::SleepControllerOptions sleep;
   // Two-time-scale ratio: the sleep (ON/OFF) loop runs once every
   // `sleep_every_k_steps` fast (MPC) periods — the paper's slow loop.
@@ -55,16 +55,10 @@ struct ControllerParams {
   // When total demand exceeds fleet capacity, shed load proportionally
   // across portals instead of throwing (availability policy knob).
   bool allow_load_shedding = false;
-  // QP iteration cap for the MPC's primary backend; 0 = backend default.
-  // Small forced caps are the fault-injection lever for the solver
-  // degradation chain.
-  std::size_t solver_max_iterations = 0;
-  // Retry a failed QP with the alternate backend (degradation tier 1)
-  // before holding the last feasible allocation (tier 2).
-  bool solver_fallback = true;
-  // Runtime invariant checking of every controller decision; `strict`
-  // turns violations into thrown errors (failing the sweep job).
-  check::CheckOptions invariants;
+  // Backend choice, iteration caps, fallback policy and invariant
+  // strictness, consolidated in one typed struct (core/controls.hpp)
+  // shared by the scenario JSON loader and the CLI override layer.
+  SolverControls solver;
 };
 
 struct Scenario {

@@ -196,39 +196,35 @@ void parse_controller(const JsonValue& node, ControllerParams& params) {
       node.bool_or("reference_trajectory", params.reference_trajectory);
   params.allow_load_shedding =
       node.bool_or("allow_load_shedding", params.allow_load_shedding);
-  const std::string backend = node.string_or("backend", "admm");
-  if (backend == "admm") {
-    params.backend = solvers::LsqBackend::kAdmm;
-  } else if (backend == "active_set") {
-    params.backend = solvers::LsqBackend::kActiveSet;
-  } else if (backend == "condensed") {
-    params.backend = solvers::LsqBackend::kCondensed;
-  } else {
-    throw InvalidArgument("scenario: unknown backend '" + backend +
-                          "' (expected 'admm', 'active_set' or 'condensed')");
+  const std::string backend =
+      node.string_or("backend", backend_name(params.solver.backend));
+  try {
+    params.solver.backend = parse_backend(backend);
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(std::string("scenario: ") + e.what());
   }
   const double cap = node.number_or(
       "solver_max_iterations",
-      static_cast<double>(params.solver_max_iterations));
+      static_cast<double>(params.solver.max_iterations));
   require(cap >= 0.0,
           format("scenario: solver_max_iterations must be >= 0 (got %g)",
                  cap));
-  params.solver_max_iterations = static_cast<std::size_t>(cap);
-  params.solver_fallback =
-      node.bool_or("solver_fallback", params.solver_fallback);
+  params.solver.max_iterations = static_cast<std::size_t>(cap);
+  params.solver.fallback =
+      node.bool_or("solver_fallback", params.solver.fallback);
   if (node.has("invariants")) {
     const JsonValue& inv = node.at("invariants");
     require(inv.is_object(), "scenario: controller.invariants must be an "
                              "object {enabled, strict, ...tolerances}");
-    params.invariants.enabled =
-        inv.bool_or("enabled", params.invariants.enabled);
-    params.invariants.strict = inv.bool_or("strict", params.invariants.strict);
-    params.invariants.conservation_tol = inv.number_or(
-        "conservation_tol", params.invariants.conservation_tol);
-    params.invariants.nonneg_tol_rps =
-        inv.number_or("nonneg_tol_rps", params.invariants.nonneg_tol_rps);
-    params.invariants.budget_tol =
-        inv.number_or("budget_tol", params.invariants.budget_tol);
+    params.solver.invariants.enabled =
+        inv.bool_or("enabled", params.solver.invariants.enabled);
+    params.solver.invariants.strict = inv.bool_or("strict", params.solver.invariants.strict);
+    params.solver.invariants.conservation_tol = inv.number_or(
+        "conservation_tol", params.solver.invariants.conservation_tol);
+    params.solver.invariants.nonneg_tol_rps =
+        inv.number_or("nonneg_tol_rps", params.solver.invariants.nonneg_tol_rps);
+    params.solver.invariants.budget_tol =
+        inv.number_or("budget_tol", params.solver.invariants.budget_tol);
   }
 }
 

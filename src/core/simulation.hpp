@@ -129,15 +129,4 @@ SimulationSummary summarize_trace(const Scenario& scenario,
                                   const datacenter::Fleet& fleet,
                                   const std::string& policy_name);
 
-// Transitional shim for the pre-SimulationOptions signature; remove
-// after one release.
-[[deprecated("pass SimulationOptions instead of a bare warm_start flag")]]
-inline SimulationResult run_simulation(const Scenario& scenario,
-                                       AllocationPolicy& policy,
-                                       bool warm_start) {
-  SimulationOptions options;
-  options.warm_start = warm_start;
-  return run_simulation(scenario, policy, options);
-}
-
 }  // namespace gridctl::core

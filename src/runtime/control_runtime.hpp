@@ -3,17 +3,14 @@
 // loop, both inside core::CostController::step) so it runs from
 // streaming feeds instead of a batch loop.
 //
-// Architecture: a pump thread merges the price feed, the workload feed
-// and the control-period timer into one globally arrival-ordered event
-// sequence (each TickStream is FIFO-monotone, so a k-way merge on head
-// arrivals suffices) and pushes it through a bounded queue, pacing
-// against the EventClock when an acceleration is set. The control
-// thread consumes events in order: feed ticks refresh the held
-// price/demand values (payloads resolved at consume time so
-// demand-responsive price models see the freshest power feedback), and
-// every timer event executes one control period exactly as the batch
-// simulation does — same plant advance, same trace recording, same
-// telemetry.
+// Architecture: ControlRuntime is the classic two-thread, single-fleet
+// driver over a FleetSession (runtime/fleet_session.hpp, which owns all
+// control state). A pump thread polls the session's merged event stream
+// and pushes it through a bounded queue, pacing against the EventClock
+// when an acceleration is set; the control thread (the caller of
+// `run()`) applies events in order. Multi-fleet execution lives one
+// layer up in controlplane::ControlPlane, which drives many sessions on
+// a fixed worker pool instead of two threads per fleet.
 //
 // Determinism: event ordering depends on event time only, never wall
 // time, so a seeded runtime at *any* acceleration (including free run)
@@ -29,79 +26,10 @@
 #pragma once
 
 #include <atomic>
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <vector>
 
-#include "core/cost_controller.hpp"
-#include "core/scenario.hpp"
-#include "core/simulation.hpp"
-#include "datacenter/fleet.hpp"
-#include "datacenter/fluid_queue.hpp"
-#include "engine/telemetry.hpp"
-#include "runtime/checkpoint.hpp"
-#include "runtime/event_clock.hpp"
-#include "runtime/feed.hpp"
-#include "runtime/stats.hpp"
+#include "runtime/fleet_session.hpp"
 
 namespace gridctl::runtime {
-
-// Live progress snapshot, delivered to RuntimeOptions::on_progress.
-struct Progress {
-  std::uint64_t step = 0;        // control steps executed so far
-  std::uint64_t total_steps = 0;
-  double event_time_s = 0.0;     // end of the last executed period
-  double total_power_w = 0.0;
-  double cumulative_cost = 0.0;
-  double lag_s = 0.0;            // pacing lag at the last step (0 free-run)
-  std::uint64_t deadline_misses = 0;
-  std::uint64_t degraded_steps = 0;
-  std::uint64_t dropped_ticks = 0;
-  std::uint64_t invariant_violations = 0;
-};
-
-struct RuntimeOptions {
-  // Event-seconds per wall second; 0 = free run (as fast as the CPU
-  // allows, no pacing, no deadline).
-  double acceleration = 0.0;
-  // Event-queue capacity between the pump and the control thread.
-  std::size_t queue_capacity = 64;
-  // Fault injection per feed (deterministic counter hashing; see
-  // runtime/feed.hpp). Defaults: clean feeds.
-  FaultSpec price_faults;
-  FaultSpec workload_faults;
-  // Seed controller + fleet at the pre-window converged operating point
-  // (mirrors SimulationOptions::warm_start). Ignored when restoring.
-  bool warm_start = true;
-  // Keep the per-step trace in the result (always kept internally for
-  // the summary and for checkpoints).
-  bool record_trace = true;
-  // Per-step wall budget in seconds; a step exceeding it counts as a
-  // deadline miss. 0 = derive from the control period and acceleration
-  // when paced; no deadline when free-running.
-  double deadline_s = 0.0;
-  // After a missed deadline, serve the *next* period with the no-QP
-  // hold-last-feasible step so the loop catches up. Trades determinism
-  // for liveness (wall clock then influences decisions) — off by
-  // default; the miss counters are always recorded either way.
-  bool degrade_on_deadline_miss = false;
-  // Stop (resumably) once the absolute step index reaches this value;
-  // 0 = run to the end of the scenario window.
-  std::uint64_t stop_after_step = 0;
-  // Invoke `on_progress` every this many control steps (0 = never).
-  std::size_t progress_every = 0;
-  std::function<void(const Progress&)> on_progress;
-};
-
-struct RuntimeResult {
-  core::SimulationSummary summary;
-  engine::RunTelemetry telemetry;
-  RuntimeStats stats;
-  // Null unless RuntimeOptions::record_trace.
-  std::shared_ptr<const core::SimulationTrace> trace;
-  bool completed = false;  // reached the end of the scenario window
-};
 
 class ControlRuntime {
  public:
@@ -130,43 +58,14 @@ class ControlRuntime {
 
   // Full resume state after the last executed step. Valid after run()
   // returns (and between construction and run()).
-  RuntimeCheckpoint checkpoint() const;
+  RuntimeCheckpoint checkpoint() const { return session_.checkpoint(); }
 
-  const core::Scenario& scenario() const { return scenario_; }
+  const core::Scenario& scenario() const { return session_.scenario(); }
 
  private:
-  void init_common();
-  void restore_from(const RuntimeCheckpoint& checkpoint);
-  void warm_start();
-  void execute_step(std::uint64_t step);
-  RuntimeResult finish(bool completed, double wall_s);
-
-  core::Scenario scenario_;
-  RuntimeOptions options_;
+  // Declared before session_: the session holds a pointer to the clock.
   EventClock clock_;
-
-  std::unique_ptr<core::CostController> controller_;
-  datacenter::Fleet fleet_;
-  std::vector<datacenter::FluidQueue> queues_;
-  std::unique_ptr<PriceFeed> price_feed_;
-  std::unique_ptr<WorkloadFeed> workload_feed_;
-  TickStream timer_;
-
-  // Control-thread state.
-  std::vector<double> held_prices_;
-  double held_price_time_s_ = 0.0;
-  std::vector<double> held_demands_;
-  double held_demand_time_s_ = 0.0;
-  std::vector<double> last_power_;
-  std::uint64_t next_step_ = 0;
-  std::uint64_t price_ticks_consumed_ = 0;
-  std::uint64_t workload_ticks_consumed_ = 0;
-  bool degrade_pending_ = false;
-
-  core::SimulationTrace trace_;
-  engine::RunTelemetry telemetry_;
-  RuntimeStats stats_;
-
+  FleetSession session_;
   std::atomic<bool> stop_requested_{false};
   bool ran_ = false;
 };

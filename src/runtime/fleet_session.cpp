@@ -1,0 +1,359 @@
+#include "runtime/fleet_session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "core/policies.hpp"
+#include "util/error.hpp"
+
+namespace gridctl::runtime {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_between(clock_type::time_point a, clock_type::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+FleetSession::FleetSession(core::Scenario scenario, RuntimeOptions options,
+                           const EventClock* clock)
+    : scenario_(std::move(scenario)),
+      options_(std::move(options)),
+      clock_(clock),
+      fleet_(scenario_.idcs),
+      timer_(scenario_.start_time_s.value(), scenario_.ts_s.value(),
+             scenario_.num_steps()) {
+  init_common();
+  if (options_.warm_start) warm_start();
+  // Row 0: the pre-transition operating point, recorded exactly as the
+  // batch simulation does. These bootstrap reads go straight to the
+  // models — the feeds start delivering from the window start.
+  held_demands_ = scenario_.workload->rates(scenario_.start_time_s.value());
+  held_demand_time_s_ = scenario_.start_time_s.value();
+  held_prices_.resize(scenario_.num_idcs());
+  for (std::size_t j = 0; j < scenario_.num_idcs(); ++j) {
+    held_prices_[j] = scenario_.prices
+                          ->price(scenario_.idcs[j].region,
+                                  scenario_.start_time_s,
+                                  units::Watts{last_power_[j]})
+                          .value();
+  }
+  held_price_time_s_ = scenario_.start_time_s.value();
+  core::record_step(trace_, fleet_, queues_, units::Seconds::zero(),
+                    units::typed_vector<units::PricePerMwh>(held_prices_),
+                    units::typed_vector<units::Rps>(held_demands_));
+}
+
+FleetSession::FleetSession(core::Scenario scenario, RuntimeOptions options,
+                           const RuntimeCheckpoint& checkpoint,
+                           const EventClock* clock)
+    : scenario_(std::move(scenario)),
+      options_(std::move(options)),
+      clock_(clock),
+      fleet_(scenario_.idcs),
+      timer_(scenario_.start_time_s.value(), scenario_.ts_s.value(),
+             scenario_.num_steps()) {
+  init_common();
+  checkpoint.validate_for(scenario_);
+  restore_from(checkpoint);
+}
+
+void FleetSession::init_common() {
+  scenario_.validate();
+  require(options_.queue_capacity > 0,
+          "FleetSession: queue_capacity must be positive");
+  require(options_.deadline_s >= 0.0, "FleetSession: deadline_s must be >= 0");
+
+  const std::size_t n = scenario_.num_idcs();
+  const std::size_t c = scenario_.num_portals();
+
+  core::CostController::Config config{scenario_.idcs, c,
+                                      scenario_.power_budgets_w,
+                                      scenario_.controller};
+  config.factor_cache = options_.factor_cache;
+  controller_ = std::make_unique<core::CostController>(std::move(config));
+  queues_.assign(n, datacenter::FluidQueue{});
+  last_power_.assign(n, 0.0);
+
+  std::vector<std::size_t> regions(n);
+  for (std::size_t j = 0; j < n; ++j) regions[j] = scenario_.idcs[j].region;
+  const std::uint64_t steps = scenario_.num_steps();
+  price_feed_ = std::make_unique<PriceFeed>(
+      scenario_.prices, std::move(regions),
+      TickStream(scenario_.start_time_s.value(), scenario_.ts_s.value(),
+                 steps, options_.price_faults));
+  workload_feed_ = std::make_unique<WorkloadFeed>(
+      scenario_.workload,
+      TickStream(scenario_.start_time_s.value(), scenario_.ts_s.value(),
+                 steps, options_.workload_faults));
+
+  trace_.policy = "control";
+  trace_.ts_s = scenario_.ts_s.value();
+  trace_.power_w.assign(n, {});
+  trace_.servers_on.assign(n, {});
+  trace_.idc_load_rps.assign(n, {});
+  trace_.price_per_mwh.assign(n, {});
+  trace_.latency_s.assign(n, {});
+  trace_.backlog_req.assign(n, {});
+  trace_.transient_delay_s.assign(n, {});
+  trace_.portal_rps.assign(c, {});
+
+  stats_.deadline_s =
+      options_.deadline_s > 0.0
+          ? options_.deadline_s
+          : (clock_ ? clock_->wall_budget_s(scenario_.ts_s.value())
+                    : std::numeric_limits<double>::infinity());
+}
+
+void FleetSession::warm_start() {
+  const auto begin = clock_type::now();
+  const units::Seconds t_prev = std::max(
+      units::Seconds::zero(), scenario_.start_time_s - units::Seconds{3600.0});
+  core::OptimalPolicy seed(scenario_.idcs, scenario_.num_portals(),
+                           scenario_.controller.cost_basis);
+  core::PolicyContext context;
+  context.time_s = t_prev;
+  context.prices.resize(scenario_.num_idcs(), units::PricePerMwh::zero());
+  for (std::size_t j = 0; j < scenario_.num_idcs(); ++j) {
+    context.prices[j] = scenario_.prices->price(
+        scenario_.idcs[j].region, t_prev, units::Watts{last_power_[j]});
+  }
+  context.portal_demands = units::typed_vector<units::Rps>(
+      scenario_.workload->rates(scenario_.start_time_s.value()));
+  const auto initial = seed.decide(context);
+  fleet_.set_operating_point(initial.allocation, initial.servers);
+  controller_->reset_to(initial.allocation, initial.servers);
+  last_power_ = units::raw_vector(fleet_.power_by_idc_w());
+  telemetry_.warm_start_s = seconds_between(begin, clock_type::now());
+}
+
+void FleetSession::restore_from(const RuntimeCheckpoint& checkpoint) {
+  controller_->restore(checkpoint.controller);
+  for (std::size_t j = 0; j < fleet_.size(); ++j) {
+    const auto& idc = checkpoint.fleet[j];
+    fleet_.idc(j).restore_state(idc.servers_on, units::Rps{idc.load_rps},
+                                units::Joules{idc.energy_joules},
+                                units::Dollars{idc.cost_dollars},
+                                units::Seconds{idc.overload_seconds});
+    queues_[j].restore(checkpoint.queue_backlogs_req[j]);
+  }
+  held_prices_ = checkpoint.held_prices;
+  held_price_time_s_ = checkpoint.held_price_time_s;
+  held_demands_ = checkpoint.held_demands;
+  held_demand_time_s_ = checkpoint.held_demand_time_s;
+  last_power_ = checkpoint.last_power_w;
+  next_step_ = checkpoint.next_step;
+  price_ticks_consumed_ = checkpoint.price_ticks_consumed;
+  workload_ticks_consumed_ = checkpoint.workload_ticks_consumed;
+  degrade_pending_ = checkpoint.degrade_pending;
+  trace_ = checkpoint.trace;
+  telemetry_ = checkpoint.telemetry;
+  stats_ = checkpoint.stats;
+  // The deadline is derived from *this* process's options, not restored
+  // wall-clock history.
+  stats_.deadline_s =
+      options_.deadline_s > 0.0
+          ? options_.deadline_s
+          : (clock_ ? clock_->wall_budget_s(scenario_.ts_s.value())
+                    : std::numeric_limits<double>::infinity());
+
+  price_feed_->stream().reset(price_ticks_consumed_);
+  workload_feed_->stream().reset(workload_ticks_consumed_);
+  timer_.reset(next_step_);
+}
+
+std::uint64_t FleetSession::stop_step() const {
+  const std::uint64_t steps = scenario_.num_steps();
+  return options_.stop_after_step == 0
+             ? steps
+             : std::min<std::uint64_t>(steps, options_.stop_after_step);
+}
+
+double FleetSession::resume_event_time_s() const {
+  return (scenario_.start_time_s +
+          static_cast<double>(next_step_) * scenario_.ts_s)
+      .value();
+}
+
+std::optional<Event> FleetSession::poll() {
+  // Merge the three FIFO-monotone streams on head arrival time.
+  // Iteration order price < workload < timer breaks exact-arrival ties,
+  // so a feed tick nominal at t_k lands before step k's timer event.
+  TickStream* streams[3] = {&price_feed_->stream(), &workload_feed_->stream(),
+                            &timer_};
+  int best = -1;
+  double best_arrival = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const auto arrival = streams[i]->peek_arrival();
+    if (arrival && (best < 0 || *arrival < best_arrival)) {
+      best = i;
+      best_arrival = *arrival;
+    }
+  }
+  if (best < 0) return std::nullopt;  // every stream exhausted
+  return Event{static_cast<EventKind>(best), *streams[best]->next()};
+}
+
+void FleetSession::apply(const Event& event) {
+  const Tick& tick = event.tick;
+  switch (event.kind) {
+    case EventKind::kPrice:
+      ++price_ticks_consumed_;
+      if (tick.dropped) {
+        ++stats_.dropped_ticks;
+        break;
+      }
+      if (tick.arrival_s > tick.time_s + 1e-9) ++stats_.late_ticks;
+      held_prices_ = price_feed_->values(tick.time_s, last_power_);
+      held_price_time_s_ = tick.time_s;
+      ++stats_.price_ticks;
+      break;
+    case EventKind::kWorkload:
+      ++workload_ticks_consumed_;
+      if (tick.dropped) {
+        ++stats_.dropped_ticks;
+        break;
+      }
+      if (tick.arrival_s > tick.time_s + 1e-9) ++stats_.late_ticks;
+      held_demands_ = workload_feed_->values(tick.time_s);
+      held_demand_time_s_ = tick.time_s;
+      ++stats_.workload_ticks;
+      break;
+    case EventKind::kTimer:
+      execute_step(tick.sequence);
+      break;
+  }
+}
+
+void FleetSession::record_queue_depth(std::size_t depth) {
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+}
+
+double FleetSession::lag_s(double event_time_s) const {
+  return clock_ ? clock_->lag_s(event_time_s) : 0.0;
+}
+
+void FleetSession::execute_step(std::uint64_t step) {
+  const double ts = scenario_.ts_s.value();
+  const double t =
+      scenario_.start_time_s.value() + static_cast<double>(step) * ts;
+  const std::size_t n = scenario_.num_idcs();
+
+  // Feed health at the control boundary: the step is about to run on
+  // values older than its own sampling instant.
+  if (held_price_time_s_ < t - 1e-9) ++stats_.stale_price_steps;
+  if (held_demand_time_s_ < t - 1e-9) ++stats_.stale_workload_steps;
+  stats_.max_lag_s = std::max(stats_.max_lag_s, lag_s(t));
+
+  const auto step_begin = clock_type::now();
+  const bool degraded = degrade_pending_ && options_.degrade_on_deadline_miss;
+  degrade_pending_ = false;
+  // The held feed payloads are raw buffers (the checkpoint schema pins
+  // them); type them once per step at the controller boundary.
+  const auto prices = units::typed_vector<units::PricePerMwh>(held_prices_);
+  const auto demands = units::typed_vector<units::Rps>(held_demands_);
+  const core::CostController::Decision decision =
+      degraded ? controller_->step_degraded(prices, demands)
+               : controller_->step(prices, demands);
+  if (degraded) ++stats_.degraded_steps;
+  const auto decide_end = clock_type::now();
+
+  fleet_.set_operating_point(decision.allocation, decision.servers);
+  fleet_.advance(scenario_.ts_s, prices);
+  last_power_ = units::raw_vector(fleet_.power_by_idc_w());
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& idc = fleet_.idc(j);
+    queues_[j].step(idc.assigned_load().value(),
+                    static_cast<double>(idc.servers_on()) *
+                        idc.config().power.service_rate.value(),
+                    ts);
+  }
+  const auto plant_end = clock_type::now();
+
+  core::record_step(trace_, fleet_, queues_,
+                    units::Seconds{t - scenario_.start_time_s.value() + ts},
+                    prices, demands);
+  const auto step_end = clock_type::now();
+
+  telemetry_.policy_s += seconds_between(step_begin, decide_end);
+  telemetry_.plant_s += seconds_between(decide_end, plant_end);
+  telemetry_.record_s += seconds_between(plant_end, step_end);
+  const double step_wall_s = seconds_between(step_begin, step_end);
+  telemetry_.step_hist.record(step_wall_s * 1e6);
+  stats_.step_wall_hist.record(step_wall_s * 1e6);
+  telemetry_.record_solver(decision.mpc_status, decision.mpc_iterations,
+                           decision.mpc_warm_started, decision.fallback_tier);
+  telemetry_.record_invariants(decision.invariants);
+
+  if (step_wall_s > stats_.deadline_s) {
+    ++stats_.deadline_misses;
+    degrade_pending_ = true;  // acted on only if degrade_on_deadline_miss
+  }
+  ++next_step_;
+
+  if (options_.progress_every > 0 && options_.on_progress &&
+      next_step_ % options_.progress_every == 0) {
+    Progress progress;
+    progress.step = next_step_;
+    progress.total_steps = scenario_.num_steps();
+    progress.event_time_s = t + ts;
+    progress.total_power_w = trace_.total_power_w.back();
+    progress.cumulative_cost = trace_.cumulative_cost.back();
+    progress.lag_s = lag_s(t + ts);
+    progress.deadline_misses = stats_.deadline_misses;
+    progress.degraded_steps = stats_.degraded_steps;
+    progress.dropped_ticks = stats_.dropped_ticks;
+    progress.invariant_violations = telemetry_.invariants.total();
+    options_.on_progress(progress);
+  }
+}
+
+RuntimeResult FleetSession::finish(bool completed, double wall_s) {
+  telemetry_.steps = static_cast<std::size_t>(next_step_);
+  telemetry_.total_s += wall_s;
+
+  RuntimeResult result;
+  result.summary =
+      core::summarize_trace(scenario_, trace_, fleet_, trace_.policy);
+  result.telemetry = telemetry_;
+  result.stats = stats_;
+  if (options_.record_trace) {
+    result.trace = std::make_shared<core::SimulationTrace>(trace_);
+  }
+  result.completed = completed;
+  return result;
+}
+
+RuntimeCheckpoint FleetSession::checkpoint() const {
+  RuntimeCheckpoint cp;
+  cp.next_step = next_step_;
+  cp.price_ticks_consumed = price_ticks_consumed_;
+  cp.workload_ticks_consumed = workload_ticks_consumed_;
+  cp.held_prices = held_prices_;
+  cp.held_price_time_s = held_price_time_s_;
+  cp.held_demands = held_demands_;
+  cp.held_demand_time_s = held_demand_time_s_;
+  cp.last_power_w = last_power_;
+  cp.degrade_pending = degrade_pending_;
+  cp.controller = controller_->snapshot();
+  cp.fleet.resize(fleet_.size());
+  cp.queue_backlogs_req.resize(fleet_.size());
+  for (std::size_t j = 0; j < fleet_.size(); ++j) {
+    const auto& idc = fleet_.idc(j);
+    cp.fleet[j] = {idc.servers_on(), idc.assigned_load().value(),
+                   idc.energy_joules().value(), idc.cost_dollars().value(),
+                   idc.overload_seconds().value()};
+    cp.queue_backlogs_req[j] = queues_[j].backlog_req();
+  }
+  cp.trace = trace_;
+  cp.telemetry = telemetry_;
+  cp.stats = stats_;
+  return cp;
+}
+
+}  // namespace gridctl::runtime

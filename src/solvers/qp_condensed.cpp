@@ -20,9 +20,175 @@ void TransportQpShape::validate() const {
           "TransportQpShape: prediction horizon must be >= control horizon");
 }
 
+namespace {
+
+// The tick-independent factorization body, shared by local configure()
+// and the process-wide CondensedFactorCache. `rho_in`, `rho_eq` and
+// `diag_shift` are the scalars configure() derives from the ADMM
+// options (diag_shift folds in the nonnegative-rows rho).
+std::shared_ptr<const CondensedFactors> build_factors(
+    const TransportQpShape& shape, const TransportQpCost& cost, double rho_in,
+    double rho_eq, double diag_shift) {
+  auto factors = std::make_shared<CondensedFactors>();
+  const std::size_t nidc = shape.idcs;
+  const std::size_t b1 = shape.prediction;
+  const std::size_t b2 = shape.control;
+  const double two_r = 2.0 * cost.r;
+
+  // cnt_t = |{prediction steps tracked by control step t}|: one per step
+  // except the last control step, which is held for the remaining
+  // β1 − β2 + 1 outputs.
+  factors->chat.assign(b2 * nidc, 0.0);
+  for (std::size_t t = 0; t < b2; ++t) {
+    const double cnt = (t + 1 < b2) ? 1.0 : static_cast<double>(b1 - b2 + 1);
+    for (std::size_t j = 0; j < nidc; ++j) {
+      factors->chat[t * nidc + j] =
+          cnt * cost.q[j] * cost.slope[j] * cost.slope[j];
+    }
+  }
+
+  // Block-Thomas Schur complements over the anchored-chain matrix T.
+  // Every block lives in the algebra {a·I + b·J}, J = I_C ⊗ 1_N 1_Nᵀ,
+  // J² = N·J, so S_t reduces to two scalars with the inverse
+  // (a I + b J)⁻¹ = (1/a) I − b/(a(a+Nb)) J.
+  factors->thomas_ip.assign(b2, 0.0);
+  factors->thomas_iq.assign(b2, 0.0);
+  {
+    const double nd = static_cast<double>(nidc);
+    double prev_ip = 0.0, prev_iq = 0.0;
+    for (std::size_t t = 0; t < b2; ++t) {
+      const double t_diag = (t + 1 < b2) ? 2.0 : 1.0;
+      double p = two_r * t_diag + diag_shift;
+      double q = rho_eq;
+      if (t > 0) {
+        p -= 4.0 * cost.r * cost.r * prev_ip;
+        q -= 4.0 * cost.r * cost.r * prev_iq;
+      }
+      if (p <= 0.0 || p + nd * q <= 0.0 || !std::isfinite(p)) {
+        throw NumericalError(
+            "CondensedQpSolver: x-update system is not positive definite");
+      }
+      factors->thomas_ip[t] = 1.0 / p;
+      factors->thomas_iq[t] = -q / (p * (p + nd * q));
+      prev_ip = factors->thomas_ip[t];
+      prev_iq = factors->thomas_iq[t];
+    }
+  }
+
+  // Woodbury capacitance K = D̃⁻¹ + Wᵀ B⁻¹ W, assembled from the Jacobi
+  // eigendecomposition T = Q Λ Qᵀ: in the rotated basis the blocks of B
+  // are (d_k I + rho_eq J) with d_k = 2r λ_k + diag_shift, whose inverse
+  // is (1/d_k) I − (φ_k/d_k) J, φ_k = rho_eq/(d_k + N rho_eq). Summing
+  // the C identical portal blocks of Wᵀ·W gives, per (t,t') pair,
+  //   C·u(t,t')·δ_jj' + C·v(t,t'),
+  // u(t,t') = Σ_k Q_tk Q_t'k / d_k, v(t,t') = −Σ_k Q_tk Q_t'k φ_k / d_k.
+  {
+    Matrix tmat(b2, b2);
+    for (std::size_t t = 0; t < b2; ++t) {
+      tmat(t, t) = (t + 1 < b2) ? 2.0 : 1.0;
+      if (t + 1 < b2) {
+        tmat(t, t + 1) = -1.0;
+        tmat(t + 1, t) = -1.0;
+      }
+    }
+    const linalg::SymmetricEigen eig = linalg::symmetric_eigen(tmat);
+    const double nd = static_cast<double>(nidc);
+    Vector dk(b2), phik(b2);
+    for (std::size_t k = 0; k < b2; ++k) {
+      dk[k] = two_r * eig.values[k] + diag_shift;
+      if (dk[k] <= 0.0) {
+        throw NumericalError(
+            "CondensedQpSolver: rotated x-update blocks are singular");
+      }
+      phik[k] = rho_eq / (dk[k] + nd * rho_eq);
+    }
+    Matrix ucoef(b2, b2), vcoef(b2, b2);
+    for (std::size_t t = 0; t < b2; ++t) {
+      for (std::size_t tp = 0; tp < b2; ++tp) {
+        double usum = 0.0, vsum = 0.0;
+        for (std::size_t k = 0; k < b2; ++k) {
+          const double qq = eig.vectors(t, k) * eig.vectors(tp, k);
+          usum += qq / dk[k];
+          vsum -= qq * phik[k] / dk[k];
+        }
+        ucoef(t, tp) = usum;
+        vcoef(t, tp) = vsum;
+      }
+    }
+    const double cd = static_cast<double>(shape.portals);
+    Matrix kmat(b2 * nidc, b2 * nidc);
+    for (std::size_t t = 0; t < b2; ++t) {
+      for (std::size_t tp = 0; tp < b2; ++tp) {
+        for (std::size_t j = 0; j < nidc; ++j) {
+          for (std::size_t jp = 0; jp < nidc; ++jp) {
+            double entry = cd * vcoef(t, tp);
+            if (j == jp) entry += cd * ucoef(t, tp);
+            if (t == tp && j == jp) {
+              entry += 1.0 / (rho_in + 2.0 * factors->chat[t * nidc + j]);
+            }
+            kmat(t * nidc + j, tp * nidc + jp) = entry;
+          }
+        }
+      }
+    }
+    // K is factorized once and inverted against the identity: the
+    // Cholesky constructor is also the SPD check. Forming K⁻¹ costs
+    // O((β2·N)³) once; every iteration then pays one vectorizable
+    // symmetric GEMV instead of two bandwidth-bound triangular solves.
+    factors->kinv = linalg::Cholesky(kmat).solve(Matrix::identity(b2 * nidc));
+  }
+  return factors;
+}
+
+}  // namespace
+
+std::shared_ptr<const CondensedFactors> CondensedFactorCache::get(
+    const TransportQpShape& shape, const TransportQpCost& cost,
+    const AdmmOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    // cost.y0 is deliberately absent from the key: the output offset
+    // never enters the factorization, so fleets differing only in y0
+    // still share one entry.
+    if (entry.shape.portals == shape.portals &&
+        entry.shape.idcs == shape.idcs &&
+        entry.shape.prediction == shape.prediction &&
+        entry.shape.control == shape.control &&
+        entry.shape.nonnegative == shape.nonnegative &&
+        entry.rho == options.rho &&
+        entry.rho_eq_scale == options.rho_eq_scale &&
+        entry.sigma == options.sigma && entry.cost.r == cost.r &&
+        entry.cost.q == cost.q && entry.cost.slope == cost.slope) {
+      ++hits_;
+      return entry.factors;
+    }
+  }
+  ++misses_;
+  const double rho_in = options.rho;
+  const double rho_eq = options.rho * options.rho_eq_scale;
+  const double diag_shift = options.sigma + (shape.nonnegative ? rho_in : 0.0);
+  Entry entry{shape,         cost,
+              options.rho,   options.rho_eq_scale,
+              options.sigma, build_factors(shape, cost, rho_in, rho_eq,
+                                           diag_shift)};
+  entries_.push_back(entry);
+  return entry.factors;
+}
+
+std::uint64_t CondensedFactorCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t CondensedFactorCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
 void CondensedQpSolver::configure(const TransportQpShape& shape,
                                   const TransportQpCost& cost,
-                                  const AdmmOptions& options) {
+                                  const AdmmOptions& options,
+                                  CondensedFactorCache* cache) {
   shape.validate();
   const std::size_t nidc = shape.idcs;
   require(cost.q.size() == nidc && cost.slope.size() == nidc &&
@@ -53,110 +219,9 @@ void CondensedQpSolver::configure(const TransportQpShape& shape,
   const std::size_t b2 = shape.control;
   const std::size_t n = shape.num_vars();
   const std::size_t rows = shape.num_rows();
-  const double two_r = 2.0 * cost.r;
 
-  // cnt_t = |{prediction steps tracked by control step t}|: one per step
-  // except the last control step, which is held for the remaining
-  // β1 − β2 + 1 outputs.
-  chat_.assign(b2 * nidc, 0.0);
-  for (std::size_t t = 0; t < b2; ++t) {
-    const double cnt = (t + 1 < b2) ? 1.0 : static_cast<double>(b1 - b2 + 1);
-    for (std::size_t j = 0; j < nidc; ++j) {
-      chat_[t * nidc + j] = cnt * cost.q[j] * cost.slope[j] * cost.slope[j];
-    }
-  }
-
-  // Block-Thomas Schur complements over the anchored-chain matrix T.
-  // Every block lives in the algebra {a·I + b·J}, J = I_C ⊗ 1_N 1_Nᵀ,
-  // J² = N·J, so S_t reduces to two scalars with the inverse
-  // (a I + b J)⁻¹ = (1/a) I − b/(a(a+Nb)) J.
-  thomas_ip_.assign(b2, 0.0);
-  thomas_iq_.assign(b2, 0.0);
-  {
-    const double nd = static_cast<double>(nidc);
-    double prev_ip = 0.0, prev_iq = 0.0;
-    for (std::size_t t = 0; t < b2; ++t) {
-      const double t_diag = (t + 1 < b2) ? 2.0 : 1.0;
-      double p = two_r * t_diag + diag_shift_;
-      double q = rho_eq_;
-      if (t > 0) {
-        p -= 4.0 * cost.r * cost.r * prev_ip;
-        q -= 4.0 * cost.r * cost.r * prev_iq;
-      }
-      if (p <= 0.0 || p + nd * q <= 0.0 || !std::isfinite(p)) {
-        throw NumericalError(
-            "CondensedQpSolver: x-update system is not positive definite");
-      }
-      thomas_ip_[t] = 1.0 / p;
-      thomas_iq_[t] = -q / (p * (p + nd * q));
-      prev_ip = thomas_ip_[t];
-      prev_iq = thomas_iq_[t];
-    }
-  }
-
-  // Woodbury capacitance K = D̃⁻¹ + Wᵀ B⁻¹ W, assembled from the Jacobi
-  // eigendecomposition T = Q Λ Qᵀ: in the rotated basis the blocks of B
-  // are (d_k I + rho_eq J) with d_k = 2r λ_k + diag_shift, whose inverse
-  // is (1/d_k) I − (φ_k/d_k) J, φ_k = rho_eq/(d_k + N rho_eq). Summing
-  // the C identical portal blocks of Wᵀ·W gives, per (t,t') pair,
-  //   C·u(t,t')·δ_jj' + C·v(t,t'),
-  // u(t,t') = Σ_k Q_tk Q_t'k / d_k, v(t,t') = −Σ_k Q_tk Q_t'k φ_k / d_k.
-  {
-    Matrix tmat(b2, b2);
-    for (std::size_t t = 0; t < b2; ++t) {
-      tmat(t, t) = (t + 1 < b2) ? 2.0 : 1.0;
-      if (t + 1 < b2) {
-        tmat(t, t + 1) = -1.0;
-        tmat(t + 1, t) = -1.0;
-      }
-    }
-    const linalg::SymmetricEigen eig = linalg::symmetric_eigen(tmat);
-    const double nd = static_cast<double>(nidc);
-    Vector dk(b2), phik(b2);
-    for (std::size_t k = 0; k < b2; ++k) {
-      dk[k] = two_r * eig.values[k] + diag_shift_;
-      if (dk[k] <= 0.0) {
-        throw NumericalError(
-            "CondensedQpSolver: rotated x-update blocks are singular");
-      }
-      phik[k] = rho_eq_ / (dk[k] + nd * rho_eq_);
-    }
-    Matrix ucoef(b2, b2), vcoef(b2, b2);
-    for (std::size_t t = 0; t < b2; ++t) {
-      for (std::size_t tp = 0; tp < b2; ++tp) {
-        double usum = 0.0, vsum = 0.0;
-        for (std::size_t k = 0; k < b2; ++k) {
-          const double qq = eig.vectors(t, k) * eig.vectors(tp, k);
-          usum += qq / dk[k];
-          vsum -= qq * phik[k] / dk[k];
-        }
-        ucoef(t, tp) = usum;
-        vcoef(t, tp) = vsum;
-      }
-    }
-    const double cd = static_cast<double>(shape.portals);
-    Matrix kmat(b2 * nidc, b2 * nidc);
-    for (std::size_t t = 0; t < b2; ++t) {
-      for (std::size_t tp = 0; tp < b2; ++tp) {
-        for (std::size_t j = 0; j < nidc; ++j) {
-          for (std::size_t jp = 0; jp < nidc; ++jp) {
-            double entry = cd * vcoef(t, tp);
-            if (j == jp) entry += cd * ucoef(t, tp);
-            if (t == tp && j == jp) {
-              entry += 1.0 / (rho_in_ + 2.0 * chat_[t * nidc + j]);
-            }
-            kmat(t * nidc + j, tp * nidc + jp) = entry;
-          }
-        }
-      }
-    }
-    // K is factorized once and inverted against the identity: the
-    // Cholesky constructor is also the SPD check. Forming K⁻¹ costs
-    // O((β2·N)³) once; every iteration then pays one vectorizable
-    // symmetric GEMV instead of two bandwidth-bound triangular solves.
-    kinv_ = linalg::Cholesky(kmat).solve(
-        Matrix::identity(b2 * nidc));
-  }
+  factors_ = cache ? cache->get(shape, cost, options)
+                   : build_factors(shape, cost, rho_in_, rho_eq_, diag_shift_);
 
   // Arena.
   x_.assign(n, 0.0);
@@ -189,8 +254,8 @@ void CondensedQpSolver::solve_b_in_place(double* x, std::size_t groups) const {
   for (std::size_t t = 1; t < b2; ++t) {
     const double* prev = x + (t - 1) * blk;
     double* cur = x + t * blk;
-    const double ip = thomas_ip_[t - 1];
-    const double iq = thomas_iq_[t - 1];
+    const double ip = factors_->thomas_ip[t - 1];
+    const double iq = factors_->thomas_iq[t - 1];
     for (std::size_t g = 0; g < groups; ++g) {
       const double* pv = prev + g * nidc;
       double* cv = cur + g * nidc;
@@ -209,8 +274,8 @@ void CondensedQpSolver::solve_b_in_place(double* x, std::size_t groups) const {
       const double* next = x + (ti + 1) * blk;
       for (std::size_t k = 0; k < blk; ++k) cur[k] += two_r * next[k];
     }
-    const double ip = thomas_ip_[ti];
-    const double iq = thomas_iq_[ti];
+    const double ip = factors_->thomas_ip[ti];
+    const double iq = factors_->thomas_iq[ti];
     for (std::size_t g = 0; g < groups; ++g) {
       double* cv = cur + g * nidc;
       double s = 0.0;
@@ -406,8 +471,8 @@ const CondensedQpResult& CondensedQpSolver::solve(
       // both blocks cache-hot.
       if (t > 0) {
         const double* prev = u_.data() + (t - 1) * m;
-        const double ip = thomas_ip_[t - 1];
-        const double iq = thomas_iq_[t - 1];
+        const double ip = factors_->thomas_ip[t - 1];
+        const double iq = factors_->thomas_iq[t - 1];
         for (std::size_t g = 0; g < cport; ++g) {
           const double* pv = prev + g * nidc;
           double* cv = rb + g * nidc;
@@ -433,8 +498,8 @@ const CondensedQpResult& CondensedQpSolver::solve(
         const double* next = u_.data() + (ti + 1) * m;
         for (std::size_t k = 0; k < m; ++k) cur[k] += two_r * next[k];
       }
-      const double ip = thomas_ip_[ti];
-      const double iq = thomas_iq_[ti];
+      const double ip = factors_->thomas_ip[ti];
+      const double iq = factors_->thomas_iq[ti];
       for (std::size_t g = 0; g < cport; ++g) {
         double* cv = cur + g * nidc;
         double s = 0.0;
@@ -453,7 +518,7 @@ const CondensedQpResult& CondensedQpSolver::solve(
     std::fill(wvec_.begin(), wvec_.end(), 0.0);
     {
       const std::size_t bn = b2 * nidc;
-      const double* kinv = kinv_.data();
+      const double* kinv = factors_->kinv.data();
       double* wv = wvec_.data();
       for (std::size_t r = 0; r < bn; ++r) {
         const double cr = cvec_[r];
@@ -484,7 +549,7 @@ const CondensedQpResult& CondensedQpSolver::solve(
       const double* xprev = t > 0 ? x_.data() + (t - 1) * m : nullptr;
       const double* xnext = t + 1 < b2 ? x_.data() + (t + 1) * m : nullptr;
       const double* cb = ax_.data() + eq_rows + t * nidc;
-      const double* ch = chat_.data() + t * nidc;
+      const double* ch = factors_->chat.data() + t * nidc;
       const double* ql = qlin_.data() + t * nidc;
       const double* ycap = y_.data() + eq_rows + t * nidc;
       const double* ynn = shape_.nonnegative

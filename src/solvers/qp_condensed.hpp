@@ -40,6 +40,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -77,6 +80,51 @@ struct TransportQpCost {
   double r = 0.0;
 };
 
+// The tick-independent factorization configure() produces: the
+// block-Thomas Schur scalars, the Woodbury capacitance inverse and the
+// per-(step, IDC) Hessian diagonal. Immutable once built, so many
+// solvers (one per fleet in the control plane) can read one instance
+// concurrently through shared_ptr<const>.
+struct CondensedFactors {
+  linalg::Vector thomas_ip;  // β2 Schur-inverse identity coefficients
+  linalg::Vector thomas_iq;  // β2 Schur-inverse J coefficients
+  linalg::Matrix kinv;       // Woodbury capacitance inverse (β2·N × β2·N)
+  linalg::Vector chat;       // β2·N Hessian diagonal cnt_t·q_j·slope_j²
+};
+
+// Process-wide cache of condensed factorizations, keyed by everything
+// that enters them: the problem shape, the cost data, and the ADMM
+// penalty parameters (rho, rho_eq_scale, sigma). Fleets sharing a plant
+// shape then pay the O(β2³ + (β2·N)³) configure cost once and share the
+// capacitance matrix memory. Thread-safe; misses compute under the lock
+// (a deliberate trade: concurrent first-touch of the *same* key would
+// otherwise duplicate the most expensive step).
+class CondensedFactorCache {
+ public:
+  // The cached factors for this key, computed on first request.
+  std::shared_ptr<const CondensedFactors> get(const TransportQpShape& shape,
+                                              const TransportQpCost& cost,
+                                              const AdmmOptions& options);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  struct Entry {
+    TransportQpShape shape;
+    TransportQpCost cost;
+    double rho = 0.0;
+    double rho_eq_scale = 0.0;
+    double sigma = 0.0;
+    std::shared_ptr<const CondensedFactors> factors;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 struct CondensedQpResult {
   QpStatus status = QpStatus::kMaxIterations;
   linalg::Vector delta_u;  // stacked moves ΔU_0..ΔU_{β2-1} (β2·C·N)
@@ -95,9 +143,12 @@ class CondensedQpSolver {
   // Build the factorization and size the arena. O(β2³ + (β2·N)³) once;
   // `options.rho/rho_eq_scale/sigma` enter the cached factors, so a new
   // configure() is needed if they change. Throws InvalidArgument on
-  // inconsistent shape/cost sizes.
+  // inconsistent shape/cost sizes. With a non-null `cache` the factors
+  // come from (and are inserted into) the shared cache instead of being
+  // computed locally — a cache hit makes configure O(arena).
   void configure(const TransportQpShape& shape, const TransportQpCost& cost,
-                 const AdmmOptions& options = {});
+                 const AdmmOptions& options = {},
+                 CondensedFactorCache* cache = nullptr);
   bool configured() const { return configured_; }
 
   const TransportQpShape& shape() const { return shape_; }
@@ -138,17 +189,11 @@ class CondensedQpSolver {
   double rho_eq_ = 0.0;      // equality-row step size
   double diag_shift_ = 0.0;  // sigma (+ rho_in when nonnegative)
 
-  // Thomas factors: Schur complements S_t = ip/iq-inverse of
-  // a_t·I + rho_eq·J minus the eliminated coupling.
-  linalg::Vector thomas_ip_, thomas_iq_;  // β2 each
-
-  // Woodbury capacitance inverse K⁻¹ (β2·N × β2·N). Formed explicitly
-  // in configure() — K is SPD and modestly conditioned, and a symmetric
-  // GEMV per iteration vectorizes where two triangular solves cannot.
-  linalg::Matrix kinv_;
-
-  // Per-IDC Hessian diagonal pieces: chat_[t·N+j] = cnt_t·q_j·slope_j².
-  linalg::Vector chat_;
+  // The tick-independent factorization (Thomas Schur scalars, Woodbury
+  // capacitance inverse K⁻¹, Hessian diagonal ĉ). Owned via shared_ptr
+  // so fleets configured through a CondensedFactorCache share one
+  // immutable instance instead of each holding a (β2·N)² matrix.
+  std::shared_ptr<const CondensedFactors> factors_;
 
   // Arena (sized in configure, reused every solve). zt_ and ax_ only
   // carry the equality + cap sections: the non-negativity rows of A x̃

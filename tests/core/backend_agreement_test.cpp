@@ -14,10 +14,10 @@ TEST(BackendAgreement, ClosedLoopTrajectoriesMatch) {
   Scenario scenario = paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
   scenario.duration_s = units::Seconds{200.0};
 
-  scenario.controller.backend = solvers::LsqBackend::kAdmm;
+  scenario.controller.solver.backend = solvers::LsqBackend::kAdmm;
   MpcPolicy admm(CostController::Config{scenario.idcs, 5, {},
                                         scenario.controller});
-  scenario.controller.backend = solvers::LsqBackend::kActiveSet;
+  scenario.controller.solver.backend = solvers::LsqBackend::kActiveSet;
   MpcPolicy active_set(CostController::Config{scenario.idcs, 5, {},
                                               scenario.controller});
 

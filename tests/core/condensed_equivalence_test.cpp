@@ -21,10 +21,10 @@ Scenario short_scenario() {
 TEST(CondensedEquivalence, ClosedLoopTrajectoriesMatchDenseAdmm) {
   Scenario scenario = short_scenario();
 
-  scenario.controller.backend = solvers::LsqBackend::kAdmm;
+  scenario.controller.solver.backend = solvers::LsqBackend::kAdmm;
   MpcPolicy admm(CostController::Config{scenario.idcs, 5, {},
                                         scenario.controller});
-  scenario.controller.backend = solvers::LsqBackend::kCondensed;
+  scenario.controller.solver.backend = solvers::LsqBackend::kCondensed;
   MpcPolicy condensed(CostController::Config{scenario.idcs, 5, {},
                                              scenario.controller});
 
@@ -50,10 +50,10 @@ TEST(CondensedEquivalence, LongerRunMatchesActiveSet) {
   Scenario scenario = short_scenario();
   scenario.duration_s = units::Seconds{600.0};
 
-  scenario.controller.backend = solvers::LsqBackend::kActiveSet;
+  scenario.controller.solver.backend = solvers::LsqBackend::kActiveSet;
   MpcPolicy exact(CostController::Config{scenario.idcs, 5, {},
                                          scenario.controller});
-  scenario.controller.backend = solvers::LsqBackend::kCondensed;
+  scenario.controller.solver.backend = solvers::LsqBackend::kCondensed;
   MpcPolicy condensed(CostController::Config{scenario.idcs, 5, {},
                                              scenario.controller});
 
@@ -79,14 +79,14 @@ TEST(CondensedEquivalence, FaultInjectionDegradesLikeDense) {
   // land near the healthy trajectory (served by the dense fallbacks),
   // mirroring the PR 3 degradation-chain semantics.
   Scenario scenario = short_scenario();
-  scenario.controller.backend = solvers::LsqBackend::kCondensed;
-  scenario.controller.solver_max_iterations = 2;
-  scenario.controller.solver_fallback = true;
+  scenario.controller.solver.backend = solvers::LsqBackend::kCondensed;
+  scenario.controller.solver.max_iterations = 2;
+  scenario.controller.solver.fallback = true;
   MpcPolicy degraded(CostController::Config{scenario.idcs, 5, {},
                                             scenario.controller});
 
   Scenario healthy = short_scenario();
-  healthy.controller.backend = solvers::LsqBackend::kAdmm;
+  healthy.controller.solver.backend = solvers::LsqBackend::kAdmm;
   MpcPolicy reference(CostController::Config{healthy.idcs, 5, {},
                                              healthy.controller});
 
@@ -107,9 +107,9 @@ TEST(CondensedEquivalence, FaultInjectionWithoutFallbackHoldsLastFeasible) {
   // hold the last feasible allocation. The run must complete without
   // throwing and report the held steps.
   Scenario scenario = short_scenario();
-  scenario.controller.backend = solvers::LsqBackend::kCondensed;
-  scenario.controller.solver_max_iterations = 2;
-  scenario.controller.solver_fallback = false;
+  scenario.controller.solver.backend = solvers::LsqBackend::kCondensed;
+  scenario.controller.solver.max_iterations = 2;
+  scenario.controller.solver.fallback = false;
   MpcPolicy degraded(CostController::Config{scenario.idcs, 5, {},
                                             scenario.controller});
   engine::RunTelemetry telemetry;

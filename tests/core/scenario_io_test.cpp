@@ -167,14 +167,14 @@ TEST(ScenarioIo, ParsesSolverAndInvariantKnobs) {
                      "budget_tol": 2e-4}
     })");
   const Scenario scenario = load_scenario(text);
-  EXPECT_EQ(scenario.controller.backend, solvers::LsqBackend::kActiveSet);
-  EXPECT_EQ(scenario.controller.solver_max_iterations, 25u);
-  EXPECT_FALSE(scenario.controller.solver_fallback);
-  EXPECT_TRUE(scenario.controller.invariants.enabled);
-  EXPECT_TRUE(scenario.controller.invariants.strict);
-  EXPECT_DOUBLE_EQ(scenario.controller.invariants.conservation_tol, 1e-5);
-  EXPECT_DOUBLE_EQ(scenario.controller.invariants.nonneg_tol_rps, 1e-8);
-  EXPECT_DOUBLE_EQ(scenario.controller.invariants.budget_tol, 2e-4);
+  EXPECT_EQ(scenario.controller.solver.backend, solvers::LsqBackend::kActiveSet);
+  EXPECT_EQ(scenario.controller.solver.max_iterations, 25u);
+  EXPECT_FALSE(scenario.controller.solver.fallback);
+  EXPECT_TRUE(scenario.controller.solver.invariants.enabled);
+  EXPECT_TRUE(scenario.controller.solver.invariants.strict);
+  EXPECT_DOUBLE_EQ(scenario.controller.solver.invariants.conservation_tol, 1e-5);
+  EXPECT_DOUBLE_EQ(scenario.controller.solver.invariants.nonneg_tol_rps, 1e-8);
+  EXPECT_DOUBLE_EQ(scenario.controller.solver.invariants.budget_tol, 2e-4);
 }
 
 // The messages must be actionable: they name the malformed field, the

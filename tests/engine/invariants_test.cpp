@@ -237,7 +237,7 @@ core::Scenario random_scenario(std::uint64_t seed) {
   scenario.duration_s = units::Seconds{160.0};
   scenario.controller.r_weight = rng.uniform(0.4, 4.0);
   scenario.controller.horizons = {4, 2};
-  scenario.controller.invariants.strict = true;
+  scenario.controller.solver.invariants.strict = true;
   return scenario;
 }
 
@@ -274,9 +274,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedInvariantsTest,
 core::Scenario crippled_scenario(bool allow_backend_fallback) {
   core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
   scenario.duration_s = units::Seconds{200.0};
-  scenario.controller.solver_max_iterations = 1;  // primary cannot converge
-  scenario.controller.solver_fallback = allow_backend_fallback;
-  scenario.controller.invariants.strict = true;
+  scenario.controller.solver.max_iterations = 1;  // primary cannot converge
+  scenario.controller.solver.fallback = allow_backend_fallback;
+  scenario.controller.solver.invariants.strict = true;
   return scenario;
 }
 

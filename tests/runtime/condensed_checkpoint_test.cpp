@@ -20,7 +20,7 @@ namespace {
 core::Scenario condensed_scenario() {
   core::Scenario scenario = core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
   scenario.duration_s = units::Seconds{2400.0};  // 120 control steps
-  scenario.controller.backend = solvers::LsqBackend::kCondensed;
+  scenario.controller.solver.backend = solvers::LsqBackend::kCondensed;
   scenario.controller.sleep_every_k_steps = 2;
   scenario.controller.predict_workload = true;
   scenario.controller.ar_order = 3;
