@@ -41,9 +41,7 @@ inline core::Scenario maybe_strict(core::Scenario scenario, bool strict) {
 }
 
 inline PairedRun run_both(const core::Scenario& scenario) {
-  core::MpcPolicy control(core::CostController::Config{
-      scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
-      scenario.controller});
+  core::MpcPolicy control(core::controller_config_from(scenario));
   core::OptimalPolicy optimal(scenario.idcs, scenario.num_portals(),
                               scenario.controller.cost_basis);
   return PairedRun{core::run_simulation(scenario, control),

@@ -1,0 +1,156 @@
+// Extension bench: demand-charge billing and battery peak shaving.
+// Three-way ablation on the Fig. 4/5 smoothing scenario under a $15/kW
+// monthly demand tariff: (a) the energy-only controller chases cheap
+// LMPs and sets a new billed peak at the 7H price step, (b) the
+// demand-charge-aware controller shadow-prices power above the running
+// cycle peak and keeps the migration below it, (c) per-IDC batteries
+// discharge across the residual peak and shave the bill further.
+//
+// `--json` emits a machine-readable report (consumed by
+// tools/run_benches.py to produce BENCH_ext_demand_charge.json).
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "market/billing.hpp"
+
+namespace {
+
+using namespace gridctl;
+
+core::Scenario tariffed(bool aware, bool batteries) {
+  core::Scenario scenario = core::paper::smoothing_scenario();
+  scenario.billing.demand_rate_per_kw = 15.0;
+  scenario.billing.cycle_hours = 24.0;
+  scenario.controller.demand_charge_aware = aware;
+  if (batteries) {
+    for (auto& idc : scenario.idcs) {
+      idc.battery.capacity = units::from_mwh(2.0);
+      idc.battery.max_charge_w = units::Watts{1.0e6};
+      idc.battery.max_discharge_w = units::Watts{1.5e6};
+    }
+  }
+  return scenario;
+}
+
+struct VariantResult {
+  const char* name;
+  market::BillStatement bill;
+  // What the demand charge actually bills: the per-IDC cycle peaks of
+  // the metered grid series, summed (MW).
+  double billed_peaks_mw = 0.0;
+};
+
+VariantResult run_variant(const char* name, const core::Scenario& scenario) {
+  core::MpcPolicy policy(core::controller_config_from(scenario));
+  const core::SimulationResult result = core::run_simulation(scenario, policy);
+  VariantResult out;
+  out.name = name;
+  out.bill = result.summary.bill;
+  // The billed series: metered grid power when storage is configured,
+  // raw IDC power otherwise. Row 0 is the pre-control initial state and
+  // is not billed (matches market::compute_bill).
+  const auto& series = result.trace.grid_power_w.empty()
+                           ? result.trace.power_w
+                           : result.trace.grid_power_w;
+  for (const auto& column : series) {
+    double peak = 0.0;
+    for (std::size_t k = 1; k < column.size(); ++k) {
+      peak = std::max(peak, column[k]);
+    }
+    out.billed_peaks_mw += units::watts_to_mw(peak);
+  }
+  return out;
+}
+
+bool json_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gridctl;
+  using namespace gridctl::bench;
+
+  const std::vector<VariantResult> variants = {
+      run_variant("energy_only", tariffed(false, false)),
+      run_variant("demand_charge_aware", tariffed(true, false)),
+      run_variant("aware_with_battery", tariffed(true, true)),
+  };
+  const VariantResult& energy_only = variants[0];
+  const VariantResult& aware = variants[1];
+  const VariantResult& stored = variants[2];
+
+  const bool aware_cheaper =
+      aware.bill.total().value() < energy_only.bill.total().value();
+  const bool battery_cheaper =
+      stored.bill.total().value() < aware.bill.total().value();
+  const bool aware_peak_lower =
+      aware.bill.demand.value() < energy_only.bill.demand.value();
+  // The peak-aware tradeoff: it pays somewhat more for energy (it stops
+  // chasing the cheapest LMP) but the demand-charge saving dominates.
+  const bool saving_is_demand_side =
+      aware_peak_lower &&
+      (energy_only.bill.demand.value() - aware.bill.demand.value()) >
+          (aware.bill.energy.value() - energy_only.bill.energy.value());
+
+  if (json_requested(argc, argv)) {
+    std::printf("{\n  \"scenario\": \"fig4_smoothing + $15/kW demand charge\","
+                "\n  \"variants\": {\n");
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const VariantResult& v = variants[i];
+      std::printf(
+          "    \"%s\": {\"energy_dollars\": %.6f, \"demand_dollars\": %.6f, "
+          "\"coincident_dollars\": %.6f, \"total_dollars\": %.6f, "
+          "\"billed_peaks_mw\": %.6f}%s\n",
+          v.name, v.bill.energy.value(), v.bill.demand.value(),
+          v.bill.coincident.value(), v.bill.total().value(),
+          v.billed_peaks_mw, i + 1 < variants.size() ? "," : "");
+    }
+    std::printf("  },\n  \"checks\": {\n"
+                "    \"aware_lowers_total_bill\": %s,\n"
+                "    \"aware_lowers_demand_charge\": %s,\n"
+                "    \"battery_lowers_total_bill_further\": %s\n"
+                "  }\n}\n",
+                aware_cheaper ? "true" : "false",
+                aware_peak_lower ? "true" : "false",
+                battery_cheaper ? "true" : "false");
+    return (aware_cheaper && battery_cheaper) ? 0 : 1;
+  }
+
+  print_header("Extension — demand-charge billing and battery peak shaving",
+               "peak-aware control and storage each strictly lower the bill "
+               "under a $/kW demand tariff");
+
+  TextTable table({"variant", "energy_$", "demand_$", "total_$",
+                   "billed_peaks_MW"});
+  for (const VariantResult& v : variants) {
+    table.add_row({v.name, TextTable::num(v.bill.energy.value(), 2),
+                   TextTable::num(v.bill.demand.value(), 2),
+                   TextTable::num(v.bill.total().value(), 2),
+                   TextTable::num(v.billed_peaks_mw, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  int passed = 0, total = 0;
+  ++total;
+  passed += expect("demand-charge-aware control lowers the total bill",
+                   aware_cheaper);
+  ++total;
+  passed += expect("the saving is demand-side and beats the extra energy paid",
+                   saving_is_demand_side);
+  ++total;
+  passed += expect("batteries shave the billed peak further", battery_cheaper);
+  ++total;
+  passed += expect("battery variant bills the smallest per-IDC peak sum",
+                   stored.billed_peaks_mw <= aware.billed_peaks_mw + 1e-9 &&
+                       aware.billed_peaks_mw < energy_only.billed_peaks_mw);
+  print_footer(passed, total);
+  return passed == total ? 0 : 1;
+}

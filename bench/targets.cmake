@@ -41,3 +41,4 @@ gridctl_bench(bench_ablation_provisioning)
 gridctl_bench(bench_ablation_ramp_sla)
 gridctl_bench(bench_ablation_price_preview)
 gridctl_bench(bench_ablation_monte_carlo)
+gridctl_bench(bench_ext_demand_charge)

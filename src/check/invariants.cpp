@@ -19,6 +19,7 @@ const char* invariant_name(Invariant kind) {
     case Invariant::kBudget: return "budget";
     case Invariant::kServerBound: return "server_bound";
     case Invariant::kFinite: return "finite";
+    case Invariant::kSocBounds: return "soc_bounds";
   }
   return "unknown";
 }
@@ -101,13 +102,19 @@ InvariantChecker::InvariantChecker(std::vector<IdcConfig> idcs,
 std::vector<Violation> InvariantChecker::check(
     const Allocation& allocation, const std::vector<std::size_t>& servers,
     const std::vector<double>& predicted_power_w,
-    const std::vector<double>& served_demands) {
+    const std::vector<double>& served_demands,
+    const std::vector<double>& battery_soc_j,
+    const std::vector<double>& battery_w) {
   const std::size_t n = idcs_.size();
   require(allocation.portals() == portals_ && allocation.idcs() == n,
           "InvariantChecker: allocation shape mismatch");
   require(servers.size() == n, "InvariantChecker: server vector size mismatch");
   require(served_demands.size() == portals_,
           "InvariantChecker: demand size mismatch");
+  require(battery_soc_j.empty() || battery_soc_j.size() == n,
+          "InvariantChecker: battery SoC size mismatch");
+  require(battery_w.empty() || battery_w.size() == n,
+          "InvariantChecker: battery power size mismatch");
 
   std::vector<Violation> violations;
   const auto flag = [&](Invariant kind, std::size_t index, double magnitude,
@@ -181,6 +188,50 @@ std::vector<Violation> InvariantChecker::check(
                format("IDC %zu predicted power %.6g W exceeds the clamped "
                       "cap %.6g W",
                       j, predicted_power_w[j], cap_power));
+        }
+      }
+    }
+
+    // Battery SoC bounds and power limits, per IDC with storage. The
+    // dispatcher keeps SoC in [min, max]·capacity by construction; the
+    // checker re-derives it from the decision like every other
+    // invariant. Tolerance is relative to the capacity (resp. power
+    // limit) — the same headroom philosophy as the budget check.
+    if (!battery_soc_j.empty()) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto& battery = idcs_[j].battery;
+        if (!battery.present()) continue;
+        const double cap = battery.capacity.value();
+        const double soc = battery_soc_j[j];
+        if (!std::isfinite(soc)) {
+          flag(Invariant::kSocBounds, j, 0.0,
+               format("IDC %zu battery SoC is not finite", j));
+          continue;
+        }
+        const double soc_slack = options_.budget_tol * cap;
+        const double lo = battery.min_soc * cap;
+        const double hi = battery.max_soc * cap;
+        if (soc < lo - soc_slack || soc > hi + soc_slack) {
+          flag(Invariant::kSocBounds, j,
+               soc < lo ? lo - soc : soc - hi,
+               format("IDC %zu battery SoC %.6g J outside [%.6g, %.6g]", j,
+                      soc, lo, hi));
+        }
+        if (j < battery_w.size() && std::isfinite(battery_w[j])) {
+          const double limit = battery_w[j] >= 0.0
+                                   ? battery.max_discharge_w.value()
+                                   : battery.max_charge_w.value();
+          const double allowed =
+              limit * (1.0 + options_.budget_tol) + 1.0;  // +1 W absolute
+          if (std::abs(battery_w[j]) > allowed) {
+            flag(Invariant::kSocBounds, j, std::abs(battery_w[j]) - limit,
+                 format("IDC %zu battery power %.6g W exceeds its %.6g W "
+                        "limit",
+                        j, battery_w[j], limit));
+          }
+        } else if (j < battery_w.size()) {
+          flag(Invariant::kSocBounds, j, 0.0,
+               format("IDC %zu battery power is not finite", j));
         }
       }
     }

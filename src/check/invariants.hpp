@@ -55,13 +55,19 @@ class InvariantChecker {
   // Validate one decision against the demand it had to serve.
   // `served_demands` is the post-shedding portal demand the allocation
   // must conserve; `predicted_power_w` the controller's per-IDC power
-  // prediction for the applied input. Accumulates into counts() and
-  // returns this call's violations (empty = all invariants hold).
+  // prediction for the applied input. When the decision dispatched
+  // batteries, `battery_soc_j` (end-of-period state of charge, joules)
+  // and `battery_w` (net output, positive = discharging) are checked
+  // against each IDC's BatteryConfig bounds; empty vectors skip the SoC
+  // invariant (the storage feature is off). Accumulates into counts()
+  // and returns this call's violations (empty = all invariants hold).
   // Throws InvariantViolationError instead when options().strict.
   std::vector<Violation> check(const datacenter::Allocation& allocation,
                                const std::vector<std::size_t>& servers,
                                const std::vector<double>& predicted_power_w,
-                               const std::vector<double>& served_demands);
+                               const std::vector<double>& served_demands,
+                               const std::vector<double>& battery_soc_j = {},
+                               const std::vector<double>& battery_w = {});
 
   const InvariantCounts& counts() const { return counts_; }
   const CheckOptions& options() const { return options_; }

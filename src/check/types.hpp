@@ -25,9 +25,10 @@ enum class Invariant : std::size_t {
   kBudget,            // per-IDC power within the clamped budget/capacity cap
   kServerBound,       // m_j >= eq. (35)'s lower bound at the applied load
   kFinite,            // allocation, power and reference stay finite
+  kSocBounds,         // battery SoC in [min, max]·capacity, power in limits
 };
 
-inline constexpr std::size_t kNumInvariants = 5;
+inline constexpr std::size_t kNumInvariants = 6;
 
 const char* invariant_name(Invariant kind);
 

@@ -105,6 +105,80 @@ solvers::LpResult solve_allocation_greedy(const ReferenceProblem& problem,
   return result;
 }
 
+// Demand-charge variant of the greedy: each IDC contributes two fill
+// segments — load that fits under the running billing-cycle peak at the
+// plain unit cost, and load above it at the shadow-uplifted cost
+// (prices[j] + peak_shadow_per_mwh). The per-IDC cost is piecewise-
+// linear convex in the load, so greedily filling the 2n segments in
+// cost order is exact, and the product-form split applies unchanged.
+solvers::LpResult solve_allocation_peaked(const ReferenceProblem& problem,
+                                          const std::vector<double>& caps) {
+  const std::size_t n = problem.idcs.size();
+  const std::size_t c = problem.portal_demands.size();
+  solvers::LpResult result;
+  result.x.assign(n * c, 0.0);
+
+  double total = 0.0;
+  for (double demand : problem.portal_demands) total += demand;
+  if (total <= 0.0) {
+    result.status = solvers::LpStatus::kOptimal;
+    return result;
+  }
+
+  struct Segment {
+    std::size_t idc;
+    double cap;
+    double cost;
+  };
+  std::vector<Segment> segments;
+  segments.reserve(2 * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double peak =
+        problem.cycle_peak_w.empty() ? 0.0 : problem.cycle_peak_w[j];
+    const double below =
+        std::min(caps[j], load_cap_for_budget(problem.idcs[j], peak));
+    const double base_cost = unit_cost(problem, j);
+    // The uplift scales with the same per-req/s factor as the price so
+    // both cost bases rank the shadow consistently.
+    const double uplift =
+        problem.prices[j] > 0.0
+            ? base_cost / problem.prices[j] * problem.peak_shadow_per_mwh
+            : problem.peak_shadow_per_mwh;
+    if (below > 0.0) segments.push_back({j, below, base_cost});
+    if (caps[j] > below) {
+      segments.push_back({j, caps[j] - below, base_cost + uplift});
+    }
+  }
+  std::stable_sort(segments.begin(), segments.end(),
+                   [](const Segment& a, const Segment& b) {
+                     return a.cost < b.cost;
+                   });
+  std::vector<double> loads(n, 0.0);
+  double remaining = total;
+  double objective = 0.0;
+  for (const Segment& seg : segments) {
+    const double take = std::min(seg.cap, remaining);
+    if (take <= 0.0) continue;
+    loads[seg.idc] += take;
+    objective += seg.cost * take;
+    remaining -= take;
+    if (remaining <= 0.0) break;
+  }
+  if (remaining > 1e-9 * std::max(1.0, total)) {
+    result.status = solvers::LpStatus::kInfeasible;
+    return result;
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    const double share = problem.portal_demands[i] / total;
+    for (std::size_t j = 0; j < n; ++j) {
+      result.x[i * n + j] = share * loads[j];
+    }
+  }
+  result.status = solvers::LpStatus::kOptimal;
+  result.objective = objective;
+  return result;
+}
+
 // Transportation LP over lambda_ij (portal-major flattening):
 //   min sum_ij Pr_j (b1_j + b0_j/mu_j) lambda_ij
 //   s.t. sum_j lambda_ij = L_i          (portal conservation)
@@ -114,6 +188,9 @@ solvers::LpResult solve_allocation_lp(const ReferenceProblem& problem,
                                       const std::vector<double>& caps) {
   const std::size_t n = problem.idcs.size();
   const std::size_t c = problem.portal_demands.size();
+  if (problem.peak_shadow_per_mwh > 0.0) {
+    return solve_allocation_peaked(problem, caps);
+  }
   if (n * c >= kGreedyGateVars) return solve_allocation_greedy(problem, caps);
   solvers::LpProblem lp;
   lp.c.assign(n * c, 0.0);
@@ -153,6 +230,10 @@ ReferenceSolution solve_reference(const ReferenceProblem& problem) {
   require(problem.prices.size() == n, "solve_reference: price size mismatch");
   require(problem.power_budgets_w.empty() || problem.power_budgets_w.size() == n,
           "solve_reference: budget size mismatch");
+  require(problem.cycle_peak_w.empty() || problem.cycle_peak_w.size() == n,
+          "solve_reference: cycle peak size mismatch");
+  require(problem.peak_shadow_per_mwh >= 0.0,
+          "solve_reference: negative peak shadow price");
   for (const auto& idc : problem.idcs) idc.validate();
   for (double demand : problem.portal_demands) {
     require(demand >= 0.0, "solve_reference: negative demand");

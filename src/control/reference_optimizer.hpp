@@ -40,6 +40,18 @@ struct ReferenceProblem {
   // Per-IDC power budgets, watts; +inf (or empty) = unconstrained.
   std::vector<double> power_budgets_w;
   CostBasis basis = CostBasis::kPowerIntegral;
+  // Demand-charge shadow pricing: when `peak_shadow_per_mwh` > 0, power
+  // above the running billing-cycle peak `cycle_peak_w[j]` is priced at
+  // prices[j] + peak_shadow_per_mwh, so the reference prefers loads that
+  // leave every cycle peak where it is (flattening the billed peak)
+  // over marginally cheaper energy that would ratchet one up. The
+  // per-IDC cost stays piecewise-linear convex in the load, so the
+  // transportation greedy solves it exactly with two segments per IDC.
+  // Empty `cycle_peak_w` with a positive shadow means "no headroom
+  // anywhere" (a uniform uplift — the plain ranking). Zero shadow is
+  // bit-identical to the historical problem.
+  std::vector<double> cycle_peak_w;
+  double peak_shadow_per_mwh = 0.0;
 };
 
 struct ReferenceSolution {

@@ -116,6 +116,14 @@ void CostController::Config::validate() const {
               params.solver.invariants.budget_tol > 0.0 &&
               params.solver.invariants.nonneg_tol_rps >= 0.0,
           "CostController: invariant tolerances must be positive");
+  billing.validate();
+  require(period_s > units::Seconds::zero(),
+          "CostController: period_s must be positive");
+  require(std::isfinite(params.peak_shadow_weight) &&
+              params.peak_shadow_weight >= 0.0,
+          "CostController: peak_shadow_weight must be >= 0 and finite");
+  require(params.battery_ewma_alpha > 0.0 && params.battery_ewma_alpha <= 1.0,
+          "CostController: battery_ewma_alpha must be in (0, 1]");
 }
 
 CostController::CostController(Config config)
@@ -148,6 +156,22 @@ CostController::CostController(Config config)
     checker_.emplace(config_.idcs, config_.portals, config_.power_budgets_w,
                      config_.params.budget_hard_constraints,
                      config_.params.sleep, config_.params.solver.invariants);
+  }
+  if (config_.billing.any() && config_.params.demand_charge_aware) {
+    billing_.emplace(config_.billing, config_.idcs.size(),
+                     config_.start_time_s);
+  }
+  for (const auto& idc : config_.idcs) {
+    if (idc.battery.present()) battery_active_ = true;
+  }
+  if (battery_active_) {
+    battery_soc_j_.assign(config_.idcs.size(), 0.0);
+    for (std::size_t j = 0; j < config_.idcs.size(); ++j) {
+      const auto& battery = config_.idcs[j].battery;
+      if (battery.present()) {
+        battery_soc_j_[j] = battery.initial_soc * battery.capacity.value();
+      }
+    }
   }
 }
 
@@ -262,6 +286,25 @@ CostController::Decision CostController::step(
   ref_problem.portal_demands = decision.predicted_demands;
   ref_problem.power_budgets_w = units::raw_vector(config_.power_budgets_w);
   ref_problem.basis = config_.params.cost_basis;
+  if (billing_ && config_.params.peak_shadow_weight > 0.0) {
+    // Shadow-price power above the running billing-cycle peak: the $/kW
+    // peak rate amortized over the cycle is the $/MWh a marginal watt of
+    // new peak would add to the bill if held for the rest of the cycle
+    // (rate [$/kW] × 1000 [kW/MW] / cycle_hours [h] = $/MWh). During the
+    // coincident window the coincident rate stacks on top. Weighted by
+    // peak_shadow_weight so scenarios can tune aggressiveness.
+    const units::Seconds now =
+        config_.start_time_s +
+        config_.period_s * static_cast<double>(step_count_);
+    double rate_per_kw = config_.billing.demand_rate_per_kw;
+    if (config_.billing.in_coincident_window(now)) {
+      rate_per_kw += config_.billing.coincident_rate_per_kw;
+    }
+    ref_problem.cycle_peak_w = billing_->cycle_peaks_w();
+    ref_problem.peak_shadow_per_mwh = config_.params.peak_shadow_weight *
+                                      rate_per_kw * 1e3 /
+                                      config_.billing.cycle_hours;
+  }
   decision.reference = control::solve_reference(ref_problem);
   require(decision.reference.feasible,
           "CostController: demand exceeds fleet capacity");
@@ -365,15 +408,76 @@ CostController::Decision CostController::step(
     }
   }
 
-  finish_decision(decision, served_demands);
+  finish_decision(decision, served_demands, ref_problem.prices);
   return decision;
 }
 
-// Shared tail of every control period (full or degraded): the slow
-// loop, then the invariant checker over the applied decision.
-void CostController::finish_decision(Decision& decision,
-                                     const std::vector<double>& served_demands) {
+// Battery dispatch (fast loop): each battery-equipped IDC smooths its
+// grid draw toward the EWMA baseline — discharging when the predicted
+// power is above it, recharging when below — which both shaves the
+// billed peak and refills in the valleys. SoC, power limits and the
+// one-way charge efficiency bound every move, so the kSocBounds
+// invariant holds by construction (the checker re-derives it).
+void CostController::dispatch_batteries(Decision& decision) {
   const std::size_t n = config_.idcs.size();
+  const double dt = config_.period_s.value();
+  const double alpha = config_.params.battery_ewma_alpha;
+  if (battery_avg_w_.empty()) {
+    // First dispatch: seed the baseline at the observed power so the
+    // first period transfers nothing (deterministic, resume-stable).
+    battery_avg_w_ = decision.predicted_power_w;
+  }
+  decision.battery_w.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& battery = config_.idcs[j].battery;
+    if (!battery.present()) continue;
+    const double cap = battery.capacity.value();
+    const double p = decision.predicted_power_w[j];
+    const double avg = battery_avg_w_[j];
+    double net = 0.0;
+    if (p > avg) {
+      const double avail =
+          std::max(0.0, battery_soc_j_[j] - battery.min_soc * cap);
+      net = std::min({p - avg, battery.max_discharge_w.value(), avail / dt});
+      battery_soc_j_[j] -= net * dt;
+    } else if (p < avg) {
+      const double room =
+          std::max(0.0, battery.max_soc * cap - battery_soc_j_[j]);
+      const double charge =
+          std::min({avg - p, battery.max_charge_w.value(),
+                    room / (dt * battery.round_trip_efficiency)});
+      battery_soc_j_[j] += charge * dt * battery.round_trip_efficiency;
+      net = -charge;
+    }
+    decision.battery_w[j] = net;
+    decision.grid_power_w[j] = std::max(0.0, p - net);
+  }
+  decision.battery_soc_j = battery_soc_j_;
+  // Track the *metered* (post-battery) series: the baseline the
+  // dispatcher chases is the one it is smoothing.
+  for (std::size_t j = 0; j < n; ++j) {
+    battery_avg_w_[j] += alpha * (decision.grid_power_w[j] - battery_avg_w_[j]);
+  }
+}
+
+// Shared tail of every control period (full or degraded): battery
+// dispatch and billing metering, then the slow loop, then the invariant
+// checker over the applied decision.
+void CostController::finish_decision(Decision& decision,
+                                     const std::vector<double>& served_demands,
+                                     const std::vector<double>& prices_per_mwh) {
+  const std::size_t n = config_.idcs.size();
+  // Wall time of this period's start, before the step counter advances.
+  const units::Seconds now =
+      config_.start_time_s + config_.period_s * static_cast<double>(step_count_);
+  if (battery_active_ || billing_) {
+    decision.grid_power_w = decision.predicted_power_w;
+  }
+  if (battery_active_) dispatch_batteries(decision);
+  if (billing_) {
+    billing_->observe(now, config_.period_s, decision.grid_power_w,
+                      prices_per_mwh);
+  }
   // Slow loop: servers follow the (smoothed) allocation, once every
   // sleep_every_k_steps fast periods. Off-cycle, the held counts are
   // only *raised* when the new allocation would otherwise violate the
@@ -396,7 +500,8 @@ void CostController::finish_decision(Decision& decision,
     // Throws InvariantViolationError in strict mode.
     decision.violations = checker_->check(decision.allocation, decision.servers,
                                           decision.predicted_power_w,
-                                          served_demands);
+                                          served_demands, decision.battery_soc_j,
+                                          decision.battery_w);
     decision.invariants.checks = 1;
     for (const auto& violation : decision.violations) {
       ++decision.invariants.by_kind[static_cast<std::size_t>(violation.kind)];
@@ -405,11 +510,16 @@ void CostController::finish_decision(Decision& decision,
 }
 
 CostController::Decision CostController::step_degraded(
-    const std::vector<units::PricePerMwh>& /*prices*/,
+    const std::vector<units::PricePerMwh>& prices,
     const std::vector<units::Rps>& portal_demands) {
   const std::size_t n = config_.idcs.size();
   require(portal_demands.size() == config_.portals,
           "CostController: demand size mismatch");
+  // The degraded path skips every optimizer but still meters the period
+  // (battery dispatch + billing peaks must stay continuous), so prices
+  // are required to line up whenever the meter is on.
+  require(!billing_ || prices.size() == n,
+          "CostController: price size mismatch");
 
   Decision decision;
   decision.fallback_tier = check::FallbackTier::kHoldLastFeasible;
@@ -470,7 +580,7 @@ CostController::Decision CostController::step_degraded(
         check::continuous_power_w(config_.idcs[j], held_loads[j]).value();
   }
 
-  finish_decision(decision, served_demands);
+  finish_decision(decision, served_demands, units::raw_vector(prices));
   return decision;
 }
 
@@ -485,6 +595,9 @@ CostController::State CostController::snapshot() const {
   for (const auto& predictor : predictors_) {
     state.predictors.push_back(predictor.snapshot());
   }
+  state.battery_soc_j = battery_soc_j_;
+  state.battery_avg_w = battery_avg_w_;
+  if (billing_) state.billing = billing_->snapshot();
   return state;
 }
 
@@ -505,6 +618,34 @@ void CostController::restore(const State& state) {
   for (std::size_t i = 0; i < predictors_.size(); ++i) {
     predictors_[i].restore(state.predictors[i]);
   }
+  if (battery_active_) {
+    if (state.battery_soc_j.empty()) {
+      // Checkpoint from before storage existed: restart from the
+      // configured initial fill with an unseeded baseline.
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto& battery = config_.idcs[j].battery;
+        battery_soc_j_[j] =
+            battery.present() ? battery.initial_soc * battery.capacity.value()
+                              : 0.0;
+      }
+      battery_avg_w_.clear();
+    } else {
+      require(state.battery_soc_j.size() == n,
+              "CostController: restored battery SoC size mismatch");
+      require(state.battery_avg_w.empty() || state.battery_avg_w.size() == n,
+              "CostController: restored battery baseline size mismatch");
+      battery_soc_j_ = state.battery_soc_j;
+      battery_avg_w_ = state.battery_avg_w;
+    }
+  }
+  if (billing_) {
+    if (state.billing.cycle_peaks_w.empty()) {
+      // Pre-billing checkpoint: restart the meter at the cycle origin.
+      billing_.emplace(config_.billing, n, config_.start_time_s);
+    } else {
+      billing_->restore(state.billing);
+    }
+  }
 }
 
 void CostController::reset_to(const datacenter::Allocation& allocation,
@@ -516,6 +657,21 @@ void CostController::reset_to(const datacenter::Allocation& allocation,
           "CostController: reset servers size mismatch");
   allocation_ = allocation;
   servers_ = servers;
+}
+
+CostController::Config controller_config_from(
+    const Scenario& scenario,
+    std::shared_ptr<solvers::CondensedFactorCache> factor_cache) {
+  CostController::Config config;
+  config.idcs = scenario.idcs;
+  config.portals = scenario.num_portals();
+  config.power_budgets_w = scenario.power_budgets_w;
+  config.params = scenario.controller;
+  config.factor_cache = std::move(factor_cache);
+  config.billing = scenario.billing;
+  config.start_time_s = scenario.start_time_s;
+  config.period_s = scenario.ts_s;
+  return config;
 }
 
 }  // namespace gridctl::core

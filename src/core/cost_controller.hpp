@@ -24,6 +24,7 @@
 #include "control/sleep_controller.hpp"
 #include "core/scenario.hpp"
 #include "datacenter/fleet.hpp"
+#include "market/billing.hpp"
 #include "workload/predictor.hpp"
 
 namespace gridctl::core {
@@ -40,6 +41,17 @@ class CostController {
     // weights and penalty parameters then share one factorization
     // instead of each paying the O((β2·N)³) configure cost.
     std::shared_ptr<solvers::CondensedFactorCache> factor_cache;
+    // Demand-charge tariff (market/billing.hpp). With params.
+    // demand_charge_aware the controller meters its own grid-power
+    // predictions, carries the running billing-cycle peaks, and shadow-
+    // prices power above them in the reference LP. Default (no peak
+    // rates) disables the meter entirely.
+    market::DemandChargeConfig billing;
+    // Time base for the billing clock and battery dispatch: the wall
+    // time of step k is start_time_s + k·period_s (must match the
+    // simulation/runtime that drives the controller).
+    units::Seconds start_time_s;
+    units::Seconds period_s{10.0};
 
     void validate() const;
   };
@@ -67,6 +79,15 @@ class CostController {
     // check::InvariantViolationError instead of returning violations.
     std::vector<check::Violation> violations;
     check::InvariantCounts invariants;
+    // Battery dispatch this period (empty unless some IDC has storage):
+    // net battery output in watts (positive = discharging) and the
+    // end-of-period state of charge in joules.
+    std::vector<double> battery_w;
+    std::vector<double> battery_soc_j;
+    // Per-IDC metered grid draw: predicted power minus battery output.
+    // Filled whenever storage or the billing meter is active; empty
+    // otherwise (grid power then equals predicted_power_w).
+    std::vector<double> grid_power_w;
   };
 
   // Complete mutable controller state, snapshotted by the online runtime
@@ -86,6 +107,15 @@ class CostController {
     linalg::Vector mpc_warm_dual;
     std::vector<workload::ArPredictor::State> predictors;  // empty unless
                                                            // predict_workload
+    // Billing & storage state: per-IDC SoC (joules) and the EWMA grid-
+    // power baseline the battery dispatcher chases (empty = unseeded),
+    // plus the billing meter's cycle peaks and accrued charges. All
+    // empty/default when the features are off — and when restored from
+    // a checkpoint written before they existed, which resumes with a
+    // fresh meter and initial SoC.
+    std::vector<double> battery_soc_j;
+    std::vector<double> battery_avg_w;
+    market::BillingMeter::State billing;
   };
 
   explicit CostController(Config config);
@@ -140,12 +170,25 @@ class CostController {
     return checker_ ? &*checker_ : nullptr;
   }
 
+  // The streaming billing meter (null unless the config prices peaks
+  // and params.demand_charge_aware is on). Meters the controller's own
+  // grid-power predictions; the authoritative bill over a finished run
+  // comes from summarize_trace / market::compute_bill.
+  const market::BillingMeter* billing_meter() const {
+    return billing_ ? &*billing_ : nullptr;
+  }
+  // End-of-last-period battery SoC per IDC, joules (empty when no IDC
+  // has storage).
+  const std::vector<double>& battery_soc_j() const { return battery_soc_j_; }
+
  private:
   control::MpcPlant build_plant() const;
   control::TransportConstraints build_constraints(
       const std::vector<double>& portal_demands) const;
   void finish_decision(Decision& decision,
-                       const std::vector<double>& served_demands);
+                       const std::vector<double>& served_demands,
+                       const std::vector<double>& prices_per_mwh);
+  void dispatch_batteries(Decision& decision);
 
   Config config_;
   control::SleepController sleep_;
@@ -157,6 +200,19 @@ class CostController {
   control::MpcStep mpc_input_;     // per-tick arena for the MPC call
   control::MpcResult mpc_result_;
   std::optional<check::InvariantChecker> checker_;
+  std::optional<market::BillingMeter> billing_;
+  bool battery_active_ = false;
+  std::vector<double> battery_soc_j_;  // empty unless battery_active_
+  std::vector<double> battery_avg_w_;  // empty until the first dispatch
 };
+
+// Build a controller Config from a scenario: fleet, portals, budgets and
+// params, plus the billing tariff and time base the demand-charge and
+// storage features need. Call sites should prefer this over aggregate-
+// initializing Config so new scenario-level fields thread through
+// automatically.
+CostController::Config controller_config_from(
+    const Scenario& scenario,
+    std::shared_ptr<solvers::CondensedFactorCache> factor_cache = nullptr);
 
 }  // namespace gridctl::core

@@ -43,6 +43,8 @@ PolicyDecision MpcPolicy::decide(const PolicyContext& context) {
                                   decision.mpc_warm_started,
                                   decision.fallback_tier};
   result.invariants = decision.invariants;
+  result.battery_w = decision.battery_w;
+  result.battery_soc_j = decision.battery_soc_j;
   return result;
 }
 

@@ -50,6 +50,11 @@ struct PolicyDecision {
   // Invariant-checking outcome for this decision; zero `checks` when the
   // policy does not run the checker (baselines, checking disabled).
   check::InvariantCounts invariants;
+  // Battery dispatch (MpcPolicy with storage configured; empty for the
+  // baselines): net battery output in watts (positive = discharging) and
+  // end-of-period state of charge in joules, per IDC.
+  std::vector<double> battery_w;
+  std::vector<double> battery_soc_j;
 };
 
 class AllocationPolicy {

@@ -46,6 +46,13 @@ void Scenario::validate() const {
               controller.solver.invariants.budget_tol > 0.0 &&
               controller.solver.invariants.nonneg_tol_rps >= 0.0,
           "Scenario: invariant tolerances must be positive");
+  billing.validate();
+  require(std::isfinite(controller.peak_shadow_weight) &&
+              controller.peak_shadow_weight >= 0.0,
+          "Scenario: peak_shadow_weight must be >= 0 and finite");
+  require(controller.battery_ewma_alpha > 0.0 &&
+              controller.battery_ewma_alpha <= 1.0,
+          "Scenario: battery_ewma_alpha must be in (0, 1]");
 
   // Sleep-controllability at the initial workload (paper Sec. IV-B).
   require(control::sleep_controllable(idcs, workload->rates(start_time_s.value())),

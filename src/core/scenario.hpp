@@ -12,6 +12,7 @@
 #include "control/reference_optimizer.hpp"
 #include "control/sleep_controller.hpp"
 #include "datacenter/idc.hpp"
+#include "market/billing.hpp"
 #include "market/price_model.hpp"
 #include "solvers/lsq.hpp"
 #include "workload/generators.hpp"
@@ -55,6 +56,20 @@ struct ControllerParams {
   // When total demand exceeds fleet capacity, shed load proportionally
   // across portals instead of throwing (availability policy knob).
   bool allow_load_shedding = false;
+  // Demand-charge awareness: with a billing tariff on the scenario, the
+  // controller meters its grid-power predictions, carries the running
+  // billing-cycle peaks, and shadow-prices power above them in the
+  // reference LP so the MPC flattens the billed peak, not just hourly
+  // energy cost. Off (default) reproduces the energy-only baseline —
+  // the bill is still computed, just not controlled against.
+  bool demand_charge_aware = false;
+  // Scales the peak shadow price: the $/kW peak rate amortized over the
+  // billing cycle as a $/MWh uplift, times this weight. 0 disables the
+  // shadow term even when demand_charge_aware is on.
+  double peak_shadow_weight = 1.0;
+  // Smoothing factor of the EWMA grid-power baseline the battery
+  // dispatcher charges below / discharges above, per control period.
+  double battery_ewma_alpha = 0.05;
   // Backend choice, iteration caps, fallback policy and invariant
   // strictness, consolidated in one typed struct (core/controls.hpp)
   // shared by the scenario JSON loader and the CLI override layer.
@@ -67,6 +82,8 @@ struct Scenario {
   std::shared_ptr<const workload::WorkloadSource> workload;
   // Per-IDC power budgets; empty = unconstrained.
   std::vector<units::Watts> power_budgets_w;
+  // Demand-charge tariff; default (zero rates) bills energy only.
+  market::DemandChargeConfig billing;
 
   units::Seconds start_time_s;          // offset into the price/workload traces
   units::Seconds duration_s{600.0};

@@ -61,6 +61,60 @@ datacenter::IdcConfig parse_idc(const JsonValue& node, std::size_t index) {
           format("scenario: %s: latency_bound_s must be positive seconds "
                  "(got %g)",
                  label.c_str(), config.latency_bound_s.value()));
+  if (node.has("battery")) {
+    const JsonValue& battery = node.at("battery");
+    require(battery.is_object(),
+            format("scenario: %s: battery must be an object {capacity_kwh, "
+                   "max_charge_kw, max_discharge_kw, ...}",
+                   label.c_str()));
+    config.battery.capacity =
+        units::from_mwh(battery.number_or("capacity_kwh", 0.0) / 1e3);
+    config.battery.max_charge_w =
+        units::Watts{battery.number_or("max_charge_kw", 0.0) * 1e3};
+    config.battery.max_discharge_w =
+        units::Watts{battery.number_or("max_discharge_kw", 0.0) * 1e3};
+    config.battery.round_trip_efficiency = battery.number_or(
+        "round_trip_efficiency", config.battery.round_trip_efficiency);
+    config.battery.initial_soc =
+        battery.number_or("initial_soc", config.battery.initial_soc);
+    config.battery.min_soc =
+        battery.number_or("min_soc", config.battery.min_soc);
+    config.battery.max_soc =
+        battery.number_or("max_soc", config.battery.max_soc);
+    try {
+      config.battery.validate();
+    } catch (const InvalidArgument& e) {
+      throw InvalidArgument(format("scenario: %s: ", label.c_str()) + e.what());
+    }
+  }
+  return config;
+}
+
+// Demand-charge tariff: {"demand_rate_per_kw": 12, "cycle_hours": 24,
+// "coincident_rate_per_kw": 6, "coincident_window_hours": [17, 20]}.
+market::DemandChargeConfig parse_billing(const JsonValue& node) {
+  require(node.is_object(),
+          "scenario: billing must be an object {demand_rate_per_kw, "
+          "cycle_hours, coincident_rate_per_kw, coincident_window_hours}");
+  market::DemandChargeConfig config;
+  config.demand_rate_per_kw =
+      node.number_or("demand_rate_per_kw", config.demand_rate_per_kw);
+  config.cycle_hours = node.number_or("cycle_hours", config.cycle_hours);
+  config.coincident_rate_per_kw =
+      node.number_or("coincident_rate_per_kw", config.coincident_rate_per_kw);
+  if (node.has("coincident_window_hours")) {
+    const std::vector<double> window =
+        node.number_array("coincident_window_hours");
+    require(window.size() == 2,
+            "scenario: billing coincident_window_hours must be [start, end]");
+    config.coincident_start_hour = window[0];
+    config.coincident_end_hour = window[1];
+  }
+  try {
+    config.validate();
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(std::string("scenario: ") + e.what());
+  }
   return config;
 }
 
@@ -196,6 +250,12 @@ void parse_controller(const JsonValue& node, ControllerParams& params) {
       node.bool_or("reference_trajectory", params.reference_trajectory);
   params.allow_load_shedding =
       node.bool_or("allow_load_shedding", params.allow_load_shedding);
+  params.demand_charge_aware =
+      node.bool_or("demand_charge_aware", params.demand_charge_aware);
+  params.peak_shadow_weight =
+      node.number_or("peak_shadow_weight", params.peak_shadow_weight);
+  params.battery_ewma_alpha =
+      node.number_or("battery_ewma_alpha", params.battery_ewma_alpha);
   const std::string backend =
       node.string_or("backend", backend_name(params.solver.backend));
   try {
@@ -247,6 +307,9 @@ Scenario load_scenario(const std::string& json_text) {
   if (root.has("power_budgets_w")) {
     scenario.power_budgets_w =
         units::typed_vector<units::Watts>(root.number_array("power_budgets_w"));
+  }
+  if (root.has("billing")) {
+    scenario.billing = parse_billing(root.at("billing"));
   }
   scenario.start_time_s = units::Seconds{root.number_or("start_time_s", 0.0)};
   scenario.duration_s = units::Seconds{root.number_or("duration_s", 600.0)};

@@ -28,6 +28,13 @@ CsvTable SimulationTrace::to_csv() const {
     table.header.push_back(format("backlog_req_%zu", j));
     table.header.push_back(format("transient_delay_ms_%zu", j));
   }
+  const bool storage = !grid_power_w.empty();
+  if (storage) {
+    for (std::size_t j = 0; j < idcs; ++j) {
+      table.header.push_back(format("grid_power_mw_%zu", j));
+      table.header.push_back(format("battery_soc_kwh_%zu", j));
+    }
+  }
   for (std::size_t i = 0; i < portals; ++i) {
     table.header.push_back(format("portal_rps_%zu", i));
   }
@@ -45,6 +52,12 @@ CsvTable SimulationTrace::to_csv() const {
       row.push_back(backlog_req[j][k]);
       row.push_back(transient_delay_s[j][k] * 1000.0);
     }
+    if (storage) {
+      for (std::size_t j = 0; j < idcs; ++j) {
+        row.push_back(units::watts_to_mw(grid_power_w[j][k]));
+        row.push_back(battery_soc_j[j][k] / 3.6e6);  // J -> kWh
+      }
+    }
     for (std::size_t i = 0; i < portals; ++i) row.push_back(portal_rps[i][k]);
     row.push_back(units::watts_to_mw(total_power_w[k]));
     row.push_back(cumulative_cost[k]);
@@ -57,7 +70,9 @@ void record_step(SimulationTrace& trace, const datacenter::Fleet& fleet,
                  const std::vector<datacenter::FluidQueue>& queues,
                  units::Seconds window_time,
                  const std::vector<units::PricePerMwh>& prices,
-                 const std::vector<units::Rps>& demands) {
+                 const std::vector<units::Rps>& demands,
+                 const std::vector<double>& grid_power_w,
+                 const std::vector<double>& battery_soc_j) {
   const std::size_t n = trace.power_w.size();
   const std::size_t c = trace.portal_rps.size();
   trace.time_s.push_back(window_time.value());
@@ -79,6 +94,15 @@ void record_step(SimulationTrace& trace, const datacenter::Fleet& fleet,
   }
   for (std::size_t i = 0; i < c; ++i) {
     trace.portal_rps[i].push_back(demands[i].value());
+  }
+  if (!trace.grid_power_w.empty()) {
+    for (std::size_t j = 0; j < n; ++j) {
+      trace.grid_power_w[j].push_back(grid_power_w.empty()
+                                          ? fleet.idc(j).power_w().value()
+                                          : grid_power_w[j]);
+      trace.battery_soc_j[j].push_back(
+          battery_soc_j.empty() ? 0.0 : battery_soc_j[j]);
+    }
   }
   trace.total_power_w.push_back(fleet.total_power_w().value());
   trace.cumulative_cost.push_back(fleet.total_cost_dollars().value());
@@ -111,6 +135,12 @@ SimulationSummary summarize_trace(const Scenario& scenario,
   summary.policy = policy_name;
   summary.total_cost = fleet.total_cost_dollars();
   summary.total_energy = fleet.total_energy_joules();
+  // Bill the metered grid draw under the scenario tariff; without
+  // storage the grid series is absent and the IT power series bills.
+  summary.bill = market::compute_bill(
+      scenario.billing,
+      trace.grid_power_w.empty() ? trace.power_w : trace.grid_power_w,
+      trace.price_per_mwh, scenario.start_time_s, scenario.ts_s);
   summary.total_volatility = volatility(trace.total_power_w);
   summary.idcs.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
@@ -211,12 +241,33 @@ SimulationResult run_simulation(const Scenario& scenario,
   trace.transient_delay_s.assign(n, {});
   trace.portal_rps.assign(c, {});
 
+  // Storage columns and running SoC, only when some IDC has a battery —
+  // the no-storage trace layout (and the CSV schema) is unchanged.
+  bool any_battery = false;
+  for (const auto& idc : scenario.idcs) {
+    if (idc.battery.present()) any_battery = true;
+  }
+  std::vector<double> last_soc_j;
+  if (any_battery) {
+    trace.grid_power_w.assign(n, {});
+    trace.battery_soc_j.assign(n, {});
+    last_soc_j.resize(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto& battery = scenario.idcs[j].battery;
+      if (battery.present()) {
+        last_soc_j[j] = battery.initial_soc * battery.capacity.value();
+      }
+    }
+  }
+
   std::vector<datacenter::FluidQueue> queues(n);
 
   const auto record = [&](units::Seconds window_time,
                           const std::vector<units::PricePerMwh>& prices,
-                          const std::vector<units::Rps>& demands) {
-    record_step(trace, fleet, queues, window_time, prices, demands);
+                          const std::vector<units::Rps>& demands,
+                          const std::vector<double>& grid_w = {}) {
+    record_step(trace, fleet, queues, window_time, prices, demands, grid_w,
+                last_soc_j);
   };
 
   // Row 0 is the warm-start operating point (the pre-transition state),
@@ -244,6 +295,20 @@ SimulationResult run_simulation(const Scenario& scenario,
     fleet.set_operating_point(decision.allocation, decision.servers);
     fleet.advance(scenario.ts_s, context.prices);
     last_power = fleet.power_by_idc_w();
+    std::vector<double> grid_w;
+    if (any_battery) {
+      // Metered draw = realized IT power minus the policy's battery
+      // dispatch (clamped: a battery cannot push power into the grid).
+      // Demand-responsive price models then see the metered series.
+      grid_w.resize(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double dispatch =
+            decision.battery_w.empty() ? 0.0 : decision.battery_w[j];
+        grid_w[j] = std::max(0.0, last_power[j].value() - dispatch);
+        last_power[j] = units::Watts{grid_w[j]};
+      }
+      if (!decision.battery_soc_j.empty()) last_soc_j = decision.battery_soc_j;
+    }
     for (std::size_t j = 0; j < n; ++j) {
       const auto& idc = fleet.idc(j);
       queues[j].step(idc.assigned_load().value(),
@@ -254,7 +319,7 @@ SimulationResult run_simulation(const Scenario& scenario,
     const auto plant_end = clock::now();
 
     record(t - scenario.start_time_s + scenario.ts_s, context.prices,
-           context.portal_demands);
+           context.portal_demands, grid_w);
 
     if (telemetry) {
       const auto step_end = clock::now();

@@ -8,6 +8,7 @@
 #include "core/metrics.hpp"
 #include "core/policies.hpp"
 #include "core/scenario.hpp"
+#include "market/billing.hpp"
 #include "datacenter/fluid_queue.hpp"
 #include "util/csv.hpp"
 #include "util/units.hpp"
@@ -38,6 +39,12 @@ struct SimulationTrace {
   std::vector<std::vector<double>> portal_rps;      // [portal][step]
   std::vector<double> total_power_w;                // [step]
   std::vector<double> cumulative_cost;              // [step], dollars
+  // Storage columns, populated only when some IDC has a battery: the
+  // metered grid draw (IT power minus battery discharge, clamped at 0)
+  // and the end-of-step state of charge. Empty otherwise — grid power
+  // then equals power_w and the bill falls back to it.
+  std::vector<std::vector<double>> grid_power_w;    // [idc][step]
+  std::vector<std::vector<double>> battery_soc_j;   // [idc][step]
 
   // Flatten to CSV for external plotting.
   CsvTable to_csv() const;
@@ -54,6 +61,11 @@ struct IdcSummary {
 
 struct SimulationSummary {
   std::string policy;
+  // Utility bill under the scenario tariff (market::compute_bill over
+  // the metered grid-power series). With no demand-charge tariff the
+  // energy component equals total_cost up to float reassociation and
+  // the peak components are zero.
+  market::BillStatement bill;
   units::Dollars total_cost;
   units::Joules total_energy;
   units::Seconds overload_time;
@@ -115,12 +127,17 @@ SimulationResult run_simulation(const Scenario& scenario,
 
 // Append one per-step row to `trace` from the current fleet and
 // fluid-queue state. Shared by the batch simulation and the online
-// runtime (src/runtime) so both record byte-identical series.
+// runtime (src/runtime) so both record byte-identical series. The
+// trailing storage vectors feed the grid_power_w / battery_soc_j
+// columns when the trace carries them (an empty grid vector falls back
+// to the IDC's IT power, an empty SoC vector to zero).
 void record_step(SimulationTrace& trace, const datacenter::Fleet& fleet,
                  const std::vector<datacenter::FluidQueue>& queues,
                  units::Seconds window_time,
                  const std::vector<units::PricePerMwh>& prices,
-                 const std::vector<units::Rps>& demands);
+                 const std::vector<units::Rps>& demands,
+                 const std::vector<double>& grid_power_w = {},
+                 const std::vector<double>& battery_soc_j = {});
 
 // Compute the run summary from a completed trace and the final fleet
 // state. Shared by the batch simulation and the online runtime.

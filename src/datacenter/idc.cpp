@@ -8,11 +8,30 @@
 
 namespace gridctl::datacenter {
 
+void BatteryConfig::validate() const {
+  require(capacity >= units::Joules::zero(),
+          "BatteryConfig: negative capacity");
+  if (!present()) return;
+  require(max_charge_w >= units::Watts::zero() &&
+              max_discharge_w >= units::Watts::zero(),
+          "BatteryConfig: negative power limit");
+  require(max_charge_w > units::Watts::zero() ||
+              max_discharge_w > units::Watts::zero(),
+          "BatteryConfig: battery with zero charge and discharge limits");
+  require(round_trip_efficiency > 0.0 && round_trip_efficiency <= 1.0,
+          "BatteryConfig: round_trip_efficiency must be in (0, 1]");
+  require(min_soc >= 0.0 && max_soc <= 1.0 && min_soc < max_soc,
+          "BatteryConfig: need 0 <= min_soc < max_soc <= 1");
+  require(initial_soc >= min_soc && initial_soc <= max_soc,
+          "BatteryConfig: initial_soc outside [min_soc, max_soc]");
+}
+
 void IdcConfig::validate() const {
   require(max_servers > 0, "IdcConfig: need at least one server");
   require(latency_bound_s > units::Seconds::zero(),
           "IdcConfig: latency bound must be positive");
   power.validate();
+  battery.validate();
 }
 
 units::Rps IdcConfig::max_capacity() const {

@@ -10,12 +10,35 @@
 
 namespace gridctl::datacenter {
 
+// Optional per-IDC battery / energy-storage device (ESD), the peak-
+// shaving substrate of Dabbagh et al. (arXiv:2005.02428). Grid draw is
+// server power minus battery output: discharging shaves the metered
+// peak, charging refills below the trailing average. A zero capacity
+// means "no battery" and disables every storage code path.
+struct BatteryConfig {
+  units::Joules capacity;        // usable energy; zero = no battery
+  units::Watts max_charge_w;     // grid -> battery power limit
+  units::Watts max_discharge_w;  // battery -> load power limit
+  // One-way conversion loss applied on charge: storing `c` watts for
+  // `dt` adds c * dt * round_trip_efficiency joules of SoC; discharge
+  // draws down 1:1. SoC bounds and the initial fill are capacity
+  // fractions.
+  double round_trip_efficiency = 0.90;
+  double initial_soc = 0.50;
+  double min_soc = 0.10;
+  double max_soc = 0.95;
+
+  bool present() const { return capacity > units::Joules::zero(); }
+  void validate() const;
+};
+
 struct IdcConfig {
   std::string name;
   std::size_t region = 0;        // index into the price model
   std::size_t max_servers = 0;   // M_j
   ServerPowerModel power;        // includes mu_j (service_rate)
   units::Seconds latency_bound_s{1e-3};  // D_j
+  BatteryConfig battery;         // absent unless capacity > 0
 
   void validate() const;
 

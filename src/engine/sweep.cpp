@@ -12,9 +12,8 @@ namespace gridctl::engine {
 
 PolicyFactory control_policy() {
   return [](const core::Scenario& scenario) {
-    return std::make_unique<core::MpcPolicy>(core::CostController::Config{
-        scenario.idcs, scenario.num_portals(), scenario.power_budgets_w,
-        scenario.controller});
+    return std::make_unique<core::MpcPolicy>(
+        core::controller_config_from(scenario));
   };
 }
 
@@ -142,6 +141,12 @@ JsonValue summary_to_json(const core::SimulationSummary& summary) {
   object["policy"] = JsonValue(summary.policy);
   object["total_cost_dollars"] = JsonValue(summary.total_cost.value());
   object["total_energy_mwh"] = JsonValue(units::as_mwh(summary.total_energy));
+  JsonValue::Object bill;
+  bill["energy_dollars"] = JsonValue(summary.bill.energy.value());
+  bill["demand_dollars"] = JsonValue(summary.bill.demand.value());
+  bill["coincident_dollars"] = JsonValue(summary.bill.coincident.value());
+  bill["total_dollars"] = JsonValue(summary.bill.total().value());
+  object["bill"] = JsonValue(std::move(bill));
   object["overload_seconds"] = JsonValue(summary.overload_time.value());
   object["sla_violation_seconds"] =
       JsonValue(summary.sla_violation_time.value());

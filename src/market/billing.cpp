@@ -1,0 +1,154 @@
+#include "market/billing.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridctl::market {
+
+namespace {
+
+// $/kW tariffs price peaks quoted in kilowatts.
+units::Dollars peak_charge(double rate_per_kw, double peak_w) {
+  return units::Dollars{rate_per_kw * peak_w / 1e3};
+}
+
+}  // namespace
+
+bool DemandChargeConfig::in_coincident_window(units::Seconds time) const {
+  const double hour = std::fmod(time.value() / 3600.0, 24.0);
+  if (coincident_start_hour == coincident_end_hour) return false;
+  if (coincident_start_hour < coincident_end_hour) {
+    return hour >= coincident_start_hour && hour < coincident_end_hour;
+  }
+  // start > end: the window wraps midnight.
+  return hour >= coincident_start_hour || hour < coincident_end_hour;
+}
+
+void DemandChargeConfig::validate() const {
+  require(demand_rate_per_kw >= 0.0,
+          "billing: demand_rate_per_kw must be non-negative");
+  require(coincident_rate_per_kw >= 0.0,
+          "billing: coincident_rate_per_kw must be non-negative");
+  require(cycle_hours > 0.0, "billing: cycle_hours must be positive");
+  require(coincident_start_hour >= 0.0 && coincident_start_hour < 24.0,
+          "billing: coincident_start_hour must be in [0, 24)");
+  require(coincident_end_hour >= 0.0 && coincident_end_hour <= 24.0,
+          "billing: coincident_end_hour must be in [0, 24]");
+}
+
+BillingMeter::BillingMeter(DemandChargeConfig config, std::size_t num_idcs,
+                           units::Seconds start_time)
+    : config_(config), start_time_(start_time) {
+  config_.validate();
+  require(num_idcs > 0, "BillingMeter: need at least one IDC");
+  cycle_peaks_w_.assign(num_idcs, 0.0);
+  coincident_peaks_w_.assign(num_idcs, 0.0);
+}
+
+void BillingMeter::roll_cycles_to(std::uint64_t cycle) {
+  // Finalize the cycle in flight; cycles skipped over (no observations)
+  // have zero peaks and bill nothing.
+  for (std::size_t j = 0; j < cycle_peaks_w_.size(); ++j) {
+    finalized_demand_ +=
+        peak_charge(config_.demand_rate_per_kw, cycle_peaks_w_[j]);
+    finalized_coincident_ +=
+        peak_charge(config_.coincident_rate_per_kw, coincident_peaks_w_[j]);
+    cycle_peaks_w_[j] = 0.0;
+    coincident_peaks_w_[j] = 0.0;
+  }
+  cycle_index_ = cycle;
+}
+
+void BillingMeter::observe(units::Seconds time, units::Seconds dt,
+                           const std::vector<double>& grid_power_w,
+                           const std::vector<double>& prices_per_mwh) {
+  require(grid_power_w.size() == cycle_peaks_w_.size() &&
+              prices_per_mwh.size() == cycle_peaks_w_.size(),
+          "BillingMeter: series width mismatch");
+  require(time >= start_time_, "BillingMeter: observation before start");
+  require(dt > units::Seconds::zero(), "BillingMeter: empty period");
+  const double cycle_len_s = config_.cycle_hours * 3600.0;
+  const auto cycle = static_cast<std::uint64_t>(
+      (time - start_time_).value() / cycle_len_s);
+  require(cycle >= cycle_index_, "BillingMeter: observations out of order");
+  if (cycle > cycle_index_) roll_cycles_to(cycle);
+  const bool coincident = config_.in_coincident_window(time);
+  for (std::size_t j = 0; j < grid_power_w.size(); ++j) {
+    energy_ += units::energy_cost(units::Watts{grid_power_w[j]}, dt,
+                                  units::PricePerMwh{prices_per_mwh[j]});
+    if (grid_power_w[j] > cycle_peaks_w_[j]) {
+      cycle_peaks_w_[j] = grid_power_w[j];
+    }
+    if (coincident && grid_power_w[j] > coincident_peaks_w_[j]) {
+      coincident_peaks_w_[j] = grid_power_w[j];
+    }
+  }
+}
+
+BillStatement BillingMeter::statement() const {
+  BillStatement bill;
+  bill.energy = energy_;
+  bill.demand = finalized_demand_;
+  bill.coincident = finalized_coincident_;
+  for (std::size_t j = 0; j < cycle_peaks_w_.size(); ++j) {
+    bill.demand += peak_charge(config_.demand_rate_per_kw, cycle_peaks_w_[j]);
+    bill.coincident +=
+        peak_charge(config_.coincident_rate_per_kw, coincident_peaks_w_[j]);
+  }
+  return bill;
+}
+
+BillingMeter::State BillingMeter::snapshot() const {
+  State state;
+  state.cycle_index = cycle_index_;
+  state.cycle_peaks_w = cycle_peaks_w_;
+  state.coincident_peaks_w = coincident_peaks_w_;
+  state.energy_dollars = energy_.value();
+  state.finalized_demand_dollars = finalized_demand_.value();
+  state.finalized_coincident_dollars = finalized_coincident_.value();
+  return state;
+}
+
+void BillingMeter::restore(const State& state) {
+  require(state.cycle_peaks_w.size() == cycle_peaks_w_.size() &&
+              state.coincident_peaks_w.size() == coincident_peaks_w_.size(),
+          "BillingMeter: restore width mismatch");
+  cycle_index_ = state.cycle_index;
+  cycle_peaks_w_ = state.cycle_peaks_w;
+  coincident_peaks_w_ = state.coincident_peaks_w;
+  energy_ = units::Dollars{state.energy_dollars};
+  finalized_demand_ = units::Dollars{state.finalized_demand_dollars};
+  finalized_coincident_ = units::Dollars{state.finalized_coincident_dollars};
+}
+
+BillStatement compute_bill(
+    const DemandChargeConfig& config,
+    const std::vector<std::vector<double>>& grid_power_w,
+    const std::vector<std::vector<double>>& price_per_mwh,
+    units::Seconds start_time, units::Seconds ts) {
+  require(!grid_power_w.empty(), "compute_bill: need at least one IDC");
+  require(grid_power_w.size() == price_per_mwh.size(),
+          "compute_bill: series width mismatch");
+  const std::size_t rows = grid_power_w.front().size();
+  for (std::size_t j = 0; j < grid_power_w.size(); ++j) {
+    require(grid_power_w[j].size() == rows && price_per_mwh[j].size() == rows,
+            "compute_bill: ragged series");
+  }
+  BillingMeter meter(config, grid_power_w.size(), start_time);
+  std::vector<double> power(grid_power_w.size());
+  std::vector<double> price(grid_power_w.size());
+  // Row k holds over [start + (k-1) ts, start + k ts): row 0 is the
+  // initial condition and bills nothing, mirroring integrate_trace.
+  for (std::size_t k = 1; k < rows; ++k) {
+    for (std::size_t j = 0; j < grid_power_w.size(); ++j) {
+      power[j] = grid_power_w[j][k];
+      price[j] = price_per_mwh[j][k];
+    }
+    meter.observe(start_time + ts * static_cast<double>(k - 1), ts, power,
+                  price);
+  }
+  return meter.statement();
+}
+
+}  // namespace gridctl::market

@@ -1,0 +1,116 @@
+// Demand-charge billing: the peak-based tariff component that dominates
+// real IDC bills alongside hourly LMP energy (Xu & Li, arXiv:1307.5442;
+// Wang et al., arXiv:1308.0585).
+//
+// A bill under this model has up to three parts per IDC:
+//   energy      integral of grid power x LMP (what the paper models);
+//   demand      $/kW on the highest grid draw inside each billing cycle
+//               (the "any-time" or non-coincident demand charge);
+//   coincident  $/kW on the highest draw inside a daily utility-declared
+//               window (e.g. 17:00-20:00), a proxy for the utility's own
+//               coincident system peak.
+//
+// `BillingMeter` is the streaming form used by the controller: it folds
+// one control period at a time, tracks per-IDC running cycle peaks, and
+// finalizes a cycle's charges when the clock crosses a cycle boundary.
+// Its flat `State` snapshot joins the runtime checkpoint so
+// kill-and-resume reproduces the same bill bit-for-bit. `compute_bill`
+// is the batch form used on completed simulation traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace gridctl::market {
+
+struct DemandChargeConfig {
+  double demand_rate_per_kw = 0.0;      // $/kW on each cycle's any-time peak
+  double cycle_hours = 24.0 * 30.0;     // billing cycle length
+  double coincident_rate_per_kw = 0.0;  // extra $/kW on the window peak
+  // Daily coincident window [start, end) in local hours; a window with
+  // start > end wraps midnight (the lesson of the solar_w offset bug).
+  double coincident_start_hour = 17.0;
+  double coincident_end_hour = 20.0;
+
+  // True when any peak-based component is priced; everything in this
+  // module is a no-op otherwise.
+  bool any() const {
+    return demand_rate_per_kw > 0.0 || coincident_rate_per_kw > 0.0;
+  }
+  bool in_coincident_window(units::Seconds time) const;
+  void validate() const;
+};
+
+// One bill: energy plus the peak charges accrued so far (completed
+// cycles at their finalized peaks, the running cycle at its
+// peak-to-date).
+struct BillStatement {
+  units::Dollars energy;
+  units::Dollars demand;
+  units::Dollars coincident;
+  units::Dollars total() const { return energy + demand + coincident; }
+};
+
+class BillingMeter {
+ public:
+  BillingMeter(DemandChargeConfig config, std::size_t num_idcs,
+               units::Seconds start_time);
+
+  // Fold one control period: IDC j drew grid_power_w[j] over
+  // [time, time + dt) at prices_per_mwh[j]. Observations must be
+  // time-ordered; a period crossing a cycle boundary bills the cycle the
+  // period starts in.
+  void observe(units::Seconds time, units::Seconds dt,
+               const std::vector<double>& grid_power_w,
+               const std::vector<double>& prices_per_mwh);
+
+  // Bill through everything observed so far (running cycle included at
+  // its current peaks).
+  BillStatement statement() const;
+
+  // Running peaks of the current cycle, for peak-shadow pricing.
+  const std::vector<double>& cycle_peaks_w() const { return cycle_peaks_w_; }
+  const std::vector<double>& coincident_peaks_w() const {
+    return coincident_peaks_w_;
+  }
+  std::uint64_t cycle_index() const { return cycle_index_; }
+  const DemandChargeConfig& config() const { return config_; }
+
+  // Flat snapshot for the runtime checkpoint. Restoring into a meter
+  // constructed with the same config/size reproduces subsequent
+  // observations bit-identically.
+  struct State {
+    std::uint64_t cycle_index = 0;
+    std::vector<double> cycle_peaks_w;
+    std::vector<double> coincident_peaks_w;
+    double energy_dollars = 0.0;
+    double finalized_demand_dollars = 0.0;
+    double finalized_coincident_dollars = 0.0;
+  };
+  State snapshot() const;
+  void restore(const State& state);
+
+ private:
+  void roll_cycles_to(std::uint64_t cycle);
+
+  DemandChargeConfig config_;
+  units::Seconds start_time_;
+  std::uint64_t cycle_index_ = 0;
+  std::vector<double> cycle_peaks_w_;
+  std::vector<double> coincident_peaks_w_;
+  units::Dollars energy_;
+  units::Dollars finalized_demand_;
+  units::Dollars finalized_coincident_;
+};
+
+// Batch form over completed per-IDC grid-power / price series sampled
+// every `ts` from `start_time`. Row 0 is the initial condition and
+// carries no energy or peak (mirrors core's integrate_trace).
+BillStatement compute_bill(const DemandChargeConfig& config,
+                           const std::vector<std::vector<double>>& grid_power_w,
+                           const std::vector<std::vector<double>>& price_per_mwh,
+                           units::Seconds start_time, units::Seconds ts);
+
+}  // namespace gridctl::market

@@ -8,10 +8,21 @@
 
 namespace gridctl::market {
 
+namespace {
+
+// Hour index into a precomputed per-hour series. Times past the horizon
+// wrap modulo the series length: the series extends periodically, as
+// documented on the accessors that use it (see wraps_after_horizon()).
+std::size_t wrapped_hour_index(units::Seconds time, std::size_t horizon_hours) {
+  return static_cast<std::size_t>(time.value() / 3600.0) % horizon_hours;
+}
+
+}  // namespace
+
 RenewableSupply::RenewableSupply(std::vector<RenewableRegionConfig> regions,
                                  std::uint64_t seed,
                                  std::size_t horizon_hours)
-    : regions_(std::move(regions)) {
+    : regions_(std::move(regions)), horizon_hours_(horizon_hours) {
   require(!regions_.empty(), "RenewableSupply: need at least one region");
   require(horizon_hours > 0, "RenewableSupply: empty horizon");
   for (const auto& cfg : regions_) {
@@ -46,7 +57,11 @@ units::Watts RenewableSupply::solar_w(std::size_t region,
   require(region < regions_.size(), "RenewableSupply: region out of range");
   const auto& cfg = regions_[region];
   const double hour = std::fmod(time.value() / 3600.0, 24.0);
-  const double offset = hour - cfg.solar_noon_hour;
+  // Wrap the noon offset into [-12, 12) so a daylight window crossing
+  // midnight (solar_noon_hour near 0 or 23) keeps both of its halves.
+  double offset = hour - cfg.solar_noon_hour;
+  if (offset < -12.0) offset += 24.0;
+  if (offset >= 12.0) offset -= 24.0;
   const double half_span = cfg.solar_span_hours / 2.0;
   if (std::abs(offset) >= half_span) return units::Watts::zero();
   return units::Watts{cfg.solar_peak_w *
@@ -59,8 +74,7 @@ units::Watts RenewableSupply::available_w(std::size_t region,
   // bounds (solar_w's own range check fired too late to help).
   require(region < wind_.size(), "RenewableSupply: region out of range");
   require(time >= units::Seconds::zero(), "RenewableSupply: negative time");
-  const std::size_t hour =
-      static_cast<std::size_t>(time.value() / 3600.0) % wind_[region].size();
+  const std::size_t hour = wrapped_hour_index(time, wind_[region].size());
   return units::Watts{solar_w(region, time).value() + wind_[region][hour]};
 }
 

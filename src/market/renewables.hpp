@@ -27,15 +27,27 @@ class RenewableSupply {
   RenewableSupply(std::vector<RenewableRegionConfig> regions,
                   std::uint64_t seed, std::size_t horizon_hours = 24 * 7);
 
-  // Renewable power available in `region` at time `time`.
+  // Renewable power available in `region` at time `time`. The wind series
+  // is precomputed for `horizon_hours`; beyond that the series extends
+  // periodically (hour index wraps modulo horizon_hours()). Callers that
+  // need fresh randomness past the horizon must construct with a larger
+  // one — check wraps_after_horizon() against the run length.
   units::Watts available_w(std::size_t region, units::Seconds time) const;
   std::size_t num_regions() const { return regions_.size(); }
+
+  // Length of the precomputed series, and the first instant at which
+  // available_w() starts reusing it.
+  std::size_t horizon_hours() const { return horizon_hours_; }
+  units::Seconds wraps_after_horizon() const {
+    return units::Seconds{static_cast<double>(horizon_hours_) * 3600.0};
+  }
 
   // Deterministic solar envelope alone (for tests).
   units::Watts solar_w(std::size_t region, units::Seconds time) const;
 
  private:
   std::vector<RenewableRegionConfig> regions_;
+  std::size_t horizon_hours_ = 0;
   std::vector<std::vector<double>> wind_;  // per region, per hour
 };
 

@@ -7,6 +7,17 @@
 
 namespace gridctl::market {
 
+namespace {
+
+// Hour index into a precomputed per-hour series. Times past the horizon
+// wrap modulo the series length — the periodic extension documented on
+// StochasticBidPrice::price (mirrors RenewableSupply::available_w).
+std::size_t wrapped_hour_index(units::Seconds time, std::size_t horizon_hours) {
+  return static_cast<std::size_t>(time.value() / 3600.0) % horizon_hours;
+}
+
+}  // namespace
+
 units::PricePerMwh SupplyStack::clearing_price(units::Watts demand) const {
   require(capacity_w > 0.0, "SupplyStack: capacity must be positive");
   const double load_fraction = std::max(demand.value(), 0.0) / capacity_w;
@@ -18,7 +29,7 @@ units::PricePerMwh SupplyStack::clearing_price(units::Watts demand) const {
 StochasticBidPrice::StochasticBidPrice(std::vector<RegionMarketConfig> regions,
                                        std::uint64_t seed,
                                        std::size_t horizon_hours)
-    : regions_(std::move(regions)) {
+    : regions_(std::move(regions)), horizon_hours_(horizon_hours) {
   require(!regions_.empty(), "StochasticBidPrice: need at least one region");
   require(horizon_hours > 0, "StochasticBidPrice: empty horizon");
   Rng rng(seed);
@@ -46,7 +57,11 @@ StochasticBidPrice::StochasticBidPrice(std::vector<RegionMarketConfig> regions,
 
 units::Watts StochasticBidPrice::base_demand(std::size_t region,
                                              units::Seconds time) const {
+  // Same validation order as price() and RenewableSupply::available_w:
+  // region, then time, before anything derived from either is computed.
   require(region < regions_.size(), "StochasticBidPrice: region out of range");
+  require(time >= units::Seconds::zero(),
+          "StochasticBidPrice: negative time");
   const auto& cfg = regions_[region];
   const double hour = std::fmod(time.value() / 3600.0, 24.0);
   const double phase = 2.0 * M_PI * (hour - cfg.peak_hour) / 24.0;
@@ -61,8 +76,7 @@ units::PricePerMwh StochasticBidPrice::price(std::size_t region,
   require(time >= units::Seconds::zero(),
           "StochasticBidPrice: negative time");
   const auto& cfg = regions_[region];
-  const std::size_t hour = static_cast<std::size_t>(time.value() / 3600.0) %
-                           noise_[region].size();
+  const std::size_t hour = wrapped_hour_index(time, noise_[region].size());
   const units::Watts total_demand =
       units::Watts{base_demand(region, time).value() +
                    std::max(demand.value(), 0.0)};

@@ -60,15 +60,29 @@ class StochasticBidPrice : public PriceModel {
   StochasticBidPrice(std::vector<RegionMarketConfig> regions,
                      std::uint64_t seed, std::size_t horizon_hours = 24 * 7);
 
+  // Clearing price at `time` given the operator's own `demand`. Noise and
+  // spike series are precomputed for `horizon_hours`; beyond that they
+  // extend periodically (hour index wraps modulo horizon_hours()), same
+  // contract as RenewableSupply::available_w. Construct with a larger
+  // horizon when a run needs fresh randomness past the default week —
+  // check wraps_after_horizon() against the run length.
   units::PricePerMwh price(std::size_t region, units::Seconds time,
                            units::Watts demand) const override;
   std::size_t num_regions() const override { return regions_.size(); }
+
+  // Length of the precomputed series, and the first instant at which
+  // price() starts reusing it.
+  std::size_t horizon_hours() const { return horizon_hours_; }
+  units::Seconds wraps_after_horizon() const {
+    return units::Seconds{static_cast<double>(horizon_hours_) * 3600.0};
+  }
 
   // Exogenous base demand at a time (before the IDC's own draw).
   units::Watts base_demand(std::size_t region, units::Seconds time) const;
 
  private:
   std::vector<RegionMarketConfig> regions_;
+  std::size_t horizon_hours_ = 0;
   // noise_[r][h]: multiplicative OU factor; spikes_[r][h]: additive $/MWh.
   std::vector<std::vector<double>> noise_;
   std::vector<std::vector<double>> spikes_;

@@ -149,8 +149,10 @@ engine::RunTelemetry telemetry_counters_from_json(const JsonValue& json) {
       as_u64(json.at("fallback_backend_retries"));
   telemetry.fallback_holds = as_u64(json.at("fallback_holds"));
   telemetry.invariants.checks = as_u64(json.at("invariant_checks"));
+  // <=: checkpoints written before an invariant kind was added carry a
+  // shorter counter vector; the missing tail kinds restore as zero.
   const auto by_kind = sizes_from_json(json.at("invariants_by_kind"));
-  require(by_kind.size() == check::kNumInvariants,
+  require(by_kind.size() <= check::kNumInvariants,
           "checkpoint: invariant counter arity mismatch");
   for (std::size_t i = 0; i < by_kind.size(); ++i) {
     telemetry.invariants.by_kind[i] = by_kind[i];
@@ -221,6 +223,19 @@ JsonValue controller_to_json(const core::CostController::State& state) {
     predictors.push_back(JsonValue(std::move(predictor)));
   }
   object.emplace("predictors", JsonValue(std::move(predictors)));
+  object.emplace("battery_soc_j", doubles_to_json(state.battery_soc_j));
+  object.emplace("battery_avg_w", doubles_to_json(state.battery_avg_w));
+  JsonValue::Object billing;
+  billing.emplace("cycle_index", num(state.billing.cycle_index));
+  billing.emplace("cycle_peaks_w", doubles_to_json(state.billing.cycle_peaks_w));
+  billing.emplace("coincident_peaks_w",
+                  doubles_to_json(state.billing.coincident_peaks_w));
+  billing.emplace("energy_dollars", num(state.billing.energy_dollars));
+  billing.emplace("finalized_demand_dollars",
+                  num(state.billing.finalized_demand_dollars));
+  billing.emplace("finalized_coincident_dollars",
+                  num(state.billing.finalized_coincident_dollars));
+  object.emplace("billing", JsonValue(std::move(billing)));
   return JsonValue(std::move(object));
 }
 
@@ -244,6 +259,23 @@ core::CostController::State controller_from_json(const JsonValue& json) {
     predictor.history = doubles_from_json(p.at("history"));
     state.predictors.push_back(std::move(predictor));
   }
+  // Schema /1 checkpoints predate billing and storage; the defaults
+  // restore a fresh meter and initial SoC, which is exactly the state a
+  // /1-era run was in (the features did not exist).
+  if (json.as_object().count("battery_soc_j") > 0) {
+    state.battery_soc_j = doubles_from_json(json.at("battery_soc_j"));
+    state.battery_avg_w = doubles_from_json(json.at("battery_avg_w"));
+    const JsonValue& billing = json.at("billing");
+    state.billing.cycle_index = as_u64(billing.at("cycle_index"));
+    state.billing.cycle_peaks_w = doubles_from_json(billing.at("cycle_peaks_w"));
+    state.billing.coincident_peaks_w =
+        doubles_from_json(billing.at("coincident_peaks_w"));
+    state.billing.energy_dollars = billing.at("energy_dollars").as_number();
+    state.billing.finalized_demand_dollars =
+        billing.at("finalized_demand_dollars").as_number();
+    state.billing.finalized_coincident_dollars =
+        billing.at("finalized_coincident_dollars").as_number();
+  }
   return state;
 }
 
@@ -262,6 +294,10 @@ JsonValue trace_to_json(const core::SimulationTrace& trace) {
   object.emplace("portal_rps", series_to_json(trace.portal_rps));
   object.emplace("total_power_w", doubles_to_json(trace.total_power_w));
   object.emplace("cumulative_cost", doubles_to_json(trace.cumulative_cost));
+  if (!trace.grid_power_w.empty()) {
+    object.emplace("grid_power_w", series_to_json(trace.grid_power_w));
+    object.emplace("battery_soc_j", series_to_json(trace.battery_soc_j));
+  }
   return JsonValue(std::move(object));
 }
 
@@ -280,6 +316,12 @@ core::SimulationTrace trace_from_json(const JsonValue& json) {
   trace.portal_rps = series_from_json(json.at("portal_rps"));
   trace.total_power_w = doubles_from_json(json.at("total_power_w"));
   trace.cumulative_cost = doubles_from_json(json.at("cumulative_cost"));
+  // Storage columns exist only for runs with batteries (and in no /1
+  // checkpoint at all).
+  if (json.as_object().count("grid_power_w") > 0) {
+    trace.grid_power_w = series_from_json(json.at("grid_power_w"));
+    trace.battery_soc_j = series_from_json(json.at("battery_soc_j"));
+  }
   return trace;
 }
 
@@ -329,9 +371,11 @@ JsonValue RuntimeCheckpoint::to_json() const {
 }
 
 RuntimeCheckpoint RuntimeCheckpoint::from_json(const JsonValue& json) {
-  require(json.at("schema").as_string() == kCheckpointSchema,
+  const std::string& schema = json.at("schema").as_string();
+  require(schema == kCheckpointSchema ||
+              schema == "gridctl.runtime.checkpoint/1",
           "checkpoint: unsupported schema (expected "
-          "gridctl.runtime.checkpoint/1)");
+          "gridctl.runtime.checkpoint/2 or /1)");
   RuntimeCheckpoint checkpoint;
 
   const JsonValue& progress = json.at("progress");

@@ -28,7 +28,10 @@
 namespace gridctl::runtime {
 
 // Current schema identifier; bump on incompatible layout changes.
-inline constexpr const char* kCheckpointSchema = "gridctl.runtime.checkpoint/1";
+// /2 added the billing-meter and battery state (controller) and the
+// grid_power_w / battery_soc_j trace series; /1 checkpoints still load
+// (the new fields default to feature-off).
+inline constexpr const char* kCheckpointSchema = "gridctl.runtime.checkpoint/2";
 
 struct RuntimeCheckpoint {
   // Progress: the next control step to execute and how many ticks of

@@ -46,7 +46,8 @@ FleetSession::FleetSession(core::Scenario scenario, RuntimeOptions options,
   held_price_time_s_ = scenario_.start_time_s.value();
   core::record_step(trace_, fleet_, queues_, units::Seconds::zero(),
                     units::typed_vector<units::PricePerMwh>(held_prices_),
-                    units::typed_vector<units::Rps>(held_demands_));
+                    units::typed_vector<units::Rps>(held_demands_),
+                    /*grid_power_w=*/{}, controller_->battery_soc_j());
 }
 
 FleetSession::FleetSession(core::Scenario scenario, RuntimeOptions options,
@@ -72,11 +73,8 @@ void FleetSession::init_common() {
   const std::size_t n = scenario_.num_idcs();
   const std::size_t c = scenario_.num_portals();
 
-  core::CostController::Config config{scenario_.idcs, c,
-                                      scenario_.power_budgets_w,
-                                      scenario_.controller};
-  config.factor_cache = options_.factor_cache;
-  controller_ = std::make_unique<core::CostController>(std::move(config));
+  controller_ = std::make_unique<core::CostController>(
+      core::controller_config_from(scenario_, options_.factor_cache));
   queues_.assign(n, datacenter::FluidQueue{});
   last_power_.assign(n, 0.0);
 
@@ -102,6 +100,13 @@ void FleetSession::init_common() {
   trace_.backlog_req.assign(n, {});
   trace_.transient_delay_s.assign(n, {});
   trace_.portal_rps.assign(c, {});
+  for (const auto& idc : scenario_.idcs) {
+    if (idc.battery.present()) any_battery_ = true;
+  }
+  if (any_battery_) {
+    trace_.grid_power_w.assign(n, {});
+    trace_.battery_soc_j.assign(n, {});
+  }
 
   stats_.deadline_s =
       options_.deadline_s > 0.0
@@ -266,6 +271,18 @@ void FleetSession::execute_step(std::uint64_t step) {
   fleet_.set_operating_point(decision.allocation, decision.servers);
   fleet_.advance(scenario_.ts_s, prices);
   last_power_ = units::raw_vector(fleet_.power_by_idc_w());
+  std::vector<double> grid_w;
+  if (any_battery_) {
+    // Metered draw = realized IT power minus the battery dispatch,
+    // clamped at zero; the price feed sees the metered series.
+    grid_w.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dispatch =
+          decision.battery_w.empty() ? 0.0 : decision.battery_w[j];
+      grid_w[j] = std::max(0.0, last_power_[j] - dispatch);
+      last_power_[j] = grid_w[j];
+    }
+  }
   for (std::size_t j = 0; j < n; ++j) {
     const auto& idc = fleet_.idc(j);
     queues_[j].step(idc.assigned_load().value(),
@@ -277,7 +294,7 @@ void FleetSession::execute_step(std::uint64_t step) {
 
   core::record_step(trace_, fleet_, queues_,
                     units::Seconds{t - scenario_.start_time_s.value() + ts},
-                    prices, demands);
+                    prices, demands, grid_w, decision.battery_soc_j);
   const auto step_end = clock_type::now();
 
   telemetry_.policy_s += seconds_between(step_begin, decide_end);

@@ -209,6 +209,9 @@ class FleetSession {
   std::uint64_t price_ticks_consumed_ = 0;
   std::uint64_t workload_ticks_consumed_ = 0;
   bool degrade_pending_ = false;
+  // Some IDC has storage: the trace carries grid/SoC columns and the
+  // price feed sees the metered (post-battery) power.
+  bool any_battery_ = false;
 
   core::SimulationTrace trace_;
   engine::RunTelemetry telemetry_;

@@ -1,0 +1,167 @@
+// Demand-charge billing and battery dispatch, end to end: the aware
+// controller must lower the total bill versus the energy-only baseline,
+// storage must lower it further, SoC must respect its bounds, and the
+// controller state must round-trip through snapshot/restore.
+#include <gtest/gtest.h>
+
+#include "core/cost_controller.hpp"
+#include "core/paper.hpp"
+#include "core/policies.hpp"
+#include "core/simulation.hpp"
+#include "market/billing.hpp"
+#include "util/units.hpp"
+
+namespace gridctl::core {
+namespace {
+
+Scenario tariffed_scenario(bool aware) {
+  // The Fig. 4/5 price step at 7H: the energy-only controller migrates
+  // Michigan's load up from 2.14 MW toward 5.7 MW, setting a new billed
+  // peak. A $15/kW demand charge makes that migration expensive.
+  Scenario scenario = paper::smoothing_scenario();
+  scenario.billing.demand_rate_per_kw = 15.0;
+  scenario.billing.cycle_hours = 24.0;
+  scenario.controller.demand_charge_aware = aware;
+  return scenario;
+}
+
+Scenario add_batteries(Scenario scenario) {
+  for (auto& idc : scenario.idcs) {
+    idc.battery.capacity = units::from_mwh(2.0);
+    idc.battery.max_charge_w = units::Watts{1.0e6};
+    idc.battery.max_discharge_w = units::Watts{1.5e6};
+  }
+  return scenario;
+}
+
+SimulationResult run_control(const Scenario& scenario) {
+  MpcPolicy policy(controller_config_from(scenario));
+  return run_simulation(scenario, policy);
+}
+
+TEST(DemandCharge, AwareControllerLowersTheTotalBill) {
+  const auto baseline = run_control(tariffed_scenario(false));
+  const auto aware = run_control(tariffed_scenario(true));
+  // Both runs are billed under the same tariff; only the aware
+  // controller shadow-prices power above its running cycle peak.
+  EXPECT_GT(baseline.summary.bill.demand.value(), 0.0);
+  EXPECT_LT(aware.summary.bill.total().value(),
+            baseline.summary.bill.total().value());
+  EXPECT_LT(aware.summary.bill.demand.value(),
+            baseline.summary.bill.demand.value());
+}
+
+TEST(DemandCharge, BatteriesShaveTheBilledPeakFurther) {
+  const Scenario without = tariffed_scenario(true);
+  const Scenario with = add_batteries(tariffed_scenario(true));
+  const auto aware = run_control(without);
+  const auto stored = run_control(with);
+  EXPECT_LT(stored.summary.bill.total().value(),
+            aware.summary.bill.total().value());
+
+  // The trace carries the storage columns and the SoC honors its bounds
+  // at every step.
+  ASSERT_EQ(stored.trace.battery_soc_j.size(), with.idcs.size());
+  for (std::size_t j = 0; j < with.idcs.size(); ++j) {
+    const auto& battery = with.idcs[j].battery;
+    const double cap = battery.capacity.value();
+    for (double soc : stored.trace.battery_soc_j[j]) {
+      EXPECT_GE(soc, battery.min_soc * cap - 1e-6);
+      EXPECT_LE(soc, battery.max_soc * cap + 1e-6);
+    }
+  }
+}
+
+TEST(DemandCharge, EnergyOnlyScenarioLeavesTraceShapeUnchanged) {
+  const auto plain = run_control(paper::smoothing_scenario());
+  EXPECT_TRUE(plain.trace.grid_power_w.empty());
+  EXPECT_TRUE(plain.trace.battery_soc_j.empty());
+  EXPECT_DOUBLE_EQ(plain.summary.bill.demand.value(), 0.0);
+  // Energy billed from the trace agrees with the fleet accumulator.
+  EXPECT_NEAR(plain.summary.bill.energy.value(),
+              plain.summary.total_cost.value(),
+              1e-6 * plain.summary.total_cost.value());
+}
+
+TEST(DemandCharge, SocBoundInvariantHoldsUnderStrictChecking) {
+  Scenario scenario = add_batteries(tariffed_scenario(true));
+  scenario.controller.solver.invariants.enabled = true;
+  scenario.controller.solver.invariants.strict = true;
+  CostController controller(controller_config_from(scenario));
+  const auto prices = units::typed_vector<units::PricePerMwh>(
+      std::vector<double>{49.90, 29.47, 77.97});
+  const auto demands =
+      units::typed_vector<units::Rps>(paper::kPortalDemands);
+  for (int k = 0; k < 30; ++k) {
+    // Strict mode throws on any violated invariant, kSocBounds included.
+    const auto decision = controller.step(prices, demands);
+    ASSERT_EQ(decision.battery_soc_j.size(), 3u);
+    EXPECT_TRUE(decision.violations.empty());
+  }
+}
+
+TEST(DemandCharge, ControllerSnapshotRestoreResumesBitIdentically) {
+  const Scenario scenario = add_batteries(tariffed_scenario(true));
+  const auto prices = units::typed_vector<units::PricePerMwh>(
+      std::vector<double>{49.90, 29.47, 77.97});
+  const auto demands =
+      units::typed_vector<units::Rps>(paper::kPortalDemands);
+
+  CostController straight(controller_config_from(scenario));
+  CostController original(controller_config_from(scenario));
+  for (int k = 0; k < 12; ++k) straight.step(prices, demands);
+  for (int k = 0; k < 5; ++k) original.step(prices, demands);
+
+  CostController resumed(controller_config_from(scenario));
+  resumed.restore(original.snapshot());
+  for (int k = 5; k < 12; ++k) resumed.step(prices, demands);
+  const auto from_straight = straight.step(prices, demands);
+  const auto last = resumed.step(prices, demands);
+
+  // The 13th step after restore matches the uninterrupted run exactly:
+  // SoC, billed peaks and the allocation are all bit-identical.
+  ASSERT_EQ(last.battery_soc_j.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(last.battery_soc_j[j], from_straight.battery_soc_j[j]);
+    EXPECT_EQ(last.battery_w[j], from_straight.battery_w[j]);
+    EXPECT_EQ(last.grid_power_w[j], from_straight.grid_power_w[j]);
+  }
+  ASSERT_NE(resumed.billing_meter(), nullptr);
+  ASSERT_NE(straight.billing_meter(), nullptr);
+  EXPECT_EQ(resumed.billing_meter()->statement().total().value(),
+            straight.billing_meter()->statement().total().value());
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(resumed.billing_meter()->cycle_peaks_w()[j],
+              straight.billing_meter()->cycle_peaks_w()[j]);
+  }
+}
+
+TEST(DemandCharge, LegacyStateRestoresAsFreshMeterAndInitialSoc) {
+  const Scenario scenario = add_batteries(tariffed_scenario(true));
+  const auto prices = units::typed_vector<units::PricePerMwh>(
+      std::vector<double>{49.90, 29.47, 77.97});
+  const auto demands =
+      units::typed_vector<units::Rps>(paper::kPortalDemands);
+  CostController controller(controller_config_from(scenario));
+  for (int k = 0; k < 4; ++k) controller.step(prices, demands);
+
+  // A checkpoint written before billing/storage existed carries neither
+  // field; restoring it must reset to initial SoC and a zeroed meter.
+  CostController::State legacy = controller.snapshot();
+  legacy.battery_soc_j.clear();
+  legacy.battery_avg_w.clear();
+  legacy.billing = market::BillingMeter::State{};
+  controller.restore(legacy);
+  const auto& soc = controller.battery_soc_j();
+  ASSERT_EQ(soc.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const auto& battery = scenario.idcs[j].battery;
+    EXPECT_DOUBLE_EQ(soc[j], battery.initial_soc * battery.capacity.value());
+  }
+  ASSERT_NE(controller.billing_meter(), nullptr);
+  EXPECT_DOUBLE_EQ(controller.billing_meter()->statement().total().value(),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace gridctl::core

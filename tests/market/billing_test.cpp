@@ -1,0 +1,187 @@
+#include "market/billing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gridctl::market {
+namespace {
+
+DemandChargeConfig daily_tariff() {
+  DemandChargeConfig config;
+  config.demand_rate_per_kw = 10.0;
+  config.cycle_hours = 24.0;
+  return config;
+}
+
+TEST(DemandChargeConfig, AnyIsFalseForEnergyOnlyTariff) {
+  DemandChargeConfig config;
+  EXPECT_FALSE(config.any());
+  config.demand_rate_per_kw = 1.0;
+  EXPECT_TRUE(config.any());
+  config = DemandChargeConfig{};
+  config.coincident_rate_per_kw = 1.0;
+  EXPECT_TRUE(config.any());
+}
+
+TEST(DemandChargeConfig, CoincidentWindowWrapsMidnight) {
+  DemandChargeConfig config;
+  config.coincident_start_hour = 23.0;
+  config.coincident_end_hour = 1.0;
+  EXPECT_FALSE(config.in_coincident_window(units::Seconds{22.0 * 3600.0}));
+  EXPECT_TRUE(config.in_coincident_window(units::Seconds{23.5 * 3600.0}));
+  EXPECT_TRUE(config.in_coincident_window(units::Seconds{0.5 * 3600.0}));
+  EXPECT_FALSE(config.in_coincident_window(units::Seconds{2.0 * 3600.0}));
+  // Degenerate window bills nothing.
+  config.coincident_end_hour = 23.0;
+  EXPECT_FALSE(config.in_coincident_window(units::Seconds{23.0 * 3600.0}));
+}
+
+TEST(DemandChargeConfig, Validation) {
+  DemandChargeConfig bad;
+  bad.demand_rate_per_kw = -1.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = DemandChargeConfig{};
+  bad.cycle_hours = 0.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = DemandChargeConfig{};
+  bad.coincident_start_hour = 25.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(BillingMeter, EnergyAccruesAtLmp) {
+  BillingMeter meter(DemandChargeConfig{}, 1, units::Seconds::zero());
+  // 1 MW for 1 hour at $50/MWh = $50.
+  meter.observe(units::Seconds::zero(), units::Seconds{3600.0}, {1e6}, {50.0});
+  EXPECT_NEAR(meter.statement().energy.value(), 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(meter.statement().demand.value(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.statement().coincident.value(), 0.0);
+}
+
+TEST(BillingMeter, DemandChargeBillsTheCyclePeak) {
+  BillingMeter meter(daily_tariff(), 1, units::Seconds::zero());
+  const units::Seconds hour{3600.0};
+  for (int h = 0; h < 24; ++h) {
+    const double power = (h == 18) ? 5e6 : 2e6;
+    meter.observe(hour * static_cast<double>(h), hour, {power}, {40.0});
+  }
+  // $10/kW on the 5 MW peak = $50,000, regardless of how long it lasted.
+  EXPECT_NEAR(meter.statement().demand.value(), 10.0 * 5e6 / 1e3, 1e-6);
+}
+
+TEST(BillingMeter, CycleRolloverFinalizesEachPeak) {
+  DemandChargeConfig config = daily_tariff();
+  config.cycle_hours = 1.0;
+  BillingMeter meter(config, 1, units::Seconds::zero());
+  const units::Seconds step{600.0};
+  for (int k = 0; k < 6; ++k) {  // cycle 0 peaks at 3 MW
+    meter.observe(step * static_cast<double>(k), step, {3e6}, {40.0});
+  }
+  EXPECT_EQ(meter.cycle_index(), 0u);
+  for (int k = 6; k < 12; ++k) {  // cycle 1 peaks at 1 MW
+    meter.observe(step * static_cast<double>(k), step, {1e6}, {40.0});
+  }
+  EXPECT_EQ(meter.cycle_index(), 1u);
+  // Finalized 3 MW cycle + running 1 MW cycle, both at $10/kW.
+  EXPECT_NEAR(meter.statement().demand.value(), 10.0 * (3e6 + 1e6) / 1e3,
+              1e-6);
+}
+
+TEST(BillingMeter, CoincidentPeakOnlyCountsInsideTheWindow) {
+  DemandChargeConfig config;
+  config.coincident_rate_per_kw = 4.0;  // window default 17:00-20:00
+  BillingMeter meter(config, 1, units::Seconds::zero());
+  const units::Seconds hour{3600.0};
+  for (int h = 0; h < 24; ++h) {
+    const double power = (h == 3) ? 8e6 : (h == 18 ? 5e6 : 1e6);
+    meter.observe(hour * static_cast<double>(h), hour, {power}, {40.0});
+  }
+  // The 8 MW overnight peak is outside the window; the billed
+  // coincident peak is the 5 MW draw at 18:00.
+  EXPECT_NEAR(meter.statement().coincident.value(), 4.0 * 5e6 / 1e3, 1e-6);
+  EXPECT_DOUBLE_EQ(meter.statement().demand.value(), 0.0);
+}
+
+TEST(BillingMeter, SnapshotRestoreResumesBitIdentically) {
+  DemandChargeConfig config = daily_tariff();
+  config.cycle_hours = 2.0;
+  config.coincident_rate_per_kw = 3.0;
+  const auto series = [](int k, int j) {
+    return 1e6 * (1.0 + 0.5 * ((k * 7 + j * 3) % 5));
+  };
+  const units::Seconds step{1800.0};
+  BillingMeter straight(config, 2, units::Seconds::zero());
+  BillingMeter first_half(config, 2, units::Seconds::zero());
+  for (int k = 0; k < 16; ++k) {
+    straight.observe(step * static_cast<double>(k), step,
+                     {series(k, 0), series(k, 1)}, {40.0, 55.0});
+    if (k < 7) {
+      first_half.observe(step * static_cast<double>(k), step,
+                         {series(k, 0), series(k, 1)}, {40.0, 55.0});
+    }
+  }
+  BillingMeter resumed(config, 2, units::Seconds::zero());
+  resumed.restore(first_half.snapshot());
+  for (int k = 7; k < 16; ++k) {
+    resumed.observe(step * static_cast<double>(k), step,
+                    {series(k, 0), series(k, 1)}, {40.0, 55.0});
+  }
+  EXPECT_EQ(resumed.statement().energy.value(),
+            straight.statement().energy.value());
+  EXPECT_EQ(resumed.statement().demand.value(),
+            straight.statement().demand.value());
+  EXPECT_EQ(resumed.statement().coincident.value(),
+            straight.statement().coincident.value());
+}
+
+TEST(BillingMeter, RejectsOutOfOrderAndMalformedObservations) {
+  DemandChargeConfig config = daily_tariff();
+  config.cycle_hours = 1.0;
+  BillingMeter meter(config, 1, units::Seconds{3600.0});
+  EXPECT_THROW(meter.observe(units::Seconds::zero(), units::Seconds{10.0},
+                             {1e6}, {40.0}),
+               InvalidArgument);  // before start
+  meter.observe(units::Seconds{2.5 * 3600.0}, units::Seconds{10.0}, {1e6},
+                {40.0});  // cycle 1
+  EXPECT_THROW(meter.observe(units::Seconds{3600.0}, units::Seconds{10.0},
+                             {1e6}, {40.0}),
+               InvalidArgument);  // earlier cycle
+  EXPECT_THROW(meter.observe(units::Seconds{3.0 * 3600.0},
+                             units::Seconds::zero(), {1e6}, {40.0}),
+               InvalidArgument);  // empty period
+  EXPECT_THROW(meter.observe(units::Seconds{3.0 * 3600.0},
+                             units::Seconds{10.0}, {1e6, 2e6}, {40.0, 40.0}),
+               InvalidArgument);  // width mismatch
+}
+
+TEST(ComputeBill, MatchesTheStreamingMeterAndSkipsRowZero) {
+  DemandChargeConfig config = daily_tariff();
+  config.cycle_hours = 3.0;
+  config.coincident_rate_per_kw = 2.0;
+  const units::Seconds ts{1800.0};
+  const units::Seconds start{7.0 * 3600.0};
+  std::vector<std::vector<double>> power(2);
+  std::vector<std::vector<double>> price(2);
+  for (int k = 0; k < 40; ++k) {
+    for (int j = 0; j < 2; ++j) {
+      power[j].push_back(1e6 * (1.0 + 0.3 * ((k + j) % 7)));
+      price[j].push_back(35.0 + 5.0 * (k % 4));
+    }
+  }
+  const BillStatement batch = compute_bill(config, power, price, start, ts);
+  BillingMeter meter(config, 2, start);
+  for (int k = 1; k < 40; ++k) {
+    meter.observe(start + ts * static_cast<double>(k - 1), ts,
+                  {power[0][k], power[1][k]}, {price[0][k], price[1][k]});
+  }
+  EXPECT_EQ(batch.energy.value(), meter.statement().energy.value());
+  EXPECT_EQ(batch.demand.value(), meter.statement().demand.value());
+  EXPECT_EQ(batch.coincident.value(), meter.statement().coincident.value());
+  EXPECT_NEAR(batch.total().value(),
+              (batch.energy + batch.demand + batch.coincident).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace gridctl::market

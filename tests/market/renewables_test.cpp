@@ -71,6 +71,39 @@ TEST(RenewableSupply, DeterministicPerSeed) {
   }
 }
 
+// Regression: the noon offset must wrap into [-12, 12) so a daylight
+// window crossing midnight keeps both halves. With "noon" at 00:30 the
+// unwrapped offset at 22:00 is 21.5 h, which read as "outside the
+// window" and zeroed the pre-midnight half of the output.
+TEST(RenewableSupply, SolarWindowCrossingMidnightKeepsBothHalves) {
+  RenewableRegionConfig config = solar_only();
+  config.solar_noon_hour = 0.5;
+  config.solar_span_hours = 8.0;  // daylight [20:30, 04:30)
+  RenewableSupply supply({config}, 1);
+  EXPECT_GT(supply.solar_w(0, units::Seconds{22.0 * 3600.0}).value(), 0.0);
+  EXPECT_NEAR(supply.solar_w(0, units::Seconds{0.5 * 3600.0}).value(), 4e6,
+              1.0);
+  // Symmetric across midnight: 23:00 and 02:00 are both 1.5 h from noon.
+  EXPECT_NEAR(supply.solar_w(0, units::Seconds{23.0 * 3600.0}).value(),
+              supply.solar_w(0, units::Seconds{2.0 * 3600.0}).value(), 1e-6);
+  EXPECT_DOUBLE_EQ(supply.solar_w(0, units::Seconds{12.0 * 3600.0}).value(),
+                   0.0);
+}
+
+TEST(RenewableSupply, AvailableExtendsPeriodicallyPastHorizon) {
+  RenewableRegionConfig config;
+  config.wind_variability = 0.7;
+  RenewableSupply supply({config}, 5, /*horizon_hours=*/48);
+  EXPECT_EQ(supply.horizon_hours(), 48u);
+  const units::Seconds period = supply.wraps_after_horizon();
+  EXPECT_DOUBLE_EQ(period.value(), 48.0 * 3600.0);
+  for (int h = 0; h < 48; ++h) {
+    const units::Seconds t{h * 3600.0};
+    EXPECT_DOUBLE_EQ(supply.available_w(0, t + period).value(),
+                     supply.available_w(0, t).value());
+  }
+}
+
 TEST(RenewableSupply, Validation) {
   EXPECT_THROW(RenewableSupply({}, 1), InvalidArgument);
   RenewableRegionConfig bad;

@@ -80,6 +80,59 @@ TEST(StochasticBidPrice, MultiRegionIndependence) {
   EXPECT_GT(differs, 20);
 }
 
+TEST(StochasticBidPrice, PriceExtendsPeriodicallyPastHorizon) {
+  StochasticBidPrice market({default_region()}, 21, /*horizon_hours=*/48);
+  EXPECT_EQ(market.horizon_hours(), 48u);
+  const units::Seconds period = market.wraps_after_horizon();
+  EXPECT_DOUBLE_EQ(period.value(), 48.0 * 3600.0);
+  for (int h = 0; h < 48; ++h) {
+    const units::Seconds t{h * 3600.0};
+    EXPECT_DOUBLE_EQ(market.price(0, t + period, units::Watts{2e8}).value(),
+                     market.price(0, t, units::Watts{2e8}).value());
+  }
+}
+
+TEST(StochasticBidPrice, SpikesDecayGeometrically) {
+  // Deterministic spike arithmetic: no OU noise, a spike every hour.
+  // Two markets from the same seed consume identical RNG draws (the
+  // spike level never feeds back into the draw sequence), so the price
+  // difference isolates the decay term.
+  RegionMarketConfig slow = default_region();
+  slow.noise.volatility = 0.0;
+  slow.spikes.probability_per_hour = 1.0;
+  slow.spikes.magnitude = 40.0;
+  slow.spikes.decay = 0.5;
+  RegionMarketConfig instant = slow;
+  instant.spikes.decay = 0.0;
+  StochasticBidPrice with_memory({slow}, 3);
+  StochasticBidPrice memoryless({instant}, 3);
+  for (int h = 1; h < 48; ++h) {
+    const units::Seconds t{h * 3600.0};
+    const double carried =
+        with_memory.price(0, t, units::Watts{0.0}).value() -
+        memoryless.price(0, t, units::Watts{0.0}).value();
+    // Decayed remnants of earlier spikes: positive, but bounded by the
+    // geometric tail sum(0.5^i * 1.5 * magnitude) = 1.5 * magnitude.
+    EXPECT_GT(carried, 0.0);
+    EXPECT_LT(carried, 1.5 * 40.0 + 1e-9);
+  }
+}
+
+// Regression: base_demand must validate region before time — with the
+// old order a bad region alongside a bad time reported the wrong error
+// (and the unchecked-region path was one refactor away from an OOB
+// read, the bug available_w actually had).
+TEST(StochasticBidPrice, BaseDemandValidatesRegionThenTime) {
+  StochasticBidPrice market({default_region()}, 1);
+  try {
+    market.base_demand(3, units::Seconds{-5.0});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("region"), std::string::npos);
+  }
+  EXPECT_THROW(market.base_demand(0, units::Seconds{-5.0}), InvalidArgument);
+}
+
 TEST(StochasticBidPrice, Validation) {
   EXPECT_THROW(StochasticBidPrice({}, 1), InvalidArgument);
   EXPECT_THROW(StochasticBidPrice({default_region()}, 1, 0), InvalidArgument);

@@ -102,7 +102,7 @@ TEST(Checkpoint, JsonBytesArePinnedAcrossRoundTrips) {
   runtime.run();
 
   const JsonValue json = runtime.checkpoint().to_json();
-  EXPECT_EQ(json.at("schema").as_string(), "gridctl.runtime.checkpoint/1");
+  EXPECT_EQ(json.at("schema").as_string(), "gridctl.runtime.checkpoint/2");
   for (const char* key :
        {"schema", "progress", "held", "fleet", "queue_backlogs_req",
         "controller", "trace", "telemetry", "stats"}) {
@@ -256,6 +256,93 @@ TEST(Checkpoint, ResumeWithFaultedFeedsReplaysExactly) {
   ASSERT_NE(reference.trace, nullptr);
   EXPECT_EQ(tail.trace->total_power_w, reference.trace->total_power_w);
   EXPECT_EQ(tail.trace->cumulative_cost, reference.trace->cumulative_cost);
+}
+
+// Demand-charge billing + per-IDC storage: the scenario variant whose
+// checkpoint carries the /2 additions (meter peaks, SoC, EWMA baseline,
+// grid/SoC trace columns).
+core::Scenario storage_scenario() {
+  core::Scenario scenario =
+      core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  scenario.duration_s = units::Seconds{1600.0};  // 80 steps
+  scenario.billing.demand_rate_per_kw = 15.0;
+  scenario.billing.cycle_hours = 24.0;
+  scenario.controller.demand_charge_aware = true;
+  for (auto& idc : scenario.idcs) {
+    idc.battery.capacity = units::from_mwh(2.0);
+    idc.battery.max_charge_w = units::Watts{1.0e6};
+    idc.battery.max_discharge_w = units::Watts{1.5e6};
+  }
+  return scenario;
+}
+
+TEST(Checkpoint, BillingPeaksAndSocResumeBitIdentically) {
+  const core::Scenario scenario = storage_scenario();
+  ControlRuntime uninterrupted(scenario, RuntimeOptions{});
+  const RuntimeResult reference = uninterrupted.run();
+  EXPECT_TRUE(reference.completed);
+
+  // Kill mid-run and push the checkpoint through the JSON codec, as a
+  // real kill/restart would.
+  RuntimeOptions partial;
+  partial.stop_after_step = 31;
+  ControlRuntime killed(scenario, partial);
+  killed.run();
+  const RuntimeCheckpoint checkpoint = RuntimeCheckpoint::from_json(
+      parse_json(dump_json(killed.checkpoint().to_json())));
+  EXPECT_EQ(checkpoint.controller.battery_soc_j.size(), 3u);
+  EXPECT_EQ(checkpoint.controller.billing.cycle_peaks_w.size(), 3u);
+  EXPECT_GT(checkpoint.controller.billing.cycle_peaks_w[0], 0.0);
+
+  ControlRuntime resumed(scenario, RuntimeOptions{}, checkpoint);
+  const RuntimeResult tail = resumed.run();
+  EXPECT_TRUE(tail.completed);
+
+  // The metered grid series, the SoC trajectory and the final bill all
+  // match the uninterrupted run double-for-double.
+  ASSERT_NE(tail.trace, nullptr);
+  ASSERT_NE(reference.trace, nullptr);
+  EXPECT_EQ(tail.trace->grid_power_w, reference.trace->grid_power_w);
+  EXPECT_EQ(tail.trace->battery_soc_j, reference.trace->battery_soc_j);
+  EXPECT_EQ(tail.summary.bill.energy.value(),
+            reference.summary.bill.energy.value());
+  EXPECT_EQ(tail.summary.bill.demand.value(),
+            reference.summary.bill.demand.value());
+  EXPECT_EQ(tail.summary.bill.total().value(),
+            reference.summary.bill.total().value());
+}
+
+TEST(Checkpoint, LegacySchemaOneCheckpointStillLoads) {
+  const core::Scenario scenario = stateful_scenario();
+  RuntimeOptions partial;
+  partial.stop_after_step = 20;
+  ControlRuntime runtime(scenario, partial);
+  runtime.run();
+  const JsonValue modern = runtime.checkpoint().to_json();
+
+  // Rebuild the JSON as a /1-era writer produced it: old schema id, no
+  // battery/billing controller state, a 5-kind invariant counter vector
+  // (pre-soc_bounds).
+  JsonValue::Object root = modern.as_object();
+  root["schema"] = JsonValue(std::string("gridctl.runtime.checkpoint/1"));
+  JsonValue::Object controller = modern.at("controller").as_object();
+  controller.erase("battery_soc_j");
+  controller.erase("battery_avg_w");
+  controller.erase("billing");
+  root["controller"] = JsonValue(std::move(controller));
+  JsonValue::Object telemetry = modern.at("telemetry").as_object();
+  JsonValue::Array by_kind = telemetry.at("invariants_by_kind").as_array();
+  by_kind.pop_back();
+  telemetry["invariants_by_kind"] = JsonValue(std::move(by_kind));
+  root["telemetry"] = JsonValue(std::move(telemetry));
+
+  const RuntimeCheckpoint legacy =
+      RuntimeCheckpoint::from_json(JsonValue(std::move(root)));
+  EXPECT_TRUE(legacy.controller.battery_soc_j.empty());
+  EXPECT_TRUE(legacy.controller.billing.cycle_peaks_w.empty());
+  // The missing features default to off; the run resumes and completes.
+  ControlRuntime resumed(scenario, RuntimeOptions{}, legacy);
+  EXPECT_TRUE(resumed.run().completed);
 }
 
 TEST(Checkpoint, ValidationRejectsScenarioMismatch) {

@@ -7,6 +7,11 @@ google-benchmark binaries in <build>/bench, in --benchmark_format=json
 form with the volatile context fields (timestamps, load average,
 executable path) stripped so re-runs diff cleanly.
 
+Also produces BENCH_ext_demand_charge.json from the deterministic
+demand-charge/battery ablation bench (its own --json report: billed
+dollars per variant plus the ordering checks, no timings, so the
+committed baseline is machine-independent).
+
 Usage:
   tools/run_benches.py [--build-dir build] [--out-dir .] [--min-time 2]
 
@@ -26,6 +31,11 @@ import sys
 GROUPS = {
     "BENCH_perf_mpc.json": ["bench_perf_mpc_step", "bench_perf_solvers"],
     "BENCH_perf_runtime.json": ["bench_perf_runtime_tick"],
+}
+
+# Output file -> deterministic ablation binary run with `--json`.
+ABLATIONS = {
+    "BENCH_ext_demand_charge.json": "bench_ext_demand_charge",
 }
 
 # Context keys that change on every run or machine without carrying
@@ -84,6 +94,28 @@ def main() -> None:
             for bench in report.get("benchmarks", []):
                 print(f"  {bench['name']}: "
                       f"{bench['real_time']:.1f} {bench['time_unit']}")
+        out_path = out_dir / out_name
+        out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out_path}")
+
+    for out_name, name in ABLATIONS.items():
+        exe = build_dir / "bench" / name
+        if not exe.exists():
+            raise SystemExit(
+                f"missing {exe} — build the bench targets first "
+                f"(cmake --build {build_dir} --target {name})")
+        proc = subprocess.run([str(exe), "--json"], capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"{name} reported a failed ordering check "
+                             f"(exit {proc.returncode})")
+        report = json.loads(proc.stdout)
+        doc = {"generated_by": "tools/run_benches.py", "report": report}
+        for variant, row in report.get("variants", {}).items():
+            print(f"  {variant}: total ${row['total_dollars']:.2f} "
+                  f"(billed peaks {row['billed_peaks_mw']:.3f} MW)")
         out_path = out_dir / out_name
         out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"wrote {out_path}")
