@@ -8,11 +8,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "admission/plan.hpp"
+#include "admission/spec.hpp"
 #include "controlplane/control_plane.hpp"
 #include "core/paper.hpp"
 #include "runtime/control_runtime.hpp"
+#include "workload/generators.hpp"
 
 namespace {
 
@@ -132,6 +137,87 @@ BENCHMARK(BM_PlaneAggregate)
     // just joins it, so rate on wall time, not main-thread CPU time.
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Admission routing query cost: the per-tick price every fleet pays on
+// top of the raw workload source when demand is served through the
+// admission front-end's routed views. The plan (routing epochs, token
+// ledger, overload scales) is compiled once outside the timing loop —
+// as in the plane — so this isolates the hot-path lookups: each
+// iteration reads every fleet's full routed portal slice at one control
+// tick, cycling through the window. items_per_second is portal-rate
+// lookups (plan.num_portals() per iteration: the views partition the
+// portal space).
+void BM_AdmissionRoute(benchmark::State& state) {
+  const auto fleets = static_cast<std::size_t>(state.range(0));
+  const auto portals = static_cast<std::size_t>(state.range(1));
+
+  const core::Scenario base =
+      core::paper::smoothing_scenario(/*ts_s=*/units::Seconds{20.0});
+  const auto source = std::make_shared<workload::ReplicatedWorkload>(
+      base.workload, portals);
+  admission::AdmissionSpec spec;
+  spec.tenants.push_back({"tenant", 1e9, 0.0});
+  for (std::size_t p = 0; p < portals; ++p) {
+    admission::PortalSpec portal;
+    portal.id = "p";
+    portal.id += std::to_string(p);
+    portal.tenant = "tenant";
+    portal.fleet = p % fleets;
+    spec.portals.push_back(std::move(portal));
+  }
+  // One mid-window re-assignment per fleet so the epoch scan is not a
+  // single-entry fast path.
+  const double mid = base.start_time_s.value() +
+                     base.duration_s.value() / 2.0;
+  for (std::size_t f = 0; f < fleets; ++f) {
+    admission::ReassignmentSpec move;
+    move.portal = "p";
+    move.portal += std::to_string(f);
+    move.fleet = (f + 1) % fleets;
+    move.at_time_s = mid;
+    spec.reassignments.push_back(std::move(move));
+  }
+  admission::AdmissionGrid grid;
+  grid.start_s = base.start_time_s.value();
+  grid.ts_s = base.ts_s.value();
+  grid.steps = base.num_steps();
+  double capacity = 0.0;
+  for (const auto& idc : base.idcs) {
+    capacity += static_cast<double>(idc.max_servers) *
+                idc.power.service_rate.value();
+  }
+  const auto plan = std::make_shared<const admission::AdmissionPlan>(
+      spec, source, grid, std::vector<double>(fleets, capacity));
+  std::vector<admission::RoutedWorkload> views;
+  views.reserve(fleets);
+  for (std::size_t f = 0; f < fleets; ++f) {
+    views.emplace_back(plan, f);
+  }
+
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    const double t = grid.start_s +
+                     static_cast<double>(tick % grid.steps) * grid.ts_s;
+    double total = 0.0;
+    for (const admission::RoutedWorkload& view : views) {
+      const std::size_t local_portals = view.num_portals();
+      for (std::size_t p = 0; p < local_portals; ++p) {
+        total += view.rate(p, t);
+      }
+    }
+    benchmark::DoNotOptimize(total);
+    ++tick;
+  }
+
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * portals));
+  state.SetLabel(std::to_string(fleets) + " fleets / " +
+                 std::to_string(portals) + " portals");
+}
+
+BENCHMARK(BM_AdmissionRoute)
+    ->Args({8, 200})
+    ->Args({32, 1000});
 
 }  // namespace
 

@@ -1,0 +1,385 @@
+#include "admission/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "admission/spec.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace gridctl::admission {
+
+namespace {
+
+template <typename T>
+JsonValue num(T v) {
+  return JsonValue(static_cast<double>(v));
+}
+
+}  // namespace
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kNominal: return "nominal";
+    case Tier::kQuotaLimited: return "quota_limited";
+    case Tier::kOverloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
+JsonValue AdmissionAccounting::to_json() const {
+  JsonValue::Object root;
+  root.emplace("offered_req", num(offered_req));
+  root.emplace("admitted_req", num(admitted_req));
+  root.emplace("shed_req", num(shed_req));
+  root.emplace("shed_fraction", num(shed_fraction()));
+  JsonValue::Object ticks;
+  ticks.emplace("nominal", num(nominal_ticks));
+  ticks.emplace("quota_limited", num(quota_limited_ticks));
+  ticks.emplace("overloaded", num(overloaded_ticks));
+  root.emplace("tier_ticks", JsonValue(std::move(ticks)));
+  JsonValue::Array usage;
+  usage.reserve(tenants.size());
+  for (const TenantUsage& tenant : tenants) {
+    JsonValue::Object entry;
+    entry.emplace("id", JsonValue(tenant.id));
+    entry.emplace("offered_req", num(tenant.offered_req));
+    entry.emplace("admitted_req", num(tenant.admitted_req));
+    entry.emplace("shed_req", num(tenant.shed_req));
+    usage.push_back(JsonValue(std::move(entry)));
+  }
+  root.emplace("tenants", JsonValue(std::move(usage)));
+  return JsonValue(std::move(root));
+}
+
+AdmissionPlan::AdmissionPlan(
+    const AdmissionSpec& spec,
+    std::shared_ptr<const workload::WorkloadSource> source,
+    const AdmissionGrid& grid, std::vector<double> fleet_capacities_rps)
+    : grid_(grid), source_(std::move(source)) {
+  spec.validate();
+  require(spec.enabled(), "admission: plan needs a non-empty portal registry");
+  require(source_ != nullptr, "admission: plan needs a workload source");
+  require(std::isfinite(grid_.start_s) && grid_.start_s >= 0.0,
+          "admission: grid start time must be >= 0");
+  require(std::isfinite(grid_.ts_s) && grid_.ts_s > 0.0,
+          "admission: grid tick period must be positive");
+  require(grid_.steps > 0, "admission: grid must cover at least one tick");
+  require(!fleet_capacities_rps.empty(),
+          "admission: plan needs at least one fleet");
+  const std::size_t num_fleets = fleet_capacities_rps.size();
+  const std::size_t num_portals = spec.portals.size();
+  require(source_->num_portals() == num_portals,
+          format("admission: workload source has %zu portals but the "
+                 "admission block declares %zu (portal i of the block is "
+                 "portal i of the source)",
+                 source_->num_portals(), num_portals));
+
+  std::unordered_map<std::string, std::size_t> tenant_index;
+  tenant_ids_.reserve(spec.tenants.size());
+  for (const TenantSpec& tenant : spec.tenants) {
+    tenant_index.emplace(tenant.id, tenant_ids_.size());
+    tenant_ids_.push_back(tenant.id);
+  }
+  std::unordered_map<std::string, std::size_t> portal_index;
+  tenant_of_.reserve(num_portals);
+  epochs_.assign(num_portals, {});
+  for (std::size_t p = 0; p < num_portals; ++p) {
+    const PortalSpec& portal = spec.portals[p];
+    require(portal.fleet < num_fleets,
+            format("admission: portals[%zu] '%s': fleet index %zu out of "
+                   "range (plane has %zu fleets)",
+                   p, portal.id.c_str(), portal.fleet, num_fleets));
+    portal_index.emplace(portal.id, p);
+    tenant_of_.push_back(tenant_index.at(portal.tenant));
+    epochs_[p].push_back(Epoch{0, portal.fleet});
+  }
+
+  // Scheduled re-assignments, quantized to the first tick at or after
+  // their event time; stable time order keeps same-instant moves of one
+  // portal resolving to the spec's declaration order.
+  num_reassignments_ = spec.reassignments.size();
+  std::vector<std::size_t> order(spec.reassignments.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&spec](std::size_t a, std::size_t b) {
+                     return spec.reassignments[a].at_time_s <
+                            spec.reassignments[b].at_time_s;
+                   });
+  for (std::size_t i : order) {
+    const ReassignmentSpec& move = spec.reassignments[i];
+    require(move.fleet < num_fleets,
+            format("admission: reassignments[%zu] ('%s'): fleet index %zu "
+                   "out of range (plane has %zu fleets)",
+                   i, move.portal.c_str(), move.fleet, num_fleets));
+    const std::size_t p = portal_index.at(move.portal);
+    std::uint64_t tick = 0;
+    if (move.at_time_s > grid_.start_s) {
+      tick = static_cast<std::uint64_t>(
+          std::ceil((move.at_time_s - grid_.start_s) / grid_.ts_s - 1e-9));
+    }
+    if (tick >= grid_.steps) continue;  // beyond the run window
+    std::vector<Epoch>& epochs = epochs_[p];
+    if (epochs.back().from_tick == tick) {
+      epochs.back().fleet = move.fleet;
+    } else {
+      epochs.push_back(Epoch{tick, move.fleet});
+    }
+  }
+
+  fleet_portals_.assign(num_fleets, {});
+  for (std::size_t p = 0; p < num_portals; ++p) {
+    std::vector<bool> member(num_fleets, false);
+    for (const Epoch& epoch : epochs_[p]) member[epoch.fleet] = true;
+    for (std::size_t f = 0; f < num_fleets; ++f) {
+      if (member[f]) fleet_portals_[f].push_back(p);
+    }
+  }
+  for (std::size_t f = 0; f < num_fleets; ++f) {
+    require(!fleet_portals_[f].empty(),
+            format("admission: fleet %zu has no portals routed to it over "
+                   "the run window (every fleet needs at least one portal "
+                   "to serve)",
+                   f));
+  }
+
+  // Token-bucket ledger and overload scale, precomputed on the tick
+  // grid. Bucket capacity is one period's allowance plus the configured
+  // burst depth; the bucket starts with the burst headroom so the first
+  // refill fills it exactly. The overload scale is applied downstream
+  // of the buckets (it sheds already-admitted demand), so it does not
+  // refund tokens.
+  const std::size_t num_tenants = tenant_ids_.size();
+  double capacity_rps = 0.0;
+  for (double c : fleet_capacities_rps) capacity_rps += c;
+  capacity_rps *= spec.capacity_margin;
+
+  initial_tokens_.resize(num_tenants);
+  std::vector<double> cap_req(num_tenants);
+  std::vector<double> refill_req(num_tenants);
+  for (std::size_t t = 0; t < num_tenants; ++t) {
+    const TenantSpec& tenant = spec.tenants[t];
+    refill_req[t] = tenant.quota_rps * grid_.ts_s;
+    initial_tokens_[t] = tenant.quota_rps * tenant.burst_s;
+    cap_req[t] = refill_req[t] + initial_tokens_[t];
+  }
+  tenant_scale_.assign(num_tenants, std::vector<double>(grid_.steps, 1.0));
+  tokens_after_.assign(num_tenants, std::vector<double>(grid_.steps, 0.0));
+  overload_scale_.assign(grid_.steps, 1.0);
+  tier_.assign(grid_.steps, Tier::kNominal);
+  accounting_.tenants.resize(num_tenants);
+  for (std::size_t t = 0; t < num_tenants; ++t) {
+    accounting_.tenants[t].id = tenant_ids_[t];
+  }
+
+  std::vector<double> tokens = initial_tokens_;
+  std::vector<double> offered_rps(num_tenants);
+  std::vector<double> admitted_req(num_tenants);
+  for (std::uint64_t k = 0; k < grid_.steps; ++k) {
+    const double t_k = grid_.start_s + static_cast<double>(k) * grid_.ts_s;
+    std::fill(offered_rps.begin(), offered_rps.end(), 0.0);
+    for (std::size_t p = 0; p < num_portals; ++p) {
+      offered_rps[tenant_of_[p]] += source_->rate(p, t_k);
+    }
+    bool quota_limited = false;
+    double admitted_rps_total = 0.0;
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+      tokens[t] = std::min(cap_req[t], tokens[t] + refill_req[t]);
+      const double demand_req = offered_rps[t] * grid_.ts_s;
+      admitted_req[t] = std::min(demand_req, tokens[t]);
+      tokens[t] -= admitted_req[t];
+      tokens_after_[t][k] = tokens[t];
+      const double scale =
+          demand_req > 0.0 ? admitted_req[t] / demand_req : 1.0;
+      tenant_scale_[t][k] = scale;
+      if (scale < 1.0) quota_limited = true;
+      admitted_rps_total += offered_rps[t] * scale;
+    }
+    const bool overloaded = admitted_rps_total > capacity_rps;
+    if (overloaded) overload_scale_[k] = capacity_rps / admitted_rps_total;
+    tier_[k] = overloaded ? Tier::kOverloaded
+                          : (quota_limited ? Tier::kQuotaLimited
+                                           : Tier::kNominal);
+    switch (tier_[k]) {
+      case Tier::kNominal: ++accounting_.nominal_ticks; break;
+      case Tier::kQuotaLimited: ++accounting_.quota_limited_ticks; break;
+      case Tier::kOverloaded: ++accounting_.overloaded_ticks; break;
+    }
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+      const double demand_req = offered_rps[t] * grid_.ts_s;
+      const double final_req = admitted_req[t] * overload_scale_[k];
+      accounting_.tenants[t].offered_req += demand_req;
+      accounting_.tenants[t].admitted_req += final_req;
+      accounting_.tenants[t].shed_req += demand_req - final_req;
+      accounting_.offered_req += demand_req;
+      accounting_.admitted_req += final_req;
+      accounting_.shed_req += demand_req - final_req;
+    }
+  }
+}
+
+std::uint64_t AdmissionPlan::tick_of(double time_s) const {
+  if (time_s <= grid_.start_s) return 0;
+  const double k = std::floor((time_s - grid_.start_s) / grid_.ts_s + 1e-9);
+  const auto tick = static_cast<std::uint64_t>(k);
+  return std::min<std::uint64_t>(tick, grid_.steps - 1);
+}
+
+std::size_t AdmissionPlan::fleet_of(std::size_t portal, double time_s) const {
+  require(portal < epochs_.size(), "AdmissionPlan::fleet_of: portal index");
+  const std::uint64_t tick = tick_of(time_s);
+  const std::vector<Epoch>& epochs = epochs_[portal];
+  std::size_t fleet = epochs.front().fleet;
+  for (const Epoch& epoch : epochs) {
+    if (epoch.from_tick > tick) break;
+    fleet = epoch.fleet;
+  }
+  return fleet;
+}
+
+double AdmissionPlan::admitted_rate(std::size_t portal, double time_s) const {
+  require(portal < epochs_.size(), "AdmissionPlan::admitted_rate: portal index");
+  const std::uint64_t tick = tick_of(time_s);
+  return source_->rate(portal, time_s) * tenant_scale_[tenant_of_[portal]][tick] *
+         overload_scale_[tick];
+}
+
+const std::vector<std::size_t>& AdmissionPlan::fleet_portals(
+    std::size_t fleet) const {
+  require(fleet < fleet_portals_.size(),
+          "AdmissionPlan::fleet_portals: fleet index");
+  return fleet_portals_[fleet];
+}
+
+Tier AdmissionPlan::tier_at_tick(std::uint64_t tick) const {
+  require(tick < grid_.steps, "AdmissionPlan::tier_at_tick: tick index");
+  return tier_[tick];
+}
+
+std::vector<double> AdmissionPlan::bucket_tokens_before(
+    std::uint64_t tick) const {
+  require(tick <= grid_.steps,
+          "AdmissionPlan::bucket_tokens_before: tick beyond the grid");
+  if (tick == 0) return initial_tokens_;
+  std::vector<double> tokens(tenant_ids_.size());
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    tokens[t] = tokens_after_[t][tick - 1];
+  }
+  return tokens;
+}
+
+JsonValue AdmissionPlan::summary_json() const {
+  JsonValue::Object root;
+  root.emplace("portals", num(num_portals()));
+  root.emplace("tenants", num(num_tenants()));
+  root.emplace("fleets", num(num_fleets()));
+  root.emplace("reassignments", num(num_reassignments_));
+  const JsonValue accounting = accounting_.to_json();
+  for (const auto& [key, value] : accounting.as_object()) {
+    root.emplace(key, value);
+  }
+  return JsonValue(std::move(root));
+}
+
+JsonValue AdmissionPlan::routing_to_json() const {
+  JsonValue::Array portals;
+  portals.reserve(epochs_.size());
+  for (const std::vector<Epoch>& epochs : epochs_) {
+    JsonValue::Array entries;
+    entries.reserve(epochs.size());
+    for (const Epoch& epoch : epochs) {
+      JsonValue::Object entry;
+      entry.emplace("from_tick", num(epoch.from_tick));
+      entry.emplace("fleet", num(epoch.fleet));
+      entries.push_back(JsonValue(std::move(entry)));
+    }
+    portals.push_back(JsonValue(std::move(entries)));
+  }
+  return JsonValue(std::move(portals));
+}
+
+RoutedWorkload::RoutedWorkload(std::shared_ptr<const AdmissionPlan> plan,
+                               std::size_t fleet)
+    : plan_(std::move(plan)), fleet_(fleet) {
+  require(plan_ != nullptr, "RoutedWorkload: null plan");
+  portals_ = &plan_->fleet_portals(fleet_);
+}
+
+double RoutedWorkload::rate(std::size_t portal, double time_s) const {
+  require(portal < portals_->size(), "RoutedWorkload::rate: portal index");
+  const std::size_t global = (*portals_)[portal];
+  if (plan_->fleet_of(global, time_s) != fleet_) return 0.0;
+  return plan_->admitted_rate(global, time_s);
+}
+
+JsonValue RoutedWorkload::checkpoint_state(std::uint64_t next_step) const {
+  JsonValue::Object root;
+  root.emplace("fleet", num(fleet_));
+  JsonValue::Array portals;
+  portals.reserve(portals_->size());
+  for (std::size_t global : *portals_) portals.emplace_back(num(global));
+  root.emplace("portals", JsonValue(std::move(portals)));
+  root.emplace("routing", plan_->routing_to_json());
+  JsonValue::Array tokens;
+  for (double level : plan_->bucket_tokens_before(next_step)) {
+    tokens.emplace_back(JsonValue(level));
+  }
+  root.emplace("bucket_tokens_req", JsonValue(std::move(tokens)));
+  return JsonValue(std::move(root));
+}
+
+void RoutedWorkload::validate_checkpoint_state(const JsonValue& state,
+                                               std::uint64_t next_step) const {
+  const std::string expected = dump_json(checkpoint_state(next_step));
+  const std::string actual = dump_json(state);
+  require(expected == actual,
+          "admission: checkpoint admission state does not match the plane's "
+          "plan (routing table, portal map or token-bucket levels differ) — "
+          "resume with the same admission spec and fleet layout");
+}
+
+std::vector<check::Violation> verify_exactly_once(
+    const AdmissionPlan& plan,
+    const std::vector<const std::vector<std::vector<double>>*>& fleet_portal_rps,
+    std::uint64_t steps_to_check, std::size_t max_violations) {
+  require(fleet_portal_rps.size() == plan.num_fleets(),
+          "verify_exactly_once: one portal_rps table per fleet");
+  std::vector<check::Violation> violations;
+  const AdmissionGrid& grid = plan.grid();
+  const std::uint64_t steps = std::min<std::uint64_t>(steps_to_check, grid.steps);
+  std::vector<double> recorded(plan.num_portals());
+  for (std::uint64_t k = 0; k < steps; ++k) {
+    const double t_k = grid.start_s + static_cast<double>(k) * grid.ts_s;
+    std::fill(recorded.begin(), recorded.end(), 0.0);
+    for (std::size_t f = 0; f < fleet_portal_rps.size(); ++f) {
+      const auto& series = *fleet_portal_rps[f];
+      const std::vector<std::size_t>& portals = plan.fleet_portals(f);
+      require(series.size() == portals.size(),
+              "verify_exactly_once: trace portal width does not match the "
+              "fleet's routed portal set");
+      for (std::size_t i = 0; i < portals.size(); ++i) {
+        // Row 0 is the warm-start record; step k is row k+1.
+        if (k + 1 < series[i].size()) recorded[portals[i]] += series[i][k + 1];
+      }
+    }
+    for (std::size_t p = 0; p < recorded.size(); ++p) {
+      const double expected = plan.admitted_rate(p, t_k);
+      if (recorded[p] == expected) continue;
+      check::Violation violation;
+      violation.kind = check::Invariant::kRouteExactlyOnce;
+      violation.index = p;
+      violation.magnitude = std::abs(recorded[p] - expected);
+      violation.detail = format(
+          "portal %zu at step %llu: fleets recorded %.17g req/s but the "
+          "admission plan admitted %.17g req/s",
+          p, static_cast<unsigned long long>(k), recorded[p], expected);
+      violations.push_back(std::move(violation));
+      if (violations.size() >= max_violations) return violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace gridctl::admission

@@ -1,0 +1,189 @@
+// Executable admission plan: an `AdmissionSpec` compiled against a
+// concrete workload source, control-tick grid and fleet capacity
+// vector into pure lookup tables — per-portal routing epochs, per-tick
+// token-bucket admission scales and the plane-wide overload scale.
+//
+// Everything is precomputed single-threaded at construction and
+// immutable afterwards, which is what makes the admission layer
+// composable with the control plane's determinism story: a
+// `RoutedWorkload` view is a const table lookup times the underlying
+// source rate, so a plane run is bit-identical at any worker count,
+// and the drain-and-handoff of a re-assigned portal reduces to
+// half-open routing epochs — exactly one fleet serves any (portal,
+// tick), so the moved portal's demand lands exactly once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/types.hpp"
+#include "util/json.hpp"
+#include "workload/generators.hpp"
+
+namespace gridctl::admission {
+
+struct AdmissionSpec;
+
+// The control-tick grid the plan is compiled on: ticks t_k = start_s +
+// k*ts_s for k in [0, steps). Matches the fleets' shared scenario
+// window (the plane enforces homogeneity).
+struct AdmissionGrid {
+  double start_s = 0.0;
+  double ts_s = 0.0;
+  std::uint64_t steps = 0;
+};
+
+// Degradation tier of one control tick: nominal, at least one tenant
+// clipped by its quota, or the plane-wide overload scale engaged.
+enum class Tier : std::uint8_t { kNominal = 0, kQuotaLimited = 1, kOverloaded = 2 };
+
+const char* tier_name(Tier tier);
+
+// Plane-wide shed accounting, in requests (rate x ts summed per tick).
+struct TenantUsage {
+  std::string id;
+  double offered_req = 0.0;
+  double admitted_req = 0.0;
+  double shed_req = 0.0;
+};
+
+struct AdmissionAccounting {
+  double offered_req = 0.0;
+  double admitted_req = 0.0;
+  double shed_req = 0.0;
+  std::uint64_t nominal_ticks = 0;
+  std::uint64_t quota_limited_ticks = 0;
+  std::uint64_t overloaded_ticks = 0;
+  std::vector<TenantUsage> tenants;
+
+  double shed_fraction() const {
+    return offered_req > 0.0 ? shed_req / offered_req : 0.0;
+  }
+  JsonValue to_json() const;
+};
+
+class AdmissionPlan {
+ public:
+  // Compiles the spec. `fleet_capacities_rps[f]` is fleet f's total
+  // service capacity (sum over its IDCs of max_servers x service_rate);
+  // the vector length is the number of fleets routes may target.
+  // Throws InvalidArgument ("admission: ...") on a portal/workload
+  // width mismatch, an out-of-range fleet index, or a fleet no portal
+  // is ever routed to (its controller would have nothing to serve).
+  AdmissionPlan(const AdmissionSpec& spec,
+                std::shared_ptr<const workload::WorkloadSource> source,
+                const AdmissionGrid& grid,
+                std::vector<double> fleet_capacities_rps);
+
+  std::size_t num_fleets() const { return fleet_portals_.size(); }
+  std::size_t num_portals() const { return epochs_.size(); }
+  std::size_t num_tenants() const { return tenant_ids_.size(); }
+  std::size_t num_reassignments() const { return num_reassignments_; }
+  const AdmissionGrid& grid() const { return grid_; }
+
+  // The fleet serving `portal` at `time_s` (piecewise-constant over
+  // half-open tick epochs — the exactly-once routing guarantee).
+  std::size_t fleet_of(std::size_t portal, double time_s) const;
+
+  // Post-quota, post-overload admitted rate of `portal` at `time_s`:
+  // source rate x tenant token-bucket scale x plane overload scale,
+  // evaluated on the tick containing `time_s`.
+  double admitted_rate(std::size_t portal, double time_s) const;
+
+  // Global portal indices ever routed to `fleet`, ascending — the
+  // fleet's fixed local portal space (local index = position here).
+  const std::vector<std::size_t>& fleet_portals(std::size_t fleet) const;
+
+  Tier tier_at_tick(std::uint64_t tick) const;
+  const AdmissionAccounting& accounting() const { return accounting_; }
+
+  // Per-tenant token-bucket levels (requests) right before `tick` is
+  // consumed — the resume state a checkpoint taken at next_step = tick
+  // must agree with.
+  std::vector<double> bucket_tokens_before(std::uint64_t tick) const;
+
+  // Static summary for reports: counts, tier tick totals, accounting.
+  JsonValue summary_json() const;
+  // The full per-portal routing epoch table (checkpoint embedding).
+  JsonValue routing_to_json() const;
+
+  const std::string& tenant_id(std::size_t tenant) const {
+    return tenant_ids_[tenant];
+  }
+  std::size_t tenant_of(std::size_t portal) const { return tenant_of_[portal]; }
+
+ private:
+  struct Epoch {
+    std::uint64_t from_tick = 0;
+    std::size_t fleet = 0;
+  };
+
+  std::uint64_t tick_of(double time_s) const;
+
+  AdmissionGrid grid_;
+  std::shared_ptr<const workload::WorkloadSource> source_;
+  std::vector<std::vector<Epoch>> epochs_;            // per portal, ascending
+  std::vector<std::vector<std::size_t>> fleet_portals_;
+  std::vector<std::size_t> tenant_of_;                // portal -> tenant
+  std::vector<std::string> tenant_ids_;
+  std::vector<std::vector<double>> tenant_scale_;     // [tenant][tick]
+  std::vector<std::vector<double>> tokens_after_;     // [tenant][tick]
+  std::vector<double> initial_tokens_;                // [tenant]
+  std::vector<double> overload_scale_;                // [tick]
+  std::vector<Tier> tier_;                            // [tick]
+  std::size_t num_reassignments_ = 0;
+  AdmissionAccounting accounting_;
+};
+
+// Per-fleet workload view over the shared plan: portal i (local) is the
+// plan's `fleet_portals(fleet)[i]`; its rate is the admitted rate while
+// this fleet owns the portal's current routing epoch and exactly zero
+// otherwise. Summed across fleets the views reproduce the globally
+// admitted stream — the conservation property `verify_exactly_once`
+// checks against recorded traces.
+class RoutedWorkload : public workload::WorkloadSource {
+ public:
+  RoutedWorkload(std::shared_ptr<const AdmissionPlan> plan, std::size_t fleet);
+
+  double rate(std::size_t portal, double time_s) const override;
+  std::size_t num_portals() const override { return portals_->size(); }
+
+  std::size_t fleet() const { return fleet_; }
+  std::size_t global_portal(std::size_t local) const {
+    return (*portals_)[local];
+  }
+  const std::shared_ptr<const AdmissionPlan>& plan() const { return plan_; }
+
+  // Admission resume state for a checkpoint taken at `next_step`: the
+  // fleet index, its portal map, the routing epoch table and the
+  // token-bucket levels the next tick starts from.
+  JsonValue checkpoint_state(std::uint64_t next_step) const;
+  // Verifies an embedded checkpoint state matches this plan exactly
+  // (routing table, portal map and bucket levels are all derived data,
+  // so any drift means the checkpoint belongs to a different admission
+  // configuration). Throws InvalidArgument on mismatch.
+  void validate_checkpoint_state(const JsonValue& state,
+                                 std::uint64_t next_step) const;
+
+ private:
+  std::shared_ptr<const AdmissionPlan> plan_;
+  std::size_t fleet_ = 0;
+  const std::vector<std::size_t>* portals_ = nullptr;  // owned by plan_
+};
+
+// Exactly-once conservation check over recorded traces:
+// `fleet_portal_rps[f]` is fleet f's recorded `SimulationTrace::portal_rps`
+// (local portal x rows; row 0 is the warm-start record, row k+1 is step
+// k). For every control tick up to `steps_to_check` and every global
+// portal, the demand recorded across all fleets must sum to the plan's
+// admitted rate — a moved portal must land exactly once. Returns up to
+// `max_violations` check::Violations of kind kRouteExactlyOnce.
+std::vector<check::Violation> verify_exactly_once(
+    const AdmissionPlan& plan,
+    const std::vector<const std::vector<std::vector<double>>*>& fleet_portal_rps,
+    std::uint64_t steps_to_check, std::size_t max_violations = 16);
+
+}  // namespace gridctl::admission

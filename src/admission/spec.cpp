@@ -1,0 +1,167 @@
+#include "admission/spec.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace gridctl::admission {
+
+void AdmissionSpec::validate() const {
+  if (!enabled()) return;
+  require(!tenants.empty(),
+          "admission: portals are declared but 'tenants' is empty (every "
+          "portal needs an owning tenant)");
+
+  std::unordered_set<std::string> tenant_ids;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantSpec& tenant = tenants[i];
+    require(!tenant.id.empty(),
+            format("admission: tenants[%zu]: id must be non-empty", i));
+    require(tenant_ids.insert(tenant.id).second,
+            format("admission: tenants[%zu]: duplicate tenant id '%s'", i,
+                   tenant.id.c_str()));
+    require(std::isfinite(tenant.quota_rps) && tenant.quota_rps > 0.0,
+            format("admission: tenants[%zu] '%s': quota_rps must be positive "
+                   "req/s (got %g)",
+                   i, tenant.id.c_str(), tenant.quota_rps));
+    require(std::isfinite(tenant.burst_s) && tenant.burst_s >= 0.0,
+            format("admission: tenants[%zu] '%s': burst_s must be >= 0 "
+                   "seconds (got %g)",
+                   i, tenant.id.c_str(), tenant.burst_s));
+  }
+
+  std::unordered_set<std::string> portal_ids;
+  for (std::size_t i = 0; i < portals.size(); ++i) {
+    const PortalSpec& portal = portals[i];
+    require(!portal.id.empty(),
+            format("admission: portals[%zu]: id must be non-empty", i));
+    require(portal_ids.insert(portal.id).second,
+            format("admission: portals[%zu]: duplicate portal id '%s'", i,
+                   portal.id.c_str()));
+    require(tenant_ids.count(portal.tenant) > 0,
+            format("admission: portals[%zu] '%s': unknown tenant '%s' (declare "
+                   "it in 'tenants')",
+                   i, portal.id.c_str(), portal.tenant.c_str()));
+  }
+
+  for (std::size_t i = 0; i < reassignments.size(); ++i) {
+    const ReassignmentSpec& move = reassignments[i];
+    require(portal_ids.count(move.portal) > 0,
+            format("admission: reassignments[%zu]: unknown portal '%s' "
+                   "(declare it in 'portals')",
+                   i, move.portal.c_str()));
+    require(std::isfinite(move.at_time_s) && move.at_time_s >= 0.0,
+            format("admission: reassignments[%zu] ('%s'): at_time_s must be "
+                   ">= 0 seconds (got %g)",
+                   i, move.portal.c_str(), move.at_time_s));
+  }
+
+  require(std::isfinite(capacity_margin) && capacity_margin > 0.0,
+          format("admission: capacity_margin must be positive (got %g)",
+                 capacity_margin));
+}
+
+AdmissionSpec parse_admission(const JsonValue& node) {
+  require(node.is_object(),
+          "admission: block must be an object {tenants, portals, "
+          "reassignments?, capacity_margin?}");
+  AdmissionSpec spec;
+  require(node.has("tenants"), "admission: missing 'tenants'");
+  for (const JsonValue& entry : node.at("tenants").as_array()) {
+    require(entry.is_object(),
+            format("admission: tenants[%zu] must be an object {id, quota_rps, "
+                   "burst_s?}",
+                   spec.tenants.size()));
+    TenantSpec tenant;
+    tenant.id = entry.string_or("id", "");
+    require(entry.has("quota_rps"),
+            format("admission: tenants[%zu] '%s': missing quota_rps",
+                   spec.tenants.size(), tenant.id.c_str()));
+    tenant.quota_rps = entry.at("quota_rps").as_number();
+    tenant.burst_s = entry.number_or("burst_s", 0.0);
+    spec.tenants.push_back(std::move(tenant));
+  }
+  require(node.has("portals"), "admission: missing 'portals'");
+  for (const JsonValue& entry : node.at("portals").as_array()) {
+    require(entry.is_object(),
+            format("admission: portals[%zu] must be an object {id, tenant, "
+                   "fleet}",
+                   spec.portals.size()));
+    PortalSpec portal;
+    portal.id = entry.string_or("id", "");
+    portal.tenant = entry.string_or("tenant", "");
+    const double fleet = entry.number_or("fleet", 0.0);
+    require(fleet >= 0.0 && fleet == std::floor(fleet),
+            format("admission: portals[%zu] '%s': fleet must be a "
+                   "non-negative fleet index (got %g)",
+                   spec.portals.size(), portal.id.c_str(), fleet));
+    portal.fleet = static_cast<std::size_t>(fleet);
+    spec.portals.push_back(std::move(portal));
+  }
+  if (node.has("reassignments")) {
+    for (const JsonValue& entry : node.at("reassignments").as_array()) {
+      require(entry.is_object(),
+              format("admission: reassignments[%zu] must be an object "
+                     "{portal, fleet, at_time_s}",
+                     spec.reassignments.size()));
+      ReassignmentSpec move;
+      move.portal = entry.string_or("portal", "");
+      const double fleet = entry.number_or("fleet", 0.0);
+      require(fleet >= 0.0 && fleet == std::floor(fleet),
+              format("admission: reassignments[%zu] ('%s'): fleet must be a "
+                     "non-negative fleet index (got %g)",
+                     spec.reassignments.size(), move.portal.c_str(), fleet));
+      move.fleet = static_cast<std::size_t>(fleet);
+      require(entry.has("at_time_s"),
+              format("admission: reassignments[%zu] ('%s'): missing at_time_s",
+                     spec.reassignments.size(), move.portal.c_str()));
+      move.at_time_s = entry.at("at_time_s").as_number();
+      spec.reassignments.push_back(std::move(move));
+    }
+  }
+  spec.capacity_margin = node.number_or("capacity_margin", spec.capacity_margin);
+  spec.validate();
+  return spec;
+}
+
+JsonValue admission_to_json(const AdmissionSpec& spec) {
+  JsonValue::Object root;
+  JsonValue::Array tenants;
+  tenants.reserve(spec.tenants.size());
+  for (const TenantSpec& tenant : spec.tenants) {
+    JsonValue::Object entry;
+    entry.emplace("id", JsonValue(tenant.id));
+    entry.emplace("quota_rps", JsonValue(tenant.quota_rps));
+    entry.emplace("burst_s", JsonValue(tenant.burst_s));
+    tenants.push_back(JsonValue(std::move(entry)));
+  }
+  root.emplace("tenants", JsonValue(std::move(tenants)));
+  JsonValue::Array portals;
+  portals.reserve(spec.portals.size());
+  for (const PortalSpec& portal : spec.portals) {
+    JsonValue::Object entry;
+    entry.emplace("id", JsonValue(portal.id));
+    entry.emplace("tenant", JsonValue(portal.tenant));
+    entry.emplace("fleet", JsonValue(static_cast<double>(portal.fleet)));
+    portals.push_back(JsonValue(std::move(entry)));
+  }
+  root.emplace("portals", JsonValue(std::move(portals)));
+  if (!spec.reassignments.empty()) {
+    JsonValue::Array moves;
+    moves.reserve(spec.reassignments.size());
+    for (const ReassignmentSpec& move : spec.reassignments) {
+      JsonValue::Object entry;
+      entry.emplace("portal", JsonValue(move.portal));
+      entry.emplace("fleet", JsonValue(static_cast<double>(move.fleet)));
+      entry.emplace("at_time_s", JsonValue(move.at_time_s));
+      moves.push_back(JsonValue(std::move(entry)));
+    }
+    root.emplace("reassignments", JsonValue(std::move(moves)));
+  }
+  root.emplace("capacity_margin", JsonValue(spec.capacity_margin));
+  return JsonValue(std::move(root));
+}
+
+}  // namespace gridctl::admission

@@ -1,0 +1,84 @@
+// Admission front-end declarations: who may send traffic (tenants with
+// request-rate quotas), where it enters (portals), and which fleet
+// serves each portal over time (initial routes plus scheduled mid-run
+// re-assignments).
+//
+// The spec is pure configuration — validated declaratively here,
+// compiled into an executable `AdmissionPlan` (admission/plan.hpp) by
+// the control plane against a concrete workload source and time grid.
+// Keeping the two apart means a scenario file can carry an admission
+// block without knowing how many fleets the plane will run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace gridctl::admission {
+
+// A traffic owner with a token-bucket request-rate quota. The bucket
+// refills at `quota_rps` and holds `quota_rps * burst_s` requests of
+// headroom on top of one control period's allowance, so a tenant may
+// briefly exceed its sustained rate by a configured burst before the
+// overload controller starts shedding its excess.
+struct TenantSpec {
+  std::string id;
+  double quota_rps = 0.0;  // sustained admitted rate; must be positive
+  double burst_s = 0.0;    // extra bucket depth in seconds of quota
+};
+
+// One entry point of the workload substrate. Portal order matches the
+// workload source: spec portal i is `WorkloadSource` portal i.
+struct PortalSpec {
+  std::string id;
+  std::string tenant;      // owning TenantSpec::id
+  std::size_t fleet = 0;   // initial serving fleet (plane index)
+};
+
+// A scheduled mid-run route change: from the first control tick at or
+// after `at_time_s`, `portal` is served by `fleet`. Quantizing to tick
+// boundaries is what makes the handoff a drain-and-switch: the old
+// fleet serves every tick before the boundary, the new fleet every tick
+// from it, so the portal's demand lands exactly once.
+struct ReassignmentSpec {
+  std::string portal;
+  std::size_t fleet = 0;
+  double at_time_s = 0.0;  // absolute event time (scenario clock)
+};
+
+struct AdmissionSpec {
+  std::vector<TenantSpec> tenants;
+  std::vector<PortalSpec> portals;
+  std::vector<ReassignmentSpec> reassignments;
+  // Plane-wide overload guard: when the quota-admitted aggregate rate
+  // exceeds this fraction of the fleets' total service capacity, every
+  // admission is scaled down to fit (degradation tier kOverloaded).
+  double capacity_margin = 1.0;
+
+  // An empty portal registry means "no admission layer".
+  bool enabled() const { return !portals.empty(); }
+
+  // Declarative consistency: unique non-empty ids, known tenant/portal
+  // references, positive quotas, finite times. Throws InvalidArgument
+  // with an actionable message naming the offending entry.
+  void validate() const;
+};
+
+// JSON codec for the scenario `admission` block:
+//
+// {
+//   "tenants": [{"id": "acme", "quota_rps": 900, "burst_s": 30}, ...],
+//   "portals": [{"id": "p0", "tenant": "acme", "fleet": 0}, ...],
+//   "reassignments": [{"portal": "p0", "fleet": 1,
+//                      "at_time_s": 25500}, ...],   // optional
+//   "capacity_margin": 1.0                          // optional
+// }
+//
+// Parse errors and validate() failures carry the "admission: " prefix;
+// the scenario loader adds its own file context on top.
+AdmissionSpec parse_admission(const JsonValue& node);
+JsonValue admission_to_json(const AdmissionSpec& spec);
+
+}  // namespace gridctl::admission

@@ -20,6 +20,7 @@ const char* invariant_name(Invariant kind) {
     case Invariant::kServerBound: return "server_bound";
     case Invariant::kFinite: return "finite";
     case Invariant::kSocBounds: return "soc_bounds";
+    case Invariant::kRouteExactlyOnce: return "route_exactly_once";
   }
   return "unknown";
 }

@@ -26,9 +26,10 @@ enum class Invariant : std::size_t {
   kServerBound,       // m_j >= eq. (35)'s lower bound at the applied load
   kFinite,            // allocation, power and reference stay finite
   kSocBounds,         // battery SoC in [min, max]·capacity, power in limits
+  kRouteExactlyOnce,  // admission: a portal's demand lands on exactly one fleet
 };
 
-inline constexpr std::size_t kNumInvariants = 6;
+inline constexpr std::size_t kNumInvariants = 7;
 
 const char* invariant_name(Invariant kind);
 

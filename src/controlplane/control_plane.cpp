@@ -1,11 +1,13 @@
 #include "controlplane/control_plane.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <unordered_set>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace gridctl::controlplane {
 
@@ -78,6 +80,15 @@ JsonValue PlaneReport::to_json() const {
     fleet_stats.push_back(JsonValue(std::move(entry)));
   }
   plane.emplace("fleets", JsonValue(std::move(fleet_stats)));
+  if (admission) {
+    JsonValue::Object entry = admission->summary_json().as_object();
+    JsonValue::Object route_check;
+    route_check.emplace("verified", admission_verified);
+    route_check.emplace("violations",
+                        static_cast<double>(admission_route_violations));
+    entry.emplace("route_check", JsonValue(std::move(route_check)));
+    plane.emplace("admission", JsonValue(std::move(entry)));
+  }
 
   JsonValue::Object root;
   root.emplace("sweep", to_sweep_report().to_json());
@@ -113,6 +124,12 @@ ControlPlane::ControlPlane(std::vector<FleetSpec> fleets, PlaneOptions options)
     fleets_.push_back(std::move(state));
   }
 
+  if (options_.admission && options_.admission->enabled()) {
+    install_admission(*options_.admission);
+  } else if (fleets_.front()->spec.scenario.admission.enabled()) {
+    install_admission(fleets_.front()->spec.scenario.admission);
+  }
+
   queues_.reserve(workers_);
   for (std::size_t w = 0; w < workers_; ++w) {
     queues_.push_back(std::make_unique<WorkerQueue>());
@@ -124,6 +141,51 @@ ControlPlane::ControlPlane(std::vector<FleetSpec> fleets, PlaneOptions options)
 }
 
 ControlPlane::~ControlPlane() = default;
+
+void ControlPlane::install_admission(admission::AdmissionSpec spec) {
+  const core::Scenario& first = fleets_.front()->spec.scenario;
+  for (const auto& fleet : fleets_) {
+    const core::Scenario& scenario = fleet->spec.scenario;
+    require(scenario.workload == first.workload,
+            "ControlPlane: admission routing needs every fleet to share one "
+            "workload source (fleet '" +
+                fleet->spec.id + "' carries a different one)");
+    require(scenario.start_time_s.value() == first.start_time_s.value() &&
+                scenario.ts_s.value() == first.ts_s.value() &&
+                scenario.duration_s.value() == first.duration_s.value(),
+            "ControlPlane: admission routing needs every fleet on one "
+            "start/ts/duration window (fleet '" +
+                fleet->spec.id + "' differs)");
+  }
+
+  admission::AdmissionGrid grid;
+  grid.start_s = first.start_time_s.value();
+  grid.ts_s = first.ts_s.value();
+  grid.steps = first.num_steps();
+  std::vector<double> capacities;
+  capacities.reserve(fleets_.size());
+  for (const auto& fleet : fleets_) {
+    double capacity_rps = 0.0;
+    for (const auto& idc : fleet->spec.scenario.idcs) {
+      capacity_rps += static_cast<double>(idc.max_servers) *
+                      idc.power.service_rate.value();
+    }
+    capacities.push_back(capacity_rps);
+  }
+  admission_plan_ = std::make_shared<const admission::AdmissionPlan>(
+      spec, first.workload, grid, std::move(capacities));
+
+  // Each fleet now sees only its routed slice of the admitted stream.
+  // The per-fleet scenario's own admission block is cleared: the routed
+  // view has a different (local) portal space, and the plan already
+  // owns the registry.
+  for (std::size_t f = 0; f < fleets_.size(); ++f) {
+    core::Scenario& scenario = fleets_[f]->spec.scenario;
+    scenario.workload =
+        std::make_shared<admission::RoutedWorkload>(admission_plan_, f);
+    scenario.admission = admission::AdmissionSpec{};
+  }
+}
 
 bool ControlPlane::pop_local(std::size_t worker, std::size_t& index) {
   WorkerQueue& queue = *queues_[worker];
@@ -231,6 +293,36 @@ PlaneReport ControlPlane::run() {
   report.factor_cache_misses = factor_cache_->misses();
   report.fleets.reserve(fleets_.size());
   for (const auto& fleet : fleets_) report.fleets.push_back(fleet->result);
+
+  report.admission = admission_plan_;
+  if (admission_plan_) {
+    // Exactly-once conservation audit against the recorded traces.
+    // Only meaningful when every fleet succeeded with a trace on clean
+    // feeds (fault injection legitimately perturbs delivered demand).
+    bool eligible = true;
+    std::vector<const std::vector<std::vector<double>>*> series;
+    series.reserve(fleets_.size());
+    std::uint64_t steps_to_check = admission_plan_->grid().steps;
+    for (const auto& fleet : fleets_) {
+      if (!fleet->result.ok || !fleet->result.result.trace ||
+          fleet->spec.options.workload_faults.any()) {
+        eligible = false;
+        break;
+      }
+      const auto& portal_rps = fleet->result.result.trace->portal_rps;
+      series.push_back(&portal_rps);
+      const std::uint64_t rows =
+          portal_rps.empty() ? 0 : portal_rps.front().size();
+      steps_to_check =
+          std::min<std::uint64_t>(steps_to_check, rows > 0 ? rows - 1 : 0);
+    }
+    if (eligible) {
+      const auto violations = admission::verify_exactly_once(
+          *admission_plan_, series, steps_to_check);
+      report.admission_verified = true;
+      report.admission_route_violations = violations.size();
+    }
+  }
   return report;
 }
 

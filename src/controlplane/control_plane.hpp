@@ -49,6 +49,8 @@
 #include <string>
 #include <vector>
 
+#include "admission/plan.hpp"
+#include "admission/spec.hpp"
 #include "engine/sweep.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/fleet_session.hpp"
@@ -76,6 +78,14 @@ struct PlaneOptions {
   // Shared condensed-factorization cache. Null = the plane creates one.
   // Installed into every fleet whose options don't already carry one.
   std::shared_ptr<solvers::CondensedFactorCache> factor_cache;
+  // Admission front-end. When set (or when the first fleet's scenario
+  // carries an enabled admission block), the plane compiles it into an
+  // AdmissionPlan against the fleets' shared workload source and time
+  // grid, replaces every fleet's workload with its RoutedWorkload view,
+  // and embeds routing + token-bucket state in fleet checkpoints. All
+  // fleets must then share one workload source and one
+  // start/ts/duration window.
+  std::optional<admission::AdmissionSpec> admission;
 };
 
 struct FleetResult {
@@ -93,6 +103,15 @@ struct PlaneReport {
   std::uint64_t factor_cache_hits = 0;
   std::uint64_t factor_cache_misses = 0;
   std::vector<FleetResult> fleets;  // FleetSpec submission order
+  // Admission observability (null/zero when the plane ran without an
+  // admission layer). `admission_verified` is true when every fleet
+  // succeeded with traces on clean (un-faulted) feeds and the recorded
+  // per-portal demand was checked against the plan — in which case
+  // `admission_route_violations` counts exactly-once breaches (0 =
+  // conservation held).
+  std::shared_ptr<const admission::AdmissionPlan> admission;
+  bool admission_verified = false;
+  std::uint64_t admission_route_violations = 0;
 
   std::size_t failed_fleets() const;
   // Total control steps executed across all fleets (throughput metric).
@@ -137,6 +156,12 @@ class ControlPlane {
   const std::shared_ptr<solvers::CondensedFactorCache>& factor_cache() const {
     return factor_cache_;
   }
+  // The compiled admission plan; null when the plane has no admission
+  // layer.
+  const std::shared_ptr<const admission::AdmissionPlan>& admission_plan()
+      const {
+    return admission_plan_;
+  }
 
  private:
   struct FleetState {
@@ -164,9 +189,16 @@ class ControlPlane {
   // (result slot written, remaining_ decremented).
   bool process(FleetState& fleet);
 
+  // Compile options_.admission (or the first fleet's scenario block)
+  // into admission_plan_ and install RoutedWorkload views. Called from
+  // the constructor after fleet states exist. Takes the spec by value:
+  // it may alias a fleet scenario's block, which this clears.
+  void install_admission(admission::AdmissionSpec spec);
+
   PlaneOptions options_;
   std::size_t workers_ = 0;
   std::shared_ptr<solvers::CondensedFactorCache> factor_cache_;
+  std::shared_ptr<const admission::AdmissionPlan> admission_plan_;
   std::vector<std::unique_ptr<FleetState>> fleets_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::atomic<std::size_t> remaining_{0};

@@ -58,6 +58,15 @@ void Scenario::validate() const {
   require(control::sleep_controllable(idcs, workload->rates(start_time_s.value())),
           "Scenario: fleet cannot serve the initial workload within the "
           "latency bounds (sleep controllability violated)");
+
+  if (admission.enabled()) {
+    admission.validate();
+    require(admission.portals.size() == num_portals(),
+            format("Scenario: admission block declares %zu portals but the "
+                   "workload source has %zu (portal i of the block must be "
+                   "portal i of the source)",
+                   admission.portals.size(), num_portals()));
+  }
 }
 
 }  // namespace gridctl::core

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "admission/spec.hpp"
 #include "check/types.hpp"
 #include "control/mpc.hpp"
 #include "core/controls.hpp"
@@ -84,6 +85,11 @@ struct Scenario {
   std::vector<units::Watts> power_budgets_w;
   // Demand-charge tariff; default (zero rates) bills energy only.
   market::DemandChargeConfig billing;
+  // Admission front-end (tenant quotas, portal→fleet routes). Disabled
+  // when the portal registry is empty; consumed by the control plane,
+  // which compiles it into an AdmissionPlan and hands each fleet a
+  // RoutedWorkload view. Single-fleet runs ignore the fleet routes.
+  admission::AdmissionSpec admission;
 
   units::Seconds start_time_s;          // offset into the price/workload traces
   units::Seconds duration_s{600.0};

@@ -311,6 +311,9 @@ Scenario load_scenario(const std::string& json_text) {
   if (root.has("billing")) {
     scenario.billing = parse_billing(root.at("billing"));
   }
+  if (root.has("admission")) {
+    scenario.admission = admission::parse_admission(root.at("admission"));
+  }
   scenario.start_time_s = units::Seconds{root.number_or("start_time_s", 0.0)};
   scenario.duration_s = units::Seconds{root.number_or("duration_s", 600.0)};
   scenario.ts_s = units::Seconds{root.number_or("ts_s", 10.0)};

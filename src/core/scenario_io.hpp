@@ -21,6 +21,13 @@
 //             | {"type": "trace_csv", "path": "loads.csv",
 //                "bucket_s": 3600},
 //   "power_budgets_w": [...],                        // optional
+//   "admission": {                                   // optional block
+//     "tenants": [{"id": "acme", "quota_rps": 900, "burst_s": 30}, ...],
+//     "portals": [{"id": "p0", "tenant": "acme", "fleet": 0}, ...],
+//     "reassignments": [{"portal": "p0", "fleet": 1,
+//                        "at_time_s": 25500}, ...],  // optional
+//     "capacity_margin": 1.0                         // optional
+//   },
 //   "start_time_s": 25200, "duration_s": 600, "ts_s": 10,
 //   "controller": {                                  // optional block
 //     "prediction_horizon": 8, "control_horizon": 2,

@@ -367,15 +367,17 @@ JsonValue RuntimeCheckpoint::to_json() const {
   root.emplace("trace", trace_to_json(trace));
   root.emplace("telemetry", telemetry_counters_to_json(telemetry));
   root.emplace("stats", stats_to_json_impl(stats));
+  if (!admission.is_null()) root.emplace("admission", admission);
   return JsonValue(std::move(root));
 }
 
 RuntimeCheckpoint RuntimeCheckpoint::from_json(const JsonValue& json) {
   const std::string& schema = json.at("schema").as_string();
   require(schema == kCheckpointSchema ||
+              schema == "gridctl.runtime.checkpoint/2" ||
               schema == "gridctl.runtime.checkpoint/1",
           "checkpoint: unsupported schema (expected "
-          "gridctl.runtime.checkpoint/2 or /1)");
+          "gridctl.runtime.checkpoint/3, /2 or /1)");
   RuntimeCheckpoint checkpoint;
 
   const JsonValue& progress = json.at("progress");
@@ -409,6 +411,7 @@ RuntimeCheckpoint RuntimeCheckpoint::from_json(const JsonValue& json) {
   checkpoint.trace = trace_from_json(json.at("trace"));
   checkpoint.telemetry = telemetry_counters_from_json(json.at("telemetry"));
   checkpoint.stats = stats_from_json(json.at("stats"));
+  if (json.has("admission")) checkpoint.admission = json.at("admission");
   return checkpoint;
 }
 

@@ -29,9 +29,11 @@ namespace gridctl::runtime {
 
 // Current schema identifier; bump on incompatible layout changes.
 // /2 added the billing-meter and battery state (controller) and the
-// grid_power_w / battery_soc_j trace series; /1 checkpoints still load
+// grid_power_w / battery_soc_j trace series. /3 added the optional
+// admission state (routing table + token-bucket levels) for fleets fed
+// by a control-plane admission layer. /2 and /1 checkpoints still load
 // (the new fields default to feature-off).
-inline constexpr const char* kCheckpointSchema = "gridctl.runtime.checkpoint/2";
+inline constexpr const char* kCheckpointSchema = "gridctl.runtime.checkpoint/3";
 
 struct RuntimeCheckpoint {
   // Progress: the next control step to execute and how many ticks of
@@ -69,6 +71,13 @@ struct RuntimeCheckpoint {
   core::SimulationTrace trace;
   engine::RunTelemetry telemetry;
   RuntimeStats stats;
+
+  // Admission resume state (routing epochs, fleet portal map and
+  // token-bucket levels) when the session's workload is a control-plane
+  // RoutedWorkload view; null otherwise. On restore the plane's plan
+  // must reproduce this state exactly — admission/plan.hpp
+  // `RoutedWorkload::validate_checkpoint_state`.
+  JsonValue admission;
 
   JsonValue to_json() const;
   static RuntimeCheckpoint from_json(const JsonValue& json);

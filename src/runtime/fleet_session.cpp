@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "admission/plan.hpp"
 #include "core/policies.hpp"
 #include "util/error.hpp"
 
@@ -61,6 +62,18 @@ FleetSession::FleetSession(core::Scenario scenario, RuntimeOptions options,
              scenario_.num_steps()) {
   init_common();
   checkpoint.validate_for(scenario_);
+  // A checkpoint taken behind an admission layer must resume behind the
+  // *same* layer: the routed view's derived state (routing epochs,
+  // portal map, token-bucket levels) has to match exactly, or the
+  // restored demand stream would silently diverge.
+  if (const auto* routed = dynamic_cast<const admission::RoutedWorkload*>(
+          scenario_.workload.get())) {
+    require(!checkpoint.admission.is_null(),
+            "FleetSession: checkpoint has no admission state but the "
+            "scenario workload is a routed admission view");
+    routed->validate_checkpoint_state(checkpoint.admission,
+                                      checkpoint.next_step);
+  }
   restore_from(checkpoint);
 }
 
@@ -370,6 +383,10 @@ RuntimeCheckpoint FleetSession::checkpoint() const {
   cp.trace = trace_;
   cp.telemetry = telemetry_;
   cp.stats = stats_;
+  if (const auto* routed = dynamic_cast<const admission::RoutedWorkload*>(
+          scenario_.workload.get())) {
+    cp.admission = routed->checkpoint_state(next_step_);
+  }
   return cp;
 }
 

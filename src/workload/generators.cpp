@@ -124,4 +124,20 @@ double StepWorkload::rate(std::size_t portal, double time_s) const {
   return time_s < switch_s_ ? before_[portal] : after_[portal];
 }
 
+ReplicatedWorkload::ReplicatedWorkload(
+    std::shared_ptr<const WorkloadSource> inner, std::size_t num_portals)
+    : inner_(std::move(inner)), num_portals_(num_portals) {
+  require(inner_ != nullptr, "ReplicatedWorkload: null inner source");
+  require(inner_->num_portals() > 0,
+          "ReplicatedWorkload: inner source has no portals");
+  require(num_portals_ > 0, "ReplicatedWorkload: need at least one portal");
+  scale_ = static_cast<double>(inner_->num_portals()) /
+           static_cast<double>(num_portals_);
+}
+
+double ReplicatedWorkload::rate(std::size_t portal, double time_s) const {
+  require(portal < num_portals_, "ReplicatedWorkload: portal out of range");
+  return inner_->rate(portal % inner_->num_portals(), time_s) * scale_;
+}
+
 }  // namespace gridctl::workload

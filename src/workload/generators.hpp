@@ -104,4 +104,22 @@ class StepWorkload : public WorkloadSource {
   double switch_s_;
 };
 
+// Tiles an inner source out to `num_portals` portals: portal i mirrors
+// inner portal i % base, scaled by base / num_portals, so the aggregate
+// rate is preserved (exactly when num_portals is a multiple of the
+// inner portal count). Lets the plane CLI fan a template workload out
+// to hundreds of admission portals without inflating total demand.
+class ReplicatedWorkload : public WorkloadSource {
+ public:
+  ReplicatedWorkload(std::shared_ptr<const WorkloadSource> inner,
+                     std::size_t num_portals);
+  double rate(std::size_t portal, double time_s) const override;
+  std::size_t num_portals() const override { return num_portals_; }
+
+ private:
+  std::shared_ptr<const WorkloadSource> inner_;
+  std::size_t num_portals_;
+  double scale_;
+};
+
 }  // namespace gridctl::workload

@@ -1,0 +1,249 @@
+// Unit tests for the compiled admission plan: routing epochs, token
+// bucket ledger, overload scale, accounting and the exactly-once audit.
+#include "admission/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "admission/spec.hpp"
+#include "util/error.hpp"
+#include "workload/generators.hpp"
+
+namespace gridctl::admission {
+namespace {
+
+std::shared_ptr<const workload::WorkloadSource> constant_source(
+    std::vector<double> rates) {
+  return std::make_shared<workload::ConstantWorkload>(std::move(rates));
+}
+
+AdmissionGrid grid(double ts_s, std::uint64_t steps, double start_s = 0.0) {
+  return AdmissionGrid{start_s, ts_s, steps};
+}
+
+// Two fleets, four portals, one generous tenant: routing-only fixture.
+AdmissionSpec routing_spec() {
+  AdmissionSpec spec;
+  spec.tenants = {{"t0", 1e6, 0.0}};
+  spec.portals = {{"p0", "t0", 0},
+                  {"p1", "t0", 1},
+                  {"p2", "t0", 0},
+                  {"p3", "t0", 1}};
+  return spec;
+}
+
+TEST(AdmissionPlan, RoutingFollowsEpochBoundaries) {
+  AdmissionSpec spec = routing_spec();
+  spec.reassignments = {{"p2", 1, 30.0}};
+  const AdmissionPlan plan(spec, constant_source({100, 200, 300, 400}),
+                           grid(10.0, 6), {1e6, 1e6});
+
+  EXPECT_EQ(plan.num_fleets(), 2u);
+  EXPECT_EQ(plan.num_portals(), 4u);
+  // Fleet portal spaces cover every portal ever routed there.
+  EXPECT_EQ(plan.fleet_portals(0), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(plan.fleet_portals(1), (std::vector<std::size_t>{1, 2, 3}));
+  // The handoff lands on the tick boundary: fleet 0 owns p2 for ticks
+  // 0..2 (t < 30), fleet 1 from tick 3 on.
+  EXPECT_EQ(plan.fleet_of(2, 0.0), 0u);
+  EXPECT_EQ(plan.fleet_of(2, 29.999), 0u);
+  EXPECT_EQ(plan.fleet_of(2, 30.0), 1u);
+  EXPECT_EQ(plan.fleet_of(2, 59.0), 1u);
+  // Un-moved portals keep their initial fleet.
+  EXPECT_EQ(plan.fleet_of(0, 45.0), 0u);
+  EXPECT_EQ(plan.fleet_of(3, 0.0), 1u);
+}
+
+TEST(AdmissionPlan, ReassignmentBeyondWindowIsDropped) {
+  AdmissionSpec spec = routing_spec();
+  spec.reassignments = {{"p0", 1, 1e9}};
+  const AdmissionPlan plan(spec, constant_source({100, 200, 300, 400}),
+                           grid(10.0, 6), {1e6, 1e6});
+  EXPECT_EQ(plan.fleet_portals(0), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(plan.fleet_of(0, 59.0), 0u);
+}
+
+TEST(AdmissionPlan, FleetWithNoPortalsThrows) {
+  try {
+    const AdmissionPlan plan(routing_spec(),
+                             constant_source({100, 200, 300, 400}),
+                             grid(10.0, 6), {1e6, 1e6, 1e6});
+    FAIL() << "expected a no-portal fleet rejection";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("fleet 2 has no portals"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AdmissionPlan, PortalCountMismatchThrows) {
+  EXPECT_THROW(AdmissionPlan(routing_spec(), constant_source({100, 200}),
+                             grid(10.0, 6), {1e6, 1e6}),
+               InvalidArgument);
+}
+
+TEST(AdmissionPlan, TokenBucketClipsSustainedRateToQuota) {
+  AdmissionSpec spec;
+  spec.tenants = {{"t0", 30.0, 0.0}};  // 30 req/s, no burst
+  spec.portals = {{"p0", "t0", 0}};
+  const AdmissionPlan plan(spec, constant_source({100.0}), grid(10.0, 4),
+                           {1e6});
+
+  // Offered 100 req/s against a 30 req/s quota: every tick admits
+  // exactly the refill (300 req per 10 s tick) → 30 req/s admitted.
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(plan.admitted_rate(0, 10.0 * static_cast<double>(k)),
+                     30.0);
+    EXPECT_EQ(plan.tier_at_tick(k), Tier::kQuotaLimited);
+  }
+  const AdmissionAccounting& acct = plan.accounting();
+  EXPECT_DOUBLE_EQ(acct.offered_req, 100.0 * 10.0 * 4);
+  EXPECT_DOUBLE_EQ(acct.admitted_req, 30.0 * 10.0 * 4);
+  EXPECT_DOUBLE_EQ(acct.shed_fraction(), 0.7);
+  EXPECT_EQ(acct.quota_limited_ticks, 4u);
+  ASSERT_EQ(acct.tenants.size(), 1u);
+  EXPECT_EQ(acct.tenants[0].id, "t0");
+  EXPECT_DOUBLE_EQ(acct.tenants[0].shed_req, 70.0 * 10.0 * 4);
+}
+
+TEST(AdmissionPlan, BurstHeadroomAdmitsOneTransient) {
+  AdmissionSpec spec;
+  spec.tenants = {{"t0", 30.0, 20.0}};  // bucket starts with 600 req
+  spec.portals = {{"p0", "t0", 0}};
+  const AdmissionPlan plan(spec, constant_source({100.0}), grid(10.0, 3),
+                           {1e6});
+
+  // Tick 0: tokens = min(cap 900, 600 + 300) = 900 → admits 900 of the
+  // 1000 offered (90 req/s). Thereafter the bucket is drained and only
+  // the refill remains.
+  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, 0.0), 90.0);
+  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, 10.0), 30.0);
+  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, 20.0), 30.0);
+}
+
+TEST(AdmissionPlan, OverloadScaleCapsAggregateAtCapacity) {
+  AdmissionSpec spec;
+  spec.tenants = {{"t0", 1e6, 0.0}};
+  spec.portals = {{"p0", "t0", 0}, {"p1", "t0", 1}};
+  // Offered 600 + 400 = 1000 req/s against 400 req/s total capacity.
+  const AdmissionPlan plan(spec, constant_source({600.0, 400.0}),
+                           grid(10.0, 2), {250.0, 150.0});
+
+  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, 0.0), 600.0 * 0.4);
+  EXPECT_DOUBLE_EQ(plan.admitted_rate(1, 0.0), 400.0 * 0.4);
+  EXPECT_EQ(plan.tier_at_tick(0), Tier::kOverloaded);
+  EXPECT_DOUBLE_EQ(plan.accounting().shed_fraction(), 0.6);
+  EXPECT_EQ(plan.accounting().overloaded_ticks, 2u);
+}
+
+TEST(AdmissionPlan, BucketTokensBeforeMatchesManualLedger) {
+  AdmissionSpec spec;
+  spec.tenants = {{"t0", 30.0, 20.0}};
+  spec.portals = {{"p0", "t0", 0}};
+  const AdmissionPlan plan(spec, constant_source({100.0}), grid(10.0, 3),
+                           {1e6});
+
+  // Before tick 0: the initial burst headroom.
+  EXPECT_EQ(plan.bucket_tokens_before(0), std::vector<double>{600.0});
+  // Tick 0 refilled to 900 and admitted 900 → 0 left.
+  EXPECT_EQ(plan.bucket_tokens_before(1), std::vector<double>{0.0});
+  // Tick 1 refilled to 300 and admitted 300 → 0 left.
+  EXPECT_EQ(plan.bucket_tokens_before(2), std::vector<double>{0.0});
+}
+
+TEST(AdmissionPlan, TierNamesAreStable) {
+  EXPECT_STREQ(tier_name(Tier::kNominal), "nominal");
+  EXPECT_STREQ(tier_name(Tier::kQuotaLimited), "quota_limited");
+  EXPECT_STREQ(tier_name(Tier::kOverloaded), "overloaded");
+}
+
+// Synthesizes the per-fleet recorded series a trace would hold: row 0
+// is the warm-start record, row k+1 the routed rate at tick k.
+std::vector<std::vector<std::vector<double>>> recorded_series(
+    const std::shared_ptr<const AdmissionPlan>& plan) {
+  const AdmissionGrid& g = plan->grid();
+  std::vector<std::vector<std::vector<double>>> series(plan->num_fleets());
+  for (std::size_t f = 0; f < plan->num_fleets(); ++f) {
+    const RoutedWorkload view(plan, f);
+    series[f].resize(view.num_portals());
+    for (std::size_t i = 0; i < view.num_portals(); ++i) {
+      series[f][i].push_back(view.rate(i, g.start_s));  // warm start
+      for (std::uint64_t k = 0; k < g.steps; ++k) {
+        series[f][i].push_back(
+            view.rate(i, g.start_s + static_cast<double>(k) * g.ts_s));
+      }
+    }
+  }
+  return series;
+}
+
+TEST(AdmissionPlan, ExactlyOnceAuditPassesCleanAndFlagsCorruption) {
+  AdmissionSpec spec = routing_spec();
+  spec.reassignments = {{"p2", 1, 30.0}};
+  const auto plan = std::make_shared<const AdmissionPlan>(
+      spec, constant_source({100, 200, 300, 400}), grid(10.0, 6),
+      std::vector<double>{1e6, 1e6});
+
+  auto series = recorded_series(plan);
+  std::vector<const std::vector<std::vector<double>>*> tables;
+  for (const auto& table : series) tables.push_back(&table);
+
+  EXPECT_TRUE(verify_exactly_once(*plan, tables, 6).empty());
+
+  // Double-land p2's demand on fleet 0 at the handoff tick: local
+  // portal 1 of fleet 0 is global portal 2; row 4 is step 3.
+  series[0][1][4] = 300.0;
+  const auto violations = verify_exactly_once(*plan, tables, 6);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, check::Invariant::kRouteExactlyOnce);
+  EXPECT_EQ(violations[0].index, 2u);
+  EXPECT_DOUBLE_EQ(violations[0].magnitude, 300.0);
+  EXPECT_NE(violations[0].detail.find("portal 2 at step 3"),
+            std::string::npos)
+      << violations[0].detail;
+}
+
+TEST(RoutedWorkload, ViewsPartitionTheAdmittedStream) {
+  AdmissionSpec spec = routing_spec();
+  spec.reassignments = {{"p2", 1, 30.0}};
+  const auto plan = std::make_shared<const AdmissionPlan>(
+      spec, constant_source({100, 200, 300, 400}), grid(10.0, 6),
+      std::vector<double>{1e6, 1e6});
+  const RoutedWorkload fleet0(plan, 0);
+  const RoutedWorkload fleet1(plan, 1);
+
+  EXPECT_EQ(fleet0.num_portals(), 2u);
+  EXPECT_EQ(fleet1.num_portals(), 3u);
+  EXPECT_EQ(fleet0.global_portal(1), 2u);
+  // Before the handoff fleet 0 carries p2's demand, after it fleet 1
+  // does, and the other side reads exactly zero.
+  EXPECT_DOUBLE_EQ(fleet0.rate(1, 20.0), 300.0);
+  EXPECT_DOUBLE_EQ(fleet1.rate(1, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(fleet0.rate(1, 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(fleet1.rate(1, 30.0), 300.0);
+}
+
+TEST(RoutedWorkload, CheckpointStateRoundTripsAndRejectsTampering) {
+  AdmissionSpec spec;
+  spec.tenants = {{"t0", 30.0, 20.0}};
+  spec.portals = {{"p0", "t0", 0}};
+  const auto plan = std::make_shared<const AdmissionPlan>(
+      spec, constant_source({100.0}), grid(10.0, 3), std::vector<double>{1e6});
+  const RoutedWorkload view(plan, 0);
+
+  const JsonValue state = view.checkpoint_state(2);
+  EXPECT_NO_THROW(view.validate_checkpoint_state(state, 2));
+  // Same bytes, different resume step → the bucket levels differ.
+  EXPECT_THROW(view.validate_checkpoint_state(state, 0), InvalidArgument);
+
+  JsonValue::Object tampered = state.as_object();
+  tampered["bucket_tokens_req"] = JsonValue(JsonValue::Array{JsonValue(7.0)});
+  EXPECT_THROW(view.validate_checkpoint_state(JsonValue(std::move(tampered)), 2),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gridctl::admission

@@ -1,0 +1,328 @@
+// Acceptance tests for the admission front-end on the multi-fleet
+// control plane: large-plane determinism across worker counts, live
+// mid-run portal re-assignment with the exactly-once conservation
+// audit, quota-bounded overload shedding surfaced in the report JSON,
+// and kill-and-resume with the admission state embedded in checkpoints.
+#include "controlplane/control_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "admission/plan.hpp"
+#include "admission/spec.hpp"
+#include "core/paper.hpp"
+#include "util/error.hpp"
+#include "workload/generators.hpp"
+
+namespace gridctl::controlplane {
+namespace {
+
+// Paper smoothing scenario fanned out to `portals` admission portals on
+// the condensed backend: four control periods, cheap enough to run as
+// many fleets as the acceptance criteria ask for.
+core::Scenario admission_template(std::size_t portals, double ts_s = 60.0,
+                                  double duration_s = 240.0) {
+  core::Scenario scenario =
+      core::paper::smoothing_scenario(units::Seconds{ts_s});
+  scenario.duration_s = units::Seconds{duration_s};
+  scenario.controller.solver.backend = solvers::LsqBackend::kCondensed;
+  scenario.workload = std::make_shared<workload::ReplicatedWorkload>(
+      scenario.workload, portals);
+  return scenario;
+}
+
+// Portal i -> fleet i % fleets, tenant i % tenants; tenant quota is
+// `quota_scale` times its offered rate at the window start.
+admission::AdmissionSpec spread_spec(const core::Scenario& scenario,
+                                     std::size_t fleets, std::size_t tenants,
+                                     double quota_scale) {
+  const std::vector<double> initial =
+      scenario.workload->rates(scenario.start_time_s.value());
+  std::vector<double> offered(tenants, 0.0);
+  for (std::size_t p = 0; p < initial.size(); ++p) {
+    offered[p % tenants] += initial[p];
+  }
+  admission::AdmissionSpec spec;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    std::string id = "t";
+    id += std::to_string(t);
+    spec.tenants.push_back({std::move(id), quota_scale * offered[t], 0.0});
+  }
+  for (std::size_t p = 0; p < initial.size(); ++p) {
+    std::string id = "p";
+    id += std::to_string(p);
+    std::string tenant = "t";
+    tenant += std::to_string(p % tenants);
+    spec.portals.push_back({std::move(id), std::move(tenant), p % fleets});
+  }
+  return spec;
+}
+
+std::vector<FleetSpec> make_fleets(const core::Scenario& scenario,
+                                   std::size_t count,
+                                   std::uint64_t stop_after = 0) {
+  std::vector<FleetSpec> specs;
+  specs.reserve(count);
+  for (std::size_t f = 0; f < count; ++f) {
+    FleetSpec spec;
+    spec.id = "fleet-" + std::to_string(f);
+    spec.scenario = scenario;  // copies share the workload source
+    spec.options.stop_after_step = stop_after;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void expect_traces_identical(const core::SimulationTrace& a,
+                             const core::SimulationTrace& b,
+                             const std::string& id) {
+  ASSERT_EQ(a.time_s, b.time_s) << id;
+  EXPECT_EQ(a.power_w, b.power_w) << id;
+  EXPECT_EQ(a.servers_on, b.servers_on) << id;
+  EXPECT_EQ(a.portal_rps, b.portal_rps) << id;
+  EXPECT_EQ(a.total_power_w, b.total_power_w) << id;
+  EXPECT_EQ(a.cumulative_cost, b.cumulative_cost) << id;
+}
+
+// Acceptance: >= 8 fleets, >= 200 portals, routing + a scripted mid-run
+// re-assignment, bit-identical at any worker count, exactly-once
+// verified with zero violations.
+TEST(PlaneAdmission, EightFleets200PortalsBitIdenticalAcrossWorkers) {
+  core::Scenario scenario = admission_template(200);
+  scenario.admission = spread_spec(scenario, 8, 4, /*quota_scale=*/10.0);
+  // Move two portals between fleets at the second control period.
+  const double handoff =
+      scenario.start_time_s.value() + scenario.ts_s.value() * 2.0;
+  scenario.admission.reassignments = {{"p5", 3, handoff}, {"p13", 0, handoff}};
+
+  PlaneReport reports[2];
+  const std::size_t worker_counts[2] = {1, 5};
+  for (int i = 0; i < 2; ++i) {
+    PlaneOptions options;
+    options.workers = worker_counts[i];
+    ControlPlane plane(make_fleets(scenario, 8), options);
+    ASSERT_NE(plane.admission_plan(), nullptr);
+    EXPECT_EQ(plane.admission_plan()->num_portals(), 200u);
+    reports[i] = plane.run();
+  }
+
+  for (const PlaneReport& report : reports) {
+    EXPECT_EQ(report.failed_fleets(), 0u);
+    ASSERT_NE(report.admission, nullptr);
+    EXPECT_TRUE(report.admission_verified);
+    EXPECT_EQ(report.admission_route_violations, 0u);
+    EXPECT_EQ(report.admission->num_reassignments(), 2u);
+  }
+  ASSERT_EQ(reports[0].fleets.size(), reports[1].fleets.size());
+  for (std::size_t f = 0; f < reports[0].fleets.size(); ++f) {
+    const FleetResult& a = reports[0].fleets[f];
+    const FleetResult& b = reports[1].fleets[f];
+    ASSERT_TRUE(a.ok) << a.id << ": " << a.error;
+    ASSERT_TRUE(b.ok) << b.id << ": " << b.error;
+    EXPECT_EQ(a.result.summary.total_cost.value(),
+              b.result.summary.total_cost.value())
+        << a.id;
+    ASSERT_NE(a.result.trace, nullptr);
+    ASSERT_NE(b.result.trace, nullptr);
+    expect_traces_identical(*a.result.trace, *b.result.trace, a.id);
+  }
+}
+
+// A scripted mid-run re-assignment under strict invariant checking:
+// the moved portal's demand lands exactly once and no controller
+// invariant (conservation included) trips anywhere in the plane.
+TEST(PlaneAdmission, MidRunReassignmentConservesDemand) {
+  core::Scenario scenario = admission_template(6);
+  scenario.controller.solver.invariants.strict = true;
+  scenario.admission = spread_spec(scenario, 2, 2, /*quota_scale=*/10.0);
+  const double handoff =
+      scenario.start_time_s.value() + scenario.ts_s.value() * 2.0;
+  scenario.admission.reassignments = {{"p0", 1, handoff}};
+
+  ControlPlane plane(make_fleets(scenario, 2), {});
+  const PlaneReport report = plane.run();
+
+  ASSERT_EQ(report.failed_fleets(), 0u)
+      << report.fleets[0].error << " / " << report.fleets[1].error;
+  EXPECT_TRUE(report.admission_verified);
+  EXPECT_EQ(report.admission_route_violations, 0u);
+  for (const FleetResult& fleet : report.fleets) {
+    EXPECT_EQ(fleet.result.telemetry.invariants.total(), 0u) << fleet.id;
+  }
+  // The moved portal really changed hands: fleet 1's view of p0 is zero
+  // before the boundary and carries the demand after it.
+  const auto& plan = *report.admission;
+  EXPECT_EQ(plan.fleet_of(0, handoff - 1.0), 0u);
+  EXPECT_EQ(plan.fleet_of(0, handoff), 1u);
+}
+
+// Overload: tenants quota'd below their offered rate shed a non-zero,
+// quota-bounded fraction, and the plane report JSON carries the
+// accounting next to the SweepReport section.
+TEST(PlaneAdmission, OverloadShedsQuotaBoundedFraction) {
+  core::Scenario scenario = admission_template(8);
+  scenario.admission = spread_spec(scenario, 2, 2, /*quota_scale=*/0.4);
+
+  ControlPlane plane(make_fleets(scenario, 2), {});
+  const PlaneReport report = plane.run();
+
+  ASSERT_EQ(report.failed_fleets(), 0u)
+      << report.fleets[0].error << " / " << report.fleets[1].error;
+  ASSERT_NE(report.admission, nullptr);
+  EXPECT_TRUE(report.admission_verified);
+  EXPECT_EQ(report.admission_route_violations, 0u);
+
+  const admission::AdmissionAccounting& acct = report.admission->accounting();
+  EXPECT_GT(acct.shed_fraction(), 0.0);
+  EXPECT_LT(acct.shed_fraction(), 1.0);
+  EXPECT_EQ(acct.nominal_ticks, 0u);
+  EXPECT_GT(acct.quota_limited_ticks, 0u);
+  // Quota bound: no tenant may be admitted more than its sustained
+  // quota over the window plus one period's allowance (burst_s = 0).
+  const double window =
+      scenario.duration_s.value() + scenario.ts_s.value();
+  for (std::size_t t = 0; t < report.admission->num_tenants(); ++t) {
+    const double quota_rps = scenario.admission.tenants[t].quota_rps;
+    EXPECT_LE(acct.tenants[t].admitted_req, quota_rps * window * (1 + 1e-9))
+        << acct.tenants[t].id;
+  }
+
+  const JsonValue json = report.to_json();
+  const JsonValue& admission_json = json.at("plane").at("admission");
+  EXPECT_GT(admission_json.at("shed_fraction").as_number(), 0.0);
+  EXPECT_TRUE(admission_json.at("route_check").at("verified").as_bool());
+  EXPECT_EQ(admission_json.at("route_check").at("violations").as_number(),
+            0.0);
+  EXPECT_TRUE(json.at("sweep").has("jobs"));
+}
+
+// The plane-wide degradation tier: with the capacity margin pinched
+// below the quota-admitted aggregate, every tick degrades to
+// kOverloaded and admissions scale to fit the margin.
+TEST(PlaneAdmission, CapacityMarginEngagesOverloadTier) {
+  core::Scenario scenario = admission_template(8);
+  scenario.admission = spread_spec(scenario, 2, 2, /*quota_scale=*/10.0);
+  // Fleet capacity dwarfs the paper workload, so derive a margin that
+  // caps the plane at half the offered aggregate.
+  double capacity_rps = 0.0;
+  for (const auto& idc : scenario.idcs) {
+    capacity_rps += static_cast<double>(idc.max_servers) *
+                    idc.power.service_rate.value();
+  }
+  double offered_rps = 0.0;
+  for (double rate : scenario.workload->rates(scenario.start_time_s.value())) {
+    offered_rps += rate;
+  }
+  scenario.admission.capacity_margin =
+      0.5 * offered_rps / (2.0 * capacity_rps);
+
+  ControlPlane plane(make_fleets(scenario, 2), {});
+  const PlaneReport report = plane.run();
+
+  ASSERT_EQ(report.failed_fleets(), 0u)
+      << report.fleets[0].error << " / " << report.fleets[1].error;
+  const admission::AdmissionAccounting& acct = report.admission->accounting();
+  EXPECT_EQ(acct.overloaded_ticks,
+            static_cast<std::uint64_t>(scenario.num_steps()));
+  EXPECT_GT(acct.shed_fraction(), 0.0);
+  EXPECT_TRUE(report.admission_verified);
+  EXPECT_EQ(report.admission_route_violations, 0u);
+}
+
+// Kill-and-resume: checkpoints taken behind the admission layer embed
+// the routing table and token-bucket state, resume bit-identically,
+// and a checkpoint whose admission state disagrees with the plan is
+// rejected with an actionable error.
+TEST(PlaneAdmission, KillAndResumeStaysBitIdentical) {
+  core::Scenario scenario = admission_template(8);
+  scenario.admission = spread_spec(scenario, 2, 2, /*quota_scale=*/0.8);
+  // Re-assignment after the stop point: the routing change must survive
+  // the checkpoint/resume boundary.
+  const double handoff =
+      scenario.start_time_s.value() + scenario.ts_s.value() * 3.0;
+  scenario.admission.reassignments = {{"p2", 1, handoff}};
+
+  // Reference: uninterrupted run.
+  ControlPlane full_plane(make_fleets(scenario, 2), {});
+  const PlaneReport full = full_plane.run();
+  ASSERT_EQ(full.failed_fleets(), 0u);
+
+  // Interrupted run, stopped (resumably) after two steps.
+  ControlPlane first_half(make_fleets(scenario, 2, /*stop_after=*/2), {});
+  const PlaneReport halfway = first_half.run();
+  ASSERT_EQ(halfway.failed_fleets(), 0u);
+  for (const FleetResult& fleet : halfway.fleets) {
+    EXPECT_FALSE(fleet.result.completed) << fleet.id;
+  }
+
+  std::vector<FleetSpec> resumed = make_fleets(scenario, 2);
+  for (FleetSpec& spec : resumed) {
+    runtime::RuntimeCheckpoint checkpoint = first_half.checkpoint(spec.id);
+    EXPECT_EQ(checkpoint.next_step, 2u);
+    ASSERT_FALSE(checkpoint.admission.is_null()) << spec.id;
+    EXPECT_TRUE(checkpoint.admission.has("routing")) << spec.id;
+    EXPECT_TRUE(checkpoint.admission.has("bucket_tokens_req")) << spec.id;
+    spec.checkpoint = std::move(checkpoint);
+  }
+  ControlPlane second_half(std::move(resumed), {});
+  const PlaneReport report = second_half.run();
+
+  ASSERT_EQ(report.failed_fleets(), 0u)
+      << report.fleets[0].error << " / " << report.fleets[1].error;
+  EXPECT_TRUE(report.admission_verified);
+  EXPECT_EQ(report.admission_route_violations, 0u);
+  for (std::size_t f = 0; f < report.fleets.size(); ++f) {
+    ASSERT_TRUE(report.fleets[f].result.completed);
+    EXPECT_EQ(report.fleets[f].result.summary.total_cost.value(),
+              full.fleets[f].result.summary.total_cost.value());
+    expect_traces_identical(*report.fleets[f].result.trace,
+                            *full.fleets[f].result.trace,
+                            report.fleets[f].id);
+  }
+
+  // Tampered token-bucket state: the fleet must refuse to resume.
+  std::vector<FleetSpec> tampered = make_fleets(scenario, 2);
+  runtime::RuntimeCheckpoint bad = first_half.checkpoint("fleet-0");
+  JsonValue::Object state = bad.admission.as_object();
+  state["bucket_tokens_req"] =
+      JsonValue(JsonValue::Array{JsonValue(1.0), JsonValue(2.0)});
+  bad.admission = JsonValue(std::move(state));
+  tampered[0].checkpoint = std::move(bad);
+  tampered[1].checkpoint = first_half.checkpoint("fleet-1");
+  ControlPlane tampered_plane(std::move(tampered), {});
+  const PlaneReport rejected = tampered_plane.run();
+  EXPECT_FALSE(rejected.fleets[0].ok);
+  EXPECT_NE(rejected.fleets[0].error.find("admission"), std::string::npos)
+      << rejected.fleets[0].error;
+  EXPECT_TRUE(rejected.fleets[1].ok) << rejected.fleets[1].error;
+}
+
+// A checkpoint taken behind the admission layer must not silently
+// resume without it.
+TEST(PlaneAdmission, AdmissionCheckpointRequiredOnRoutedResume) {
+  core::Scenario scenario = admission_template(8);
+  scenario.admission = spread_spec(scenario, 2, 2, /*quota_scale=*/0.8);
+
+  ControlPlane first_half(make_fleets(scenario, 2, /*stop_after=*/2), {});
+  const PlaneReport halfway = first_half.run();
+  ASSERT_EQ(halfway.failed_fleets(), 0u);
+
+  std::vector<FleetSpec> resumed = make_fleets(scenario, 2);
+  runtime::RuntimeCheckpoint stripped = first_half.checkpoint("fleet-0");
+  stripped.admission = JsonValue();  // drop the admission state
+  resumed[0].checkpoint = std::move(stripped);
+  resumed[1].checkpoint = first_half.checkpoint("fleet-1");
+  ControlPlane plane(std::move(resumed), {});
+  const PlaneReport report = plane.run();
+  EXPECT_FALSE(report.fleets[0].ok);
+  EXPECT_NE(report.fleets[0].error.find("no admission state"),
+            std::string::npos)
+      << report.fleets[0].error;
+}
+
+}  // namespace
+}  // namespace gridctl::controlplane

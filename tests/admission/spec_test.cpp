@@ -1,0 +1,185 @@
+// Validator and JSON-codec coverage for the `admission` scenario block:
+// every rejection must carry an actionable "admission: ..." message
+// naming the offending entry (PR 3 validator style).
+#include "admission/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/scenario_io.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace gridctl::admission {
+namespace {
+
+AdmissionSpec valid_spec() {
+  AdmissionSpec spec;
+  spec.tenants = {{"acme", 900.0, 30.0}, {"globex", 500.0, 0.0}};
+  spec.portals = {{"p0", "acme", 0}, {"p1", "globex", 1}, {"p2", "acme", 0}};
+  spec.reassignments = {{"p2", 1, 120.0}};
+  return spec;
+}
+
+// The thrown message, so tests can assert on its content.
+std::string validate_error(const AdmissionSpec& spec) {
+  try {
+    spec.validate();
+  } catch (const InvalidArgument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(AdmissionSpec, ValidSpecPasses) {
+  EXPECT_NO_THROW(valid_spec().validate());
+}
+
+TEST(AdmissionSpec, EmptySpecIsDisabledAndValid) {
+  const AdmissionSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(AdmissionSpec, DuplicateTenantIdIsNamed) {
+  AdmissionSpec spec = valid_spec();
+  spec.tenants.push_back({"acme", 100.0, 0.0});
+  const std::string message = validate_error(spec);
+  EXPECT_NE(message.find("admission: tenants[2]"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("duplicate tenant id 'acme'"), std::string::npos)
+      << message;
+}
+
+TEST(AdmissionSpec, NonPositiveQuotaIsNamed) {
+  for (const double quota : {0.0, -5.0}) {
+    AdmissionSpec spec = valid_spec();
+    spec.tenants[1].quota_rps = quota;
+    const std::string message = validate_error(spec);
+    EXPECT_NE(message.find("tenants[1] 'globex'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("quota_rps must be positive"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(AdmissionSpec, UnknownTenantOnPortalIsNamed) {
+  AdmissionSpec spec = valid_spec();
+  spec.portals[1].tenant = "nobody";
+  const std::string message = validate_error(spec);
+  EXPECT_NE(message.find("portals[1] 'p1'"), std::string::npos) << message;
+  EXPECT_NE(message.find("unknown tenant 'nobody'"), std::string::npos)
+      << message;
+}
+
+TEST(AdmissionSpec, UnknownPortalOnReassignmentIsNamed) {
+  AdmissionSpec spec = valid_spec();
+  spec.reassignments[0].portal = "p99";
+  const std::string message = validate_error(spec);
+  EXPECT_NE(message.find("reassignments[0]"), std::string::npos) << message;
+  EXPECT_NE(message.find("unknown portal 'p99'"), std::string::npos)
+      << message;
+}
+
+TEST(AdmissionSpec, RejectsDuplicatePortalNegativeTimeAndBadMargin) {
+  AdmissionSpec spec = valid_spec();
+  spec.portals.push_back({"p0", "acme", 1});
+  EXPECT_NE(validate_error(spec).find("duplicate portal id 'p0'"),
+            std::string::npos);
+
+  spec = valid_spec();
+  spec.reassignments[0].at_time_s = -1.0;
+  EXPECT_NE(validate_error(spec).find("at_time_s must be >= 0"),
+            std::string::npos);
+
+  spec = valid_spec();
+  spec.capacity_margin = 0.0;
+  EXPECT_NE(validate_error(spec).find("capacity_margin must be positive"),
+            std::string::npos);
+}
+
+TEST(AdmissionSpec, TenantsRequiredWhenPortalsDeclared) {
+  AdmissionSpec spec = valid_spec();
+  spec.tenants.clear();
+  EXPECT_NE(validate_error(spec).find("'tenants' is empty"),
+            std::string::npos);
+}
+
+TEST(AdmissionSpec, JsonRoundTripIsExact) {
+  const AdmissionSpec spec = valid_spec();
+  const AdmissionSpec reparsed = parse_admission(admission_to_json(spec));
+  EXPECT_EQ(dump_json(admission_to_json(reparsed)),
+            dump_json(admission_to_json(spec)));
+  EXPECT_EQ(reparsed.tenants.size(), 2u);
+  EXPECT_EQ(reparsed.portals.size(), 3u);
+  EXPECT_EQ(reparsed.reassignments.size(), 1u);
+  EXPECT_DOUBLE_EQ(reparsed.tenants[0].quota_rps, 900.0);
+  EXPECT_EQ(reparsed.reassignments[0].fleet, 1u);
+}
+
+TEST(AdmissionSpec, ParseRejectsMissingFields) {
+  EXPECT_THROW(parse_admission(parse_json("[]")), InvalidArgument);
+  EXPECT_THROW(parse_admission(parse_json("{}")), InvalidArgument);
+  EXPECT_THROW(parse_admission(parse_json(
+                   R"({"tenants": [{"id": "a", "quota_rps": 1}]})")),
+               InvalidArgument);
+  // quota_rps must be explicit, never defaulted.
+  EXPECT_THROW(
+      parse_admission(parse_json(
+          R"({"tenants": [{"id": "a"}],
+              "portals": [{"id": "p", "tenant": "a", "fleet": 0}]})")),
+      InvalidArgument);
+  // fleet indices must be non-negative integers.
+  EXPECT_THROW(
+      parse_admission(parse_json(
+          R"({"tenants": [{"id": "a", "quota_rps": 1}],
+              "portals": [{"id": "p", "tenant": "a", "fleet": 1.5}]})")),
+      InvalidArgument);
+}
+
+// The scenario loader surfaces the block with the same actionable
+// messages and cross-checks the portal count against the workload.
+TEST(AdmissionSpec, ScenarioLoaderWiresTheBlock) {
+  const char* text = R"({
+    "idcs": [
+      {"name": "A", "region": 0, "max_servers": 20000, "service_rate": 2.0}
+    ],
+    "prices": {"type": "trace", "hourly": [[40.0]]},
+    "workload": {"type": "constant", "rates": [1000, 2000]},
+    "duration_s": 120, "ts_s": 10,
+    "admission": {
+      "tenants": [{"id": "acme", "quota_rps": 5000, "burst_s": 10}],
+      "portals": [{"id": "p0", "tenant": "acme", "fleet": 0},
+                  {"id": "p1", "tenant": "acme", "fleet": 0}]
+    }
+  })";
+  const core::Scenario scenario = core::load_scenario(text);
+  ASSERT_TRUE(scenario.admission.enabled());
+  EXPECT_EQ(scenario.admission.portals.size(), 2u);
+
+  // One portal fewer than the workload → named mismatch.
+  const char* broken = R"({
+    "idcs": [
+      {"name": "A", "region": 0, "max_servers": 20000, "service_rate": 2.0}
+    ],
+    "prices": {"type": "trace", "hourly": [[40.0]]},
+    "workload": {"type": "constant", "rates": [1000, 2000]},
+    "duration_s": 120, "ts_s": 10,
+    "admission": {
+      "tenants": [{"id": "acme", "quota_rps": 5000, "burst_s": 10}],
+      "portals": [{"id": "p0", "tenant": "acme", "fleet": 0}]
+    }
+  })";
+  try {
+    core::load_scenario(broken);
+    FAIL() << "expected portal-count mismatch";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("admission block declares 1 portals"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace gridctl::admission

@@ -102,7 +102,7 @@ TEST(Checkpoint, JsonBytesArePinnedAcrossRoundTrips) {
   runtime.run();
 
   const JsonValue json = runtime.checkpoint().to_json();
-  EXPECT_EQ(json.at("schema").as_string(), "gridctl.runtime.checkpoint/2");
+  EXPECT_EQ(json.at("schema").as_string(), "gridctl.runtime.checkpoint/3");
   for (const char* key :
        {"schema", "progress", "held", "fleet", "queue_backlogs_req",
         "controller", "trace", "telemetry", "stats"}) {
