@@ -34,8 +34,11 @@ int main() {
   scenario.start_time_s = units::Seconds{0.0};
   scenario.duration_s = units::Seconds{24.0 * 3600.0};  // a full synthetic day
 
-  core::MpcPolicy control(core::CostController::Config{
-      scenario.idcs, scenario.num_portals(), {}, scenario.controller});
+  core::CostController::Config config;
+  config.idcs = scenario.idcs;
+  config.portals = scenario.num_portals();
+  config.params = scenario.controller;
+  core::MpcPolicy control(std::move(config));
   core::OptimalPolicy optimal(scenario.idcs, scenario.num_portals(),
                               scenario.controller.cost_basis);
   const auto controlled = core::run_simulation(scenario, control);

@@ -40,8 +40,11 @@ int main() {
         /*seed=*/11);
     scenario.controller.predict_workload = enabled;
     scenario.controller.ar_order = 3;
-    core::MpcPolicy control(core::CostController::Config{
-        scenario.idcs, scenario.num_portals(), {}, scenario.controller});
+    core::CostController::Config config;
+    config.idcs = scenario.idcs;
+    config.portals = scenario.num_portals();
+    config.params = scenario.controller;
+    core::MpcPolicy control(std::move(config));
     return core::run_simulation(scenario, control);
   };
   const auto with = run_with_prediction(true);

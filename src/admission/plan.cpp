@@ -227,9 +227,10 @@ std::uint64_t AdmissionPlan::tick_of(double time_s) const {
   return std::min<std::uint64_t>(tick, grid_.steps - 1);
 }
 
-std::size_t AdmissionPlan::fleet_of(std::size_t portal, double time_s) const {
+std::size_t AdmissionPlan::fleet_of(std::size_t portal,
+                                    units::Seconds time) const {
   require(portal < epochs_.size(), "AdmissionPlan::fleet_of: portal index");
-  const std::uint64_t tick = tick_of(time_s);
+  const std::uint64_t tick = tick_of(time.value());
   const std::vector<Epoch>& epochs = epochs_[portal];
   std::size_t fleet = epochs.front().fleet;
   for (const Epoch& epoch : epochs) {
@@ -239,11 +240,12 @@ std::size_t AdmissionPlan::fleet_of(std::size_t portal, double time_s) const {
   return fleet;
 }
 
-double AdmissionPlan::admitted_rate(std::size_t portal, double time_s) const {
+double AdmissionPlan::admitted_rate(std::size_t portal,
+                                    units::Seconds time) const {
   require(portal < epochs_.size(), "AdmissionPlan::admitted_rate: portal index");
-  const std::uint64_t tick = tick_of(time_s);
-  return source_->rate(portal, time_s) * tenant_scale_[tenant_of_[portal]][tick] *
-         overload_scale_[tick];
+  const std::uint64_t tick = tick_of(time.value());
+  return source_->rate(portal, time.value()) *
+         tenant_scale_[tenant_of_[portal]][tick] * overload_scale_[tick];
 }
 
 const std::vector<std::size_t>& AdmissionPlan::fleet_portals(
@@ -310,8 +312,8 @@ RoutedWorkload::RoutedWorkload(std::shared_ptr<const AdmissionPlan> plan,
 double RoutedWorkload::rate(std::size_t portal, double time_s) const {
   require(portal < portals_->size(), "RoutedWorkload::rate: portal index");
   const std::size_t global = (*portals_)[portal];
-  if (plan_->fleet_of(global, time_s) != fleet_) return 0.0;
-  return plan_->admitted_rate(global, time_s);
+  if (plan_->fleet_of(global, units::Seconds{time_s}) != fleet_) return 0.0;
+  return plan_->admitted_rate(global, units::Seconds{time_s});
 }
 
 JsonValue RoutedWorkload::checkpoint_state(std::uint64_t next_step) const {
@@ -365,7 +367,7 @@ std::vector<check::Violation> verify_exactly_once(
       }
     }
     for (std::size_t p = 0; p < recorded.size(); ++p) {
-      const double expected = plan.admitted_rate(p, t_k);
+      const double expected = plan.admitted_rate(p, units::Seconds{t_k});
       if (recorded[p] == expected) continue;
       check::Violation violation;
       violation.kind = check::Invariant::kRouteExactlyOnce;

@@ -21,6 +21,7 @@
 
 #include "check/types.hpp"
 #include "util/json.hpp"
+#include "util/units.hpp"
 #include "workload/generators.hpp"
 
 namespace gridctl::admission {
@@ -84,14 +85,14 @@ class AdmissionPlan {
   std::size_t num_reassignments() const { return num_reassignments_; }
   const AdmissionGrid& grid() const { return grid_; }
 
-  // The fleet serving `portal` at `time_s` (piecewise-constant over
+  // The fleet serving `portal` at `time` (piecewise-constant over
   // half-open tick epochs — the exactly-once routing guarantee).
-  std::size_t fleet_of(std::size_t portal, double time_s) const;
+  std::size_t fleet_of(std::size_t portal, units::Seconds time) const;
 
-  // Post-quota, post-overload admitted rate of `portal` at `time_s`:
+  // Post-quota, post-overload admitted rate of `portal` at `time`:
   // source rate x tenant token-bucket scale x plane overload scale,
-  // evaluated on the tick containing `time_s`.
-  double admitted_rate(std::size_t portal, double time_s) const;
+  // evaluated on the tick containing `time`.
+  double admitted_rate(std::size_t portal, units::Seconds time) const;
 
   // Global portal indices ever routed to `fleet`, ascending — the
   // fleet's fixed local portal space (local index = position here).
@@ -121,7 +122,8 @@ class AdmissionPlan {
     std::size_t fleet = 0;
   };
 
-  std::uint64_t tick_of(double time_s) const;
+  // The raw-seconds -> tick conversion boundary.
+  std::uint64_t tick_of(double time_s) const;  // lint: raw-ok
 
   AdmissionGrid grid_;
   std::shared_ptr<const workload::WorkloadSource> source_;
@@ -148,7 +150,8 @@ class RoutedWorkload : public workload::WorkloadSource {
  public:
   RoutedWorkload(std::shared_ptr<const AdmissionPlan> plan, std::size_t fleet);
 
-  double rate(std::size_t portal, double time_s) const override;
+  // The WorkloadSource interface is a raw serialization-side boundary.
+  double rate(std::size_t portal, double time_s) const override;  // lint: raw-ok
   std::size_t num_portals() const override { return portals_->size(); }
 
   std::size_t fleet() const { return fleet_; }

@@ -13,7 +13,8 @@ namespace gridctl::controlplane {
 
 namespace {
 
-using clock_type = std::chrono::steady_clock;
+// Telemetry wall timing only; scheduling and results never read it.
+using clock_type = std::chrono::steady_clock;  // lint: nondet-ok
 
 double seconds_between(clock_type::time_point a, clock_type::time_point b) {
   return std::chrono::duration<double>(b - a).count();
@@ -189,7 +190,7 @@ void ControlPlane::install_admission(admission::AdmissionSpec spec) {
 
 bool ControlPlane::pop_local(std::size_t worker, std::size_t& index) {
   WorkerQueue& queue = *queues_[worker];
-  std::lock_guard<std::mutex> lock(queue.mutex);
+  util::MutexLock lock(queue.mutex);
   if (queue.fleets.empty()) return false;
   index = queue.fleets.front();
   queue.fleets.pop_front();
@@ -199,7 +200,7 @@ bool ControlPlane::pop_local(std::size_t worker, std::size_t& index) {
 bool ControlPlane::steal(std::size_t worker, std::size_t& index) {
   for (std::size_t step = 1; step < workers_; ++step) {
     WorkerQueue& victim = *queues_[(worker + step) % workers_];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    util::MutexLock lock(victim.mutex);
     if (victim.fleets.empty()) continue;
     index = victim.fleets.back();
     victim.fleets.pop_back();
@@ -211,7 +212,7 @@ bool ControlPlane::steal(std::size_t worker, std::size_t& index) {
 
 void ControlPlane::push_back(std::size_t worker, std::size_t index) {
   WorkerQueue& queue = *queues_[worker];
-  std::lock_guard<std::mutex> lock(queue.mutex);
+  util::MutexLock lock(queue.mutex);
   queue.fleets.push_back(index);
 }
 
@@ -226,25 +227,31 @@ bool ControlPlane::process(FleetState& fleet) {
                           : std::make_unique<runtime::FleetSession>(
                                 fleet.spec.scenario, fleet.spec.options);
     }
+    // This worker owns the fleet exclusively between deque operations
+    // (the deque mutex handoff is the fence), so it claims both
+    // session halves for the quantum.
+    runtime::FleetSession& session = *fleet.session;
+    util::RoleGuard stream(session.stream_role());
+    util::RoleGuard control(session.control_role());
     bool exhausted = false;
     for (std::size_t events = 0; events < options_.batch_events; ++events) {
-      if (fleet.session->done() ||
+      if (session.done() ||
           fleet.stop_requested.load(std::memory_order_relaxed)) {
         break;
       }
-      const auto event = fleet.session->poll();
+      const auto event = session.poll();
       if (!event) {
         exhausted = true;  // every stream drained (defensive; done()
         break;             // normally fires first)
       }
-      fleet.session->apply(*event);
+      session.apply(*event);
     }
     fleet.wall_s += seconds_between(begin, clock_type::now());
-    if (fleet.session->done() || exhausted ||
+    if (session.done() || exhausted ||
         fleet.stop_requested.load(std::memory_order_relaxed)) {
       const bool completed =
-          fleet.session->next_step() >= fleet.session->scenario().num_steps();
-      fleet.result.result = fleet.session->finish(completed, fleet.wall_s);
+          session.next_step() >= session.scenario().num_steps();
+      fleet.result.result = session.finish(completed, fleet.wall_s);
       fleet.result.ok = true;
       remaining_.fetch_sub(1, std::memory_order_acq_rel);
       return true;
@@ -349,6 +356,10 @@ runtime::RuntimeCheckpoint ControlPlane::checkpoint(
     if (fleet->spec.id != id) continue;
     require(fleet->session != nullptr,
             "ControlPlane::checkpoint: fleet '" + id + "' has no state");
+    // Post-run(): the pool has joined, so the caller is the only thread
+    // and may claim both session halves.
+    util::RoleGuard stream(fleet->session->stream_role());
+    util::RoleGuard control(fleet->session->control_role());
     return fleet->session->checkpoint();
   }
   throw InvalidArgument("ControlPlane::checkpoint: unknown fleet '" + id +

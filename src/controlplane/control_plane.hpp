@@ -44,7 +44,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,6 +53,7 @@
 #include "engine/sweep.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/fleet_session.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridctl::controlplane {
 
@@ -176,9 +176,18 @@ class ControlPlane {
   // back. Guarded by a per-deque mutex: the queues are touched once per
   // `batch_events` events, so contention is negligible and the lock
   // doubles as the memory fence that hands a session between workers.
+  //
+  // That handoff contract is annotated explicitly: the deque itself is
+  // GUARDED_BY the mutex, and the *session state* a popped index leads
+  // to is guarded by the session's own stream/control roles, which the
+  // worker claims (RoleGuard in process()) only between taking the
+  // index off a deque and requeueing it. The mutex release on push
+  // publishes the session's writes; the acquire on the next pop (by
+  // whichever worker) observes them — so no session member needs a
+  // lock of its own.
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::size_t> fleets;
+    util::Mutex mutex;
+    std::deque<std::size_t> fleets GRIDCTL_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t worker);

@@ -32,25 +32,25 @@ namespace gridctl::core {
 class CostController {
  public:
   struct Config {
-    std::vector<datacenter::IdcConfig> idcs;
+    std::vector<datacenter::IdcConfig> idcs{};
     std::size_t portals = 0;
-    std::vector<units::Watts> power_budgets_w;  // empty = unconstrained
-    ControllerParams params;
+    std::vector<units::Watts> power_budgets_w{};  // empty = unconstrained
+    ControllerParams params{};
     // Optional shared cache of condensed MPC factorizations (runtime
     // wiring, never serialized): controllers with the same plant shape,
     // weights and penalty parameters then share one factorization
     // instead of each paying the O((β2·N)³) configure cost.
-    std::shared_ptr<solvers::CondensedFactorCache> factor_cache;
+    std::shared_ptr<solvers::CondensedFactorCache> factor_cache{};
     // Demand-charge tariff (market/billing.hpp). With params.
     // demand_charge_aware the controller meters its own grid-power
     // predictions, carries the running billing-cycle peaks, and shadow-
     // prices power above them in the reference LP. Default (no peak
     // rates) disables the meter entirely.
-    market::DemandChargeConfig billing;
+    market::DemandChargeConfig billing{};
     // Time base for the billing clock and battery dispatch: the wall
     // time of step k is start_time_s + k·period_s (must match the
     // simulation/runtime that drives the controller).
-    units::Seconds start_time_s;
+    units::Seconds start_time_s{};
     units::Seconds period_s{10.0};
 
     void validate() const;

@@ -26,8 +26,10 @@ PolicyDecision OptimalPolicy::decide(const PolicyContext& context) {
   // them); budgets influence only the control method's references.
   const auto solution = control::solve_reference(problem);
   require(solution.feasible, "OptimalPolicy: demand exceeds fleet capacity");
-  return PolicyDecision{solution.allocation, solution.servers, std::nullopt,
-                        {}};
+  PolicyDecision result;
+  result.allocation = solution.allocation;
+  result.servers = solution.servers;
+  return result;
 }
 
 MpcPolicy::MpcPolicy(CostController::Config config)
@@ -74,11 +76,10 @@ PolicyDecision StaticProportionalPolicy::decide(const PolicyContext& context) {
   }
   control::SleepController sleep(idcs_);
   const std::vector<std::size_t> zeros(idcs_.size(), 0);
-  return PolicyDecision{
-      allocation,
-      sleep.step(units::raw_vector(allocation.idc_loads()), zeros),
-      std::nullopt,
-      {}};
+  PolicyDecision result;
+  result.servers = sleep.step(units::raw_vector(allocation.idc_loads()), zeros);
+  result.allocation = std::move(allocation);
+  return result;
 }
 
 }  // namespace gridctl::core

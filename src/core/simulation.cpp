@@ -176,7 +176,8 @@ SimulationSummary summarize_trace(const Scenario& scenario,
 SimulationResult run_simulation(const Scenario& scenario,
                                 AllocationPolicy& policy,
                                 const SimulationOptions& options) {
-  using clock = std::chrono::steady_clock;
+  // Telemetry step timing only; the trajectory never reads it.
+  using clock = std::chrono::steady_clock;  // lint: nondet-ok
   const auto seconds_between = [](clock::time_point a, clock::time_point b) {
     return std::chrono::duration<double>(b - a).count();
   };

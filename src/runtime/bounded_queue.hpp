@@ -7,14 +7,20 @@
 // items remain poppable, further pushes are rejected, and a pop on an
 // empty closed queue returns nullopt — the consumer's termination
 // signal.
+//
+// Locking contract (checked by Clang Thread Safety Analysis): every
+// member behind `mutex_` is GUARDED_BY it, and the condition waits
+// declare the mutex in their signature, so a new code path that
+// touches `items_` or `closed_` without the lock fails to compile on
+// the thread-safety CI leg.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/thread_annotations.hpp"
 
 namespace gridctl::runtime {
 
@@ -26,9 +32,8 @@ class BoundedQueue {
   // Blocks while the queue is full. Returns false when the queue was
   // closed (the item is dropped — the consumer is gone).
   bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return items_.size() < capacity_ || closed_; });
+    util::MutexLock lock(mutex_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.wait(mutex_);
     if (closed_) return false;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -37,8 +42,8 @@ class BoundedQueue {
 
   // Blocks until an item is available or the queue is closed and empty.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    util::MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) not_empty_.wait(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -47,25 +52,25 @@ class BoundedQueue {
   }
 
   void close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return items_.size();
   }
   std::size_t capacity() const { return capacity_; }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar not_empty_;
+  util::CondVar not_full_;
+  std::deque<T> items_ GRIDCTL_GUARDED_BY(mutex_);
+  bool closed_ GRIDCTL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gridctl::runtime

@@ -12,7 +12,8 @@ namespace gridctl::runtime {
 
 namespace {
 
-using clock_type = std::chrono::steady_clock;
+// Telemetry wall timing only; control decisions never read it.
+using clock_type = std::chrono::steady_clock;  // lint: nondet-ok
 
 double seconds_between(clock_type::time_point a, clock_type::time_point b) {
   return std::chrono::duration<double>(b - a).count();
@@ -38,18 +39,26 @@ RuntimeResult ControlRuntime::run() {
 
   const std::uint64_t steps = session_.scenario().num_steps();
   const std::uint64_t stop_at = session_.stop_step();
-  if (session_.next_step() >= stop_at) {
-    return session_.finish(session_.next_step() >= steps,
-                           seconds_between(run_begin, clock_type::now()));
+  {
+    // Single-threaded preamble: this thread briefly owns the whole
+    // session (the pump does not exist yet).
+    util::RoleGuard stream(session_.stream_role());
+    util::RoleGuard control(session_.control_role());
+    if (session_.next_step() >= stop_at) {
+      return session_.finish(session_.next_step() >= steps,
+                             seconds_between(run_begin, clock_type::now()));
+    }
+    clock_.start(session_.resume_event_time_s());
   }
-
-  clock_.start(session_.resume_event_time_s());
 
   BoundedQueue<Event> queue(session_.options().queue_capacity);
 
   // Pump: poll the session's merged event stream, pacing each event's
   // arrival against the clock before handing it to the control thread.
+  // The pump thread owns the stream half for its whole lifetime;
+  // thread creation/join provides the memory fence the role annotates.
   std::thread pump([this, &queue] {
+    util::RoleGuard stream(session_.stream_role());
     while (auto event = session_.poll()) {
       clock_.wait_until(event->tick.arrival_s);
       if (!queue.push(std::move(*event))) break;  // consumer closed
@@ -59,20 +68,26 @@ RuntimeResult ControlRuntime::run() {
 
   bool completed = false;
   std::exception_ptr error;
-  try {
-    while (auto event = queue.pop()) {
-      session_.record_queue_depth(queue.size() + 1);
-      session_.apply(*event);
-      if (session_.next_step() >= stop_at || stop_requested_.load()) break;
+  {
+    // The calling thread owns the control half while the pump runs.
+    util::RoleGuard control(session_.control_role());
+    try {
+      while (auto event = queue.pop()) {
+        session_.record_queue_depth(queue.size() + 1);
+        session_.apply(*event);
+        if (session_.next_step() >= stop_at || stop_requested_.load()) break;
+      }
+      completed = session_.next_step() >= steps;
+    } catch (...) {
+      error = std::current_exception();
     }
-    completed = session_.next_step() >= steps;
-  } catch (...) {
-    error = std::current_exception();
   }
   queue.close();
   pump.join();
   if (error) std::rethrow_exception(error);
 
+  // Post-join: sole owner again.
+  util::RoleGuard control(session_.control_role());
   return session_.finish(completed,
                          seconds_between(run_begin, clock_type::now()));
 }

@@ -57,8 +57,13 @@ class ControlRuntime {
   void request_stop() { stop_requested_.store(true); }
 
   // Full resume state after the last executed step. Valid after run()
-  // returns (and between construction and run()).
-  RuntimeCheckpoint checkpoint() const { return session_.checkpoint(); }
+  // returns (and between construction and run()) — at those points the
+  // caller is the session's only thread, so it may claim both halves.
+  RuntimeCheckpoint checkpoint() const {
+    util::RoleGuard stream(session_.stream_role());
+    util::RoleGuard control(session_.control_role());
+    return session_.checkpoint();
+  }
 
   const core::Scenario& scenario() const { return session_.scenario(); }
 

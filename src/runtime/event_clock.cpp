@@ -1,3 +1,4 @@
+// lint: nondet-ok-file — the wall-clock boundary (see event_clock.hpp).
 #include "runtime/event_clock.hpp"
 
 #include <limits>

@@ -9,6 +9,9 @@
 // different accelerations produce identical results — only their wall
 // clocks differ. Lag (how far behind the pacing schedule a consumer is)
 // is the runtime's deadline signal.
+//
+// lint: nondet-ok-file — this file IS the wall-clock boundary; every
+// steady_clock read in the runtime funnels through it.
 #pragma once
 
 #include <chrono>

@@ -13,7 +13,9 @@ namespace gridctl::runtime {
 
 namespace {
 
-using clock_type = std::chrono::steady_clock;
+// Telemetry step timing only (histograms, warm-start accounting);
+// control decisions never read it.
+using clock_type = std::chrono::steady_clock;  // lint: nondet-ok
 
 double seconds_between(clock_type::time_point a, clock_type::time_point b) {
   return std::chrono::duration<double>(b - a).count();

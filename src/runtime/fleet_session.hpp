@@ -26,6 +26,17 @@
 // however a session is scheduled, its trajectory is bit-identical to a
 // solo free-running ControlRuntime over the same scenario and options.
 //
+// The split is a compile-checked contract: two util::ThreadRole
+// capabilities (stream_role / control_role) partition the session's
+// members, `poll()` requires the stream role and `apply()` the control
+// role, and a driver declares which thread owns which half with a
+// scoped util::RoleGuard. Under Clang's Thread Safety Analysis a new
+// code path that reaches across the split — say, apply() touching the
+// tick streams — fails to compile. The roles carry no runtime state;
+// the memory ordering that makes the handoff real comes from the
+// driver (thread creation/join in ControlRuntime, the worker deques'
+// mutex handoff in ControlPlane).
+//
 // Checkpoint/restore: `checkpoint()` captures the full state after the
 // last applied step; a session constructed from a checkpoint resumes
 // bit-identically (see tests/runtime and tests/controlplane).
@@ -48,6 +59,7 @@
 #include "runtime/feed.hpp"
 #include "runtime/stats.hpp"
 #include "solvers/qp_condensed.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridctl::runtime {
 
@@ -143,79 +155,115 @@ class FleetSession {
   FleetSession(const FleetSession&) = delete;
   FleetSession& operator=(const FleetSession&) = delete;
 
+  // The two ownership tokens a driver acquires (via util::RoleGuard)
+  // to declare which thread runs which half. The getters are annotated
+  // so guards built from them are understood to hold the member roles.
+  const util::ThreadRole& stream_role() const
+      GRIDCTL_RETURN_CAPABILITY(stream_role_) {
+    return stream_role_;
+  }
+  const util::ThreadRole& control_role() const
+      GRIDCTL_RETURN_CAPABILITY(control_role_) {
+    return control_role_;
+  }
+
   // --- stream half (safe to call concurrently with `apply`) ---
 
   // Next merged event in arrival order, or nullopt when every stream is
   // exhausted. Consumes the underlying tick.
-  std::optional<Event> poll();
+  std::optional<Event> poll() GRIDCTL_REQUIRES(stream_role_);
 
   // --- control half ---
 
   // Apply one polled event in order: feed ticks refresh held values,
   // timer ticks execute one control period.
-  void apply(const Event& event);
+  void apply(const Event& event) GRIDCTL_REQUIRES(control_role_);
 
   // Event-queue high-water mark bookkeeping for queued drivers.
-  void record_queue_depth(std::size_t depth);
+  void record_queue_depth(std::size_t depth) GRIDCTL_REQUIRES(control_role_);
 
   // Next control step to execute (absolute step index).
-  std::uint64_t next_step() const { return next_step_; }
+  std::uint64_t next_step() const GRIDCTL_REQUIRES(control_role_) {
+    return next_step_;
+  }
   // First step index this run must NOT execute: stop_after_step when
   // set, else the end of the scenario window.
   std::uint64_t stop_step() const;
   // True once the session reached stop_step() (resumable) or the window
   // end (complete).
-  bool done() const { return next_step_ >= stop_step(); }
+  bool done() const GRIDCTL_REQUIRES(control_role_) {
+    return next_step_ >= stop_step();
+  }
   // Event time of the next step boundary — the pacing clock's origin
   // when a driver starts (or resumes) this session.
-  double resume_event_time_s() const;
+  double resume_event_time_s() const GRIDCTL_REQUIRES(control_role_);
 
   // Package the run result. `wall_s` is the driver's measured wall time
   // for this drive (added to telemetry.total_s).
-  RuntimeResult finish(bool completed, double wall_s);
+  RuntimeResult finish(bool completed, double wall_s)
+      GRIDCTL_REQUIRES(control_role_);
 
-  // Full resume state after the last applied step. Call only while no
-  // other thread is polling or applying.
-  RuntimeCheckpoint checkpoint() const;
+  // Full resume state after the last applied step. Requires *both*
+  // roles: nothing may be polling or applying while the snapshot is
+  // taken.
+  RuntimeCheckpoint checkpoint() const
+      GRIDCTL_REQUIRES(stream_role_, control_role_);
 
   const core::Scenario& scenario() const { return scenario_; }
   const RuntimeOptions& options() const { return options_; }
 
  private:
-  void init_common();
-  void restore_from(const RuntimeCheckpoint& checkpoint);
-  void warm_start();
-  void execute_step(std::uint64_t step);
+  // Construction-time helpers; the constructors (single-threaded by
+  // definition) own both halves.
+  void init_common() GRIDCTL_REQUIRES(stream_role_, control_role_);
+  void restore_from(const RuntimeCheckpoint& checkpoint)
+      GRIDCTL_REQUIRES(stream_role_, control_role_);
+  void warm_start() GRIDCTL_REQUIRES(stream_role_, control_role_);
+  void execute_step(std::uint64_t step) GRIDCTL_REQUIRES(control_role_);
   double lag_s(double event_time_s) const;
 
+  // Immutable after construction; readable from either half.
   core::Scenario scenario_;
   RuntimeOptions options_;
   const EventClock* clock_;  // pacing observer; may be null (free run)
 
-  std::unique_ptr<core::CostController> controller_;
-  datacenter::Fleet fleet_;
-  std::vector<datacenter::FluidQueue> queues_;
+  mutable util::ThreadRole stream_role_;
+  mutable util::ThreadRole control_role_;
+
+  // Control-half plant and controller state.
+  std::unique_ptr<core::CostController> controller_
+      GRIDCTL_GUARDED_BY(control_role_);
+  datacenter::Fleet fleet_ GRIDCTL_GUARDED_BY(control_role_);
+  std::vector<datacenter::FluidQueue> queues_ GRIDCTL_GUARDED_BY(control_role_);
+  // The feed objects straddle the split internally: their TickStream
+  // cursors belong to the stream half (poll() consumes them), their
+  // consume-time `values()` resolution to the control half. The
+  // pointers themselves are set once in the constructor and never
+  // reseated, so they stay unguarded.
   std::unique_ptr<PriceFeed> price_feed_;
   std::unique_ptr<WorkloadFeed> workload_feed_;
-  TickStream timer_;
+  // Stream-half state: the control-period timer poll() merges with the
+  // feed streams.
+  TickStream timer_ GRIDCTL_GUARDED_BY(stream_role_);
 
   // Control-half state.
-  std::vector<double> held_prices_;
-  double held_price_time_s_ = 0.0;
-  std::vector<double> held_demands_;
-  double held_demand_time_s_ = 0.0;
-  std::vector<double> last_power_;
-  std::uint64_t next_step_ = 0;
-  std::uint64_t price_ticks_consumed_ = 0;
-  std::uint64_t workload_ticks_consumed_ = 0;
-  bool degrade_pending_ = false;
+  std::vector<double> held_prices_ GRIDCTL_GUARDED_BY(control_role_);
+  double held_price_time_s_ GRIDCTL_GUARDED_BY(control_role_) = 0.0;
+  std::vector<double> held_demands_ GRIDCTL_GUARDED_BY(control_role_);
+  double held_demand_time_s_ GRIDCTL_GUARDED_BY(control_role_) = 0.0;
+  std::vector<double> last_power_ GRIDCTL_GUARDED_BY(control_role_);
+  std::uint64_t next_step_ GRIDCTL_GUARDED_BY(control_role_) = 0;
+  std::uint64_t price_ticks_consumed_ GRIDCTL_GUARDED_BY(control_role_) = 0;
+  std::uint64_t workload_ticks_consumed_ GRIDCTL_GUARDED_BY(control_role_) = 0;
+  bool degrade_pending_ GRIDCTL_GUARDED_BY(control_role_) = false;
   // Some IDC has storage: the trace carries grid/SoC columns and the
-  // price feed sees the metered (post-battery) power.
+  // price feed sees the metered (post-battery) power. Written only
+  // during construction.
   bool any_battery_ = false;
 
-  core::SimulationTrace trace_;
-  engine::RunTelemetry telemetry_;
-  RuntimeStats stats_;
+  core::SimulationTrace trace_ GRIDCTL_GUARDED_BY(control_role_);
+  engine::RunTelemetry telemetry_ GRIDCTL_GUARDED_BY(control_role_);
+  RuntimeStats stats_ GRIDCTL_GUARDED_BY(control_role_);
 };
 
 }  // namespace gridctl::runtime

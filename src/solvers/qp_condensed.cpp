@@ -142,10 +142,9 @@ std::shared_ptr<const CondensedFactors> build_factors(
 
 }  // namespace
 
-std::shared_ptr<const CondensedFactors> CondensedFactorCache::get(
+const CondensedFactorCache::Entry* CondensedFactorCache::find_locked(
     const TransportQpShape& shape, const TransportQpCost& cost,
-    const AdmmOptions& options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+    const AdmmOptions& options) const {
   for (const Entry& entry : entries_) {
     // cost.y0 is deliberately absent from the key: the output offset
     // never enters the factorization, so fleets differing only in y0
@@ -159,9 +158,19 @@ std::shared_ptr<const CondensedFactors> CondensedFactorCache::get(
         entry.rho_eq_scale == options.rho_eq_scale &&
         entry.sigma == options.sigma && entry.cost.r == cost.r &&
         entry.cost.q == cost.q && entry.cost.slope == cost.slope) {
-      ++hits_;
-      return entry.factors;
+      return &entry;
     }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const CondensedFactors> CondensedFactorCache::get(
+    const TransportQpShape& shape, const TransportQpCost& cost,
+    const AdmmOptions& options) {
+  util::MutexLock lock(mutex_);
+  if (const Entry* entry = find_locked(shape, cost, options)) {
+    ++hits_;
+    return entry->factors;
   }
   ++misses_;
   const double rho_in = options.rho;
@@ -176,12 +185,12 @@ std::shared_ptr<const CondensedFactors> CondensedFactorCache::get(
 }
 
 std::uint64_t CondensedFactorCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t CondensedFactorCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return misses_;
 }
 

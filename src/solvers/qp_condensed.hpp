@@ -42,12 +42,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 #include "solvers/qp.hpp"
 #include "solvers/qp_admm.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gridctl::solvers {
 
@@ -119,10 +119,18 @@ class CondensedFactorCache {
     std::shared_ptr<const CondensedFactors> factors;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  // Linear key match over the cached entries; null when absent. Callers
+  // hold mutex_ (get() takes it once and keeps it across the miss
+  // compute — see the class comment for why misses stay under the lock).
+  const Entry* find_locked(const TransportQpShape& shape,
+                           const TransportQpCost& cost,
+                           const AdmmOptions& options) const
+      GRIDCTL_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  std::vector<Entry> entries_ GRIDCTL_GUARDED_BY(mutex_);
+  std::uint64_t hits_ GRIDCTL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ GRIDCTL_GUARDED_BY(mutex_) = 0;
 };
 
 struct CondensedQpResult {

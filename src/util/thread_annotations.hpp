@@ -1,0 +1,179 @@
+// Compile-time concurrency contract: portable Clang Thread Safety
+// Analysis annotations plus the annotated synchronization vocabulary
+// the concurrent layers (runtime, controlplane, solvers) are written
+// in.
+//
+// Under Clang, `-Wthread-safety` turns the GRIDCTL_* macros into the
+// capability attributes the analysis checks: every read of a
+// `GRIDCTL_GUARDED_BY(mu)` member without `mu` held, and every call to
+// a `GRIDCTL_REQUIRES(mu)` function without it, is a compile error
+// (the build promotes the thread-safety group with -Werror). On every
+// other compiler the macros expand to nothing and the wrappers below
+// are zero-overhead aliases for the std primitives, so GCC builds are
+// unchanged.
+//
+// Two kinds of capability are used in this tree:
+//
+//  * Real locks — `Mutex` (an annotated std::mutex) with the scoped
+//    `MutexLock` holder and a `CondVar` whose wait() declares the
+//    caller must hold the mutex. Used by BoundedQueue, the control
+//    plane's worker deques and the condensed factor cache.
+//
+//  * Roles — `ThreadRole` is a zero-size capability with no runtime
+//    state: acquire()/release() are no-ops that exist purely for the
+//    analysis. A role models *exclusive ownership by one thread at a
+//    time* where the actual exclusion is provided elsewhere (thread
+//    creation/join, or a scheduler's mutex-guarded work-queue
+//    handoff). FleetSession uses two roles to make its documented
+//    stream-half/control-half split compile-checked: poll() requires
+//    the stream role, apply() the control role, and a driver declares
+//    which thread holds which half with a scoped `RoleGuard`.
+//
+// Conventions (see docs/ARCHITECTURE.md "Concurrency contract"):
+//  * every member touched by more than one thread is GUARDED_BY a
+//    capability, or is a std::atomic;
+//  * a private helper that assumes the lock is held is named
+//    `*_locked` and annotated GRIDCTL_REQUIRES(mutex_) — public
+//    methods take the lock, `_locked` helpers never do;
+//  * GRIDCTL_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry
+//    a comment explaining why the analysis cannot see the exclusion.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define GRIDCTL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GRIDCTL_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+// A type that acts as a capability (lock/role). The string names the
+// capability kind in diagnostics ("mutex", "role").
+#define GRIDCTL_CAPABILITY(x) GRIDCTL_THREAD_ANNOTATION(capability(x))
+// RAII type that acquires a capability in its constructor and releases
+// it in its destructor.
+#define GRIDCTL_SCOPED_CAPABILITY GRIDCTL_THREAD_ANNOTATION(scoped_lockable)
+// Data member readable/writable only while holding the capability.
+#define GRIDCTL_GUARDED_BY(x) GRIDCTL_THREAD_ANNOTATION(guarded_by(x))
+// Pointer member whose *pointee* is protected by the capability.
+#define GRIDCTL_PT_GUARDED_BY(x) GRIDCTL_THREAD_ANNOTATION(pt_guarded_by(x))
+// Function precondition: the caller holds the capability (and keeps
+// holding it — the function neither acquires nor releases).
+#define GRIDCTL_REQUIRES(...) \
+  GRIDCTL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// Function acquires / releases the capability (no argument = `this`).
+#define GRIDCTL_ACQUIRE(...) \
+  GRIDCTL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GRIDCTL_RELEASE(...) \
+  GRIDCTL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// Function acquires the capability only when returning `value`.
+#define GRIDCTL_TRY_ACQUIRE(value) \
+  GRIDCTL_THREAD_ANNOTATION(try_acquire_capability(value))
+// Function must be called *without* the capability held (deadlock
+// guard for non-reentrant locks).
+#define GRIDCTL_EXCLUDES(...) \
+  GRIDCTL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Getter returns a reference to the named capability, so guards built
+// from the getter are understood to hold the member itself.
+#define GRIDCTL_RETURN_CAPABILITY(x) GRIDCTL_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch: skip analysis of one function. Always comment why.
+#define GRIDCTL_NO_THREAD_SAFETY_ANALYSIS \
+  GRIDCTL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gridctl::util {
+
+class CondVar;
+
+// std::mutex with the capability attribute the analysis needs (the
+// standard library's own mutex carries no annotations). Same size,
+// same semantics; lock()/unlock() satisfy BasicLockable.
+class GRIDCTL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GRIDCTL_ACQUIRE() { mutex_.lock(); }
+  void unlock() GRIDCTL_RELEASE() { mutex_.unlock(); }
+  bool try_lock() GRIDCTL_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() adopts the native handle
+  std::mutex mutex_;
+};
+
+// Scoped holder (std::lock_guard shape) the analysis understands.
+class GRIDCTL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GRIDCTL_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() GRIDCTL_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+// Condition variable over util::Mutex. wait() declares the locking
+// protocol in its signature: the caller holds the mutex, the wait
+// releases and reacquires it internally (via std::condition_variable
+// on the adopted native handle — no extra state, no perf change
+// versus std::unique_lock), and the caller still holds it on return.
+// As always with condition variables, re-check the predicate in a
+// while loop around wait().
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) GRIDCTL_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// Zero-size ownership token (see the header comment). The actual
+// mutual exclusion and memory ordering come from whatever hands the
+// owning object between threads — thread creation/join, or a
+// mutex-guarded queue handoff; the role only makes the ownership
+// discipline visible to the analysis.
+class GRIDCTL_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void acquire() const GRIDCTL_ACQUIRE() {}
+  void release() const GRIDCTL_RELEASE() {}
+};
+
+// Scoped role holder: declares "this thread owns `role` for this
+// scope". Compiles to nothing.
+class GRIDCTL_SCOPED_CAPABILITY RoleGuard {
+ public:
+  explicit RoleGuard(const ThreadRole& role) GRIDCTL_ACQUIRE(role)
+      : role_(role) {
+    role_.acquire();
+  }
+  ~RoleGuard() GRIDCTL_RELEASE() { role_.release(); }
+
+  RoleGuard(const RoleGuard&) = delete;
+  RoleGuard& operator=(const RoleGuard&) = delete;
+
+ private:
+  const ThreadRole& role_;
+};
+
+}  // namespace gridctl::util

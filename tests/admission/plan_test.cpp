@@ -48,13 +48,13 @@ TEST(AdmissionPlan, RoutingFollowsEpochBoundaries) {
   EXPECT_EQ(plan.fleet_portals(1), (std::vector<std::size_t>{1, 2, 3}));
   // The handoff lands on the tick boundary: fleet 0 owns p2 for ticks
   // 0..2 (t < 30), fleet 1 from tick 3 on.
-  EXPECT_EQ(plan.fleet_of(2, 0.0), 0u);
-  EXPECT_EQ(plan.fleet_of(2, 29.999), 0u);
-  EXPECT_EQ(plan.fleet_of(2, 30.0), 1u);
-  EXPECT_EQ(plan.fleet_of(2, 59.0), 1u);
+  EXPECT_EQ(plan.fleet_of(2, units::Seconds{0.0}), 0u);
+  EXPECT_EQ(plan.fleet_of(2, units::Seconds{29.999}), 0u);
+  EXPECT_EQ(plan.fleet_of(2, units::Seconds{30.0}), 1u);
+  EXPECT_EQ(plan.fleet_of(2, units::Seconds{59.0}), 1u);
   // Un-moved portals keep their initial fleet.
-  EXPECT_EQ(plan.fleet_of(0, 45.0), 0u);
-  EXPECT_EQ(plan.fleet_of(3, 0.0), 1u);
+  EXPECT_EQ(plan.fleet_of(0, units::Seconds{45.0}), 0u);
+  EXPECT_EQ(plan.fleet_of(3, units::Seconds{0.0}), 1u);
 }
 
 TEST(AdmissionPlan, ReassignmentBeyondWindowIsDropped) {
@@ -63,7 +63,7 @@ TEST(AdmissionPlan, ReassignmentBeyondWindowIsDropped) {
   const AdmissionPlan plan(spec, constant_source({100, 200, 300, 400}),
                            grid(10.0, 6), {1e6, 1e6});
   EXPECT_EQ(plan.fleet_portals(0), (std::vector<std::size_t>{0, 2}));
-  EXPECT_EQ(plan.fleet_of(0, 59.0), 0u);
+  EXPECT_EQ(plan.fleet_of(0, units::Seconds{59.0}), 0u);
 }
 
 TEST(AdmissionPlan, FleetWithNoPortalsThrows) {
@@ -95,7 +95,7 @@ TEST(AdmissionPlan, TokenBucketClipsSustainedRateToQuota) {
   // Offered 100 req/s against a 30 req/s quota: every tick admits
   // exactly the refill (300 req per 10 s tick) → 30 req/s admitted.
   for (std::uint64_t k = 0; k < 4; ++k) {
-    EXPECT_DOUBLE_EQ(plan.admitted_rate(0, 10.0 * static_cast<double>(k)),
+    EXPECT_DOUBLE_EQ(plan.admitted_rate(0, units::Seconds{10.0 * static_cast<double>(k)}),
                      30.0);
     EXPECT_EQ(plan.tier_at_tick(k), Tier::kQuotaLimited);
   }
@@ -119,9 +119,9 @@ TEST(AdmissionPlan, BurstHeadroomAdmitsOneTransient) {
   // Tick 0: tokens = min(cap 900, 600 + 300) = 900 → admits 900 of the
   // 1000 offered (90 req/s). Thereafter the bucket is drained and only
   // the refill remains.
-  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, 0.0), 90.0);
-  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, 10.0), 30.0);
-  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, 20.0), 30.0);
+  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, units::Seconds{0.0}), 90.0);
+  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, units::Seconds{10.0}), 30.0);
+  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, units::Seconds{20.0}), 30.0);
 }
 
 TEST(AdmissionPlan, OverloadScaleCapsAggregateAtCapacity) {
@@ -132,8 +132,8 @@ TEST(AdmissionPlan, OverloadScaleCapsAggregateAtCapacity) {
   const AdmissionPlan plan(spec, constant_source({600.0, 400.0}),
                            grid(10.0, 2), {250.0, 150.0});
 
-  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, 0.0), 600.0 * 0.4);
-  EXPECT_DOUBLE_EQ(plan.admitted_rate(1, 0.0), 400.0 * 0.4);
+  EXPECT_DOUBLE_EQ(plan.admitted_rate(0, units::Seconds{0.0}), 600.0 * 0.4);
+  EXPECT_DOUBLE_EQ(plan.admitted_rate(1, units::Seconds{0.0}), 400.0 * 0.4);
   EXPECT_EQ(plan.tier_at_tick(0), Tier::kOverloaded);
   EXPECT_DOUBLE_EQ(plan.accounting().shed_fraction(), 0.6);
   EXPECT_EQ(plan.accounting().overloaded_ticks, 2u);

@@ -156,8 +156,8 @@ TEST(PlaneAdmission, MidRunReassignmentConservesDemand) {
   // The moved portal really changed hands: fleet 1's view of p0 is zero
   // before the boundary and carries the demand after it.
   const auto& plan = *report.admission;
-  EXPECT_EQ(plan.fleet_of(0, handoff - 1.0), 0u);
-  EXPECT_EQ(plan.fleet_of(0, handoff), 1u);
+  EXPECT_EQ(plan.fleet_of(0, units::Seconds{handoff - 1.0}), 0u);
+  EXPECT_EQ(plan.fleet_of(0, units::Seconds{handoff}), 1u);
 }
 
 // Overload: tenants quota'd below their offered rate shed a non-zero,

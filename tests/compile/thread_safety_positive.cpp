@@ -1,0 +1,73 @@
+// Positive control for the thread-safety compile-failure suite: code
+// that honors every annotated contract must compile warning-free under
+// Clang's -Wthread-safety (and, trivially, under any compiler where the
+// GRIDCTL_* macros expand to nothing). If this file stops compiling,
+// the WILL_FAIL results of the ts_*_fails.cpp snippets are meaningless.
+#include "runtime/bounded_queue.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace gridctl {
+
+// Instantiate the full queue so every member function body is analyzed,
+// not just the ones a caller happens to touch.
+template class runtime::BoundedQueue<int>;
+
+class Account {
+ public:
+  void deposit(double amount) {
+    util::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  double balance() const {
+    util::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+  void deposit_twice(double amount) {
+    mutex_.lock();
+    add_locked(amount);
+    add_locked(amount);
+    mutex_.unlock();
+  }
+
+  void wait_for_funds() {
+    util::MutexLock lock(mutex_);
+    while (balance_ <= 0.0) changed_.wait(mutex_);
+  }
+
+ private:
+  void add_locked(double amount) GRIDCTL_REQUIRES(mutex_) {
+    balance_ += amount;
+    changed_.notify_all();
+  }
+
+  mutable util::Mutex mutex_;
+  util::CondVar changed_;
+  double balance_ GRIDCTL_GUARDED_BY(mutex_) = 0.0;
+};
+
+class Session {
+ public:
+  const util::ThreadRole& role() const GRIDCTL_RETURN_CAPABILITY(role_) {
+    return role_;
+  }
+  void step() GRIDCTL_REQUIRES(role_) { ++steps_; }
+
+ private:
+  mutable util::ThreadRole role_;
+  int steps_ GRIDCTL_GUARDED_BY(role_) = 0;
+};
+
+void drive(Account& account, Session& session) {
+  account.deposit(1.0);
+  account.deposit_twice(2.0);
+  account.wait_for_funds();
+  (void)account.balance();
+  util::RoleGuard guard(session.role());
+  session.step();
+}
+
+}  // namespace gridctl
+
+int main() { return 0; }

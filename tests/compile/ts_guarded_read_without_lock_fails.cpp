@@ -1,0 +1,27 @@
+// Must be REJECTED by Clang's -Werror=thread-safety: reads and writes a
+// GUARDED_BY member without holding its mutex. The snippet is valid
+// C++ (it compiles under a compiler without the analysis — verified by
+// the portable positive control), so a rejection here is the thread
+// safety analysis firing, not environment breakage.
+#include "util/thread_annotations.hpp"
+
+namespace gridctl {
+
+class Account {
+ public:
+  void unguarded_deposit(double amount) {
+    balance_ += amount;  // error: requires holding mutex_
+  }
+
+ private:
+  util::Mutex mutex_;
+  double balance_ GRIDCTL_GUARDED_BY(mutex_) = 0.0;
+};
+
+}  // namespace gridctl
+
+int main() {
+  gridctl::Account account;
+  account.unguarded_deposit(1.0);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Must be REJECTED by Clang's -Werror=thread-safety: calls a
+// REQUIRES(capability) function without holding the capability — both
+// the mutex flavor (a _locked helper called lock-free) and the
+// thread-role flavor (a role-owned session method called without a
+// RoleGuard). Valid C++ otherwise; see ts_guarded_read_* for why that
+// matters.
+#include "util/thread_annotations.hpp"
+
+namespace gridctl {
+
+class Counter {
+ public:
+  void bump() {
+    bump_locked();  // error: requires holding mutex_
+  }
+
+ private:
+  void bump_locked() GRIDCTL_REQUIRES(mutex_) { ++count_; }
+
+  util::Mutex mutex_;
+  int count_ GRIDCTL_GUARDED_BY(mutex_) = 0;
+};
+
+class Session {
+ public:
+  void step() GRIDCTL_REQUIRES(role_) { ++steps_; }
+
+ private:
+  util::ThreadRole role_;
+  int steps_ GRIDCTL_GUARDED_BY(role_) = 0;
+};
+
+void drive(Counter& counter, Session& session) {
+  counter.bump();
+  session.step();  // error: requires holding session.role_
+}
+
+}  // namespace gridctl
+
+int main() { return 0; }

@@ -1,0 +1,310 @@
+#!/usr/bin/env python3
+"""Determinism lint for the control and reporting paths.
+
+The repo's core guarantee is bit-identical trajectories: batch loop,
+streaming runtime at any acceleration, and the multi-fleet plane at any
+worker count all reproduce each other exactly (ROADMAP.md, the
+equivalence tests). Three things quietly break that guarantee, and all
+three look innocent in review:
+
+  * wall-clock reads feeding a decision or a serialized report
+    (std::chrono::steady_clock and friends);
+  * iterating an unordered container into output (element order is
+    hash-seed and libstdc++-version dependent);
+  * RNG that is not the repo's explicitly-seeded gridctl::Rng
+    (std::random_device, std::rand, a default-constructed std engine).
+
+This lint walks src/ and flags all three. Legitimate uses are
+annotated at the site, so the exceptions are enumerable:
+
+  * a `lint: nondet-ok` comment on the offending line — the documented
+    telemetry-only wall-timing aliases (`using clock_type = ...`), which
+    concentrate every clock read in a file onto one annotated line;
+  * a `lint: nondet-ok-file` comment anywhere in the file — reserved
+    for the one file that IS the wall-clock boundary
+    (runtime/event_clock.*, which paces but never decides).
+
+Membership-only unordered containers (no iteration) are fine and not
+flagged: the lint flags range-for over a name declared unordered in the
+same file, plus `.begin()` on such a name, not the declaration itself.
+
+`--self-test` runs the rules over synthetic sources and verifies each
+rule fires and each suppression holds (wired as a ctest, label `lint`).
+
+Exit status 0 when clean, 1 with a findings listing otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SCAN_LAYERS = ["src"]
+SUFFIXES = (".hpp", ".cpp")
+
+WALL_CLOCK = re.compile(
+    r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
+    r"|\b(?:gettimeofday|clock_gettime)\s*\("
+    r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+)
+RAW_RNG = re.compile(
+    r"std::random_device"
+    r"|std::rand\b"
+    r"|\bsrand\s*\("
+    r"|std::(?:mt19937(?:_64)?|default_random_engine|minstd_rand0?)"
+    r"\s+[a-zA-Z_]\w*\s*[;,)]"
+)
+# `std::unordered_map<K, V> name` — the name is the first identifier
+# after the template argument list closes (tracked by bracket depth).
+UNORDERED_DECL = re.compile(r"std::unordered_(?:multi)?(?:map|set)\s*<")
+IDENT = re.compile(r"[a-zA-Z_]\w*")
+
+
+def strip_comments(lines):
+    """Per-line comment stripping with block-comment state. String
+    literals in this codebase never contain `//` or `/*`, so a
+    token-level pass is not needed."""
+    stripped, in_block = [], False
+    for line in lines:
+        out, i = [], 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            elif line.startswith("//", i):
+                break
+            elif line.startswith("/*", i):
+                in_block = True
+                i += 2
+            else:
+                out.append(line[i])
+                i += 1
+        stripped.append("".join(out))
+    return stripped
+
+
+def unordered_names(code_lines):
+    """Identifiers declared with an unordered container type anywhere in
+    the file (members, locals, aliases via `using x = std::unordered_...`)."""
+    names = set()
+    text = "\n".join(code_lines)
+    for match in UNORDERED_DECL.finditer(text):
+        # `using name = std::unordered_...` declares the alias *before*
+        # the type; range-for over a value of alias type is caught when
+        # the aliased variable is declared with the alias name below.
+        prefix = text[: match.start()].rstrip()
+        if prefix.endswith("="):
+            head = prefix[:-1].rstrip()
+            ident = IDENT.findall(head[-64:])
+            if ident and (len(head) < 6 or "using" in head[-64:]):
+                names.add(ident[-1])
+            continue
+        # Walk past the template argument list, then read the name.
+        depth, i = 0, match.end() - 1
+        while i < len(text):
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        ident = IDENT.match(text, len(text) - len(text[i + 1 :].lstrip()))
+        if ident:
+            names.add(ident.group(0))
+    return names
+
+
+def unordered_iteration(code_lines, names):
+    """(lineno, name) for range-for over / .begin() on an unordered name."""
+    if not names:
+        return
+    alternation = "|".join(re.escape(n) for n in sorted(names))
+    range_for = re.compile(r"for\s*\([^;)]*:\s*[^)]*\b(%s)\b" % alternation)
+    begin = re.compile(r"\b(%s)\s*\.\s*(?:c?begin|c?end|rbegin|rend)\s*\(" % alternation)
+    for lineno, line in enumerate(code_lines, start=1):
+        for pattern in (range_for, begin):
+            match = pattern.search(line)
+            if match:
+                yield lineno, match.group(1)
+                break
+
+
+def findings_in_text(relpath, raw_text):
+    raw_lines = raw_text.splitlines()
+    if any("lint: nondet-ok-file" in line for line in raw_lines):
+        return
+    code = strip_comments(raw_lines)
+
+    def suppressed(lineno):
+        return "lint: nondet-ok" in raw_lines[lineno - 1]
+
+    for lineno, line in enumerate(code, start=1):
+        if suppressed(lineno):
+            continue
+        if WALL_CLOCK.search(line):
+            yield (
+                f"{relpath}:{lineno}: wall-clock read — control and report "
+                f"paths must be event-time only; route through "
+                f"runtime/event_clock or mark the line 'lint: nondet-ok' "
+                f"with a why-comment\n    {raw_lines[lineno - 1].strip()}"
+            )
+        if RAW_RNG.search(line):
+            yield (
+                f"{relpath}:{lineno}: non-reproducible RNG — draw from the "
+                f"seeded gridctl::Rng (util/random.hpp) instead\n"
+                f"    {raw_lines[lineno - 1].strip()}"
+            )
+    names = unordered_names(code)
+    for lineno, name in unordered_iteration(code, names):
+        if suppressed(lineno):
+            continue
+        yield (
+            f"{relpath}:{lineno}: iteration over unordered container "
+            f"'{name}' — element order is hash-seed dependent; use a "
+            f"sorted container (std::map/std::set) or sort before "
+            f"emitting, or mark the line 'lint: nondet-ok'\n"
+            f"    {raw_lines[lineno - 1].strip()}"
+        )
+
+
+def self_test() -> int:
+    cases = [
+        # (name, source, expected finding substrings)
+        (
+            "wall_clock_flagged",
+            "void f() {\n  auto t = std::chrono::steady_clock::now();\n}\n",
+            ["wall-clock read"],
+        ),
+        (
+            "wall_clock_alias_flagged",
+            "using clock_type = std::chrono::steady_clock;\n",
+            ["wall-clock read"],
+        ),
+        (
+            "wall_clock_line_suppressed",
+            "using clock_type = std::chrono::steady_clock;  // lint: nondet-ok\n",
+            [],
+        ),
+        (
+            "wall_clock_file_suppressed",
+            "// lint: nondet-ok-file — pacing boundary\n"
+            "auto t = std::chrono::steady_clock::now();\n",
+            [],
+        ),
+        (
+            "wall_clock_in_comment_ignored",
+            "// a few steady_clock::now() calls per step, e.g.\n"
+            "// std::chrono::steady_clock::now()\nint x = 0;\n",
+            [],
+        ),
+        (
+            "ctime_flagged",
+            "std::srand(time(nullptr));\n",
+            ["wall-clock read", "non-reproducible RNG"],
+        ),
+        (
+            "rng_random_device_flagged",
+            "std::random_device rd;\n",
+            ["non-reproducible RNG"],
+        ),
+        (
+            "rng_default_engine_flagged",
+            "std::mt19937 gen;\n",
+            ["non-reproducible RNG"],
+        ),
+        (
+            "seeded_repo_rng_clean",
+            "#include \"util/random.hpp\"\nGridRng rng(scenario.seed);\n",
+            [],
+        ),
+        (
+            "unordered_membership_clean",
+            "std::unordered_set<std::string> ids;\n"
+            "bool dup = !ids.insert(id).second;\n",
+            [],
+        ),
+        (
+            "unordered_range_for_flagged",
+            "std::unordered_map<std::string, int> counts;\n"
+            "void emit() {\n  for (const auto& [k, v] : counts) {\n  }\n}\n",
+            ["iteration over unordered container 'counts'"],
+        ),
+        (
+            "unordered_begin_flagged",
+            "std::unordered_set<int> seen;\n"
+            "auto it = seen.begin();\n",
+            ["iteration over unordered container 'seen'"],
+        ),
+        (
+            "unordered_iteration_suppressed",
+            "std::unordered_map<int, int> m;\n"
+            "for (auto& kv : m) {}  // lint: nondet-ok\n",
+            [],
+        ),
+        (
+            "ordered_range_for_clean",
+            "std::map<std::string, int> counts;\n"
+            "void emit() {\n  for (const auto& [k, v] : counts) {\n  }\n}\n",
+            [],
+        ),
+        (
+            "multiline_block_comment_ignored",
+            "/* std::chrono::steady_clock::now()\n"
+            "   std::random_device rd; */\nint x = 0;\n",
+            [],
+        ),
+    ]
+    failures = []
+    for name, source, expected in cases:
+        got = list(findings_in_text(f"<self-test:{name}>", source))
+        if len(got) != len(expected):
+            failures.append(
+                f"{name}: expected {len(expected)} finding(s), got {len(got)}:"
+                + "".join(f"\n    {g.splitlines()[0]}" for g in got)
+            )
+            continue
+        for fragment, finding in zip(expected, got):
+            if fragment not in finding:
+                failures.append(
+                    f"{name}: finding missing '{fragment}':\n    "
+                    + finding.splitlines()[0]
+                )
+    if failures:
+        print("\n".join(failures))
+        print(f"\nlint_determinism --self-test: {len(failures)} failure(s)")
+        return 1
+    print(f"lint_determinism --self-test: {len(cases)} cases ok")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule self-checks and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+
+    failures = []
+    for layer in SCAN_LAYERS:
+        for path in sorted((REPO / layer).rglob("*")):
+            if path.suffix not in SUFFIXES:
+                continue
+            relpath = path.relative_to(REPO)
+            failures.extend(findings_in_text(relpath, path.read_text()))
+    if failures:
+        print("\n".join(failures))
+        print(f"\nlint_determinism: {len(failures)} finding(s)")
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

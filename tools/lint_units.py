@@ -23,7 +23,13 @@ import re
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-TYPED_LAYERS = ["src/core", "src/datacenter", "src/market", "src/check"]
+TYPED_LAYERS = [
+    "src/core",
+    "src/datacenter",
+    "src/market",
+    "src/check",
+    "src/admission",
+]
 SUFFIXES = ("_w", "_s", "_mwh", "_dollars", "_joules", "_rps")
 
 # `double name_w` used as a function parameter: followed by ',' or ')'.
